@@ -1,0 +1,28 @@
+// Figure 11: per-workload IPC improvement over S-NUCA for R-NUCA, Private,
+// and Re-NUCA (default Table I configuration, workloads WL1-WL10).
+//
+// Paper shape: Private best on average (+8 %), Re-NUCA +5.2 % ~ equal to
+// R-NUCA (+4.7 %); nothing catastrophically below S-NUCA.
+#include "bench_util.hpp"
+
+using namespace renuca;
+using namespace renuca::bench;
+
+int main(int argc, char** argv) {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  KvConfig kv = setup(argc, argv, "Fig 11: IPC improvement over S-NUCA", cfg);
+  std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::SNuca, core::PolicyKind::RNuca, core::PolicyKind::Private,
+      core::PolicyKind::ReNuca};
+  sim::PolicySweep sweep = sim::sweepPolicies(cfg, policies, benchMixes(kv));
+  printIpcImprovements(sweep);
+  std::printf("\npaper averages: R-NUCA +4.7%%, Private +8%%, Re-NUCA +5.2%%.\n");
+
+  std::printf("\nper-core normalized improvement (equal app weighting):\n");
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    if (policies[p] == core::PolicyKind::SNuca) continue;
+    std::printf("  %-8s %+.1f%%\n", core::toString(policies[p]),
+                arithmeticMean(sweep.perCoreNormalizedImprovement(p)));
+  }
+  return 0;
+}

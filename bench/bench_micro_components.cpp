@@ -1,0 +1,145 @@
+// Component micro-benchmarks (google-benchmark): throughput of the cache
+// bank, BusyCalendar, mesh, DRAM models, CPT, TLB, synthetic generator,
+// and the end-to-end walk — the knobs that set overall simulation speed.
+#include <benchmark/benchmark.h>
+
+#include "common/busy_calendar.hpp"
+#include "common/rng.hpp"
+#include "core/cpt.hpp"
+#include "dram/dram.hpp"
+#include "dram/frfcfs.hpp"
+#include "mem/cache.hpp"
+#include "noc/mesh.hpp"
+#include "sim/memory_system.hpp"
+#include "tlb/tlb.hpp"
+#include "workload/generator.hpp"
+
+namespace renuca {
+namespace {
+
+void BM_CacheBankAccess(benchmark::State& state) {
+  mem::CacheConfig cfg;
+  cfg.sizeBytes = 2 * 1024 * 1024;
+  cfg.ways = 16;
+  cfg.trackFrameWrites = true;
+  mem::CacheBank bank(cfg, "bench");
+  Pcg32 rng(1);
+  // Pre-fill.
+  for (BlockAddr b = 0; b < 32768; ++b) bank.insert(b, false);
+  for (auto _ : state) {
+    BlockAddr b = rng.nextBelow(65536);
+    if (!bank.access(b, AccessType::Read)) bank.insert(b, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheBankAccess);
+
+void BM_BusyCalendarReserve(benchmark::State& state) {
+  BusyCalendar cal;
+  Pcg32 rng(2);
+  Cycle t = 0;
+  for (auto _ : state) {
+    t += rng.nextBelow(20);
+    benchmark::DoNotOptimize(cal.reserve(t + rng.nextBelow(200), 4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BusyCalendarReserve);
+
+void BM_MeshTraverse(benchmark::State& state) {
+  noc::MeshNoc mesh(noc::NocConfig{});
+  Pcg32 rng(3);
+  Cycle t = 0;
+  for (auto _ : state) {
+    t += 3;
+    benchmark::DoNotOptimize(
+        mesh.traverse(rng.nextBelow(16), rng.nextBelow(16), t, 4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshTraverse);
+
+void BM_DramAccess(benchmark::State& state) {
+  dram::DramController dram(dram::DramConfig{});
+  Pcg32 rng(4);
+  Cycle t = 0;
+  for (auto _ : state) {
+    t += 10;
+    benchmark::DoNotOptimize(
+        dram.access(static_cast<Addr>(rng.next()) * 64, AccessType::Read, t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void BM_FrFcfsDrain(benchmark::State& state) {
+  Pcg32 rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    dram::FrFcfsQueue q(dram::DramConfig{});
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      q.push(dram::MemRequest{static_cast<Addr>(rng.next()) * 64,
+                              AccessType::Read, i, i});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(q.drainAll());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FrFcfsDrain);
+
+void BM_CptPredictTrain(benchmark::State& state) {
+  core::CriticalityPredictorTable cpt(core::CptConfig{});
+  Pcg32 rng(6);
+  for (auto _ : state) {
+    std::uint64_t pc = 0x400000 + rng.nextBelow(2000) * 4;
+    benchmark::DoNotOptimize(cpt.predict(pc));
+    cpt.train(pc, rng.chance(0.1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CptPredictTrain);
+
+void BM_TlbTranslate(benchmark::State& state) {
+  tlb::PageTable pt;
+  tlb::EnhancedTlb tlb(tlb::TlbConfig{}, &pt, 0, "bench");
+  Pcg32 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tlb.translate(static_cast<Addr>(rng.nextBelow(256)) << kPageShift));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbTranslate);
+
+void BM_GeneratorNext(benchmark::State& state) {
+  workload::SyntheticGenerator gen(workload::profileByName("mcf"), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneratorNext);
+
+void BM_MemorySystemWalk(benchmark::State& state) {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.policy = static_cast<core::PolicyKind>(state.range(0));
+  sim::MemorySystem ms(cfg);
+  Pcg32 rng(9);
+  Cycle t = 0;
+  for (auto _ : state) {
+    t += 20;
+    CoreId c = rng.nextBelow(16);
+    Addr va = 0x100000 + static_cast<Addr>(rng.nextBelow(100000)) * 64;
+    benchmark::DoNotOptimize(ms.load(c, va, 0x400, t, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemorySystemWalk)
+    ->Arg(static_cast<int>(core::PolicyKind::SNuca))
+    ->Arg(static_cast<int>(core::PolicyKind::RNuca))
+    ->Arg(static_cast<int>(core::PolicyKind::ReNuca))
+    ->Arg(static_cast<int>(core::PolicyKind::Naive));
+
+}  // namespace
+}  // namespace renuca

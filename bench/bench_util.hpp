@@ -1,0 +1,115 @@
+// Shared plumbing for the bench binaries: argument handling, standard
+// header, and the sweep-to-table conversions every figure reuses.
+//
+// Every bench accepts "key=value" overrides (see SystemConfig::applyOverrides),
+// most importantly:
+//   instr_per_core=N  warmup=N  prewarm=N  seed=N  threshold_pct=X
+// plus "mixes=N" to run on the first N of the ten standard workloads.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/kvconfig.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workload/mixes.hpp"
+
+namespace renuca::bench {
+
+/// Default measurement budgets for multi-core sweeps: large enough for
+/// stable rates, small enough that the full suite runs in tens of minutes.
+inline void applyBenchDefaults(sim::SystemConfig& cfg) {
+  cfg.instrPerCore = 30000;
+  cfg.warmupInstrPerCore = 8000;
+}
+
+/// Parses overrides and prints the standard bench header.
+inline KvConfig setup(int argc, char** argv, const char* title,
+                      sim::SystemConfig& cfg) {
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  applyBenchDefaults(cfg);
+  cfg.applyOverrides(kv);
+  std::printf("== %s ==\n", title);
+  std::printf("config: %s\n\n", cfg.summary().c_str());
+  return kv;
+}
+
+/// First `mixes=` (default all ten) standard workload mixes.
+inline std::vector<workload::WorkloadMix> benchMixes(const KvConfig& kv) {
+  const auto& all = workload::standardMixes();
+  std::size_t n = static_cast<std::size_t>(
+      kv.getOr("mixes", static_cast<std::int64_t>(all.size())));
+  if (n > all.size()) n = all.size();
+  return {all.begin(), all.begin() + n};
+}
+
+/// Per-bank harmonic lifetime table (the bar groups of Figs 3/12/13/15/17).
+inline void printLifetimeBars(const sim::PolicySweep& sweep) {
+  std::vector<std::string> headers = {"bank"};
+  for (core::PolicyKind p : sweep.policies) headers.push_back(core::toString(p));
+  TextTable t(headers);
+  std::size_t banks = sweep.harmonicLifetimesPerBank(0).size();
+  std::vector<std::vector<double>> perPolicy;
+  for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
+    perPolicy.push_back(sweep.harmonicLifetimesPerBank(p));
+  }
+  for (std::size_t b = 0; b < banks; ++b) {
+    std::vector<std::string> row = {"CB-" + std::to_string(b)};
+    for (const auto& v : perPolicy) row.push_back(TextTable::num(v[b], 2));
+    t.addRow(row);
+  }
+  t.addSeparator();
+  std::vector<std::string> minRow = {"rawMin"}, ipcRow = {"IPC vs S-NUCA"};
+  for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
+    minRow.push_back(TextTable::num(sweep.rawMinLifetime(p), 2));
+    ipcRow.push_back(TextTable::num(sweep.meanIpcImprovementVsSnuca(p), 1) + "%");
+  }
+  t.addRow(minRow);
+  t.addRow(ipcRow);
+  std::printf("%s", t.toString().c_str());
+  std::printf("(harmonic-mean bank lifetimes in years across %zu workloads)\n",
+              sweep.mixes.size());
+}
+
+/// Per-workload IPC improvement table (Figs 11/14/16/18).
+inline void printIpcImprovements(const sim::PolicySweep& sweep) {
+  std::vector<std::string> headers = {"workload"};
+  for (core::PolicyKind p : sweep.policies) {
+    if (p != core::PolicyKind::SNuca) headers.push_back(core::toString(p));
+  }
+  TextTable t(headers);
+  for (std::size_t m = 0; m < sweep.mixes.size(); ++m) {
+    std::vector<std::string> row = {sweep.mixes[m].name};
+    for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
+      if (sweep.policies[p] == core::PolicyKind::SNuca) continue;
+      row.push_back(TextTable::num(sweep.ipcImprovementVsSnuca(p)[m], 1) + "%");
+    }
+    t.addRow(row);
+  }
+  t.addSeparator();
+  std::vector<std::string> avg = {"Avg"};
+  for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
+    if (sweep.policies[p] == core::PolicyKind::SNuca) continue;
+    avg.push_back(TextTable::num(sweep.meanIpcImprovementVsSnuca(p), 1) + "%");
+  }
+  t.addRow(avg);
+  std::printf("%s", t.toString().c_str());
+  std::printf("(system-IPC improvement over S-NUCA, %%)\n");
+}
+
+/// The paper's criticality-threshold sweep (Figs 7/8/9).
+inline const std::vector<double>& thresholdSweep() {
+  static const std::vector<double> v = {3, 5, 10, 20, 25, 33, 50, 75, 100};
+  return v;
+}
+
+/// The eight applications the paper uses for the criticality figures.
+inline const std::vector<std::string>& criticalityApps() {
+  static const std::vector<std::string> v = {
+      "mcf", "GemsFDTD", "lbm", "milc", "astar", "bwaves", "bzip2", "leslie3d"};
+  return v;
+}
+
+}  // namespace renuca::bench

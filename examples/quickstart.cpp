@@ -1,0 +1,47 @@
+// Quickstart: build the paper's 16-core system, run one multi-programmed
+// workload under Re-NUCA, and print the headline numbers.
+//
+//   ./quickstart [policy=renuca] [instr_per_core=30000] [mixes ignored]
+//
+// This is the smallest complete use of the public API:
+//   SystemConfig -> workload mix -> System::run() -> RunResult.
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+
+using namespace renuca;
+
+int main(int argc, char** argv) {
+  // 1. Configure the machine (defaults = the paper's Table I).
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.policy = core::PolicyKind::ReNuca;
+  cfg.instrPerCore = 30000;
+  cfg.warmupInstrPerCore = 8000;
+  cfg.applyOverrides(KvConfig::fromArgs(argc, argv));
+  std::printf("machine: %s\n\n", cfg.summary().c_str());
+
+  // 2. Pick a workload: WL1 is one of the paper-style mixes of 16 SPEC-like
+  //    applications with varied write intensity.
+  const workload::WorkloadMix& mix = workload::standardMixes()[0];
+  std::printf("workload %s:\n ", mix.name.c_str());
+  for (const std::string& app : mix.appNames) std::printf(" %s", app.c_str());
+  std::printf("\n\n");
+
+  // 3. Run: fast-forward warm-up, then a measured window.
+  sim::RunResult r = sim::runWorkload(cfg, mix);
+
+  // 4. Read out the results.
+  std::printf("measured cycles : %llu\n",
+              static_cast<unsigned long long>(r.measuredCycles));
+  std::printf("system IPC      : %.2f (sum of %zu cores)\n", r.systemIpc,
+              r.coreIpc.size());
+  std::printf("avg WPKI / MPKI : %.1f / %.1f\n", r.avgWpki(), r.avgMpki());
+  std::printf("CPT accuracy    : %.1f%%\n", r.cptAccuracy * 100.0);
+  std::printf("\nper-bank ReRAM lifetime (years):\n");
+  for (std::size_t b = 0; b < r.bankLifetimeYears.size(); ++b) {
+    std::printf("  CB-%-2zu %6.2f  (writes %llu)\n", b, r.bankLifetimeYears[b],
+                static_cast<unsigned long long>(r.bankWrites[b]));
+  }
+  std::printf("\nminimum bank lifetime: %.2f years\n", r.minBankLifetime());
+  return 0;
+}

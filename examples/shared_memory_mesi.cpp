@@ -1,0 +1,55 @@
+// Shared-memory MESI demo: exercises the directory coherence protocol
+// in-system.
+//
+// The paper's workloads are multi-programmed (disjoint address spaces), so
+// its runs never generate coherence traffic; this example drives the
+// DirectoryMesi engine directly with a producer-consumer sharing pattern
+// and reports the protocol activity, then runs a sharing-enabled System to
+// show the integration path.
+#include <cstdio>
+
+#include "coherence/mesi.hpp"
+#include "common/rng.hpp"
+#include "sim/experiment.hpp"
+
+using namespace renuca;
+
+int main() {
+  // --- Protocol-level: 4 caches ping-ponging 8 shared lines. -------------
+  coherence::DirectoryMesi dir(4);
+  Pcg32 rng(2024);
+  int invalidations = 0, flushes = 0, c2c = 0;
+  for (int step = 0; step < 20000; ++step) {
+    std::uint32_t cache = rng.nextBelow(4);
+    BlockAddr line = rng.nextBelow(8);
+    coherence::Outcome out = rng.chance(0.3) ? dir.write(cache, line)
+                                             : dir.read(cache, line);
+    invalidations += static_cast<int>(out.invalidated.size());
+    flushes += out.writebackToMemory ? 1 : 0;
+    c2c += out.cacheToCache ? 1 : 0;
+    if (rng.chance(0.05)) dir.evict(cache, line);
+  }
+  std::string err = dir.checkAll();
+  std::printf("producer-consumer soup over 8 shared lines, 20000 ops:\n");
+  std::printf("  invalidations/downgrades : %d\n", invalidations);
+  std::printf("  dirty owner flushes      : %d\n", flushes);
+  std::printf("  cache-to-cache transfers : %d\n", c2c);
+  std::printf("  invariants               : %s\n\n",
+              err.empty() ? "all hold" : err.c_str());
+  std::printf("%s\n", dir.stats().toString().c_str());
+
+  // --- System-level: the same protocol wired into the full simulator. ----
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.enableSharing = true;
+  cfg.instrPerCore = 8000;
+  cfg.warmupInstrPerCore = 2000;
+  cfg.prewarmInstrPerCore = 100000;
+  sim::RunResult r = sim::runWorkload(cfg, workload::standardMixes()[2]);
+  std::printf("sharing-enabled system run (%s): sysIPC %.2f, %llu cycles\n",
+              "WL3", r.systemIpc,
+              static_cast<unsigned long long>(r.measuredCycles));
+  std::printf("(multi-programmed apps share nothing, so the directory only\n"
+              "grants Exclusive states here — the protocol soup above is the\n"
+              "part that exercises invalidations.)\n");
+  return 0;
+}

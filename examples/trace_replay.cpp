@@ -1,0 +1,79 @@
+// Trace replay: drive a core from a trace file instead of the synthetic
+// generator — the hook for plugging in real program traces.
+//
+// Captures a short mcf trace, replays it through an OooCore against the
+// full memory hierarchy, and verifies the replayed run is bit-identical to
+// the generator-driven one.
+#include <cstdio>
+#include <string>
+
+#include "cpu/core.hpp"
+#include "sim/memory_system.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+using namespace renuca;
+
+namespace {
+
+struct RunStats {
+  Cycle cycles = 0;
+  std::uint64_t loads = 0, stalled = 0;
+};
+
+RunStats drive(workload::InstructionSource& src, std::uint64_t budget) {
+  sim::SystemConfig cfg = sim::singleCore();
+  sim::MemorySystem ms(cfg);
+  cpu::CoreConfig cc;
+  cpu::OooCore core(cc, 0, &src, &ms, nullptr, budget);
+  Cycle now = 0;
+  while (!core.done() && now < 100'000'000) {
+    core.tick(now);
+    now = core.nextEventCycle(now);
+  }
+  return {now, core.stats().loads, core.stats().loadsStalledHead};
+}
+
+}  // namespace
+
+int main() {
+  const std::string path = "/tmp/renuca_mcf.trace";
+  const std::uint64_t budget = 20000;
+
+  // 1. Capture: 2x the budget so the replay never wraps.
+  {
+    workload::SyntheticGenerator gen(workload::profileByName("mcf"), 42);
+    workload::TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < 2 * budget; ++i) writer.append(gen.next());
+    std::printf("captured %llu records to %s\n",
+                static_cast<unsigned long long>(writer.written()), path.c_str());
+  }
+
+  // 2. Run live from the generator...
+  workload::SyntheticGenerator live(workload::profileByName("mcf"), 42);
+  RunStats a = drive(live, budget);
+
+  // 3. ...and replay the file.
+  workload::TraceReader replay(path, /*wrapAround=*/true);
+  RunStats b = drive(replay, budget);
+
+  std::printf("generator run : %llu cycles, %llu loads (%llu stalled ROB)\n",
+              static_cast<unsigned long long>(a.cycles),
+              static_cast<unsigned long long>(a.loads),
+              static_cast<unsigned long long>(a.stalled));
+  std::printf("trace replay  : %llu cycles, %llu loads (%llu stalled ROB)\n",
+              static_cast<unsigned long long>(b.cycles),
+              static_cast<unsigned long long>(b.loads),
+              static_cast<unsigned long long>(b.stalled));
+  if (a.cycles != b.cycles || a.loads != b.loads) {
+    std::printf("MISMATCH: replay diverged from the live run\n");
+    return 1;
+  }
+  std::printf("bit-identical: a trace file fully determines a run.\n");
+  std::printf("\nto use real traces: write 18-byte records (pc, vaddr, kind,\n"
+              "depDist — see workload/trace.hpp) and hand a TraceReader to\n"
+              "cpu::OooCore exactly as above.\n");
+  std::remove(path.c_str());
+  return 0;
+}

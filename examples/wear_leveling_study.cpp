@@ -1,0 +1,54 @@
+// Wear-leveling study: how does each NUCA placement policy distribute
+// ReRAM writes when one corner of the chip runs write-heavy applications?
+//
+// Builds a deliberately skewed workload — four mcf/streamL-class apps
+// pinned next to each other, the rest low-intensity — and compares the
+// per-bank write histograms and lifetimes of all five policies.  This is
+// the wear-imbalance scenario from the paper's §III motivation, isolated.
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+
+using namespace renuca;
+
+int main(int argc, char** argv) {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.instrPerCore = 25000;
+  cfg.warmupInstrPerCore = 6000;
+  cfg.applyOverrides(KvConfig::fromArgs(argc, argv));
+
+  // Hand-built skewed mix: heavy writers on cores 0, 1, 4, 5 (the top-left
+  // 2x2 quad of the mesh), quiet apps everywhere else.
+  workload::WorkloadMix mix;
+  mix.name = "corner-heavy";
+  mix.appNames = {"mcf",    "streamL", "namd",  "povray",
+                  "lbm",    "milc",    "namd",  "dealII",
+                  "astar",  "povray",  "namd",  "dealII",
+                  "sjeng",  "astar",   "namd",  "povray"};
+
+  std::printf("workload: heavy writers on cores 0,1,4,5 (top-left quad)\n\n");
+  std::printf("%-8s | per-bank write share (row-major 4x4 mesh, %% of total)\n",
+              "policy");
+
+  for (core::PolicyKind policy : sim::allPolicies()) {
+    sim::SystemConfig c = cfg;
+    c.policy = policy;
+    sim::RunResult r = sim::runWorkload(c, mix);
+    std::uint64_t total = 0;
+    for (std::uint64_t w : r.bankWrites) total += w;
+    std::printf("%-8s |", core::toString(policy));
+    for (std::size_t b = 0; b < r.bankWrites.size(); ++b) {
+      if (b % 4 == 0 && b > 0) std::printf(" /");
+      std::printf(" %4.1f", 100.0 * r.bankWrites[b] / static_cast<double>(total));
+    }
+    std::printf("  | minLife %.2fy  sysIPC %.2f\n", r.minBankLifetime(), r.systemIpc);
+  }
+
+  std::printf(
+      "\nreading the rows: S-NUCA and Naive spread the corner's writes over all\n"
+      "16 banks; R-NUCA concentrates them in the top-left cluster (short\n"
+      "lifetimes there); Private pins each app's writes to its own bank;\n"
+      "Re-NUCA keeps only the critical fraction near the corner and spreads\n"
+      "the rest.\n");
+  return 0;
+}

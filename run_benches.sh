@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every bench binary sequentially, teeing to bench_output.txt.
+cd /root/repo
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  [ -f "$b" ] || continue
+  echo "===== $(basename $b) =====" | tee -a bench_output.txt
+  "$b" >> bench_output.txt 2>&1
+  echo "(exit $?)" >> bench_output.txt
+done
+echo ALL_BENCHES_DONE | tee -a bench_output.txt

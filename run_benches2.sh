@@ -1,0 +1,15 @@
+#!/bin/bash
+cd /root/repo
+run() { echo "===== $1 ====="; shift; "$@"; echo "(exit $?)"; }
+{
+run bench_fig5_rob_stalls        ./build/bench/bench_fig5_rob_stalls instr_per_core=25000
+run bench_fig7_predictor_accuracy ./build/bench/bench_fig7_predictor_accuracy instr_per_core=20000
+run bench_fig8_noncritical_blocks ./build/bench/bench_fig8_noncritical_blocks instr_per_core=20000
+run bench_fig9_noncritical_writes ./build/bench/bench_fig9_noncritical_writes instr_per_core=20000
+run bench_table2_app_characteristics ./build/bench/bench_table2_app_characteristics
+run bench_fig4_tradeoff          ./build/bench/bench_fig4_tradeoff mixes=6
+run bench_table3_raw_min_lifetime ./build/bench/bench_table3_raw_min_lifetime mixes=3
+run bench_ablation_design_v2     ./build/bench/bench_ablation_design mixes=3
+run bench_micro_components       ./build/bench/bench_micro_components --benchmark_min_time=0.05s
+echo ALL_BENCHES2_DONE
+} >> bench_output.txt 2>&1

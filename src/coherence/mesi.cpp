@@ -1,0 +1,183 @@
+#include "coherence/mesi.hpp"
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace renuca::coherence {
+
+namespace {
+std::uint64_t stateKey(std::uint32_t c, BlockAddr block) {
+  // Blocks in this simulator are < 2^58; fold the cache id into the top bits.
+  return (static_cast<std::uint64_t>(c) << 58) | block;
+}
+}  // namespace
+
+const char* toString(MesiState s) {
+  switch (s) {
+    case MesiState::I: return "I";
+    case MesiState::S: return "S";
+    case MesiState::E: return "E";
+    case MesiState::M: return "M";
+  }
+  return "?";
+}
+
+DirectoryMesi::DirectoryMesi(std::uint32_t numCaches)
+    : numCaches_(numCaches), stats_("mesi") {
+  RENUCA_ASSERT(numCaches >= 1 && numCaches <= 64, "directory supports 1..64 caches");
+}
+
+MesiState& DirectoryMesi::cacheState(std::uint32_t c, BlockAddr block) {
+  return states_[stateKey(c, block)];
+}
+
+MesiState DirectoryMesi::stateOf(std::uint32_t c, BlockAddr block) const {
+  auto it = states_.find(stateKey(c, block));
+  return it == states_.end() ? MesiState::I : it->second;
+}
+
+Outcome DirectoryMesi::read(std::uint32_t c, BlockAddr block) {
+  RENUCA_ASSERT(c < numCaches_, "cache id out of range");
+  Entry& e = entry(block);
+  Outcome out;
+  MesiState cur = stateOf(c, block);
+
+  if (cur != MesiState::I) {
+    // Local hit; no directory transition.
+    out.newState = cur;
+    stats_.inc("read_hits");
+    return out;
+  }
+
+  stats_.inc("getS");
+  if (e.owned) {
+    // Owner holds E or M: downgrade to S; M flushes dirty data.
+    std::uint32_t o = e.owner;
+    MesiState& os = cacheState(o, block);
+    if (os == MesiState::M) {
+      out.writebackToMemory = true;
+      stats_.inc("owner_flushes");
+    }
+    os = MesiState::S;
+    out.cacheToCache = true;
+    out.invalidated.push_back(o);  // downgrade notification
+    e.owned = false;
+    e.sharers |= (1ull << o);
+    e.sharers |= (1ull << c);
+    out.newState = MesiState::S;
+  } else if (e.sharers != 0) {
+    e.sharers |= (1ull << c);
+    out.newState = MesiState::S;
+  } else {
+    // Uncached: grant Exclusive.
+    e.owned = true;
+    e.owner = c;
+    e.sharers = (1ull << c);
+    out.newState = MesiState::E;
+  }
+  cacheState(c, block) = out.newState;
+  return out;
+}
+
+Outcome DirectoryMesi::write(std::uint32_t c, BlockAddr block) {
+  RENUCA_ASSERT(c < numCaches_, "cache id out of range");
+  Entry& e = entry(block);
+  Outcome out;
+  MesiState cur = stateOf(c, block);
+
+  if (cur == MesiState::M) {
+    out.newState = MesiState::M;
+    stats_.inc("write_hits");
+    return out;
+  }
+  if (cur == MesiState::E) {
+    // Silent E->M upgrade.
+    cacheState(c, block) = MesiState::M;
+    out.newState = MesiState::M;
+    stats_.inc("silent_upgrades");
+    return out;
+  }
+
+  stats_.inc("getM");
+  if (e.owned && e.owner != c) {
+    std::uint32_t o = e.owner;
+    MesiState& os = cacheState(o, block);
+    if (os == MesiState::M) {
+      out.writebackToMemory = true;
+      stats_.inc("owner_flushes");
+    }
+    os = MesiState::I;
+    out.invalidated.push_back(o);
+    out.cacheToCache = true;
+  } else {
+    // Invalidate every sharer other than the requester.
+    for (std::uint32_t s = 0; s < numCaches_; ++s) {
+      if (s == c) continue;
+      if (e.sharers & (1ull << s)) {
+        cacheState(s, block) = MesiState::I;
+        out.invalidated.push_back(s);
+      }
+    }
+    if (!out.invalidated.empty()) stats_.inc("invalidation_bursts");
+  }
+  e.owned = true;
+  e.owner = c;
+  e.sharers = (1ull << c);
+  cacheState(c, block) = MesiState::M;
+  out.newState = MesiState::M;
+  return out;
+}
+
+bool DirectoryMesi::evict(std::uint32_t c, BlockAddr block) {
+  RENUCA_ASSERT(c < numCaches_, "cache id out of range");
+  Entry& e = entry(block);
+  MesiState cur = stateOf(c, block);
+  if (cur == MesiState::I) return false;
+
+  bool writeback = (cur == MesiState::M);
+  cacheState(c, block) = MesiState::I;
+  e.sharers &= ~(1ull << c);
+  if (e.owned && e.owner == c) e.owned = false;
+  stats_.inc(writeback ? "putM" : "putS");
+  return writeback;
+}
+
+std::vector<std::uint32_t> DirectoryMesi::holders(BlockAddr block) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t c = 0; c < numCaches_; ++c) {
+    if (stateOf(c, block) != MesiState::I) out.push_back(c);
+  }
+  return out;
+}
+
+std::string DirectoryMesi::checkLine(BlockAddr block) const {
+  std::uint32_t owners = 0, sharersSeen = 0;
+  std::uint64_t validMask = 0;
+  for (std::uint32_t c = 0; c < numCaches_; ++c) {
+    MesiState s = stateOf(c, block);
+    if (s == MesiState::E || s == MesiState::M) ++owners;
+    if (s == MesiState::S) ++sharersSeen;
+    if (s != MesiState::I) validMask |= (1ull << c);
+  }
+  if (owners > 1) return "multiple owners for block " + std::to_string(block);
+  if (owners == 1 && sharersSeen > 0) {
+    return "owner coexists with sharers for block " + std::to_string(block);
+  }
+  auto it = dir_.find(block);
+  std::uint64_t dirMask = it == dir_.end() ? 0 : it->second.sharers;
+  if (dirMask != validMask) {
+    return "directory sharer set mismatch for block " + std::to_string(block);
+  }
+  return {};
+}
+
+std::string DirectoryMesi::checkAll() const {
+  for (const auto& [block, entry] : dir_) {
+    (void)entry;
+    std::string err = checkLine(block);
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+}  // namespace renuca::coherence

@@ -1,0 +1,88 @@
+// Directory-based MESI coherence protocol (paper Table I: MESI).
+//
+// A functional protocol engine: per-line directory state (Uncached /
+// Shared / Owned) plus per-cache MESI states, with the full transition
+// table for processor reads, writes and evictions.  Every transition
+// returns the set of coherence actions it implies (invalidations, owner
+// downgrades, write-backs, data source) so a timing layer can charge them.
+//
+// The paper's workloads are multi-programmed SPEC (disjoint address
+// spaces), so coherence traffic does not shape its results; the system
+// simulator therefore routes through the directory only when sharing is
+// enabled (sim::SystemConfig::enableSharing).  The protocol itself is
+// fully implemented and property-tested (tests/test_coherence.cpp), and
+// the shared-memory example exercises it in-system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace renuca::coherence {
+
+enum class MesiState : std::uint8_t { I, S, E, M };
+
+const char* toString(MesiState s);
+
+/// Coherence actions implied by one processor-side event.
+struct Outcome {
+  /// Caches that received invalidations (write) or downgrades (read).
+  std::vector<std::uint32_t> invalidated;
+  /// True if a dirty owner copy was flushed to memory/LLC by this event.
+  bool writebackToMemory = false;
+  /// True if another cache supplied the data (cache-to-cache transfer);
+  /// false means memory/LLC supplied it.
+  bool cacheToCache = false;
+  /// Requester's resulting MESI state.
+  MesiState newState = MesiState::I;
+};
+
+class DirectoryMesi {
+ public:
+  explicit DirectoryMesi(std::uint32_t numCaches);
+
+  /// Processor load at cache `c` (GetS).
+  Outcome read(std::uint32_t c, BlockAddr block);
+  /// Processor store at cache `c` (GetM / upgrade).
+  Outcome write(std::uint32_t c, BlockAddr block);
+  /// Cache `c` evicts the block (PutS / PutE / PutM).  Returns true if a
+  /// dirty write-back to memory resulted.
+  bool evict(std::uint32_t c, BlockAddr block);
+
+  MesiState stateOf(std::uint32_t c, BlockAddr block) const;
+  /// Caches currently holding the block in any valid state.
+  std::vector<std::uint32_t> holders(BlockAddr block) const;
+
+  /// Protocol invariants for one line:
+  ///  * at most one cache in M or E;
+  ///  * if some cache is M/E, no other cache is S;
+  ///  * directory sharer set equals the caches in S/E/M.
+  /// Returns an empty string if OK, else a description of the violation.
+  std::string checkLine(BlockAddr block) const;
+  /// Checks every line the directory has ever seen.
+  std::string checkAll() const;
+
+  const StatSet& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t sharers = 0;  ///< Bit per cache.
+    bool owned = false;         ///< Exactly one holder in E or M.
+    std::uint32_t owner = 0;
+  };
+
+  Entry& entry(BlockAddr block) { return dir_[block]; }
+  MesiState& cacheState(std::uint32_t c, BlockAddr block);
+
+  std::uint32_t numCaches_;
+  std::unordered_map<BlockAddr, Entry> dir_;
+  // Per-cache line states, keyed by (cache, block).
+  std::unordered_map<std::uint64_t, MesiState> states_;
+  StatSet stats_;
+};
+
+}  // namespace renuca::coherence

@@ -1,0 +1,32 @@
+// Small bit-manipulation helpers used by cache/TLB/DRAM indexing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace renuca {
+
+/// True iff v is a power of two (and non-zero).
+constexpr bool isPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Floor log2; requires v > 0.
+constexpr std::uint32_t log2Floor(std::uint64_t v) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/// Extract `count` bits starting at bit `lo` of `v`.
+constexpr std::uint64_t bits(std::uint64_t v, std::uint32_t lo, std::uint32_t count) {
+  return (v >> lo) & ((count >= 64) ? ~0ull : ((1ull << count) - 1));
+}
+
+/// 64-bit mix (splitmix64 finalizer): used for deterministic address hashing
+/// (e.g. page-table VPN->PPN assignment) where we want an avalanche effect
+/// without carrying RNG state.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace renuca

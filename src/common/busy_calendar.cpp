@@ -1,0 +1,64 @@
+#include "common/busy_calendar.hpp"
+
+#include <algorithm>
+
+namespace renuca {
+
+void BusyCalendar::prune(Cycle arrive) {
+  maxArrival_ = std::max(maxArrival_, arrive);
+  if (maxArrival_ < horizon_) return;
+  Cycle cutoff = maxArrival_ - horizon_;
+  std::size_t drop = 0;
+  while (drop < intervals_.size() && intervals_[drop].end < cutoff) ++drop;
+  if (drop > 0) intervals_.erase(intervals_.begin(), intervals_.begin() + drop);
+}
+
+Cycle BusyCalendar::reserve(Cycle arrive, Cycle duration) {
+  if (duration == 0) return arrive;
+  prune(arrive);
+
+  // Find the first interval that could interfere (ends after `arrive`).
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), arrive,
+      [](const Interval& iv, Cycle t) { return iv.end <= t; });
+
+  Cycle start = arrive;
+  while (it != intervals_.end()) {
+    if (start + duration <= it->start) break;  // fits in the gap before *it
+    start = std::max(start, it->end);
+    ++it;
+  }
+
+  // Insert [start, start+duration), merging with adjacent intervals.
+  Interval booked{start, start + duration};
+  auto pos = std::lower_bound(
+      intervals_.begin(), intervals_.end(), booked,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  // Merge with predecessor if contiguous.
+  if (pos != intervals_.begin()) {
+    auto prev = pos - 1;
+    if (prev->end == booked.start) {
+      prev->end = booked.end;
+      // Merge with successor too.
+      if (pos != intervals_.end() && pos->start == prev->end) {
+        prev->end = pos->end;
+        intervals_.erase(pos);
+      }
+      return start;
+    }
+  }
+  if (pos != intervals_.end() && pos->start == booked.end) {
+    pos->start = booked.start;
+    return start;
+  }
+  intervals_.insert(pos, booked);
+  return start;
+}
+
+Cycle BusyCalendar::bookedCycles() const {
+  Cycle total = 0;
+  for (const Interval& iv : intervals_) total += iv.end - iv.start;
+  return total;
+}
+
+}  // namespace renuca

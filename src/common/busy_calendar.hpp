@@ -1,0 +1,50 @@
+// Interval-based resource reservation.
+//
+// The simulator computes each request's full future path when the request
+// issues, so a shared resource (LLC bank, mesh link, DRAM bank) receives
+// reservations at *mixed* future offsets — a demand lookup at +7 cycles
+// and the corresponding fill write at +150.  A single busy-until waterline
+// would let the far-future reservation block every near-term one (head-of-
+// line blocking that does not exist in hardware).  BusyCalendar instead
+// keeps the set of busy intervals and books each reservation into the
+// earliest gap at or after its arrival time.
+//
+// Intervals older than a sliding horizon behind the latest arrival are
+// pruned, keeping the calendar small (tens of entries at realistic loads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace renuca {
+
+class BusyCalendar {
+ public:
+  /// `pruneHorizon`: intervals ending more than this many cycles before
+  /// the most recent arrival are dropped (no later arrival can be earlier
+  /// than maxArrival - horizon in a causally sane simulation).
+  explicit BusyCalendar(Cycle pruneHorizon = 4096) : horizon_(pruneHorizon) {}
+
+  /// Books `duration` busy cycles at the earliest time >= `arrive` with a
+  /// free gap; returns the start of the booked interval.
+  Cycle reserve(Cycle arrive, Cycle duration);
+
+  /// Total cycles currently booked (tests).
+  Cycle bookedCycles() const;
+  std::size_t intervalCount() const { return intervals_.size(); }
+
+ private:
+  struct Interval {
+    Cycle start;
+    Cycle end;  // exclusive
+  };
+  void prune(Cycle arrive);
+
+  std::vector<Interval> intervals_;  // sorted by start, non-overlapping
+  Cycle horizon_;
+  Cycle maxArrival_ = 0;
+};
+
+}  // namespace renuca

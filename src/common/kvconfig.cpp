@@ -1,0 +1,106 @@
+#include "common/kvconfig.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace renuca {
+
+namespace {
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+}  // namespace
+
+KvConfig KvConfig::fromArgs(int argc, const char* const* argv) {
+  KvConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      cfg.positional_.push_back(tok);
+    } else {
+      cfg.set(trim(tok.substr(0, eq)), trim(tok.substr(eq + 1)));
+    }
+  }
+  return cfg;
+}
+
+KvConfig KvConfig::fromString(const std::string& text) {
+  KvConfig cfg;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      cfg.positional_.push_back(line);
+    } else {
+      cfg.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    }
+  }
+  return cfg;
+}
+
+void KvConfig::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool KvConfig::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::optional<std::string> KvConfig::getString(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> KvConfig::getInt(const std::string& key) const {
+  auto s = getString(key);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  long long v = std::strtoll(s->c_str(), &end, 0);
+  if (end == s->c_str() || (end && *end != '\0')) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> KvConfig::getDouble(const std::string& key) const {
+  auto s = getString(key);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || (end && *end != '\0')) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> KvConfig::getBool(const std::string& key) const {
+  auto s = getString(key);
+  if (!s) return std::nullopt;
+  std::string v = *s;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return std::nullopt;
+}
+
+std::string KvConfig::getOr(const std::string& key, const std::string& dflt) const {
+  return getString(key).value_or(dflt);
+}
+std::int64_t KvConfig::getOr(const std::string& key, std::int64_t dflt) const {
+  return getInt(key).value_or(dflt);
+}
+double KvConfig::getOr(const std::string& key, double dflt) const {
+  return getDouble(key).value_or(dflt);
+}
+bool KvConfig::getOr(const std::string& key, bool dflt) const {
+  return getBool(key).value_or(dflt);
+}
+
+}  // namespace renuca

@@ -1,0 +1,49 @@
+// Key=value configuration overlay.
+//
+// Bench binaries and examples accept "key=value" pairs on the command line
+// (e.g. "instr_per_core=200000 policy=renuca") which are collected into a
+// KvConfig and applied on top of the Table-I defaults.  Keeping parsing here
+// means the sim layer only deals with typed values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace renuca {
+
+class KvConfig {
+ public:
+  KvConfig() = default;
+
+  /// Parses argv-style "key=value" tokens; tokens without '=' are returned
+  /// as positional arguments in insertion order.
+  static KvConfig fromArgs(int argc, const char* const* argv);
+
+  /// Parses "key=value" lines; '#' starts a comment; blank lines ignored.
+  static KvConfig fromString(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  std::optional<std::string> getString(const std::string& key) const;
+  std::optional<std::int64_t> getInt(const std::string& key) const;
+  std::optional<double> getDouble(const std::string& key) const;
+  std::optional<bool> getBool(const std::string& key) const;  ///< true/false/1/0/yes/no
+
+  std::string getOr(const std::string& key, const std::string& dflt) const;
+  std::int64_t getOr(const std::string& key, std::int64_t dflt) const;
+  double getOr(const std::string& key, double dflt) const;
+  bool getOr(const std::string& key, bool dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string>& all() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace renuca

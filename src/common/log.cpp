@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace renuca {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+const char* levelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+void assertFail(const char* expr, const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "ASSERT FAILED: %s at %s:%d: %s\n", expr, file, line, message.c_str());
+  std::abort();
+}
+
+}  // namespace renuca

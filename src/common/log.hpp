@@ -1,0 +1,31 @@
+// Minimal leveled logging and hard-assertion macro.
+//
+// The simulator is deterministic and single-threaded per run; logging is
+// line-buffered to stderr.  RENUCA_ASSERT stays active in release builds:
+// a simulator that silently corrupts cache state produces plausible-looking
+// wrong numbers, which is worse than an abort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace renuca {
+
+enum class LogLevel : std::uint8_t { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Writes "[LEVEL] message\n" to stderr if `level` passes the filter.
+void logMessage(LogLevel level, const std::string& message);
+
+[[noreturn]] void assertFail(const char* expr, const char* file, int line,
+                             const std::string& message);
+
+}  // namespace renuca
+
+#define RENUCA_ASSERT(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::renuca::assertFail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

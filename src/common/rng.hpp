@@ -1,0 +1,47 @@
+// Deterministic PCG32 random number generator.
+//
+// All stochastic behaviour in the simulator (workload generation, workload
+// mix sampling, replacement tie-breaking) draws from Pcg32 so that a run is
+// exactly reproducible from its seed.  std::mt19937 is avoided because its
+// state is large and its distributions are not bit-stable across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace renuca {
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014).  Small state, excellent statistical
+/// quality, and fully deterministic across platforms.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bull,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbull);
+
+  /// Next raw 32-bit output.
+  std::uint32_t next();
+
+  /// Uniform in [0, bound) without modulo bias; bound must be > 0.
+  std::uint32_t nextBelow(std::uint32_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Pick an index in [0, weights.size()) with probability proportional to
+  /// weights[i]; weights need not be normalized.  Returns 0 on empty/zero
+  /// input.
+  std::size_t weightedPick(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace renuca

@@ -1,0 +1,107 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace renuca {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::clear() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double bucketWidth, std::size_t numBuckets)
+    : width_(bucketWidth), buckets_(numBuckets, 0) {}
+
+void Histogram::add(double x) {
+  std::size_t i = 0;
+  if (x > 0 && width_ > 0) {
+    i = static_cast<std::size_t>(x / width_);
+    if (i >= buckets_.size()) i = buckets_.size() - 1;
+  }
+  ++buckets_[i];
+  ++total_;
+}
+
+double Histogram::percentile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total_);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    std::uint64_t c = buckets_[i];
+    if (acc + c >= target) {
+      double within = c ? (target - acc) / static_cast<double>(c) : 0.0;
+      return (static_cast<double>(i) + within) * width_;
+    }
+    acc += c;
+  }
+  return width_ * static_cast<double>(buckets_.size());
+}
+
+std::uint64_t StatSet::get(const std::string& key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string StatSet::toString() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) {
+    if (!name_.empty()) os << name_ << '.';
+    os << k << '=' << v << '\n';
+  }
+  return os.str();
+}
+
+double harmonicMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    acc += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / acc;
+}
+
+double arithmeticMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double geometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double minOf(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+}  // namespace renuca

@@ -1,0 +1,89 @@
+// Statistics primitives: counters, running summaries, histograms, and the
+// mean helpers (harmonic mean in particular) that the paper's lifetime
+// metrics are built on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace renuca {
+
+/// Streaming min/max/mean/variance over doubles (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  void clear();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, bucketWidth * numBuckets); values beyond
+/// the last bucket are clamped into it.  Used for latency distributions.
+class Histogram {
+ public:
+  Histogram(double bucketWidth, std::size_t numBuckets);
+
+  void add(double x);
+  std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
+  std::size_t numBuckets() const { return buckets_.size(); }
+  std::uint64_t total() const { return total_; }
+  /// Value below which `q` (in [0,1]) of samples fall, linear within bucket.
+  double percentile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Named 64-bit counters grouped under a component; cheap to increment,
+/// queryable by name for reporting.
+class StatSet {
+ public:
+  explicit StatSet(std::string name = "") : name_(std::move(name)) {}
+
+  void inc(const std::string& key, std::uint64_t by = 1) { counters_[key] += by; }
+  std::uint64_t get(const std::string& key) const;
+  void clear() { counters_.clear(); }
+
+  const std::string& name() const { return name_; }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  /// "name.key=value" lines, one per counter, sorted by key.
+  std::string toString() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Harmonic mean of strictly positive values; zero/negative entries make the
+/// result 0 (a dead bank dominates, which is exactly the property the paper
+/// wants from this mean).  Empty input -> 0.
+double harmonicMean(const std::vector<double>& xs);
+
+/// Arithmetic mean; empty input -> 0.
+double arithmeticMean(const std::vector<double>& xs);
+
+/// Geometric mean of positive values; empty input -> 0.
+double geometricMean(const std::vector<double>& xs);
+
+/// Minimum; empty input -> 0.
+double minOf(const std::vector<double>& xs);
+
+}  // namespace renuca

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace renuca {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::addSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::toString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emitSep = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emitRow = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emitSep(os);
+  emitRow(os, headers_);
+  emitSep(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emitSep(os);
+    } else {
+      emitRow(os, row);
+    }
+  }
+  emitSep(os);
+  return os.str();
+}
+
+std::string TextTable::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string TextTable::pct(double fraction01, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, fraction01 * 100.0);
+  return buf;
+}
+
+}  // namespace renuca

@@ -1,0 +1,37 @@
+// Fixed-width text table used by every bench binary to print the paper's
+// rows/series in an aligned, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace renuca {
+
+/// Builds an aligned ASCII table.  Numeric cells are formatted by the caller
+/// (see cell() helpers) so that each bench controls its precision.
+class TextTable {
+ public:
+  /// Column headers define the column count; later rows are padded/truncated
+  /// to match.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  /// Adds a horizontal separator at the current position.
+  void addSeparator();
+
+  std::string toString() const;
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string num(double v, int prec = 2);
+  /// Formats an integer count.
+  static std::string num(std::uint64_t v);
+  /// Formats a percentage ("12.3%").
+  static std::string pct(double fraction01, int prec = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  // Separator rows are encoded as an empty vector.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace renuca

@@ -1,0 +1,54 @@
+// Core fixed-width types and address arithmetic shared by every module.
+//
+// The simulator models a 16-core CMP with 64-byte cache lines and 4 KB
+// pages (paper Table I).  All address math in the code base goes through
+// the helpers here so that line/page geometry is defined in exactly one
+// place.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace renuca {
+
+using Addr = std::uint64_t;    ///< Byte address (virtual or physical).
+using BlockAddr = std::uint64_t;  ///< Address >> kLineShift (one per cache line).
+using Cycle = std::uint64_t;   ///< Global clock, in core cycles.
+using CoreId = std::uint32_t;  ///< 0-based core index.
+using BankId = std::uint32_t;  ///< 0-based LLC bank index.
+using Asid = std::uint32_t;    ///< Address-space id (one per app in a mix).
+
+inline constexpr std::uint32_t kLineBytes = 64;
+inline constexpr std::uint32_t kLineShift = 6;  // log2(kLineBytes)
+inline constexpr std::uint32_t kPageBytes = 4096;
+inline constexpr std::uint32_t kPageShift = 12;  // log2(kPageBytes)
+inline constexpr std::uint32_t kLinesPerPage = kPageBytes / kLineBytes;  // 64
+
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+inline constexpr BankId kNoBank = std::numeric_limits<BankId>::max();
+
+/// Byte address -> cache-line (block) address.
+constexpr BlockAddr lineOf(Addr a) { return a >> kLineShift; }
+/// Cache-line address -> first byte address of the line.
+constexpr Addr lineBase(BlockAddr b) { return b << kLineShift; }
+/// Byte address -> virtual/physical page number.
+constexpr Addr pageOf(Addr a) { return a >> kPageShift; }
+/// Index of a line within its 4 KB page, in [0, kLinesPerPage).
+constexpr std::uint32_t lineIndexInPage(Addr a) {
+  return static_cast<std::uint32_t>((a >> kLineShift) & (kLinesPerPage - 1));
+}
+/// Byte offset within the cache line.
+constexpr std::uint32_t lineOffset(Addr a) { return static_cast<std::uint32_t>(a & (kLineBytes - 1)); }
+
+/// Kind of a dynamic instruction produced by the workload generator.
+enum class InstrKind : std::uint8_t {
+  Alu,    ///< Any non-memory instruction (1-cycle latency).
+  Load,   ///< Demand load; may stall dependents and the ROB head.
+  Store,  ///< Store; retires from a store buffer, never stalls commit.
+};
+
+/// Memory access type as seen by the cache hierarchy.
+enum class AccessType : std::uint8_t { Read, Write };
+
+}  // namespace renuca

@@ -1,0 +1,66 @@
+#include "core/cpt.hpp"
+
+#include "common/log.hpp"
+
+namespace renuca::core {
+
+CriticalityPredictorTable::CriticalityPredictorTable(const CptConfig& config)
+    : cfg_(config), stats_("cpt") {
+  RENUCA_ASSERT(cfg_.capacity > 0, "CPT capacity must be non-zero");
+  RENUCA_ASSERT(cfg_.thresholdPct > 0.0 && cfg_.thresholdPct <= 100.0,
+                "criticality threshold must be in (0, 100]");
+}
+
+bool CriticalityPredictorTable::predict(std::uint64_t pc) {
+  auto it = table_.find(pc);
+  if (it == table_.end()) {
+    // First touch: the paper assumes a line non-critical until shown
+    // otherwise (lifetime is prioritized over performance, §IV).
+    stats_.inc("cold_lookups");
+    return cfg_.coldPredictsCritical;
+  }
+  const Counters& c = it->second.counters;
+  stats_.inc("lookups");
+  // robBlockCount >= x% of numLoadsCount  (integer-free comparison).
+  bool critical =
+      static_cast<double>(c.robBlockCount) * 100.0 >=
+      cfg_.thresholdPct * static_cast<double>(c.numLoadsCount);
+  stats_.inc(critical ? "predict_critical" : "predict_noncritical");
+  return critical;
+}
+
+bool CriticalityPredictorTable::hasEntry(std::uint64_t pc) const {
+  return table_.find(pc) != table_.end();
+}
+
+void CriticalityPredictorTable::train(std::uint64_t pc, bool stalledRobHead) {
+  auto it = table_.find(pc);
+  if (it == table_.end()) {
+    if (table_.size() >= cfg_.capacity) {
+      // FIFO eviction of the oldest PC.
+      std::uint64_t victim = fifo_.front();
+      fifo_.pop_front();
+      table_.erase(victim);
+      stats_.inc("evictions");
+    }
+    fifo_.push_back(pc);
+    Entry e;
+    e.counters.numLoadsCount = 1;
+    e.counters.robBlockCount = stalledRobHead ? 1 : 0;
+    e.fifoIt = std::prev(fifo_.end());
+    table_.emplace(pc, e);
+    stats_.inc("insertions");
+    return;
+  }
+  Counters& c = it->second.counters;
+  ++c.numLoadsCount;
+  if (stalledRobHead) ++c.robBlockCount;
+}
+
+CriticalityPredictorTable::Counters CriticalityPredictorTable::countersFor(
+    std::uint64_t pc) const {
+  auto it = table_.find(pc);
+  return it == table_.end() ? Counters{} : it->second.counters;
+}
+
+}  // namespace renuca::core

@@ -1,0 +1,69 @@
+// Criticality Predictor Table (paper §IV.B).
+//
+// A PC-indexed table adapted from the Commit Block Predictor of Ghose et
+// al. (ISCA'13), stripped down as the paper describes: per load PC it
+// keeps only
+//
+//   numLoadsCount  — dynamic loads issued by this PC, and
+//   robBlockCount  — how many of them blocked the ROB head,
+//
+// and predicts a load critical when
+//
+//   robBlockCount >= (threshold% ) * numLoadsCount.
+//
+// The paper sweeps the threshold over {3,5,10,20,25,33,50,75,100}% and
+// settles on 3% (Fig 7).  No stall-duration state is kept — the predictor
+// outputs a single criticality bit for the mapping logic.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "cpu/core.hpp"
+
+namespace renuca::core {
+
+struct CptConfig {
+  double thresholdPct = 3.0;     ///< Criticality threshold x (percent).
+  std::uint32_t capacity = 4096; ///< Max tracked PCs; FIFO eviction beyond.
+  /// Cold-lookup verdict.  The paper assumes a first-touch line is
+  /// non-critical (placed with S-NUCA, lifetime first); flipping this is
+  /// the first-touch ablation (bench_ablation_design).
+  bool coldPredictsCritical = false;
+};
+
+class CriticalityPredictorTable final : public cpu::CriticalityPredictor {
+ public:
+  explicit CriticalityPredictorTable(const CptConfig& config);
+
+  // cpu::CriticalityPredictor
+  bool predict(std::uint64_t pc) override;
+  bool hasEntry(std::uint64_t pc) const override;
+  void train(std::uint64_t pc, bool stalledRobHead) override;
+
+  /// Counters for a PC (tests / introspection); zeros if not tracked.
+  struct Counters {
+    std::uint64_t numLoadsCount = 0;
+    std::uint64_t robBlockCount = 0;
+  };
+  Counters countersFor(std::uint64_t pc) const;
+
+  std::size_t size() const { return table_.size(); }
+  const CptConfig& config() const { return cfg_; }
+  const StatSet& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Counters counters;
+    std::list<std::uint64_t>::iterator fifoIt;
+  };
+
+  CptConfig cfg_;
+  std::unordered_map<std::uint64_t, Entry> table_;
+  std::list<std::uint64_t> fifo_;  ///< Insertion order for eviction.
+  StatSet stats_;
+};
+
+}  // namespace renuca::core

@@ -1,0 +1,63 @@
+// NUCA block-placement policy interface (the paper's design space).
+//
+// A policy answers two questions:
+//
+//  * locate()    — given a block and its requesting core, which bank must
+//                  hold the block if it is resident?  Used on every LLC
+//                  lookup and write-back.  For Re-NUCA the answer depends
+//                  on the line's Mapping Bit Vector bit (rnucaBit); every
+//                  other policy ignores it.
+//  * placeFill() — which bank should a newly fetched block be allocated
+//                  into?  For Re-NUCA this consults the criticality
+//                  verdict; for Naive it consults per-bank write counts.
+//
+// Invariant (property-tested): a block placed by placeFill(...) must be
+// found by locate(...) given the MBV bit placeFill reported — otherwise
+// resident lines would be lost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace renuca::core {
+
+enum class PolicyKind : std::uint8_t { SNuca, RNuca, Private, Naive, ReNuca };
+
+const char* toString(PolicyKind kind);
+PolicyKind policyFromString(const std::string& name);
+
+class MappingPolicy {
+ public:
+  virtual ~MappingPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+
+  /// Bank holding the block if resident.  `rnucaBit` is the line's MBV bit
+  /// (true = placed with the R-NUCA function); only Re-NUCA consults it.
+  virtual BankId locate(BlockAddr block, CoreId requester, bool rnucaBit) const = 0;
+
+  struct Fill {
+    BankId bank = 0;
+    /// True if the R-NUCA mapping function was used — the value to store
+    /// into the Mapping Bit Vector.
+    bool usedRnuca = false;
+  };
+  /// Bank to allocate a fill into; `critical` is the criticality
+  /// predictor's verdict for the access that triggered the fill.
+  virtual Fill placeFill(BlockAddr block, CoreId requester, bool critical) = 0;
+
+  /// Fill/evict notifications for policies with placement state (Naive's
+  /// line directory).  Default: stateless.
+  virtual void onFill(BlockAddr block, BankId bank) { (void)block, (void)bank; }
+  virtual void onEvict(BlockAddr block, BankId bank) { (void)block, (void)bank; }
+
+  /// True if the policy stores placement decisions in the enhanced TLB's
+  /// Mapping Bit Vector (only Re-NUCA).
+  virtual bool needsMbv() const { return false; }
+  /// True if the policy needs a criticality predictor.
+  virtual bool needsPredictor() const { return false; }
+};
+
+}  // namespace renuca::core

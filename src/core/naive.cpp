@@ -1,0 +1,53 @@
+#include "core/naive.hpp"
+
+#include "common/log.hpp"
+
+namespace renuca::core {
+
+NaivePolicy::NaivePolicy(std::uint32_t numBanks,
+                         std::function<std::uint64_t(BankId)> bankWrites)
+    : numBanks_(numBanks), bankWrites_(std::move(bankWrites)) {
+  RENUCA_ASSERT(numBanks > 0, "naive policy needs banks");
+  RENUCA_ASSERT(static_cast<bool>(bankWrites_), "naive policy needs the write oracle");
+}
+
+BankId NaivePolicy::locate(BlockAddr block, CoreId, bool) const {
+  auto it = directory_.find(block);
+  // Non-resident blocks have no home under Naive; report where the next
+  // fill would go so the lookup misses in a well-defined bank.
+  if (it == directory_.end()) {
+    BankId best = 0;
+    std::uint64_t bestWrites = bankWrites_(0);
+    for (BankId b = 1; b < numBanks_; ++b) {
+      std::uint64_t w = bankWrites_(b);
+      if (w < bestWrites) {
+        bestWrites = w;
+        best = b;
+      }
+    }
+    return best;
+  }
+  return it->second;
+}
+
+MappingPolicy::Fill NaivePolicy::placeFill(BlockAddr, CoreId, bool) {
+  BankId best = 0;
+  std::uint64_t bestWrites = bankWrites_(0);
+  for (BankId b = 1; b < numBanks_; ++b) {
+    std::uint64_t w = bankWrites_(b);
+    if (w < bestWrites) {
+      bestWrites = w;
+      best = b;
+    }
+  }
+  return Fill{best, /*usedRnuca=*/false};
+}
+
+void NaivePolicy::onFill(BlockAddr block, BankId bank) { directory_[block] = bank; }
+
+void NaivePolicy::onEvict(BlockAddr block, BankId bank) {
+  auto it = directory_.find(block);
+  if (it != directory_.end() && it->second == bank) directory_.erase(it);
+}
+
+}  // namespace renuca::core

@@ -1,0 +1,51 @@
+#include "core/policy_factory.hpp"
+
+#include "common/log.hpp"
+#include "core/naive.hpp"
+#include "core/private_policy.hpp"
+#include "core/renuca_policy.hpp"
+#include "core/rnuca.hpp"
+#include "core/snuca.hpp"
+
+namespace renuca::core {
+
+const char* toString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::SNuca: return "S-NUCA";
+    case PolicyKind::RNuca: return "R-NUCA";
+    case PolicyKind::Private: return "Private";
+    case PolicyKind::Naive: return "Naive";
+    case PolicyKind::ReNuca: return "Re-NUCA";
+  }
+  return "?";
+}
+
+PolicyKind policyFromString(const std::string& name) {
+  if (name == "snuca" || name == "S-NUCA") return PolicyKind::SNuca;
+  if (name == "rnuca" || name == "R-NUCA") return PolicyKind::RNuca;
+  if (name == "private" || name == "Private") return PolicyKind::Private;
+  if (name == "naive" || name == "Naive") return PolicyKind::Naive;
+  if (name == "renuca" || name == "Re-NUCA") return PolicyKind::ReNuca;
+  RENUCA_ASSERT(false, "unknown policy name: " + name);
+}
+
+std::unique_ptr<MappingPolicy> makePolicy(PolicyKind kind, const noc::MeshNoc& mesh,
+                                          const PolicyOptions& options) {
+  switch (kind) {
+    case PolicyKind::SNuca:
+      return std::make_unique<SNucaPolicy>(mesh.numNodes());
+    case PolicyKind::RNuca:
+      return std::make_unique<RNucaPolicy>(mesh, options.clusterSize);
+    case PolicyKind::Private:
+      return std::make_unique<PrivatePolicy>(mesh.numNodes());
+    case PolicyKind::Naive:
+      RENUCA_ASSERT(static_cast<bool>(options.bankWrites),
+                    "Naive policy requires the bank-write oracle");
+      return std::make_unique<NaivePolicy>(mesh.numNodes(), options.bankWrites);
+    case PolicyKind::ReNuca:
+      return std::make_unique<ReNucaPolicy>(mesh, options.clusterSize);
+  }
+  RENUCA_ASSERT(false, "unhandled policy kind");
+}
+
+}  // namespace renuca::core

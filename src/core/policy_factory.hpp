@@ -1,0 +1,23 @@
+// Construction of mapping policies by kind.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/mapping_policy.hpp"
+#include "noc/mesh.hpp"
+
+namespace renuca::core {
+
+struct PolicyOptions {
+  std::uint32_t clusterSize = 4;  ///< R-NUCA / Re-NUCA cluster size.
+  /// Oracle per-bank write counts; required by Naive, ignored otherwise.
+  std::function<std::uint64_t(BankId)> bankWrites;
+};
+
+/// Builds a policy for a mesh of LLC banks.  Aborts if Naive is requested
+/// without a write oracle.
+std::unique_ptr<MappingPolicy> makePolicy(PolicyKind kind, const noc::MeshNoc& mesh,
+                                          const PolicyOptions& options = {});
+
+}  // namespace renuca::core

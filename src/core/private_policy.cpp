@@ -1,0 +1,21 @@
+#include "core/private_policy.hpp"
+
+#include "common/log.hpp"
+
+namespace renuca::core {
+
+PrivatePolicy::PrivatePolicy(std::uint32_t numBanks) : numBanks_(numBanks) {
+  RENUCA_ASSERT(numBanks > 0, "private policy needs banks");
+}
+
+BankId PrivatePolicy::locate(BlockAddr, CoreId requester, bool) const {
+  RENUCA_ASSERT(requester < numBanks_, "requester beyond bank count");
+  return requester;
+}
+
+MappingPolicy::Fill PrivatePolicy::placeFill(BlockAddr, CoreId requester, bool) {
+  RENUCA_ASSERT(requester < numBanks_, "requester beyond bank count");
+  return Fill{requester, /*usedRnuca=*/false};
+}
+
+}  // namespace renuca::core

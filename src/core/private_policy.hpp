@@ -1,0 +1,25 @@
+// Private LLC: each core owns its local bank outright (paper's "Private"
+// baseline: 16 private 2 MB L3 slices).
+//
+// Zero network distance and no inter-core interference, so the best IPC of
+// the realizable schemes — but writes concentrate entirely in the local
+// bank, giving the worst lifetime, and capacity cannot be shared.
+#pragma once
+
+#include "core/mapping_policy.hpp"
+
+namespace renuca::core {
+
+class PrivatePolicy final : public MappingPolicy {
+ public:
+  explicit PrivatePolicy(std::uint32_t numBanks);
+
+  PolicyKind kind() const override { return PolicyKind::Private; }
+  BankId locate(BlockAddr block, CoreId requester, bool rnucaBit) const override;
+  Fill placeFill(BlockAddr block, CoreId requester, bool critical) override;
+
+ private:
+  std::uint32_t numBanks_;
+};
+
+}  // namespace renuca::core

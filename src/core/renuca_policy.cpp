@@ -1,0 +1,21 @@
+#include "core/renuca_policy.hpp"
+
+namespace renuca::core {
+
+ReNucaPolicy::ReNucaPolicy(const noc::MeshNoc& mesh, std::uint32_t clusterSize)
+    : snuca_(mesh.numNodes()), rnuca_(mesh, clusterSize) {}
+
+BankId ReNucaPolicy::locate(BlockAddr block, CoreId requester, bool rnucaBit) const {
+  return rnucaBit ? rnuca_.locate(block, requester, true)
+                  : snuca_.locate(block, requester, false);
+}
+
+MappingPolicy::Fill ReNucaPolicy::placeFill(BlockAddr block, CoreId requester,
+                                            bool critical) {
+  if (critical) {
+    return rnuca_.placeFill(block, requester, critical);  // usedRnuca = true
+  }
+  return snuca_.placeFill(block, requester, critical);  // usedRnuca = false
+}
+
+}  // namespace renuca::core

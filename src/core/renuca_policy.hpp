@@ -1,0 +1,44 @@
+// Re-NUCA: the paper's contribution (§IV).
+//
+// A hybrid of R-NUCA and S-NUCA keyed on performance criticality:
+//
+//  * a fill whose triggering load the Criticality Predictor Table marks
+//    *critical* is placed with the R-NUCA function — in the requesting
+//    core's one-hop cluster, for low latency;
+//  * everything else (non-critical loads, store-triggered fills) is placed
+//    with S-NUCA — spread over all 16 banks, wear-leveling the ReRAM.
+//
+// The function used per line is remembered in the enhanced TLB's Mapping
+// Bit Vector (tlb::EnhancedTlb); lookups pass that bit back in as
+// `rnucaBit` so resident lines are always found.  A line keeps its mapping
+// for its whole LLC residency and the bit resets on eviction.  First touch
+// defaults to non-critical (the CPT predicts non-critical on a cold
+// lookup — the paper's lifetime-first choice; CptConfig::coldPredictsCritical
+// flips it for the first-touch ablation).
+#pragma once
+
+#include "core/mapping_policy.hpp"
+#include "core/rnuca.hpp"
+#include "core/snuca.hpp"
+
+namespace renuca::core {
+
+class ReNucaPolicy final : public MappingPolicy {
+ public:
+  ReNucaPolicy(const noc::MeshNoc& mesh, std::uint32_t clusterSize = 4);
+
+  PolicyKind kind() const override { return PolicyKind::ReNuca; }
+  BankId locate(BlockAddr block, CoreId requester, bool rnucaBit) const override;
+  Fill placeFill(BlockAddr block, CoreId requester, bool critical) override;
+  bool needsMbv() const override { return true; }
+  bool needsPredictor() const override { return true; }
+
+  const RNucaPolicy& rnuca() const { return rnuca_; }
+  const SNucaPolicy& snuca() const { return snuca_; }
+
+ private:
+  SNucaPolicy snuca_;
+  RNucaPolicy rnuca_;
+};
+
+}  // namespace renuca::core

@@ -1,0 +1,74 @@
+#include "core/rnuca.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace renuca::core {
+
+RNucaPolicy::RNucaPolicy(const noc::MeshNoc& mesh, std::uint32_t clusterSize)
+    : clusterSize_(clusterSize), numBanks_(mesh.numNodes()) {
+  RENUCA_ASSERT(isPow2(clusterSize) && clusterSize >= 1,
+                "R-NUCA cluster size must be a power of two");
+  RENUCA_ASSERT(clusterSize <= numBanks_, "cluster larger than the mesh");
+  buildClusters(mesh);
+}
+
+void RNucaPolicy::buildClusters(const noc::MeshNoc& mesh) {
+  const std::uint32_t w = mesh.config().width;
+  const std::uint32_t h = mesh.config().height;
+  clusters_.resize(numBanks_);
+  rid_.resize(numBanks_);
+
+  for (std::uint32_t c = 0; c < numBanks_; ++c) {
+    const std::uint32_t x = mesh.xOf(c), y = mesh.yOf(c);
+    // Rotational interleaving (R-NUCA §4): neighbours get different RIDs
+    // so overlapping clusters rotate which member takes which address slot.
+    rid_[c] = (x + 2 * y) % clusterSize_;
+
+    // Cluster members are the clusterSize banks nearest the core: the
+    // core's own bank, then 1-hop neighbours, then (at mesh edges and for
+    // larger clusters) the next ring out.  Ties break by bank id so the
+    // construction is deterministic.
+    std::vector<BankId> cand(numBanks_);
+    for (BankId b = 0; b < numBanks_; ++b) cand[b] = b;
+    std::stable_sort(cand.begin(), cand.end(), [&](BankId a, BankId b) {
+      return mesh.hopCount(c, a) < mesh.hopCount(c, b);
+    });
+    RENUCA_ASSERT(cand.size() >= clusterSize_, "mesh too small for cluster");
+    cand.resize(clusterSize_);
+    clusters_[c] = std::move(cand);
+    (void)x;
+    (void)y;
+    (void)w;
+    (void)h;
+  }
+}
+
+const std::vector<BankId>& RNucaPolicy::clusterOf(CoreId core) const {
+  RENUCA_ASSERT(core < clusters_.size(), "core out of range");
+  return clusters_[core];
+}
+
+std::uint32_t RNucaPolicy::rotationalId(CoreId core) const {
+  RENUCA_ASSERT(core < rid_.size(), "core out of range");
+  return rid_[core];
+}
+
+BankId RNucaPolicy::mapBank(BlockAddr block, CoreId requester) const {
+  const std::vector<BankId>& cluster = clusters_[requester];
+  std::uint32_t slot =
+      static_cast<std::uint32_t>((block + rid_[requester] + 1) & (clusterSize_ - 1));
+  return cluster[slot];
+}
+
+BankId RNucaPolicy::locate(BlockAddr block, CoreId requester, bool) const {
+  return mapBank(block, requester);
+}
+
+MappingPolicy::Fill RNucaPolicy::placeFill(BlockAddr block, CoreId requester, bool) {
+  return Fill{mapBank(block, requester), /*usedRnuca=*/true};
+}
+
+}  // namespace renuca::core

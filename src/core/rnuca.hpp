@@ -1,0 +1,49 @@
+// Reactive NUCA (Hardavellas et al., ISCA'09) as used by the paper.
+//
+// Each core owns a fixed-size cluster of n = 4 banks, all as close to the
+// core as the mesh allows (at most one hop for interior cores; mesh edges
+// fall back to the nearest available neighbours).  Blocks map within the
+// cluster by the paper's rotational function:
+//
+//     DestinationBank = cluster[(Addr + RID + 1) & (n - 1)]
+//
+// where RID is the core's rotational ID.  Clusters of neighbouring cores
+// overlap, so a write-intensive core hammers its own neighbourhood — the
+// wear-imbalance Re-NUCA fixes.
+#pragma once
+
+#include <vector>
+
+#include "core/mapping_policy.hpp"
+#include "noc/mesh.hpp"
+
+namespace renuca::core {
+
+class RNucaPolicy final : public MappingPolicy {
+ public:
+  /// `clusterSize` must be a power of two (paper: 4); the mesh supplies
+  /// the geometry for cluster construction.
+  RNucaPolicy(const noc::MeshNoc& mesh, std::uint32_t clusterSize = 4);
+
+  PolicyKind kind() const override { return PolicyKind::RNuca; }
+  BankId locate(BlockAddr block, CoreId requester, bool rnucaBit) const override;
+  Fill placeFill(BlockAddr block, CoreId requester, bool critical) override;
+
+  /// The cluster banks of a core, in rotational order (tests).
+  const std::vector<BankId>& clusterOf(CoreId core) const;
+  std::uint32_t rotationalId(CoreId core) const;
+  std::uint32_t clusterSize() const { return clusterSize_; }
+
+  /// The pure mapping function, shared with Re-NUCA.
+  BankId mapBank(BlockAddr block, CoreId requester) const;
+
+ private:
+  void buildClusters(const noc::MeshNoc& mesh);
+
+  std::uint32_t clusterSize_;
+  std::uint32_t numBanks_;
+  std::vector<std::vector<BankId>> clusters_;  // [core] -> banks
+  std::vector<std::uint32_t> rid_;             // [core] -> rotational id
+};
+
+}  // namespace renuca::core

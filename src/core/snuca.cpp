@@ -1,0 +1,19 @@
+#include "core/snuca.hpp"
+
+#include "common/log.hpp"
+
+namespace renuca::core {
+
+SNucaPolicy::SNucaPolicy(std::uint32_t numBanks) : numBanks_(numBanks) {
+  RENUCA_ASSERT(numBanks > 0, "S-NUCA needs at least one bank");
+}
+
+BankId SNucaPolicy::locate(BlockAddr block, CoreId, bool) const {
+  return mapBank(block, numBanks_);
+}
+
+MappingPolicy::Fill SNucaPolicy::placeFill(BlockAddr block, CoreId, bool) {
+  return Fill{mapBank(block, numBanks_), /*usedRnuca=*/false};
+}
+
+}  // namespace renuca::core

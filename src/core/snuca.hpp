@@ -1,0 +1,30 @@
+// Static NUCA: the block address picks the bank (paper §II.B).
+//
+// Low-order block-address bits interleave lines across all banks, so every
+// core's traffic — and every core's *writes* — spreads uniformly over the
+// cache.  Best baseline wear-leveling among the realizable schemes, at the
+// cost of average NoC distance on every access.
+#pragma once
+
+#include "core/mapping_policy.hpp"
+
+namespace renuca::core {
+
+class SNucaPolicy final : public MappingPolicy {
+ public:
+  explicit SNucaPolicy(std::uint32_t numBanks);
+
+  PolicyKind kind() const override { return PolicyKind::SNuca; }
+  BankId locate(BlockAddr block, CoreId requester, bool rnucaBit) const override;
+  Fill placeFill(BlockAddr block, CoreId requester, bool critical) override;
+
+  /// The pure mapping function, shared with Re-NUCA.
+  static BankId mapBank(BlockAddr block, std::uint32_t numBanks) {
+    return static_cast<BankId>(block % numBanks);
+  }
+
+ private:
+  std::uint32_t numBanks_;
+};
+
+}  // namespace renuca::core

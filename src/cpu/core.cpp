@@ -1,0 +1,233 @@
+#include "cpu/core.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace renuca::cpu {
+
+OooCore::OooCore(const CoreConfig& config, CoreId id, workload::InstructionSource* source,
+                 MemorySystem* mem, CriticalityPredictor* predictor,
+                 std::uint64_t instrBudget)
+    : cfg_(config), id_(id), source_(source), mem_(mem), predictor_(predictor),
+      instrBudget_(instrBudget), mshr_(config.mshrEntries),
+      storeBuffer_(config.storeBufferEntries), history_(kHistory, 0) {
+  RENUCA_ASSERT(source_ != nullptr && mem_ != nullptr, "core needs a source and memory");
+  RENUCA_ASSERT(cfg_.robEntries > 0 && cfg_.fetchWidth > 0 && cfg_.commitWidth > 0,
+                "core widths must be non-zero");
+  RENUCA_ASSERT(cfg_.robEntries <= kHistory, "ROB larger than the dependence history");
+}
+
+OooCore::RobEntry* OooCore::entryFor(std::uint64_t seq) {
+  if (seq < headSeq_) return nullptr;  // already committed
+  std::size_t idx = static_cast<std::size_t>(seq - headSeq_);
+  if (idx >= rob_.size()) return nullptr;
+  return &rob_[idx];
+}
+
+void OooCore::resolve(std::uint64_t seq, Cycle completeAt) {
+  // Worklist of (entry, known completion) pairs: marking one entry
+  // resolved wakes its waiters — ALU waiters resolve immediately (their
+  // latency is fixed), memory waiters move to the issue queue.  Iterative
+  // so long ALU chains cannot overflow the stack.
+  std::vector<std::pair<std::uint64_t, Cycle>> work;
+  work.emplace_back(seq, completeAt);
+  while (!work.empty()) {
+    auto [s, t] = work.back();
+    work.pop_back();
+    RobEntry* e = entryFor(s);
+    RENUCA_ASSERT(e != nullptr && !e->resolved, "resolve of missing/resolved entry");
+    e->resolved = true;
+    e->completeAt = t;
+    history_[s % kHistory] = t;
+    for (std::uint64_t w : e->waiters) {
+      RobEntry* we = entryFor(w);
+      RENUCA_ASSERT(we != nullptr && !we->resolved, "waiter vanished before wakeup");
+      Cycle ready = std::max(we->dispatchedAt, t);
+      if (we->kind == InstrKind::Alu) {
+        work.emplace_back(w, ready + cfg_.aluLatency);
+      } else {
+        issueQueue_.push(ReadyOp{ready, w});
+      }
+    }
+    e->waiters.clear();
+  }
+}
+
+void OooCore::commit(Cycle now) {
+  std::uint32_t retired = 0;
+  while (!rob_.empty() && retired < cfg_.commitWidth) {
+    RobEntry& head = rob_.front();
+    if (!head.resolved || head.completeAt > now) break;
+
+    if (head.kind == InstrKind::Load) {
+      ++stats_.loads;
+      // Critical ground truth: the load blocked in-order commit for at
+      // least headStallCycles cycles while at the ROB head.
+      bool stalled = head.headBlockedSince != kNoCycle &&
+                     head.completeAt >= head.headBlockedSince + cfg_.headStallCycles;
+      if (stalled) {
+        ++stats_.loadsStalledHead;
+        if (head.predictedCritical) ++stats_.criticalLoadsCaught;
+      }
+      if (head.predictionValid) {
+        ++stats_.cptPredictions;
+        if (head.predictedCritical == stalled) ++stats_.cptCorrect;
+      }
+      if (head.predictedCritical) ++stats_.predictedCriticalLoads;
+      if (predictor_) predictor_->train(head.pc, stalled);
+    } else if (head.kind == InstrKind::Store) {
+      ++stats_.stores;
+    }
+
+    ++stats_.committed;
+    if (stats_.committed == instrBudget_) stats_.doneCycle = now;
+    rob_.pop_front();
+    ++headSeq_;
+    ++retired;
+  }
+
+  // Head-stall bookkeeping: if commit is now blocked on an incomplete
+  // instruction, remember when the blocking began.
+  if (!rob_.empty()) {
+    RobEntry& head = rob_.front();
+    if (!head.resolved || head.completeAt > now) {
+      if (head.headBlockedSince == kNoCycle) head.headBlockedSince = now;
+      if (head.kind == InstrKind::Load) ++stats_.robHeadStallCycles;
+    }
+  }
+}
+
+bool OooCore::tryIssue(std::uint64_t seq, Cycle now) {
+  RobEntry* e = entryFor(seq);
+  RENUCA_ASSERT(e != nullptr && !e->resolved, "issue of missing/resolved mem op");
+
+  if (e->kind == InstrKind::Load) {
+    BlockAddr block = lineOf(e->vaddr);
+    // Merge with an outstanding miss to the same block: the data arrives
+    // with the first miss.
+    if (auto pendingAt = mshr_.pendingCompletion(block, now)) {
+      resolve(seq, std::max(*pendingAt, now + 1));
+      return true;
+    }
+    Cycle free = mshr_.earliestFree(now);
+    if (free > now) {
+      issueQueue_.push(ReadyOp{free, seq});
+      return false;
+    }
+    bool critical = false;
+    if (predictor_) {
+      e->predictionValid = predictor_->hasEntry(e->pc);
+      critical = predictor_->predict(e->pc);
+    }
+    e->predictedCritical = critical;
+    MemorySystem::LoadResult res = mem_->load(id_, e->vaddr, e->pc, now, critical);
+    if (res.missedL1) mshr_.add(block, now, res.completeAt);
+    resolve(seq, res.completeAt);
+    return true;
+  }
+
+  // Store: needs a store-buffer entry; the ROB entry completes at issue
+  // (stores retire via the buffer and never stall commit directly — a
+  // full buffer back-pressures by delaying this issue).
+  Cycle free = storeBuffer_.earliestFree(now);
+  if (free > now) {
+    issueQueue_.push(ReadyOp{free, seq});
+    return false;
+  }
+  Cycle memDone = mem_->store(id_, e->vaddr, e->pc, now);
+  storeBuffer_.add(lineOf(e->vaddr), now, memDone);
+  resolve(seq, std::max(now, Cycle{1}));
+  return true;
+}
+
+void OooCore::issueMemory(Cycle now) {
+  std::uint32_t issued = 0;
+  while (!issueQueue_.empty() && issued < cfg_.memIssueWidth) {
+    ReadyOp top = issueQueue_.top();
+    if (top.readyAt > now) break;
+    issueQueue_.pop();
+    // Structural-hazard re-queues come back with a strictly future
+    // readyAt (MSHR/store-buffer earliestFree is > now when full), so the
+    // loop cannot spin on one op.
+    if (tryIssue(top.seq, now)) ++issued;
+  }
+}
+
+void OooCore::dispatch(Cycle now) {
+  for (std::uint32_t i = 0; i < cfg_.fetchWidth; ++i) {
+    if (rob_.size() >= cfg_.robEntries) return;
+    if (source_->exhausted()) return;
+
+    workload::TraceRecord rec = source_->next();
+    std::uint64_t seq = nextSeq_++;
+    rob_.push_back(RobEntry{});
+    RobEntry& e = rob_.back();
+    e.pc = rec.pc;
+    e.vaddr = rec.vaddr;
+    e.kind = rec.kind;
+    e.dispatchedAt = now;
+
+    // Resolve the producer (single-dependence model).
+    Cycle depReady = 0;
+    bool depPending = false;
+    std::uint64_t producer = 0;
+    if (rec.depDist > 0 && rec.depDist <= seq) {
+      producer = seq - rec.depDist;
+      if (RobEntry* pe = entryFor(producer)) {
+        if (pe->resolved) {
+          depReady = pe->completeAt;
+        } else {
+          depPending = true;
+        }
+      } else {
+        // Producer already committed; its completion is in the history
+        // ring (kHistory >= robEntries + commit slack keeps it valid).
+        if (seq - producer < kHistory) depReady = history_[producer % kHistory];
+      }
+    }
+
+    if (depPending) {
+      entryFor(producer)->waiters.push_back(seq);
+      continue;  // resolution happens at producer wakeup
+    }
+
+    Cycle ready = std::max(now, depReady);
+    if (rec.kind == InstrKind::Alu) {
+      e.resolved = true;
+      e.completeAt = ready + cfg_.aluLatency;
+      history_[seq % kHistory] = e.completeAt;
+    } else {
+      issueQueue_.push(ReadyOp{ready, seq});
+    }
+  }
+}
+
+void OooCore::tick(Cycle now) {
+  commit(now);
+  issueMemory(now);
+  if (runPastBudget_ || !done()) {
+    dispatch(now);
+  }
+}
+
+Cycle OooCore::nextEventCycle(Cycle now) const {
+  if (!runPastBudget_ && done() && rob_.empty()) return kNoCycle;
+  // Room to dispatch: the core acts next cycle.
+  if (rob_.size() < cfg_.robEntries && !source_->exhausted() &&
+      (runPastBudget_ || !done())) {
+    return now + 1;
+  }
+  Cycle next = kNoCycle;
+  if (!rob_.empty()) {
+    const RobEntry& head = rob_.front();
+    if (head.resolved) next = std::min(next, head.completeAt);
+  }
+  if (!issueQueue_.empty()) next = std::min(next, issueQueue_.top().readyAt);
+  if (next == kNoCycle || next <= now) return now + 1;
+  return next;
+}
+
+void OooCore::resetStats() { stats_ = CoreStats{}; }
+
+}  // namespace renuca::cpu

@@ -1,0 +1,90 @@
+#include "dram/dram.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace renuca::dram {
+
+DramAddr mapAddress(Addr paddr, const DramConfig& cfg) {
+  std::uint64_t b = lineOf(paddr);
+  DramAddr a;
+  a.channel = static_cast<std::uint32_t>(b % cfg.channels);
+  b /= cfg.channels;
+  std::uint64_t colLines = std::max<std::uint64_t>(1, (cfg.rowBytes / kLineBytes) / 4);
+  b /= colLines;  // column-within-row window (consecutive lines share a row)
+  a.bank = static_cast<std::uint32_t>(b % cfg.banksPerRank);
+  b /= cfg.banksPerRank;
+  a.rank = static_cast<std::uint32_t>(b % cfg.ranksPerChannel);
+  b /= cfg.ranksPerChannel;
+  a.row = b;
+  // Bank-permutation hash (Zhang et al., MICRO'00): fold several row-bit
+  // groups into the bank index so that power-of-two strides — e.g. an LLC
+  // fill and the eviction it triggers, always one cache-capacity apart —
+  // do not ping-pong two rows in one bank.  Bijective per row, so the
+  // mapping stays 1:1.
+  std::uint64_t fold = a.row ^ (a.row >> 3) ^ (a.row >> 6) ^ (a.row >> 9);
+  a.bank = static_cast<std::uint32_t>((a.bank ^ fold) % cfg.banksPerRank);
+  return a;
+}
+
+DramController::DramController(const DramConfig& config)
+    : cfg_(config), banks_(config.totalBanks()), busBusy_(config.channels),
+      stats_("dram") {
+  RENUCA_ASSERT(cfg_.channels > 0 && cfg_.ranksPerChannel > 0 && cfg_.banksPerRank > 0,
+                "DRAM geometry must be non-zero");
+}
+
+Cycle DramController::access(Addr paddr, AccessType type, Cycle now) {
+  DramAddr a = mapAddress(paddr, cfg_);
+  BankState& bank = banks_[a.flatBank(cfg_)];
+
+  // Refresh: delay requests that land inside a bank's refresh window.
+  if (cfg_.tRefi > 0) {
+    Cycle intoPeriod = now % cfg_.tRefi;
+    if (intoPeriod < cfg_.tRfc) {
+      now += cfg_.tRfc - intoPeriod;
+      stats_.inc("refresh_stalls");
+    }
+  }
+
+  // Row-buffer state is sequenced in processing order (an approximation;
+  // the reservation calendar handles the timing overlap exactly).
+  Cycle bankCycles;
+  if (cfg_.pagePolicy == PagePolicy::Closed) {
+    // Auto-precharge: every access activates a closed row; the precharge
+    // overlaps the next gap, so the visible cost is tRCD + tCL.
+    stats_.inc("row_misses");
+    bankCycles = cfg_.tRcd + cfg_.tCl;
+    bank.rowOpen = false;
+  } else if (bank.rowOpen && bank.openRow == a.row) {
+    stats_.inc("row_hits");
+    bankCycles = cfg_.tCl;
+  } else if (!bank.rowOpen) {
+    stats_.inc("row_misses");
+    bankCycles = cfg_.tRcd + cfg_.tCl;
+  } else {
+    stats_.inc("row_conflicts");
+    bankCycles = cfg_.tRp + cfg_.tRcd + cfg_.tCl;
+  }
+  if (cfg_.pagePolicy == PagePolicy::Open) {
+    bank.rowOpen = true;
+    bank.openRow = a.row;
+  }
+
+  Cycle start = bank.busy.reserve(now, bankCycles + cfg_.tBurst);
+  Cycle columnReady = start + bankCycles;
+  Cycle busStart = busBusy_[a.channel].reserve(columnReady, cfg_.tBurst);
+  Cycle done = busStart + cfg_.tBurst;
+
+  stats_.inc(type == AccessType::Read ? "reads" : "writes");
+  return done;
+}
+
+double DramController::rowHitRate() const {
+  std::uint64_t hits = stats_.get("row_hits");
+  std::uint64_t total = hits + stats_.get("row_misses") + stats_.get("row_conflicts");
+  return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace renuca::dram

@@ -1,0 +1,97 @@
+// DDR3-style main memory model (paper Table I: JEDEC-DDR3, 16 GB, 4
+// channels, 2 ranks/channel, 8 banks/rank, FR-FCFS scheduling).
+//
+// Two models share the address mapping and bank-timing parameters:
+//
+//  * DramController — the fast "occupancy" model used inside the system
+//    simulator.  Requests are serviced in arrival order; per-bank open-row
+//    state gives row hits/misses/conflicts their DDR3 latencies, and
+//    per-bank plus per-channel-bus busy-until reservations provide
+//    queueing.  FR-FCFS's row-hit-first reordering is approximated by the
+//    open-page policy (arrival order is already row-batched for streams).
+//
+//  * FrFcfsQueue (frfcfs.hpp) — a faithful queue-based First-Ready
+//    FCFS scheduler, used by unit tests and micro-benchmarks to validate
+//    the scheduling policy itself.
+//
+// All timings are expressed in CPU cycles at 2.4 GHz.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/busy_calendar.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace renuca::dram {
+
+enum class PagePolicy : std::uint8_t {
+  Open,    ///< Rows stay open after an access (row-buffer hits possible).
+  Closed,  ///< Auto-precharge after every access (uniform latency).
+};
+
+struct DramConfig {
+  std::uint32_t channels = 4;
+  std::uint32_t ranksPerChannel = 2;
+  std::uint32_t banksPerRank = 8;
+  std::uint32_t rowBytes = 8192;
+  // DDR3-1600-ish timings converted to 2.4 GHz CPU cycles (~13.75 ns each).
+  std::uint32_t tRcd = 33;   ///< Activate -> column command.
+  std::uint32_t tRp = 33;    ///< Precharge.
+  std::uint32_t tCl = 33;    ///< Column access (CAS) latency.
+  std::uint32_t tBurst = 12; ///< 64 B burst on the data bus.
+  PagePolicy pagePolicy = PagePolicy::Open;
+  /// Refresh: every tRefi cycles each bank is unavailable for tRfc cycles
+  /// (DDR3: tREFI 7.8 us ~ 18720 cycles, tRFC ~ 260 ns ~ 624 cycles at
+  /// 2.4 GHz).  0 disables refresh (the default model, matching the fast
+  /// occupancy abstraction).
+  std::uint32_t tRefi = 0;
+  std::uint32_t tRfc = 624;
+
+  std::uint32_t totalBanks() const { return channels * ranksPerChannel * banksPerRank; }
+};
+
+/// Decomposed DRAM coordinates for one cache-line address.
+struct DramAddr {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  /// Flat bank index across channels/ranks.
+  std::uint32_t flatBank(const DramConfig& cfg) const {
+    return (channel * cfg.ranksPerChannel + rank) * cfg.banksPerRank + bank;
+  }
+};
+
+/// Line-interleaved address mapping with a column-in-row window so that
+/// streams enjoy row-buffer hits: [offset 6][ch 2][col 5][bank 3][rank 1][row ...].
+DramAddr mapAddress(Addr paddr, const DramConfig& cfg);
+
+class DramController {
+ public:
+  explicit DramController(const DramConfig& config);
+
+  /// Services one 64 B request arriving at `now`; returns the completion
+  /// cycle (data fully transferred).  Writes are modelled with the same
+  /// bank/bus occupancy as reads.
+  Cycle access(Addr paddr, AccessType type, Cycle now);
+
+  const DramConfig& config() const { return cfg_; }
+  const StatSet& stats() const { return stats_; }
+  double rowHitRate() const;
+
+ private:
+  struct BankState {
+    bool rowOpen = false;
+    std::uint64_t openRow = 0;
+    BusyCalendar busy;
+  };
+
+  DramConfig cfg_;
+  std::vector<BankState> banks_;   // flat bank index
+  std::vector<BusyCalendar> busBusy_;  // per channel
+  StatSet stats_;
+};
+
+}  // namespace renuca::dram

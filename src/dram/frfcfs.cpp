@@ -1,0 +1,93 @@
+#include "dram/frfcfs.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace renuca::dram {
+
+FrFcfsQueue::FrFcfsQueue(const DramConfig& config) : cfg_(config) {}
+
+void FrFcfsQueue::push(const MemRequest& request) { queue_.push_back(request); }
+
+std::vector<ServicedRequest> FrFcfsQueue::drainAll() {
+  std::vector<ServicedRequest> out;
+  out.reserve(queue_.size());
+
+  std::vector<BankState> banks(cfg_.totalBanks());
+  std::vector<Cycle> busBusy(cfg_.channels, 0);
+  std::vector<bool> done(queue_.size(), false);
+  std::size_t remaining = queue_.size();
+  Cycle now = 0;
+
+  while (remaining > 0) {
+    // Scheduling epoch: the earliest instant any pending request could
+    // begin service (its arrival, or its bank freeing up — whichever is
+    // later).  FR-FCFS then chooses among everything that has *arrived*
+    // by that epoch: row hits first, then oldest.
+    Cycle epoch = std::numeric_limits<Cycle>::max();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (done[i]) continue;
+      const MemRequest& r = queue_[i];
+      DramAddr a = mapAddress(r.paddr, cfg_);
+      Cycle start = std::max(r.arrival, banks[a.flatBank(cfg_)].busyUntil);
+      epoch = std::min(epoch, start);
+    }
+    RENUCA_ASSERT(epoch != std::numeric_limits<Cycle>::max(),
+                  "drainAll stuck with no candidates");
+    now = std::max(now, epoch);
+
+    std::size_t bestHit = queue_.size(), bestAny = queue_.size();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (done[i]) continue;
+      const MemRequest& r = queue_[i];
+      if (r.arrival > now) continue;
+      DramAddr a = mapAddress(r.paddr, cfg_);
+      const BankState& b = banks[a.flatBank(cfg_)];
+      bool hit = b.rowOpen && b.openRow == a.row;
+      if (hit && (bestHit == queue_.size() || r.arrival < queue_[bestHit].arrival)) {
+        bestHit = i;
+      }
+      if (bestAny == queue_.size() || r.arrival < queue_[bestAny].arrival) {
+        bestAny = i;
+      }
+    }
+    std::size_t pick = bestHit != queue_.size() ? bestHit : bestAny;
+    RENUCA_ASSERT(pick != queue_.size(), "no arrived candidate at epoch");
+
+    const MemRequest& r = queue_[pick];
+    DramAddr a = mapAddress(r.paddr, cfg_);
+    BankState& bank = banks[a.flatBank(cfg_)];
+
+    Cycle start = std::max(now, bank.busyUntil);
+    bool rowHit = bank.rowOpen && bank.openRow == a.row;
+    Cycle columnReady;
+    if (rowHit) {
+      columnReady = start + cfg_.tCl;
+    } else if (!bank.rowOpen) {
+      columnReady = start + cfg_.tRcd + cfg_.tCl;
+    } else {
+      columnReady = start + cfg_.tRp + cfg_.tRcd + cfg_.tCl;
+    }
+    bank.rowOpen = true;
+    bank.openRow = a.row;
+
+    Cycle busStart = std::max(columnReady, busBusy[a.channel]);
+    Cycle finish = busStart + cfg_.tBurst;
+    busBusy[a.channel] = finish;
+    bank.busyUntil = finish;
+
+    out.push_back(ServicedRequest{r, start, finish, rowHit});
+    done[pick] = true;
+    --remaining;
+    // Time only moves forward as requests are dispatched; concurrent banks
+    // are captured by per-bank busyUntil.
+    now = std::max(now, start);
+  }
+
+  queue_.clear();
+  return out;
+}
+
+}  // namespace renuca::dram

@@ -1,0 +1,56 @@
+// Queue-based First-Ready, First-Come-First-Served memory scheduler.
+//
+// This is the reference implementation of the paper's FR-FCFS policy: at
+// every scheduling decision the controller picks, among queued requests,
+// first a row-buffer *hit* for a bank that is ready (oldest such request),
+// otherwise the oldest request overall.  The system simulator uses the
+// faster occupancy model in dram.hpp; this component exists so the policy
+// itself is implemented, testable, and benchmarkable (see
+// tests/test_dram.cpp and bench_micro_components).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/dram.hpp"
+
+namespace renuca::dram {
+
+struct MemRequest {
+  Addr paddr = 0;
+  AccessType type = AccessType::Read;
+  Cycle arrival = 0;
+  std::uint64_t id = 0;  ///< Caller-chosen tag, preserved in the result.
+};
+
+struct ServicedRequest {
+  MemRequest request;
+  Cycle serviceStart = 0;
+  Cycle done = 0;
+  bool rowHit = false;
+};
+
+class FrFcfsQueue {
+ public:
+  explicit FrFcfsQueue(const DramConfig& config);
+
+  void push(const MemRequest& request);
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Services every queued request, honouring arrival times and the
+  /// FR-FCFS priority rule; returns the requests in service order.
+  std::vector<ServicedRequest> drainAll();
+
+ private:
+  struct BankState {
+    bool rowOpen = false;
+    std::uint64_t openRow = 0;
+    Cycle busyUntil = 0;
+  };
+
+  DramConfig cfg_;
+  std::vector<MemRequest> queue_;
+};
+
+}  // namespace renuca::dram

@@ -1,0 +1,222 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+
+namespace renuca::mem {
+
+CacheBank::CacheBank(const CacheConfig& config, std::string name, std::uint64_t seed)
+    : cfg_(config), name_(std::move(name)), numSets_(config.numSets()),
+      rng_(seed ^ 0xcac4ebacull, 0xbadc0ffeull), stats_(name_) {
+  RENUCA_ASSERT(cfg_.ways > 0 && numSets_ > 0, "cache " + name_ + " has zero geometry");
+  RENUCA_ASSERT(cfg_.sizeBytes % (static_cast<std::uint64_t>(cfg_.lineBytes) * cfg_.ways) == 0,
+                "cache " + name_ + " size not divisible by line*ways");
+  frames_.resize(static_cast<std::size_t>(numSets_) * cfg_.ways);
+  if (cfg_.replacement == ReplacementKind::TreePlru) {
+    RENUCA_ASSERT(isPow2(cfg_.ways), "tree-PLRU requires power-of-two ways");
+    plruBits_.assign(numSets_, 0);
+  }
+  if (cfg_.trackFrameWrites) {
+    frameWrites_.assign(frames_.size(), 0);
+  }
+  RENUCA_ASSERT(cfg_.equalChanceEvery == 0 || cfg_.trackFrameWrites,
+                "EqualChance needs frame write counters");
+}
+
+std::optional<std::uint32_t> CacheBank::findWay(std::uint32_t set, BlockAddr block) const {
+  const Frame* base = &frames_[frameIndex(set, 0)];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == block) return w;
+  }
+  return std::nullopt;
+}
+
+bool CacheBank::contains(BlockAddr block) const {
+  return findWay(setOf(block), block).has_value();
+}
+
+void CacheBank::touch(std::uint32_t set, std::uint32_t way) {
+  frames_[frameIndex(set, way)].lastUse = ++useTick_;
+  if (cfg_.replacement == ReplacementKind::TreePlru) {
+    // Walk root->leaf, pointing each node away from the touched way.
+    std::uint32_t bitsv = plruBits_[set];
+    std::uint32_t node = 0;
+    std::uint32_t span = cfg_.ways;
+    std::uint32_t lo = 0;
+    while (span > 1) {
+      std::uint32_t half = span / 2;
+      bool right = way >= lo + half;
+      if (right) {
+        bitsv &= ~(1u << node);  // point left (away from touched)
+        lo += half;
+        node = 2 * node + 2;
+      } else {
+        bitsv |= (1u << node);  // point right
+        node = 2 * node + 1;
+      }
+      span = half;
+    }
+    plruBits_[set] = bitsv;
+  }
+}
+
+std::uint32_t CacheBank::victimWay(std::uint32_t set) {
+  const Frame* base = &frames_[frameIndex(set, 0)];
+  // Invalid frames first, for every policy.
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) return w;
+  }
+  switch (cfg_.replacement) {
+    case ReplacementKind::Lru: {
+      std::uint32_t victim = 0;
+      std::uint64_t best = base[0].lastUse;
+      for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+        if (base[w].lastUse < best) {
+          best = base[w].lastUse;
+          victim = w;
+        }
+      }
+      return victim;
+    }
+    case ReplacementKind::TreePlru: {
+      std::uint32_t bitsv = plruBits_[set];
+      std::uint32_t node = 0;
+      std::uint32_t span = cfg_.ways;
+      std::uint32_t lo = 0;
+      while (span > 1) {
+        std::uint32_t half = span / 2;
+        bool right = (bitsv >> node) & 1u;
+        if (right) {
+          lo += half;
+          node = 2 * node + 2;
+        } else {
+          node = 2 * node + 1;
+        }
+        span = half;
+      }
+      return lo;
+    }
+    case ReplacementKind::Random:
+      return rng_.nextBelow(cfg_.ways);
+  }
+  return 0;
+}
+
+bool CacheBank::access(BlockAddr block, AccessType type) {
+  std::uint32_t set = setOf(block);
+  auto way = findWay(set, block);
+  if (!way) {
+    stats_.inc(type == AccessType::Read ? "read_misses" : "write_misses");
+    return false;
+  }
+  stats_.inc(type == AccessType::Read ? "read_hits" : "write_hits");
+  Frame& f = frames_[frameIndex(set, *way)];
+  if (type == AccessType::Write) {
+    f.dirty = true;
+    recordFrameWrite(set, *way);
+  }
+  touch(set, *way);
+  return true;
+}
+
+Eviction CacheBank::insert(BlockAddr block, bool dirty) {
+  std::uint32_t set = setOf(block);
+  RENUCA_ASSERT(!findWay(set, block).has_value(),
+                "insert of already-resident block in " + name_);
+  std::uint32_t way;
+  if (cfg_.equalChanceEvery != 0 && ++fillTick_ % cfg_.equalChanceEvery == 0) {
+    // Intra-set wear leveling: victimize the coldest frame of the set.
+    way = 0;
+    std::uint64_t best = frameWrites_[frameIndex(set, 0)];
+    for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+      std::uint64_t fw = frameWrites_[frameIndex(set, w)];
+      if (fw < best) {
+        best = fw;
+        way = w;
+      }
+    }
+    stats_.inc("equalchance_redirects");
+  } else {
+    way = victimWay(set);
+  }
+  Frame& f = frames_[frameIndex(set, way)];
+
+  Eviction ev;
+  if (f.valid) {
+    ev.valid = true;
+    ev.block = f.tag;
+    ev.dirty = f.dirty;
+    stats_.inc("evictions");
+    if (f.dirty) stats_.inc("dirty_evictions");
+  }
+  f.tag = block;
+  f.valid = true;
+  f.dirty = dirty;
+  recordFrameWrite(set, way);
+  touch(set, way);
+  stats_.inc("fills");
+  return ev;
+}
+
+std::optional<bool> CacheBank::invalidate(BlockAddr block) {
+  std::uint32_t set = setOf(block);
+  auto way = findWay(set, block);
+  if (!way) return std::nullopt;
+  Frame& f = frames_[frameIndex(set, *way)];
+  bool dirty = f.dirty;
+  f.valid = false;
+  f.dirty = false;
+  stats_.inc("invalidations");
+  return dirty;
+}
+
+bool CacheBank::writebackHit(BlockAddr block) {
+  std::uint32_t set = setOf(block);
+  auto way = findWay(set, block);
+  if (!way) return false;
+  Frame& f = frames_[frameIndex(set, *way)];
+  f.dirty = true;
+  recordFrameWrite(set, *way);
+  stats_.inc("writeback_hits");
+  return true;
+}
+
+Cycle CacheBank::reserve(Cycle now) {
+  return busy_.reserve(now, cfg_.occupancy);
+}
+
+void CacheBank::recordFrameWrite(std::uint32_t set, std::uint32_t way) {
+  ++totalWrites_;
+  if (cfg_.trackFrameWrites) {
+    ++frameWrites_[frameIndex(set, way)];
+  }
+}
+
+std::uint64_t CacheBank::maxFrameWrites() const {
+  if (frameWrites_.empty()) return 0;
+  return *std::max_element(frameWrites_.begin(), frameWrites_.end());
+}
+
+std::uint64_t CacheBank::validLines() const {
+  std::uint64_t n = 0;
+  for (const Frame& f : frames_) n += f.valid ? 1 : 0;
+  return n;
+}
+
+void CacheBank::resetMeasurement() {
+  std::fill(frameWrites_.begin(), frameWrites_.end(), 0ull);
+  totalWrites_ = 0;
+  stats_.clear();
+}
+
+void CacheBank::flushAll() {
+  for (Frame& f : frames_) {
+    f.valid = false;
+    f.dirty = false;
+  }
+  if (!plruBits_.empty()) std::fill(plruBits_.begin(), plruBits_.end(), 0u);
+}
+
+}  // namespace renuca::mem

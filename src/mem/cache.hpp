@@ -1,0 +1,166 @@
+// Generic set-associative cache bank.
+//
+// Used for the private L1/L2 caches and for each of the 16 ReRAM LLC banks.
+// The bank is *functional* (it tracks real tags, so hit rates emerge from
+// the access stream) plus lightly *temporal*: a busy-until reservation
+// models bank occupancy so that concurrent requests to one bank serialize —
+// the effect that makes the paper's Naive policy slow.
+//
+// For ReRAM banks, every data write into a frame (a miss fill or a
+// write-back landing in the bank) bumps a per-frame write counter; the
+// rram module turns the counters into bank lifetimes (a frame dies when it
+// exceeds the cell endurance, and the hottest frame bounds the bank).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/busy_calendar.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace renuca::mem {
+
+enum class ReplacementKind : std::uint8_t { Lru, TreePlru, Random };
+
+struct CacheConfig {
+  std::uint64_t sizeBytes = 32 * 1024;
+  std::uint32_t ways = 4;
+  std::uint32_t lineBytes = kLineBytes;
+  std::uint32_t latency = 2;    ///< Access latency in cycles.
+  std::uint32_t occupancy = 1;  ///< Cycles the bank stays busy per access.
+  ReplacementKind replacement = ReplacementKind::Lru;
+  bool trackFrameWrites = false;  ///< Enable ReRAM endurance accounting.
+  /// Low block-address bits skipped before set indexing.  NUCA banks must
+  /// set this to log2(numBanks): the low bits select the bank (S-NUCA) or
+  /// the cluster slot (R-NUCA), so using them for the set index would
+  /// leave most sets of each bank unreachable — a 16x effective-capacity
+  /// collapse.
+  std::uint32_t setIndexShift = 0;
+  /// EqualChance-style intra-set wear leveling (Mittal & Vetter, INFLOW'14
+  /// — the paper's §VI names it complementary to Re-NUCA): every Nth fill
+  /// victimizes the least-written frame of the set instead of the
+  /// replacement policy's choice, spreading writes across ways.  0 = off.
+  /// Requires trackFrameWrites.
+  std::uint32_t equalChanceEvery = 0;
+
+  std::uint32_t numSets() const {
+    return static_cast<std::uint32_t>(sizeBytes / lineBytes / ways);
+  }
+  std::uint32_t numFrames() const { return numSets() * ways; }
+};
+
+/// Result of inserting a line: the victim, if a valid line was displaced.
+struct Eviction {
+  bool valid = false;
+  BlockAddr block = 0;
+  bool dirty = false;
+};
+
+class CacheBank {
+ public:
+  CacheBank(const CacheConfig& config, std::string name, std::uint64_t seed = 0);
+
+  // --- Functional interface ----------------------------------------------
+
+  /// True iff the block is resident (no replacement-state side effects).
+  bool contains(BlockAddr block) const;
+
+  /// Demand access: updates recency and, for writes, the dirty bit and the
+  /// frame write counter.  Returns true on hit.  Misses have no side
+  /// effects (callers decide whether to allocate via insert()).
+  bool access(BlockAddr block, AccessType type);
+
+  /// Allocates a frame for `block` (which must not be resident), evicting
+  /// the replacement victim if the set is full.  Counts one frame write
+  /// (the fill).  `dirty` marks the line dirty on arrival (write-allocate
+  /// store or dirty write-back from an upper level).
+  Eviction insert(BlockAddr block, bool dirty);
+
+  /// Removes the block if present; returns its dirty state.
+  std::optional<bool> invalidate(BlockAddr block);
+
+  /// Marks a resident block dirty without a timing event (used when an
+  /// upper-level write-back lands on a resident LLC line).  Counts a frame
+  /// write.  Returns false if the block is not resident.
+  bool writebackHit(BlockAddr block);
+
+  // --- Timing helper ------------------------------------------------------
+
+  /// Reserves the bank at or after `now`; returns the cycle service starts.
+  /// The bank stays busy for `occupancy` cycles from the start.  Interval-
+  /// based (BusyCalendar), so a far-future reservation (an LLC fill write)
+  /// does not block near-term demand lookups.
+  Cycle reserve(Cycle now);
+
+  // --- Introspection ------------------------------------------------------
+
+  const CacheConfig& config() const { return cfg_; }
+  const std::string& name() const { return name_; }
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+  /// Per-frame write counts (numFrames entries); only meaningful when
+  /// trackFrameWrites is set.
+  const std::vector<std::uint64_t>& frameWrites() const { return frameWrites_; }
+  std::uint64_t totalWrites() const { return totalWrites_; }
+  std::uint64_t maxFrameWrites() const;
+
+  /// Number of valid lines (for tests / utilization reporting).
+  std::uint64_t validLines() const;
+
+  /// Invokes `fn(block, dirty)` for every valid line (inclusion checks).
+  template <typename Fn>
+  void forEachValidLine(Fn&& fn) const {
+    for (const Frame& f : frames_) {
+      if (f.valid) fn(f.tag, f.dirty);
+    }
+  }
+
+  /// Drops all lines and replacement state; keeps statistics and write
+  /// counters (used between warm-up phases only by tests).
+  void flushAll();
+
+  /// Zeros the endurance write counters and statistics while keeping cache
+  /// contents — called at the end of warm-up so lifetimes measure only the
+  /// steady-state window.
+  void resetMeasurement();
+
+ private:
+  std::uint32_t setOf(BlockAddr block) const {
+    return static_cast<std::uint32_t>((block >> cfg_.setIndexShift) % numSets_);
+  }
+  std::uint32_t frameIndex(std::uint32_t set, std::uint32_t way) const {
+    return set * cfg_.ways + way;
+  }
+  /// Way of `block` within its set, or nullopt.
+  std::optional<std::uint32_t> findWay(std::uint32_t set, BlockAddr block) const;
+  std::uint32_t victimWay(std::uint32_t set);
+  void touch(std::uint32_t set, std::uint32_t way);
+  void recordFrameWrite(std::uint32_t set, std::uint32_t way);
+
+  CacheConfig cfg_;
+  std::string name_;
+  std::uint32_t numSets_;
+
+  struct Frame {
+    BlockAddr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lastUse = 0;  // LRU timestamp
+  };
+  std::vector<Frame> frames_;            // numSets * ways
+  std::vector<std::uint32_t> plruBits_;  // numSets entries, tree bits packed
+  std::vector<std::uint64_t> frameWrites_;
+  std::uint64_t totalWrites_ = 0;
+  std::uint64_t useTick_ = 0;
+  std::uint64_t fillTick_ = 0;
+  BusyCalendar busy_;
+  Pcg32 rng_;
+  StatSet stats_;
+};
+
+}  // namespace renuca::mem

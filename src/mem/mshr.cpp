@@ -1,0 +1,45 @@
+#include "mem/mshr.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace renuca::mem {
+
+MshrFile::MshrFile(std::uint32_t entries) : capacity_(entries) {
+  RENUCA_ASSERT(entries > 0, "MSHR file needs at least one entry");
+  entries_.reserve(entries);
+}
+
+void MshrFile::cleanup(Cycle now) {
+  std::erase_if(entries_, [now](const Entry& e) { return e.completeAt <= now; });
+}
+
+Cycle MshrFile::earliestFree(Cycle now) {
+  cleanup(now);
+  if (entries_.size() < capacity_) return now;
+  Cycle best = kNoCycle;
+  for (const Entry& e : entries_) best = std::min(best, e.completeAt);
+  return best;
+}
+
+std::optional<Cycle> MshrFile::pendingCompletion(BlockAddr block, Cycle now) {
+  cleanup(now);
+  for (const Entry& e : entries_) {
+    if (e.block == block) return e.completeAt;
+  }
+  return std::nullopt;
+}
+
+void MshrFile::add(BlockAddr block, Cycle issueAt, Cycle completeAt) {
+  cleanup(issueAt);
+  RENUCA_ASSERT(entries_.size() < capacity_, "MSHR overflow; check earliestFree first");
+  entries_.push_back(Entry{block, completeAt});
+}
+
+std::uint32_t MshrFile::inFlight(Cycle now) {
+  cleanup(now);
+  return static_cast<std::uint32_t>(entries_.size());
+}
+
+}  // namespace renuca::mem

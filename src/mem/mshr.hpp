@@ -1,0 +1,48 @@
+// Miss Status Holding Register file.
+//
+// The core precomputes each memory request's completion cycle when it
+// dispatches (see cpu::OooCore); the MSHR file therefore acts as a
+// time-indexed counting semaphore: it bounds how many block misses may be
+// outstanding at any instant, and merges requests to a block that already
+// has a miss in flight (the second request completes with the first).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace renuca::mem {
+
+class MshrFile {
+ public:
+  explicit MshrFile(std::uint32_t entries);
+
+  /// Earliest cycle at or after `now` at which a free entry exists.
+  Cycle earliestFree(Cycle now);
+
+  /// If `block` already has an outstanding miss at `now`, the cycle that
+  /// miss completes (the new request piggybacks on it).
+  std::optional<Cycle> pendingCompletion(BlockAddr block, Cycle now);
+
+  /// Registers a new outstanding miss; the caller must have checked
+  /// earliestFree().  `completeAt` is the precomputed fill time.
+  void add(BlockAddr block, Cycle issueAt, Cycle completeAt);
+
+  std::uint32_t capacity() const { return capacity_; }
+  /// Entries still in flight at `now` (after lazy cleanup).
+  std::uint32_t inFlight(Cycle now);
+
+ private:
+  void cleanup(Cycle now);
+
+  struct Entry {
+    BlockAddr block;
+    Cycle completeAt;
+  };
+  std::uint32_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace renuca::mem

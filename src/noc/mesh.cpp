@@ -1,0 +1,78 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace renuca::noc {
+
+MeshNoc::MeshNoc(const NocConfig& config) : cfg_(config), stats_("noc") {
+  RENUCA_ASSERT(cfg_.width > 0 && cfg_.height > 0, "mesh must be non-empty");
+  linkBusy_.assign(static_cast<std::size_t>(numNodes()) * 4, BusyCalendar{});
+  linkFlits_.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
+}
+
+std::uint32_t MeshNoc::hopCount(std::uint32_t src, std::uint32_t dst) const {
+  int dx = static_cast<int>(xOf(dst)) - static_cast<int>(xOf(src));
+  int dy = static_cast<int>(yOf(dst)) - static_cast<int>(yOf(src));
+  return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+}
+
+Cycle MeshNoc::traverse(std::uint32_t src, std::uint32_t dst, Cycle departAt,
+                        std::uint32_t flits) {
+  RENUCA_ASSERT(src < numNodes() && dst < numNodes(), "node out of range");
+  if (src == dst) return departAt;
+
+  Cycle t = departAt;
+  std::uint32_t x = xOf(src), y = yOf(src);
+  const std::uint32_t dstX = xOf(dst), dstY = yOf(dst);
+  std::uint32_t hops = 0;
+
+  auto crossLink = [&](Dir dir, std::uint32_t nx, std::uint32_t ny) {
+    std::size_t idx = linkIndex(nodeAt(x, y), dir);
+    Cycle start = linkBusy_[idx].reserve(
+        t, static_cast<Cycle>(flits) * cfg_.linkFlitCycles);
+    linkFlits_[idx] += flits;
+    t = start + cfg_.hopLatency;
+    x = nx;
+    y = ny;
+    ++hops;
+  };
+
+  while (x != dstX) {
+    if (x < dstX) {
+      crossLink(Dir::East, x + 1, y);
+    } else {
+      crossLink(Dir::West, x - 1, y);
+    }
+  }
+  while (y != dstY) {
+    if (y < dstY) {
+      crossLink(Dir::South, x, y + 1);
+    } else {
+      crossLink(Dir::North, x, y - 1);
+    }
+  }
+
+  ++packets_;
+  totalLatency_ += t - departAt;
+  stats_.inc("packets");
+  stats_.inc("flit_hops", static_cast<std::uint64_t>(flits) * hops);
+  return t;
+}
+
+Cycle MeshNoc::roundTrip(std::uint32_t src, std::uint32_t dst, Cycle departAt) {
+  Cycle there = traverse(src, dst, departAt, cfg_.controlFlits);
+  return traverse(dst, src, there, cfg_.dataFlits);
+}
+
+std::uint64_t MeshNoc::linkTraffic(std::uint32_t node, Dir dir) const {
+  return linkFlits_[linkIndex(node, dir)];
+}
+
+double MeshNoc::avgPacketLatency() const {
+  return packets_ ? static_cast<double>(totalLatency_) / static_cast<double>(packets_) : 0.0;
+}
+
+}  // namespace renuca::noc

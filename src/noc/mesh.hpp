@@ -1,0 +1,75 @@
+// 4x4 mesh network-on-chip with XY routing and link contention.
+//
+// Each LLC bank sits on one mesh node next to its core (paper Table I:
+// 4x4 mesh).  Packets are routed X-then-Y; every hop crosses one link.
+// Links are modelled with busy-until reservations: a packet of F flits
+// holds a link for F cycles, so concurrent traffic through the same link
+// queues up.  This is what lets placement policies *feel* distance and
+// congestion — e.g. the Naive oracle funnels all fills to the current
+// minimum-write bank and pays for the resulting hot links.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/busy_calendar.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace renuca::noc {
+
+struct NocConfig {
+  std::uint32_t width = 4;
+  std::uint32_t height = 4;
+  std::uint32_t hopLatency = 8;      ///< Router pipeline + link traversal per hop.
+  std::uint32_t linkFlitCycles = 1;  ///< Link occupancy per flit.
+  std::uint32_t controlFlits = 1;    ///< Flits in a request (no data) packet.
+  std::uint32_t dataFlits = 4;       ///< Flits in a 64 B data packet.
+};
+
+/// Identifies one directed link: from node `node` toward direction `dir`.
+enum class Dir : std::uint8_t { East = 0, West = 1, North = 2, South = 3 };
+
+class MeshNoc {
+ public:
+  explicit MeshNoc(const NocConfig& config);
+
+  std::uint32_t numNodes() const { return cfg_.width * cfg_.height; }
+  std::uint32_t xOf(std::uint32_t node) const { return node % cfg_.width; }
+  std::uint32_t yOf(std::uint32_t node) const { return node / cfg_.width; }
+  std::uint32_t nodeAt(std::uint32_t x, std::uint32_t y) const { return y * cfg_.width + x; }
+
+  /// Manhattan hop count between two nodes.
+  std::uint32_t hopCount(std::uint32_t src, std::uint32_t dst) const;
+
+  /// Sends a packet of `flits` flits from src to dst departing at `departAt`;
+  /// returns the arrival cycle.  Reserves every traversed link, so later
+  /// packets through the same links see the queueing.  src == dst returns
+  /// departAt (local access, no network).
+  Cycle traverse(std::uint32_t src, std::uint32_t dst, Cycle departAt,
+                 std::uint32_t flits);
+
+  /// Convenience: one control packet there + one data packet back.
+  Cycle roundTrip(std::uint32_t src, std::uint32_t dst, Cycle departAt);
+
+  const NocConfig& config() const { return cfg_; }
+  const StatSet& stats() const { return stats_; }
+  /// Flits carried by each directed link, indexed [node][dir].
+  std::uint64_t linkTraffic(std::uint32_t node, Dir dir) const;
+  double avgPacketLatency() const;
+
+ private:
+  std::size_t linkIndex(std::uint32_t node, Dir dir) const {
+    return static_cast<std::size_t>(node) * 4 + static_cast<std::size_t>(dir);
+  }
+
+  NocConfig cfg_;
+  std::vector<BusyCalendar> linkBusy_;   // [node*4+dir]
+  std::vector<std::uint64_t> linkFlits_; // [node*4+dir]
+  StatSet stats_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t totalLatency_ = 0;
+};
+
+}  // namespace renuca::noc

@@ -1,0 +1,84 @@
+#include "rram/endurance.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace renuca::rram {
+
+namespace {
+double lifetimeFromRate(double writes, Cycle measuredCycles, const EnduranceConfig& cfg) {
+  if (measuredCycles == 0) return cfg.maxYears;
+  double seconds = static_cast<double>(measuredCycles) / cfg.coreFreqHz;
+  if (writes <= 0.0) return cfg.maxYears;
+  double rate = writes / seconds;  // writes per second to the limiting cell(s)
+  double years = cfg.writesPerCell / rate / kSecondsPerYear;
+  return std::min(years, cfg.maxYears);
+}
+}  // namespace
+
+double bankLifetimeYears(std::uint64_t maxFrameWrites, Cycle measuredCycles,
+                         const EnduranceConfig& cfg) {
+  return lifetimeFromRate(static_cast<double>(maxFrameWrites), measuredCycles, cfg);
+}
+
+double bankLifetimeYearsIdeal(std::uint64_t totalBankWrites, std::uint64_t numFrames,
+                              Cycle measuredCycles, const EnduranceConfig& cfg) {
+  RENUCA_ASSERT(numFrames > 0, "bank must have frames");
+  double perFrame = static_cast<double>(totalBankWrites) / static_cast<double>(numFrames);
+  return lifetimeFromRate(perFrame, measuredCycles, cfg);
+}
+
+LifetimeAggregator::LifetimeAggregator(std::uint32_t numBanks) : numBanks_(numBanks) {
+  RENUCA_ASSERT(numBanks > 0, "aggregator needs at least one bank");
+}
+
+void LifetimeAggregator::addRun(const std::vector<double>& perBankYears) {
+  RENUCA_ASSERT(perBankYears.size() == numBanks_, "per-bank lifetime vector size mismatch");
+  runs_.push_back(perBankYears);
+}
+
+std::vector<double> LifetimeAggregator::harmonicPerBank() const {
+  std::vector<double> out(numBanks_, 0.0);
+  for (std::uint32_t b = 0; b < numBanks_; ++b) {
+    std::vector<double> samples;
+    samples.reserve(runs_.size());
+    for (const auto& run : runs_) samples.push_back(run[b]);
+    out[b] = harmonicMean(samples);
+  }
+  return out;
+}
+
+double LifetimeAggregator::harmonicOverall() const {
+  std::vector<double> samples;
+  samples.reserve(runs_.size() * numBanks_);
+  for (const auto& run : runs_) {
+    samples.insert(samples.end(), run.begin(), run.end());
+  }
+  return harmonicMean(samples);
+}
+
+double LifetimeAggregator::rawMinimum() const {
+  double best = 0.0;
+  bool first = true;
+  for (const auto& run : runs_) {
+    for (double y : run) {
+      if (first || y < best) {
+        best = y;
+        first = false;
+      }
+    }
+  }
+  return first ? 0.0 : best;
+}
+
+double LifetimeAggregator::harmonicSpread() const {
+  std::vector<double> h = harmonicPerBank();
+  if (h.empty()) return 1.0;
+  double lo = *std::min_element(h.begin(), h.end());
+  double hi = *std::max_element(h.begin(), h.end());
+  return lo > 0 ? hi / lo : 0.0;
+}
+
+}  // namespace renuca::rram

@@ -1,0 +1,75 @@
+// ReRAM endurance and lifetime model.
+//
+// The paper (§V.A) considers a ReRAM cache line worn out beyond 1e11
+// writes.  Every LLC bank tracks per-frame (set,way) write counts during
+// the measurement window; a bank's lifetime is bounded by its hottest
+// frame:
+//
+//   lifetime_years = endurance / (maxFrameWrites / simulatedSeconds)
+//
+// where simulatedSeconds = measuredCycles / coreFrequency.  Because
+// lifetimes are *rates* extrapolated from a steady-state window, they
+// converge with short windows — which is what lets a laptop-scale run
+// reproduce the paper's multi-week gem5 shape.
+//
+// Two aggregations from the paper:
+//  * harmonic-mean lifetime per bank across workloads (Figs 3, 12, 13,
+//    15, 17) — harmonic, so a workload that kills a bank dominates;
+//  * raw minimum lifetime — the minimum over all banks and all workloads
+//    (Table III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace renuca::rram {
+
+struct EnduranceConfig {
+  double writesPerCell = 1e11;  ///< Cell endurance (paper: 1e11 writes).
+  double coreFreqHz = 2.4e9;    ///< 2.4 GHz cores (Table I).
+  /// Lifetimes are clamped here so that near-idle banks (whose write rate
+  /// is ~0 in a finite window) do not produce unbounded numbers.
+  double maxYears = 30.0;
+};
+
+inline constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+
+/// Lifetime bound from the hottest frame of a bank.
+double bankLifetimeYears(std::uint64_t maxFrameWrites, Cycle measuredCycles,
+                         const EnduranceConfig& cfg);
+
+/// Lifetime under *ideal intra-bank wear-leveling* (every frame absorbs an
+/// equal share); used by the endurance-accounting ablation.
+double bankLifetimeYearsIdeal(std::uint64_t totalBankWrites, std::uint64_t numFrames,
+                              Cycle measuredCycles, const EnduranceConfig& cfg);
+
+/// Accumulates per-bank lifetimes across workloads and produces the
+/// paper's two aggregate metrics.
+class LifetimeAggregator {
+ public:
+  explicit LifetimeAggregator(std::uint32_t numBanks);
+
+  /// Records one workload's per-bank lifetimes (numBanks entries).
+  void addRun(const std::vector<double>& perBankYears);
+
+  std::uint32_t numBanks() const { return numBanks_; }
+  std::uint32_t numRuns() const { return static_cast<std::uint32_t>(runs_.size()); }
+
+  /// Harmonic mean across workloads, per bank (Fig 3 / Fig 12 bars).
+  std::vector<double> harmonicPerBank() const;
+  /// Harmonic mean over every (bank, workload) sample.
+  double harmonicOverall() const;
+  /// Minimum lifetime over all banks and workloads (Table III).
+  double rawMinimum() const;
+  /// Max-to-min spread of the harmonic per-bank means (wear-leveling
+  /// quality; 1.0 = perfectly level).
+  double harmonicSpread() const;
+
+ private:
+  std::uint32_t numBanks_;
+  std::vector<std::vector<double>> runs_;  // [run][bank]
+};
+
+}  // namespace renuca::rram

@@ -1,0 +1,89 @@
+#include "sim/config.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace renuca::sim {
+
+SystemConfig::SystemConfig() {
+  // Table I defaults.
+  l1d.sizeBytes = 32 * 1024;
+  l1d.ways = 4;
+  l1d.latency = 2;
+  l1d.occupancy = 1;
+
+  l2.sizeBytes = 256 * 1024;
+  l2.ways = 8;
+  l2.latency = 5;
+  l2.occupancy = 2;
+}
+
+void SystemConfig::applyOverrides(const KvConfig& kv) {
+  instrPerCore = static_cast<std::uint64_t>(kv.getOr("instr_per_core",
+                                                     static_cast<std::int64_t>(instrPerCore)));
+  warmupInstrPerCore = static_cast<std::uint64_t>(
+      kv.getOr("warmup", static_cast<std::int64_t>(warmupInstrPerCore)));
+  prewarmInstrPerCore = static_cast<std::uint64_t>(
+      kv.getOr("prewarm", static_cast<std::int64_t>(prewarmInstrPerCore)));
+  seed = static_cast<std::uint64_t>(kv.getOr("seed", static_cast<std::int64_t>(seed)));
+  if (auto p = kv.getString("policy")) policy = core::policyFromString(*p);
+  cpt.thresholdPct = kv.getOr("threshold_pct", cpt.thresholdPct);
+  coreCfg.robEntries =
+      static_cast<std::uint32_t>(kv.getOr("rob_entries", static_cast<std::int64_t>(coreCfg.robEntries)));
+  if (auto v = kv.getInt("l2_kb")) l2.sizeBytes = static_cast<std::uint64_t>(*v) * 1024;
+  if (auto v = kv.getInt("l3_bank_kb")) l3.bankBytes = static_cast<std::uint64_t>(*v) * 1024;
+  if (auto v = kv.getInt("cores")) numCores = static_cast<std::uint32_t>(*v);
+  if (auto v = kv.getInt("cluster_size")) clusterSize = static_cast<std::uint32_t>(*v);
+  forcePredictor = kv.getOr("force_predictor", forcePredictor);
+}
+
+std::string SystemConfig::summary() const {
+  std::ostringstream os;
+  os << "cores=" << numCores << " rob=" << coreCfg.robEntries
+     << " L1D=" << l1d.sizeBytes / 1024 << "KB/" << l1d.ways << "w/" << l1d.latency << "cy"
+     << " L2=" << l2.sizeBytes / 1024 << "KB/" << l2.ways << "w/" << l2.latency << "cy"
+     << " L3=" << l3.banks << "x" << l3.bankBytes / 1024 / 1024 << "MB/" << l3.ways
+     << "w/" << l3.latency << "cy"
+     << " mesh=" << nocCfg.width << "x" << nocCfg.height
+     << " dram=" << dramCfg.channels << "ch policy=" << core::toString(policy)
+     << " threshold=" << cpt.thresholdPct << "%"
+     << " instr/core=" << instrPerCore << " warmup=" << warmupInstrPerCore;
+  return os.str();
+}
+
+SystemConfig defaultConfig() { return SystemConfig{}; }
+
+SystemConfig l2Small() {
+  SystemConfig cfg;
+  cfg.l2.sizeBytes = 128 * 1024;
+  return cfg;
+}
+
+SystemConfig l3Small() {
+  SystemConfig cfg;
+  cfg.l3.bankBytes = 1024 * 1024;
+  return cfg;
+}
+
+SystemConfig robLarge() {
+  SystemConfig cfg;
+  cfg.coreCfg.robEntries = 168;
+  return cfg;
+}
+
+SystemConfig singleCore() {
+  SystemConfig cfg;
+  cfg.numCores = 1;
+  // Single-app characterization can afford a long fast-forward, which the
+  // low-traffic/high-hit-rate apps need to reach their steady state.
+  cfg.prewarmInstrPerCore = 2500000;
+  cfg.l3.banks = 1;
+  cfg.nocCfg.width = 1;
+  cfg.nocCfg.height = 1;
+  cfg.policy = core::PolicyKind::SNuca;
+  cfg.forcePredictor = true;
+  return cfg;
+}
+
+}  // namespace renuca::sim

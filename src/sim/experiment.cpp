@@ -1,0 +1,116 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace renuca::sim {
+
+RunResult runWorkload(const SystemConfig& config, const workload::WorkloadMix& mix) {
+  System system(config, mix);
+  return system.run();
+}
+
+RunResult runSingleApp(const SystemConfig& singleCoreConfig, const std::string& appName) {
+  RENUCA_ASSERT(singleCoreConfig.numCores == 1, "runSingleApp needs the single-core rig");
+  workload::WorkloadMix mix;
+  mix.name = appName;
+  mix.appNames = {appName};
+  return runWorkload(singleCoreConfig, mix);
+}
+
+std::vector<double> PolicySweep::harmonicLifetimesPerBank(std::size_t policyIdx) const {
+  const auto& runs = results[policyIdx];
+  RENUCA_ASSERT(!runs.empty(), "empty sweep");
+  rram::LifetimeAggregator agg(static_cast<std::uint32_t>(runs[0].bankLifetimeYears.size()));
+  for (const RunResult& r : runs) agg.addRun(r.bankLifetimeYears);
+  return agg.harmonicPerBank();
+}
+
+double PolicySweep::rawMinLifetime(std::size_t policyIdx) const {
+  const auto& runs = results[policyIdx];
+  RENUCA_ASSERT(!runs.empty(), "empty sweep");
+  rram::LifetimeAggregator agg(static_cast<std::uint32_t>(runs[0].bankLifetimeYears.size()));
+  for (const RunResult& r : runs) agg.addRun(r.bankLifetimeYears);
+  return agg.rawMinimum();
+}
+
+double PolicySweep::meanSystemIpc(std::size_t policyIdx) const {
+  std::vector<double> ipcs;
+  for (const RunResult& r : results[policyIdx]) ipcs.push_back(r.systemIpc);
+  return arithmeticMean(ipcs);
+}
+
+std::size_t PolicySweep::indexOf(core::PolicyKind kind) const {
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (policies[i] == kind) return i;
+  }
+  RENUCA_ASSERT(false, "policy not present in sweep");
+}
+
+std::vector<double> PolicySweep::ipcImprovementVsSnuca(std::size_t policyIdx) const {
+  // The paper's metric (§V.B): system IPC — the sum of per-core IPCs, the
+  // throughput of the multi-programmed machine — normalized to S-NUCA.
+  std::size_t base = indexOf(core::PolicyKind::SNuca);
+  std::vector<double> out;
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    double ref = results[base][m].systemIpc;
+    double val = results[policyIdx][m].systemIpc;
+    out.push_back(ref > 0 ? (val / ref - 1.0) * 100.0 : 0.0);
+  }
+  return out;
+}
+
+std::vector<double> PolicySweep::perCoreNormalizedImprovement(std::size_t policyIdx) const {
+  // Secondary metric: mean of per-core normalized IPCs, which weights every
+  // application equally regardless of its absolute IPC.
+  std::size_t base = indexOf(core::PolicyKind::SNuca);
+  std::vector<double> out;
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    const RunResult& ref = results[base][m];
+    const RunResult& val = results[policyIdx][m];
+    std::vector<double> ratios;
+    for (std::size_t c = 0; c < ref.coreIpc.size(); ++c) {
+      if (ref.coreIpc[c] > 0) ratios.push_back(val.coreIpc[c] / ref.coreIpc[c]);
+    }
+    out.push_back((arithmeticMean(ratios) - 1.0) * 100.0);
+  }
+  return out;
+}
+
+double PolicySweep::meanIpcImprovementVsSnuca(std::size_t policyIdx) const {
+  return arithmeticMean(ipcImprovementVsSnuca(policyIdx));
+}
+
+PolicySweep sweepPolicies(const SystemConfig& base,
+                          const std::vector<core::PolicyKind>& policies,
+                          const std::vector<workload::WorkloadMix>& mixes) {
+  PolicySweep sweep;
+  sweep.policies = policies;
+  sweep.mixes = mixes;
+  sweep.results.resize(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    SystemConfig cfg = base;
+    cfg.policy = policies[p];
+    for (const workload::WorkloadMix& mix : mixes) {
+      sweep.results[p].push_back(runWorkload(cfg, mix));
+    }
+  }
+  return sweep;
+}
+
+const std::vector<core::PolicyKind>& allPolicies() {
+  static const std::vector<core::PolicyKind> v = {
+      core::PolicyKind::Naive, core::PolicyKind::SNuca, core::PolicyKind::ReNuca,
+      core::PolicyKind::RNuca, core::PolicyKind::Private};
+  return v;
+}
+
+const std::vector<core::PolicyKind>& baselinePolicies() {
+  static const std::vector<core::PolicyKind> v = {
+      core::PolicyKind::SNuca, core::PolicyKind::RNuca, core::PolicyKind::Private,
+      core::PolicyKind::Naive};
+  return v;
+}
+
+}  // namespace renuca::sim

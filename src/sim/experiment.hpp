@@ -1,0 +1,70 @@
+// Experiment runner: the sweeps behind every table and figure.
+//
+// Benches compose three things: a SystemConfig preset (Table I or a
+// sensitivity variant), a set of policies, and the ten standard workload
+// mixes.  This module runs the cross product, aggregates lifetimes the way
+// the paper does (harmonic mean per bank across workloads; raw minimum
+// over everything), and normalizes IPC improvements against S-NUCA.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rram/endurance.hpp"
+#include "sim/config.hpp"
+#include "sim/system.hpp"
+#include "workload/mixes.hpp"
+
+namespace renuca::sim {
+
+/// Runs one workload mix under one configuration.
+RunResult runWorkload(const SystemConfig& config, const workload::WorkloadMix& mix);
+
+/// Runs a single application alone on the single-core rig (Table II and
+/// the per-app criticality figures).  `instrPerCore`/`warmup` come from
+/// the config.
+RunResult runSingleApp(const SystemConfig& singleCoreConfig, const std::string& appName);
+
+/// Results of policy x mix sweep.
+struct PolicySweep {
+  std::vector<core::PolicyKind> policies;
+  std::vector<workload::WorkloadMix> mixes;
+  /// results[p][m] is policy `policies[p]` on mix `mixes[m]`.
+  std::vector<std::vector<RunResult>> results;
+
+  const RunResult& at(std::size_t policyIdx, std::size_t mixIdx) const {
+    return results[policyIdx][mixIdx];
+  }
+
+  /// Per-bank harmonic-mean lifetimes across mixes for one policy
+  /// (Fig 3 / Fig 12 bars).
+  std::vector<double> harmonicLifetimesPerBank(std::size_t policyIdx) const;
+  /// Raw minimum lifetime over all banks and mixes (Table III).
+  double rawMinLifetime(std::size_t policyIdx) const;
+  /// Mean system IPC across mixes.
+  double meanSystemIpc(std::size_t policyIdx) const;
+  /// Per-mix IPC improvement (%) of `policyIdx` over the sweep's S-NUCA
+  /// entry (must be present) — the paper's system-IPC metric.
+  std::vector<double> ipcImprovementVsSnuca(std::size_t policyIdx) const;
+  /// Secondary: mean per-core normalized IPC improvement (%), weighting
+  /// every application equally.
+  std::vector<double> perCoreNormalizedImprovement(std::size_t policyIdx) const;
+  /// Average of ipcImprovementVsSnuca.
+  double meanIpcImprovementVsSnuca(std::size_t policyIdx) const;
+
+  std::size_t indexOf(core::PolicyKind kind) const;
+};
+
+/// Runs every (policy, mix) pair under `base` (whose policy field is
+/// overridden per run).  Deterministic given base.seed.
+PolicySweep sweepPolicies(const SystemConfig& base,
+                          const std::vector<core::PolicyKind>& policies,
+                          const std::vector<workload::WorkloadMix>& mixes);
+
+/// The paper's five schemes, in its presentation order.
+const std::vector<core::PolicyKind>& allPolicies();
+/// The four baselines of Fig 3 (no Re-NUCA).
+const std::vector<core::PolicyKind>& baselinePolicies();
+
+}  // namespace renuca::sim

@@ -1,0 +1,423 @@
+#include "sim/memory_system.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "core/policy_factory.hpp"
+
+namespace renuca::sim {
+
+MemorySystem::MemorySystem(const SystemConfig& config)
+    : cfg_(config), mesh_(config.nocCfg), dram_(config.dramCfg),
+      coreCounters_(config.numCores), stats_("memsys") {
+  RENUCA_ASSERT(cfg_.numCores == cfg_.l3.banks,
+                "the paper's NUCA has one bank per core");
+  RENUCA_ASSERT(cfg_.l3.banks == mesh_.numNodes(), "one LLC bank per mesh node");
+
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    tlbs_.push_back(std::make_unique<tlb::EnhancedTlb>(
+        cfg_.tlbCfg, &pageTable_, /*asid=*/c, "tlb" + std::to_string(c)));
+    l1_.push_back(std::make_unique<mem::CacheBank>(cfg_.l1d, "l1d" + std::to_string(c),
+                                                   cfg_.seed * 131 + c));
+    l2_.push_back(std::make_unique<mem::CacheBank>(cfg_.l2, "l2" + std::to_string(c),
+                                                   cfg_.seed * 137 + c));
+  }
+
+  mem::CacheConfig llcCfg;
+  llcCfg.sizeBytes = cfg_.l3.bankBytes;
+  llcCfg.ways = cfg_.l3.ways;
+  llcCfg.latency = cfg_.l3.latency;
+  llcCfg.occupancy = cfg_.l3.occupancy;
+  llcCfg.trackFrameWrites = true;
+  // Skip the bank-select bits when indexing sets (see CacheConfig docs).
+  llcCfg.setIndexShift = cfg_.l3.banks > 1 ? log2Floor(cfg_.l3.banks) : 0;
+  llcCfg.equalChanceEvery = cfg_.l3.equalChanceEvery;
+  for (BankId b = 0; b < cfg_.l3.banks; ++b) {
+    llc_.push_back(std::make_unique<mem::CacheBank>(llcCfg, "l3b" + std::to_string(b),
+                                                    cfg_.seed * 139 + b));
+  }
+
+  core::PolicyOptions opts;
+  opts.clusterSize = cfg_.clusterSize;
+  opts.bankWrites = [this](BankId b) { return llc_[b]->totalWrites(); };
+  policy_ = core::makePolicy(cfg_.policy, mesh_, opts);
+
+  if (cfg_.enableSharing) {
+    directory_ = std::make_unique<coherence::DirectoryMesi>(cfg_.numCores);
+  }
+}
+
+Cycle MemorySystem::nocTraverse(std::uint32_t src, std::uint32_t dst, Cycle at,
+                                std::uint32_t flits) {
+  if (warmupMode_) return at;
+  return mesh_.traverse(src, dst, at, flits);
+}
+
+Cycle MemorySystem::bankReserve(BankId bank, Cycle at) {
+  if (warmupMode_) return at;
+  return llc_[bank]->reserve(at);
+}
+
+Cycle MemorySystem::dramAccess(Addr paddr, AccessType type, Cycle at) {
+  if (warmupMode_) return at;
+  return dram_.access(paddr, type, at);
+}
+
+CoreId MemorySystem::ownerOf(BlockAddr block) const {
+  auto owner = pageTable_.ownerOf(pageOf(lineBase(block)));
+  RENUCA_ASSERT(owner.has_value(), "physical block without a page owner");
+  return owner->first;
+}
+
+bool MemorySystem::mbvBitPhys(BlockAddr block) const {
+  Addr paddr = lineBase(block);
+  auto owner = pageTable_.ownerOf(pageOf(paddr));
+  RENUCA_ASSERT(owner.has_value(), "MBV lookup for unallocated page");
+  std::uint64_t mbv = pageTable_.loadMbv(owner->first, owner->second);
+  return (mbv >> lineIndexInPage(paddr)) & 1ull;
+}
+
+std::uint32_t MemorySystem::memNode(std::uint32_t channel) const {
+  const std::uint32_t w = mesh_.config().width;
+  const std::uint32_t h = mesh_.config().height;
+  const std::uint32_t corners[4] = {0, w - 1, w * (h - 1), w * h - 1};
+  return corners[channel % 4];
+}
+
+void MemorySystem::writebackL1VictimToL2(CoreId core, BlockAddr block, Cycle now) {
+  if (l2_[core]->access(block, AccessType::Write)) return;
+  // Inclusion means this should not happen; repair by allocating.
+  stats_.inc("l1_wb_orphans");
+  mem::Eviction ev = l2_[core]->insert(block, /*dirty=*/true);
+  evictFromL2(core, ev, now);
+}
+
+void MemorySystem::evictFromL2(CoreId core, const mem::Eviction& ev, Cycle now) {
+  if (!ev.valid) return;
+  // Maintain L1 ⊆ L2.
+  auto l1Dirty = l1_[core]->invalidate(ev.block);
+  bool dirty = ev.dirty || (l1Dirty.has_value() && *l1Dirty);
+  if (directory_) {
+    bool dirFlush = directory_->evict(core, ev.block);
+    dirty = dirty || dirFlush;
+  }
+  if (dirty) writebackToLlc(core, ev.block, now);
+}
+
+void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
+  ++coreCounters_[owner].llcWritebacks;
+  stats_.inc("llc_writebacks");
+
+  bool bit = policy_->needsMbv() ? mbvBitPhys(block) : false;
+  BankId bank = policy_->locate(block, owner, bit);
+  Cycle arrive = nocTraverse(owner, bank, now, mesh_.config().dataFlits);
+  bankReserve(bank, arrive);
+
+  // Criticality attribution for Fig 9: the block's verdict was fixed at
+  // fill time.
+  auto it = fillWasCritical_.find(block);
+  bool critical = it != fillWasCritical_.end() && it->second;
+  stats_.inc(critical ? "llc_writes_critical" : "llc_writes_noncritical");
+
+  if (!llc_[bank]->writebackHit(block)) {
+    // Non-inclusive LLC: the victim was dropped from the LLC while the L2
+    // still held it; the write-back (re-)allocates (writeback-allocate).
+    stats_.inc("llc_wb_allocates");
+    mem::Eviction ev = llc_[bank]->insert(block, /*dirty=*/true);
+    policy_->onFill(block, bank);
+    evictFromLlc(bank, ev, arrive);
+  }
+}
+
+void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now) {
+  if (!ev.valid) return;
+  stats_.inc("llc_evictions");
+  BlockAddr block = ev.block;
+  CoreId owner = ownerOf(block);
+
+  bool dirty = ev.dirty;
+  if (cfg_.inclusiveLlc) {
+    // Back-invalidate the owner's upper levels (strict inclusion).  Dirty
+    // upper copies ride to memory with the victim.
+    auto l1Dirty = l1_[owner]->invalidate(block);
+    auto l2Dirty = l2_[owner]->invalidate(block);
+    if (directory_) directory_->evict(owner, block);
+    dirty = dirty || l1Dirty.value_or(false) || l2Dirty.value_or(false);
+    if (l1Dirty.has_value() || l2Dirty.has_value()) stats_.inc("llc_back_invalidations");
+  }
+
+  // Placement bookkeeping: the policy forgets the line, and its MBV bit
+  // resets to the S-NUCA default (paper §IV.C).
+  policy_->onEvict(block, bank);
+  fillWasCritical_.erase(block);
+  if (policy_->needsMbv()) tlbs_[owner]->resetMappingBitPhys(lineBase(block));
+
+  if (dirty) {
+    Addr paddr = lineBase(block);
+    std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
+    Cycle arrive = nocTraverse(bank, memNode(ch), now, mesh_.config().dataFlits);
+    dramAccess(paddr, AccessType::Write, arrive);
+    stats_.inc("dram_writebacks");
+  }
+}
+
+void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
+  tlb::Translation tr = tlbs_[core]->translate(vaddr);
+  BlockAddr block = lineOf(tr.paddr);
+  if (l2_[core]->contains(block) || l1_[core]->contains(block)) return;
+  stats_.inc("l2_prefetches");
+
+  // Fetch from the LLC (or memory) along the normal path, reserving the
+  // same resources demand traffic would, but off the core's critical path.
+  bool bit = policy_->needsMbv() ? tlbs_[core]->mappingBit(vaddr) : false;
+  BankId bank = policy_->locate(block, core, bit);
+  Cycle arrive = nocTraverse(core, bank, now, mesh_.config().controlFlits);
+  Cycle bankStart = bankReserve(bank, arrive);
+  if (!llc_[bank]->access(block, AccessType::Read)) {
+    stats_.inc("l2_prefetch_llc_misses");
+    Addr paddr = lineBase(block);
+    std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
+    Cycle memArrive = nocTraverse(bank, memNode(ch), bankStart + cfg_.l3.tagLatency,
+                                  mesh_.config().controlFlits);
+    Cycle dramDone = dramAccess(paddr, AccessType::Read, memArrive);
+    core::MappingPolicy::Fill fill = policy_->placeFill(block, core, false);
+    stats_.inc("llc_fills");
+    stats_.inc("llc_fills_noncritical");
+    stats_.inc("llc_writes_noncritical");
+    Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
+                                   mesh_.config().dataFlits);
+    Cycle fillStart = bankReserve(fill.bank, fillArrive);
+    mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false);
+    policy_->onFill(block, fill.bank);
+    fillWasCritical_[block] = false;
+    if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
+    evictFromLlc(fill.bank, llcEv, fillStart);
+  }
+  mem::Eviction l2Ev = l2_[core]->insert(block, /*dirty=*/false);
+  evictFromL2(core, l2Ev, now);
+}
+
+void MemorySystem::coherenceActions(CoreId core, BlockAddr block, AccessType type,
+                                    Cycle now) {
+  if (!directory_) return;
+  coherence::Outcome out = type == AccessType::Read ? directory_->read(core, block)
+                                                    : directory_->write(core, block);
+  for (std::uint32_t other : out.invalidated) {
+    if (other == core) continue;
+    // Invalidate/downgrade the remote private caches; dirty data is
+    // flushed into the LLC (which backs all L2s).
+    Cycle arrive = nocTraverse(core, other, now, mesh_.config().controlFlits);
+    (void)arrive;
+    if (type == AccessType::Write) {
+      auto d1 = l1_[other]->invalidate(block);
+      auto d2 = l2_[other]->invalidate(block);
+      if (d1.value_or(false) || d2.value_or(false) || out.writebackToMemory) {
+        writebackToLlc(other, block, now);
+      }
+    }
+    stats_.inc("coherence_invalidations");
+  }
+}
+
+MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issueAt,
+                                            AccessType type, bool critical) {
+  tlb::Translation tr = tlbs_[core]->translate(vaddr);
+  Cycle t = issueAt + tr.latency;
+  BlockAddr block = lineOf(tr.paddr);
+
+  // ---- L1D ----------------------------------------------------------------
+  Cycle l1Start = warmupMode_ ? t : l1_[core]->reserve(t);
+  if (l1_[core]->access(block, type)) {
+    return WalkResult{l1Start + cfg_.l1d.latency, /*missedL1=*/false};
+  }
+  Cycle t2 = l1Start + cfg_.l1d.latency;  // miss known after the L1 probe
+
+  // ---- L2 (private) ---------------------------------------------------------
+  Cycle l2Start = warmupMode_ ? t2 : l2_[core]->reserve(t2);
+  // Demand fetch into L1 is a read at L2 even for stores (write-allocate:
+  // the dirtiness lands in L1).
+  bool l2Hit = l2_[core]->access(block, AccessType::Read);
+  Cycle afterL2 = l2Start + cfg_.l2.latency;
+  if (l2Hit) {
+    mem::Eviction l1Ev = l1_[core]->insert(block, /*dirty=*/type == AccessType::Write);
+    if (l1Ev.valid && l1Ev.dirty) writebackL1VictimToL2(core, l1Ev.block, afterL2);
+    return WalkResult{afterL2, /*missedL1=*/true};
+  }
+
+  // ---- LLC (NUCA) -----------------------------------------------------------
+  if (directory_) coherenceActions(core, block, type, afterL2);
+
+  ++coreCounters_[core].llcDemandAccesses;
+  bool bit = policy_->needsMbv() ? tlbs_[core]->mappingBit(vaddr) : false;
+  BankId lookupBank = policy_->locate(block, core, bit);
+
+  // The Naive oracle must consult its centralized line directory before it
+  // knows which bank to address (paper §III.A): request detours to the
+  // directory node and pays the lookup latency.
+  Cycle llcIssueAt = afterL2;
+  if (cfg_.policy == core::PolicyKind::Naive) {
+    std::uint32_t dirNode = mesh_.numNodes() / 2;
+    Cycle atDir = nocTraverse(core, dirNode, afterL2, mesh_.config().controlFlits);
+    llcIssueAt = atDir + cfg_.l3.naiveDirectoryLatency;
+    Cycle reqFromDir = nocTraverse(dirNode, lookupBank, llcIssueAt,
+                                   mesh_.config().controlFlits);
+    llcIssueAt = reqFromDir;
+    stats_.inc("naive_directory_lookups");
+  }
+
+  Cycle reqArrive = cfg_.policy == core::PolicyKind::Naive
+                        ? llcIssueAt
+                        : nocTraverse(core, lookupBank, afterL2,
+                                      mesh_.config().controlFlits);
+  Cycle bankStart = bankReserve(lookupBank, reqArrive);
+
+  Cycle dataAtCore;
+  if (llc_[lookupBank]->access(block, AccessType::Read)) {
+    // LLC hit: full ReRAM array read, data packet back to the core.
+    Cycle dataReady = bankStart + cfg_.l3.latency;
+    dataAtCore = nocTraverse(lookupBank, core, dataReady, mesh_.config().dataFlits);
+
+    // Warm-up placement refresh: a critical load hitting a line that is
+    // still S-mapped re-homes it to the R-NUCA cluster.  This is not a
+    // runtime mechanism — it fast-forwards the steady state the paper's
+    // 100 M-instruction windows reach through natural LLC turnover (every
+    // line is eventually evicted and refetched by its then-critical load).
+    bool fillCritical = type == AccessType::Read && critical;
+    if (warmupMode_ && policy_->needsMbv() && fillCritical && !bit) {
+      auto dirty = llc_[lookupBank]->invalidate(block);
+      policy_->onEvict(block, lookupBank);
+      core::MappingPolicy::Fill fill = policy_->placeFill(block, core, true);
+      if (!llc_[fill.bank]->contains(block)) {
+        mem::Eviction mev = llc_[fill.bank]->insert(block, dirty.value_or(false));
+        policy_->onFill(block, fill.bank);
+        fillWasCritical_[block] = true;
+        tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
+        evictFromLlc(fill.bank, mev, bankStart);
+        stats_.inc("warm_migrations");
+      }
+    }
+  } else {
+    // LLC miss: fetch from DRAM, fill a (policy-chosen) bank, forward.
+    ++coreCounters_[core].llcDemandMisses;
+    Cycle missKnown = bankStart + cfg_.l3.tagLatency;
+
+    Addr paddr = lineBase(block);
+    std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
+    Cycle memArrive = nocTraverse(lookupBank, memNode(ch), missKnown,
+                                     mesh_.config().controlFlits);
+    Cycle dramDone = dramAccess(paddr, AccessType::Read, memArrive);
+
+    // Stores never fetch critically (they retire via the store buffer and
+    // cannot stall the ROB head), so their fills always spread (paper §IV).
+    bool fillCritical = type == AccessType::Read && critical;
+    core::MappingPolicy::Fill fill = policy_->placeFill(block, core, fillCritical);
+    stats_.inc("llc_fills");
+    if (!fillCritical) stats_.inc("llc_fills_noncritical");
+    stats_.inc(fillCritical ? "llc_writes_critical" : "llc_writes_noncritical");
+
+    Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
+                                      mesh_.config().dataFlits);
+    Cycle fillStart = bankReserve(fill.bank, fillArrive);
+    mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false);
+    policy_->onFill(block, fill.bank);
+    fillWasCritical_[block] = fillCritical;
+    if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
+    evictFromLlc(fill.bank, llcEv, fillStart);
+
+    // Fill-forward: the data packet continues to the core as the ReRAM
+    // write proceeds in the background.
+    dataAtCore = nocTraverse(fill.bank, core, fillArrive, mesh_.config().dataFlits);
+    stats_.inc("llc_miss_latency_sum", dataAtCore - issueAt);
+    stats_.inc("llc_miss_latency_count");
+    stats_.inc("llc_miss_pre_bank_sum", bankStart - issueAt);
+    stats_.inc("dbg_tlb_sum", t - issueAt);
+    stats_.inc("dbg_l1q_sum", l1Start - t);
+    stats_.inc("dbg_l2q_sum", l2Start - t2);
+    stats_.inc("dbg_bankq_sum", bankStart - reqArrive);
+    stats_.inc("llc_miss_dram_sum", dramDone - memArrive);
+    stats_.inc("llc_miss_post_dram_sum", dataAtCore - dramDone);
+  }
+
+  // ---- Next-line prefetch (optional) ----------------------------------------
+  // Issued on the demand miss path, after the demand line's fate is known;
+  // prefetches run the same LLC/DRAM path untimed for the core (they only
+  // occupy resources) and fill the L2 directly.
+  for (std::uint32_t d = 1; d <= cfg_.l2PrefetchDegree; ++d) {
+    prefetchIntoL2(core, vaddr + static_cast<Addr>(d) * kLineBytes, afterL2);
+  }
+
+  // ---- Fill the private levels ------------------------------------------------
+  // Victim write-backs are timestamped at miss detection (afterL2), not at
+  // data return: every reservation on the LLC banks then happens at a
+  // near-constant offset from issue, which keeps the busy-until waterlines
+  // time-ordered (a +300-cycle future reservation would otherwise block
+  // all near-term demand behind it).
+  mem::Eviction l2Ev = l2_[core]->insert(block, /*dirty=*/false);
+  evictFromL2(core, l2Ev, afterL2);
+  mem::Eviction l1Ev = l1_[core]->insert(block, /*dirty=*/type == AccessType::Write);
+  if (l1Ev.valid && l1Ev.dirty) writebackL1VictimToL2(core, l1Ev.block, afterL2);
+
+  return WalkResult{dataAtCore, /*missedL1=*/true};
+}
+
+cpu::MemorySystem::LoadResult MemorySystem::load(CoreId core, Addr vaddr, std::uint64_t,
+                                                 Cycle issueAt, bool predictedCritical) {
+  WalkResult r = walk(core, vaddr, issueAt, AccessType::Read, predictedCritical);
+  return LoadResult{r.completeAt, r.missedL1};
+}
+
+Cycle MemorySystem::store(CoreId core, Addr vaddr, std::uint64_t, Cycle issueAt) {
+  WalkResult r = walk(core, vaddr, issueAt, AccessType::Write, /*critical=*/false);
+  return r.completeAt;
+}
+
+double MemorySystem::nonCriticalFillFrac() const {
+  std::uint64_t fills = stats_.get("llc_fills");
+  return fills ? static_cast<double>(stats_.get("llc_fills_noncritical")) /
+                     static_cast<double>(fills)
+               : 0.0;
+}
+
+double MemorySystem::nonCriticalWriteFrac() const {
+  std::uint64_t nc = stats_.get("llc_writes_noncritical");
+  std::uint64_t total = nc + stats_.get("llc_writes_critical");
+  return total ? static_cast<double>(nc) / static_cast<double>(total) : 0.0;
+}
+
+void MemorySystem::resetMeasurement() {
+  for (auto& bank : llc_) bank->resetMeasurement();
+  for (auto& c : l1_) c->stats().clear();
+  for (auto& c : l2_) c->stats().clear();
+  std::fill(coreCounters_.begin(), coreCounters_.end(), CoreMemCounters{});
+  stats_.clear();
+}
+
+std::string MemorySystem::checkInclusion() const {
+  std::string err;
+  for (CoreId c = 0; c < cfg_.numCores && err.empty(); ++c) {
+    // L1 ⊆ L2.
+    l1_[c]->forEachValidLine([&](BlockAddr block, bool) {
+      if (!err.empty()) return;
+      if (!l2_[c]->contains(block)) {
+        err = "L1 line of core " + std::to_string(c) + " missing from L2";
+      }
+    });
+    if (!err.empty()) break;
+    // L2 ⊆ LLC only when the LLC is inclusive.
+    if (cfg_.inclusiveLlc) {
+      l2_[c]->forEachValidLine([&](BlockAddr block, bool) {
+        if (!err.empty()) return;
+        bool bit = policy_->needsMbv() ? mbvBitPhys(block) : false;
+        BankId bank = policy_->locate(block, c, bit);
+        if (!llc_[bank]->contains(block)) {
+          err = "L2 line of core " + std::to_string(c) + " missing from LLC bank " +
+                std::to_string(bank);
+        }
+      });
+    }
+  }
+  return err;
+}
+
+}  // namespace renuca::sim

@@ -1,0 +1,147 @@
+// The simulated memory hierarchy: per-core enhanced TLBs and private
+// L1D/L2 caches, the 16-bank ReRAM NUCA LLC on the 4x4 mesh, and the DDR3
+// controller — glued together by the active mapping policy.
+//
+// Timing model: each request's completion cycle is computed as it walks
+// the hierarchy, with contention carried by busy-until reservations on L3
+// banks, mesh links, and DRAM banks/buses (see DESIGN.md §6).  Functional
+// state (tags, dirty bits, MBV bits, per-frame ReRAM write counts) is
+// updated in program order per core, so hit rates and write distributions
+// are real, not sampled.
+//
+// Inclusion invariants maintained here (and checked by integration tests):
+//   L1 ⊆ L2 ⊆ LLC.  An LLC eviction back-invalidates the owner core's
+//   L1/L2 (dirty upper copies are flushed to DRAM with the victim), resets
+//   the line's MBV bit, and notifies the policy (Naive's directory).
+//
+// ReRAM write accounting (what the lifetime figures are made of): every
+// LLC fill and every write-back landing in a bank increments that frame's
+// write counter.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/mesi.hpp"
+#include "core/mapping_policy.hpp"
+#include "cpu/core.hpp"
+#include "dram/dram.hpp"
+#include "mem/cache.hpp"
+#include "noc/mesh.hpp"
+#include "sim/config.hpp"
+#include "tlb/tlb.hpp"
+
+namespace renuca::sim {
+
+/// Per-core demand/traffic counters for WPKI / MPKI / hit-rate reporting.
+struct CoreMemCounters {
+  std::uint64_t llcDemandAccesses = 0;
+  std::uint64_t llcDemandMisses = 0;
+  std::uint64_t llcWritebacks = 0;  ///< Dirty L2 evictions sent to the LLC.
+};
+
+class MemorySystem final : public cpu::MemorySystem {
+ public:
+  explicit MemorySystem(const SystemConfig& config);
+
+  // cpu::MemorySystem
+  LoadResult load(CoreId core, Addr vaddr, std::uint64_t pc, Cycle issueAt,
+                  bool predictedCritical) override;
+  Cycle store(CoreId core, Addr vaddr, std::uint64_t pc, Cycle issueAt) override;
+
+  // --- Introspection -------------------------------------------------------
+  const SystemConfig& config() const { return cfg_; }
+  core::MappingPolicy& policy() { return *policy_; }
+  const noc::MeshNoc& mesh() const { return mesh_; }
+  const dram::DramController& dram() const { return dram_; }
+  const mem::CacheBank& llcBank(BankId b) const { return *llc_[b]; }
+  std::uint32_t numBanks() const { return static_cast<std::uint32_t>(llc_.size()); }
+  const CoreMemCounters& coreCounters(CoreId c) const { return coreCounters_[c]; }
+  tlb::EnhancedTlb& tlbOf(CoreId c) { return *tlbs_[c]; }
+  tlb::PageTable& pageTable() { return pageTable_; }
+  const StatSet& stats() const { return stats_; }
+  const coherence::DirectoryMesi* directory() const { return directory_.get(); }
+
+  /// Per-bank cumulative ReRAM writes (the Naive policy's oracle).
+  std::uint64_t bankWrites(BankId b) const { return llc_[b]->totalWrites(); }
+
+  /// Fraction of LLC fills whose triggering access was predicted
+  /// non-critical (Fig 8), and of LLC writes landing on non-critical
+  /// blocks (Fig 9).
+  double nonCriticalFillFrac() const;
+  double nonCriticalWriteFrac() const;
+
+  /// Ends the warm-up window: zeros every statistic and ReRAM write
+  /// counter while keeping cache/TLB/predictor contents.
+  void resetMeasurement();
+
+  /// Warm-up mode: functional-only accesses — tags, MBV bits, policy and
+  /// endurance state all update, but no bank/link/DRAM time is reserved.
+  /// Used for the untimed fast-forward phase (the analogue of the paper's
+  /// 2 B-instruction fast-forward + cache warm-up before measurement).
+  void setWarmupMode(bool on) { warmupMode_ = on; }
+  bool warmupMode() const { return warmupMode_; }
+
+  /// Checks the L1 ⊆ L2 ⊆ LLC inclusion invariants by sampling resident
+  /// lines; returns an empty string or a violation description (tests).
+  std::string checkInclusion() const;
+
+ private:
+  struct WalkResult {
+    Cycle completeAt = 0;
+    bool missedL1 = false;
+  };
+  WalkResult walk(CoreId core, Addr vaddr, Cycle issueAt, AccessType type,
+                  bool critical);
+
+  /// Sends a dirty L2 victim to the LLC (the WPKI event).
+  void writebackToLlc(CoreId owner, BlockAddr block, Cycle now);
+  /// Handles an L2 fill's victim: back-invalidates L1, forwards dirty data.
+  void evictFromL2(CoreId core, const mem::Eviction& ev, Cycle now);
+  /// Handles an LLC fill's victim: back-invalidation, MBV reset, policy
+  /// notice, DRAM write-back.
+  void evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now);
+  /// Writes a dirty L1 victim into the L2 (repairing inclusion if needed).
+  void writebackL1VictimToL2(CoreId core, BlockAddr block, Cycle now);
+  /// Next-line prefetch: brings `vaddr`'s line into the L2 (and the LLC if
+  /// absent) without stalling the core.  Fills are tagged non-critical.
+  void prefetchIntoL2(CoreId core, Addr vaddr, Cycle now);
+
+  /// The line's MBV bit, fetched via the page-table backing store (used
+  /// for write-backs, where only the physical address is at hand).
+  bool mbvBitPhys(BlockAddr block) const;
+  /// Owning core (== ASID) of a physical block; multi-programmed runs have
+  /// exactly one.
+  CoreId ownerOf(BlockAddr block) const;
+  /// Mesh node hosting a DRAM channel's memory controller.
+  std::uint32_t memNode(std::uint32_t channel) const;
+  /// MESI directory actions on the demand path (enableSharing only).
+  void coherenceActions(CoreId core, BlockAddr block, AccessType type, Cycle now);
+
+  // Timing wrappers that become no-ops in warm-up mode.
+  Cycle nocTraverse(std::uint32_t src, std::uint32_t dst, Cycle at, std::uint32_t flits);
+  Cycle bankReserve(BankId bank, Cycle at);
+  Cycle dramAccess(Addr paddr, AccessType type, Cycle at);
+
+  SystemConfig cfg_;
+  tlb::PageTable pageTable_;
+  std::vector<std::unique_ptr<tlb::EnhancedTlb>> tlbs_;
+  std::vector<std::unique_ptr<mem::CacheBank>> l1_;
+  std::vector<std::unique_ptr<mem::CacheBank>> l2_;
+  noc::MeshNoc mesh_;
+  std::vector<std::unique_ptr<mem::CacheBank>> llc_;
+  dram::DramController dram_;
+  std::unique_ptr<core::MappingPolicy> policy_;
+  std::unique_ptr<coherence::DirectoryMesi> directory_;
+
+  /// Criticality verdict recorded at fill time for each resident LLC line
+  /// (drives the Fig 9 accounting and tests).
+  std::unordered_map<BlockAddr, bool> fillWasCritical_;
+
+  std::vector<CoreMemCounters> coreCounters_;
+  StatSet stats_;
+  bool warmupMode_ = false;
+};
+
+}  // namespace renuca::sim

@@ -1,0 +1,179 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace renuca::sim {
+
+double RunResult::minBankLifetime() const {
+  if (bankLifetimeYears.empty()) return 0.0;
+  return *std::min_element(bankLifetimeYears.begin(), bankLifetimeYears.end());
+}
+
+double RunResult::avgWpki() const { return arithmeticMean(wpki); }
+double RunResult::avgMpki() const { return arithmeticMean(mpki); }
+
+System::System(const SystemConfig& config, const workload::WorkloadMix& mix)
+    : cfg_(config), mix_(mix) {
+  RENUCA_ASSERT(mix.appNames.size() == cfg_.numCores,
+                "workload mix size must equal the core count");
+  mem_ = std::make_unique<MemorySystem>(cfg_);
+
+  bool wantPredictor = mem_->policy().needsPredictor() || cfg_.forcePredictor;
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    const workload::AppProfile& prof = workload::profileByName(mix.appNames[c]);
+    gens_.push_back(std::make_unique<workload::SyntheticGenerator>(
+        prof, cfg_.seed * 1000003ull + c));
+    cpts_.push_back(wantPredictor
+                        ? std::make_unique<core::CriticalityPredictorTable>(cfg_.cpt)
+                        : nullptr);
+    cores_.push_back(std::make_unique<cpu::OooCore>(
+        cfg_.coreCfg, c, gens_.back().get(), mem_.get(), cpts_.back().get(),
+        cfg_.instrPerCore));
+    cores_.back()->setRunPastBudget(true);
+  }
+}
+
+void System::tickAll(Cycle now) {
+  for (auto& core : cores_) core->tick(now);
+}
+
+void System::fastForward(std::uint64_t instrPerCore) {
+  if (instrPerCore == 0) return;
+  mem_->setWarmupMode(true);
+  constexpr std::uint64_t kChunk = 4096;  // interleave so cores warm the LLC together
+  for (std::uint64_t done = 0; done < instrPerCore; done += kChunk) {
+    std::uint64_t n = std::min(kChunk, instrPerCore - done);
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        workload::TraceRecord rec = gens_[c]->next();
+        if (rec.kind == InstrKind::Load) {
+          bool critical = cpts_[c] ? cpts_[c]->predict(rec.pc) : false;
+          mem_->load(c, rec.vaddr, rec.pc, 0, critical);
+        } else if (rec.kind == InstrKind::Store) {
+          mem_->store(c, rec.vaddr, rec.pc, 0);
+        }
+      }
+    }
+  }
+  mem_->setWarmupMode(false);
+}
+
+bool System::allReached(std::uint64_t committed) const {
+  for (const auto& core : cores_) {
+    if (core->stats().committed < committed) return false;
+  }
+  return true;
+}
+
+Cycle System::nextCycle(Cycle now) const {
+  Cycle next = kNoCycle;
+  for (const auto& core : cores_) {
+    next = std::min(next, core->nextEventCycle(now));
+  }
+  if (next == kNoCycle || next <= now) return now + 1;
+  return next;
+}
+
+RunResult System::run() {
+  Cycle now = 0;
+
+  // ---- Functional fast-forward: bring the hierarchy to steady state. ----
+  // Untimed (no contention reservations); interleaved in chunks so cores
+  // warm the shared LLC together, as they would live.  The instruction
+  // stream simply advances — the analogue of the paper's fast-forward.
+  fastForward(cfg_.prewarmInstrPerCore);
+
+  // ---- Warm-up: fill caches, train predictors; statistics discarded. ----
+  while (!allReached(cfg_.warmupInstrPerCore) && now < cfg_.maxCycles) {
+    tickAll(now);
+    now = nextCycle(now);
+  }
+
+  // ---- Placement refresh (policies with a predictor only): now that the
+  // CPT is trained, re-place churned lines with real verdicts so the
+  // measurement window sees steady-state placement, not the cold-start
+  // all-S-NUCA layout the functional fast-forward produced.
+  if (cpts_[0] != nullptr) {
+    fastForward(cfg_.placementRefreshInstrPerCore);
+  }
+
+  for (auto& core : cores_) core->resetStats();
+  mem_->resetMeasurement();
+  const Cycle measureStart = now;
+
+  // ---- Measurement window. ----
+  bool hitCap = false;
+  while (!allReached(cfg_.instrPerCore)) {
+    if (now - measureStart >= cfg_.maxCycles) {
+      hitCap = true;
+      break;
+    }
+    tickAll(now);
+    now = nextCycle(now);
+  }
+  const Cycle measuredCycles = now - measureStart;
+
+  // ---- Collect results. ----
+  RunResult r;
+  r.mixName = mix_.name;
+  r.policy = cfg_.policy;
+  r.measuredCycles = measuredCycles;
+  r.hitMaxCycles = hitCap;
+
+  std::uint64_t totalLoads = 0, stalledLoads = 0, cptPred = 0, cptCorrect = 0,
+                caught = 0;
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    const cpu::CoreStats& cs = cores_[c]->stats();
+    std::uint64_t committed = std::min<std::uint64_t>(cs.committed, cfg_.instrPerCore);
+    Cycle coreCycles = cs.doneCycle > measureStart ? cs.doneCycle - measureStart
+                                                   : measuredCycles;
+    if (coreCycles == 0) coreCycles = 1;
+    double ipc = static_cast<double>(committed) / static_cast<double>(coreCycles);
+    r.coreIpc.push_back(ipc);
+    r.coreCommitted.push_back(cs.committed);
+    r.systemIpc += ipc;
+
+    const CoreMemCounters& mc = mem_->coreCounters(c);
+    double kilo = static_cast<double>(std::max<std::uint64_t>(cs.committed, 1)) / 1000.0;
+    r.wpki.push_back(static_cast<double>(mc.llcWritebacks) / kilo);
+    r.mpki.push_back(static_cast<double>(mc.llcDemandMisses) / kilo);
+    r.llcHitRate.push_back(
+        mc.llcDemandAccesses
+            ? 1.0 - static_cast<double>(mc.llcDemandMisses) /
+                        static_cast<double>(mc.llcDemandAccesses)
+            : 0.0);
+
+    totalLoads += cs.loads;
+    stalledLoads += cs.loadsStalledHead;
+    cptPred += cs.cptPredictions;
+    cptCorrect += cs.cptCorrect;
+    caught += cs.criticalLoadsCaught;
+  }
+  r.nonCriticalLoadFrac =
+      totalLoads ? 1.0 - static_cast<double>(stalledLoads) / static_cast<double>(totalLoads)
+                 : 0.0;
+  r.cptAccuracy =
+      cptPred ? static_cast<double>(cptCorrect) / static_cast<double>(cptPred) : 0.0;
+  r.cptCriticalRecall =
+      stalledLoads ? static_cast<double>(caught) / static_cast<double>(stalledLoads) : 0.0;
+  r.nonCriticalFillFrac = mem_->nonCriticalFillFrac();
+  r.nonCriticalWriteFrac = mem_->nonCriticalWriteFrac();
+
+  for (BankId b = 0; b < mem_->numBanks(); ++b) {
+    const mem::CacheBank& bank = mem_->llcBank(b);
+    r.bankWrites.push_back(bank.totalWrites());
+    r.bankMaxFrameWrites.push_back(bank.maxFrameWrites());
+    r.bankLifetimeYears.push_back(rram::bankLifetimeYearsIdeal(
+        bank.totalWrites(), bank.config().numFrames(), measuredCycles, cfg_.endurance));
+    r.bankLifetimeYearsHotFrame.push_back(
+        rram::bankLifetimeYears(bank.maxFrameWrites(), measuredCycles, cfg_.endurance));
+  }
+
+  r.avgNocLatencyCycles = mem_->mesh().avgPacketLatency();
+  r.dramRowHitRate = mem_->dram().rowHitRate();
+  return r;
+}
+
+}  // namespace renuca::sim

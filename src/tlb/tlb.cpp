@@ -1,0 +1,137 @@
+#include "tlb/tlb.hpp"
+
+#include "common/log.hpp"
+
+namespace renuca::tlb {
+
+std::uint64_t PageTable::translate(Asid asid, std::uint64_t vpn) {
+  std::uint64_t k = key(asid, vpn);
+  auto it = map_.find(k);
+  if (it != map_.end()) return it->second;
+  std::uint64_t ppn = nextPpn_++;
+  map_.emplace(k, ppn);
+  reverse_.emplace(ppn, k);
+  return ppn;
+}
+
+std::optional<std::pair<Asid, std::uint64_t>> PageTable::ownerOf(std::uint64_t ppn) const {
+  auto it = reverse_.find(ppn);
+  if (it == reverse_.end()) return std::nullopt;
+  std::uint64_t k = it->second;
+  return std::make_pair(static_cast<Asid>(k >> 40), k & ((1ull << 40) - 1));
+}
+
+std::uint64_t PageTable::loadMbv(Asid asid, std::uint64_t vpn) const {
+  auto it = mbv_.find(key(asid, vpn));
+  return it == mbv_.end() ? 0 : it->second;
+}
+
+void PageTable::storeMbv(Asid asid, std::uint64_t vpn, std::uint64_t mbv) {
+  mbv_[key(asid, vpn)] = mbv;
+}
+
+EnhancedTlb::EnhancedTlb(const TlbConfig& config, PageTable* pageTable, Asid asid,
+                         std::string name)
+    : cfg_(config), pageTable_(pageTable), asid_(asid),
+      numSets_(config.entries / config.ways), stats_(std::move(name)) {
+  RENUCA_ASSERT(pageTable_ != nullptr, "EnhancedTlb needs a page table");
+  RENUCA_ASSERT(cfg_.entries % cfg_.ways == 0, "TLB entries must divide by ways");
+  RENUCA_ASSERT(numSets_ > 0, "TLB must have at least one set");
+  entries_.resize(cfg_.entries);
+}
+
+EnhancedTlb::Entry* EnhancedTlb::find(std::uint64_t vpn) {
+  std::uint32_t set = setOf(vpn);
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Entry& e = entries_[set * cfg_.ways + w];
+    if (e.valid && e.vpn == vpn) return &e;
+  }
+  return nullptr;
+}
+
+const EnhancedTlb::Entry* EnhancedTlb::find(std::uint64_t vpn) const {
+  return const_cast<EnhancedTlb*>(this)->find(vpn);
+}
+
+EnhancedTlb::Entry& EnhancedTlb::refill(std::uint64_t vpn) {
+  std::uint32_t set = setOf(vpn);
+  // LRU victim within the set; invalid entries first.
+  Entry* victim = &entries_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Entry& e = entries_[set * cfg_.ways + w];
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lastUse < victim->lastUse) victim = &e;
+  }
+  if (victim->valid && cfg_.backMbvInPageTable) {
+    pageTable_->storeMbv(asid_, victim->vpn, victim->mbv);
+  }
+  if (victim->valid) stats_.inc("evictions");
+
+  victim->vpn = vpn;
+  victim->ppn = pageTable_->translate(asid_, vpn);
+  victim->mbv = cfg_.backMbvInPageTable ? pageTable_->loadMbv(asid_, vpn) : 0;
+  victim->valid = true;
+  victim->lastUse = ++useTick_;
+  return *victim;
+}
+
+Translation EnhancedTlb::translate(Addr vaddr) {
+  std::uint64_t vpn = pageOf(vaddr);
+  Translation t;
+  if (Entry* e = find(vpn)) {
+    e->lastUse = ++useTick_;
+    t.tlbHit = true;
+    t.latency = 0;
+    t.paddr = (e->ppn << kPageShift) | (vaddr & (kPageBytes - 1));
+    stats_.inc("hits");
+    return t;
+  }
+  stats_.inc("misses");
+  Entry& e = refill(vpn);
+  t.tlbHit = false;
+  t.latency = cfg_.missLatency;
+  t.paddr = (e.ppn << kPageShift) | (vaddr & (kPageBytes - 1));
+  return t;
+}
+
+bool EnhancedTlb::mappingBit(Addr vaddr) const {
+  const Entry* e = find(pageOf(vaddr));
+  RENUCA_ASSERT(e != nullptr, "mappingBit on non-resident TLB page");
+  return (e->mbv >> lineIndexInPage(vaddr)) & 1ull;
+}
+
+void EnhancedTlb::setMappingBit(Addr vaddr, bool rnuca) {
+  std::uint64_t vpn = pageOf(vaddr);
+  std::uint64_t bit = 1ull << lineIndexInPage(vaddr);
+  Entry* e = find(vpn);
+  if (e) {
+    if (rnuca) {
+      e->mbv |= bit;
+    } else {
+      e->mbv &= ~bit;
+    }
+  }
+  if (cfg_.backMbvInPageTable) {
+    std::uint64_t backed = pageTable_->loadMbv(asid_, vpn);
+    backed = rnuca ? (backed | bit) : (backed & ~bit);
+    pageTable_->storeMbv(asid_, vpn, backed);
+  }
+  stats_.inc("mbv_updates");
+}
+
+void EnhancedTlb::resetMappingBitPhys(Addr paddr) {
+  auto owner = pageTable_->ownerOf(pageOf(paddr));
+  if (!owner || owner->first != asid_) return;
+  std::uint64_t vpn = owner->second;
+  std::uint64_t bit = 1ull << lineIndexInPage(paddr);
+  if (Entry* e = find(vpn)) e->mbv &= ~bit;
+  if (cfg_.backMbvInPageTable) {
+    pageTable_->storeMbv(asid_, vpn, pageTable_->loadMbv(asid_, vpn) & ~bit);
+  }
+  stats_.inc("mbv_resets");
+}
+
+}  // namespace renuca::tlb

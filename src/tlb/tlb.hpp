@@ -1,0 +1,116 @@
+// Enhanced TLB with per-line Mapping Bit Vectors (paper §IV.C).
+//
+// Each TLB entry is a conventional VPN->PPN translation augmented with a
+// 64-bit Mapping Bit Vector (MBV): one bit per 64 B line of the 4 KB page.
+// Bit = 0 means the line is (or will be) placed with S-NUCA; bit = 1 means
+// R-NUCA.  The LLC controller reads the bit *before* accessing the LLC
+// (the TLB is consulted early in the memory pipeline), and the fill path
+// writes it when a line is allocated.  A line's bit is reset to 0 when the
+// line is evicted from the LLC.
+//
+// The paper does not specify what happens to MBV state across TLB
+// evictions; since a resident LLC line must remain locatable, we back the
+// MBV in the page table (write-through) and reload it on refill.  This
+// costs no extra traffic in the model and is the conservative-correct
+// choice; tlb tests cover both the backed and unbacked configurations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace renuca::tlb {
+
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t ways = 8;
+  std::uint32_t missLatency = 20;  ///< Page-walk latency in cycles.
+  bool backMbvInPageTable = true;  ///< Preserve MBV across TLB evictions.
+};
+
+/// First-touch physical page allocator with a reverse map.  Deterministic:
+/// pages get consecutive PPNs in first-access order, so a seeded run is
+/// exactly reproducible.  Also owns the MBV backing store.
+class PageTable {
+ public:
+  /// Translates (asid, vpn) -> ppn, allocating on first touch.
+  std::uint64_t translate(Asid asid, std::uint64_t vpn);
+
+  /// Reverse lookup: which (asid, vpn) owns this ppn?  Returns nullopt for
+  /// never-allocated pages.
+  std::optional<std::pair<Asid, std::uint64_t>> ownerOf(std::uint64_t ppn) const;
+
+  std::uint64_t loadMbv(Asid asid, std::uint64_t vpn) const;
+  void storeMbv(Asid asid, std::uint64_t vpn, std::uint64_t mbv);
+
+  std::uint64_t allocatedPages() const { return nextPpn_; }
+
+ private:
+  static std::uint64_t key(Asid asid, std::uint64_t vpn) {
+    return (static_cast<std::uint64_t>(asid) << 40) | vpn;
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;      // key -> ppn
+  std::unordered_map<std::uint64_t, std::uint64_t> reverse_;  // ppn -> key
+  std::unordered_map<std::uint64_t, std::uint64_t> mbv_;      // key -> MBV bits
+  std::uint64_t nextPpn_ = 1;  // ppn 0 reserved
+};
+
+struct Translation {
+  Addr paddr = 0;
+  bool tlbHit = false;
+  std::uint32_t latency = 0;  ///< 0 on hit, missLatency on miss.
+};
+
+class EnhancedTlb {
+ public:
+  EnhancedTlb(const TlbConfig& config, PageTable* pageTable, Asid asid,
+              std::string name);
+
+  /// Translates a virtual address, refilling the TLB on a miss.
+  Translation translate(Addr vaddr);
+
+  /// Reads the MBV bit for the line containing `vaddr`.  The page must be
+  /// TLB-resident (call translate first); enforced by assertion.
+  bool mappingBit(Addr vaddr) const;
+
+  /// Sets the MBV bit for the line containing `vaddr` (write-through to
+  /// the page table when backing is enabled).
+  void setMappingBit(Addr vaddr, bool rnuca);
+
+  /// Clears the MBV bit for a line given its *physical* address — called
+  /// by the LLC when it evicts the line.  Updates the TLB copy if the page
+  /// is resident and always updates the backing store.
+  void resetMappingBitPhys(Addr paddr);
+
+  const StatSet& stats() const { return stats_; }
+  const TlbConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    std::uint64_t vpn = 0;
+    std::uint64_t ppn = 0;
+    std::uint64_t mbv = 0;
+    bool valid = false;
+    std::uint64_t lastUse = 0;
+  };
+
+  std::uint32_t setOf(std::uint64_t vpn) const { return static_cast<std::uint32_t>(vpn % numSets_); }
+  Entry* find(std::uint64_t vpn);
+  const Entry* find(std::uint64_t vpn) const;
+  Entry& refill(std::uint64_t vpn);
+
+  TlbConfig cfg_;
+  PageTable* pageTable_;
+  Asid asid_;
+  std::uint32_t numSets_;
+  std::vector<Entry> entries_;
+  std::uint64_t useTick_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace renuca::tlb

@@ -1,0 +1,168 @@
+#include "workload/app_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace renuca::workload {
+
+namespace {
+
+// Latency guesses used only for knob derivation (the real run uses the
+// simulated hierarchy).  Roughly: LLC miss ~ NoC + bank + DRAM; LLC hit ~
+// NoC + bank.
+// Effective latencies of the simulated hierarchy (Table I parameters):
+// LLC hit ~ bank access + mesh round trip; LLC miss additionally pays the
+// DDR3 access after the (full-array) ReRAM read determines the miss.
+constexpr double kMissLat = 210.0;
+constexpr double kL3HitLat = 110.0;
+// Miss-bound loads are emitted in bursts of this size (see
+// SyntheticGenerator::buildLoop): a 128-entry ROB window can only overlap
+// misses that are close together in program order, so the burst size *is*
+// the unchained memory-level parallelism.
+constexpr double kMissBurstMlp = 4.0;
+constexpr double kStoreBufMlp = 16.0;  // store-buffer-provided overlap
+constexpr double kBaseCyclesPerKi = 250.0;  // 4-wide ideal
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+WriteIntensity AppProfile::intensity() const {
+  double s = writeScore();
+  if (s > 10.0) return WriteIntensity::High;
+  if (s >= 1.0) return WriteIntensity::Medium;
+  return WriteIntensity::Low;
+}
+
+DerivedParams deriveParams(const TableIIRef& ref) {
+  DerivedParams p;
+  const double M = std::max(0.0, ref.mpki);
+  const double W = std::max(0.0, ref.wpki);
+  const double h = std::clamp(ref.hitrate, 0.0, 0.99);
+
+  // --- Decompose LLC traffic ---------------------------------------------
+  // Demand hits per KI implied by the hit rate:  h = Hd / (Hd + M).
+  double hd = (h > 0.0 && M > 0.0) ? M * h / (1.0 - h) : 0.0;
+  // Hit-rate apps with negligible misses (e.g. povray) still want some L3
+  // reuse; give them a floor tied to WPKI so write-backs have a home.
+  if (M < 0.05 && W > 0.0) hd = std::max(hd, W);
+  hd = std::min(hd, 180.0);
+
+  // Stores to the L3-resident region produce a demand hit now and a
+  // write-back later; keep ~25 % of the hits for loads when possible.
+  p.storeLargePki = std::min(W, hd * 0.75);
+  p.loadLargePki = std::max(0.0, hd - p.storeLargePki);
+
+  double remainingWb = std::max(0.0, W - p.storeLargePki);
+  // Streaming stores: one LLC miss and one write-back per line.
+  p.storeStreamPki = std::min(0.4 * M, remainingWb);
+  p.loadStreamPki = std::max(0.0, M - p.storeStreamPki);
+  // Remaining write-backs come from read-modify-write of streamed lines
+  // (a store into a line a streaming load just fetched).
+  double rmwWb = remainingWb - p.storeStreamPki;
+  p.rmwProb = p.loadStreamPki > 1e-9 ? clamp01(rmwWb / p.loadStreamPki) : 0.0;
+
+  // --- Fill the rest of the instruction mix with L1/L2 hits --------------
+  double loadsUsed = p.loadStreamPki + p.loadLargePki;
+  double storesUsed = p.storeStreamPki + p.storeLargePki + p.rmwProb * p.loadStreamPki;
+  double loadsLeft = std::max(0.0, kLoadsPerKi - loadsUsed);
+  double storesLeft = std::max(0.0, kStoresPerKi - storesUsed);
+  p.loadWarmPki = 0.15 * loadsLeft;
+  p.loadHotPki = loadsLeft - p.loadWarmPki;
+  p.storeWarmPki = 0.10 * storesLeft;
+  p.storeHotPki = storesLeft - p.storeWarmPki;
+
+  // --- Solve dependence knobs from the IPC target ------------------------
+  const double ipc = std::max(0.02, ref.ipc);
+  const double cpKiTarget = 1000.0 / ipc;
+  // Store misses/hits drain through the store buffer with high overlap.
+  const double storeStall =
+      (p.storeStreamPki * kMissLat + p.storeLargePki * kL3HitLat) / kStoreBufMlp;
+  const double loadSerialCycles =
+      p.loadStreamPki * kMissLat + p.loadLargePki * kL3HitLat;
+
+  const double aluFrac = 1.0 - (kLoadsPerKi + kStoresPerKi) / 1000.0;
+  if (p.loadStreamPki > 5.0) {
+    // Memory bound: dependence chains among miss-bound loads set the MLP.
+    p.aluDepShallowFrac = 0.2;
+    double budget = cpKiTarget - kBaseCyclesPerKi - storeStall;
+    double s = loadSerialCycles > 0 ? budget / loadSerialCycles : 0.0;
+    // s = chained + (1-chained)/burstMlp  ->  solve for chained.
+    double chained = (s - 1.0 / kMissBurstMlp) / (1.0 - 1.0 / kMissBurstMlp);
+    p.depChainFrac = std::clamp(chained, 0.0, 0.95);
+  } else {
+    // Compute / hit-latency bound.  First let the rolling ALU chain carry
+    // as much of the CPI as it can (one cycle per member, members drawn
+    // from the ALU share of the mix)...
+    double memCycles = storeStall + loadSerialCycles * 0.3;
+    double targetChainCpi = (cpKiTarget - memCycles) / 1000.0;
+    p.aluDepShallowFrac = std::clamp(targetChainCpi / aluFrac, 0.05, 1.0);
+    // ...then serialize L3-hit loads (pointer-heavy apps like omnetpp and
+    // xalancbmk chase through LLC-resident structures) to cover the rest.
+    // Serialized hits are also what makes NUCA distance visible in IPC.
+    double chainCycles = std::min(targetChainCpi, aluFrac) * 1000.0;
+    double residual = cpKiTarget - chainCycles - storeStall;
+    p.depChainFrac = loadSerialCycles > 1e-9
+                         ? std::clamp(residual / loadSerialCycles, 0.1, 0.95)
+                         : 0.3;
+  }
+  return p;
+}
+
+namespace {
+
+AppProfile makeProfile(const std::string& name, double wpki, double mpki,
+                       double hitrate, double ipc) {
+  AppProfile prof;
+  prof.name = name;
+  prof.ref = TableIIRef{wpki, mpki, hitrate, ipc};
+  prof.params = deriveParams(prof.ref);
+  return prof;
+}
+
+std::vector<AppProfile> buildProfiles() {
+  // Table II of the paper, transcribed verbatim: name, WPKI, MPKI, hit
+  // rate, single-core IPC.
+  std::vector<AppProfile> v;
+  v.push_back(makeProfile("mcf", 68.67, 55.29, 0.20, 0.07));
+  v.push_back(makeProfile("streamL", 36.25, 36.25, 0.00, 0.37));
+  v.push_back(makeProfile("lbm", 31.66, 31.46, 0.01, 0.53));
+  v.push_back(makeProfile("zeusmp", 18.57, 17.13, 0.08, 0.54));
+  v.push_back(makeProfile("bwaves", 14.01, 12.91, 0.08, 0.59));
+  v.push_back(makeProfile("libquantum", 11.67, 11.64, 0.00, 0.34));
+  v.push_back(makeProfile("milc", 11.31, 11.28, 0.00, 0.71));
+  v.push_back(makeProfile("omnetpp", 16.22, 0.61, 0.96, 0.78));
+  v.push_back(makeProfile("xalancbmk", 13.17, 0.76, 0.94, 0.89));
+  v.push_back(makeProfile("leslie3d", 5.24, 4.86, 0.07, 1.33));
+  v.push_back(makeProfile("bzip2", 2.89, 0.69, 0.76, 1.63));
+  v.push_back(makeProfile("gromacs", 1.85, 0.61, 0.67, 1.61));
+  v.push_back(makeProfile("hmmer", 2.20, 0.13, 0.94, 2.61));
+  v.push_back(makeProfile("soplex", 1.27, 0.25, 0.80, 0.94));
+  v.push_back(makeProfile("h264ref", 1.09, 0.08, 0.93, 2.00));
+  v.push_back(makeProfile("sjeng", 0.52, 0.32, 0.41, 1.16));
+  v.push_back(makeProfile("sphinx3", 0.30, 0.30, 0.06, 1.96));
+  v.push_back(makeProfile("dealII", 0.33, 0.12, 0.65, 2.27));
+  v.push_back(makeProfile("astar", 0.24, 0.12, 0.54, 2.08));
+  v.push_back(makeProfile("povray", 0.18, 0.04, 0.79, 1.57));
+  v.push_back(makeProfile("namd", 0.04, 0.05, 0.21, 2.34));
+  v.push_back(makeProfile("GemsFDTD", 0.00, 0.01, 0.00, 1.81));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<AppProfile>& spec2006Profiles() {
+  static const std::vector<AppProfile> profiles = buildProfiles();
+  return profiles;
+}
+
+const AppProfile& profileByName(const std::string& name) {
+  for (const AppProfile& p : spec2006Profiles()) {
+    if (p.name == name) return p;
+  }
+  RENUCA_ASSERT(false, "unknown application profile: " + name);
+}
+
+}  // namespace renuca::workload

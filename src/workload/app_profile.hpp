@@ -1,0 +1,93 @@
+// SPEC CPU2006-like application profiles.
+//
+// The paper drives its evaluation with SPEC CPU2006 reference runs under
+// gem5.  We do not have SPEC binaries or traces, so each application is
+// modelled statistically: its Table II characteristics (last-level cache
+// WPKI, MPKI, hit rate, and single-core IPC) are treated as *calibration
+// targets*, and deriveParams() solves for generator knobs (per-kilo-
+// instruction rates of streaming/large-region loads and stores, dependence
+// chaining, read-modify-write rate) that reproduce those targets through
+// the real simulated cache hierarchy.
+//
+// What matters for reproducing the paper is each app's LLC *write
+// intensity* and *locality structure*, which these profiles carry
+// app-by-app; see DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace renuca::workload {
+
+/// Write-intensity class used to compose multi-programmed mixes
+/// (paper §V.A: sum of WPKI+MPKI > 10 -> High, 1..10 -> Medium, < 1 -> Low).
+enum class WriteIntensity : std::uint8_t { Low, Medium, High };
+
+/// Reference characteristics from the paper's Table II.
+struct TableIIRef {
+  double wpki = 0.0;     ///< LLC write-backs per kilo-instruction.
+  double mpki = 0.0;     ///< LLC misses per kilo-instruction.
+  double hitrate = 0.0;  ///< LLC demand hit rate.
+  double ipc = 0.0;      ///< Single-core IPC.
+};
+
+/// Generator knobs derived from the Table II reference values.
+/// All *Pki values are events per 1000 committed instructions.
+struct DerivedParams {
+  double loadStreamPki = 0.0;  ///< Streaming loads (compulsory LLC misses).
+  double storeStreamPki = 0.0; ///< Streaming stores (LLC miss + write-back).
+  double loadLargePki = 0.0;   ///< Loads to the L3-resident (L2-evicting) region.
+  double storeLargePki = 0.0;  ///< Stores to the L3-resident region (hit + write-back).
+  double loadWarmPki = 0.0;    ///< Loads that hit in L2.
+  double storeWarmPki = 0.0;   ///< Stores that hit in L2.
+  double loadHotPki = 0.0;     ///< Loads that hit in L1.
+  double storeHotPki = 0.0;    ///< Stores that hit in L1.
+  double rmwProb = 0.0;        ///< P(streaming load is followed by a store to the same line).
+  double depChainFrac = 0.0;   ///< P(miss-bound load depends on the previous miss-bound load).
+  double aluDepShallowFrac = 0.2;  ///< P(ALU op depends on the immediately preceding op).
+};
+
+/// A complete application model: identity, reference targets, memory
+/// region geometry, and derived generator knobs.
+struct AppProfile {
+  std::string name;
+  TableIIRef ref;
+  DerivedParams params;
+
+  // Memory region sizes (bytes).  Defaults are chosen relative to the
+  // paper's default hierarchy (32 KB L1 / 256 KB L2 / 2 MB L3 share) so
+  // that the L2-128KB and L3-1MB sensitivity studies perturb them
+  // naturally.  The "large" (L3-resident) region must exceed the L2 by
+  // enough that its reuse always misses L2, but stay small enough to warm
+  // within the fast-forward window — the steady-state L3 hit rate is set
+  // by the touch-rate decomposition, not the region size.
+  std::uint64_t hotBytes = 8 * 1024;
+  std::uint64_t warmBytes = 160 * 1024;
+  std::uint64_t largeBytes = 512 * 1024;
+
+  std::uint32_t loopLen = 1000;  ///< Loop body length in instructions (PC variety).
+
+  WriteIntensity intensity() const;
+  /// WPKI + MPKI, the paper's write-intensity score.
+  double writeScore() const { return ref.wpki + ref.mpki; }
+};
+
+/// Solves generator knobs from Table II targets.  Exposed for tests: the
+/// derived rates must be internally consistent (non-negative, loads/stores
+/// per KI within the instruction mix budget, MPKI decomposition adds up).
+DerivedParams deriveParams(const TableIIRef& ref);
+
+/// All 22 SPEC CPU2006 applications from the paper's Table II, with
+/// reference values transcribed verbatim and knobs derived.
+const std::vector<AppProfile>& spec2006Profiles();
+
+/// Look up a profile by name; aborts if unknown (workload mixes are
+/// validated at construction).
+const AppProfile& profileByName(const std::string& name);
+
+/// Instruction-mix constants shared by derivation and generation.
+inline constexpr double kLoadsPerKi = 250.0;   ///< 25 % loads.
+inline constexpr double kStoresPerKi = 100.0;  ///< 10 % stores.
+
+}  // namespace renuca::workload

@@ -1,0 +1,237 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace renuca::workload {
+
+namespace {
+
+// Virtual address layout per application (each app runs in its own address
+// space; the page table assigns disjoint physical ranges per ASID).
+constexpr std::uint64_t kHotBase = 0x10000000ull;
+constexpr std::uint64_t kWarmBase = 0x20000000ull;
+constexpr std::uint64_t kLargeBase = 0x30000000ull;
+constexpr std::uint64_t kStreamBase = 0x40000000ull;
+constexpr std::uint64_t kStreamSpacing = 0x01000000ull;  // 16 MB between streams
+constexpr std::uint64_t kPcBase = 0x400000ull;
+constexpr std::uint32_t kNumStreams = 4;
+
+std::uint32_t countFor(double pki, std::uint32_t loopLen) {
+  return static_cast<std::uint32_t>(std::lround(pki * loopLen / 1000.0));
+}
+
+}  // namespace
+
+SyntheticGenerator::SyntheticGenerator(const AppProfile& profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed, 0x6b79636e2d67656eull) {
+  streamCursor_.assign(kNumStreams, 0);
+  Pcg32 buildRng(seed ^ 0x5eedb00cull, 0x1badb002ull);
+  buildLoop(buildRng);
+}
+
+void SyntheticGenerator::buildLoop(Pcg32& rng) {
+  const DerivedParams& p = profile_.params;
+  const std::uint32_t len = profile_.loopLen;
+
+  std::vector<Slot> slots;
+  auto push = [&](InstrKind kind, Region region, std::uint32_t count, bool rmw = false) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Slot s;
+      s.kind = kind;
+      s.region = region;
+      s.rmwCandidate = rmw;
+      if (region == Region::Stream) {
+        s.streamIdx = static_cast<std::uint16_t>(slots.size() % kNumStreams);
+      }
+      slots.push_back(s);
+    }
+  };
+
+  push(InstrKind::Load, Region::Stream, countFor(p.loadStreamPki, len), /*rmw=*/true);
+  push(InstrKind::Store, Region::Stream, countFor(p.storeStreamPki, len));
+  push(InstrKind::Load, Region::Large, countFor(p.loadLargePki, len));
+  push(InstrKind::Store, Region::Large, countFor(p.storeLargePki, len));
+  push(InstrKind::Load, Region::Warm, countFor(p.loadWarmPki, len));
+  push(InstrKind::Store, Region::Warm, countFor(p.storeWarmPki, len));
+  push(InstrKind::Load, Region::Hot, countFor(p.loadHotPki, len));
+  push(InstrKind::Store, Region::Hot, countFor(p.storeHotPki, len));
+
+  // Expected paired RMW stores inflate the dynamic instruction count; trim
+  // the ALU filler so the loop still averages ~len instructions and the
+  // per-kilo-instruction rates stay calibrated.
+  std::uint32_t nStreamLoads = countFor(p.loadStreamPki, len);
+  std::uint32_t expectedRmw =
+      static_cast<std::uint32_t>(std::lround(p.rmwProb * nStreamLoads));
+  std::uint32_t memCount = static_cast<std::uint32_t>(slots.size());
+  RENUCA_ASSERT(memCount + expectedRmw < len,
+                "profile " + profile_.name + " memory slots exceed loop length");
+  std::uint32_t nAlu = len - memCount - expectedRmw;
+  push(InstrKind::Alu, Region::Hot, nAlu);
+
+  // Partition: miss-bound loads are kept aside and re-inserted in bursts
+  // of kMissBurst consecutive slots.  Bursts matter: a 128-entry ROB can
+  // only overlap misses that sit close together in program order, and
+  // real applications' misses cluster spatially (unrolled loops, array
+  // sweeps).  Everything else is spread by a deterministic shuffle.
+  std::vector<Slot> missLoads, rest;
+  for (const Slot& s : slots) {
+    if (s.kind == InstrKind::Load &&
+        (s.region == Region::Stream || s.region == Region::Large)) {
+      missLoads.push_back(s);
+    } else {
+      rest.push_back(s);
+    }
+  }
+  for (std::size_t i = rest.size(); i > 1; --i) {
+    std::size_t j = rng.nextBelow(static_cast<std::uint32_t>(i));
+    std::swap(rest[i - 1], rest[j]);
+  }
+
+  constexpr std::size_t kMissBurst = 4;
+  std::vector<Slot> body;
+  body.reserve(slots.size());
+  std::size_t numBursts = (missLoads.size() + kMissBurst - 1) / kMissBurst;
+  std::size_t restPerGap = numBursts ? rest.size() / numBursts : rest.size();
+  std::size_t mi = 0, ri = 0;
+  for (std::size_t burst = 0; burst < numBursts; ++burst) {
+    for (std::size_t k = 0; k < kMissBurst && mi < missLoads.size(); ++k) {
+      body.push_back(missLoads[mi++]);
+    }
+    std::size_t take = (burst + 1 == numBursts) ? rest.size() - ri : restPerGap;
+    for (std::size_t k = 0; k < take && ri < rest.size(); ++k) {
+      body.push_back(rest[ri++]);
+    }
+  }
+  while (ri < rest.size()) body.push_back(rest[ri++]);
+  loop_ = std::move(body);
+}
+
+std::uint64_t SyntheticGenerator::slotAddress(const Slot& slot, std::size_t slotIdx) {
+  switch (slot.region) {
+    case Region::Hot: {
+      std::uint64_t lines = std::max<std::uint64_t>(1, profile_.hotBytes / kLineBytes);
+      return kHotBase + (rng_.range(0, lines - 1) << kLineShift);
+    }
+    case Region::Warm: {
+      std::uint64_t lines = std::max<std::uint64_t>(1, profile_.warmBytes / kLineBytes);
+      return kWarmBase + (rng_.range(0, lines - 1) << kLineShift);
+    }
+    case Region::Large: {
+      std::uint64_t lines = std::max<std::uint64_t>(1, profile_.largeBytes / kLineBytes);
+      return kLargeBase + (rng_.range(0, lines - 1) << kLineShift);
+    }
+    case Region::Stream: {
+      std::uint64_t& cursor = streamCursor_[slot.streamIdx];
+      // The per-stream skew of 13 lines keeps concurrent streams off the
+      // same DRAM channel/bank (16 MB spacing alone is a multiple of the
+      // channel-interleave stride, which would serialize every miss burst
+      // on one bank).
+      std::uint64_t addr = kStreamBase +
+                           slot.streamIdx * (kStreamSpacing + 13 * kLineBytes) + cursor;
+      cursor += kLineBytes;
+      // Wrap well before colliding with the next stream's window; by then
+      // the old lines are long gone from every cache level, so wrapped
+      // accesses are still compulsory-miss-like.
+      if (cursor >= kStreamSpacing) cursor = 0;
+      return addr;
+    }
+  }
+  RENUCA_ASSERT(false, "unreachable region in slotAddress");
+  return 0;
+  (void)slotIdx;
+}
+
+TraceRecord SyntheticGenerator::next() {
+  TraceRecord rec;
+
+  // Gap counters: instructions emitted since the last chain member /
+  // miss-bound load (excluding the current one); depDist = gap + 1.
+  if (pendingRmwStore_) {
+    // Paired read-modify-write store to the line the previous streaming
+    // load fetched.  Depends on that load (depDist = 1).
+    pendingRmwStore_ = false;
+    rec.kind = InstrKind::Store;
+    rec.vaddr = pendingRmwAddr_;
+    rec.pc = pendingRmwPc_;
+    rec.depDist = 1;
+    lastMissLoadGap_ += 1;
+    lastChainGap_ += 1;
+    ++emitted_;
+    return rec;
+  }
+
+  const Slot& slot = loop_[slotIdx_];
+  const DerivedParams& p = profile_.params;
+
+  rec.kind = slot.kind;
+  rec.pc = kPcBase + static_cast<std::uint64_t>(slotIdx_) * 4;
+
+  bool chainMember = false;
+  bool missBoundLoad = false;
+
+  if (slot.kind == InstrKind::Alu) {
+    // Rolling chain: aluDepShallowFrac of all ALU ops depend on the
+    // previous chain member, giving a CPI floor equal to that fraction
+    // (each member completes one cycle after its predecessor).
+    chainAcc_ += p.aluDepShallowFrac;
+    if (chainAcc_ >= 1.0) {
+      chainAcc_ -= 1.0;
+      chainMember = true;
+      rec.depDist = static_cast<std::uint8_t>(std::min<std::uint64_t>(lastChainGap_ + 1, 255));
+      lastChainGap_ = 0;
+    }
+  } else {
+    rec.vaddr = slotAddress(slot, slotIdx_);
+    bool missBound = slot.region == Region::Stream || slot.region == Region::Large;
+    if (slot.kind == InstrKind::Load && missBound) {
+      missBoundLoad = true;
+      if (lastMissLoadGap_ + 1 <= 255 && rng_.chance(p.depChainFrac)) {
+        // Pointer chase: the address register is produced by the previous
+        // miss-bound load, serializing the two LLC misses.
+        rec.depDist = static_cast<std::uint8_t>(lastMissLoadGap_ + 1);
+      }
+      lastMissLoadGap_ = 0;
+    }
+    if (slot.kind == InstrKind::Load && slot.rmwCandidate && rng_.chance(p.rmwProb)) {
+      pendingRmwStore_ = true;
+      pendingRmwAddr_ = rec.vaddr;
+      // RMW store PCs live above the loop body's PC range.
+      pendingRmwPc_ = kPcBase + (static_cast<std::uint64_t>(profile_.loopLen) +
+                                 static_cast<std::uint64_t>(slotIdx_)) * 4;
+    }
+  }
+
+  if (!missBoundLoad) lastMissLoadGap_ += 1;
+  if (!chainMember) lastChainGap_ += 1;
+  slotIdx_ = (slotIdx_ + 1) % loop_.size();
+  ++emitted_;
+  return rec;
+}
+
+SyntheticGenerator::LoopSummary SyntheticGenerator::loopSummary() const {
+  LoopSummary s;
+  for (const Slot& slot : loop_) {
+    switch (slot.kind) {
+      case InstrKind::Load:
+        ++s.loads;
+        if (slot.region == Region::Stream) ++s.streamLoads;
+        if (slot.region == Region::Large) ++s.largeLoads;
+        break;
+      case InstrKind::Store:
+        ++s.stores;
+        if (slot.region == Region::Stream) ++s.streamStores;
+        if (slot.region == Region::Large) ++s.largeStores;
+        break;
+      case InstrKind::Alu:
+        ++s.alus;
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace renuca::workload

@@ -1,0 +1,84 @@
+// Synthetic SPEC-like instruction stream generator.
+//
+// Produces an infinite, deterministic (seeded) dynamic instruction stream
+// whose LLC behaviour matches an AppProfile's Table II targets when run
+// through the simulated hierarchy:
+//
+//  * The stream is loop-structured: a fixed "loop body" of `loopLen` slots
+//    is replayed forever, so every static instruction (PC) has stable
+//    behaviour across iterations.  PC-stability is essential — the paper's
+//    criticality predictor is PC-indexed and only works because loads
+//    behave consistently per PC.
+//  * Each memory slot targets one region: Hot (L1-resident), Warm
+//    (L2-resident), Large (L3-resident, evicts from L2), or Stream
+//    (sequential, compulsory LLC misses).
+//  * Stream-load slots are optionally followed by a read-modify-write
+//    store to the same line (rmwProb), the main source of write-backs in
+//    apps whose WPKI exceeds their store-miss rate (e.g. mcf).
+//  * Dependence distances model MLP: chained miss-bound loads serialize
+//    LLC misses (pointer chasing, mcf-style); shallow ALU chains set the
+//    compute-bound CPI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/trace.hpp"
+
+namespace renuca::workload {
+
+/// Region a memory slot accesses; layout documented in generator.cpp.
+enum class Region : std::uint8_t { Hot, Warm, Large, Stream };
+
+class SyntheticGenerator : public InstructionSource {
+ public:
+  SyntheticGenerator(const AppProfile& profile, std::uint64_t seed);
+
+  TraceRecord next() override;
+
+  const AppProfile& profile() const { return profile_; }
+  /// Number of instructions emitted so far.
+  std::uint64_t emitted() const { return emitted_; }
+
+  /// Static slot summary, exposed for tests (counts per loop iteration).
+  struct LoopSummary {
+    std::uint32_t loads = 0, stores = 0, alus = 0;
+    std::uint32_t streamLoads = 0, streamStores = 0;
+    std::uint32_t largeLoads = 0, largeStores = 0;
+  };
+  LoopSummary loopSummary() const;
+
+ private:
+  struct Slot {
+    InstrKind kind = InstrKind::Alu;
+    Region region = Region::Hot;
+    std::uint16_t streamIdx = 0;  ///< Which stream cursor (Stream region only).
+    bool rmwCandidate = false;    ///< Stream load that may trigger a paired store.
+  };
+
+  std::uint64_t slotAddress(const Slot& slot, std::size_t slotIdx);
+  void buildLoop(Pcg32& rng);
+
+  AppProfile profile_;
+  Pcg32 rng_;
+  std::vector<Slot> loop_;
+  std::vector<std::uint64_t> streamCursor_;  ///< Per-stream byte offsets.
+  std::size_t slotIdx_ = 0;
+  std::uint64_t emitted_ = 0;
+  /// Instructions since the last *miss-bound* (Stream/Large) load; pointer
+  /// chains must link consecutive misses, not intervening L1 hits.
+  std::uint64_t lastMissLoadGap_ = 0;
+  /// Rolling ALU dependence chain: CPI floor equals the fraction of
+  /// instructions that join the chain (each member completes one cycle
+  /// after its predecessor).  chainAcc_ accumulates the join rate;
+  /// lastChainGap_ is the distance to the previous member.
+  double chainAcc_ = 0.0;
+  std::uint64_t lastChainGap_ = 0;
+  bool pendingRmwStore_ = false;
+  std::uint64_t pendingRmwAddr_ = 0;
+  std::uint64_t pendingRmwPc_ = 0;
+};
+
+}  // namespace renuca::workload

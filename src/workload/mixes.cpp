@@ -1,0 +1,67 @@
+#include "workload/mixes.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace renuca::workload {
+
+namespace {
+
+std::vector<std::string> namesByIntensity(WriteIntensity intensity) {
+  std::vector<std::string> out;
+  for (const AppProfile& p : spec2006Profiles()) {
+    if (p.intensity() == intensity) out.push_back(p.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkloadMix makeMix(const std::string& name, std::uint32_t cores,
+                    std::uint32_t numHigh, std::uint32_t numMedium,
+                    std::uint32_t numLow, std::uint64_t seed) {
+  RENUCA_ASSERT(numHigh + numMedium + numLow == cores,
+                "mix intensity counts must sum to the core count");
+  static const std::vector<std::string> high = namesByIntensity(WriteIntensity::High);
+  static const std::vector<std::string> medium = namesByIntensity(WriteIntensity::Medium);
+  static const std::vector<std::string> low = namesByIntensity(WriteIntensity::Low);
+  RENUCA_ASSERT(!high.empty() && !medium.empty() && !low.empty(),
+                "intensity classes must be non-empty");
+
+  Pcg32 rng(seed, 0x6d69786573ull);
+  WorkloadMix mix;
+  mix.name = name;
+  auto sample = [&](const std::vector<std::string>& pool, std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      mix.appNames.push_back(pool[rng.nextBelow(static_cast<std::uint32_t>(pool.size()))]);
+    }
+  };
+  sample(high, numHigh);
+  sample(medium, numMedium);
+  sample(low, numLow);
+
+  // Shuffle core assignment so high-intensity apps land on varied mesh
+  // positions across mixes (the wear imbalance moves around the chip).
+  for (std::size_t i = mix.appNames.size(); i > 1; --i) {
+    std::size_t j = rng.nextBelow(static_cast<std::uint32_t>(i));
+    std::swap(mix.appNames[i - 1], mix.appNames[j]);
+  }
+  return mix;
+}
+
+const std::vector<WorkloadMix>& standardMixes() {
+  static const std::vector<WorkloadMix> mixes = [] {
+    std::vector<WorkloadMix> v;
+    for (int i = 1; i <= 10; ++i) {
+      v.push_back(makeMix("WL" + std::to_string(i), 16,
+                          /*numHigh=*/5, /*numMedium=*/5, /*numLow=*/6,
+                          /*seed=*/0x57000000ull + static_cast<std::uint64_t>(i)));
+    }
+    return v;
+  }();
+  return mixes;
+}
+
+}  // namespace renuca::workload

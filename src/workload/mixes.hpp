@@ -1,0 +1,33 @@
+// Multi-programmed 16-core workload mixes WL1..WL10.
+//
+// The paper (§V.A) forms 16-app workloads by randomly mixing high-,
+// medium-, and low-write-intensity applications, always pairing high-
+// intensity apps with low/medium ones (that imbalance is what wears out
+// R-NUCA clusters unevenly).  The exact mixes are not published, so we
+// generate them deterministically with the same recipe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/app_profile.hpp"
+
+namespace renuca::workload {
+
+struct WorkloadMix {
+  std::string name;                    ///< "WL1".."WL10"
+  std::vector<std::string> appNames;   ///< Exactly 16 entries, one per core.
+};
+
+/// The ten standard mixes used by all multi-core experiments.  Each mix has
+/// ~5 high-, ~5 medium-, ~6 low-intensity apps, deterministically sampled.
+const std::vector<WorkloadMix>& standardMixes();
+
+/// Builds a custom mix with the given intensity counts (must sum to
+/// `cores`).  Used by tests and the ablation benches.
+WorkloadMix makeMix(const std::string& name, std::uint32_t cores,
+                    std::uint32_t numHigh, std::uint32_t numMedium,
+                    std::uint32_t numLow, std::uint64_t seed);
+
+}  // namespace renuca::workload

@@ -1,0 +1,79 @@
+#include "workload/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace renuca::workload {
+
+namespace {
+
+constexpr std::size_t kRecordBytes = 18;  // 8 pc + 8 vaddr + 1 kind + 1 depDist
+
+void encode(const TraceRecord& rec, unsigned char* buf) {
+  std::memcpy(buf, &rec.pc, 8);
+  std::memcpy(buf + 8, &rec.vaddr, 8);
+  buf[16] = static_cast<unsigned char>(rec.kind);
+  buf[17] = rec.depDist;
+}
+
+TraceRecord decode(const unsigned char* buf) {
+  TraceRecord rec;
+  std::memcpy(&rec.pc, buf, 8);
+  std::memcpy(&rec.vaddr, buf + 8, 8);
+  rec.kind = static_cast<InstrKind>(buf[16]);
+  rec.depDist = buf[17];
+  return rec;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  RENUCA_ASSERT(f != nullptr, "cannot open trace for writing: " + path);
+  file_ = f;
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void TraceWriter::append(const TraceRecord& rec) {
+  unsigned char buf[kRecordBytes];
+  encode(rec, buf);
+  std::size_t n = std::fwrite(buf, 1, kRecordBytes, static_cast<std::FILE*>(file_));
+  RENUCA_ASSERT(n == kRecordBytes, "short write to trace file");
+  ++count_;
+}
+
+void TraceWriter::flush() { std::fflush(static_cast<std::FILE*>(file_)); }
+
+TraceReader::TraceReader(const std::string& path, bool wrapAround) : wrap_(wrapAround) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  RENUCA_ASSERT(f != nullptr, "cannot open trace for reading: " + path);
+  file_ = f;
+}
+
+TraceReader::~TraceReader() {
+  if (file_) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+TraceRecord TraceReader::next() {
+  unsigned char buf[kRecordBytes];
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  std::size_t n = std::fread(buf, 1, kRecordBytes, f);
+  if (n != kRecordBytes) {
+    if (!wrap_) {
+      exhausted_ = true;
+      return TraceRecord{};  // NOP filler after exhaustion
+    }
+    std::rewind(f);
+    n = std::fread(buf, 1, kRecordBytes, f);
+    RENUCA_ASSERT(n == kRecordBytes, "trace file empty or truncated");
+  }
+  ++count_;
+  return decode(buf);
+}
+
+}  // namespace renuca::workload

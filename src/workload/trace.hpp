@@ -1,0 +1,77 @@
+// Dynamic-instruction trace records and a compact binary trace format.
+//
+// The simulator normally pulls instructions straight from the synthetic
+// generator (no file involved), but traces can also be captured to disk and
+// replayed, which is how one would plug in real program traces (e.g. from a
+// PIN tool) instead of the synthetic SPEC models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace renuca::workload {
+
+/// One dynamic instruction as consumed by the OoO core model.
+struct TraceRecord {
+  std::uint64_t pc = 0;     ///< Program counter (stable per static instruction).
+  std::uint64_t vaddr = 0;  ///< Virtual byte address; 0 and unused for Alu.
+  InstrKind kind = InstrKind::Alu;
+  /// Register dependence: this instruction's operand is produced by the
+  /// instruction `depDist` positions earlier in program order (0 = none).
+  std::uint8_t depDist = 0;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Abstract instruction source consumed by cpu::OooCore.  Implemented by
+/// the synthetic generator and by TraceReader.
+class InstructionSource {
+ public:
+  virtual ~InstructionSource() = default;
+  /// Produces the next dynamic instruction.  Sources are infinite unless
+  /// exhausted() says otherwise (file replay wraps or ends).
+  virtual TraceRecord next() = 0;
+  virtual bool exhausted() const { return false; }
+};
+
+/// Streaming binary trace writer (fixed 18-byte little-endian records).
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const TraceRecord& rec);
+  void flush();
+  std::uint64_t written() const { return count_; }
+
+ private:
+  void* file_;  // std::FILE*
+  std::uint64_t count_ = 0;
+};
+
+/// Streaming binary trace reader; optionally wraps around at EOF so short
+/// traces can drive long simulations.
+class TraceReader : public InstructionSource {
+ public:
+  explicit TraceReader(const std::string& path, bool wrapAround = true);
+  ~TraceReader() override;
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  TraceRecord next() override;
+  bool exhausted() const override { return exhausted_; }
+  std::uint64_t readCount() const { return count_; }
+
+ private:
+  void* file_;  // std::FILE*
+  bool wrap_;
+  bool exhausted_ = false;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace renuca::workload

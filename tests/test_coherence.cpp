@@ -1,0 +1,181 @@
+// Tests for the directory MESI protocol: the full transition table plus a
+// randomized property test that hammers the protocol with arbitrary
+// read/write/evict sequences and checks the invariants after every step.
+#include <gtest/gtest.h>
+
+#include "coherence/mesi.hpp"
+#include "common/rng.hpp"
+
+namespace renuca::coherence {
+namespace {
+
+TEST(Mesi, FirstReadGetsExclusive) {
+  DirectoryMesi dir(4);
+  Outcome out = dir.read(0, 100);
+  EXPECT_EQ(out.newState, MesiState::E);
+  EXPECT_TRUE(out.invalidated.empty());
+  EXPECT_FALSE(out.cacheToCache);
+  EXPECT_EQ(dir.stateOf(0, 100), MesiState::E);
+}
+
+TEST(Mesi, SecondReadSharesAndDowngradesExclusive) {
+  DirectoryMesi dir(4);
+  dir.read(0, 100);
+  Outcome out = dir.read(1, 100);
+  EXPECT_EQ(out.newState, MesiState::S);
+  EXPECT_TRUE(out.cacheToCache);
+  EXPECT_FALSE(out.writebackToMemory);  // E was clean
+  EXPECT_EQ(dir.stateOf(0, 100), MesiState::S);
+  EXPECT_EQ(dir.stateOf(1, 100), MesiState::S);
+}
+
+TEST(Mesi, ReadOfModifiedFlushesOwner) {
+  DirectoryMesi dir(4);
+  dir.write(0, 100);
+  ASSERT_EQ(dir.stateOf(0, 100), MesiState::M);
+  Outcome out = dir.read(1, 100);
+  EXPECT_TRUE(out.writebackToMemory);
+  EXPECT_TRUE(out.cacheToCache);
+  EXPECT_EQ(dir.stateOf(0, 100), MesiState::S);
+  EXPECT_EQ(dir.stateOf(1, 100), MesiState::S);
+}
+
+TEST(Mesi, WriteInvalidatesSharers) {
+  DirectoryMesi dir(4);
+  dir.read(0, 100);
+  dir.read(1, 100);
+  dir.read(2, 100);
+  Outcome out = dir.write(3, 100);
+  EXPECT_EQ(out.newState, MesiState::M);
+  EXPECT_EQ(out.invalidated.size(), 3u);
+  for (std::uint32_t c : {0u, 1u, 2u}) {
+    EXPECT_EQ(dir.stateOf(c, 100), MesiState::I);
+  }
+  EXPECT_EQ(dir.stateOf(3, 100), MesiState::M);
+}
+
+TEST(Mesi, SilentExclusiveUpgrade) {
+  DirectoryMesi dir(4);
+  dir.read(0, 100);  // E
+  Outcome out = dir.write(0, 100);
+  EXPECT_EQ(out.newState, MesiState::M);
+  EXPECT_TRUE(out.invalidated.empty());
+  EXPECT_EQ(dir.stats().get("silent_upgrades"), 1u);
+}
+
+TEST(Mesi, WriteStealsFromModifiedOwner) {
+  DirectoryMesi dir(4);
+  dir.write(0, 100);
+  Outcome out = dir.write(1, 100);
+  EXPECT_TRUE(out.writebackToMemory);
+  EXPECT_EQ(out.invalidated.size(), 1u);
+  EXPECT_EQ(out.invalidated[0], 0u);
+  EXPECT_EQ(dir.stateOf(0, 100), MesiState::I);
+  EXPECT_EQ(dir.stateOf(1, 100), MesiState::M);
+}
+
+TEST(Mesi, ReadHitNoTransition) {
+  DirectoryMesi dir(4);
+  dir.read(0, 100);
+  Outcome out = dir.read(0, 100);
+  EXPECT_EQ(out.newState, MesiState::E);
+  EXPECT_EQ(dir.stats().get("read_hits"), 1u);
+}
+
+TEST(Mesi, EvictionOfModifiedWritesBack) {
+  DirectoryMesi dir(4);
+  dir.write(0, 100);
+  EXPECT_TRUE(dir.evict(0, 100));
+  EXPECT_EQ(dir.stateOf(0, 100), MesiState::I);
+  // Line is now uncached: next reader gets E again.
+  EXPECT_EQ(dir.read(1, 100).newState, MesiState::E);
+}
+
+TEST(Mesi, EvictionOfSharedIsClean) {
+  DirectoryMesi dir(4);
+  dir.read(0, 100);
+  dir.read(1, 100);
+  EXPECT_FALSE(dir.evict(0, 100));
+  EXPECT_EQ(dir.stateOf(1, 100), MesiState::S);
+}
+
+TEST(Mesi, EvictionOfInvalidIsNoop) {
+  DirectoryMesi dir(4);
+  EXPECT_FALSE(dir.evict(2, 999));
+}
+
+TEST(Mesi, HoldersTracksValidCaches) {
+  DirectoryMesi dir(4);
+  dir.read(0, 7);
+  dir.read(2, 7);
+  auto holders = dir.holders(7);
+  EXPECT_EQ(holders, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(Mesi, DistinctLinesIndependent) {
+  DirectoryMesi dir(2);
+  dir.write(0, 1);
+  dir.write(1, 2);
+  EXPECT_EQ(dir.stateOf(0, 1), MesiState::M);
+  EXPECT_EQ(dir.stateOf(1, 2), MesiState::M);
+  EXPECT_EQ(dir.stateOf(0, 2), MesiState::I);
+  EXPECT_TRUE(dir.checkAll().empty());
+}
+
+TEST(Mesi, InvariantsAfterDirectedSequence) {
+  DirectoryMesi dir(4);
+  dir.read(0, 5);
+  dir.read(1, 5);
+  dir.write(2, 5);
+  dir.read(3, 5);
+  dir.evict(2, 5);
+  dir.write(0, 5);
+  EXPECT_TRUE(dir.checkAll().empty()) << dir.checkAll();
+}
+
+// Property test: random op soup over several caches/lines keeps all MESI
+// invariants (single owner, no owner+sharer coexistence, directory
+// consistency) at every step.
+class MesiFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MesiFuzzTest, InvariantsHoldUnderRandomOps) {
+  Pcg32 rng(GetParam());
+  DirectoryMesi dir(8);
+  const int kLines = 16;
+  for (int step = 0; step < 5000; ++step) {
+    std::uint32_t cache = rng.nextBelow(8);
+    BlockAddr line = rng.nextBelow(kLines);
+    switch (rng.nextBelow(3)) {
+      case 0: dir.read(cache, line); break;
+      case 1: dir.write(cache, line); break;
+      case 2: dir.evict(cache, line); break;
+    }
+    std::string err = dir.checkLine(line);
+    ASSERT_TRUE(err.empty()) << "step " << step << ": " << err;
+  }
+  EXPECT_TRUE(dir.checkAll().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MesiFuzzTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+// The outcome data itself must be coherent: a write's invalidation list
+// never contains the requester, and cache-to-cache implies a prior holder.
+TEST(Mesi, OutcomeSanityUnderFuzz) {
+  Pcg32 rng(777);
+  DirectoryMesi dir(4);
+  for (int step = 0; step < 2000; ++step) {
+    std::uint32_t cache = rng.nextBelow(4);
+    BlockAddr line = rng.nextBelow(8);
+    bool write = rng.chance(0.5);
+    bool hadHolders = !dir.holders(line).empty();
+    Outcome out = write ? dir.write(cache, line) : dir.read(cache, line);
+    for (std::uint32_t inv : out.invalidated) {
+      EXPECT_NE(inv, cache);
+    }
+    if (out.cacheToCache) EXPECT_TRUE(hadHolders);
+  }
+}
+
+}  // namespace
+}  // namespace renuca::coherence

@@ -1,0 +1,209 @@
+// Unit tests for the common substrate: RNG determinism and distribution,
+// statistics, table formatting, config parsing, bit helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hpp"
+#include "common/kvconfig.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace renuca {
+namespace {
+
+TEST(Types, LineAndPageHelpers) {
+  EXPECT_EQ(lineOf(0), 0u);
+  EXPECT_EQ(lineOf(63), 0u);
+  EXPECT_EQ(lineOf(64), 1u);
+  EXPECT_EQ(lineBase(lineOf(0x12345)), 0x12340ull & ~0x3Full);
+  EXPECT_EQ(pageOf(4095), 0u);
+  EXPECT_EQ(pageOf(4096), 1u);
+  EXPECT_EQ(lineIndexInPage(0), 0u);
+  EXPECT_EQ(lineIndexInPage(64), 1u);
+  EXPECT_EQ(lineIndexInPage(4095), 63u);
+  EXPECT_EQ(lineIndexInPage(4096), 0u);
+  EXPECT_EQ(lineOffset(0x7F), 0x3Fu);
+}
+
+TEST(Bitops, Basics) {
+  EXPECT_TRUE(isPow2(1));
+  EXPECT_TRUE(isPow2(1024));
+  EXPECT_FALSE(isPow2(0));
+  EXPECT_FALSE(isPow2(6));
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(1024), 10u);
+  EXPECT_EQ(log2Floor(1023), 9u);
+  EXPECT_EQ(bits(0xFF00, 8, 8), 0xFFull);
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.nextBelow(1), 0u);
+  EXPECT_EQ(rng.nextBelow(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Pcg32 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values reachable
+}
+
+TEST(Rng, ChanceExtremes) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Pcg32 rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Pcg32 rng(17);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weightedPick(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.3);
+}
+
+TEST(RunningStat, MeanMinMaxVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+}
+
+TEST(Histogram, BucketsAndPercentiles) {
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i);  // uniform over [0,100)
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bucketCount(0), 10u);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 10.0);
+}
+
+TEST(Histogram, ClampsOverflow) {
+  Histogram h(1.0, 4);
+  h.add(1000.0);
+  EXPECT_EQ(h.bucketCount(3), 1u);
+}
+
+TEST(Stats, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
+  EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(harmonicMean({}), 0.0);
+  // A dead bank (0 lifetime) dominates: harmonic mean collapses to 0.
+  EXPECT_EQ(harmonicMean({5.0, 0.0}), 0.0);
+}
+
+TEST(Stats, OtherMeans) {
+  EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(minOf({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_EQ(minOf({}), 0.0);
+}
+
+TEST(StatSet, CountersAndToString) {
+  StatSet s("bank0");
+  s.inc("hits");
+  s.inc("hits", 2);
+  s.inc("misses");
+  EXPECT_EQ(s.get("hits"), 3u);
+  EXPECT_EQ(s.get("misses"), 1u);
+  EXPECT_EQ(s.get("absent"), 0u);
+  std::string out = s.toString();
+  EXPECT_NE(out.find("bank0.hits=3"), std::string::npos);
+}
+
+TEST(TextTable, FormatsAligned) {
+  TextTable t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addSeparator();
+  t.addRow({"b", "22"});
+  std::string out = t.toString();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::pct(0.123, 1), "12.3%");
+}
+
+TEST(KvConfig, ParsesArgs) {
+  const char* argv[] = {"prog", "a=1", "pi=3.5", "flag=true", "pos", "name=hello"};
+  KvConfig kv = KvConfig::fromArgs(6, argv);
+  EXPECT_EQ(kv.getOr("a", std::int64_t{0}), 1);
+  EXPECT_DOUBLE_EQ(kv.getOr("pi", 0.0), 3.5);
+  EXPECT_TRUE(kv.getOr("flag", false));
+  EXPECT_EQ(kv.getOr("name", std::string{}), "hello");
+  ASSERT_EQ(kv.positional().size(), 1u);
+  EXPECT_EQ(kv.positional()[0], "pos");
+}
+
+TEST(KvConfig, ParsesStringWithComments) {
+  KvConfig kv = KvConfig::fromString("x = 7  # comment\n\n# full line\ny=off\n");
+  EXPECT_EQ(kv.getOr("x", std::int64_t{0}), 7);
+  EXPECT_FALSE(kv.getOr("y", true));
+}
+
+TEST(KvConfig, InvalidNumbersAreNullopt) {
+  KvConfig kv = KvConfig::fromString("x=abc\n");
+  EXPECT_FALSE(kv.getInt("x").has_value());
+  EXPECT_FALSE(kv.getDouble("x").has_value());
+  EXPECT_EQ(kv.getOr("x", std::int64_t{5}), 5);
+}
+
+}  // namespace
+}  // namespace renuca

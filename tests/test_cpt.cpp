@@ -1,0 +1,158 @@
+// Tests for the Criticality Predictor Table (paper §IV.B): threshold rule,
+// cold-lookup default, counter bookkeeping, FIFO capacity eviction, and the
+// monotone threshold property the paper's Fig 7 sweep rests on.
+#include <gtest/gtest.h>
+
+#include "core/cpt.hpp"
+
+namespace renuca::core {
+namespace {
+
+TEST(Cpt, ColdLookupIsNonCritical) {
+  CriticalityPredictorTable cpt(CptConfig{});
+  EXPECT_FALSE(cpt.predict(0x1234));
+  EXPECT_FALSE(cpt.hasEntry(0x1234));
+}
+
+TEST(Cpt, ColdDefaultFlippableForAblation) {
+  CptConfig cfg;
+  cfg.coldPredictsCritical = true;
+  CriticalityPredictorTable cpt(cfg);
+  EXPECT_TRUE(cpt.predict(0x1234));
+}
+
+TEST(Cpt, ThresholdRuleExactBoundary) {
+  CptConfig cfg;
+  cfg.thresholdPct = 50.0;
+  CriticalityPredictorTable cpt(cfg);
+  // 1 of 2 stalled = exactly 50 %: critical (>= threshold).
+  cpt.train(0xA, true);
+  cpt.train(0xA, false);
+  EXPECT_TRUE(cpt.predict(0xA));
+  // 1 of 3 < 50 %: non-critical.
+  cpt.train(0xA, false);
+  EXPECT_FALSE(cpt.predict(0xA));
+}
+
+TEST(Cpt, LowThresholdCatchesRareStalls) {
+  CptConfig cfg;
+  cfg.thresholdPct = 3.0;  // the paper's choice
+  CriticalityPredictorTable cpt(cfg);
+  cpt.train(0xB, true);
+  for (int i = 0; i < 30; ++i) cpt.train(0xB, false);
+  // 1/31 = 3.2 % >= 3 %: still critical.
+  EXPECT_TRUE(cpt.predict(0xB));
+  for (int i = 0; i < 10; ++i) cpt.train(0xB, false);
+  // 1/41 = 2.4 % < 3 %.
+  EXPECT_FALSE(cpt.predict(0xB));
+}
+
+TEST(Cpt, HundredPercentThresholdIsStringent) {
+  CptConfig cfg;
+  cfg.thresholdPct = 100.0;
+  CriticalityPredictorTable cpt(cfg);
+  cpt.train(0xC, true);
+  EXPECT_TRUE(cpt.predict(0xC));  // 1/1
+  cpt.train(0xC, false);
+  EXPECT_FALSE(cpt.predict(0xC));  // 1/2 < 100 %
+}
+
+TEST(Cpt, MonotoneInThreshold) {
+  // For any training history, critical(x1) implies critical(x2) when
+  // x2 <= x1 — the property behind the paper's threshold sweep.
+  std::vector<double> thresholds = {3, 5, 10, 20, 25, 33, 50, 75, 100};
+  for (int stalls : {0, 1, 3, 7, 10}) {
+    std::vector<bool> verdicts;
+    for (double x : thresholds) {
+      CptConfig cfg;
+      cfg.thresholdPct = x;
+      CriticalityPredictorTable cpt(cfg);
+      for (int i = 0; i < stalls; ++i) cpt.train(0xD, true);
+      for (int i = 0; i < 10 - stalls; ++i) cpt.train(0xD, false);
+      verdicts.push_back(cpt.predict(0xD));
+    }
+    // Once false at some threshold, all higher thresholds are also false.
+    for (std::size_t i = 1; i < verdicts.size(); ++i) {
+      if (!verdicts[i - 1]) EXPECT_FALSE(verdicts[i]);
+    }
+  }
+}
+
+TEST(Cpt, CountersMatchTraining) {
+  CriticalityPredictorTable cpt(CptConfig{});
+  cpt.train(0xE, true);
+  cpt.train(0xE, false);
+  cpt.train(0xE, true);
+  auto c = cpt.countersFor(0xE);
+  EXPECT_EQ(c.numLoadsCount, 3u);
+  EXPECT_EQ(c.robBlockCount, 2u);
+  EXPECT_EQ(cpt.countersFor(0xF).numLoadsCount, 0u);
+}
+
+TEST(Cpt, FifoEvictionAtCapacity) {
+  CptConfig cfg;
+  cfg.capacity = 4;
+  CriticalityPredictorTable cpt(cfg);
+  for (std::uint64_t pc = 0; pc < 4; ++pc) cpt.train(pc, false);
+  EXPECT_EQ(cpt.size(), 4u);
+  cpt.train(100, false);  // evicts pc 0 (oldest)
+  EXPECT_EQ(cpt.size(), 4u);
+  EXPECT_FALSE(cpt.hasEntry(0));
+  EXPECT_TRUE(cpt.hasEntry(1));
+  EXPECT_TRUE(cpt.hasEntry(100));
+}
+
+TEST(Cpt, RetrainingAfterEvictionStartsFresh) {
+  CptConfig cfg;
+  cfg.capacity = 2;
+  cfg.thresholdPct = 50.0;
+  CriticalityPredictorTable cpt(cfg);
+  for (int i = 0; i < 10; ++i) cpt.train(0x1, true);  // strongly critical
+  cpt.train(0x2, false);
+  cpt.train(0x3, false);  // evicts 0x1
+  EXPECT_FALSE(cpt.hasEntry(0x1));
+  cpt.train(0x1, false);  // re-inserted cold: 0/1
+  EXPECT_FALSE(cpt.predict(0x1));
+}
+
+TEST(Cpt, PerPcIndependence) {
+  CriticalityPredictorTable cpt(CptConfig{});
+  for (int i = 0; i < 100; ++i) cpt.train(0xAA, true);
+  for (int i = 0; i < 100; ++i) cpt.train(0xBB, false);
+  EXPECT_TRUE(cpt.predict(0xAA));
+  EXPECT_FALSE(cpt.predict(0xBB));
+}
+
+TEST(Cpt, RejectsBadConfig) {
+  CptConfig bad;
+  bad.thresholdPct = 0.0;
+  EXPECT_DEATH(CriticalityPredictorTable{bad}, "threshold");
+  CptConfig bad2;
+  bad2.capacity = 0;
+  EXPECT_DEATH(CriticalityPredictorTable{bad2}, "capacity");
+}
+
+// Parameterized: with stall probability p and threshold x%, a PC trained
+// on many samples is predicted critical iff p >= x (law of large numbers).
+class CptStatTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CptStatTest, ConvergesToExpectedVerdict) {
+  auto [stallProb, thresholdPct] = GetParam();
+  CptConfig cfg;
+  cfg.thresholdPct = thresholdPct;
+  CriticalityPredictorTable cpt(cfg);
+  // Deterministic training stream with the exact ratio.
+  int stalls = static_cast<int>(stallProb * 1000);
+  for (int i = 0; i < 1000; ++i) cpt.train(0x77, i < stalls);
+  bool expectCritical = stallProb * 100.0 >= thresholdPct;
+  EXPECT_EQ(cpt.predict(0x77), expectCritical)
+      << "p=" << stallProb << " x=" << thresholdPct;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CptStatTest,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.2, 0.6),
+                       ::testing::Values(3.0, 10.0, 33.0, 75.0)));
+
+}  // namespace
+}  // namespace renuca::core

@@ -1,0 +1,340 @@
+// Tests for the out-of-order core: in-order commit, dependence-limited
+// throughput, ALU chain CPI, MSHR/store-buffer structural limits, ROB-head
+// stall detection (criticality ground truth), and predictor plumbing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "common/rng.hpp"
+
+namespace renuca::cpu {
+namespace {
+
+/// Memory with fixed latencies: loads hit "L1" unless the address is
+/// tagged, in which case they take `missLatency` and hold an MSHR.
+struct FakeMem : MemorySystem {
+  Cycle hitLatency = 2;
+  Cycle missLatency = 200;
+  Addr missTag = 0xF0000000;  ///< Addresses at or above this miss.
+  std::uint64_t loads = 0, stores = 0;
+  Cycle lastIssue = 0;
+  std::vector<Cycle> issueTimes;
+
+  LoadResult load(CoreId, Addr vaddr, std::uint64_t, Cycle issueAt, bool) override {
+    ++loads;
+    lastIssue = issueAt;
+    issueTimes.push_back(issueAt);
+    if (vaddr >= missTag) return {issueAt + missLatency, true};
+    return {issueAt + hitLatency, false};
+  }
+  Cycle store(CoreId, Addr vaddr, std::uint64_t, Cycle issueAt) override {
+    ++stores;
+    return issueAt + (vaddr >= missTag ? missLatency : hitLatency);
+  }
+};
+
+/// Scripted instruction source.
+struct ScriptSource : workload::InstructionSource {
+  std::vector<workload::TraceRecord> script;
+  std::size_t i = 0;
+  bool loop = true;
+  workload::TraceRecord next() override {
+    workload::TraceRecord r = script[i % script.size()];
+    ++i;
+    return r;
+  }
+};
+
+workload::TraceRecord alu(std::uint8_t dep = 0) {
+  workload::TraceRecord r;
+  r.kind = InstrKind::Alu;
+  r.pc = 0x100;
+  r.depDist = dep;
+  return r;
+}
+
+workload::TraceRecord load(Addr a, std::uint64_t pc = 0x200, std::uint8_t dep = 0) {
+  workload::TraceRecord r;
+  r.kind = InstrKind::Load;
+  r.vaddr = a;
+  r.pc = pc;
+  r.depDist = dep;
+  return r;
+}
+
+workload::TraceRecord store(Addr a, std::uint8_t dep = 0) {
+  workload::TraceRecord r;
+  r.kind = InstrKind::Store;
+  r.vaddr = a;
+  r.pc = 0x300;
+  r.depDist = dep;
+  return r;
+}
+
+Cycle runToCompletion(OooCore& core, Cycle maxCycles = 10'000'000) {
+  Cycle now = 0;
+  while (!core.done() && now < maxCycles) {
+    core.tick(now);
+    ++now;
+  }
+  EXPECT_TRUE(core.done()) << "core did not finish";
+  return now;
+}
+
+TEST(OooCore, PureAluSustainsFetchWidth) {
+  ScriptSource src;
+  src.script = {alu()};
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 40000);
+  Cycle cycles = runToCompletion(core);
+  double ipc = 40000.0 / cycles;
+  EXPECT_NEAR(ipc, 4.0, 0.2);
+}
+
+TEST(OooCore, FullyChainedAluIsSerial) {
+  ScriptSource src;
+  src.script = {alu(1)};
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 20000);
+  Cycle cycles = runToCompletion(core);
+  EXPECT_NEAR(20000.0 / cycles, 1.0, 0.05);
+}
+
+TEST(OooCore, RollingChainSetsCpiFloor) {
+  // Chain member every 2nd instruction (depDist 2 back to the previous
+  // member): CPI floor = 0.5 -> IPC ~2.
+  ScriptSource src;
+  src.script = {alu(2), alu(0)};
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 20000);
+  Cycle cycles = runToCompletion(core);
+  EXPECT_NEAR(20000.0 / cycles, 2.0, 0.15);
+}
+
+TEST(OooCore, L1HitLoadsDoNotStallRob) {
+  ScriptSource src;
+  src.script = {load(0x1000), alu(), alu(), alu()};
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 20000);
+  runToCompletion(core);
+  const CoreStats& s = core.stats();
+  EXPECT_GT(s.loads, 4000u);
+  EXPECT_EQ(s.loadsStalledHead, 0u);
+  EXPECT_GT(s.nonCriticalLoadFrac(), 0.99);
+}
+
+TEST(OooCore, MissLoadsStallRobHead) {
+  ScriptSource src;
+  // A chained miss stream: every load depends on the previous one.
+  src.script = {load(0xF0000000, 0x200, 0)};
+  for (auto& r : src.script) (void)r;
+  src.script[0].depDist = 1;
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 2000);
+  runToCompletion(core);
+  const CoreStats& s = core.stats();
+  EXPECT_GT(s.loadsStalledHead, s.loads / 2);
+  EXPECT_GT(s.robHeadStallCycles, 1000u);
+}
+
+TEST(OooCore, IndependentMissesOverlapUpToMshr) {
+  // Back-to-back independent misses to distinct lines: with M MSHRs and
+  // latency L, throughput is ~M misses per L cycles.
+  ScriptSource srcA, srcB;
+  srcA.script.clear();
+  for (int i = 0; i < 64; ++i) srcA.script.push_back(load(0xF0000000 + i * 64));
+  srcB = srcA;
+  FakeMem memA, memB;
+  CoreConfig cfgA, cfgB;
+  cfgA.mshrEntries = 16;
+  cfgB.mshrEntries = 1;
+  OooCore coreA(cfgA, 0, &srcA, &memA, nullptr, 4000);
+  OooCore coreB(cfgB, 0, &srcB, &memB, nullptr, 4000);
+  Cycle a = runToCompletion(coreA);
+  Cycle b = runToCompletion(coreB);
+  EXPECT_GT(b, a * 4);  // single MSHR serializes
+}
+
+TEST(OooCore, ChainedMissesSerialize) {
+  ScriptSource indep, chained;
+  for (int i = 0; i < 64; ++i) {
+    indep.script.push_back(load(0xF0000000 + i * 64));
+    chained.script.push_back(load(0xF0000000 + i * 64, 0x200, 1));
+  }
+  FakeMem m1, m2;
+  CoreConfig cfg;
+  OooCore c1(cfg, 0, &indep, &m1, nullptr, 3000);
+  OooCore c2(cfg, 0, &chained, &m2, nullptr, 3000);
+  Cycle a = runToCompletion(c1);
+  Cycle b = runToCompletion(c2);
+  EXPECT_GT(b, a * 3);
+}
+
+TEST(OooCore, MshrMergesSameBlock) {
+  // Two loads to the same line back-to-back: the second must not start a
+  // second miss.
+  ScriptSource src;
+  src.script = {load(0xF0000000), load(0xF0000000 + 8), alu(), alu()};
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 400);
+  runToCompletion(core);
+  // Only the first of each pair reaches memory.
+  EXPECT_LE(mem.loads, 110u);
+  EXPECT_EQ(core.stats().loads, 200u);
+}
+
+TEST(OooCore, StoreBufferBackpressure) {
+  // Store misses with a tiny store buffer throttle commit.
+  ScriptSource small, big;
+  for (int i = 0; i < 64; ++i) {
+    small.script.push_back(store(0xF0000000 + i * 64));
+    big.script.push_back(store(0xF0000000 + i * 64));
+  }
+  FakeMem m1, m2;
+  CoreConfig cfgSmall, cfgBig;
+  cfgSmall.storeBufferEntries = 1;
+  cfgBig.storeBufferEntries = 32;
+  OooCore c1(cfgSmall, 0, &small, &m1, nullptr, 2000);
+  OooCore c2(cfgBig, 0, &big, &m2, nullptr, 2000);
+  Cycle a = runToCompletion(c1);
+  Cycle b = runToCompletion(c2);
+  EXPECT_GT(a, b * 4);
+}
+
+TEST(OooCore, StoresAreCountedAndDoNotStall) {
+  ScriptSource src;
+  src.script = {store(0x1000), alu(), alu(), alu()};
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 8000);
+  Cycle cycles = runToCompletion(core);
+  EXPECT_EQ(core.stats().stores, 2000u);
+  EXPECT_NEAR(8000.0 / cycles, 4.0, 0.3);  // L1-hit stores are free
+}
+
+TEST(OooCore, RobCapacityLimitsWindow) {
+  // Independent misses 200 instructions apart: a 400-entry ROB window
+  // covers two at a time (MLP 2), a 16-entry one can never overlap them.
+  auto makeScript = [](ScriptSource& src) {
+    for (int m = 0; m < 8; ++m) {
+      src.script.push_back(load(0xF0000000 + m * 64));
+      for (int i = 0; i < 199; ++i) src.script.push_back(alu());
+    }
+  };
+  ScriptSource srcA, srcB;
+  makeScript(srcA);
+  makeScript(srcB);
+  FakeMem m1, m2;
+  m1.missLatency = m2.missLatency = 2000;
+  CoreConfig cfgSmall, cfgBig;
+  cfgSmall.robEntries = 16;
+  cfgBig.robEntries = 400;
+  OooCore c1(cfgSmall, 0, &srcA, &m1, nullptr, 1600);
+  OooCore c2(cfgBig, 0, &srcB, &m2, nullptr, 1600);
+  Cycle a = runToCompletion(c1);
+  Cycle b = runToCompletion(c2);
+  // Small ROB: ~8 serialized misses (~16k cycles).  Big ROB: pairs
+  // overlap (~8k).  Allow generous slack.
+  EXPECT_GT(a, b + 3000);
+}
+
+TEST(OooCore, NextEventCycleSkipsDeadTime) {
+  ScriptSource src;
+  src.script = {load(0xF0000000, 0x200, 1)};
+  FakeMem mem;
+  mem.missLatency = 500;
+  CoreConfig cfg;
+  cfg.robEntries = 4;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 100);
+  Cycle now = 0;
+  int steps = 0;
+  while (!core.done() && steps < 100000) {
+    core.tick(now);
+    Cycle next = core.nextEventCycle(now);
+    ASSERT_NE(next, kNoCycle);
+    ASSERT_GT(next, now);
+    now = next;
+    ++steps;
+  }
+  EXPECT_TRUE(core.done());
+  // The skip must have jumped over most of the 500-cycle stalls.
+  EXPECT_LT(steps, 5000);
+}
+
+TEST(OooCore, ResetStatsRestartsBudget) {
+  ScriptSource src;
+  src.script = {alu()};
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 1000);
+  core.setRunPastBudget(true);
+  Cycle now = 0;
+  while (core.stats().committed < 500) core.tick(now++);
+  core.resetStats();
+  EXPECT_EQ(core.stats().committed, 0u);
+  EXPECT_FALSE(core.done());
+  while (!core.done()) core.tick(now++);
+  EXPECT_EQ(core.stats().committed, 1000u);
+}
+
+TEST(OooCore, RunPastBudgetKeepsExecuting) {
+  ScriptSource src;
+  src.script = {alu()};
+  FakeMem mem;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, nullptr, 100);
+  core.setRunPastBudget(true);
+  Cycle now = 0;
+  for (; now < 1000; ++now) core.tick(now);
+  EXPECT_GT(core.stats().committed, 100u);
+  EXPECT_GT(core.stats().doneCycle, 0u);
+  EXPECT_LT(core.stats().doneCycle, 200u);  // budget hit early
+}
+
+/// Predictor stub that calls everything critical and records training.
+struct RecordingPredictor : CriticalityPredictor {
+  bool verdict = true;
+  std::uint64_t trainCalls = 0, stalledTrue = 0;
+  bool predict(std::uint64_t) override { return verdict; }
+  bool hasEntry(std::uint64_t) const override { return true; }
+  void train(std::uint64_t, bool stalled) override {
+    ++trainCalls;
+    stalledTrue += stalled ? 1 : 0;
+  }
+};
+
+TEST(OooCore, PredictorTrainedOnEveryLoadCommit) {
+  ScriptSource src;
+  src.script = {load(0x1000), alu(), alu(), alu()};
+  FakeMem mem;
+  RecordingPredictor pred;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, &pred, 4000);
+  runToCompletion(core);
+  EXPECT_EQ(pred.trainCalls, core.stats().loads);
+  EXPECT_EQ(pred.stalledTrue, core.stats().loadsStalledHead);
+}
+
+TEST(OooCore, AccuracyTracksPredictionVsOutcome) {
+  // All-hit loads with an always-critical predictor: every prediction is
+  // wrong (hits never stall).
+  ScriptSource src;
+  src.script = {load(0x1000), alu(), alu(), alu()};
+  FakeMem mem;
+  RecordingPredictor pred;
+  CoreConfig cfg;
+  OooCore core(cfg, 0, &src, &mem, &pred, 4000);
+  runToCompletion(core);
+  EXPECT_GT(core.stats().cptPredictions, 900u);
+  EXPECT_LT(core.stats().cptAccuracy(), 0.05);
+}
+
+}  // namespace
+}  // namespace renuca::cpu

@@ -1,0 +1,263 @@
+// Tests for the DDR3 model: address mapping (bijectivity, bank hashing),
+// row-buffer timing, bus serialization, and the reference FR-FCFS queue
+// (row hits outrank older row misses).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dram/dram.hpp"
+#include "dram/frfcfs.hpp"
+
+namespace renuca::dram {
+namespace {
+
+TEST(DramMap, CoversAllChannels) {
+  DramConfig cfg;
+  std::set<std::uint32_t> channels;
+  for (Addr a = 0; a < 64 * 64; a += 64) {
+    channels.insert(mapAddress(a, cfg).channel);
+  }
+  EXPECT_EQ(channels.size(), cfg.channels);
+}
+
+TEST(DramMap, SequentialLinesShareRowsWithinChannel) {
+  DramConfig cfg;
+  // Lines 0,4,8,... go to channel 0; the first 32 of them share a row+bank.
+  DramAddr first = mapAddress(0, cfg);
+  int sameRow = 0;
+  for (int i = 1; i < 32; ++i) {
+    DramAddr a = mapAddress(static_cast<Addr>(i) * 4 * 64, cfg);
+    if (a.row == first.row && a.flatBank(cfg) == first.flatBank(cfg)) ++sameRow;
+  }
+  EXPECT_GT(sameRow, 25);
+}
+
+TEST(DramMap, BankHashBreaksPowerOfTwoStrides) {
+  DramConfig cfg;
+  // Two lines one LLC-capacity apart (the fill/evict pairing) must not
+  // systematically share a bank.
+  int sameBank = 0;
+  const std::uint64_t strideLines = 32768;  // 2 MB of lines
+  for (int i = 0; i < 64; ++i) {
+    Addr a = static_cast<Addr>(i) * 13 * 64;
+    DramAddr x = mapAddress(a, cfg);
+    DramAddr y = mapAddress(a + strideLines * 64, cfg);
+    if (x.channel == y.channel && x.flatBank(cfg) == y.flatBank(cfg)) ++sameBank;
+  }
+  EXPECT_LT(sameBank, 32);
+}
+
+TEST(DramMap, InjectiveOverWindow) {
+  DramConfig cfg;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t, std::uint64_t>> seen;
+  for (Addr a = 0; a < 4096 * 64; a += 64) {
+    DramAddr d = mapAddress(a, cfg);
+    // (channel, flatBank, row, column-within-row) must be unique; recover
+    // the column from the line address.
+    std::uint64_t b = a / 64;
+    std::uint64_t col = (b / cfg.channels) % ((cfg.rowBytes / 64) / 4);
+    auto key = std::make_tuple(d.channel, d.flatBank(cfg), d.row, col);
+    EXPECT_TRUE(seen.insert(key).second) << "collision at " << a;
+  }
+}
+
+TEST(DramController, RowHitFasterThanMiss) {
+  DramConfig cfg;
+  DramController dram(cfg);
+  Cycle first = dram.access(0, AccessType::Read, 0);          // row miss
+  Cycle second = dram.access(4 * 64, AccessType::Read, first); // same row
+  EXPECT_EQ(dram.stats().get("row_misses"), 1u);
+  EXPECT_EQ(dram.stats().get("row_hits"), 1u);
+  EXPECT_LT(second - first, first - 0);
+}
+
+TEST(DramController, RowConflictSlowest) {
+  DramConfig cfg;
+  DramController dram(cfg);
+  dram.access(0, AccessType::Read, 0);
+  // Same bank, different row: need an address whose mapping differs only
+  // in row.  Search for one.
+  DramAddr base = mapAddress(0, cfg);
+  Addr conflictAddr = 0;
+  for (Addr a = 64; a < 64 * 1024 * 1024; a += 64) {
+    DramAddr d = mapAddress(a, cfg);
+    if (d.channel == base.channel && d.flatBank(cfg) == base.flatBank(cfg) &&
+        d.row != base.row) {
+      conflictAddr = a;
+      break;
+    }
+  }
+  ASSERT_NE(conflictAddr, 0u);
+  dram.access(conflictAddr, AccessType::Read, 10000);
+  EXPECT_EQ(dram.stats().get("row_conflicts"), 1u);
+}
+
+TEST(DramController, BusSerializesSameChannel) {
+  DramConfig cfg;
+  DramController dram(cfg);
+  // Two row-sharing accesses at the same instant: the bus forces the
+  // second's burst after the first.
+  Cycle a = dram.access(0, AccessType::Read, 0);
+  Cycle b = dram.access(4 * 64, AccessType::Read, 0);
+  EXPECT_GE(b, a + cfg.tBurst);
+}
+
+TEST(DramController, DifferentChannelsParallel) {
+  DramConfig cfg;
+  DramController dram(cfg);
+  Cycle a = dram.access(0, AccessType::Read, 0);
+  Cycle b = dram.access(64, AccessType::Read, 0);  // next line -> next channel
+  EXPECT_EQ(a, b);
+}
+
+TEST(DramController, CountsReadsAndWrites) {
+  DramConfig cfg;
+  DramController dram(cfg);
+  dram.access(0, AccessType::Read, 0);
+  dram.access(64, AccessType::Write, 0);
+  EXPECT_EQ(dram.stats().get("reads"), 1u);
+  EXPECT_EQ(dram.stats().get("writes"), 1u);
+}
+
+TEST(FrFcfs, ServicesEverythingOnce) {
+  DramConfig cfg;
+  FrFcfsQueue q(cfg);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    q.push(MemRequest{i * 64, AccessType::Read, i, i});
+  }
+  auto out = q.drainAll();
+  ASSERT_EQ(out.size(), 20u);
+  std::set<std::uint64_t> ids;
+  for (const auto& s : out) ids.insert(s.request.id);
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(FrFcfs, RowHitOutranksOlderMiss) {
+  DramConfig cfg;
+  FrFcfsQueue q(cfg);
+  // Request 0 opens row R in bank B.  Request 1 (older) conflicts in B;
+  // request 2 (younger) hits R.  FR-FCFS must service 2 before 1.
+  Addr base = 0;
+  DramAddr baseMap = mapAddress(base, cfg);
+  // Find a same-bank different-row address.
+  Addr conflict = 0;
+  for (Addr a = 64; a < 64 * 1024 * 1024; a += 64) {
+    DramAddr d = mapAddress(a, cfg);
+    if (d.channel == baseMap.channel && d.flatBank(cfg) == baseMap.flatBank(cfg) &&
+        d.row != baseMap.row) {
+      conflict = a;
+      break;
+    }
+  }
+  ASSERT_NE(conflict, 0u);
+  Addr rowHit = base + 4 * 64;  // same row as base
+  ASSERT_EQ(mapAddress(rowHit, cfg).row, baseMap.row);
+
+  q.push(MemRequest{base, AccessType::Read, 0, 100});
+  q.push(MemRequest{conflict, AccessType::Read, 1, 101});
+  q.push(MemRequest{rowHit, AccessType::Read, 2, 102});
+  auto out = q.drainAll();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].request.id, 100u);
+  EXPECT_EQ(out[1].request.id, 102u);  // row hit jumps the queue
+  EXPECT_EQ(out[2].request.id, 101u);
+  EXPECT_TRUE(out[1].rowHit);
+  EXPECT_FALSE(out[2].rowHit);
+}
+
+TEST(FrFcfs, RespectsArrivalTimes) {
+  DramConfig cfg;
+  FrFcfsQueue q(cfg);
+  q.push(MemRequest{0, AccessType::Read, 1000, 1});
+  auto out = q.drainAll();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GE(out[0].serviceStart, 1000u);
+}
+
+TEST(FrFcfs, FcfsAmongMisses) {
+  DramConfig cfg;
+  FrFcfsQueue q(cfg);
+  // Three conflicting rows in one bank, arriving in order: serviced FCFS.
+  DramAddr base = mapAddress(0, cfg);
+  std::vector<Addr> addrs{0};
+  for (Addr a = 64; a < 256 * 1024 * 1024 && addrs.size() < 3; a += 64) {
+    DramAddr d = mapAddress(a, cfg);
+    if (d.channel == base.channel && d.flatBank(cfg) == base.flatBank(cfg) &&
+        d.row != base.row) {
+      bool newRow = true;
+      for (Addr prev : addrs) {
+        if (mapAddress(prev, cfg).row == d.row) newRow = false;
+      }
+      if (newRow) addrs.push_back(a);
+    }
+  }
+  ASSERT_EQ(addrs.size(), 3u);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    q.push(MemRequest{addrs[i], AccessType::Read, i, i});
+  }
+  auto out = q.drainAll();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].request.id, i);
+  }
+}
+
+}  // namespace
+}  // namespace renuca::dram
+
+namespace renuca::dram {
+namespace {
+
+TEST(DramController, ClosedPageUniformLatency) {
+  DramConfig cfg;
+  cfg.pagePolicy = PagePolicy::Closed;
+  DramController dram(cfg);
+  Cycle a = dram.access(0, AccessType::Read, 0);
+  Cycle prev = a;
+  // Same row back-to-back: no row hits under auto-precharge.
+  Cycle b = dram.access(4 * 64, AccessType::Read, prev + 1000);
+  EXPECT_EQ(b - (prev + 1000), a - 0);
+  EXPECT_EQ(dram.stats().get("row_hits"), 0u);
+  EXPECT_EQ(dram.stats().get("row_misses"), 2u);
+}
+
+TEST(DramController, OpenBeatsClosedOnStreams) {
+  DramConfig open, closed;
+  closed.pagePolicy = PagePolicy::Closed;
+  DramController a(open), b(closed);
+  Cycle ta = 0, tb = 0;
+  for (int i = 0; i < 16; ++i) {
+    ta = a.access(static_cast<Addr>(i) * 4 * 64, AccessType::Read, ta);
+    tb = b.access(static_cast<Addr>(i) * 4 * 64, AccessType::Read, tb);
+  }
+  EXPECT_LT(ta, tb);
+}
+
+TEST(DramController, RefreshWindowDelaysRequests) {
+  DramConfig cfg;
+  cfg.tRefi = 10000;
+  cfg.tRfc = 600;
+  DramController dram(cfg);
+  // Request at the start of a refresh window gets pushed past it.
+  Cycle inWindow = dram.access(0, AccessType::Read, 10000 + 10);
+  DramConfig noRef;
+  DramController clean(noRef);
+  Cycle free = clean.access(0, AccessType::Read, 10000 + 10);
+  EXPECT_GE(inWindow, free + 500);
+  EXPECT_EQ(dram.stats().get("refresh_stalls"), 1u);
+}
+
+TEST(DramController, RequestOutsideRefreshWindowUnaffected) {
+  DramConfig cfg;
+  cfg.tRefi = 10000;
+  cfg.tRfc = 600;
+  DramController dram(cfg);
+  DramController clean{DramConfig{}};
+  Cycle a = dram.access(0, AccessType::Read, 5000);
+  Cycle b = clean.access(0, AccessType::Read, 5000);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace renuca::dram

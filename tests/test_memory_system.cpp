@@ -1,0 +1,320 @@
+// Tests for the assembled memory hierarchy: walk correctness across
+// levels, write-back accounting (the WPKI event), MBV lifecycle under
+// Re-NUCA, Naive directory behaviour in-system, inclusion invariants, and
+// warm-up mode semantics.
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hpp"
+
+namespace renuca::sim {
+namespace {
+
+SystemConfig tinyConfig(core::PolicyKind policy = core::PolicyKind::SNuca) {
+  SystemConfig cfg = defaultConfig();
+  cfg.policy = policy;
+  // Shrink the LLC so eviction paths are exercised quickly.
+  cfg.l3.bankBytes = 64 * 1024;
+  cfg.l2.sizeBytes = 16 * 1024;
+  cfg.l1d.sizeBytes = 4 * 1024;
+  return cfg;
+}
+
+Addr vaddrOfCore(std::uint64_t i) { return 0x100000 + i * kLineBytes; }
+
+TEST(MemorySystem, L1HitAfterFirstTouch) {
+  MemorySystem ms(tinyConfig());
+  auto first = ms.load(0, 0x1000, 1, 0, false);
+  EXPECT_TRUE(first.missedL1);
+  auto second = ms.load(0, 0x1000, 1, first.completeAt, false);
+  EXPECT_FALSE(second.missedL1);
+  EXPECT_EQ(second.completeAt - first.completeAt,
+            ms.config().l1d.latency);
+}
+
+TEST(MemorySystem, LatencyOrderingAcrossLevels) {
+  MemorySystem ms(tinyConfig());
+  // Cold miss -> DRAM; then L1 hit; evict from L1 but not L2 -> L2 hit.
+  Cycle t0 = 0;
+  auto miss = ms.load(0, 0x4000, 1, t0, false);
+  Cycle missLat = miss.completeAt - t0;
+  auto l1hit = ms.load(0, 0x4000, 1, 10000, false);
+  Cycle l1Lat = l1hit.completeAt - 10000;
+  // Push 0x4000's line out of the tiny L1 (64 sets * ... ) but keep in L2.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ms.load(0, 0x40000 + i * 4096, 1, 20000 + i * 500, false);
+  }
+  auto l2hit = ms.load(0, 0x4000, 1, 200000, false);
+  Cycle l2Lat = l2hit.completeAt - 200000;
+  EXPECT_LT(l1Lat, l2Lat);
+  EXPECT_LT(l2Lat, missLat);
+}
+
+TEST(MemorySystem, DemandCountersPerCore) {
+  MemorySystem ms(tinyConfig());
+  ms.load(0, 0x7000, 1, 0, false);
+  ms.load(1, 0x7000, 1, 0, false);  // different ASID -> its own miss
+  EXPECT_EQ(ms.coreCounters(0).llcDemandAccesses, 1u);
+  EXPECT_EQ(ms.coreCounters(0).llcDemandMisses, 1u);
+  EXPECT_EQ(ms.coreCounters(1).llcDemandMisses, 1u);
+  EXPECT_EQ(ms.coreCounters(2).llcDemandAccesses, 0u);
+}
+
+TEST(MemorySystem, AddressSpacesAreDisjoint) {
+  MemorySystem ms(tinyConfig());
+  // Same vaddr from two cores maps to different physical lines: filling
+  // one does not hit the other.
+  ms.load(0, 0x9000, 1, 0, false);
+  auto other = ms.load(1, 0x9000, 1, 1000, false);
+  EXPECT_TRUE(other.missedL1);
+  EXPECT_EQ(ms.coreCounters(1).llcDemandMisses, 1u);
+}
+
+TEST(MemorySystem, DirtyL2EvictionProducesWriteback) {
+  SystemConfig cfg = tinyConfig();
+  MemorySystem ms(cfg);
+  // Store dirties a line; stream enough distinct lines through to evict it
+  // from L1 and L2.
+  ms.store(0, 0x100000, 1, 0);
+  std::uint64_t lines = cfg.l2.sizeBytes / kLineBytes * 3;
+  Cycle t = 1000;
+  for (std::uint64_t i = 1; i <= lines; ++i) {
+    ms.load(0, 0x100000 + i * kLineBytes, 1, t, false);
+    t += 200;
+  }
+  EXPECT_GT(ms.coreCounters(0).llcWritebacks, 0u);
+  EXPECT_GT(ms.stats().get("llc_writebacks"), 0u);
+}
+
+TEST(MemorySystem, WritebacksCountAsBankWrites) {
+  SystemConfig cfg = tinyConfig();
+  MemorySystem ms(cfg);
+  std::uint64_t before = 0;
+  for (BankId b = 0; b < ms.numBanks(); ++b) before += ms.bankWrites(b);
+  ms.store(0, 0x200000, 1, 0);
+  std::uint64_t after = 0;
+  for (BankId b = 0; b < ms.numBanks(); ++b) after += ms.bankWrites(b);
+  EXPECT_GT(after, before);  // at least the fill write
+}
+
+TEST(MemorySystem, SnucaSpreadsSequentialLines) {
+  MemorySystem ms(tinyConfig(core::PolicyKind::SNuca));
+  Cycle t = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    ms.load(0, vaddrOfCore(i), 1, t, false);
+    t += 300;
+  }
+  std::uint64_t nonZero = 0;
+  for (BankId b = 0; b < ms.numBanks(); ++b) {
+    if (ms.bankWrites(b) > 0) ++nonZero;
+  }
+  EXPECT_EQ(nonZero, 16u);
+}
+
+TEST(MemorySystem, PrivateLocalizesWrites) {
+  MemorySystem ms(tinyConfig(core::PolicyKind::Private));
+  Cycle t = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    ms.load(3, vaddrOfCore(i), 1, t, false);
+    t += 300;
+  }
+  for (BankId b = 0; b < ms.numBanks(); ++b) {
+    if (b == 3) {
+      EXPECT_GT(ms.bankWrites(b), 0u);
+    } else {
+      EXPECT_EQ(ms.bankWrites(b), 0u);
+    }
+  }
+}
+
+TEST(MemorySystem, RnucaStaysInCluster) {
+  MemorySystem ms(tinyConfig(core::PolicyKind::RNuca));
+  Cycle t = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    ms.load(5, vaddrOfCore(i), 1, t, false);
+    t += 300;
+  }
+  std::uint64_t banksUsed = 0;
+  for (BankId b = 0; b < ms.numBanks(); ++b) {
+    if (ms.bankWrites(b) > 0) ++banksUsed;
+  }
+  EXPECT_EQ(banksUsed, 4u);  // the cluster
+}
+
+TEST(MemorySystem, ReNucaSetsMbvOnCriticalFill) {
+  SystemConfig cfg = tinyConfig(core::PolicyKind::ReNuca);
+  MemorySystem ms(cfg);
+  Addr va = 0x300000;
+  ms.load(0, va, 1, 0, /*critical=*/true);
+  EXPECT_TRUE(ms.tlbOf(0).mappingBit(va));
+  Addr va2 = va + kLineBytes;
+  ms.load(0, va2, 1, 1000, /*critical=*/false);
+  EXPECT_FALSE(ms.tlbOf(0).mappingBit(va2));
+}
+
+TEST(MemorySystem, ReNucaCriticalLineFoundOnRelookup) {
+  SystemConfig cfg = tinyConfig(core::PolicyKind::ReNuca);
+  MemorySystem ms(cfg);
+  Addr va = 0x400000;
+  auto first = ms.load(0, va, 1, 0, true);
+  EXPECT_TRUE(first.missedL1);
+  // Push out of L1/L2 only: touch other lines mapping elsewhere.
+  Cycle t = first.completeAt;
+  for (std::uint64_t i = 1; i <= cfg.l2.sizeBytes / kLineBytes * 3; ++i) {
+    ms.load(0, 0x500000 + i * kLineBytes, 1, t, false);
+    t += 150;
+  }
+  std::uint64_t missesBefore = ms.coreCounters(0).llcDemandMisses;
+  ms.load(0, va, 1, t + 1000, true);
+  // Found in the LLC (R-NUCA bank): no new demand miss.
+  EXPECT_EQ(ms.coreCounters(0).llcDemandMisses, missesBefore);
+}
+
+TEST(MemorySystem, MbvResetOnLlcEviction) {
+  SystemConfig cfg = tinyConfig(core::PolicyKind::ReNuca);
+  cfg.l3.bankBytes = 16 * 1024;  // tiny LLC: easy to evict
+  MemorySystem ms(cfg);
+  Addr va = 0x600000;
+  ms.load(0, va, 1, 0, true);
+  ASSERT_TRUE(ms.tlbOf(0).mappingBit(va));
+  // Flood the R-NUCA cluster banks until the line is gone.
+  Cycle t = 1000;
+  for (std::uint64_t i = 1; i <= 4096; ++i) {
+    ms.load(0, 0x700000 + i * kLineBytes, 1, t, true);
+    t += 150;
+  }
+  // Re-translate: the flood may have evicted the page from the TLB; the
+  // MBV bit must come back reset from the page-table backing store.
+  ms.tlbOf(0).translate(va);
+  EXPECT_FALSE(ms.tlbOf(0).mappingBit(va));
+}
+
+TEST(MemorySystem, NaiveDirectoryLookupsCounted) {
+  MemorySystem ms(tinyConfig(core::PolicyKind::Naive));
+  ms.load(0, 0x800000, 1, 0, false);
+  EXPECT_GT(ms.stats().get("naive_directory_lookups"), 0u);
+}
+
+TEST(MemorySystem, NaiveSlowerThanSnucaPerAccess) {
+  MemorySystem snuca(tinyConfig(core::PolicyKind::SNuca));
+  MemorySystem naive(tinyConfig(core::PolicyKind::Naive));
+  auto a = snuca.load(0, 0x900000, 1, 0, false);
+  auto b = naive.load(0, 0x900000, 1, 0, false);
+  EXPECT_GT(b.completeAt, a.completeAt);  // directory detour
+}
+
+TEST(MemorySystem, InclusionHoldsForL1InL2) {
+  SystemConfig cfg = tinyConfig();
+  MemorySystem ms(cfg);
+  Cycle t = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    if (i % 3 == 0) {
+      ms.store(0, vaddrOfCore(i % 500), 1, t);
+    } else {
+      ms.load(0, vaddrOfCore((i * 7) % 500), 1, t, false);
+    }
+    t += 50;
+  }
+  EXPECT_EQ(ms.checkInclusion(), "");
+}
+
+TEST(MemorySystem, InclusiveModeKeepsL2InLlc) {
+  SystemConfig cfg = tinyConfig(core::PolicyKind::ReNuca);
+  cfg.inclusiveLlc = true;
+  MemorySystem ms(cfg);
+  Cycle t = 0;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    ms.load(i % 4, vaddrOfCore((i * 13) % 800), 1, t, i % 5 == 0);
+    t += 40;
+  }
+  EXPECT_EQ(ms.checkInclusion(), "");
+}
+
+TEST(MemorySystem, WarmupModeSkipsTiming) {
+  SystemConfig cfg = tinyConfig();
+  MemorySystem ms(cfg);
+  ms.setWarmupMode(true);
+  auto r = ms.load(0, 0xA00000, 1, 0, false);
+  // Functional fill happened...
+  EXPECT_TRUE(r.missedL1);
+  ms.setWarmupMode(false);
+  // ...but no resources were reserved: a timed access immediately after
+  // sees an idle hierarchy.
+  auto timed = ms.load(0, 0xB00000, 1, 0, false);
+  auto again = ms.load(0, 0xB00000, 1, timed.completeAt, false);
+  EXPECT_EQ(again.completeAt - timed.completeAt, cfg.l1d.latency);
+}
+
+TEST(MemorySystem, ResetMeasurementZerosCountersKeepsContents) {
+  SystemConfig cfg = tinyConfig();
+  MemorySystem ms(cfg);
+  ms.load(0, 0xC00000, 1, 0, false);
+  ms.resetMeasurement();
+  EXPECT_EQ(ms.coreCounters(0).llcDemandAccesses, 0u);
+  std::uint64_t writes = 0;
+  for (BankId b = 0; b < ms.numBanks(); ++b) writes += ms.bankWrites(b);
+  EXPECT_EQ(writes, 0u);
+  // The line is still cached: re-access is an L1 hit.
+  auto r = ms.load(0, 0xC00000, 1, 5000, false);
+  EXPECT_FALSE(r.missedL1);
+}
+
+TEST(MemorySystem, CriticalityTaggingFeedsFig9Fractions) {
+  SystemConfig cfg = tinyConfig(core::PolicyKind::ReNuca);
+  MemorySystem ms(cfg);
+  Cycle t = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ms.load(0, 0xD00000 + i * kLineBytes, 1, t, i % 4 == 0);
+    t += 300;
+  }
+  // 25 % critical fills -> ~75 % non-critical.
+  EXPECT_NEAR(ms.nonCriticalFillFrac(), 0.75, 0.02);
+}
+
+TEST(MemorySystem, PrefetcherBringsNextLineIntoL2) {
+  SystemConfig cfg = tinyConfig();
+  cfg.l2PrefetchDegree = 1;
+  MemorySystem ms(cfg);
+  Addr va = 0xF00000;
+  auto miss = ms.load(0, va, 1, 0, false);
+  EXPECT_TRUE(miss.missedL1);
+  EXPECT_GT(ms.stats().get("l2_prefetches"), 0u);
+  // The next line is L2-resident: accessing it misses L1 but not the LLC.
+  std::uint64_t missesBefore = ms.coreCounters(0).llcDemandMisses;
+  ms.load(0, va + kLineBytes, 1, miss.completeAt + 100, false);
+  EXPECT_EQ(ms.coreCounters(0).llcDemandMisses, missesBefore);
+}
+
+TEST(MemorySystem, PrefetchFillsCountAsReramWrites) {
+  SystemConfig cfg = tinyConfig();
+  SystemConfig pf = cfg;
+  pf.l2PrefetchDegree = 2;
+  MemorySystem plain(cfg), prefetching(pf);
+  Cycle t = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    Addr va = 0xA00000 + i * 4096;  // page-stride: prefetches are wasted
+    plain.load(0, va, 1, t, false);
+    prefetching.load(0, va, 1, t, false);
+    t += 400;
+  }
+  std::uint64_t wPlain = 0, wPf = 0;
+  for (BankId b = 0; b < plain.numBanks(); ++b) {
+    wPlain += plain.bankWrites(b);
+    wPf += prefetching.bankWrites(b);
+  }
+  EXPECT_GT(wPf, wPlain);  // the wear cost of prefetching
+}
+
+TEST(MemorySystem, SharingModeRoutesThroughDirectory) {
+  SystemConfig cfg = tinyConfig();
+  cfg.enableSharing = true;
+  MemorySystem ms(cfg);
+  ASSERT_NE(ms.directory(), nullptr);
+  ms.load(0, 0xE00000, 1, 0, false);
+  // In multiprogrammed mode address spaces are disjoint, so this only
+  // exercises E-state acquisition; the shared-memory example exercises
+  // invalidations.
+  EXPECT_TRUE(ms.directory()->checkAll().empty());
+}
+
+}  // namespace
+}  // namespace renuca::sim

@@ -1,0 +1,142 @@
+// Tests for the 4x4 mesh NoC: XY routing geometry, hop counts, latency
+// composition, link contention, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hpp"
+
+namespace renuca::noc {
+namespace {
+
+NocConfig defaultMesh() { return NocConfig{}; }
+
+TEST(Mesh, Geometry) {
+  MeshNoc mesh(defaultMesh());
+  EXPECT_EQ(mesh.numNodes(), 16u);
+  EXPECT_EQ(mesh.xOf(5), 1u);
+  EXPECT_EQ(mesh.yOf(5), 1u);
+  EXPECT_EQ(mesh.nodeAt(3, 2), 11u);
+}
+
+TEST(Mesh, HopCountsAreManhattan) {
+  MeshNoc mesh(defaultMesh());
+  EXPECT_EQ(mesh.hopCount(0, 0), 0u);
+  EXPECT_EQ(mesh.hopCount(0, 1), 1u);
+  EXPECT_EQ(mesh.hopCount(0, 15), 6u);   // (0,0) -> (3,3)
+  EXPECT_EQ(mesh.hopCount(3, 12), 6u);   // (3,0) -> (0,3)
+  EXPECT_EQ(mesh.hopCount(5, 6), 1u);
+  EXPECT_EQ(mesh.hopCount(5, 10), 2u);
+}
+
+TEST(Mesh, HopCountSymmetric) {
+  MeshNoc mesh(defaultMesh());
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    for (std::uint32_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(mesh.hopCount(a, b), mesh.hopCount(b, a));
+    }
+  }
+}
+
+TEST(Mesh, LocalTraverseIsFree) {
+  MeshNoc mesh(defaultMesh());
+  EXPECT_EQ(mesh.traverse(7, 7, 100, 4), 100u);
+  EXPECT_EQ(mesh.stats().get("packets"), 0u);
+}
+
+TEST(Mesh, UncontendedLatencyIsHopsTimesHopLatency) {
+  MeshNoc mesh(defaultMesh());
+  Cycle arrive = mesh.traverse(0, 15, 1000, 1);
+  EXPECT_EQ(arrive, 1000u + 6 * mesh.config().hopLatency);
+}
+
+TEST(Mesh, ContentionDelaysSecondPacket) {
+  NocConfig cfg;
+  cfg.linkFlitCycles = 4;
+  MeshNoc mesh(cfg);
+  Cycle a = mesh.traverse(0, 1, 0, 4);  // 4 flits hold the link 16 cycles
+  Cycle b = mesh.traverse(0, 1, 0, 4);  // queues behind
+  EXPECT_GT(b, a);
+}
+
+TEST(Mesh, DisjointPathsDontInterfere) {
+  MeshNoc mesh(defaultMesh());
+  Cycle a = mesh.traverse(0, 1, 0, 4);
+  Cycle b = mesh.traverse(14, 15, 0, 4);  // far corner, different links
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mesh, OppositeDirectionsAreSeparateLinks) {
+  MeshNoc mesh(defaultMesh());
+  Cycle a = mesh.traverse(0, 1, 0, 4);  // east
+  Cycle b = mesh.traverse(1, 0, 0, 4);  // west (reverse)
+  EXPECT_EQ(a, b);  // no shared link
+}
+
+TEST(Mesh, XyRoutingUsesExpectedLinks) {
+  MeshNoc mesh(defaultMesh());
+  mesh.traverse(0, 5, 0, 1);  // (0,0) -> (1,1): east from 0, south from 1
+  EXPECT_EQ(mesh.linkTraffic(0, Dir::East), 1u);
+  EXPECT_EQ(mesh.linkTraffic(1, Dir::South), 1u);
+  EXPECT_EQ(mesh.linkTraffic(0, Dir::South), 0u);  // X before Y
+}
+
+TEST(Mesh, TrafficAccumulates) {
+  MeshNoc mesh(defaultMesh());
+  for (int i = 0; i < 10; ++i) mesh.traverse(0, 3, i * 100, 4);
+  EXPECT_EQ(mesh.linkTraffic(0, Dir::East), 40u);
+  EXPECT_EQ(mesh.linkTraffic(1, Dir::East), 40u);
+  EXPECT_EQ(mesh.linkTraffic(2, Dir::East), 40u);
+  EXPECT_EQ(mesh.stats().get("packets"), 10u);
+}
+
+TEST(Mesh, RoundTripAccountsBothDirections) {
+  MeshNoc mesh(defaultMesh());
+  Cycle done = mesh.roundTrip(0, 2, 0);
+  // 2 hops there + 2 hops back, at least.
+  EXPECT_GE(done, 4u * mesh.config().hopLatency);
+  EXPECT_EQ(mesh.stats().get("packets"), 2u);
+}
+
+TEST(Mesh, AvgLatencyTracksCongestion) {
+  NocConfig cfg;
+  cfg.linkFlitCycles = 8;
+  MeshNoc light(cfg), heavy(cfg);
+  light.traverse(0, 1, 0, 4);
+  double lightLat = light.avgPacketLatency();
+  for (int i = 0; i < 50; ++i) heavy.traverse(0, 1, 0, 4);
+  EXPECT_GT(heavy.avgPacketLatency(), lightLat);
+}
+
+TEST(Mesh, SingleNodeMeshWorks) {
+  NocConfig cfg;
+  cfg.width = 1;
+  cfg.height = 1;
+  MeshNoc mesh(cfg);
+  EXPECT_EQ(mesh.numNodes(), 1u);
+  EXPECT_EQ(mesh.traverse(0, 0, 55, 4), 55u);
+}
+
+// Property sweep over mesh sizes: arrival time never precedes departure,
+// and uncontended latency is monotone in distance.
+class MeshSizeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MeshSizeTest, LatencyMonotoneInDistance) {
+  auto [w, h] = GetParam();
+  NocConfig cfg;
+  cfg.width = static_cast<std::uint32_t>(w);
+  cfg.height = static_cast<std::uint32_t>(h);
+  MeshNoc mesh(cfg);
+  Cycle prev = 0;
+  for (std::uint32_t dst = 0; dst < mesh.numNodes(); ++dst) {
+    MeshNoc fresh(cfg);
+    Cycle arrive = fresh.traverse(0, dst, 0, 1);
+    EXPECT_EQ(arrive, fresh.hopCount(0, dst) * cfg.hopLatency);
+    (void)prev;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizeTest,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 4},
+                                           std::pair{8, 2}, std::pair{1, 4}));
+
+}  // namespace
+}  // namespace renuca::noc

@@ -1,0 +1,285 @@
+// Tests for the NUCA mapping policies — the paper's design space.
+// Includes the key cross-policy property: a block placed by placeFill()
+// must be found by locate() given the MBV bit placeFill reported.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/naive.hpp"
+#include "core/policy_factory.hpp"
+#include "core/private_policy.hpp"
+#include "core/renuca_policy.hpp"
+#include "core/rnuca.hpp"
+#include "core/snuca.hpp"
+#include "noc/mesh.hpp"
+
+namespace renuca::core {
+namespace {
+
+noc::MeshNoc& mesh4x4() {
+  static noc::MeshNoc mesh{noc::NocConfig{}};
+  return mesh;
+}
+
+TEST(SNuca, InterleavesUniformly) {
+  SNucaPolicy p(16);
+  std::map<BankId, int> counts;
+  for (BlockAddr b = 0; b < 16000; ++b) {
+    ++counts[p.locate(b, 0, false)];
+  }
+  EXPECT_EQ(counts.size(), 16u);
+  for (const auto& [bank, n] : counts) {
+    EXPECT_EQ(n, 1000) << "bank " << bank;
+  }
+}
+
+TEST(SNuca, IgnoresRequesterAndBit) {
+  SNucaPolicy p(16);
+  for (BlockAddr b : {0ull, 17ull, 12345ull}) {
+    BankId bank = p.locate(b, 0, false);
+    EXPECT_EQ(p.locate(b, 7, true), bank);
+    EXPECT_EQ(p.placeFill(b, 3, true).bank, bank);
+  }
+}
+
+TEST(SNuca, FillNeverReportsRnuca) {
+  SNucaPolicy p(16);
+  EXPECT_FALSE(p.placeFill(99, 0, true).usedRnuca);
+}
+
+TEST(RNuca, ClustersHaveRightSizeAndContainSelf) {
+  RNucaPolicy p(mesh4x4(), 4);
+  for (CoreId c = 0; c < 16; ++c) {
+    const auto& cluster = p.clusterOf(c);
+    EXPECT_EQ(cluster.size(), 4u);
+    EXPECT_NE(std::find(cluster.begin(), cluster.end(), c), cluster.end())
+        << "core " << c << " not in its own cluster";
+    std::set<BankId> uniq(cluster.begin(), cluster.end());
+    EXPECT_EQ(uniq.size(), 4u);
+  }
+}
+
+TEST(RNuca, InteriorClustersAreOneHop) {
+  RNucaPolicy p(mesh4x4(), 4);
+  // Interior cores (not on the mesh edge): 5, 6, 9, 10.
+  for (CoreId c : {5u, 6u, 9u, 10u}) {
+    for (BankId b : p.clusterOf(c)) {
+      EXPECT_LE(mesh4x4().hopCount(c, b), 1u) << "core " << c << " bank " << b;
+    }
+  }
+}
+
+TEST(RNuca, EdgeClustersStayClose) {
+  RNucaPolicy p(mesh4x4(), 4);
+  for (CoreId c = 0; c < 16; ++c) {
+    for (BankId b : p.clusterOf(c)) {
+      EXPECT_LE(mesh4x4().hopCount(c, b), 2u);
+    }
+  }
+}
+
+TEST(RNuca, MappingUsesPaperFunction) {
+  RNucaPolicy p(mesh4x4(), 4);
+  for (CoreId c = 0; c < 16; ++c) {
+    for (BlockAddr b = 0; b < 64; ++b) {
+      BankId expected =
+          p.clusterOf(c)[(b + p.rotationalId(c) + 1) & 3];
+      EXPECT_EQ(p.locate(b, c, false), expected);
+    }
+  }
+}
+
+TEST(RNuca, SpreadsWithinClusterOnly) {
+  RNucaPolicy p(mesh4x4(), 4);
+  for (CoreId c = 0; c < 16; ++c) {
+    std::set<BankId> used;
+    for (BlockAddr b = 0; b < 1000; ++b) {
+      used.insert(p.locate(b, c, false));
+    }
+    std::set<BankId> cluster(p.clusterOf(c).begin(), p.clusterOf(c).end());
+    EXPECT_EQ(used, cluster);
+  }
+}
+
+TEST(RNuca, NeighbouringClustersOverlap) {
+  RNucaPolicy p(mesh4x4(), 4);
+  // Cluster overlap is the wear mechanism the paper describes: adjacent
+  // cores share banks.
+  std::set<BankId> c5(p.clusterOf(5).begin(), p.clusterOf(5).end());
+  std::set<BankId> c6(p.clusterOf(6).begin(), p.clusterOf(6).end());
+  std::vector<BankId> common;
+  std::set_intersection(c5.begin(), c5.end(), c6.begin(), c6.end(),
+                        std::back_inserter(common));
+  EXPECT_FALSE(common.empty());
+}
+
+TEST(RNuca, FillReportsRnuca) {
+  RNucaPolicy p(mesh4x4(), 4);
+  EXPECT_TRUE(p.placeFill(5, 2, false).usedRnuca);
+}
+
+TEST(RNuca, ClusterSizeAblation) {
+  for (std::uint32_t size : {2u, 4u, 8u}) {
+    RNucaPolicy p(mesh4x4(), size);
+    for (CoreId c = 0; c < 16; ++c) {
+      EXPECT_EQ(p.clusterOf(c).size(), size);
+    }
+  }
+}
+
+TEST(Private, AlwaysLocalBank) {
+  PrivatePolicy p(16);
+  for (CoreId c = 0; c < 16; ++c) {
+    for (BlockAddr b : {1ull, 999ull, 123456ull}) {
+      EXPECT_EQ(p.locate(b, c, false), c);
+      EXPECT_EQ(p.placeFill(b, c, true).bank, c);
+    }
+  }
+}
+
+TEST(Naive, FillsGoToColdestBank) {
+  std::vector<std::uint64_t> writes(16, 100);
+  writes[7] = 5;  // bank 7 is coldest
+  NaivePolicy p(16, [&](BankId b) { return writes[b]; });
+  EXPECT_EQ(p.placeFill(42, 3, false).bank, 7u);
+  writes[7] = 200;
+  writes[12] = 1;
+  EXPECT_EQ(p.placeFill(43, 3, false).bank, 12u);
+}
+
+TEST(Naive, DirectoryTracksResidentLines) {
+  std::vector<std::uint64_t> writes(16, 0);
+  NaivePolicy p(16, [&](BankId b) { return writes[b]; });
+  auto fill = p.placeFill(100, 0, false);
+  p.onFill(100, fill.bank);
+  writes[fill.bank] = 50;  // make another bank the coldest now
+  // locate still finds the resident line where it was filled.
+  EXPECT_EQ(p.locate(100, 5, false), fill.bank);
+  EXPECT_EQ(p.directorySize(), 1u);
+  p.onEvict(100, fill.bank);
+  EXPECT_EQ(p.directorySize(), 0u);
+}
+
+TEST(Naive, EvictOfWrongBankIgnored) {
+  std::vector<std::uint64_t> writes(16, 0);
+  NaivePolicy p(16, [&](BankId b) { return writes[b]; });
+  p.onFill(7, 3);
+  p.onEvict(7, 9);  // stale notification for another bank
+  EXPECT_EQ(p.directorySize(), 1u);
+}
+
+TEST(Naive, BalancesWritesInClosedLoop) {
+  // Feed the oracle its own placements: per-bank fill counts converge to
+  // near-equal (perfect wear-leveling).
+  std::vector<std::uint64_t> writes(16, 0);
+  NaivePolicy p(16, [&](BankId b) { return writes[b]; });
+  Pcg32 rng(5);
+  for (int i = 0; i < 16000; ++i) {
+    auto fill = p.placeFill(rng.next(), 0, false);
+    ++writes[fill.bank];
+  }
+  auto [lo, hi] = std::minmax_element(writes.begin(), writes.end());
+  EXPECT_LE(*hi - *lo, 2u);
+}
+
+TEST(ReNuca, CriticalGoesToClusterNonCriticalSpreads) {
+  ReNucaPolicy p(mesh4x4(), 4);
+  for (CoreId c = 0; c < 16; ++c) {
+    std::set<BankId> cluster(p.rnuca().clusterOf(c).begin(),
+                             p.rnuca().clusterOf(c).end());
+    std::set<BankId> criticalBanks, nonCriticalBanks;
+    for (BlockAddr b = 0; b < 2000; ++b) {
+      auto critFill = p.placeFill(b, c, true);
+      EXPECT_TRUE(critFill.usedRnuca);
+      criticalBanks.insert(critFill.bank);
+      auto ncFill = p.placeFill(b, c, false);
+      EXPECT_FALSE(ncFill.usedRnuca);
+      nonCriticalBanks.insert(ncFill.bank);
+    }
+    EXPECT_EQ(criticalBanks, cluster);
+    EXPECT_EQ(nonCriticalBanks.size(), 16u);  // S-NUCA spread
+  }
+}
+
+TEST(ReNuca, LocateHonoursMbvBit) {
+  ReNucaPolicy p(mesh4x4(), 4);
+  for (BlockAddr b = 0; b < 200; ++b) {
+    EXPECT_EQ(p.locate(b, 3, false), p.snuca().locate(b, 3, false));
+    EXPECT_EQ(p.locate(b, 3, true), p.rnuca().locate(b, 3, false));
+  }
+}
+
+TEST(ReNuca, NeedsMbvAndPredictor) {
+  ReNucaPolicy p(mesh4x4(), 4);
+  EXPECT_TRUE(p.needsMbv());
+  EXPECT_TRUE(p.needsPredictor());
+  SNucaPolicy s(16);
+  EXPECT_FALSE(s.needsMbv());
+  EXPECT_FALSE(s.needsPredictor());
+}
+
+// THE cross-policy invariant: locate(placeFill(x).bank-bit) == fill bank.
+class PlacementRoundTrip : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PlacementRoundTrip, LocateFindsWhatPlaceFillPlaced) {
+  std::vector<std::uint64_t> writes(16, 0);
+  PolicyOptions opts;
+  opts.bankWrites = [&](BankId b) { return writes[b]; };
+  auto policy = makePolicy(GetParam(), mesh4x4(), opts);
+  Pcg32 rng(321);
+  for (int i = 0; i < 4000; ++i) {
+    BlockAddr block = rng.next();
+    CoreId core = rng.nextBelow(16);
+    bool critical = rng.chance(0.3);
+    auto fill = policy->placeFill(block, core, critical);
+    policy->onFill(block, fill.bank);
+    ++writes[fill.bank];
+    EXPECT_EQ(policy->locate(block, core, fill.usedRnuca), fill.bank)
+        << toString(GetParam()) << " block " << block << " core " << core;
+    policy->onEvict(block, fill.bank);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PlacementRoundTrip,
+                         ::testing::Values(PolicyKind::SNuca, PolicyKind::RNuca,
+                                           PolicyKind::Private, PolicyKind::Naive,
+                                           PolicyKind::ReNuca),
+                         [](const ::testing::TestParamInfo<PolicyKind>& info) {
+                           switch (info.param) {
+                             case PolicyKind::SNuca: return "SNuca";
+                             case PolicyKind::RNuca: return "RNuca";
+                             case PolicyKind::Private: return "Private";
+                             case PolicyKind::Naive: return "Naive";
+                             case PolicyKind::ReNuca: return "ReNuca";
+                           }
+                           return "unknown";
+                         });
+
+TEST(PolicyFactory, BuildsEveryKind) {
+  PolicyOptions opts;
+  opts.bankWrites = [](BankId) { return 0ull; };
+  for (PolicyKind kind : {PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::Private,
+                          PolicyKind::Naive, PolicyKind::ReNuca}) {
+    auto p = makePolicy(kind, mesh4x4(), opts);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->kind(), kind);
+  }
+}
+
+TEST(PolicyFactory, NaiveWithoutOracleDies) {
+  EXPECT_DEATH(makePolicy(PolicyKind::Naive, mesh4x4(), PolicyOptions{}), "oracle");
+}
+
+TEST(PolicyFactory, NamesRoundTrip) {
+  for (PolicyKind kind : {PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::Private,
+                          PolicyKind::Naive, PolicyKind::ReNuca}) {
+    EXPECT_EQ(policyFromString(toString(kind)), kind);
+  }
+  EXPECT_EQ(policyFromString("renuca"), PolicyKind::ReNuca);
+  EXPECT_DEATH(policyFromString("bogus"), "unknown policy");
+}
+
+}  // namespace
+}  // namespace renuca::core

@@ -1,0 +1,97 @@
+// Tests for the ReRAM endurance model: lifetime math, clamping, and the
+// paper's two aggregations (harmonic mean per bank, raw minimum).
+#include <gtest/gtest.h>
+
+#include "rram/endurance.hpp"
+
+namespace renuca::rram {
+namespace {
+
+EnduranceConfig cfg() { return EnduranceConfig{}; }
+
+TEST(Endurance, LifetimeInverselyProportionalToWriteRate) {
+  // Doubling writes in the same window halves the lifetime.
+  Cycle cycles = 2'400'000'000ull;  // exactly 1 second at 2.4 GHz
+  double once = bankLifetimeYears(1000, cycles, cfg());
+  double twice = bankLifetimeYears(2000, cycles, cfg());
+  EXPECT_NEAR(once / twice, 2.0, 1e-9);
+}
+
+TEST(Endurance, KnownValue) {
+  // 1000 writes/s to the hottest frame: lifetime = 1e11/1000 seconds.
+  Cycle oneSecond = 2'400'000'000ull;
+  double years = bankLifetimeYears(1000, oneSecond, cfg());
+  EXPECT_NEAR(years, 1e8 / kSecondsPerYear, 1.0);
+}
+
+TEST(Endurance, ZeroWritesClampsToMax) {
+  EXPECT_DOUBLE_EQ(bankLifetimeYears(0, 1000000, cfg()), cfg().maxYears);
+}
+
+TEST(Endurance, ZeroWindowClampsToMax) {
+  EXPECT_DOUBLE_EQ(bankLifetimeYears(100, 0, cfg()), cfg().maxYears);
+}
+
+TEST(Endurance, IdealAccountingSpreadsOverFrames) {
+  Cycle oneSecond = 2'400'000'000ull;
+  // 32768 frames absorbing 32768k writes -> 1000 writes/frame/s.
+  double ideal = bankLifetimeYearsIdeal(32768ull * 1000, 32768, oneSecond, cfg());
+  double hot = bankLifetimeYears(1000, oneSecond, cfg());
+  EXPECT_NEAR(ideal, hot, 1e-9);
+  // Concentrating the same total on one frame is 32768x worse.
+  double concentrated = bankLifetimeYears(32768ull * 1000, oneSecond, cfg());
+  EXPECT_NEAR(ideal / concentrated, 32768.0, 1.0);
+}
+
+TEST(Aggregator, HarmonicPerBank) {
+  LifetimeAggregator agg(2);
+  agg.addRun({2.0, 8.0});
+  agg.addRun({2.0, 8.0});
+  auto h = agg.harmonicPerBank();
+  EXPECT_DOUBLE_EQ(h[0], 2.0);
+  EXPECT_DOUBLE_EQ(h[1], 8.0);
+  EXPECT_EQ(agg.numRuns(), 2u);
+}
+
+TEST(Aggregator, HarmonicDominatedByWorstRun) {
+  LifetimeAggregator agg(1);
+  agg.addRun({1.0});
+  agg.addRun({100.0});
+  // Harmonic mean of {1, 100} = 2/(1 + 0.01) ~= 1.98: near the bad run.
+  EXPECT_NEAR(agg.harmonicPerBank()[0], 1.98, 0.01);
+}
+
+TEST(Aggregator, RawMinimumAcrossEverything) {
+  LifetimeAggregator agg(3);
+  agg.addRun({5.0, 3.0, 9.0});
+  agg.addRun({4.0, 7.0, 2.5});
+  EXPECT_DOUBLE_EQ(agg.rawMinimum(), 2.5);
+}
+
+TEST(Aggregator, HarmonicOverall) {
+  LifetimeAggregator agg(2);
+  agg.addRun({4.0, 4.0});
+  EXPECT_DOUBLE_EQ(agg.harmonicOverall(), 4.0);
+}
+
+TEST(Aggregator, SpreadMeasuresWearLeveling) {
+  LifetimeAggregator level(2), skewed(2);
+  level.addRun({5.0, 5.0});
+  skewed.addRun({2.0, 10.0});
+  EXPECT_DOUBLE_EQ(level.harmonicSpread(), 1.0);
+  EXPECT_DOUBLE_EQ(skewed.harmonicSpread(), 5.0);
+}
+
+TEST(Aggregator, RejectsWrongWidth) {
+  LifetimeAggregator agg(4);
+  EXPECT_DEATH(agg.addRun({1.0, 2.0}), "size mismatch");
+}
+
+TEST(Aggregator, EmptyIsZero) {
+  LifetimeAggregator agg(2);
+  EXPECT_DOUBLE_EQ(agg.rawMinimum(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.harmonicPerBank()[0], 0.0);
+}
+
+}  // namespace
+}  // namespace renuca::rram

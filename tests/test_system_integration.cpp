@@ -1,0 +1,189 @@
+// End-to-end integration tests: full System runs on small budgets, checking
+// determinism, the paper's qualitative orderings (wear-leveling quality and
+// policy behaviour), criticality statistics, and sensitivity directions.
+// Budgets are kept small so the suite stays fast; the bench binaries run
+// the full-scale experiments.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace renuca::sim {
+namespace {
+
+SystemConfig fastConfig(core::PolicyKind policy) {
+  SystemConfig cfg = defaultConfig();
+  cfg.policy = policy;
+  cfg.instrPerCore = 6000;
+  cfg.warmupInstrPerCore = 1500;
+  cfg.prewarmInstrPerCore = 150000;
+  cfg.placementRefreshInstrPerCore = 50000;
+  return cfg;
+}
+
+workload::WorkloadMix mixedMix() { return workload::standardMixes()[0]; }
+
+TEST(System, RunCompletesAndReportsAllCores) {
+  RunResult r = runWorkload(fastConfig(core::PolicyKind::SNuca), mixedMix());
+  EXPECT_FALSE(r.hitMaxCycles);
+  EXPECT_EQ(r.coreIpc.size(), 16u);
+  EXPECT_EQ(r.bankLifetimeYears.size(), 16u);
+  EXPECT_GT(r.measuredCycles, 0u);
+  for (double ipc : r.coreIpc) {
+    EXPECT_GT(ipc, 0.0);
+    EXPECT_LE(ipc, 4.0);
+  }
+  EXPECT_GT(r.systemIpc, 1.0);
+}
+
+TEST(System, DeterministicAcrossRuns) {
+  RunResult a = runWorkload(fastConfig(core::PolicyKind::ReNuca), mixedMix());
+  RunResult b = runWorkload(fastConfig(core::PolicyKind::ReNuca), mixedMix());
+  EXPECT_EQ(a.measuredCycles, b.measuredCycles);
+  EXPECT_EQ(a.bankWrites, b.bankWrites);
+  EXPECT_EQ(a.coreIpc, b.coreIpc);
+}
+
+TEST(System, SeedChangesChangeOutcome) {
+  SystemConfig cfg = fastConfig(core::PolicyKind::SNuca);
+  RunResult a = runWorkload(cfg, mixedMix());
+  cfg.seed = 777;
+  RunResult b = runWorkload(cfg, mixedMix());
+  EXPECT_NE(a.bankWrites, b.bankWrites);
+}
+
+TEST(System, SnucaWearLevelsBetterThanPrivate) {
+  RunResult snuca = runWorkload(fastConfig(core::PolicyKind::SNuca), mixedMix());
+  RunResult priv = runWorkload(fastConfig(core::PolicyKind::Private), mixedMix());
+  auto spread = [](const RunResult& r) {
+    double lo = *std::min_element(r.bankWrites.begin(), r.bankWrites.end()) + 1.0;
+    double hi = *std::max_element(r.bankWrites.begin(), r.bankWrites.end()) + 1.0;
+    return hi / lo;
+  };
+  EXPECT_LT(spread(snuca), spread(priv));
+  EXPECT_GT(snuca.minBankLifetime(), priv.minBankLifetime());
+}
+
+TEST(System, NaiveWearLevelsBestAndSlowest) {
+  RunResult naive = runWorkload(fastConfig(core::PolicyKind::Naive), mixedMix());
+  RunResult snuca = runWorkload(fastConfig(core::PolicyKind::SNuca), mixedMix());
+  EXPECT_GE(naive.minBankLifetime(), snuca.minBankLifetime() * 0.95);
+  EXPECT_LT(naive.systemIpc, snuca.systemIpc);
+}
+
+TEST(System, ReNucaBetweenRnucaAndSnucaInWear) {
+  RunResult snuca = runWorkload(fastConfig(core::PolicyKind::SNuca), mixedMix());
+  RunResult rnuca = runWorkload(fastConfig(core::PolicyKind::RNuca), mixedMix());
+  RunResult renuca = runWorkload(fastConfig(core::PolicyKind::ReNuca), mixedMix());
+  EXPECT_GT(renuca.minBankLifetime(), rnuca.minBankLifetime());
+  EXPECT_LE(renuca.minBankLifetime(), snuca.minBankLifetime() * 1.1);
+}
+
+TEST(System, MostLoadsAreNonCritical) {
+  SystemConfig cfg = fastConfig(core::PolicyKind::SNuca);
+  cfg.forcePredictor = true;
+  RunResult r = runWorkload(cfg, mixedMix());
+  // Paper Fig 5: >80 % on average; small budgets add noise, so be lenient.
+  EXPECT_GT(r.nonCriticalLoadFrac, 0.6);
+}
+
+TEST(System, PredictorBeatsCoinFlip) {
+  SystemConfig cfg = fastConfig(core::PolicyKind::ReNuca);
+  RunResult r = runWorkload(cfg, mixedMix());
+  EXPECT_GT(r.cptAccuracy, 0.5);
+}
+
+TEST(System, WpkiMpkiInPlausibleRange) {
+  RunResult r = runWorkload(fastConfig(core::PolicyKind::SNuca), mixedMix());
+  // The mix holds both streaming and compute apps.
+  EXPECT_GT(r.avgWpki(), 1.0);
+  EXPECT_LT(r.avgWpki(), 80.0);
+  EXPECT_GT(r.avgMpki(), 1.0);
+  EXPECT_LT(r.avgMpki(), 80.0);
+}
+
+TEST(System, SmallerL2RaisesWriteTraffic) {
+  SystemConfig base = fastConfig(core::PolicyKind::SNuca);
+  SystemConfig small = base;
+  small.l2.sizeBytes = 64 * 1024;
+  RunResult a = runWorkload(base, mixedMix());
+  RunResult b = runWorkload(small, mixedMix());
+  std::uint64_t wa = 0, wb = 0;
+  for (std::uint64_t w : a.bankWrites) wa += w;
+  for (std::uint64_t w : b.bankWrites) wb += w;
+  double rateA = static_cast<double>(wa) / a.measuredCycles;
+  double rateB = static_cast<double>(wb) / b.measuredCycles;
+  EXPECT_GT(rateB, rateA * 1.02);
+}
+
+TEST(System, SingleCoreRigMatchesTableIIOrdering) {
+  SystemConfig cfg = singleCore();
+  cfg.instrPerCore = 8000;
+  cfg.warmupInstrPerCore = 2000;
+  cfg.prewarmInstrPerCore = 300000;
+  cfg.placementRefreshInstrPerCore = 0;
+  RunResult mcf = runSingleApp(cfg, "mcf");
+  RunResult namd = runSingleApp(cfg, "namd");
+  EXPECT_LT(mcf.coreIpc[0], namd.coreIpc[0]);
+  EXPECT_GT(mcf.wpki[0], namd.wpki[0] + 10.0);
+  EXPECT_GT(mcf.mpki[0], 20.0);
+  EXPECT_LT(namd.mpki[0], 2.0);
+}
+
+TEST(Sweep, AggregatesAndNormalizes) {
+  SystemConfig cfg = fastConfig(core::PolicyKind::SNuca);
+  std::vector<workload::WorkloadMix> mixes(workload::standardMixes().begin(),
+                                           workload::standardMixes().begin() + 2);
+  PolicySweep sweep = sweepPolicies(
+      cfg, {core::PolicyKind::SNuca, core::PolicyKind::RNuca}, mixes);
+  EXPECT_EQ(sweep.results.size(), 2u);
+  EXPECT_EQ(sweep.results[0].size(), 2u);
+  auto h = sweep.harmonicLifetimesPerBank(0);
+  EXPECT_EQ(h.size(), 16u);
+  EXPECT_GT(sweep.rawMinLifetime(0), 0.0);
+  // S-NUCA improvement over itself is identically zero.
+  for (double v : sweep.ipcImprovementVsSnuca(0)) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  EXPECT_EQ(sweep.indexOf(core::PolicyKind::RNuca), 1u);
+}
+
+TEST(Sweep, PolicyListsAreConsistent) {
+  EXPECT_EQ(allPolicies().size(), 5u);
+  EXPECT_EQ(baselinePolicies().size(), 4u);
+}
+
+TEST(System, ConfigPresetsDifferAsAdvertised) {
+  EXPECT_EQ(defaultConfig().l2.sizeBytes, 256u * 1024);
+  EXPECT_EQ(l2Small().l2.sizeBytes, 128u * 1024);
+  EXPECT_EQ(l3Small().l3.bankBytes, 1024u * 1024);
+  EXPECT_EQ(robLarge().coreCfg.robEntries, 168u);
+  EXPECT_EQ(singleCore().numCores, 1u);
+}
+
+TEST(System, KvOverridesApply) {
+  SystemConfig cfg = defaultConfig();
+  KvConfig kv = KvConfig::fromString(
+      "instr_per_core=1234\npolicy=renuca\nthreshold_pct=25\nrob_entries=168\n"
+      "l2_kb=128\n");
+  cfg.applyOverrides(kv);
+  EXPECT_EQ(cfg.instrPerCore, 1234u);
+  EXPECT_EQ(cfg.policy, core::PolicyKind::ReNuca);
+  EXPECT_DOUBLE_EQ(cfg.cpt.thresholdPct, 25.0);
+  EXPECT_EQ(cfg.coreCfg.robEntries, 168u);
+  EXPECT_EQ(cfg.l2.sizeBytes, 128u * 1024);
+  EXPECT_FALSE(cfg.summary().empty());
+}
+
+TEST(System, MesiSharedModeSmoke) {
+  SystemConfig cfg = fastConfig(core::PolicyKind::SNuca);
+  cfg.enableSharing = true;
+  cfg.instrPerCore = 2000;
+  cfg.warmupInstrPerCore = 500;
+  cfg.prewarmInstrPerCore = 50000;
+  RunResult r = runWorkload(cfg, mixedMix());
+  EXPECT_FALSE(r.hitMaxCycles);
+  EXPECT_GT(r.systemIpc, 0.5);
+}
+
+}  // namespace
+}  // namespace renuca::sim

@@ -1,0 +1,168 @@
+// Tests for the enhanced TLB: translation, first-touch page allocation,
+// Mapping Bit Vector semantics (set/read/reset, page-table backing across
+// TLB evictions), and associativity behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tlb/tlb.hpp"
+
+namespace renuca::tlb {
+namespace {
+
+TEST(PageTable, FirstTouchAllocatesUniquePpns) {
+  PageTable pt;
+  std::set<std::uint64_t> ppns;
+  for (Asid a = 0; a < 4; ++a) {
+    for (std::uint64_t vpn = 0; vpn < 100; ++vpn) {
+      ppns.insert(pt.translate(a, vpn));
+    }
+  }
+  EXPECT_EQ(ppns.size(), 400u);  // injective
+  EXPECT_EQ(pt.allocatedPages(), 401u);  // ppn 0 reserved
+}
+
+TEST(PageTable, TranslationIsStable) {
+  PageTable pt;
+  std::uint64_t p1 = pt.translate(1, 42);
+  std::uint64_t p2 = pt.translate(1, 42);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(PageTable, ReverseLookup) {
+  PageTable pt;
+  std::uint64_t ppn = pt.translate(3, 99);
+  auto owner = pt.ownerOf(ppn);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(owner->first, 3u);
+  EXPECT_EQ(owner->second, 99u);
+  EXPECT_FALSE(pt.ownerOf(123456789).has_value());
+}
+
+TEST(PageTable, MbvBackingStore) {
+  PageTable pt;
+  EXPECT_EQ(pt.loadMbv(1, 5), 0u);
+  pt.storeMbv(1, 5, 0xDEADBEEF);
+  EXPECT_EQ(pt.loadMbv(1, 5), 0xDEADBEEFu);
+  EXPECT_EQ(pt.loadMbv(2, 5), 0u);  // per-ASID
+}
+
+class TlbTest : public ::testing::Test {
+ protected:
+  TlbConfig cfg_;
+  PageTable pt_;
+};
+
+TEST_F(TlbTest, MissThenHit) {
+  EnhancedTlb tlb(cfg_, &pt_, 0, "t");
+  Translation t1 = tlb.translate(0x12345678);
+  EXPECT_FALSE(t1.tlbHit);
+  EXPECT_EQ(t1.latency, cfg_.missLatency);
+  Translation t2 = tlb.translate(0x12345000);
+  EXPECT_TRUE(t2.tlbHit);
+  EXPECT_EQ(t2.latency, 0u);
+  // Same page -> same PPN, offset preserved.
+  EXPECT_EQ(pageOf(t1.paddr), pageOf(t2.paddr));
+  EXPECT_EQ(t1.paddr & 0xFFF, 0x678u);
+}
+
+TEST_F(TlbTest, DistinctPagesDistinctFrames) {
+  EnhancedTlb tlb(cfg_, &pt_, 0, "t");
+  Translation a = tlb.translate(0x1000);
+  Translation b = tlb.translate(0x2000);
+  EXPECT_NE(pageOf(a.paddr), pageOf(b.paddr));
+}
+
+TEST_F(TlbTest, MappingBitSetAndRead) {
+  EnhancedTlb tlb(cfg_, &pt_, 0, "t");
+  Addr va = 0x4000 + 5 * kLineBytes;  // line 5 of its page
+  tlb.translate(va);
+  EXPECT_FALSE(tlb.mappingBit(va));
+  tlb.setMappingBit(va, true);
+  EXPECT_TRUE(tlb.mappingBit(va));
+  // Neighbouring line unaffected.
+  EXPECT_FALSE(tlb.mappingBit(va + kLineBytes));
+  tlb.setMappingBit(va, false);
+  EXPECT_FALSE(tlb.mappingBit(va));
+}
+
+TEST_F(TlbTest, MbvSurvivesEvictionWithBacking) {
+  cfg_.backMbvInPageTable = true;
+  EnhancedTlb tlb(cfg_, &pt_, 0, "t");
+  Addr va = 0x8000;
+  tlb.translate(va);
+  tlb.setMappingBit(va, true);
+  // Flood one TLB set to evict the page: pages mapping to the same set
+  // are numSets apart in VPN space.
+  std::uint32_t sets = cfg_.entries / cfg_.ways;
+  std::uint64_t vpn = pageOf(va);
+  for (std::uint32_t i = 1; i <= cfg_.ways + 1; ++i) {
+    tlb.translate((vpn + static_cast<std::uint64_t>(i) * sets) << kPageShift);
+  }
+  // Re-translate: the MBV bit must come back from the page table.
+  tlb.translate(va);
+  EXPECT_TRUE(tlb.mappingBit(va));
+}
+
+TEST_F(TlbTest, MbvLostWithoutBacking) {
+  cfg_.backMbvInPageTable = false;
+  EnhancedTlb tlb(cfg_, &pt_, 0, "t");
+  Addr va = 0x8000;
+  tlb.translate(va);
+  tlb.setMappingBit(va, true);
+  std::uint32_t sets = cfg_.entries / cfg_.ways;
+  std::uint64_t vpn = pageOf(va);
+  for (std::uint32_t i = 1; i <= cfg_.ways + 1; ++i) {
+    tlb.translate((vpn + static_cast<std::uint64_t>(i) * sets) << kPageShift);
+  }
+  tlb.translate(va);
+  EXPECT_FALSE(tlb.mappingBit(va));  // reset on refill
+}
+
+TEST_F(TlbTest, ResetMappingBitByPhysicalAddress) {
+  EnhancedTlb tlb(cfg_, &pt_, 0, "t");
+  Addr va = 0xA000 + 7 * kLineBytes;
+  Translation tr = tlb.translate(va);
+  tlb.setMappingBit(va, true);
+  ASSERT_TRUE(tlb.mappingBit(va));
+  tlb.resetMappingBitPhys(tr.paddr);
+  EXPECT_FALSE(tlb.mappingBit(va));
+  // Backing store also cleared.
+  EXPECT_EQ(pt_.loadMbv(0, pageOf(va)) & (1ull << 7), 0u);
+}
+
+TEST_F(TlbTest, ResetIgnoresForeignAsid) {
+  EnhancedTlb tlb0(cfg_, &pt_, 0, "t0");
+  EnhancedTlb tlb1(cfg_, &pt_, 1, "t1");
+  Addr va = 0xB000;
+  Translation tr = tlb0.translate(va);
+  tlb0.setMappingBit(va, true);
+  // Core 1's TLB gets the reset request for core 0's physical line: no-op.
+  tlb1.resetMappingBitPhys(tr.paddr);
+  EXPECT_TRUE(tlb0.mappingBit(va));
+}
+
+TEST_F(TlbTest, CapacityEvictionsCounted) {
+  EnhancedTlb tlb(cfg_, &pt_, 0, "t");
+  for (std::uint64_t i = 0; i < cfg_.entries * 3; ++i) {
+    tlb.translate(i << kPageShift);
+  }
+  EXPECT_GT(tlb.stats().get("evictions"), 0u);
+  EXPECT_EQ(tlb.stats().get("misses"), cfg_.entries * 3);
+}
+
+TEST_F(TlbTest, LruWithinSet) {
+  cfg_.entries = 4;
+  cfg_.ways = 2;  // 2 sets
+  EnhancedTlb tlb(cfg_, &pt_, 0, "t");
+  // Two pages in set 0 (even VPNs).
+  tlb.translate(0 << kPageShift);
+  tlb.translate(2 << kPageShift);
+  tlb.translate(0 << kPageShift);  // touch page 0 -> page 2 is LRU
+  tlb.translate(4 << kPageShift);  // evicts page 2
+  EXPECT_TRUE(tlb.translate(0 << kPageShift).tlbHit);
+  EXPECT_FALSE(tlb.translate(2 << kPageShift).tlbHit);
+}
+
+}  // namespace
+}  // namespace renuca::tlb

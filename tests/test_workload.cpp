@@ -1,0 +1,268 @@
+// Tests for the workload substrate: Table II profiles, parameter
+// derivation invariants, generator determinism and rate calibration, trace
+// round-trips, and workload-mix construction.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "workload/app_profile.hpp"
+#include "workload/generator.hpp"
+#include "workload/mixes.hpp"
+#include "workload/trace.hpp"
+
+namespace renuca::workload {
+namespace {
+
+TEST(AppProfile, AllTableIIAppsPresent) {
+  const auto& profiles = spec2006Profiles();
+  EXPECT_EQ(profiles.size(), 22u);
+  for (const char* name :
+       {"mcf", "streamL", "lbm", "zeusmp", "bwaves", "libquantum", "milc",
+        "omnetpp", "xalancbmk", "leslie3d", "bzip2", "gromacs", "hmmer",
+        "soplex", "h264ref", "sjeng", "sphinx3", "dealII", "astar", "povray",
+        "namd", "GemsFDTD"}) {
+    EXPECT_NO_FATAL_FAILURE(profileByName(name)) << name;
+  }
+}
+
+TEST(AppProfile, IntensityClassificationMatchesPaperRule) {
+  // WPKI + MPKI > 10 -> High; [1, 10] -> Medium; < 1 -> Low (paper §V.A).
+  EXPECT_EQ(profileByName("mcf").intensity(), WriteIntensity::High);
+  EXPECT_EQ(profileByName("streamL").intensity(), WriteIntensity::High);
+  EXPECT_EQ(profileByName("omnetpp").intensity(), WriteIntensity::High);
+  EXPECT_EQ(profileByName("bzip2").intensity(), WriteIntensity::Medium);
+  EXPECT_EQ(profileByName("hmmer").intensity(), WriteIntensity::Medium);
+  EXPECT_EQ(profileByName("namd").intensity(), WriteIntensity::Low);
+  EXPECT_EQ(profileByName("GemsFDTD").intensity(), WriteIntensity::Low);
+}
+
+TEST(AppProfile, AllIntensityClassesNonEmpty) {
+  int high = 0, medium = 0, low = 0;
+  for (const AppProfile& p : spec2006Profiles()) {
+    switch (p.intensity()) {
+      case WriteIntensity::High: ++high; break;
+      case WriteIntensity::Medium: ++medium; break;
+      case WriteIntensity::Low: ++low; break;
+    }
+  }
+  EXPECT_GT(high, 0);
+  EXPECT_GT(medium, 0);
+  EXPECT_GT(low, 0);
+}
+
+// Property sweep: parameter derivation must be internally consistent for
+// every Table II application.
+class DeriveParamsTest : public ::testing::TestWithParam<AppProfile> {};
+
+TEST_P(DeriveParamsTest, RatesNonNegativeAndWithinMix) {
+  const DerivedParams& p = GetParam().params;
+  for (double v : {p.loadStreamPki, p.storeStreamPki, p.loadLargePki,
+                   p.storeLargePki, p.loadWarmPki, p.storeWarmPki,
+                   p.loadHotPki, p.storeHotPki}) {
+    EXPECT_GE(v, 0.0);
+  }
+  double loads = p.loadStreamPki + p.loadLargePki + p.loadWarmPki + p.loadHotPki;
+  double stores = p.storeStreamPki + p.storeLargePki + p.storeWarmPki + p.storeHotPki +
+                  p.rmwProb * p.loadStreamPki;
+  EXPECT_LE(loads, kLoadsPerKi + 1.0);
+  EXPECT_LE(stores, kStoresPerKi + 1.0);
+  EXPECT_GE(p.rmwProb, 0.0);
+  EXPECT_LE(p.rmwProb, 1.0);
+  EXPECT_GE(p.depChainFrac, 0.0);
+  EXPECT_LE(p.depChainFrac, 0.95);
+  EXPECT_GE(p.aluDepShallowFrac, 0.0);
+  EXPECT_LE(p.aluDepShallowFrac, 1.0);
+}
+
+TEST_P(DeriveParamsTest, MissDecompositionMatchesMpki) {
+  const AppProfile& prof = GetParam();
+  double missPki = prof.params.loadStreamPki + prof.params.storeStreamPki;
+  EXPECT_NEAR(missPki, prof.ref.mpki, prof.ref.mpki * 0.05 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, DeriveParamsTest,
+                         ::testing::ValuesIn(spec2006Profiles()),
+                         [](const ::testing::TestParamInfo<AppProfile>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Generator, DeterministicForSameSeed) {
+  const AppProfile& prof = profileByName("mcf");
+  SyntheticGenerator a(prof, 42), b(prof, 42);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at " << i;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiverge) {
+  const AppProfile& prof = profileByName("mcf");
+  SyntheticGenerator a(prof, 1), b(prof, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 900);  // ALU records often match; addresses must not
+}
+
+TEST(Generator, LoopSummaryMatchesDerivedRates) {
+  for (const char* name : {"mcf", "streamL", "omnetpp", "hmmer"}) {
+    const AppProfile& prof = profileByName(name);
+    SyntheticGenerator gen(prof, 7);
+    auto s = gen.loopSummary();
+    double scale = prof.loopLen / 1000.0;
+    EXPECT_NEAR(s.streamLoads, prof.params.loadStreamPki * scale, 1.0) << name;
+    EXPECT_NEAR(s.streamStores, prof.params.storeStreamPki * scale, 1.0) << name;
+    EXPECT_NEAR(s.largeStores, prof.params.storeLargePki * scale, 1.0) << name;
+  }
+}
+
+TEST(Generator, EmittedMixMatchesRates) {
+  const AppProfile& prof = profileByName("zeusmp");
+  SyntheticGenerator gen(prof, 11);
+  std::uint64_t loads = 0, stores = 0, total = 200000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    TraceRecord r = gen.next();
+    if (r.kind == InstrKind::Load) ++loads;
+    if (r.kind == InstrKind::Store) ++stores;
+  }
+  // ~25 % loads; stores = base mix + RMW pairs.
+  EXPECT_NEAR(loads / static_cast<double>(total), 0.25, 0.03);
+  EXPECT_GT(stores, 0u);
+}
+
+TEST(Generator, PcStablePerSlot) {
+  // The same PC must always be the same kind of instruction — the paper's
+  // PC-indexed criticality predictor depends on it.
+  const AppProfile& prof = profileByName("bwaves");
+  SyntheticGenerator gen(prof, 3);
+  std::map<std::uint64_t, InstrKind> kindOf;
+  for (int i = 0; i < 50000; ++i) {
+    TraceRecord r = gen.next();
+    auto [it, inserted] = kindOf.emplace(r.pc, r.kind);
+    if (!inserted) {
+      ASSERT_EQ(it->second, r.kind) << "pc " << r.pc << " changed kind";
+    }
+  }
+}
+
+TEST(Generator, StreamAddressesAdvanceByLine) {
+  const AppProfile& prof = profileByName("streamL");
+  SyntheticGenerator gen(prof, 5);
+  // Group stream-load addresses by their 16 MB window and check in-window
+  // monotone +64 advance.
+  std::map<std::uint64_t, std::uint64_t> lastInWindow;
+  int checked = 0;
+  for (int i = 0; i < 100000 && checked < 2000; ++i) {
+    TraceRecord r = gen.next();
+    if (r.kind != InstrKind::Load || r.vaddr < 0x40000000ull) continue;
+    std::uint64_t window = r.vaddr >> 24;
+    auto it = lastInWindow.find(window);
+    if (it != lastInWindow.end() && r.vaddr > it->second) {
+      // Streaming stores share the cursor, so consecutive *loads* advance
+      // by a whole number of lines, never backwards or sub-line.
+      EXPECT_EQ((r.vaddr - it->second) % kLineBytes, 0u);
+      EXPECT_LE(r.vaddr - it->second, 8 * kLineBytes);
+      ++checked;
+    }
+    lastInWindow[window] = r.vaddr;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(Generator, DepDistancesBounded) {
+  const AppProfile& prof = profileByName("mcf");
+  SyntheticGenerator gen(prof, 9);
+  for (int i = 0; i < 50000; ++i) {
+    TraceRecord r = gen.next();
+    EXPECT_LE(static_cast<int>(r.depDist), 255);
+  }
+}
+
+TEST(Trace, RoundTripThroughFile) {
+  std::string path = ::testing::TempDir() + "/renuca_trace_test.bin";
+  const AppProfile& prof = profileByName("milc");
+  SyntheticGenerator gen(prof, 13);
+  std::vector<TraceRecord> recs;
+  {
+    TraceWriter writer(path);
+    for (int i = 0; i < 1000; ++i) {
+      recs.push_back(gen.next());
+      writer.append(recs.back());
+    }
+    EXPECT_EQ(writer.written(), 1000u);
+  }
+  TraceReader reader(path, /*wrapAround=*/false);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(reader.next(), recs[i]) << "record " << i;
+  }
+  reader.next();
+  EXPECT_TRUE(reader.exhausted());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, WrapAroundRepeats) {
+  std::string path = ::testing::TempDir() + "/renuca_trace_wrap.bin";
+  {
+    TraceWriter writer(path);
+    TraceRecord r;
+    r.pc = 0x1234;
+    r.kind = InstrKind::Load;
+    r.vaddr = 0x1000;
+    writer.append(r);
+  }
+  TraceReader reader(path, /*wrapAround=*/true);
+  for (int i = 0; i < 5; ++i) {
+    TraceRecord r = reader.next();
+    EXPECT_EQ(r.pc, 0x1234u);
+    EXPECT_FALSE(reader.exhausted());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Mixes, TenStandardMixesOfSixteenApps) {
+  const auto& mixes = standardMixes();
+  ASSERT_EQ(mixes.size(), 10u);
+  for (const WorkloadMix& mix : mixes) {
+    EXPECT_EQ(mix.appNames.size(), 16u);
+    for (const std::string& name : mix.appNames) {
+      EXPECT_NO_FATAL_FAILURE(profileByName(name));
+    }
+  }
+}
+
+TEST(Mixes, EveryMixContainsHighAndLowIntensity) {
+  for (const WorkloadMix& mix : standardMixes()) {
+    int high = 0, low = 0;
+    for (const std::string& name : mix.appNames) {
+      WriteIntensity wi = profileByName(name).intensity();
+      if (wi == WriteIntensity::High) ++high;
+      if (wi == WriteIntensity::Low) ++low;
+    }
+    EXPECT_EQ(high, 5) << mix.name;
+    EXPECT_EQ(low, 6) << mix.name;
+  }
+}
+
+TEST(Mixes, MixesDifferFromEachOther) {
+  const auto& mixes = standardMixes();
+  std::set<std::vector<std::string>> unique;
+  for (const WorkloadMix& mix : mixes) unique.insert(mix.appNames);
+  EXPECT_EQ(unique.size(), mixes.size());
+}
+
+TEST(Mixes, MakeMixValidatesCounts) {
+  WorkloadMix mix = makeMix("custom", 8, 2, 3, 3, 99);
+  EXPECT_EQ(mix.appNames.size(), 8u);
+  EXPECT_DEATH(makeMix("bad", 8, 4, 4, 4, 1), "sum");
+}
+
+TEST(Mixes, Deterministic) {
+  WorkloadMix a = makeMix("a", 16, 5, 5, 6, 7);
+  WorkloadMix b = makeMix("b", 16, 5, 5, 6, 7);
+  EXPECT_EQ(a.appNames, b.appNames);
+}
+
+}  // namespace
+}  // namespace renuca::workload

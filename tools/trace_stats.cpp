@@ -1,0 +1,59 @@
+// trace_stats: summarizes a binary trace — instruction mix, address
+// footprint per region, dependence density, unique PCs — useful both for
+// validating captured traces and for characterizing external ones before
+// feeding them to the simulator.
+//
+//   ./trace_stats <trace> [limit=0 (= whole file)]
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "common/kvconfig.hpp"
+#include "workload/trace.hpp"
+
+using namespace renuca;
+
+int main(int argc, char** argv) {
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  if (kv.positional().empty()) {
+    std::fprintf(stderr, "usage: trace_stats <trace> [limit=N]\n");
+    return 2;
+  }
+  const std::uint64_t limit =
+      static_cast<std::uint64_t>(kv.getOr("limit", std::int64_t{0}));
+
+  workload::TraceReader reader(kv.positional()[0], /*wrapAround=*/false);
+  std::uint64_t n = 0, loads = 0, stores = 0, deps = 0;
+  std::set<std::uint64_t> pcs;
+  std::set<std::uint64_t> pages;
+  std::uint64_t minAddr = ~0ull, maxAddr = 0;
+  while (limit == 0 || n < limit) {
+    workload::TraceRecord rec = reader.next();
+    if (reader.exhausted()) break;
+    ++n;
+    pcs.insert(rec.pc);
+    deps += rec.depDist > 0;
+    if (rec.kind == InstrKind::Load || rec.kind == InstrKind::Store) {
+      (rec.kind == InstrKind::Load ? loads : stores) += 1;
+      pages.insert(pageOf(rec.vaddr));
+      minAddr = std::min(minAddr, rec.vaddr);
+      maxAddr = std::max(maxAddr, rec.vaddr);
+    }
+  }
+  if (n == 0) {
+    std::fprintf(stderr, "empty trace\n");
+    return 1;
+  }
+  std::printf("records        : %llu\n", static_cast<unsigned long long>(n));
+  std::printf("loads / stores : %.1f%% / %.1f%%\n", 100.0 * loads / n, 100.0 * stores / n);
+  std::printf("dependent ops  : %.1f%%\n", 100.0 * deps / n);
+  std::printf("distinct PCs   : %zu\n", pcs.size());
+  std::printf("touched pages  : %zu (%.1f MB footprint)\n", pages.size(),
+              pages.size() * 4096.0 / 1e6);
+  if (loads + stores > 0) {
+    std::printf("address range  : [0x%llx, 0x%llx]\n",
+                static_cast<unsigned long long>(minAddr),
+                static_cast<unsigned long long>(maxAddr));
+  }
+  return 0;
+}
