@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_threshold.dir/bench_ablation_threshold.cpp.o"
+  "CMakeFiles/bench_ablation_threshold.dir/bench_ablation_threshold.cpp.o.d"
+  "bench_ablation_threshold"
+  "bench_ablation_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ipc_improvement.dir/bench_fig11_ipc_improvement.cpp.o"
+  "CMakeFiles/bench_fig11_ipc_improvement.dir/bench_fig11_ipc_improvement.cpp.o.d"
+  "bench_fig11_ipc_improvement"
+  "bench_fig11_ipc_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ipc_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

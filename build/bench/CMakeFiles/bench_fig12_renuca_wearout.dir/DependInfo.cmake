@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_renuca_wearout.cpp" "bench/CMakeFiles/bench_fig12_renuca_wearout.dir/bench_fig12_renuca_wearout.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_renuca_wearout.dir/bench_fig12_renuca_wearout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/renuca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/renuca_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/renuca_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/renuca_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/rram/CMakeFiles/renuca_rram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/renuca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/renuca_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/renuca_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/renuca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/renuca_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/renuca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_renuca_wearout.dir/bench_fig12_renuca_wearout.cpp.o"
+  "CMakeFiles/bench_fig12_renuca_wearout.dir/bench_fig12_renuca_wearout.cpp.o.d"
+  "bench_fig12_renuca_wearout"
+  "bench_fig12_renuca_wearout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_renuca_wearout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_l2_sensitivity.dir/bench_fig13_14_l2_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig13_14_l2_sensitivity.dir/bench_fig13_14_l2_sensitivity.cpp.o.d"
+  "bench_fig13_14_l2_sensitivity"
+  "bench_fig13_14_l2_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_l2_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_14_l2_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_l3_sensitivity.dir/bench_fig15_16_l3_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig15_16_l3_sensitivity.dir/bench_fig15_16_l3_sensitivity.cpp.o.d"
+  "bench_fig15_16_l3_sensitivity"
+  "bench_fig15_16_l3_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_l3_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

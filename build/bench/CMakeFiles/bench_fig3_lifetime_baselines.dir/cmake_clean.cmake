@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lifetime_baselines.dir/bench_fig3_lifetime_baselines.cpp.o"
+  "CMakeFiles/bench_fig3_lifetime_baselines.dir/bench_fig3_lifetime_baselines.cpp.o.d"
+  "bench_fig3_lifetime_baselines"
+  "bench_fig3_lifetime_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lifetime_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tradeoff.dir/bench_fig4_tradeoff.cpp.o"
+  "CMakeFiles/bench_fig4_tradeoff.dir/bench_fig4_tradeoff.cpp.o.d"
+  "bench_fig4_tradeoff"
+  "bench_fig4_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_noncritical_blocks.dir/bench_fig8_noncritical_blocks.cpp.o"
+  "CMakeFiles/bench_fig8_noncritical_blocks.dir/bench_fig8_noncritical_blocks.cpp.o.d"
+  "bench_fig8_noncritical_blocks"
+  "bench_fig8_noncritical_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_noncritical_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_noncritical_writes.dir/bench_fig9_noncritical_writes.cpp.o"
+  "CMakeFiles/bench_fig9_noncritical_writes.dir/bench_fig9_noncritical_writes.cpp.o.d"
+  "bench_fig9_noncritical_writes"
+  "bench_fig9_noncritical_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_noncritical_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_app_characteristics.dir/bench_table2_app_characteristics.cpp.o"
+  "CMakeFiles/bench_table2_app_characteristics.dir/bench_table2_app_characteristics.cpp.o.d"
+  "bench_table2_app_characteristics"
+  "bench_table2_app_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_app_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_raw_min_lifetime.dir/bench_table3_raw_min_lifetime.cpp.o"
+  "CMakeFiles/bench_table3_raw_min_lifetime.dir/bench_table3_raw_min_lifetime.cpp.o.d"
+  "bench_table3_raw_min_lifetime"
+  "bench_table3_raw_min_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_raw_min_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_raw_min_lifetime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criticality_analysis.dir/criticality_analysis.cpp.o"
+  "CMakeFiles/criticality_analysis.dir/criticality_analysis.cpp.o.d"
+  "criticality_analysis"
+  "criticality_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criticality_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory_mesi.dir/shared_memory_mesi.cpp.o"
+  "CMakeFiles/shared_memory_mesi.dir/shared_memory_mesi.cpp.o.d"
+  "shared_memory_mesi"
+  "shared_memory_mesi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory_mesi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

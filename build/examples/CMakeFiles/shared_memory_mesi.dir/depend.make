@@ -1,0 +1,2 @@
+# Empty dependencies file for shared_memory_mesi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_leveling_study.dir/wear_leveling_study.cpp.o"
+  "CMakeFiles/wear_leveling_study.dir/wear_leveling_study.cpp.o.d"
+  "wear_leveling_study"
+  "wear_leveling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_leveling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

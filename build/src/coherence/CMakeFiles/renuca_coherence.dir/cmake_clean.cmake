@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_coherence.dir/mesi.cpp.o"
+  "CMakeFiles/renuca_coherence.dir/mesi.cpp.o.d"
+  "librenuca_coherence.a"
+  "librenuca_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

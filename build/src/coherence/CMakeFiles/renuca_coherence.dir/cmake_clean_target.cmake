@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librenuca_coherence.a"
+)

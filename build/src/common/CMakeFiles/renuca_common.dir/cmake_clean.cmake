@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_common.dir/busy_calendar.cpp.o"
+  "CMakeFiles/renuca_common.dir/busy_calendar.cpp.o.d"
+  "CMakeFiles/renuca_common.dir/kvconfig.cpp.o"
+  "CMakeFiles/renuca_common.dir/kvconfig.cpp.o.d"
+  "CMakeFiles/renuca_common.dir/log.cpp.o"
+  "CMakeFiles/renuca_common.dir/log.cpp.o.d"
+  "CMakeFiles/renuca_common.dir/rng.cpp.o"
+  "CMakeFiles/renuca_common.dir/rng.cpp.o.d"
+  "CMakeFiles/renuca_common.dir/stats.cpp.o"
+  "CMakeFiles/renuca_common.dir/stats.cpp.o.d"
+  "CMakeFiles/renuca_common.dir/table.cpp.o"
+  "CMakeFiles/renuca_common.dir/table.cpp.o.d"
+  "librenuca_common.a"
+  "librenuca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

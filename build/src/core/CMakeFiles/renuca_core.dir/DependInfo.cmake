@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpt.cpp" "src/core/CMakeFiles/renuca_core.dir/cpt.cpp.o" "gcc" "src/core/CMakeFiles/renuca_core.dir/cpt.cpp.o.d"
+  "/root/repo/src/core/naive.cpp" "src/core/CMakeFiles/renuca_core.dir/naive.cpp.o" "gcc" "src/core/CMakeFiles/renuca_core.dir/naive.cpp.o.d"
+  "/root/repo/src/core/policy_factory.cpp" "src/core/CMakeFiles/renuca_core.dir/policy_factory.cpp.o" "gcc" "src/core/CMakeFiles/renuca_core.dir/policy_factory.cpp.o.d"
+  "/root/repo/src/core/private_policy.cpp" "src/core/CMakeFiles/renuca_core.dir/private_policy.cpp.o" "gcc" "src/core/CMakeFiles/renuca_core.dir/private_policy.cpp.o.d"
+  "/root/repo/src/core/renuca_policy.cpp" "src/core/CMakeFiles/renuca_core.dir/renuca_policy.cpp.o" "gcc" "src/core/CMakeFiles/renuca_core.dir/renuca_policy.cpp.o.d"
+  "/root/repo/src/core/rnuca.cpp" "src/core/CMakeFiles/renuca_core.dir/rnuca.cpp.o" "gcc" "src/core/CMakeFiles/renuca_core.dir/rnuca.cpp.o.d"
+  "/root/repo/src/core/snuca.cpp" "src/core/CMakeFiles/renuca_core.dir/snuca.cpp.o" "gcc" "src/core/CMakeFiles/renuca_core.dir/snuca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/renuca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/renuca_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/renuca_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/renuca_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/renuca_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

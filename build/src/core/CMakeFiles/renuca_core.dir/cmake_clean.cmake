@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_core.dir/cpt.cpp.o"
+  "CMakeFiles/renuca_core.dir/cpt.cpp.o.d"
+  "CMakeFiles/renuca_core.dir/naive.cpp.o"
+  "CMakeFiles/renuca_core.dir/naive.cpp.o.d"
+  "CMakeFiles/renuca_core.dir/policy_factory.cpp.o"
+  "CMakeFiles/renuca_core.dir/policy_factory.cpp.o.d"
+  "CMakeFiles/renuca_core.dir/private_policy.cpp.o"
+  "CMakeFiles/renuca_core.dir/private_policy.cpp.o.d"
+  "CMakeFiles/renuca_core.dir/renuca_policy.cpp.o"
+  "CMakeFiles/renuca_core.dir/renuca_policy.cpp.o.d"
+  "CMakeFiles/renuca_core.dir/rnuca.cpp.o"
+  "CMakeFiles/renuca_core.dir/rnuca.cpp.o.d"
+  "CMakeFiles/renuca_core.dir/snuca.cpp.o"
+  "CMakeFiles/renuca_core.dir/snuca.cpp.o.d"
+  "librenuca_core.a"
+  "librenuca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

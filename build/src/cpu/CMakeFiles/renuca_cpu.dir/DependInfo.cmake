@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/renuca_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/renuca_cpu.dir/core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/renuca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/renuca_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/renuca_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_cpu.dir/core.cpp.o"
+  "CMakeFiles/renuca_cpu.dir/core.cpp.o.d"
+  "librenuca_cpu.a"
+  "librenuca_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

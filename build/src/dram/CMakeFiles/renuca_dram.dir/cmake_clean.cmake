@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_dram.dir/dram.cpp.o"
+  "CMakeFiles/renuca_dram.dir/dram.cpp.o.d"
+  "CMakeFiles/renuca_dram.dir/frfcfs.cpp.o"
+  "CMakeFiles/renuca_dram.dir/frfcfs.cpp.o.d"
+  "librenuca_dram.a"
+  "librenuca_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_mem.dir/cache.cpp.o"
+  "CMakeFiles/renuca_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/renuca_mem.dir/mshr.cpp.o"
+  "CMakeFiles/renuca_mem.dir/mshr.cpp.o.d"
+  "librenuca_mem.a"
+  "librenuca_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_noc.dir/mesh.cpp.o"
+  "CMakeFiles/renuca_noc.dir/mesh.cpp.o.d"
+  "librenuca_noc.a"
+  "librenuca_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

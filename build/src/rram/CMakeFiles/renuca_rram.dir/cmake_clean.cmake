@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_rram.dir/endurance.cpp.o"
+  "CMakeFiles/renuca_rram.dir/endurance.cpp.o.d"
+  "librenuca_rram.a"
+  "librenuca_rram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_rram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_sim.dir/config.cpp.o"
+  "CMakeFiles/renuca_sim.dir/config.cpp.o.d"
+  "CMakeFiles/renuca_sim.dir/experiment.cpp.o"
+  "CMakeFiles/renuca_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/renuca_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/renuca_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/renuca_sim.dir/system.cpp.o"
+  "CMakeFiles/renuca_sim.dir/system.cpp.o.d"
+  "librenuca_sim.a"
+  "librenuca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_tlb.dir/tlb.cpp.o"
+  "CMakeFiles/renuca_tlb.dir/tlb.cpp.o.d"
+  "librenuca_tlb.a"
+  "librenuca_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

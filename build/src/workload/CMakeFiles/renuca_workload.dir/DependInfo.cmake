@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profile.cpp" "src/workload/CMakeFiles/renuca_workload.dir/app_profile.cpp.o" "gcc" "src/workload/CMakeFiles/renuca_workload.dir/app_profile.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/renuca_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/renuca_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/mixes.cpp" "src/workload/CMakeFiles/renuca_workload.dir/mixes.cpp.o" "gcc" "src/workload/CMakeFiles/renuca_workload.dir/mixes.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/renuca_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/renuca_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/renuca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renuca_workload.dir/app_profile.cpp.o"
+  "CMakeFiles/renuca_workload.dir/app_profile.cpp.o.d"
+  "CMakeFiles/renuca_workload.dir/generator.cpp.o"
+  "CMakeFiles/renuca_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/renuca_workload.dir/mixes.cpp.o"
+  "CMakeFiles/renuca_workload.dir/mixes.cpp.o.d"
+  "CMakeFiles/renuca_workload.dir/trace.cpp.o"
+  "CMakeFiles/renuca_workload.dir/trace.cpp.o.d"
+  "librenuca_workload.a"
+  "librenuca_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renuca_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

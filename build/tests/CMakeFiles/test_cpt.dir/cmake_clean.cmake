@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpt.dir/test_cpt.cpp.o"
+  "CMakeFiles/test_cpt.dir/test_cpt.cpp.o.d"
+  "test_cpt"
+  "test_cpt.pdb"
+  "test_cpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rram.dir/test_rram.cpp.o"
+  "CMakeFiles/test_rram.dir/test_rram.cpp.o.d"
+  "test_rram"
+  "test_rram.pdb"
+  "test_rram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_integration.dir/test_system_integration.cpp.o"
+  "CMakeFiles/test_system_integration.dir/test_system_integration.cpp.o.d"
+  "test_system_integration"
+  "test_system_integration.pdb"
+  "test_system_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

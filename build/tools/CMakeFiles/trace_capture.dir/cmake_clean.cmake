@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_capture.dir/trace_capture.cpp.o"
+  "CMakeFiles/trace_capture.dir/trace_capture.cpp.o.d"
+  "trace_capture"
+  "trace_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_stats.dir/trace_stats.cpp.o"
+  "CMakeFiles/trace_stats.dir/trace_stats.cpp.o.d"
+  "trace_stats"
+  "trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
