@@ -16,7 +16,7 @@ struct Variant {
 };
 
 void report(const Variant& v, const std::vector<workload::WorkloadMix>& mixes,
-            TextTable& t) {
+            TextTable& t, BenchSession& session) {
   rram::LifetimeAggregator agg(16);
   rram::LifetimeAggregator hotAgg(16);
   double ipc = 0;
@@ -25,6 +25,7 @@ void report(const Variant& v, const std::vector<workload::WorkloadMix>& mixes,
     agg.addRun(r.bankLifetimeYears);
     hotAgg.addRun(r.bankLifetimeYearsHotFrame);
     ipc += r.systemIpc;
+    session.add(v.name + "/" + mix.name, std::move(r));
   }
   t.addRow({v.name, TextTable::num(agg.rawMinimum(), 2),
             TextTable::num(agg.harmonicOverall(), 2),
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   sim::SystemConfig base = sim::defaultConfig();
   base.policy = core::PolicyKind::ReNuca;
   KvConfig kv = setup(argc, argv, "Ablation: Re-NUCA design choices", base);
+  BenchSession session(kv, "ablation_design", base);
   auto mixes = benchMixes(kv);
 
   std::vector<Variant> variants;
@@ -61,20 +63,20 @@ int main(int argc, char** argv) {
 
   TextTable t({"variant", "raw min (y)", "h-mean (y)", "hot-frame min (y)",
                "mean system IPC"});
-  for (const Variant& v : variants) report(v, mixes, t);
+  for (const Variant& v : variants) report(v, mixes, t, session);
 
   // Inclusive-LLC variant.
   {
     Variant v{"inclusive LLC", base};
     v.cfg.inclusiveLlc = true;
-    report(v, mixes, t);
+    report(v, mixes, t, session);
   }
   // EqualChance intra-set wear leveling stacked on Re-NUCA (§VI claims
   // the techniques compose; the hot-frame column is where it shows).
   {
     Variant v{"+ EqualChance (every 4th fill)", base};
     v.cfg.l3.equalChanceEvery = 4;
-    report(v, mixes, t);
+    report(v, mixes, t, session);
   }
   // Next-line L2 prefetching: helps streaming IPC, but every prefetch
   // fill is another ReRAM write — a wear/performance trade the paper's
@@ -82,7 +84,7 @@ int main(int argc, char** argv) {
   {
     Variant v{"+ L2 next-line prefetch", base};
     v.cfg.l2PrefetchDegree = 1;
-    report(v, mixes, t);
+    report(v, mixes, t, session);
   }
 
   std::printf("%s", t.toString().c_str());

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::defaultConfig();
   cfg.policy = core::PolicyKind::ReNuca;
   KvConfig kv = setup(argc, argv, "Ablation: criticality threshold, end to end", cfg);
+  BenchSession session(kv, "ablation_threshold", cfg);
   auto mixes = benchMixes(kv);
 
   // S-NUCA reference for IPC normalization.
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   for (const auto& mix : mixes) {
     snucaRuns.push_back(sim::runWorkload(snucaCfg, mix));
     snucaIpc += snucaRuns.back().systemIpc;
+    session.add("SNuca/" + mix.name, snucaRuns.back());
   }
   snucaIpc /= mixes.size();
 
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
       agg.addRun(r.bankLifetimeYears);
       ipc += r.systemIpc;
       critFills += 1.0 - r.nonCriticalFillFrac;
+      session.add("x" + TextTable::num(x, 0) + "/" + mix.name, std::move(r));
     }
     ipc /= mixes.size();
     t.addRow({TextTable::num(x, 0) + "%",

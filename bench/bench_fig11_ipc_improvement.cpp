@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   std::vector<core::PolicyKind> policies = {
       core::PolicyKind::SNuca, core::PolicyKind::RNuca, core::PolicyKind::Private,
       core::PolicyKind::ReNuca};
+  BenchSession session(kv, "fig11_ipc_improvement", cfg);
   sim::PolicySweep sweep = sim::sweepPolicies(cfg, policies, benchMixes(kv));
+  session.addSweep(sweep);
   printIpcImprovements(sweep);
   std::printf("\npaper averages: R-NUCA +4.7%%, Private +8%%, Re-NUCA +5.2%%.\n");
 

@@ -12,7 +12,9 @@ using namespace renuca::bench;
 int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::robLarge();
   KvConfig kv = setup(argc, argv, "Figs 17/18: ROB = 168 entries sensitivity", cfg);
+  BenchSession session(kv, "fig17_18_rob_sensitivity", cfg);
   sim::PolicySweep sweep = sim::sweepPolicies(cfg, sim::allPolicies(), benchMixes(kv));
+  session.addSweep(sweep);
 
   std::printf("--- Fig 17: per-bank harmonic lifetimes ---\n");
   printLifetimeBars(sweep);

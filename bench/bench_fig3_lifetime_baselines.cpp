@@ -13,7 +13,9 @@ using namespace renuca::bench;
 int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::defaultConfig();
   KvConfig kv = setup(argc, argv, "Fig 3: harmonic-mean lifetime, baseline schemes", cfg);
+  BenchSession session(kv, "fig3_lifetime_baselines", cfg);
   sim::PolicySweep sweep = sim::sweepPolicies(cfg, sim::baselinePolicies(), benchMixes(kv));
+  session.addSweep(sweep);
   printLifetimeBars(sweep);
 
   std::printf("\npaper reference (raw minimum, years): Naive 4.95, S-NUCA 3.37, "

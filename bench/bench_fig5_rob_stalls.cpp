@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   cfg.applyOverrides(kv);
   std::printf("== Fig 5: non-critical loads per application ==\n");
   std::printf("config: %s\n\n", cfg.summary().c_str());
+  bench::BenchSession session(kv, "fig5_rob_stalls", cfg);
 
   TextTable t({"app", "non-critical loads"});
   double sum = 0;
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
     t.addRow({p.name, TextTable::pct(r.nonCriticalLoadFrac, 1)});
     sum += r.nonCriticalLoadFrac;
     ++n;
+    session.add(p.name, std::move(r));
   }
   t.addSeparator();
   t.addRow({"Average", TextTable::pct(sum / n, 1)});

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cfg.applyOverrides(kv);
   std::printf("== Fig 7: criticality prediction accuracy vs threshold ==\n");
   std::printf("config: %s\n\n", cfg.summary().c_str());
+  BenchSession session(kv, "fig7_predictor_accuracy", cfg);
 
   std::vector<std::string> headers = {"app"};
   for (double x : thresholdSweep()) headers.push_back(TextTable::num(x, 0) + "%");
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
       sim::RunResult r = sim::runSingleApp(c, app);
       row.push_back(TextTable::pct(r.cptCriticalRecall, 1));
       avg[i] += r.cptCriticalRecall;
+      session.add(app + "/x" + TextTable::num(thresholdSweep()[i], 0), std::move(r));
     }
     t.addRow(row);
   }

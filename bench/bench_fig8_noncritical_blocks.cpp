@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cfg.applyOverrides(kv);
   std::printf("== Fig 8: non-critical cache blocks vs threshold ==\n");
   std::printf("config: %s\n\n", cfg.summary().c_str());
+  BenchSession session(kv, "fig8_noncritical_blocks", cfg);
 
   std::vector<std::string> headers = {"app"};
   for (double x : thresholdSweep()) headers.push_back(TextTable::num(x, 0) + "%");
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
       sim::RunResult r = sim::runSingleApp(c, app);
       row.push_back(TextTable::pct(r.nonCriticalFillFrac, 1));
       avg[i] += r.nonCriticalFillFrac;
+      session.add(app + "/x" + TextTable::num(thresholdSweep()[i], 0), std::move(r));
     }
     t.addRow(row);
   }

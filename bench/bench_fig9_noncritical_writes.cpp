@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   cfg.applyOverrides(kv);
   std::printf("== Fig 9: LLC writes to non-critical blocks vs threshold ==\n");
   std::printf("config: %s\n\n", cfg.summary().c_str());
+  BenchSession session(kv, "fig9_noncritical_writes", cfg);
 
   std::vector<std::string> headers = {"app"};
   for (double x : thresholdSweep()) headers.push_back(TextTable::num(x, 0) + "%");
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
       sim::RunResult r = sim::runSingleApp(c, app);
       row.push_back(TextTable::pct(r.nonCriticalWriteFrac, 1));
       avg[i] += r.nonCriticalWriteFrac;
+      session.add(app + "/x" + TextTable::num(thresholdSweep()[i], 0), std::move(r));
     }
     t.addRow(row);
   }

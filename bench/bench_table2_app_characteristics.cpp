@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   cfg.applyOverrides(kv);
   std::printf("== Table II / Fig 2: application characteristics (single core) ==\n");
   std::printf("config: %s\n\n", cfg.summary().c_str());
+  bench::BenchSession session(kv, "table2_app_characteristics", cfg);
 
   TextTable t({"app", "class", "WPKI", "(ref)", "MPKI", "(ref)", "hit", "(ref)",
                "IPC", "(ref)", "WPKI+MPKI"});
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
               TextTable::num(r.wpki[0] + r.mpki[0], 2)});
     sumW += r.wpki[0];
     sumM += r.mpki[0];
+    session.add(p.name, std::move(r));
   }
   std::printf("%s", t.toString().c_str());
   std::printf("totals: WPKI %.1f, MPKI %.1f (paper: 305.9, 203.3)\n", sumW, sumM);

@@ -33,10 +33,12 @@ int main(int argc, char** argv) {
   TextTable t(headers);
 
   auto mixes = benchMixes(kv);
+  BenchSession session(kv, "table3_raw_min_lifetime", base);
   for (RowSpec& row : rows) {
     applyBenchDefaults(row.cfg);
     row.cfg.applyOverrides(kv);
     sim::PolicySweep sweep = sim::sweepPolicies(row.cfg, sim::allPolicies(), mixes);
+    session.addSweep(sweep, row.name);
     std::vector<std::string> cells = {row.name};
     for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
       cells.push_back(TextTable::num(sweep.rawMinLifetime(p), 2));

@@ -7,13 +7,16 @@
 // plus "mixes=N" to run on the first N of the ten standard workloads.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/kvconfig.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/report.hpp"
 #include "workload/mixes.hpp"
 
 namespace renuca::bench {
@@ -35,6 +38,57 @@ inline KvConfig setup(int argc, char** argv, const char* title,
   std::printf("config: %s\n\n", cfg.summary().c_str());
   return kv;
 }
+
+/// Machine-readable run report for one bench invocation.  Construct after
+/// setup(), feed it every RunResult the bench produces, and the destructor
+/// writes a "renuca-run-report-v1" JSON document to the `report_json=` path
+/// (no path, no file — the tables on stdout are unaffected either way).
+class BenchSession {
+ public:
+  BenchSession(const KvConfig& kv, std::string benchName, const sim::SystemConfig& cfg)
+      : name_(std::move(benchName)), cfg_(cfg),
+        start_(std::chrono::steady_clock::now()) {
+    if (auto p = kv.getString("report_json")) path_ = *p;
+  }
+  ~BenchSession() { finish(); }
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  void add(std::string label, sim::RunResult result) {
+    entries_.push_back({std::move(label), std::move(result)});
+  }
+
+  /// Adds every (policy, mix) run of a sweep, labeled "[prefix/]Policy/mix".
+  void addSweep(const sim::PolicySweep& sweep, const std::string& prefix = "") {
+    for (std::size_t p = 0; p < sweep.policies.size(); ++p) {
+      for (std::size_t m = 0; m < sweep.mixes.size(); ++m) {
+        add((prefix.empty() ? "" : prefix + "/") +
+                std::string(core::toString(sweep.policies[p])) + "/" +
+                sweep.mixes[m].name,
+            sweep.at(p, m));
+      }
+    }
+  }
+
+  /// Writes the report now (idempotent; also called by the destructor).
+  void finish() {
+    if (done_) return;
+    done_ = true;
+    if (path_.empty()) return;
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_).count();
+    sim::writeRunReport(path_, name_, cfg_, entries_, wall);
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  sim::SystemConfig cfg_;
+  std::vector<sim::ReportEntry> entries_;
+  std::chrono::steady_clock::time_point start_;
+  bool done_ = false;
+};
 
 /// First `mixes=` (default all ten) standard workload mixes.
 inline std::vector<workload::WorkloadMix> benchMixes(const KvConfig& kv) {

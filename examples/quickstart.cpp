@@ -1,13 +1,17 @@
 // Quickstart: build the paper's 16-core system, run one multi-programmed
 // workload under Re-NUCA, and print the headline numbers.
 //
-//   ./quickstart [policy=renuca] [instr_per_core=30000] [mixes ignored]
+//   ./quickstart [policy=renuca] [instr_per_core=30000]
+//
+// Telemetry keys ride along like any other override:
+//   ./quickstart report_json=run.json epoch_instrs=3000 trace_json=run.trace
 //
 // This is the smallest complete use of the public API:
 //   SystemConfig -> workload mix -> System::run() -> RunResult.
 #include <cstdio>
 
 #include "sim/experiment.hpp"
+#include "sim/report.hpp"
 
 using namespace renuca;
 
@@ -17,7 +21,8 @@ int main(int argc, char** argv) {
   cfg.policy = core::PolicyKind::ReNuca;
   cfg.instrPerCore = 30000;
   cfg.warmupInstrPerCore = 8000;
-  cfg.applyOverrides(KvConfig::fromArgs(argc, argv));
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  cfg.applyOverrides(kv);
   std::printf("machine: %s\n\n", cfg.summary().c_str());
 
   // 2. Pick a workload: WL1 is one of the paper-style mixes of 16 SPEC-like
@@ -43,5 +48,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.bankWrites[b]));
   }
   std::printf("\nminimum bank lifetime: %.2f years\n", r.minBankLifetime());
+
+  // 5. Optional machine-readable report (epoch series included when
+  //    epoch_instrs= was given; trace_json= already wrote its own file).
+  if (auto path = kv.getString("report_json")) {
+    if (sim::writeRunReport(*path, "quickstart", cfg, {{mix.name, r}}, 0.0)) {
+      std::printf("report written to %s\n", path->c_str());
+    }
+  }
   return 0;
 }

@@ -1,12 +1,28 @@
 #!/bin/bash
 # Runs every bench binary sequentially, teeing to bench_output.txt.
+# Each figure/table bench also writes a machine-readable run report into a
+# timestamped bench_reports/<stamp>/ directory (see DESIGN.md, telemetry).
 cd /root/repo
+stamp=$(date +%Y%m%d-%H%M%S)
+report_dir="bench_reports/$stamp"
+mkdir -p "$report_dir"
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   [ -f "$b" ] || continue
-  echo "===== $(basename $b) =====" | tee -a bench_output.txt
-  "$b" >> bench_output.txt 2>&1
+  name=$(basename "$b")
+  echo "===== $name =====" | tee -a bench_output.txt
+  case "$name" in
+    bench_micro_components)
+      # google-benchmark harness: its own flags, its own JSON format.
+      "$b" "--benchmark_out=$report_dir/$name.json" \
+           "--benchmark_out_format=json" >> bench_output.txt 2>&1
+      ;;
+    *)
+      "$b" "report_json=$report_dir/$name.json" >> bench_output.txt 2>&1
+      ;;
+  esac
   echo "(exit $?)" >> bench_output.txt
 done
+echo "reports in $report_dir" | tee -a bench_output.txt
 echo ALL_BENCHES_DONE | tee -a bench_output.txt

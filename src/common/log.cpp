@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -22,9 +23,27 @@ const char* levelName(LogLevel l) {
 void setLogLevel(LogLevel level) { g_level = level; }
 LogLevel logLevel() { return g_level; }
 
+const char* toString(LogLevel level) { return levelName(level); }
+
+std::optional<LogLevel> logLevelFromString(const std::string& name) {
+  std::string v;
+  v.reserve(name.size());
+  for (char c : name) v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (v == "debug" || v == "0") return LogLevel::Debug;
+  if (v == "info" || v == "1") return LogLevel::Info;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::Warn;
+  if (v == "error" || v == "3") return LogLevel::Error;
+  return std::nullopt;
+}
+
 void logMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
   std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+void logMessage(LogLevel level, const std::string& component, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", levelName(level), component.c_str(), message.c_str());
 }
 
 void assertFail(const char* expr, const char* file, int line, const std::string& message) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace renuca {
@@ -17,8 +18,16 @@ enum class LogLevel : std::uint8_t { Debug = 0, Info = 1, Warn = 2, Error = 3 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive; also 0-3);
+/// returns nullopt for anything else.  Backs the `log_level=` kv-config key.
+std::optional<LogLevel> logLevelFromString(const std::string& name);
+const char* toString(LogLevel level);
+
 /// Writes "[LEVEL] message\n" to stderr if `level` passes the filter.
 void logMessage(LogLevel level, const std::string& message);
+
+/// Component-tagged variant: "[LEVEL] component: message".
+void logMessage(LogLevel level, const std::string& component, const std::string& message);
 
 [[noreturn]] void assertFail(const char* expr, const char* file, int line,
                              const std::string& message);

@@ -43,17 +43,32 @@ void Histogram::add(double x) {
 }
 
 double Histogram::percentile(double q) const {
-  if (total_ == 0) return 0.0;
+  if (total_ == 0 || buckets_.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   double target = q * static_cast<double>(total_);
+  if (target <= 0.0) {
+    // q = 0: the infimum of the sample range — the left edge of the first
+    // non-empty bucket, not bucket 0 (which may hold no mass).
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i]) return static_cast<double>(i) * width_;
+    }
+    return 0.0;
+  }
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     std::uint64_t c = buckets_[i];
-    if (acc + c >= target) {
-      double within = c ? (target - acc) / static_cast<double>(c) : 0.0;
+    // target > 0 and acc < target here, so a bucket satisfies the bound
+    // only when c > 0; interpolation never divides by zero.
+    if (c && static_cast<double>(acc + c) >= target) {
+      double within = (target - static_cast<double>(acc)) / static_cast<double>(c);
       return (static_cast<double>(i) + within) * width_;
     }
     acc += c;
+  }
+  // Float round-off (q ~ 1 with huge totals) can leave the loop short of
+  // the target; answer with the right edge of the last non-empty bucket.
+  for (std::size_t i = buckets_.size(); i-- > 0;) {
+    if (buckets_[i]) return static_cast<double>(i + 1) * width_;
   }
   return width_ * static_cast<double>(buckets_.size());
 }
@@ -61,6 +76,10 @@ double Histogram::percentile(double q) const {
 std::uint64_t StatSet::get(const std::string& key) const {
   auto it = counters_.find(key);
   return it == counters_.end() ? 0 : it->second;
+}
+
+void StatSet::zero() {
+  for (auto& [k, v] : counters_) v = 0;
 }
 
 std::string StatSet::toString() const {

@@ -43,7 +43,13 @@ class Histogram {
   std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
   std::size_t numBuckets() const { return buckets_.size(); }
   std::uint64_t total() const { return total_; }
-  /// Value below which `q` (in [0,1]) of samples fall, linear within bucket.
+  /// Value below which `q` (clamped to [0,1]) of samples fall, linearly
+  /// interpolated within a bucket.  Pinned edge behavior:
+  ///  * empty histogram -> 0;
+  ///  * q = 0 -> left edge of the first non-empty bucket;
+  ///  * q = 1 -> right edge of the last non-empty bucket;
+  ///  * mass clamped into the last bucket interpolates inside it, so the
+  ///    result never exceeds bucketWidth * numBuckets even when samples do.
   double percentile(double q) const;
 
  private:
@@ -54,12 +60,27 @@ class Histogram {
 
 /// Named 64-bit counters grouped under a component; cheap to increment,
 /// queryable by name for reporting.
+///
+/// Hot paths should not pay a string-keyed map lookup per event: resolve a
+/// handle once with counter() and bump through the pointer.  Handles stay
+/// valid across zero() (which keeps the keys) but not across clear().
 class StatSet {
  public:
   explicit StatSet(std::string name = "") : name_(std::move(name)) {}
 
   void inc(const std::string& key, std::uint64_t by = 1) { counters_[key] += by; }
   std::uint64_t get(const std::string& key) const;
+
+  /// Stable pointer to the counter value, creating it (at 0) if absent.
+  /// std::map nodes do not move, so the pointer survives later insertions
+  /// and zero(); it is invalidated only by clear().
+  std::uint64_t* counter(const std::string& key) { return &counters_[key]; }
+
+  /// Zeros every counter value while keeping the keys (and any handles).
+  void zero();
+
+  /// Drops all counters.  Invalidates counter() handles — prefer zero()
+  /// once handles have been taken.
   void clear() { counters_.clear(); }
 
   const std::string& name() const { return name_; }

@@ -9,6 +9,16 @@ CriticalityPredictorTable::CriticalityPredictorTable(const CptConfig& config)
   RENUCA_ASSERT(cfg_.capacity > 0, "CPT capacity must be non-zero");
   RENUCA_ASSERT(cfg_.thresholdPct > 0.0 && cfg_.thresholdPct <= 100.0,
                 "criticality threshold must be in (0, 100]");
+  coldLookups_ = stats_.counter("cold_lookups");
+  lookups_ = stats_.counter("lookups");
+  predictCritical_ = stats_.counter("predict_critical");
+  predictNonCritical_ = stats_.counter("predict_noncritical");
+}
+
+bool CriticalityPredictorTable::verdictOf(const Counters& c) const {
+  // robBlockCount >= x% of numLoadsCount  (integer-free comparison).
+  return static_cast<double>(c.robBlockCount) * 100.0 >=
+         cfg_.thresholdPct * static_cast<double>(c.numLoadsCount);
 }
 
 bool CriticalityPredictorTable::predict(std::uint64_t pc) {
@@ -16,16 +26,12 @@ bool CriticalityPredictorTable::predict(std::uint64_t pc) {
   if (it == table_.end()) {
     // First touch: the paper assumes a line non-critical until shown
     // otherwise (lifetime is prioritized over performance, §IV).
-    stats_.inc("cold_lookups");
+    ++*coldLookups_;
     return cfg_.coldPredictsCritical;
   }
-  const Counters& c = it->second.counters;
-  stats_.inc("lookups");
-  // robBlockCount >= x% of numLoadsCount  (integer-free comparison).
-  bool critical =
-      static_cast<double>(c.robBlockCount) * 100.0 >=
-      cfg_.thresholdPct * static_cast<double>(c.numLoadsCount);
-  stats_.inc(critical ? "predict_critical" : "predict_noncritical");
+  ++*lookups_;
+  bool critical = verdictOf(it->second.counters);
+  ++*(critical ? predictCritical_ : predictNonCritical_);
   return critical;
 }
 
@@ -33,7 +39,7 @@ bool CriticalityPredictorTable::hasEntry(std::uint64_t pc) const {
   return table_.find(pc) != table_.end();
 }
 
-void CriticalityPredictorTable::train(std::uint64_t pc, bool stalledRobHead) {
+bool CriticalityPredictorTable::train(std::uint64_t pc, bool stalledRobHead) {
   auto it = table_.find(pc);
   if (it == table_.end()) {
     if (table_.size() >= cfg_.capacity) {
@@ -50,11 +56,15 @@ void CriticalityPredictorTable::train(std::uint64_t pc, bool stalledRobHead) {
     e.fifoIt = std::prev(fifo_.end());
     table_.emplace(pc, e);
     stats_.inc("insertions");
-    return;
+    // A brand-new entry "flips" if its verdict differs from the cold
+    // default the PC was predicted with until now.
+    return verdictOf(e.counters) != cfg_.coldPredictsCritical;
   }
   Counters& c = it->second.counters;
+  bool before = verdictOf(c);
   ++c.numLoadsCount;
   if (stalledRobHead) ++c.robBlockCount;
+  return verdictOf(c) != before;
 }
 
 CriticalityPredictorTable::Counters CriticalityPredictorTable::countersFor(

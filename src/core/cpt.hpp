@@ -41,7 +41,7 @@ class CriticalityPredictorTable final : public cpu::CriticalityPredictor {
   // cpu::CriticalityPredictor
   bool predict(std::uint64_t pc) override;
   bool hasEntry(std::uint64_t pc) const override;
-  void train(std::uint64_t pc, bool stalledRobHead) override;
+  bool train(std::uint64_t pc, bool stalledRobHead) override;
 
   /// Counters for a PC (tests / introspection); zeros if not tracked.
   struct Counters {
@@ -60,10 +60,17 @@ class CriticalityPredictorTable final : public cpu::CriticalityPredictor {
     std::list<std::uint64_t>::iterator fifoIt;
   };
 
+  bool verdictOf(const Counters& c) const;
+
   CptConfig cfg_;
   std::unordered_map<std::uint64_t, Entry> table_;
   std::list<std::uint64_t> fifo_;  ///< Insertion order for eviction.
   StatSet stats_;
+  // Handles into stats_ for the per-lookup counters (hot path).
+  std::uint64_t* coldLookups_ = nullptr;
+  std::uint64_t* lookups_ = nullptr;
+  std::uint64_t* predictCritical_ = nullptr;
+  std::uint64_t* predictNonCritical_ = nullptr;
 };
 
 }  // namespace renuca::core

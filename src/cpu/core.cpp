@@ -75,7 +75,13 @@ void OooCore::commit(Cycle now) {
         if (head.predictedCritical == stalled) ++stats_.cptCorrect;
       }
       if (head.predictedCritical) ++stats_.predictedCriticalLoads;
-      if (predictor_) predictor_->train(head.pc, stalled);
+      if (predictor_) {
+        bool flipped = predictor_->train(head.pc, stalled);
+        if (flipped) {
+          ++stats_.cptVerdictFlips;
+          if (flipHook_) flipHook_(now, head.pc, stalled);
+        }
+      }
     } else if (head.kind == InstrKind::Store) {
       ++stats_.stores;
     }

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -63,8 +64,10 @@ class CriticalityPredictor {
   /// True if the CPT currently has an entry for this PC (predictions from
   /// cold entries do not count toward accuracy, mirroring the paper).
   virtual bool hasEntry(std::uint64_t pc) const = 0;
-  /// Commit-time training with the observed ROB-head outcome.
-  virtual void train(std::uint64_t pc, bool stalledRobHead) = 0;
+  /// Commit-time training with the observed ROB-head outcome.  Returns
+  /// true when the sample flipped the PC's criticality verdict — the
+  /// telemetry layer turns these flips into trace instants.
+  virtual bool train(std::uint64_t pc, bool stalledRobHead) = 0;
 };
 
 struct CoreConfig {
@@ -87,6 +90,8 @@ struct CoreStats {
   std::uint64_t cptPredictions = 0;     ///< Predictions made from warm CPT entries.
   std::uint64_t cptCorrect = 0;         ///< ... that matched the observed outcome.
   std::uint64_t predictedCriticalLoads = 0;
+  /// Training samples that flipped a PC's criticality verdict (telemetry).
+  std::uint64_t cptVerdictFlips = 0;
   /// Actually-critical loads the CPT flagged in time (recall numerator;
   /// the paper's Fig 7 "accuracy" is this recall — at the 100 % threshold
   /// it reports 14.5 %, impossible for plain accuracy when >80 % of loads
@@ -148,6 +153,16 @@ class OooCore {
   /// core has reached its budget — the paper's multi-programmed methodology.
   void setRunPastBudget(bool v) { runPastBudget_ = v; }
 
+  /// Called with (cycle, pc, nowCritical) whenever a commit-time training
+  /// sample flips the PC's criticality verdict; the telemetry layer hooks
+  /// this to emit trace instants.  Unset costs one branch per flip.
+  void setCriticalityFlipHook(std::function<void(Cycle, std::uint64_t, bool)> hook) {
+    flipHook_ = std::move(hook);
+  }
+
+  /// Instantaneous in-flight L1-miss count (MSHR occupancy gauge).
+  std::uint32_t mshrInFlight(Cycle now) { return mshr_.inFlight(now); }
+
  private:
   struct RobEntry {
     std::uint64_t pc = 0;
@@ -202,6 +217,7 @@ class OooCore {
 
   CoreStats stats_;
   bool runPastBudget_ = false;
+  std::function<void(Cycle, std::uint64_t, bool)> flipHook_;
 };
 
 }  // namespace renuca::cpu

@@ -33,6 +33,11 @@ DramController::DramController(const DramConfig& config)
       stats_("dram") {
   RENUCA_ASSERT(cfg_.channels > 0 && cfg_.ranksPerChannel > 0 && cfg_.banksPerRank > 0,
                 "DRAM geometry must be non-zero");
+  rowHits_ = stats_.counter("row_hits");
+  rowMisses_ = stats_.counter("row_misses");
+  rowConflicts_ = stats_.counter("row_conflicts");
+  readCount_ = stats_.counter("reads");
+  writeCount_ = stats_.counter("writes");
 }
 
 Cycle DramController::access(Addr paddr, AccessType type, Cycle now) {
@@ -54,17 +59,17 @@ Cycle DramController::access(Addr paddr, AccessType type, Cycle now) {
   if (cfg_.pagePolicy == PagePolicy::Closed) {
     // Auto-precharge: every access activates a closed row; the precharge
     // overlaps the next gap, so the visible cost is tRCD + tCL.
-    stats_.inc("row_misses");
+    ++*rowMisses_;
     bankCycles = cfg_.tRcd + cfg_.tCl;
     bank.rowOpen = false;
   } else if (bank.rowOpen && bank.openRow == a.row) {
-    stats_.inc("row_hits");
+    ++*rowHits_;
     bankCycles = cfg_.tCl;
   } else if (!bank.rowOpen) {
-    stats_.inc("row_misses");
+    ++*rowMisses_;
     bankCycles = cfg_.tRcd + cfg_.tCl;
   } else {
-    stats_.inc("row_conflicts");
+    ++*rowConflicts_;
     bankCycles = cfg_.tRp + cfg_.tRcd + cfg_.tCl;
   }
   if (cfg_.pagePolicy == PagePolicy::Open) {
@@ -77,7 +82,7 @@ Cycle DramController::access(Addr paddr, AccessType type, Cycle now) {
   Cycle busStart = busBusy_[a.channel].reserve(columnReady, cfg_.tBurst);
   Cycle done = busStart + cfg_.tBurst;
 
-  stats_.inc(type == AccessType::Read ? "reads" : "writes");
+  ++*(type == AccessType::Read ? readCount_ : writeCount_);
   return done;
 }
 

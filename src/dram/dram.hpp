@@ -92,6 +92,12 @@ class DramController {
   std::vector<BankState> banks_;   // flat bank index
   std::vector<BusyCalendar> busBusy_;  // per channel
   StatSet stats_;
+  // Handles into stats_ for the per-access counters (hot path).
+  std::uint64_t* rowHits_ = nullptr;
+  std::uint64_t* rowMisses_ = nullptr;
+  std::uint64_t* rowConflicts_ = nullptr;
+  std::uint64_t* readCount_ = nullptr;
+  std::uint64_t* writeCount_ = nullptr;
 };
 
 }  // namespace renuca::dram

@@ -23,6 +23,16 @@ CacheBank::CacheBank(const CacheConfig& config, std::string name, std::uint64_t 
   }
   RENUCA_ASSERT(cfg_.equalChanceEvery == 0 || cfg_.trackFrameWrites,
                 "EqualChance needs frame write counters");
+
+  hot_.readHits = stats_.counter("read_hits");
+  hot_.readMisses = stats_.counter("read_misses");
+  hot_.writeHits = stats_.counter("write_hits");
+  hot_.writeMisses = stats_.counter("write_misses");
+  hot_.fills = stats_.counter("fills");
+  hot_.evictions = stats_.counter("evictions");
+  hot_.dirtyEvictions = stats_.counter("dirty_evictions");
+  hot_.invalidations = stats_.counter("invalidations");
+  hot_.writebackHits = stats_.counter("writeback_hits");
 }
 
 std::optional<std::uint32_t> CacheBank::findWay(std::uint32_t set, BlockAddr block) const {
@@ -108,10 +118,10 @@ bool CacheBank::access(BlockAddr block, AccessType type) {
   std::uint32_t set = setOf(block);
   auto way = findWay(set, block);
   if (!way) {
-    stats_.inc(type == AccessType::Read ? "read_misses" : "write_misses");
+    ++*(type == AccessType::Read ? hot_.readMisses : hot_.writeMisses);
     return false;
   }
-  stats_.inc(type == AccessType::Read ? "read_hits" : "write_hits");
+  ++*(type == AccessType::Read ? hot_.readHits : hot_.writeHits);
   Frame& f = frames_[frameIndex(set, *way)];
   if (type == AccessType::Write) {
     f.dirty = true;
@@ -148,15 +158,15 @@ Eviction CacheBank::insert(BlockAddr block, bool dirty) {
     ev.valid = true;
     ev.block = f.tag;
     ev.dirty = f.dirty;
-    stats_.inc("evictions");
-    if (f.dirty) stats_.inc("dirty_evictions");
+    ++*hot_.evictions;
+    if (f.dirty) ++*hot_.dirtyEvictions;
   }
   f.tag = block;
   f.valid = true;
   f.dirty = dirty;
   recordFrameWrite(set, way);
   touch(set, way);
-  stats_.inc("fills");
+  ++*hot_.fills;
   return ev;
 }
 
@@ -168,7 +178,7 @@ std::optional<bool> CacheBank::invalidate(BlockAddr block) {
   bool dirty = f.dirty;
   f.valid = false;
   f.dirty = false;
-  stats_.inc("invalidations");
+  ++*hot_.invalidations;
   return dirty;
 }
 
@@ -179,7 +189,7 @@ bool CacheBank::writebackHit(BlockAddr block) {
   Frame& f = frames_[frameIndex(set, *way)];
   f.dirty = true;
   recordFrameWrite(set, *way);
-  stats_.inc("writeback_hits");
+  ++*hot_.writebackHits;
   return true;
 }
 
@@ -208,7 +218,7 @@ std::uint64_t CacheBank::validLines() const {
 void CacheBank::resetMeasurement() {
   std::fill(frameWrites_.begin(), frameWrites_.end(), 0ull);
   totalWrites_ = 0;
-  stats_.clear();
+  stats_.zero();  // keep keys: hot_ handles stay valid
 }
 
 void CacheBank::flushAll() {

@@ -146,6 +146,21 @@ class CacheBank {
   std::string name_;
   std::uint32_t numSets_;
 
+  /// StatSet handles resolved once at construction so the access path never
+  /// pays a string-keyed map lookup (see StatSet::counter).
+  struct HotStats {
+    std::uint64_t* readHits = nullptr;
+    std::uint64_t* readMisses = nullptr;
+    std::uint64_t* writeHits = nullptr;
+    std::uint64_t* writeMisses = nullptr;
+    std::uint64_t* fills = nullptr;
+    std::uint64_t* evictions = nullptr;
+    std::uint64_t* dirtyEvictions = nullptr;
+    std::uint64_t* invalidations = nullptr;
+    std::uint64_t* writebackHits = nullptr;
+  };
+  HotStats hot_;
+
   struct Frame {
     BlockAddr tag = 0;
     bool valid = false;

@@ -11,6 +11,8 @@ MeshNoc::MeshNoc(const NocConfig& config) : cfg_(config), stats_("noc") {
   RENUCA_ASSERT(cfg_.width > 0 && cfg_.height > 0, "mesh must be non-empty");
   linkBusy_.assign(static_cast<std::size_t>(numNodes()) * 4, BusyCalendar{});
   linkFlits_.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
+  packetCount_ = stats_.counter("packets");
+  flitHopCount_ = stats_.counter("flit_hops");
 }
 
 std::uint32_t MeshNoc::hopCount(std::uint32_t src, std::uint32_t dst) const {
@@ -57,8 +59,8 @@ Cycle MeshNoc::traverse(std::uint32_t src, std::uint32_t dst, Cycle departAt,
 
   ++packets_;
   totalLatency_ += t - departAt;
-  stats_.inc("packets");
-  stats_.inc("flit_hops", static_cast<std::uint64_t>(flits) * hops);
+  ++*packetCount_;
+  *flitHopCount_ += static_cast<std::uint64_t>(flits) * hops;
   return t;
 }
 

@@ -68,6 +68,8 @@ class MeshNoc {
   std::vector<BusyCalendar> linkBusy_;   // [node*4+dir]
   std::vector<std::uint64_t> linkFlits_; // [node*4+dir]
   StatSet stats_;
+  std::uint64_t* packetCount_ = nullptr;   ///< Handle into stats_ (hot path).
+  std::uint64_t* flitHopCount_ = nullptr;  ///< Handle into stats_ (hot path).
   std::uint64_t packets_ = 0;
   std::uint64_t totalLatency_ = 0;
 };

@@ -30,6 +30,22 @@ double bankLifetimeYearsIdeal(std::uint64_t totalBankWrites, std::uint64_t numFr
   return lifetimeFromRate(perFrame, measuredCycles, cfg);
 }
 
+std::vector<double> lifetimeSeriesYears(const std::vector<double>& cumulativeWrites,
+                                        const std::vector<Cycle>& cycles,
+                                        std::uint64_t numFrames,
+                                        const EnduranceConfig& cfg) {
+  RENUCA_ASSERT(cumulativeWrites.size() == cycles.size(),
+                "lifetime series inputs must align");
+  RENUCA_ASSERT(numFrames > 0, "bank must have frames");
+  std::vector<double> out;
+  out.reserve(cumulativeWrites.size());
+  for (std::size_t i = 0; i < cumulativeWrites.size(); ++i) {
+    double perFrame = cumulativeWrites[i] / static_cast<double>(numFrames);
+    out.push_back(lifetimeFromRate(perFrame, cycles[i], cfg));
+  }
+  return out;
+}
+
 LifetimeAggregator::LifetimeAggregator(std::uint32_t numBanks) : numBanks_(numBanks) {
   RENUCA_ASSERT(numBanks > 0, "aggregator needs at least one bank");
 }

@@ -45,6 +45,15 @@ double bankLifetimeYears(std::uint64_t maxFrameWrites, Cycle measuredCycles,
 double bankLifetimeYearsIdeal(std::uint64_t totalBankWrites, std::uint64_t numFrames,
                               Cycle measuredCycles, const EnduranceConfig& cfg);
 
+/// Per-epoch lifetime projection from a cumulative-writes time series
+/// (telemetry): element i is the bank-level (ideal wear-leveled) lifetime
+/// extrapolated from the write rate observed up to cumulativeWrites[i] at
+/// cycles[i].  Inputs must be the same length.
+std::vector<double> lifetimeSeriesYears(const std::vector<double>& cumulativeWrites,
+                                        const std::vector<Cycle>& cycles,
+                                        std::uint64_t numFrames,
+                                        const EnduranceConfig& cfg);
+
 /// Accumulates per-bank lifetimes across workloads and produces the
 /// paper's two aggregate metrics.
 class LifetimeAggregator {

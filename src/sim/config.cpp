@@ -1,5 +1,6 @@
 #include "sim/config.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hpp"
@@ -36,6 +37,21 @@ void SystemConfig::applyOverrides(const KvConfig& kv) {
   if (auto v = kv.getInt("cores")) numCores = static_cast<std::uint32_t>(*v);
   if (auto v = kv.getInt("cluster_size")) clusterSize = static_cast<std::uint32_t>(*v);
   forcePredictor = kv.getOr("force_predictor", forcePredictor);
+
+  // Telemetry keys.
+  epochInstrs = static_cast<std::uint64_t>(
+      kv.getOr("epoch_instrs", static_cast<std::int64_t>(epochInstrs)));
+  if (auto p = kv.getString("trace_json")) traceJsonPath = *p;
+  if (auto v = kv.getInt("trace_sample")) {
+    traceSampleEvery = static_cast<std::uint32_t>(std::max<std::int64_t>(1, *v));
+  }
+  if (auto p = kv.getString("log_level")) {
+    if (auto lvl = logLevelFromString(*p)) {
+      setLogLevel(*lvl);
+    } else {
+      logMessage(LogLevel::Warn, "config", "unknown log_level '" + *p + "' ignored");
+    }
+  }
 }
 
 std::string SystemConfig::summary() const {

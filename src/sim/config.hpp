@@ -88,10 +88,23 @@ struct SystemConfig {
   /// shared-memory example/integration tests.
   bool enableSharing = false;
 
+  // --- Telemetry -----------------------------------------------------------
+  /// Epoch length, in committed instructions per core, at which the
+  /// measurement window snapshots every registered metric into the run's
+  /// time series (RunResult::epochs).  0 disables epoch sampling.
+  std::uint64_t epochInstrs = 0;
+  /// Chrome trace_event output path (chrome://tracing / Perfetto); empty
+  /// disables event tracing.
+  std::string traceJsonPath;
+  /// Trace every Nth hierarchy walk (1 = every walk).  Sampling keeps full
+  /// runs fast and trace files loadable.
+  std::uint32_t traceSampleEvery = 64;
+
   SystemConfig();
 
   /// Applies "key=value" overrides (instr_per_core, warmup, policy, seed,
-  /// threshold_pct, rob_entries, l2_kb, l3_bank_kb, cluster_size, cores).
+  /// threshold_pct, rob_entries, l2_kb, l3_bank_kb, cluster_size, cores,
+  /// epoch_instrs, trace_json, trace_sample, log_level).
   void applyOverrides(const KvConfig& kv);
 
   /// Human-readable Table-I-style summary printed by bench headers.

@@ -7,8 +7,15 @@
 namespace renuca::sim {
 
 RunResult runWorkload(const SystemConfig& config, const workload::WorkloadMix& mix) {
+  logMessage(LogLevel::Debug, "experiment",
+             "run " + mix.name + " policy=" + core::toString(config.policy));
   System system(config, mix);
-  return system.run();
+  RunResult r = system.run();
+  if (r.hitMaxCycles) {
+    logMessage(LogLevel::Warn, "experiment",
+               mix.name + " hit the max-cycles cap; results are truncated");
+  }
+  return r;
 }
 
 RunResult runSingleApp(const SystemConfig& singleCoreConfig, const std::string& appName) {
@@ -95,6 +102,9 @@ PolicySweep sweepPolicies(const SystemConfig& base,
     for (const workload::WorkloadMix& mix : mixes) {
       sweep.results[p].push_back(runWorkload(cfg, mix));
     }
+    logMessage(LogLevel::Debug, "experiment",
+               std::string("policy ") + core::toString(policies[p]) + " done (" +
+                   std::to_string(mixes.size()) + " mixes)");
   }
   return sweep;
 }

@@ -46,6 +46,55 @@ MemorySystem::MemorySystem(const SystemConfig& config)
   if (cfg_.enableSharing) {
     directory_ = std::make_unique<coherence::DirectoryMesi>(cfg_.numCores);
   }
+
+  hot_.llcWritebacks = stats_.counter("llc_writebacks");
+  hot_.llcWritesCritical = stats_.counter("llc_writes_critical");
+  hot_.llcWritesNonCritical = stats_.counter("llc_writes_noncritical");
+  hot_.llcWbAllocates = stats_.counter("llc_wb_allocates");
+  hot_.llcEvictions = stats_.counter("llc_evictions");
+  hot_.llcBackInvalidations = stats_.counter("llc_back_invalidations");
+  hot_.dramWritebacks = stats_.counter("dram_writebacks");
+  hot_.llcFills = stats_.counter("llc_fills");
+  hot_.llcFillsNonCritical = stats_.counter("llc_fills_noncritical");
+  hot_.naiveDirectoryLookups = stats_.counter("naive_directory_lookups");
+  hot_.warmMigrations = stats_.counter("warm_migrations");
+  hot_.l2Prefetches = stats_.counter("l2_prefetches");
+  hot_.l2PrefetchLlcMisses = stats_.counter("l2_prefetch_llc_misses");
+  hot_.l1WbOrphans = stats_.counter("l1_wb_orphans");
+  hot_.coherenceInvalidations = stats_.counter("coherence_invalidations");
+  hot_.llcMissLatencySum = stats_.counter("llc_miss_latency_sum");
+  hot_.llcMissLatencyCount = stats_.counter("llc_miss_latency_count");
+  hot_.llcMissPreBankSum = stats_.counter("llc_miss_pre_bank_sum");
+  hot_.dbgTlbSum = stats_.counter("dbg_tlb_sum");
+  hot_.dbgL1qSum = stats_.counter("dbg_l1q_sum");
+  hot_.dbgL2qSum = stats_.counter("dbg_l2q_sum");
+  hot_.dbgBankqSum = stats_.counter("dbg_bankq_sum");
+  hot_.llcMissDramSum = stats_.counter("llc_miss_dram_sum");
+  hot_.llcMissPostDramSum = stats_.counter("llc_miss_post_dram_sum");
+}
+
+void MemorySystem::registerMetrics(telemetry::MetricsRegistry& reg) {
+  reg.expose("memsys.llc_fills", hot_.llcFills);
+  reg.expose("memsys.llc_writebacks", hot_.llcWritebacks);
+  reg.expose("memsys.llc_evictions", hot_.llcEvictions);
+  reg.expose("memsys.llc_writes_critical", hot_.llcWritesCritical);
+  reg.expose("memsys.llc_writes_noncritical", hot_.llcWritesNonCritical);
+  reg.expose("memsys.dram_writebacks", hot_.dramWritebacks);
+  for (BankId b = 0; b < numBanks(); ++b) {
+    const mem::CacheBank* bank = llc_[b].get();
+    reg.gauge("l3.b" + std::to_string(b) + ".writes",
+              [bank] { return static_cast<double>(bank->totalWrites()); });
+  }
+  reg.gauge("noc.packets",
+            [this] { return static_cast<double>(mesh_.stats().get("packets")); });
+  reg.gauge("noc.flit_hops",
+            [this] { return static_cast<double>(mesh_.stats().get("flit_hops")); });
+  reg.gauge("noc.avg_packet_latency", [this] { return mesh_.avgPacketLatency(); });
+  reg.gauge("dram.reads",
+            [this] { return static_cast<double>(dram_.stats().get("reads")); });
+  reg.gauge("dram.writes",
+            [this] { return static_cast<double>(dram_.stats().get("writes")); });
+  reg.gauge("dram.row_hit_rate", [this] { return dram_.rowHitRate(); });
 }
 
 Cycle MemorySystem::nocTraverse(std::uint32_t src, std::uint32_t dst, Cycle at,
@@ -88,7 +137,7 @@ std::uint32_t MemorySystem::memNode(std::uint32_t channel) const {
 void MemorySystem::writebackL1VictimToL2(CoreId core, BlockAddr block, Cycle now) {
   if (l2_[core]->access(block, AccessType::Write)) return;
   // Inclusion means this should not happen; repair by allocating.
-  stats_.inc("l1_wb_orphans");
+  ++*hot_.l1WbOrphans;
   mem::Eviction ev = l2_[core]->insert(block, /*dirty=*/true);
   evictFromL2(core, ev, now);
 }
@@ -107,7 +156,7 @@ void MemorySystem::evictFromL2(CoreId core, const mem::Eviction& ev, Cycle now) 
 
 void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
   ++coreCounters_[owner].llcWritebacks;
-  stats_.inc("llc_writebacks");
+  ++*hot_.llcWritebacks;
 
   bool bit = policy_->needsMbv() ? mbvBitPhys(block) : false;
   BankId bank = policy_->locate(block, owner, bit);
@@ -118,12 +167,18 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
   // fill time.
   auto it = fillWasCritical_.find(block);
   bool critical = it != fillWasCritical_.end() && it->second;
-  stats_.inc(critical ? "llc_writes_critical" : "llc_writes_noncritical");
+  ++*(critical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
+
+  if (traceThisWalk_ && tracer_) {
+    tracer_->instant("llc_writeback", "llc", kTracePidLlc, bank, arrive,
+                     {{"block", static_cast<std::int64_t>(block)},
+                      {"critical", critical ? 1 : 0}});
+  }
 
   if (!llc_[bank]->writebackHit(block)) {
     // Non-inclusive LLC: the victim was dropped from the LLC while the L2
     // still held it; the write-back (re-)allocates (writeback-allocate).
-    stats_.inc("llc_wb_allocates");
+    ++*hot_.llcWbAllocates;
     mem::Eviction ev = llc_[bank]->insert(block, /*dirty=*/true);
     policy_->onFill(block, bank);
     evictFromLlc(bank, ev, arrive);
@@ -132,7 +187,7 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
 
 void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now) {
   if (!ev.valid) return;
-  stats_.inc("llc_evictions");
+  ++*hot_.llcEvictions;
   BlockAddr block = ev.block;
   CoreId owner = ownerOf(block);
 
@@ -144,7 +199,18 @@ void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now)
     auto l2Dirty = l2_[owner]->invalidate(block);
     if (directory_) directory_->evict(owner, block);
     dirty = dirty || l1Dirty.value_or(false) || l2Dirty.value_or(false);
-    if (l1Dirty.has_value() || l2Dirty.has_value()) stats_.inc("llc_back_invalidations");
+    if (l1Dirty.has_value() || l2Dirty.has_value()) ++*hot_.llcBackInvalidations;
+  }
+
+  if (traceThisWalk_ && tracer_) {
+    tracer_->instant("llc_evict", "llc", kTracePidLlc, bank, now,
+                     {{"block", static_cast<std::int64_t>(block)},
+                      {"dirty", dirty ? 1 : 0}});
+    if (policy_->needsMbv()) {
+      tracer_->instant("mbv_reset", "llc", kTracePidLlc, bank, now,
+                       {{"block", static_cast<std::int64_t>(block)},
+                        {"owner", static_cast<std::int64_t>(owner)}});
+    }
   }
 
   // Placement bookkeeping: the policy forgets the line, and its MBV bit
@@ -158,7 +224,7 @@ void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now)
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
     Cycle arrive = nocTraverse(bank, memNode(ch), now, mesh_.config().dataFlits);
     dramAccess(paddr, AccessType::Write, arrive);
-    stats_.inc("dram_writebacks");
+    ++*hot_.dramWritebacks;
   }
 }
 
@@ -166,7 +232,7 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
   tlb::Translation tr = tlbs_[core]->translate(vaddr);
   BlockAddr block = lineOf(tr.paddr);
   if (l2_[core]->contains(block) || l1_[core]->contains(block)) return;
-  stats_.inc("l2_prefetches");
+  ++*hot_.l2Prefetches;
 
   // Fetch from the LLC (or memory) along the normal path, reserving the
   // same resources demand traffic would, but off the core's critical path.
@@ -175,16 +241,16 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
   Cycle arrive = nocTraverse(core, bank, now, mesh_.config().controlFlits);
   Cycle bankStart = bankReserve(bank, arrive);
   if (!llc_[bank]->access(block, AccessType::Read)) {
-    stats_.inc("l2_prefetch_llc_misses");
+    ++*hot_.l2PrefetchLlcMisses;
     Addr paddr = lineBase(block);
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
     Cycle memArrive = nocTraverse(bank, memNode(ch), bankStart + cfg_.l3.tagLatency,
                                   mesh_.config().controlFlits);
     Cycle dramDone = dramAccess(paddr, AccessType::Read, memArrive);
     core::MappingPolicy::Fill fill = policy_->placeFill(block, core, false);
-    stats_.inc("llc_fills");
-    stats_.inc("llc_fills_noncritical");
-    stats_.inc("llc_writes_noncritical");
+    ++*hot_.llcFills;
+    ++*hot_.llcFillsNonCritical;
+    ++*hot_.llcWritesNonCritical;
     Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
                                    mesh_.config().dataFlits);
     Cycle fillStart = bankReserve(fill.bank, fillArrive);
@@ -216,22 +282,40 @@ void MemorySystem::coherenceActions(CoreId core, BlockAddr block, AccessType typ
         writebackToLlc(other, block, now);
       }
     }
-    stats_.inc("coherence_invalidations");
+    ++*hot_.coherenceInvalidations;
   }
 }
 
 MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issueAt,
                                             AccessType type, bool critical) {
+  // Sampling decision made once per walk; the eviction/write-back paths the
+  // walk triggers consult traceThisWalk_.
+  const bool traceWalk = tracer_ != nullptr && !warmupMode_ && tracer_->sampleNext();
+  traceThisWalk_ = traceWalk;
+  const char* walkName = type == AccessType::Read ? "load" : "store";
+
   tlb::Translation tr = tlbs_[core]->translate(vaddr);
   Cycle t = issueAt + tr.latency;
   BlockAddr block = lineOf(tr.paddr);
+  if (traceWalk && tr.latency > 0) {
+    tracer_->span("tlb_walk", "mem", kTracePidCores, core, issueAt, t, {});
+  }
 
   // ---- L1D ----------------------------------------------------------------
   Cycle l1Start = warmupMode_ ? t : l1_[core]->reserve(t);
   if (l1_[core]->access(block, type)) {
-    return WalkResult{l1Start + cfg_.l1d.latency, /*missedL1=*/false};
+    Cycle doneAt = l1Start + cfg_.l1d.latency;
+    if (traceWalk) {
+      tracer_->span("l1d", "mem", kTracePidCores, core, l1Start, doneAt, {{"hit", 1}});
+      tracer_->span(walkName, "mem", kTracePidCores, core, issueAt, doneAt,
+                    {{"vaddr", static_cast<std::int64_t>(vaddr)}});
+    }
+    return WalkResult{doneAt, /*missedL1=*/false};
   }
   Cycle t2 = l1Start + cfg_.l1d.latency;  // miss known after the L1 probe
+  if (traceWalk) {
+    tracer_->span("l1d", "mem", kTracePidCores, core, l1Start, t2, {{"hit", 0}});
+  }
 
   // ---- L2 (private) ---------------------------------------------------------
   Cycle l2Start = warmupMode_ ? t2 : l2_[core]->reserve(t2);
@@ -239,9 +323,17 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
   // the dirtiness lands in L1).
   bool l2Hit = l2_[core]->access(block, AccessType::Read);
   Cycle afterL2 = l2Start + cfg_.l2.latency;
+  if (traceWalk) {
+    tracer_->span("l2", "mem", kTracePidCores, core, l2Start, afterL2,
+                  {{"hit", l2Hit ? 1 : 0}});
+  }
   if (l2Hit) {
     mem::Eviction l1Ev = l1_[core]->insert(block, /*dirty=*/type == AccessType::Write);
     if (l1Ev.valid && l1Ev.dirty) writebackL1VictimToL2(core, l1Ev.block, afterL2);
+    if (traceWalk) {
+      tracer_->span(walkName, "mem", kTracePidCores, core, issueAt, afterL2,
+                    {{"vaddr", static_cast<std::int64_t>(vaddr)}});
+    }
     return WalkResult{afterL2, /*missedL1=*/true};
   }
 
@@ -263,13 +355,17 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
     Cycle reqFromDir = nocTraverse(dirNode, lookupBank, llcIssueAt,
                                    mesh_.config().controlFlits);
     llcIssueAt = reqFromDir;
-    stats_.inc("naive_directory_lookups");
+    ++*hot_.naiveDirectoryLookups;
   }
 
   Cycle reqArrive = cfg_.policy == core::PolicyKind::Naive
                         ? llcIssueAt
                         : nocTraverse(core, lookupBank, afterL2,
                                       mesh_.config().controlFlits);
+  if (traceWalk && reqArrive > afterL2) {
+    tracer_->span("noc_req", "noc", kTracePidCores, core, afterL2, reqArrive,
+                  {{"bank", static_cast<std::int64_t>(lookupBank)}});
+  }
   Cycle bankStart = bankReserve(lookupBank, reqArrive);
 
   Cycle dataAtCore;
@@ -277,6 +373,10 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
     // LLC hit: full ReRAM array read, data packet back to the core.
     Cycle dataReady = bankStart + cfg_.l3.latency;
     dataAtCore = nocTraverse(lookupBank, core, dataReady, mesh_.config().dataFlits);
+    if (traceWalk) {
+      tracer_->span("l3", "mem", kTracePidCores, core, bankStart, dataReady,
+                    {{"bank", static_cast<std::int64_t>(lookupBank)}, {"hit", 1}});
+    }
 
     // Warm-up placement refresh: a critical load hitting a line that is
     // still S-mapped re-homes it to the R-NUCA cluster.  This is not a
@@ -294,27 +394,35 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
         fillWasCritical_[block] = true;
         tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
         evictFromLlc(fill.bank, mev, bankStart);
-        stats_.inc("warm_migrations");
+        ++*hot_.warmMigrations;
       }
     }
   } else {
     // LLC miss: fetch from DRAM, fill a (policy-chosen) bank, forward.
     ++coreCounters_[core].llcDemandMisses;
     Cycle missKnown = bankStart + cfg_.l3.tagLatency;
+    if (traceWalk) {
+      tracer_->span("l3", "mem", kTracePidCores, core, bankStart, missKnown,
+                    {{"bank", static_cast<std::int64_t>(lookupBank)}, {"hit", 0}});
+    }
 
     Addr paddr = lineBase(block);
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
     Cycle memArrive = nocTraverse(lookupBank, memNode(ch), missKnown,
                                      mesh_.config().controlFlits);
     Cycle dramDone = dramAccess(paddr, AccessType::Read, memArrive);
+    if (traceWalk) {
+      tracer_->span("dram", "mem", kTracePidCores, core, memArrive, dramDone,
+                    {{"channel", static_cast<std::int64_t>(ch)}});
+    }
 
     // Stores never fetch critically (they retire via the store buffer and
     // cannot stall the ROB head), so their fills always spread (paper §IV).
     bool fillCritical = type == AccessType::Read && critical;
     core::MappingPolicy::Fill fill = policy_->placeFill(block, core, fillCritical);
-    stats_.inc("llc_fills");
-    if (!fillCritical) stats_.inc("llc_fills_noncritical");
-    stats_.inc(fillCritical ? "llc_writes_critical" : "llc_writes_noncritical");
+    ++*hot_.llcFills;
+    if (!fillCritical) ++*hot_.llcFillsNonCritical;
+    ++*(fillCritical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
 
     Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
                                       mesh_.config().dataFlits);
@@ -328,15 +436,15 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
     // Fill-forward: the data packet continues to the core as the ReRAM
     // write proceeds in the background.
     dataAtCore = nocTraverse(fill.bank, core, fillArrive, mesh_.config().dataFlits);
-    stats_.inc("llc_miss_latency_sum", dataAtCore - issueAt);
-    stats_.inc("llc_miss_latency_count");
-    stats_.inc("llc_miss_pre_bank_sum", bankStart - issueAt);
-    stats_.inc("dbg_tlb_sum", t - issueAt);
-    stats_.inc("dbg_l1q_sum", l1Start - t);
-    stats_.inc("dbg_l2q_sum", l2Start - t2);
-    stats_.inc("dbg_bankq_sum", bankStart - reqArrive);
-    stats_.inc("llc_miss_dram_sum", dramDone - memArrive);
-    stats_.inc("llc_miss_post_dram_sum", dataAtCore - dramDone);
+    *hot_.llcMissLatencySum += dataAtCore - issueAt;
+    ++*hot_.llcMissLatencyCount;
+    *hot_.llcMissPreBankSum += bankStart - issueAt;
+    *hot_.dbgTlbSum += t - issueAt;
+    *hot_.dbgL1qSum += l1Start - t;
+    *hot_.dbgL2qSum += l2Start - t2;
+    *hot_.dbgBankqSum += bankStart - reqArrive;
+    *hot_.llcMissDramSum += dramDone - memArrive;
+    *hot_.llcMissPostDramSum += dataAtCore - dramDone;
   }
 
   // ---- Next-line prefetch (optional) ----------------------------------------
@@ -357,6 +465,13 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
   evictFromL2(core, l2Ev, afterL2);
   mem::Eviction l1Ev = l1_[core]->insert(block, /*dirty=*/type == AccessType::Write);
   if (l1Ev.valid && l1Ev.dirty) writebackL1VictimToL2(core, l1Ev.block, afterL2);
+
+  if (traceWalk) {
+    tracer_->span(walkName, "mem", kTracePidCores, core, issueAt, dataAtCore,
+                  {{"vaddr", static_cast<std::int64_t>(vaddr)},
+                   {"critical", critical ? 1 : 0}});
+  }
+  traceThisWalk_ = false;
 
   return WalkResult{dataAtCore, /*missedL1=*/true};
 }
@@ -387,10 +502,12 @@ double MemorySystem::nonCriticalWriteFrac() const {
 
 void MemorySystem::resetMeasurement() {
   for (auto& bank : llc_) bank->resetMeasurement();
-  for (auto& c : l1_) c->stats().clear();
-  for (auto& c : l2_) c->stats().clear();
+  // zero() keeps the keys, so counter() handles (ours and the banks')
+  // survive the warm-up/measurement boundary.
+  for (auto& c : l1_) c->stats().zero();
+  for (auto& c : l2_) c->stats().zero();
   std::fill(coreCounters_.begin(), coreCounters_.end(), CoreMemCounters{});
-  stats_.clear();
+  stats_.zero();
 }
 
 std::string MemorySystem::checkInclusion() const {

@@ -30,9 +30,17 @@
 #include "mem/cache.hpp"
 #include "noc/mesh.hpp"
 #include "sim/config.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "tlb/tlb.hpp"
 
 namespace renuca::sim {
+
+/// Trace-event process lanes (see telemetry::TraceWriter): walk spans live
+/// under the cores process (tid = core id); LLC instants under the llc
+/// process (tid = bank id).
+inline constexpr std::uint32_t kTracePidCores = 1;
+inline constexpr std::uint32_t kTracePidLlc = 2;
 
 /// Per-core demand/traffic counters for WPKI / MPKI / hit-rate reporting.
 struct CoreMemCounters {
@@ -86,6 +94,16 @@ class MemorySystem final : public cpu::MemorySystem {
   /// Checks the L1 ⊆ L2 ⊆ LLC inclusion invariants by sampling resident
   /// lines; returns an empty string or a violation description (tests).
   std::string checkInclusion() const;
+
+  /// Attaches an event tracer (owned by the caller; may be null).  Walk
+  /// spans and eviction/MBV instants are emitted for sampled walks only.
+  void setTracer(telemetry::TraceWriter* tracer) { tracer_ = tracer; }
+
+  /// Registers the hierarchy's epoch-sampled metrics: whole-system LLC and
+  /// DRAM traffic, NoC load, and per-bank cumulative ReRAM writes
+  /// ("l3.b<N>.writes" — the per-bank write time series behind the
+  /// lifetime figures).
+  void registerMetrics(telemetry::MetricsRegistry& reg);
 
  private:
   struct WalkResult {
@@ -141,6 +159,42 @@ class MemorySystem final : public cpu::MemorySystem {
 
   std::vector<CoreMemCounters> coreCounters_;
   StatSet stats_;
+
+  /// Handles into stats_ resolved once at construction (see
+  /// StatSet::counter) so the walk path never does a string-keyed lookup.
+  /// resetMeasurement() must use StatSet::zero(), which keeps them valid.
+  struct HotStats {
+    std::uint64_t* llcWritebacks = nullptr;
+    std::uint64_t* llcWritesCritical = nullptr;
+    std::uint64_t* llcWritesNonCritical = nullptr;
+    std::uint64_t* llcWbAllocates = nullptr;
+    std::uint64_t* llcEvictions = nullptr;
+    std::uint64_t* llcBackInvalidations = nullptr;
+    std::uint64_t* dramWritebacks = nullptr;
+    std::uint64_t* llcFills = nullptr;
+    std::uint64_t* llcFillsNonCritical = nullptr;
+    std::uint64_t* naiveDirectoryLookups = nullptr;
+    std::uint64_t* warmMigrations = nullptr;
+    std::uint64_t* l2Prefetches = nullptr;
+    std::uint64_t* l2PrefetchLlcMisses = nullptr;
+    std::uint64_t* l1WbOrphans = nullptr;
+    std::uint64_t* coherenceInvalidations = nullptr;
+    std::uint64_t* llcMissLatencySum = nullptr;
+    std::uint64_t* llcMissLatencyCount = nullptr;
+    std::uint64_t* llcMissPreBankSum = nullptr;
+    std::uint64_t* dbgTlbSum = nullptr;
+    std::uint64_t* dbgL1qSum = nullptr;
+    std::uint64_t* dbgL2qSum = nullptr;
+    std::uint64_t* dbgBankqSum = nullptr;
+    std::uint64_t* llcMissDramSum = nullptr;
+    std::uint64_t* llcMissPostDramSum = nullptr;
+  };
+  HotStats hot_;
+
+  telemetry::TraceWriter* tracer_ = nullptr;
+  /// Whether the walk in progress was sampled for tracing; lets the
+  /// eviction/write-back paths it triggers emit their instants.
+  bool traceThisWalk_ = false;
   bool warmupMode_ = false;
 };
 

@@ -1,0 +1,124 @@
+#include "sim/report.hpp"
+
+#include <fstream>
+
+#include "common/log.hpp"
+#include "rram/endurance.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/report.hpp"
+
+namespace renuca::sim {
+
+namespace {
+
+void writeConfigEcho(telemetry::JsonWriter& w, const SystemConfig& cfg) {
+  w.beginObject();
+  w.kv("summary", cfg.summary());
+  w.kv("cores", cfg.numCores);
+  w.kv("policy", core::toString(cfg.policy));
+  w.kv("threshold_pct", cfg.cpt.thresholdPct);
+  w.kv("cluster_size", cfg.clusterSize);
+  w.kv("rob_entries", cfg.coreCfg.robEntries);
+  w.kv("l1d_bytes", cfg.l1d.sizeBytes);
+  w.kv("l2_bytes", cfg.l2.sizeBytes);
+  w.kv("l3_banks", cfg.l3.banks);
+  w.kv("l3_bank_bytes", cfg.l3.bankBytes);
+  w.kv("instr_per_core", cfg.instrPerCore);
+  w.kv("warmup_instr_per_core", cfg.warmupInstrPerCore);
+  w.kv("prewarm_instr_per_core", cfg.prewarmInstrPerCore);
+  w.kv("seed", cfg.seed);
+  w.kv("epoch_instrs", cfg.epochInstrs);
+  w.kv("trace_json", cfg.traceJsonPath);
+  w.endObject();
+}
+
+void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
+              const SystemConfig& cfg) {
+  const RunResult& r = entry.result;
+  w.beginObject();
+  w.kv("label", entry.label);
+  w.kv("mix", r.mixName);
+  w.kv("policy", core::toString(r.policy));
+  w.kv("measured_cycles", static_cast<std::uint64_t>(r.measuredCycles));
+  w.kv("hit_max_cycles", r.hitMaxCycles);
+  w.kv("system_ipc", r.systemIpc);
+  w.kvArray("core_ipc", r.coreIpc);
+  w.kvArray("core_committed", r.coreCommitted);
+  w.kvArray("wpki", r.wpki);
+  w.kvArray("mpki", r.mpki);
+  w.kvArray("llc_hit_rate", r.llcHitRate);
+  w.kvArray("bank_writes", r.bankWrites);
+  w.kvArray("bank_max_frame_writes", r.bankMaxFrameWrites);
+  w.kvArray("bank_lifetime_years", r.bankLifetimeYears);
+  w.kvArray("bank_lifetime_years_hot_frame", r.bankLifetimeYearsHotFrame);
+  w.kv("min_bank_lifetime_years", r.minBankLifetime());
+  w.kv("non_critical_load_frac", r.nonCriticalLoadFrac);
+  w.kv("cpt_accuracy", r.cptAccuracy);
+  w.kv("cpt_critical_recall", r.cptCriticalRecall);
+  w.kv("non_critical_fill_frac", r.nonCriticalFillFrac);
+  w.kv("non_critical_write_frac", r.nonCriticalWriteFrac);
+  w.kv("avg_noc_latency_cycles", r.avgNocLatencyCycles);
+  w.kv("dram_row_hit_rate", r.dramRowHitRate);
+
+  if (!r.epochs.empty()) {
+    w.key("epochs");
+    telemetry::writeEpochSeries(w, r.epochs);
+
+    // Per-bank lifetime projection over the epoch series, derived from the
+    // cumulative "l3.b<N>.writes" columns (bank-level accounting, like
+    // RunResult::bankLifetimeYears).
+    const std::uint64_t numFrames = cfg.l3.bankBytes / kLineBytes;
+    w.key("bank_lifetime_series");
+    w.beginObject();
+    for (std::uint32_t b = 0; b < cfg.l3.banks; ++b) {
+      const std::string name = "l3.b" + std::to_string(b) + ".writes";
+      std::vector<double> writes = r.epochs.column(name);
+      if (writes.empty()) continue;
+      w.kvArray("b" + std::to_string(b),
+                rram::lifetimeSeriesYears(writes, r.epochs.cycles, numFrames,
+                                          cfg.endurance));
+    }
+    w.endObject();
+  }
+  w.endObject();
+}
+
+}  // namespace
+
+bool writeRunReport(const std::string& path, const std::string& benchName,
+                    const SystemConfig& cfg, const std::vector<ReportEntry>& entries,
+                    double wallSeconds) {
+  std::ofstream os(path);
+  if (!os) {
+    logMessage(LogLevel::Warn, "report", "cannot open '" + path + "' for writing");
+    return false;
+  }
+
+  telemetry::JsonWriter w(os);
+  w.beginObject();
+  w.kv("schema", "renuca-run-report-v1");
+  w.kv("bench", benchName);
+  w.kv("generated_unix", telemetry::unixTime());
+  w.kv("host", telemetry::hostName());
+  w.kv("wall_seconds", wallSeconds);
+  w.key("config");
+  writeConfigEcho(w, cfg);
+  w.key("runs");
+  w.beginArray();
+  for (const ReportEntry& entry : entries) writeRun(w, entry, cfg);
+  w.endArray();
+  w.endObject();
+  os << '\n';
+
+  bool good = os.good();
+  os.close();
+  if (good) {
+    logMessage(LogLevel::Info, "report",
+               "wrote " + std::to_string(entries.size()) + " run(s) to " + path);
+  } else {
+    logMessage(LogLevel::Warn, "report", "write to '" + path + "' failed");
+  }
+  return good;
+}
+
+}  // namespace renuca::sim

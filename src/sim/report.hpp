@@ -1,0 +1,36 @@
+// Machine-readable run reports ("renuca-run-report-v1").
+//
+// Every bench binary (and runWorkload, via BenchSession) can write one JSON
+// document per invocation: provenance (host, wall-clock, generation time),
+// a config echo, and one entry per simulated run carrying the full
+// RunResult — per-core IPC/WPKI/MPKI, per-bank writes and lifetimes, the
+// criticality statistics, and (when epoch sampling was on) the epoch time
+// series plus a derived per-bank lifetime-projection series.
+//
+// This layer lives in src/sim rather than src/telemetry because it knows
+// RunResult and SystemConfig; the generic JSON/series machinery it uses is
+// telemetry's.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/system.hpp"
+
+namespace renuca::sim {
+
+/// One labeled run inside a report (label example: "mix04/ReNuca").
+struct ReportEntry {
+  std::string label;
+  RunResult result;
+};
+
+/// Writes the report document to `path`.  Returns false (after logging a
+/// warning) when the file cannot be opened; the simulation's results are
+/// never at risk from a failed report.
+bool writeRunReport(const std::string& path, const std::string& benchName,
+                    const SystemConfig& cfg, const std::vector<ReportEntry>& entries,
+                    double wallSeconds);
+
+}  // namespace renuca::sim

@@ -33,6 +33,52 @@ System::System(const SystemConfig& config, const workload::WorkloadMix& mix)
         cfg_.instrPerCore));
     cores_.back()->setRunPastBudget(true);
   }
+
+  registerMetrics();
+
+  if (!cfg_.traceJsonPath.empty()) {
+    tracer_ = std::make_unique<telemetry::TraceWriter>(cfg_.traceJsonPath,
+                                                       cfg_.traceSampleEvery);
+    if (tracer_->ok()) {
+      tracer_->nameProcess(kTracePidCores, "cores");
+      tracer_->nameProcess(kTracePidLlc, "llc");
+      for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        tracer_->nameThread(kTracePidCores, c, "core" + std::to_string(c));
+      }
+      for (BankId b = 0; b < mem_->numBanks(); ++b) {
+        tracer_->nameThread(kTracePidLlc, b, "bank" + std::to_string(b));
+      }
+      mem_->setTracer(tracer_.get());
+      for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        telemetry::TraceWriter* t = tracer_.get();
+        MemorySystem* mem = mem_.get();
+        cores_[c]->setCriticalityFlipHook(
+            [t, mem, c](Cycle at, std::uint64_t pc, bool stalled) {
+              if (mem->warmupMode()) return;
+              t->instant("criticality_flip", "cpt", kTracePidCores, c, at,
+                         {{"pc", static_cast<std::int64_t>(pc)},
+                          {"now_critical", stalled ? 1 : 0}});
+            });
+      }
+    } else {
+      tracer_.reset();
+    }
+  }
+}
+
+void System::registerMetrics() {
+  mem_->registerMetrics(metrics_);
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    const std::string prefix = "core" + std::to_string(c) + ".";
+    const cpu::CoreStats& cs = cores_[c]->stats();
+    metrics_.expose(prefix + "committed", &cs.committed);
+    metrics_.expose(prefix + "rob_stall_cycles", &cs.robHeadStallCycles);
+    metrics_.expose(prefix + "cpt_flips", &cs.cptVerdictFlips);
+    cpu::OooCore* core = cores_[c].get();
+    metrics_.gauge(prefix + "mshr_inflight", [this, core] {
+      return static_cast<double>(core->mshrInFlight(epochNow_));
+    });
+  }
 }
 
 void System::tickAll(Cycle now) {
@@ -101,10 +147,15 @@ RunResult System::run() {
 
   for (auto& core : cores_) core->resetStats();
   mem_->resetMeasurement();
+  metrics_.clearSeries();
   const Cycle measureStart = now;
 
   // ---- Measurement window. ----
+  // With epochInstrs set, every registered metric is snapshotted each time
+  // all cores pass the next epoch boundary, building the run's time series
+  // (per-bank writes, per-core progress, substrate load).
   bool hitCap = false;
+  std::uint64_t nextEpoch = cfg_.epochInstrs;
   while (!allReached(cfg_.instrPerCore)) {
     if (now - measureStart >= cfg_.maxCycles) {
       hitCap = true;
@@ -112,8 +163,20 @@ RunResult System::run() {
     }
     tickAll(now);
     now = nextCycle(now);
+    if (nextEpoch != 0 && nextEpoch <= cfg_.instrPerCore && allReached(nextEpoch)) {
+      epochNow_ = now;
+      metrics_.snapshot(now - measureStart, nextEpoch);
+      nextEpoch += cfg_.epochInstrs;
+    }
   }
   const Cycle measuredCycles = now - measureStart;
+  if (cfg_.epochInstrs != 0 &&
+      (metrics_.series().empty() || metrics_.series().cycles.back() < measuredCycles)) {
+    // Terminal snapshot so the series always ends at the window's edge
+    // (skipped when the last boundary already landed there).
+    epochNow_ = now;
+    metrics_.snapshot(measuredCycles, cfg_.instrPerCore);
+  }
 
   // ---- Collect results. ----
   RunResult r;
@@ -173,6 +236,9 @@ RunResult System::run() {
 
   r.avgNocLatencyCycles = mem_->mesh().avgPacketLatency();
   r.dramRowHitRate = mem_->dram().rowHitRate();
+  r.epochs = metrics_.series();
+
+  if (tracer_) tracer_->close();
   return r;
 }
 

@@ -19,6 +19,8 @@
 #include "rram/endurance.hpp"
 #include "sim/config.hpp"
 #include "sim/memory_system.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "workload/generator.hpp"
 #include "workload/mixes.hpp"
 
@@ -62,6 +64,11 @@ struct RunResult {
   double avgNocLatencyCycles = 0.0;
   double dramRowHitRate = 0.0;
 
+  /// Per-epoch metric time series (empty unless SystemConfig::epochInstrs
+  /// was set).  Includes per-bank cumulative writes ("l3.b<N>.writes"),
+  /// per-core commit/stall counters, and NoC/DRAM occupancy.
+  telemetry::EpochSeries epochs;
+
   double minBankLifetime() const;
   double avgWpki() const;
   double avgMpki() const;
@@ -79,6 +86,8 @@ class System {
   cpu::OooCore& core(CoreId c) { return *cores_[c]; }
   core::CriticalityPredictorTable* predictor(CoreId c) { return cpts_[c].get(); }
   const SystemConfig& config() const { return cfg_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  telemetry::TraceWriter* tracer() { return tracer_.get(); }
 
  private:
   void tickAll(Cycle now);
@@ -88,12 +97,21 @@ class System {
   bool allReached(std::uint64_t committed) const;
   Cycle nextCycle(Cycle now) const;
 
+  /// Registers every component's metrics with metrics_ (construction time).
+  void registerMetrics();
+
   SystemConfig cfg_;
   workload::WorkloadMix mix_;
   std::unique_ptr<MemorySystem> mem_;
   std::vector<std::unique_ptr<workload::SyntheticGenerator>> gens_;
   std::vector<std::unique_ptr<core::CriticalityPredictorTable>> cpts_;
   std::vector<std::unique_ptr<cpu::OooCore>> cores_;
+
+  telemetry::MetricsRegistry metrics_;
+  std::unique_ptr<telemetry::TraceWriter> tracer_;
+  /// Cycle of the snapshot being taken; gauges that need "now" (MSHR
+  /// occupancy) read it.
+  Cycle epochNow_ = 0;
 };
 
 }  // namespace renuca::sim

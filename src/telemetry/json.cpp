@@ -1,0 +1,383 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace renuca::telemetry {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);  // UTF-8 bytes pass through
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::separate() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (stack_.empty()) return;  // document root
+  Frame& f = stack_.back();
+  if (!f.first) os_ << ',';
+  f.first = false;
+  indent();
+}
+
+void JsonWriter::beginObject() {
+  separate();
+  os_ << '{';
+  stack_.push_back(Frame{/*array=*/false, /*first=*/true});
+}
+
+void JsonWriter::endObject() {
+  RENUCA_ASSERT(!stack_.empty() && !stack_.back().array, "endObject without beginObject");
+  bool wasEmpty = stack_.back().first;
+  stack_.pop_back();
+  if (!wasEmpty) indent();
+  os_ << '}';
+}
+
+void JsonWriter::beginArray() {
+  separate();
+  os_ << '[';
+  stack_.push_back(Frame{/*array=*/true, /*first=*/true});
+}
+
+void JsonWriter::endArray() {
+  RENUCA_ASSERT(!stack_.empty() && stack_.back().array, "endArray without beginArray");
+  bool wasEmpty = stack_.back().first;
+  stack_.pop_back();
+  if (!wasEmpty) indent();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  RENUCA_ASSERT(!stack_.empty() && !stack_.back().array, "key outside an object");
+  separate();
+  os_ << '"' << jsonEscape(k) << "\":";
+  if (pretty_) os_ << ' ';
+  pendingKey_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  os_ << '"' << jsonEscape(s) << '"';
+}
+
+void JsonWriter::value(double d) {
+  separate();
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; report null rather than emit an invalid token.
+    os_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::value(bool b) {
+  separate();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::nullValue() {
+  separate();
+  os_ << "null";
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<JsonValue> parse() {
+    skipWs();
+    JsonValue v;
+    if (!parseValue(v)) return std::nullopt;
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_ && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JsonValue& out) {
+    if (depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') return parseObject(out);
+    if (c == '[') return parseArray(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::String;
+      return parseString(out.str);
+    }
+    if (literal("true")) {
+      out.kind = JsonValue::Kind::Bool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.kind = JsonValue::Kind::Bool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.kind = JsonValue::Kind::Null;
+      return true;
+    }
+    return parseNumber(out);
+  }
+
+  bool parseObject(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    ++depth_;
+    skipWs();
+    if (consume('}')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parseString(key)) {
+        fail("expected object key");
+        return false;
+      }
+      skipWs();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      skipWs();
+      JsonValue v;
+      if (!parseValue(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return true;
+      }
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool parseArray(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    ++depth_;
+    skipWs();
+    if (consume(']')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue v;
+      if (!parseValue(v)) return false;
+      out.array.push_back(std::move(v));
+      skipWs();
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return true;
+      }
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool parseString(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            // Encode the BMP code point as UTF-8 (surrogate pairs are not
+            // recombined — telemetry strings are ASCII in practice).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parseNumber(JsonValue& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto eatDigits = [&] {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eatDigits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eatDigits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      eatDigits();
+    }
+    if (!digits) {
+      fail("expected a value");
+      return false;
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    out.kind = JsonValue::Kind::Number;
+    out.number = std::strtod(num.c_str(), nullptr);
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 200;
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parseJson(std::string_view text, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).parse();
+}
+
+}  // namespace renuca::telemetry

@@ -1,0 +1,111 @@
+// Minimal JSON support for the telemetry subsystem: a streaming writer
+// (used by run reports and the event tracer) and a small recursive-descent
+// parser (used by trace_view and the tests that validate emitted files).
+//
+// No external dependency: the simulator must stay buildable from system
+// packages only.  The writer never pretty-prints by default — telemetry
+// files can hold millions of events and whitespace is pure size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace renuca::telemetry {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string jsonEscape(std::string_view s);
+
+/// Streaming JSON writer with automatic comma/nesting management.
+/// Usage:
+///   JsonWriter w(os);
+///   w.beginObject();
+///   w.key("answer"); w.value(42);
+///   w.key("xs"); w.beginArray(); w.value(1.5); w.endArray();
+///   w.endObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = false) : os_(os), pretty_(pretty) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(const std::string& s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool b);
+  void nullValue();
+
+  // key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// Writes a whole numeric array under `k`.
+  template <typename T>
+  void kvArray(std::string_view k, const std::vector<T>& xs) {
+    key(k);
+    beginArray();
+    for (const T& x : xs) value(x);
+    endArray();
+  }
+
+  /// Depth of open containers (0 once the document is complete).
+  std::size_t depth() const { return stack_.size(); }
+
+ private:
+  void separate();  ///< Emits the comma/newline before a new element.
+  void indent();
+
+  struct Frame {
+    bool array = false;
+    bool first = true;
+  };
+  std::ostream& os_;
+  bool pretty_;
+  std::vector<Frame> stack_;
+  bool pendingKey_ = false;
+};
+
+/// Parsed JSON document node.
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  bool isNull() const { return kind == Kind::Null; }
+  bool isBool() const { return kind == Kind::Bool; }
+  bool isNumber() const { return kind == Kind::Number; }
+  bool isString() const { return kind == Kind::String; }
+  bool isArray() const { return kind == Kind::Array; }
+  bool isObject() const { return kind == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document.  On failure returns nullopt and, when
+/// `error` is given, a short description with the byte offset.
+std::optional<JsonValue> parseJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace renuca::telemetry

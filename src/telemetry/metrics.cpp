@@ -1,0 +1,67 @@
+#include "telemetry/metrics.hpp"
+
+#include "common/log.hpp"
+
+namespace renuca::telemetry {
+
+std::size_t EpochSeries::indexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  return npos;
+}
+
+std::vector<double> EpochSeries::column(const std::string& name) const {
+  std::size_t idx = indexOf(name);
+  if (idx == npos) return {};
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row[idx]);
+  return out;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  RENUCA_ASSERT(series_.empty(), "register metrics before the first snapshot");
+  slots_.push_back(0);
+  std::uint64_t* slot = &slots_.back();
+  series_.names.push_back(name);
+  metrics_.push_back(Metric{slot, nullptr});
+  return Counter(slot);
+}
+
+void MetricsRegistry::expose(const std::string& name, const std::uint64_t* location) {
+  RENUCA_ASSERT(series_.empty(), "register metrics before the first snapshot");
+  RENUCA_ASSERT(location != nullptr, "expose() needs a counter location");
+  series_.names.push_back(name);
+  metrics_.push_back(Metric{location, nullptr});
+}
+
+void MetricsRegistry::gauge(const std::string& name, std::function<double()> fn) {
+  RENUCA_ASSERT(series_.empty(), "register metrics before the first snapshot");
+  RENUCA_ASSERT(static_cast<bool>(fn), "gauge() needs a callback");
+  series_.names.push_back(name);
+  metrics_.push_back(Metric{nullptr, std::move(fn)});
+}
+
+std::vector<double> MetricsRegistry::sample() const {
+  std::vector<double> row;
+  row.reserve(metrics_.size());
+  for (const Metric& m : metrics_) {
+    row.push_back(m.fn ? m.fn() : static_cast<double>(*m.location));
+  }
+  return row;
+}
+
+void MetricsRegistry::snapshot(Cycle cycle, std::uint64_t instr) {
+  series_.cycles.push_back(cycle);
+  series_.instrs.push_back(instr);
+  series_.rows.push_back(sample());
+}
+
+void MetricsRegistry::clearSeries() {
+  series_.cycles.clear();
+  series_.instrs.clear();
+  series_.rows.clear();
+}
+
+}  // namespace renuca::telemetry

@@ -1,0 +1,99 @@
+// Metrics registry: the per-epoch sampling layer of the telemetry
+// subsystem.
+//
+// Components register what they want observed once, at construction time —
+// either an owned counter slot (a stable uint64 the component bumps through
+// a cheap handle), an exposed pointer to a counter the component already
+// maintains (e.g. a StatSet::counter() handle), or a gauge callback that is
+// evaluated only when a snapshot is taken.  The experiment runner calls
+// snapshot() at every epoch boundary, producing an EpochSeries: one row of
+// metric values per epoch, with the cycle and committed-instruction
+// coordinates alongside.  Nothing here is on the simulation hot path; the
+// hot path is the handle bump, which is a single pointer-chase increment.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace renuca::telemetry {
+
+/// Cheap counter handle; trivially copyable, safe to default-construct
+/// (a detached handle ignores inc()).
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t by = 1) {
+    if (v_) *v_ += by;
+  }
+  std::uint64_t value() const { return v_ ? *v_ : 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint64_t* v) : v_(v) {}
+  std::uint64_t* v_ = nullptr;
+};
+
+/// Per-epoch time series of every registered metric.
+struct EpochSeries {
+  std::vector<std::string> names;          ///< Metric names, registration order.
+  std::vector<Cycle> cycles;               ///< Measurement-window cycle per epoch.
+  std::vector<std::uint64_t> instrs;       ///< Committed instr/core per epoch.
+  std::vector<std::vector<double>> rows;   ///< rows[epoch][metric].
+
+  std::size_t numEpochs() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Index of a metric name, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t indexOf(const std::string& name) const;
+
+  /// One metric's value at every epoch; empty when the name is unknown.
+  std::vector<double> column(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers an owned counter slot; the handle stays valid for the
+  /// registry's lifetime (slots live in a deque — no reallocation).
+  Counter counter(const std::string& name);
+
+  /// Exposes an existing counter location (e.g. a StatSet handle).  The
+  /// pointee must outlive the registry's snapshots.
+  void expose(const std::string& name, const std::uint64_t* location);
+
+  /// Registers a gauge evaluated at snapshot time.
+  void gauge(const std::string& name, std::function<double()> fn);
+
+  std::size_t numMetrics() const { return metrics_.size(); }
+  const std::vector<std::string>& names() const { return series_.names; }
+
+  /// Evaluates every metric right now (without recording an epoch).
+  std::vector<double> sample() const;
+
+  /// Records one epoch row at the given coordinates.
+  void snapshot(Cycle cycle, std::uint64_t instr);
+
+  const EpochSeries& series() const { return series_; }
+  void clearSeries();
+
+ private:
+  struct Metric {
+    const std::uint64_t* location = nullptr;  ///< Owned slot or exposed pointer.
+    std::function<double()> fn;               ///< Gauge callback (wins if set).
+  };
+
+  std::deque<std::uint64_t> slots_;  ///< Owned counter storage (stable addresses).
+  std::vector<Metric> metrics_;
+  EpochSeries series_;
+};
+
+}  // namespace renuca::telemetry

@@ -1,0 +1,42 @@
+#include "telemetry/report.hpp"
+
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace renuca::telemetry {
+
+std::string hostName() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return std::string(buf);
+  }
+#endif
+  return "unknown";
+}
+
+std::int64_t unixTime() { return static_cast<std::int64_t>(std::time(nullptr)); }
+
+void writeEpochSeries(JsonWriter& w, const EpochSeries& series) {
+  w.beginObject();
+  w.key("metrics");
+  w.beginArray();
+  for (const std::string& n : series.names) w.value(n);
+  w.endArray();
+  w.kvArray("cycles", series.cycles);
+  w.kvArray("instrs", series.instrs);
+  w.key("rows");
+  w.beginArray();
+  for (const auto& row : series.rows) {
+    w.beginArray();
+    for (double v : row) w.value(v);
+    w.endArray();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+}  // namespace renuca::telemetry

@@ -1,0 +1,26 @@
+// Run-report helpers shared by every bench binary: host metadata for the
+// report's provenance block and the JSON shape of an EpochSeries.  The
+// full report writer lives in src/sim (it knows RunResult); this layer
+// only knows telemetry types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace renuca::telemetry {
+
+/// Best-effort host name ("unknown" when the platform call fails).
+std::string hostName();
+
+/// Seconds since the Unix epoch, from the system clock.
+std::int64_t unixTime();
+
+/// Emits an EpochSeries as {"metrics": [...names...], "cycles": [...],
+/// "instrs": [...], "rows": [[...], ...]} at the writer's current position
+/// (caller supplies the surrounding key).
+void writeEpochSeries(JsonWriter& w, const EpochSeries& series);
+
+}  // namespace renuca::telemetry

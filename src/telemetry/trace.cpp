@@ -1,0 +1,101 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "telemetry/json.hpp"
+
+namespace renuca::telemetry {
+
+TraceWriter::TraceWriter(const std::string& path, std::uint32_t sampleEvery)
+    : sampleEvery_(sampleEvery == 0 ? 1 : sampleEvery), path_(path) {
+  os_.open(path, std::ios::out | std::ios::trunc);
+  if (!os_) {
+    logMessage(LogLevel::Error, "trace", "cannot open trace file: " + path);
+    closed_ = true;
+    return;
+  }
+  ok_ = true;
+  // Hand-written header: events stream out one per line, so the document
+  // cannot go through JsonWriter's single-root lifecycle.
+  os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (ok_) {
+    os_ << "\n]}\n";
+    os_.close();
+    logMessage(LogLevel::Info, "trace",
+               "wrote " + std::to_string(events_) + " trace events to " + path_);
+  }
+  ok_ = false;
+}
+
+void TraceWriter::eventCommon(const char* name, const char* cat, char ph,
+                              std::uint32_t pid, std::uint32_t tid, Cycle ts) {
+  if (events_ > 0) os_ << ',';
+  os_ << "\n{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\"" << jsonEscape(cat)
+      << "\",\"ph\":\"" << ph << "\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"ts\":" << ts;
+  ++events_;
+}
+
+void TraceWriter::writeArgs(std::initializer_list<TraceArg> args) {
+  os_ << ",\"args\":{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) os_ << ',';
+    first = false;
+    os_ << '"' << jsonEscape(a.first) << "\":" << a.second;
+  }
+  os_ << '}';
+}
+
+void TraceWriter::nameProcess(std::uint32_t pid, const std::string& name) {
+  if (!ok_) return;
+  eventCommon("process_name", "__metadata", 'M', pid, 0, 0);
+  os_ << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+}
+
+void TraceWriter::nameThread(std::uint32_t pid, std::uint32_t tid, const std::string& name) {
+  if (!ok_) return;
+  eventCommon("thread_name", "__metadata", 'M', pid, tid, 0);
+  os_ << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+}
+
+void TraceWriter::span(const char* name, const char* cat, std::uint32_t pid,
+                       std::uint32_t tid, Cycle start, Cycle end,
+                       std::initializer_list<TraceArg> args) {
+  if (!ok_) return;
+  Cycle dur = end >= start ? end - start : 0;
+  eventCommon(name, cat, 'X', pid, tid, start);
+  os_ << ",\"dur\":" << dur;
+  writeArgs(args);
+  os_ << '}';
+}
+
+void TraceWriter::instant(const char* name, const char* cat, std::uint32_t pid,
+                          std::uint32_t tid, Cycle at,
+                          std::initializer_list<TraceArg> args) {
+  if (!ok_) return;
+  eventCommon(name, cat, 'i', pid, tid, at);
+  os_ << ",\"s\":\"t\"";
+  writeArgs(args);
+  os_ << '}';
+}
+
+void TraceWriter::counterEvent(const char* name, std::uint32_t pid, Cycle at,
+                               const char* series, double value) {
+  if (!ok_) return;
+  eventCommon(name, "metrics", 'C', pid, 0, at);
+  os_ << ",\"args\":{\"" << jsonEscape(series) << "\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  os_ << buf << "}}";
+}
+
+}  // namespace renuca::telemetry

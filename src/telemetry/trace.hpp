@@ -1,0 +1,87 @@
+// Event tracer emitting Chrome trace_event JSON ("JSON Object Format":
+// a {"traceEvents": [...]} document loadable in chrome://tracing and
+// https://ui.perfetto.dev).
+//
+// Mapping of simulator concepts onto the format:
+//  * ts is the simulated cycle (the viewer's "microseconds" are our
+//    cycles; displayTimeUnit metadata says so);
+//  * complete events (ph "X") are scoped spans — one per stage of a
+//    memory-hierarchy walk (TLB, L1, L2, LLC bank, NoC legs, DRAM) nested
+//    under the whole-walk span;
+//  * instant events (ph "i") mark one-shot facts: LLC evictions, MBV
+//    resets, criticality flips;
+//  * counter events (ph "C") carry slow-moving series (per-bank writes).
+//
+// Tracing every access would slow full-length runs by an order of
+// magnitude and produce multi-GB files, so walks are *sampled*: the caller
+// asks sampleNext() once per walk and only traces when it returns true
+// (every sampleEvery-th walk).  With tracing off (no TraceWriter), the hot
+// path pays one null-pointer test.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace renuca::telemetry {
+
+/// One "key": integer-valued argument attached to a trace event.
+using TraceArg = std::pair<const char*, std::int64_t>;
+
+class TraceWriter {
+ public:
+  /// Opens `path` and writes the document header.  `sampleEvery` controls
+  /// sampleNext(): 1 traces everything, N traces every Nth walk.
+  TraceWriter(const std::string& path, std::uint32_t sampleEvery);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  std::uint32_t sampleEvery() const { return sampleEvery_; }
+  std::uint64_t eventsWritten() const { return events_; }
+
+  /// Sampling gate for the next unit of work; increments the counter.
+  bool sampleNext() {
+    return sampleEvery_ <= 1 || (sampleCounter_++ % sampleEvery_) == 0;
+  }
+
+  /// Metadata: names a process / thread lane in the viewer.
+  void nameProcess(std::uint32_t pid, const std::string& name);
+  void nameThread(std::uint32_t pid, std::uint32_t tid, const std::string& name);
+
+  /// Complete event (ph "X") spanning [start, end] cycles.
+  void span(const char* name, const char* cat, std::uint32_t pid, std::uint32_t tid,
+            Cycle start, Cycle end, std::initializer_list<TraceArg> args = {});
+
+  /// Instant event (ph "i", thread scope).
+  void instant(const char* name, const char* cat, std::uint32_t pid, std::uint32_t tid,
+               Cycle at, std::initializer_list<TraceArg> args = {});
+
+  /// Counter event (ph "C"): one named series under `name`'s track.
+  void counterEvent(const char* name, std::uint32_t pid, Cycle at, const char* series,
+                    double value);
+
+  /// Writes the footer and closes the file (also done by the destructor).
+  void close();
+
+ private:
+  void eventCommon(const char* name, const char* cat, char ph, std::uint32_t pid,
+                   std::uint32_t tid, Cycle ts);
+  void writeArgs(std::initializer_list<TraceArg> args);
+
+  std::ofstream os_;
+  bool ok_ = false;
+  bool closed_ = false;
+  std::uint32_t sampleEvery_ = 64;
+  std::uint64_t sampleCounter_ = 0;
+  std::uint64_t events_ = 0;
+  std::string path_;
+};
+
+}  // namespace renuca::telemetry

@@ -38,6 +38,8 @@ EnhancedTlb::EnhancedTlb(const TlbConfig& config, PageTable* pageTable, Asid asi
   RENUCA_ASSERT(cfg_.entries % cfg_.ways == 0, "TLB entries must divide by ways");
   RENUCA_ASSERT(numSets_ > 0, "TLB must have at least one set");
   entries_.resize(cfg_.entries);
+  hitCount_ = stats_.counter("hits");
+  missCount_ = stats_.counter("misses");
 }
 
 EnhancedTlb::Entry* EnhancedTlb::find(std::uint64_t vpn) {
@@ -86,10 +88,10 @@ Translation EnhancedTlb::translate(Addr vaddr) {
     t.tlbHit = true;
     t.latency = 0;
     t.paddr = (e->ppn << kPageShift) | (vaddr & (kPageBytes - 1));
-    stats_.inc("hits");
+    ++*hitCount_;
     return t;
   }
-  stats_.inc("misses");
+  ++*missCount_;
   Entry& e = refill(vpn);
   t.tlbHit = false;
   t.latency = cfg_.missLatency;

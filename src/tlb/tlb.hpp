@@ -111,6 +111,9 @@ class EnhancedTlb {
   std::vector<Entry> entries_;
   std::uint64_t useTick_ = 0;
   StatSet stats_;
+  /// Handles for the per-access counters (see StatSet::counter).
+  std::uint64_t* hitCount_ = nullptr;
+  std::uint64_t* missCount_ = nullptr;
 };
 
 }  // namespace renuca::tlb

@@ -7,6 +7,7 @@
 
 #include "common/bitops.hpp"
 #include "common/kvconfig.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -138,6 +139,30 @@ TEST(Histogram, ClampsOverflow) {
   EXPECT_EQ(h.bucketCount(3), 1u);
 }
 
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty(1.0, 4);
+  EXPECT_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_EQ(empty.percentile(1.0), 0.0);
+
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(20.0 + (i % 30));  // mass in [20, 50)
+  // q pinned to the occupied range: q=0 at the first non-empty bucket's
+  // left edge, q=1 at the last non-empty bucket's right edge.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 50.0);
+  // Out-of-range q clamps instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+
+  // Overflow mass interpolates inside the last bucket and never exceeds
+  // the histogram's upper edge.
+  Histogram o(1.0, 4);
+  for (int i = 0; i < 10; ++i) o.add(1e9);
+  EXPECT_LE(o.percentile(1.0), 4.0);
+  EXPECT_GT(o.percentile(0.5), 3.0);
+}
+
 TEST(Stats, HarmonicMean) {
   EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
   EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
@@ -163,6 +188,39 @@ TEST(StatSet, CountersAndToString) {
   EXPECT_EQ(s.get("absent"), 0u);
   std::string out = s.toString();
   EXPECT_NE(out.find("bank0.hits=3"), std::string::npos);
+}
+
+TEST(StatSet, HandlesSurviveZeroButSeeFreshValues) {
+  StatSet s("hot");
+  std::uint64_t* hits = s.counter("hits");
+  *hits += 5;
+  EXPECT_EQ(s.get("hits"), 5u);
+
+  // Later insertions must not move the handle (std::map node stability).
+  for (int i = 0; i < 64; ++i) s.inc("other" + std::to_string(i));
+  *hits += 1;
+  EXPECT_EQ(s.get("hits"), 6u);
+
+  // zero() keeps keys and handles; the handle observes the reset value.
+  s.zero();
+  EXPECT_EQ(s.get("hits"), 0u);
+  *hits += 2;
+  EXPECT_EQ(s.get("hits"), 2u);
+
+  // Re-resolving after zero() yields the same slot.
+  EXPECT_EQ(s.counter("hits"), hits);
+}
+
+TEST(Log, LevelParsing) {
+  EXPECT_EQ(logLevelFromString("debug"), LogLevel::Debug);
+  EXPECT_EQ(logLevelFromString("INFO"), LogLevel::Info);
+  EXPECT_EQ(logLevelFromString("Warn"), LogLevel::Warn);
+  EXPECT_EQ(logLevelFromString("error"), LogLevel::Error);
+  EXPECT_EQ(logLevelFromString("2"), LogLevel::Warn);
+  EXPECT_EQ(logLevelFromString("bogus"), std::nullopt);
+  EXPECT_EQ(logLevelFromString(""), std::nullopt);
+  EXPECT_STREQ(toString(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(toString(LogLevel::Error), "ERROR");
 }
 
 TEST(TextTable, FormatsAligned) {

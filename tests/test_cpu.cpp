@@ -304,9 +304,10 @@ struct RecordingPredictor : CriticalityPredictor {
   std::uint64_t trainCalls = 0, stalledTrue = 0;
   bool predict(std::uint64_t) override { return verdict; }
   bool hasEntry(std::uint64_t) const override { return true; }
-  void train(std::uint64_t, bool stalled) override {
+  bool train(std::uint64_t, bool stalled) override {
     ++trainCalls;
     stalledTrue += stalled ? 1 : 0;
+    return false;
   }
 };
 

@@ -87,6 +87,21 @@ TEST(Aggregator, RejectsWrongWidth) {
   EXPECT_DEATH(agg.addRun({1.0, 2.0}), "size mismatch");
 }
 
+TEST(Endurance, LifetimeSeriesMatchesScalarModel) {
+  EnduranceConfig c = cfg();
+  std::vector<double> writes = {0.0, 1e6, 2e6};
+  std::vector<Cycle> cycles = {0, 1000000, 2000000};
+  std::vector<double> series = lifetimeSeriesYears(writes, cycles, 32768, c);
+  ASSERT_EQ(series.size(), 3u);
+  // No writes yet -> clamped to maxYears.
+  EXPECT_DOUBLE_EQ(series[0], c.maxYears);
+  // Each later point must agree with the scalar ideal-wear-leveling model.
+  EXPECT_DOUBLE_EQ(series[1], bankLifetimeYearsIdeal(1000000, 32768, 1000000, c));
+  EXPECT_DOUBLE_EQ(series[2], bankLifetimeYearsIdeal(2000000, 32768, 2000000, c));
+  // Constant write *rate* -> constant projected lifetime.
+  EXPECT_DOUBLE_EQ(series[1], series[2]);
+}
+
 TEST(Aggregator, EmptyIsZero) {
   LifetimeAggregator agg(2);
   EXPECT_DOUBLE_EQ(agg.rawMinimum(), 0.0);

@@ -1,0 +1,321 @@
+// Telemetry subsystem tests: JSON writer/parser roundtrip, metrics
+// registry semantics, Chrome trace_event schema validation (both a
+// hand-built trace and one emitted by a real simulation), epoch series
+// from a real run, and run-report structure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
+
+namespace renuca {
+namespace {
+
+using telemetry::JsonValue;
+using telemetry::JsonWriter;
+using telemetry::parseJson;
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+std::string tmpPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// --- JSON ------------------------------------------------------------------
+
+TEST(Json, WriterProducesParseableDocument) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject();
+  w.kv("name", "re\"nuca\n\t");
+  w.kv("count", std::uint64_t{18446744073709551615ull});
+  w.kv("signed", std::int64_t{-42});
+  w.kv("pi", 3.25);
+  w.kv("flag", true);
+  w.key("null");
+  w.nullValue();
+  w.kvArray("xs", std::vector<double>{1.0, 2.5, -3.0});
+  w.key("nested");
+  w.beginObject();
+  w.kv("inner", "v");
+  w.endObject();
+  w.endObject();
+  EXPECT_EQ(w.depth(), 0u);
+
+  std::string err;
+  auto doc = parseJson(os.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->find("name")->str, "re\"nuca\n\t");
+  EXPECT_DOUBLE_EQ(doc->find("signed")->number, -42.0);
+  EXPECT_DOUBLE_EQ(doc->find("pi")->number, 3.25);
+  EXPECT_TRUE(doc->find("flag")->boolean);
+  EXPECT_TRUE(doc->find("null")->isNull());
+  ASSERT_EQ(doc->find("xs")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc->find("xs")->array[1].number, 2.5);
+  EXPECT_EQ(doc->find("nested")->find("inner")->str, "v");
+}
+
+TEST(Json, ParserRejectsMalformed) {
+  EXPECT_FALSE(parseJson("{").has_value());
+  EXPECT_FALSE(parseJson("{\"a\":1,}").has_value());
+  EXPECT_FALSE(parseJson("[1 2]").has_value());
+  EXPECT_FALSE(parseJson("\"unterminated").has_value());
+  EXPECT_FALSE(parseJson("{} trailing").has_value());
+  std::string err;
+  EXPECT_FALSE(parseJson("{\"a\":tru}", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, RoundTripsEscapes) {
+  EXPECT_EQ(telemetry::jsonEscape("a\"b\\c\x01"), "a\\\"b\\\\c\\u0001");
+  auto doc = parseJson("\"\\u0041\\n\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->str, "A\n");
+}
+
+// --- Metrics registry ------------------------------------------------------
+
+TEST(Metrics, CountersExposuresAndGauges) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter c = reg.counter("owned");
+  std::uint64_t external = 7;
+  reg.expose("external", &external);
+  double g = 1.5;
+  reg.gauge("gauge", [&g] { return g; });
+  EXPECT_EQ(reg.numMetrics(), 3u);
+
+  c.inc();
+  c.inc(3);
+  EXPECT_EQ(c.value(), 4u);
+
+  reg.snapshot(100, 1000);
+  external = 9;
+  g = 2.5;
+  reg.snapshot(200, 2000);
+
+  const telemetry::EpochSeries& s = reg.series();
+  ASSERT_EQ(s.numEpochs(), 2u);
+  EXPECT_EQ(s.cycles[1], 200u);
+  EXPECT_EQ(s.instrs[1], 2000u);
+  EXPECT_EQ(s.column("owned").back(), 4.0);
+  EXPECT_EQ(s.column("external").front(), 7.0);
+  EXPECT_EQ(s.column("external").back(), 9.0);
+  EXPECT_EQ(s.column("gauge").back(), 2.5);
+  EXPECT_TRUE(s.column("absent").empty());
+  EXPECT_EQ(s.indexOf("gauge"), 2u);
+
+  reg.clearSeries();
+  EXPECT_TRUE(reg.series().empty());
+  EXPECT_EQ(reg.series().names.size(), 3u);  // names survive a clear
+}
+
+TEST(Metrics, DetachedCounterIsSafe) {
+  telemetry::Counter c;
+  c.inc();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// --- Trace writer ----------------------------------------------------------
+
+/// Asserts `doc` is a valid Chrome trace_event JSON Object Format document:
+/// top-level traceEvents array where every event has name/cat/ph/pid/tid/ts,
+/// "X" events carry dur, and "i" events carry the scope key.
+void validateChromeTrace(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+  for (const JsonValue& e : events->array) {
+    ASSERT_TRUE(e.isObject());
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->isString());
+    ASSERT_EQ(ph->str.size(), 1u);
+    for (const char* k : {"name", "ph", "pid", "tid", "ts"}) {
+      ASSERT_NE(e.find(k), nullptr) << "event missing key " << k;
+    }
+    ASSERT_TRUE(e.find("ts")->isNumber());
+    if (ph->str == "X") {
+      ASSERT_NE(e.find("dur"), nullptr);
+      ASSERT_GE(e.find("dur")->number, 0.0);
+    }
+    if (ph->str == "i") {
+      ASSERT_NE(e.find("s"), nullptr);
+    }
+    if (ph->str != "M") {
+      ASSERT_NE(e.find("cat"), nullptr);
+    }
+  }
+}
+
+TEST(Trace, EmitsValidChromeTraceDocument) {
+  std::string path = tmpPath("unit.trace.json");
+  {
+    telemetry::TraceWriter tw(path, 1);
+    ASSERT_TRUE(tw.ok());
+    tw.nameProcess(1, "cores");
+    tw.nameThread(1, 0, "core0");
+    tw.span("load", "mem", 1, 0, 100, 180, {{"vaddr", 0x1000}, {"critical", 1}});
+    tw.span("l1d", "mem", 1, 0, 100, 102);
+    tw.instant("llc_evict", "llc", 2, 3, 150, {{"block", 77}});
+    tw.counterEvent("bank_writes", 2, 160, "b0", 42.0);
+    tw.close();
+    EXPECT_EQ(tw.eventsWritten(), 6u);
+  }
+  std::string err;
+  auto doc = parseJson(slurp(path), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  validateChromeTrace(*doc);
+  EXPECT_EQ(doc->find("displayTimeUnit")->str, "ns");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, SamplingGateTraces1InN) {
+  std::string path = tmpPath("sampling.trace.json");
+  telemetry::TraceWriter tw(path, 4);
+  int sampled = 0;
+  for (int i = 0; i < 16; ++i) sampled += tw.sampleNext() ? 1 : 0;
+  EXPECT_EQ(sampled, 4);
+  tw.close();
+  std::remove(path.c_str());
+}
+
+TEST(Trace, UnwritablePathIsNotOk) {
+  telemetry::TraceWriter tw("/nonexistent-dir-xyz/trace.json", 1);
+  EXPECT_FALSE(tw.ok());
+}
+
+// --- End-to-end: real simulation runs --------------------------------------
+
+sim::SystemConfig fastConfig() {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.policy = core::PolicyKind::ReNuca;
+  cfg.instrPerCore = 6000;
+  cfg.warmupInstrPerCore = 1500;
+  cfg.prewarmInstrPerCore = 150000;
+  cfg.placementRefreshInstrPerCore = 50000;
+  return cfg;
+}
+
+TEST(Telemetry, RunProducesEpochSeries) {
+  sim::SystemConfig cfg = fastConfig();
+  cfg.epochInstrs = 1000;
+  sim::RunResult r = sim::runWorkload(cfg, workload::standardMixes()[0]);
+
+  const telemetry::EpochSeries& ep = r.epochs;
+  // 6000 instr / 1000 per epoch = 6 boundaries + the terminal snapshot;
+  // boundary and terminal can coincide, so >= 6.
+  ASSERT_GE(ep.numEpochs(), 6u);
+  ASSERT_EQ(ep.cycles.size(), ep.numEpochs());
+  ASSERT_EQ(ep.instrs.size(), ep.numEpochs());
+
+  // Per-bank write columns exist and are cumulative (non-decreasing),
+  // ending at the RunResult's bank totals.
+  for (std::uint32_t b = 0; b < cfg.l3.banks; ++b) {
+    std::vector<double> col = ep.column("l3.b" + std::to_string(b) + ".writes");
+    ASSERT_EQ(col.size(), ep.numEpochs());
+    for (std::size_t i = 1; i < col.size(); ++i) EXPECT_GE(col[i], col[i - 1]);
+    EXPECT_DOUBLE_EQ(col.back(), static_cast<double>(r.bankWrites[b]));
+  }
+
+  // Per-core progress reaches the budget; cycles strictly increase.
+  std::vector<double> committed = ep.column("core0.committed");
+  ASSERT_FALSE(committed.empty());
+  EXPECT_GE(committed.back(), 6000.0);
+  for (std::size_t i = 1; i < ep.cycles.size(); ++i) {
+    EXPECT_GT(ep.cycles[i], ep.cycles[i - 1]);
+  }
+
+  // Substrate metrics are present.
+  EXPECT_FALSE(ep.column("memsys.llc_fills").empty());
+  EXPECT_FALSE(ep.column("dram.row_hit_rate").empty());
+  EXPECT_FALSE(ep.column("core0.mshr_inflight").empty());
+}
+
+TEST(Telemetry, EpochSamplingOffByDefault) {
+  sim::RunResult r = sim::runWorkload(fastConfig(), workload::standardMixes()[0]);
+  EXPECT_TRUE(r.epochs.empty());
+}
+
+TEST(Telemetry, RunEmitsValidTrace) {
+  std::string path = tmpPath("run.trace.json");
+  sim::SystemConfig cfg = fastConfig();
+  cfg.traceJsonPath = path;
+  cfg.traceSampleEvery = 16;
+  sim::runWorkload(cfg, workload::standardMixes()[0]);
+
+  std::string err;
+  auto doc = parseJson(slurp(path), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  validateChromeTrace(*doc);
+
+  // The trace contains hierarchy-walk spans and nested stage spans.
+  const JsonValue* events = doc->find("traceEvents");
+  int walks = 0, stages = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string& n = e.find("name")->str;
+    if (n == "load" || n == "store") ++walks;
+    if (n == "l1d" || n == "l2" || n == "l3" || n == "dram") ++stages;
+  }
+  EXPECT_GT(walks, 0);
+  EXPECT_GT(stages, 0);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, RunReportIsValidJson) {
+  std::string path = tmpPath("report.json");
+  sim::SystemConfig cfg = fastConfig();
+  cfg.epochInstrs = 2000;
+  sim::RunResult r = sim::runWorkload(cfg, workload::standardMixes()[0]);
+  ASSERT_TRUE(sim::writeRunReport(path, "unit_test", cfg, {{"WL1/ReNuca", r}}, 1.25));
+
+  std::string err;
+  auto doc = parseJson(slurp(path), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+
+  EXPECT_EQ(doc->find("schema")->str, "renuca-run-report-v1");
+  EXPECT_EQ(doc->find("bench")->str, "unit_test");
+  EXPECT_GT(doc->find("generated_unix")->number, 0.0);
+  EXPECT_FALSE(doc->find("host")->str.empty());
+  EXPECT_DOUBLE_EQ(doc->find("wall_seconds")->number, 1.25);
+  ASSERT_NE(doc->find("config"), nullptr);
+  EXPECT_EQ(doc->find("config")->find("cores")->number, 16.0);
+
+  const JsonValue* runs = doc->find("runs");
+  ASSERT_TRUE(runs->isArray());
+  ASSERT_EQ(runs->array.size(), 1u);
+  const JsonValue& run = runs->array[0];
+  EXPECT_EQ(run.find("label")->str, "WL1/ReNuca");
+  EXPECT_EQ(run.find("core_ipc")->array.size(), 16u);
+  EXPECT_EQ(run.find("bank_writes")->array.size(), 16u);
+  EXPECT_DOUBLE_EQ(run.find("system_ipc")->number, r.systemIpc);
+
+  const JsonValue* epochs = run.find("epochs");
+  ASSERT_NE(epochs, nullptr);
+  EXPECT_GE(epochs->find("cycles")->array.size(), 3u);
+  const JsonValue* lifeSeries = run.find("bank_lifetime_series");
+  ASSERT_NE(lifeSeries, nullptr);
+  EXPECT_EQ(lifeSeries->object.size(), 16u);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, ReportToUnwritablePathFailsGracefully) {
+  sim::SystemConfig cfg = fastConfig();
+  EXPECT_FALSE(
+      sim::writeRunReport("/nonexistent-dir-xyz/r.json", "x", cfg, {}, 0.0));
+}
+
+}  // namespace
+}  // namespace renuca

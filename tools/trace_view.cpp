@@ -1,0 +1,136 @@
+// trace_view: terminal summarizer for the Chrome trace_event JSON files
+// the simulator emits (trace_json=).  For a quick look without loading
+// Perfetto: validates the document, prints the event census per name, and
+// the latency distribution of every span kind.
+//
+//   ./trace_view <trace.json> [top=20]
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/kvconfig.hpp"
+#include "telemetry/json.hpp"
+
+using namespace renuca;
+
+namespace {
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double durSum = 0;
+  double durMax = 0;
+  std::vector<double> durs;
+};
+
+double pct(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  std::size_t i = static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  if (kv.positional().empty()) {
+    std::fprintf(stderr, "usage: trace_view <trace.json> [top=20]\n");
+    return 2;
+  }
+  const std::size_t top =
+      static_cast<std::size_t>(kv.getOr("top", std::int64_t{20}));
+
+  std::ifstream is(kv.positional()[0]);
+  if (!is) {
+    std::fprintf(stderr, "trace_view: cannot open %s\n", kv.positional()[0].c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+
+  std::string err;
+  auto doc = telemetry::parseJson(buf.str(), &err);
+  if (!doc) {
+    std::fprintf(stderr, "trace_view: invalid JSON: %s\n", err.c_str());
+    return 1;
+  }
+  const telemetry::JsonValue* events = doc->find("traceEvents");
+  if (!events || !events->isArray()) {
+    std::fprintf(stderr, "trace_view: no traceEvents array (not a trace file?)\n");
+    return 1;
+  }
+
+  std::map<std::string, std::uint64_t> instants;
+  std::map<std::string, SpanStats> spans;
+  std::uint64_t metadata = 0, counters = 0, other = 0;
+  double tsMin = 0, tsMax = 0;
+  bool tsSeen = false;
+
+  for (const telemetry::JsonValue& e : events->array) {
+    const telemetry::JsonValue* ph = e.find("ph");
+    const telemetry::JsonValue* name = e.find("name");
+    if (!ph || !ph->isString() || !name || !name->isString()) {
+      ++other;
+      continue;
+    }
+    if (const telemetry::JsonValue* ts = e.find("ts"); ts && ts->isNumber()) {
+      double end = ts->number;
+      if (const telemetry::JsonValue* dur = e.find("dur"); dur && dur->isNumber()) {
+        end += dur->number;
+      }
+      tsMin = tsSeen ? std::min(tsMin, ts->number) : ts->number;
+      tsMax = tsSeen ? std::max(tsMax, end) : end;
+      tsSeen = true;
+    }
+    if (ph->str == "M") {
+      ++metadata;
+    } else if (ph->str == "C") {
+      ++counters;
+    } else if (ph->str == "i" || ph->str == "I") {
+      ++instants[name->str];
+    } else if (ph->str == "X") {
+      SpanStats& s = spans[name->str];
+      ++s.count;
+      const telemetry::JsonValue* dur = e.find("dur");
+      double d = dur && dur->isNumber() ? dur->number : 0;
+      s.durSum += d;
+      s.durMax = std::max(s.durMax, d);
+      s.durs.push_back(d);
+    } else {
+      ++other;
+    }
+  }
+
+  std::printf("%s: %zu events", kv.positional()[0].c_str(), events->array.size());
+  if (tsSeen) std::printf(", cycles [%.0f, %.0f]", tsMin, tsMax);
+  std::printf("\n  metadata %llu, counters %llu, other %llu\n\n",
+              static_cast<unsigned long long>(metadata),
+              static_cast<unsigned long long>(counters),
+              static_cast<unsigned long long>(other));
+
+  std::printf("spans (cycles):\n");
+  std::printf("  %-16s %10s %8s %8s %8s %8s\n", "name", "count", "mean", "p50",
+              "p99", "max");
+  std::size_t shown = 0;
+  for (auto& [n, s] : spans) {
+    if (shown++ >= top) break;
+    std::printf("  %-16s %10llu %8.1f %8.0f %8.0f %8.0f\n", n.c_str(),
+                static_cast<unsigned long long>(s.count),
+                s.durSum / static_cast<double>(s.count), pct(s.durs, 0.5),
+                pct(s.durs, 0.99), s.durMax);
+  }
+
+  if (!instants.empty()) {
+    std::printf("\ninstants:\n");
+    shown = 0;
+    for (const auto& [n, c] : instants) {
+      if (shown++ >= top) break;
+      std::printf("  %-16s %10llu\n", n.c_str(), static_cast<unsigned long long>(c));
+    }
+  }
+  return 0;
+}
