@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,11 +29,30 @@ inline void applyBenchDefaults(sim::SystemConfig& cfg) {
   cfg.warmupInstrPerCore = 8000;
 }
 
-/// Parses overrides and prints the standard bench header.
+/// Validates every key=value against the config registry (plus any
+/// bench-specific `extraKeys`).  Problems are warnings by default; with
+/// strict=1 they abort the run with exit code 2, so a misspelled key can
+/// never silently fall back to a default.
+inline void validateOrDie(const KvConfig& kv,
+                          const std::vector<std::string>& extraKeys = {}) {
+  std::vector<ConfigError> errs = sim::validateConfigKeys(kv, extraKeys);
+  for (const ConfigError& e : errs) {
+    std::fprintf(stderr, "config: %s\n", e.toString().c_str());
+  }
+  if (!errs.empty() && kv.getOr("strict", false)) {
+    std::fprintf(stderr, "strict=1: refusing to run with invalid configuration\n");
+    std::exit(2);
+  }
+}
+
+/// Parses overrides (validated against the key registry; see validateOrDie)
+/// and prints the standard bench header.
 inline KvConfig setup(int argc, char** argv, const char* title,
-                      sim::SystemConfig& cfg) {
+                      sim::SystemConfig& cfg,
+                      const std::vector<std::string>& extraKeys = {}) {
   KvConfig kv = KvConfig::fromArgs(argc, argv);
   applyBenchDefaults(cfg);
+  validateOrDie(kv, extraKeys);
   cfg.applyOverrides(kv);
   std::printf("== %s ==\n", title);
   std::printf("config: %s\n\n", cfg.summary().c_str());
@@ -41,7 +61,7 @@ inline KvConfig setup(int argc, char** argv, const char* title,
 
 /// Machine-readable run report for one bench invocation.  Construct after
 /// setup(), feed it every RunResult the bench produces, and the destructor
-/// writes a "renuca-run-report-v1" JSON document to the `report_json=` path
+/// writes a "renuca-run-report-v2" JSON document to the `report_json=` path
 /// (no path, no file — the tables on stdout are unaffected either way).
 class BenchSession {
  public:

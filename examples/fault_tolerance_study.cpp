@@ -1,0 +1,125 @@
+// Fault-tolerance study: how gracefully does each NUCA placement policy
+// degrade as ReRAM frames wear out?
+//
+// Enables the wear-out fault model with a small in-window write budget so
+// frames actually die during the run, then compares, per policy:
+//   * dead frames and surviving LLC capacity at the end of the window,
+//   * the capacity-loss series (fault events over time),
+//   * the degraded-capacity lifetime — the extrapolated time until
+//     fault_dead_frac of the frames exceed their process-varied full-scale
+//     budgets (the paper's wear-spreading claim as a failure-time metric).
+//
+// Expectation: R-NUCA concentrates writes in each core's cluster, so its
+// hottest frames exhaust their budgets first and capacity collapses early;
+// Re-NUCA keeps only critical lines clustered and spreads the rest, so at
+// matched write volume it retains capacity longer.
+//
+//   ./fault_tolerance_study [fault_budget_writes=5] [report_json=ft.json]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+using namespace renuca;
+
+int main(int argc, char** argv) {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.instrPerCore = 25000;
+  cfg.warmupInstrPerCore = 6000;
+  // Small banks concentrate writes on few frames so in-window wear-out is
+  // visible at example-sized instruction budgets.
+  cfg.l3.bankBytes = 64 * 1024;
+  // Fault model on for every run: lognormal budget variation around a
+  // deliberately tiny in-window budget, 10% dead = end of life.
+  cfg.fault.enabled = true;
+  cfg.fault.budgetWrites = 5.0;
+  cfg.fault.sigma = 0.15;
+  cfg.fault.deadFrac = 0.10;
+
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  for (const ConfigError& e : sim::validateConfigKeys(kv)) {
+    std::fprintf(stderr, "config: %s\n", e.toString().c_str());
+    if (kv.getOr("strict", false)) return 2;
+  }
+  cfg.applyOverrides(kv);
+  cfg.fault.enabled = true;  // the study is about faults; keep them on
+
+  // The wear-imbalance scenario from the paper's §III motivation: heavy
+  // writers pinned to the top-left 2x2 quad.  R-NUCA funnels their traffic
+  // into that corner's clusters; Re-NUCA spreads the non-critical share.
+  workload::WorkloadMix mix;
+  mix.name = "corner-heavy";
+  mix.appNames = {"mcf",    "streamL", "namd",  "povray",
+                  "lbm",    "milc",    "namd",  "dealII",
+                  "astar",  "povray",  "namd",  "dealII",
+                  "sjeng",  "astar",   "namd",  "povray"};
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::SNuca, core::PolicyKind::RNuca, core::PolicyKind::ReNuca};
+
+  std::printf("== fault tolerance study ==\n");
+  std::printf("config: %s\n", cfg.summary().c_str());
+  std::printf("fault model: budget~%.0f writes/frame (sigma %.2f), "
+              "life ends at %.0f%% frames dead\n\n",
+              cfg.fault.budgetWrites, cfg.fault.sigma, cfg.fault.deadFrac * 100.0);
+
+  std::printf("%-8s | %10s %9s %10s | %9s %9s | %s\n", "policy", "LLCwrites",
+              "deadFrames", "liveCap", "degLife(y)", "sysIPC",
+              "capacity-loss epochs (cycle:liveFrac)");
+
+  std::vector<sim::ReportEntry> entries;
+  std::vector<double> degLife(policies.size(), 0.0);
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    sim::SystemConfig c = cfg;
+    c.policy = policies[p];
+    sim::RunResult r = sim::runWorkload(c, mix);
+
+    std::uint64_t writes = 0;
+    for (std::uint64_t w : r.bankWrites) writes += w;
+    std::uint32_t dead = 0;
+    for (std::uint32_t d : r.bankDeadFrames) dead += d;
+    degLife[p] = r.degradedCapacityLifetimeYears;
+
+    std::printf("%-8s | %10llu %9u %9.1f%% | %9.2f %9.2f |",
+                core::toString(policies[p]),
+                static_cast<unsigned long long>(writes), dead,
+                r.liveCapacityFrac * 100.0, r.degradedCapacityLifetimeYears,
+                r.systemIpc);
+
+    // Capacity-loss epochs: walk the fault events and print the live
+    // fraction after every ~quarter of the deaths.
+    const std::uint64_t frames = 16ull * c.l3.bankBytes / kLineBytes;
+    std::size_t n = r.faultEvents.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (n < 4 || (i + 1) % ((n + 3) / 4) == 0 || i + 1 == n) {
+        std::printf(" %llu:%.3f",
+                    static_cast<unsigned long long>(r.faultEvents[i].cycle),
+                    1.0 - static_cast<double>(i + 1) / static_cast<double>(frames));
+      }
+    }
+    std::printf("\n");
+    entries.push_back({std::string(core::toString(policies[p])), std::move(r)});
+  }
+
+  std::printf(
+      "\nreading the table: all policies see the same demand stream, but\n"
+      "R-NUCA funnels every fill into the core's 4-bank cluster, so its hot\n"
+      "frames burn through their budgets first (short degraded-capacity\n"
+      "lifetime, early capacity loss).  Re-NUCA spreads the non-critical\n"
+      "majority of writes across all 16 banks and retains capacity longer.\n");
+
+  const std::size_t rn = 1, ren = 2;  // indices into `policies`
+  bool ok = degLife[ren] > degLife[rn];
+  std::printf("\nRe-NUCA degraded-capacity lifetime %.2fy %s R-NUCA %.2fy %s\n",
+              degLife[ren], ok ? ">" : "<=", degLife[rn],
+              ok ? "(wear spreading preserves capacity)" : "(UNEXPECTED)");
+
+  if (auto path = kv.getString("report_json")) {
+    if (sim::writeRunReport(*path, "fault_tolerance_study", cfg, entries, 0.0)) {
+      std::printf("report written to %s\n", path->c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -6,9 +6,14 @@
 // Telemetry keys ride along like any other override:
 //   ./quickstart report_json=run.json epoch_instrs=3000 trace_json=run.trace
 //
+// Keys are validated against the config registry: unknown or out-of-range
+// keys warn, and with strict=1 they abort (exit 2) instead of silently
+// falling back to defaults.
+//
 // This is the smallest complete use of the public API:
 //   SystemConfig -> workload mix -> System::run() -> RunResult.
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -22,6 +27,13 @@ int main(int argc, char** argv) {
   cfg.instrPerCore = 30000;
   cfg.warmupInstrPerCore = 8000;
   KvConfig kv = KvConfig::fromArgs(argc, argv);
+  for (const ConfigError& e : sim::validateConfigKeys(kv)) {
+    std::fprintf(stderr, "config: %s\n", e.toString().c_str());
+    if (kv.getOr("strict", false)) {
+      std::fprintf(stderr, "strict=1: refusing to run\n");
+      return 2;
+    }
+  }
   cfg.applyOverrides(kv);
   std::printf("machine: %s\n\n", cfg.summary().c_str());
 

@@ -46,8 +46,14 @@ int main() {
     workload::SyntheticGenerator gen(workload::profileByName("mcf"), 42);
     workload::TraceWriter writer(path);
     for (std::uint64_t i = 0; i < 2 * budget; ++i) writer.append(gen.next());
+    std::uint64_t written = writer.written();
+    if (!writer.close()) {
+      std::fprintf(stderr, "trace capture failed: %s\n",
+                   workload::toString(writer.error()).c_str());
+      return 1;
+    }
     std::printf("captured %llu records to %s\n",
-                static_cast<unsigned long long>(writer.written()), path.c_str());
+                static_cast<unsigned long long>(written), path.c_str());
   }
 
   // 2. Run live from the generator...
@@ -56,6 +62,11 @@ int main() {
 
   // 3. ...and replay the file.
   workload::TraceReader replay(path, /*wrapAround=*/true);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "trace open failed: %s\n",
+                 workload::toString(replay.error()).c_str());
+    return 1;
+  }
   RunStats b = drive(replay, budget);
 
   std::printf("generator run : %llu cycles, %llu loads (%llu stalled ROB)\n",
@@ -71,9 +82,9 @@ int main() {
     return 1;
   }
   std::printf("bit-identical: a trace file fully determines a run.\n");
-  std::printf("\nto use real traces: write 18-byte records (pc, vaddr, kind,\n"
-              "depDist — see workload/trace.hpp) and hand a TraceReader to\n"
-              "cpu::OooCore exactly as above.\n");
+  std::printf("\nto use real traces: write the 24-byte header plus 18-byte\n"
+              "records (pc, vaddr, kind, depDist — see workload/trace.hpp)\n"
+              "and hand a TraceReader to cpu::OooCore exactly as above.\n");
   std::remove(path.c_str());
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -14,7 +16,105 @@ std::string trim(const std::string& s) {
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
 }
+
+/// Levenshtein distance, for did-you-mean suggestions on unknown keys.
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                                   diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string formatRange(double min, double max) {
+  std::ostringstream os;
+  os << "[" << min << ", " << max << "]";
+  return os.str();
+}
 }  // namespace
+
+KeyRegistry& KeyRegistry::intKey(const std::string& name, std::int64_t min,
+                                 std::int64_t max) {
+  rules_[name] = Rule{Type::Int, static_cast<double>(min), static_cast<double>(max)};
+  return *this;
+}
+
+KeyRegistry& KeyRegistry::doubleKey(const std::string& name, double min, double max) {
+  rules_[name] = Rule{Type::Double, min, max};
+  return *this;
+}
+
+KeyRegistry& KeyRegistry::boolKey(const std::string& name) {
+  rules_[name] = Rule{Type::Bool, 0.0, 0.0};
+  return *this;
+}
+
+KeyRegistry& KeyRegistry::stringKey(const std::string& name) {
+  rules_[name] = Rule{Type::String, 0.0, 0.0};
+  return *this;
+}
+
+std::vector<ConfigError> KeyRegistry::validate(const KvConfig& kv) const {
+  std::vector<ConfigError> errors;
+  for (const auto& [key, raw] : kv.all()) {
+    auto it = rules_.find(key);
+    if (it == rules_.end()) {
+      std::string msg = "unknown key";
+      // Suggest the closest registered key when the typo is a near miss.
+      std::size_t best = 3;  // only suggest within edit distance 2
+      for (const auto& [known, rule] : rules_) {
+        (void)rule;
+        std::size_t d = editDistance(key, known);
+        if (d < best) {
+          best = d;
+          msg = "unknown key (did you mean '" + known + "'?)";
+        }
+      }
+      errors.push_back({key, msg});
+      continue;
+    }
+    const Rule& rule = it->second;
+    switch (rule.type) {
+      case Type::Int: {
+        auto v = kv.getInt(key);
+        if (!v) {
+          errors.push_back({key, "'" + raw + "' is not a valid integer"});
+        } else if (static_cast<double>(*v) < rule.min ||
+                   static_cast<double>(*v) > rule.max) {
+          errors.push_back({key, "value " + raw + " outside allowed range " +
+                                     formatRange(rule.min, rule.max)});
+        }
+        break;
+      }
+      case Type::Double: {
+        auto v = kv.getDouble(key);
+        if (!v) {
+          errors.push_back({key, "'" + raw + "' is not a finite number"});
+        } else if (*v < rule.min || *v > rule.max) {
+          errors.push_back({key, "value " + raw + " outside allowed range " +
+                                     formatRange(rule.min, rule.max)});
+        }
+        break;
+      }
+      case Type::Bool:
+        if (!kv.getBool(key)) {
+          errors.push_back({key, "'" + raw + "' is not a boolean (true/false/1/0/yes/no)"});
+        }
+        break;
+      case Type::String:
+        break;  // any string goes
+    }
+  }
+  return errors;
+}
 
 KvConfig KvConfig::fromArgs(int argc, const char* const* argv) {
   KvConfig cfg;
@@ -65,8 +165,10 @@ std::optional<std::int64_t> KvConfig::getInt(const std::string& key) const {
   auto s = getString(key);
   if (!s) return std::nullopt;
   char* end = nullptr;
+  errno = 0;
   long long v = std::strtoll(s->c_str(), &end, 0);
   if (end == s->c_str() || (end && *end != '\0')) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;  // silent LLONG_MIN/MAX saturation
   return static_cast<std::int64_t>(v);
 }
 
@@ -74,8 +176,13 @@ std::optional<double> KvConfig::getDouble(const std::string& key) const {
   auto s = getString(key);
   if (!s) return std::nullopt;
   char* end = nullptr;
+  errno = 0;
   double v = std::strtod(s->c_str(), &end);
   if (end == s->c_str() || (end && *end != '\0')) return std::nullopt;
+  // Reject overflow-to-infinity and the literal inf/nan spellings: every
+  // numeric config knob means a finite quantity.
+  if (errno == ERANGE && std::isinf(v)) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
   return v;
 }
 

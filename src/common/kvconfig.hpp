@@ -14,6 +14,45 @@
 
 namespace renuca {
 
+/// One problem found while validating a KvConfig against a KeyRegistry:
+/// an unknown key (likely a typo) or a value that fails type/range checks.
+struct ConfigError {
+  std::string key;
+  std::string message;  ///< Human-readable; includes a suggestion for typos.
+
+  std::string toString() const { return key + ": " + message; }
+};
+
+class KvConfig;
+
+/// Registry of the keys an experiment accepts, with per-key type and range
+/// rules.  Drives strict-mode validation: a misspelled key stops the run
+/// instead of silently falling back to the default value.
+class KeyRegistry {
+ public:
+  enum class Type : std::uint8_t { Int, Double, Bool, String };
+
+  KeyRegistry& intKey(const std::string& name, std::int64_t min, std::int64_t max);
+  KeyRegistry& doubleKey(const std::string& name, double min, double max);
+  KeyRegistry& boolKey(const std::string& name);
+  KeyRegistry& stringKey(const std::string& name);
+
+  bool known(const std::string& name) const { return rules_.count(name) != 0; }
+
+  /// Checks every key/value pair of `kv`: unknown keys (with a
+  /// nearest-known-key suggestion), unparsable values, and out-of-range
+  /// numbers.  Returns an empty vector when the config is clean.
+  std::vector<ConfigError> validate(const KvConfig& kv) const;
+
+ private:
+  struct Rule {
+    Type type = Type::String;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, Rule> rules_;
+};
+
 class KvConfig {
  public:
   KvConfig() = default;
@@ -29,7 +68,11 @@ class KvConfig {
   bool has(const std::string& key) const;
 
   std::optional<std::string> getString(const std::string& key) const;
+  /// Parses a decimal/hex/octal integer.  Trailing garbage, overflow
+  /// (ERANGE saturation), and empty values all return nullopt.
   std::optional<std::int64_t> getInt(const std::string& key) const;
+  /// Parses a finite double.  "inf"/"nan" spellings, overflow to ±inf, and
+  /// trailing garbage all return nullopt.
   std::optional<double> getDouble(const std::string& key) const;
   std::optional<bool> getBool(const std::string& key) const;  ///< true/false/1/0/yes/no
 

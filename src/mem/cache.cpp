@@ -72,11 +72,36 @@ void CacheBank::touch(std::uint32_t set, std::uint32_t way) {
   }
 }
 
+std::uint32_t CacheBank::liveLruWay(std::uint32_t set) const {
+  const Frame* base = &frames_[frameIndex(set, 0)];
+  const std::uint8_t* dead = &frameDead_[frameIndex(set, 0)];
+  std::uint32_t victim = cfg_.ways;
+  std::uint64_t best = 0;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (dead[w]) continue;
+    if (victim == cfg_.ways || base[w].lastUse < best) {
+      best = base[w].lastUse;
+      victim = w;
+    }
+  }
+  RENUCA_ASSERT(victim < cfg_.ways, "victim lookup in fully dead set of " + name_);
+  return victim;
+}
+
 std::uint32_t CacheBank::victimWay(std::uint32_t set) {
   const Frame* base = &frames_[frameIndex(set, 0)];
+  const std::uint8_t* dead = frameDead_.empty() ? nullptr : &frameDead_[frameIndex(set, 0)];
   // Invalid frames first, for every policy.
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    if (!base[w].valid) return w;
+    if (!base[w].valid && !(dead && dead[w])) return w;
+  }
+  if (dead) {
+    // Degraded set: tree-PLRU/random pointers may land on a dead way, so
+    // fall back to LRU over the surviving ways (timestamps are maintained
+    // for every replacement policy).
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+      if (dead[w]) return liveLruWay(set);
+    }
   }
   switch (cfg_.replacement) {
     case ReplacementKind::Lru: {
@@ -137,20 +162,23 @@ Eviction CacheBank::insert(BlockAddr block, bool dirty) {
                 "insert of already-resident block in " + name_);
   std::uint32_t way;
   if (cfg_.equalChanceEvery != 0 && ++fillTick_ % cfg_.equalChanceEvery == 0) {
-    // Intra-set wear leveling: victimize the coldest frame of the set.
-    way = 0;
-    std::uint64_t best = frameWrites_[frameIndex(set, 0)];
-    for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+    // Intra-set wear leveling: victimize the coldest live frame of the set.
+    way = cfg_.ways;
+    std::uint64_t best = 0;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+      if (frameDead(set, w)) continue;
       std::uint64_t fw = frameWrites_[frameIndex(set, w)];
-      if (fw < best) {
+      if (way == cfg_.ways || fw < best) {
         best = fw;
         way = w;
       }
     }
+    RENUCA_ASSERT(way < cfg_.ways, "insert into fully dead set of " + name_);
     stats_.inc("equalchance_redirects");
   } else {
     way = victimWay(set);
   }
+  RENUCA_ASSERT(!frameDead(set, way), "victim selection chose a dead frame in " + name_);
   Frame& f = frames_[frameIndex(set, way)];
 
   Eviction ev;
@@ -199,9 +227,72 @@ Cycle CacheBank::reserve(Cycle now) {
 
 void CacheBank::recordFrameWrite(std::uint32_t set, std::uint32_t way) {
   ++totalWrites_;
-  if (cfg_.trackFrameWrites) {
-    ++frameWrites_[frameIndex(set, way)];
+  if (!cfg_.trackFrameWrites) return;
+  std::uint32_t idx = frameIndex(set, way);
+  std::uint64_t writes = ++frameWrites_[idx];
+  // Natural wear-out: the write that exhausts the frame's budget leaves it
+  // stuck-at.  The death is queued (not handled inline) so the caller can
+  // finish its fill bookkeeping before doing eviction-style cleanup.
+  if (faultArmed_ && !frameDead_[idx] && writes >= fault_->writeLimit(idx)) {
+    pendingDeaths_.push_back(retireFrame(set, way));
   }
+}
+
+void CacheBank::setFaultModel(const rram::BankFaultModel* model) {
+  RENUCA_ASSERT(cfg_.trackFrameWrites, "fault model needs frame write counters");
+  RENUCA_ASSERT(model == nullptr || (model->numFrames() == frames_.size() &&
+                                     model->ways() == cfg_.ways),
+                "fault model geometry mismatch for " + name_);
+  fault_ = model;
+  if (model != nullptr && frameDead_.empty()) {
+    frameDead_.assign(frames_.size(), 0);
+  }
+}
+
+CacheBank::FrameDeath CacheBank::retireFrame(std::uint32_t set, std::uint32_t way) {
+  if (frameDead_.empty()) frameDead_.assign(frames_.size(), 0);
+  std::uint32_t idx = frameIndex(set, way);
+  RENUCA_ASSERT(!frameDead_[idx], "retiring an already-dead frame in " + name_);
+  Frame& f = frames_[idx];
+  FrameDeath death;
+  death.set = set;
+  death.way = way;
+  death.hadLine = f.valid;
+  death.block = f.tag;
+  death.dirty = f.dirty;
+  death.writes = cfg_.trackFrameWrites ? frameWrites_[idx] : 0;
+  f.valid = false;
+  f.dirty = false;
+  frameDead_[idx] = 1;
+  ++deadFrames_;
+  stats_.inc("frame_deaths");
+  return death;
+}
+
+std::optional<CacheBank::FrameDeath> CacheBank::injectFault(std::uint32_t set,
+                                                            std::uint32_t way) {
+  RENUCA_ASSERT(set < numSets_ && way < cfg_.ways,
+                "fault injection outside geometry of " + name_);
+  if (frameDead(set, way)) return std::nullopt;
+  return retireFrame(set, way);
+}
+
+std::vector<CacheBank::FrameDeath> CacheBank::harvestFrameDeaths() {
+  std::vector<FrameDeath> out;
+  out.swap(pendingDeaths_);
+  return out;
+}
+
+double CacheBank::liveFrameFrac() const {
+  return 1.0 - static_cast<double>(deadFrames_) / static_cast<double>(frames_.size());
+}
+
+std::uint32_t CacheBank::liveWaysFor(BlockAddr block) const {
+  if (frameDead_.empty()) return cfg_.ways;
+  const std::uint8_t* dead = &frameDead_[frameIndex(setOf(block), 0)];
+  std::uint32_t live = 0;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) live += dead[w] ? 0 : 1;
+  return live;
 }
 
 std::uint64_t CacheBank::maxFrameWrites() const {
@@ -219,6 +310,10 @@ void CacheBank::resetMeasurement() {
   std::fill(frameWrites_.begin(), frameWrites_.end(), 0ull);
   totalWrites_ = 0;
   stats_.zero();  // keep keys: hot_ handles stay valid
+  // Natural wear-out arms with the measurement window: budgets compare
+  // against the zeroed counters, so every policy faces the same write
+  // volume regardless of how many warm-up phases it needed.
+  armFaultBudgets();
 }
 
 void CacheBank::flushAll() {

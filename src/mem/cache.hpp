@@ -10,6 +10,13 @@
 // write-back landing in the bank) bumps a per-frame write counter; the
 // rram module turns the counters into bank lifetimes (a frame dies when it
 // exceeds the cell endurance, and the hottest frame bounds the bank).
+//
+// Graceful degradation: with a rram::BankFaultModel attached, a frame
+// whose write count reaches its (process-varied) budget becomes stuck-at
+// and is permanently disabled — its line is discarded (callers relocate
+// dirty data), fill/victim selection skips it, and the bank keeps serving
+// the set's surviving ways.  A fully dead set makes canAllocate() false;
+// the memory system then bypasses the bank straight to DRAM.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "rram/fault_model.hpp"
 
 namespace renuca::mem {
 
@@ -120,14 +128,60 @@ class CacheBank {
     }
   }
 
-  /// Drops all lines and replacement state; keeps statistics and write
-  /// counters (used between warm-up phases only by tests).
+  /// Drops all lines and replacement state; keeps statistics, write
+  /// counters, and dead frames (used between warm-up phases only by tests).
   void flushAll();
 
   /// Zeros the endurance write counters and statistics while keeping cache
   /// contents — called at the end of warm-up so lifetimes measure only the
-  /// steady-state window.
+  /// steady-state window.  Dead frames stay dead (wear-out is permanent),
+  /// and in-window write budgets restart with the zeroed counters.
   void resetMeasurement();
+
+  // --- Wear-out faults and graceful degradation ---------------------------
+
+  /// A frame death: natural wear-out (write budget exceeded) or injection.
+  /// `hadLine`/`block`/`dirty` describe the line the frame held when it
+  /// died, so the caller can do eviction bookkeeping (policy notice, dirty
+  /// write-back to memory).
+  struct FrameDeath {
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    bool hadLine = false;
+    BlockAddr block = 0;
+    bool dirty = false;
+    std::uint64_t writes = 0;  ///< Frame write count at death.
+  };
+
+  /// Attaches the wear-out model (caller-owned; frames indexed identically).
+  /// Requires trackFrameWrites and matching geometry.
+  void setFaultModel(const rram::BankFaultModel* model);
+
+  /// Deterministic injection: disables the frame immediately.  Returns
+  /// nullopt if it is already dead.
+  std::optional<FrameDeath> injectFault(std::uint32_t set, std::uint32_t way);
+
+  /// Drains deaths caused by writes since the last call (natural wear-out
+  /// is detected on the write path but surfaced here so callers finish
+  /// their fill bookkeeping before handling the death).
+  std::vector<FrameDeath> harvestFrameDeaths();
+
+  /// Arms natural wear-out: budgets start comparing against the frame
+  /// write counters.  resetMeasurement() arms automatically (so warm-up
+  /// traffic never consumes budget); injection works armed or not.
+  void armFaultBudgets() { faultArmed_ = fault_ != nullptr; }
+  bool faultArmed() const { return faultArmed_; }
+
+  bool frameDead(std::uint32_t set, std::uint32_t way) const {
+    return !frameDead_.empty() && frameDead_[frameIndex(set, way)] != 0;
+  }
+  std::uint32_t deadFrames() const { return deadFrames_; }
+  /// Fraction of frames still usable (1.0 with no faults).
+  double liveFrameFrac() const;
+  /// Live (non-dead) ways in the set `block` maps to; 0 means inserts must
+  /// bypass this bank.
+  std::uint32_t liveWaysFor(BlockAddr block) const;
+  bool canAllocate(BlockAddr block) const { return liveWaysFor(block) != 0; }
 
  private:
   std::uint32_t setOf(BlockAddr block) const {
@@ -139,8 +193,12 @@ class CacheBank {
   /// Way of `block` within its set, or nullopt.
   std::optional<std::uint32_t> findWay(std::uint32_t set, BlockAddr block) const;
   std::uint32_t victimWay(std::uint32_t set);
+  /// LRU victim among the set's live ways (degraded-set fallback).
+  std::uint32_t liveLruWay(std::uint32_t set) const;
   void touch(std::uint32_t set, std::uint32_t way);
   void recordFrameWrite(std::uint32_t set, std::uint32_t way);
+  /// Marks the frame dead, discards its line, and returns the death record.
+  FrameDeath retireFrame(std::uint32_t set, std::uint32_t way);
 
   CacheConfig cfg_;
   std::string name_;
@@ -170,6 +228,12 @@ class CacheBank {
   std::vector<Frame> frames_;            // numSets * ways
   std::vector<std::uint32_t> plruBits_;  // numSets entries, tree bits packed
   std::vector<std::uint64_t> frameWrites_;
+  /// Dead-frame map (sized with the fault model; empty = no faults ever).
+  std::vector<std::uint8_t> frameDead_;
+  std::vector<FrameDeath> pendingDeaths_;
+  const rram::BankFaultModel* fault_ = nullptr;
+  bool faultArmed_ = false;
+  std::uint32_t deadFrames_ = 0;
   std::uint64_t totalWrites_ = 0;
   std::uint64_t useTick_ = 0;
   std::uint64_t fillTick_ = 0;

@@ -1,0 +1,117 @@
+#include "rram/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace renuca::rram {
+
+namespace {
+/// Standard-normal draw via Box-Muller; one Pcg32 stream per (seed, bank)
+/// keeps frames independent and the whole schedule reproducible.
+double nextGaussian(Pcg32& rng) {
+  // Avoid log(0): nextDouble() is in [0, 1).
+  double u1 = 1.0 - rng.nextDouble();
+  double u2 = rng.nextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.141592653589793 * u2);
+}
+}  // namespace
+
+BankFaultModel::BankFaultModel(const FaultConfig& cfg, BankId bank,
+                               std::uint32_t numSets, std::uint32_t ways)
+    : ways_(ways) {
+  RENUCA_ASSERT(numSets > 0 && ways > 0, "fault model needs at least one frame");
+  const std::uint32_t numFrames = numSets * ways;
+  variation_.resize(numFrames, 1.0);
+  limit_.resize(numFrames, kNoLimit);
+
+  Pcg32 rng(cfg.seed * 0x9e3779b97f4a7c15ull + bank, 0xfa017ull ^ bank);
+  for (std::uint32_t f = 0; f < numFrames; ++f) {
+    double mult = cfg.sigma > 0.0 ? std::exp(cfg.sigma * nextGaussian(rng)) : 1.0;
+    variation_[f] = mult;
+    if (cfg.budgetWrites > 0.0) {
+      limit_[f] = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(cfg.budgetWrites * mult)));
+    }
+  }
+
+  // AtWrites-scheduled faults tighten the frame's limit so the write path
+  // needs exactly one comparison per write.
+  for (const ScheduledFault& sf : cfg.schedule) {
+    if (sf.trigger != ScheduledFault::Trigger::AtWrites || sf.bank != bank) continue;
+    if (sf.set >= numSets || sf.way >= ways) {
+      logMessage(LogLevel::Warn, "fault",
+                 "scheduled fault outside bank geometry ignored (set " +
+                     std::to_string(sf.set) + ", way " + std::to_string(sf.way) + ")");
+      continue;
+    }
+    std::uint32_t idx = sf.set * ways + sf.way;
+    limit_[idx] = std::min(limit_[idx], std::max<std::uint64_t>(1, sf.value));
+  }
+}
+
+double degradedCapacityLifetimeYears(const std::vector<std::uint64_t>& frameWrites,
+                                     const std::vector<double>& variation,
+                                     Cycle measuredCycles, double deadFrac,
+                                     const EnduranceConfig& cfg) {
+  if (frameWrites.empty() || measuredCycles == 0) return cfg.maxYears;
+  RENUCA_ASSERT(variation.empty() || variation.size() == frameWrites.size(),
+                "variation vector must match frame count");
+  const double seconds = static_cast<double>(measuredCycles) / cfg.coreFreqHz;
+
+  // Per-frame time-to-death in years; frames that never see writes never die.
+  std::vector<double> deathYears;
+  deathYears.reserve(frameWrites.size());
+  for (std::size_t f = 0; f < frameWrites.size(); ++f) {
+    if (frameWrites[f] == 0) {
+      deathYears.push_back(cfg.maxYears);
+      continue;
+    }
+    double budget = cfg.writesPerCell * (variation.empty() ? 1.0 : variation[f]);
+    double rate = static_cast<double>(frameWrites[f]) / seconds;
+    deathYears.push_back(std::min(budget / rate / kSecondsPerYear, cfg.maxYears));
+  }
+
+  // The lifetime ends when the k-th frame dies, k = ceil(deadFrac * N):
+  // from that instant more than deadFrac of capacity is gone.
+  std::size_t k = static_cast<std::size_t>(
+      std::ceil(deadFrac * static_cast<double>(deathYears.size())));
+  k = std::clamp<std::size_t>(k, 1, deathYears.size());
+  std::nth_element(deathYears.begin(), deathYears.begin() + (k - 1), deathYears.end());
+  return deathYears[k - 1];
+}
+
+bool parseFaultSpec(const std::string& spec, ScheduledFault::Trigger trigger,
+                    ScheduledFault& out) {
+  // "bank:set:way" (Immediate) or "bank:set:way:value" (AtWrites/AtCycle).
+  const bool wantValue = trigger != ScheduledFault::Trigger::Immediate;
+  std::uint64_t parts[4] = {0, 0, 0, 0};
+  std::size_t nparts = wantValue ? 4 : 3;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < nparts; ++i) {
+    std::size_t colon = i + 1 < nparts ? spec.find(':', pos) : std::string::npos;
+    std::string tok = colon == std::string::npos ? spec.substr(pos)
+                                                 : spec.substr(pos, colon - pos);
+    if (tok.empty()) return false;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(tok.c_str(), &end, 0);
+    if (end == tok.c_str() || *end != '\0') return false;
+    parts[i] = v;
+    if (colon == std::string::npos) {
+      if (i + 1 != nparts) return false;  // too few fields
+      break;
+    }
+    pos = colon + 1;
+  }
+  out.bank = static_cast<BankId>(parts[0]);
+  out.set = static_cast<std::uint32_t>(parts[1]);
+  out.way = static_cast<std::uint32_t>(parts[2]);
+  out.trigger = trigger;
+  out.value = parts[3];
+  return true;
+}
+
+}  // namespace renuca::rram

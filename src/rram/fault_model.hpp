@@ -1,0 +1,111 @@
+// ReRAM wear-out fault model: per-frame endurance budgets with seeded
+// process variation, deterministic fault injection, and the
+// degraded-capacity lifetime metric.
+//
+// The endurance module extrapolates lifetimes analytically from write
+// rates; this module models what happens *after* a cell exceeds its write
+// budget.  A worn-out frame becomes stuck-at (its data is unreliable, so
+// the frame is disabled and its line discarded/relocated), the bank keeps
+// serving the set's surviving ways, and capacity erodes frame by frame.
+// That turns the paper's wear-spreading claim into a measurable quantity:
+// *time until X% of the LLC's frames are dead* (degraded-capacity
+// lifetime), not just the raw-minimum first-failure bound.
+//
+// Two operating scales:
+//  * In-window wear-out: `budgetWrites` sets a simulation-scale mean
+//    budget (hundreds/thousands of writes) so frames actually die inside
+//    a short measurement window, exercising the degradation machinery.
+//  * Analytic extrapolation: degradedCapacityLifetimeYears() projects each
+//    frame's measured write rate against its full-scale budget
+//    (writesPerCell x its process-variation multiplier) and reports the
+//    time at which the dead fraction crosses the threshold.
+//
+// Determinism: all per-frame variation derives from (seed, bank, frame)
+// through Pcg32, so the same fault_seed= reproduces the same fault
+// schedule bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rram/endurance.hpp"
+
+namespace renuca::rram {
+
+/// One externally scheduled fault (deterministic injection API).
+struct ScheduledFault {
+  enum class Trigger : std::uint8_t {
+    Immediate,  ///< Injected at the start of the measurement window.
+    AtWrites,   ///< Fires when the frame's write count reaches `value`.
+    AtCycle,    ///< Fires at measurement cycle `value`.
+  };
+  BankId bank = 0;
+  std::uint32_t set = 0;
+  std::uint32_t way = 0;
+  Trigger trigger = Trigger::Immediate;
+  std::uint64_t value = 0;  ///< Write count or cycle, per trigger.
+};
+
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  /// Mean in-window per-frame write budget; frames die (stuck-at) once
+  /// their write count reaches their individual budget.  0 = no natural
+  /// in-window wear-out (scheduled faults still fire, and the analytic
+  /// degraded-lifetime projection still applies process variation).
+  double budgetWrites = 0.0;
+  /// Lognormal process-variation spread: each frame's budget multiplier is
+  /// exp(sigma * z), z ~ N(0,1) — median 1.  0 = identical cells.
+  double sigma = 0.15;
+  /// Dead-frame fraction defining the degraded-capacity lifetime ("time
+  /// until >10% of frames dead" by default).
+  double deadFrac = 0.10;
+  std::vector<ScheduledFault> schedule;
+};
+
+/// Per-bank view of the fault model: frame budgets (process variation x
+/// mean budget, tightened by any AtWrites-scheduled faults on this bank).
+/// Frames are indexed set * ways + way, matching mem::CacheBank.
+class BankFaultModel {
+ public:
+  static constexpr std::uint64_t kNoLimit = std::numeric_limits<std::uint64_t>::max();
+
+  BankFaultModel(const FaultConfig& cfg, BankId bank, std::uint32_t numSets,
+                 std::uint32_t ways);
+
+  std::uint32_t numFrames() const { return static_cast<std::uint32_t>(variation_.size()); }
+  std::uint32_t ways() const { return ways_; }
+
+  /// Process-variation multiplier of `frame` (median 1.0).
+  double variation(std::uint32_t frame) const { return variation_[frame]; }
+  const std::vector<double>& variations() const { return variation_; }
+
+  /// In-window write limit for `frame`; kNoLimit when the frame never
+  /// wears out inside the window.
+  std::uint64_t writeLimit(std::uint32_t frame) const { return limit_[frame]; }
+
+ private:
+  std::uint32_t ways_;
+  std::vector<double> variation_;
+  std::vector<std::uint64_t> limit_;
+};
+
+/// Time (years) until `deadFrac` of the frames have exceeded their
+/// full-scale endurance budgets (cfg.writesPerCell x variation[i]),
+/// extrapolating each frame's measured write rate from the window.
+/// `variation` may be empty (ideal identical cells).  Clamped to
+/// cfg.maxYears; frames with zero writes never die.
+double degradedCapacityLifetimeYears(const std::vector<std::uint64_t>& frameWrites,
+                                     const std::vector<double>& variation,
+                                     Cycle measuredCycles, double deadFrac,
+                                     const EnduranceConfig& cfg);
+
+/// Parses one "bank:set:way[:value]" fault spec (value required for the
+/// AtWrites/AtCycle triggers).  Returns false on malformed input.
+bool parseFaultSpec(const std::string& spec, ScheduledFault::Trigger trigger,
+                    ScheduledFault& out);
+
+}  // namespace renuca::rram

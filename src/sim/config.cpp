@@ -1,6 +1,7 @@
 #include "sim/config.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/log.hpp"
@@ -19,6 +20,33 @@ SystemConfig::SystemConfig() {
   l2.latency = 5;
   l2.occupancy = 2;
 }
+
+namespace {
+/// Parses a comma-separated list of "bank:set:way[:value]" fault specs.
+void parseFaultList(const KvConfig& kv, const std::string& key,
+                    rram::ScheduledFault::Trigger trigger,
+                    std::vector<rram::ScheduledFault>& out) {
+  auto s = kv.getString(key);
+  if (!s) return;
+  std::size_t pos = 0;
+  while (pos <= s->size()) {
+    std::size_t comma = s->find(',', pos);
+    std::string spec = comma == std::string::npos ? s->substr(pos)
+                                                  : s->substr(pos, comma - pos);
+    if (!spec.empty()) {
+      rram::ScheduledFault sf;
+      if (rram::parseFaultSpec(spec, trigger, sf)) {
+        out.push_back(sf);
+      } else {
+        logMessage(LogLevel::Warn, "config",
+                   key + ": malformed fault spec '" + spec + "' ignored");
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+}
+}  // namespace
 
 void SystemConfig::applyOverrides(const KvConfig& kv) {
   instrPerCore = static_cast<std::uint64_t>(kv.getOr("instr_per_core",
@@ -52,6 +80,70 @@ void SystemConfig::applyOverrides(const KvConfig& kv) {
       logMessage(LogLevel::Warn, "config", "unknown log_level '" + *p + "' ignored");
     }
   }
+
+  // Wear-out fault model keys.
+  fault.enabled = kv.getOr("fault_enabled", fault.enabled);
+  fault.seed = static_cast<std::uint64_t>(
+      kv.getOr("fault_seed", static_cast<std::int64_t>(fault.seed)));
+  fault.budgetWrites = kv.getOr("fault_budget_writes", fault.budgetWrites);
+  fault.sigma = kv.getOr("fault_sigma", fault.sigma);
+  fault.deadFrac = kv.getOr("fault_dead_frac", fault.deadFrac);
+  parseFaultList(kv, "fault_inject", rram::ScheduledFault::Trigger::Immediate,
+                 fault.schedule);
+  parseFaultList(kv, "fault_at_writes", rram::ScheduledFault::Trigger::AtWrites,
+                 fault.schedule);
+  parseFaultList(kv, "fault_at_cycle", rram::ScheduledFault::Trigger::AtCycle,
+                 fault.schedule);
+  // Any fault key implies the model is wanted.
+  if (kv.has("fault_budget_writes") || kv.has("fault_inject") ||
+      kv.has("fault_at_writes") || kv.has("fault_at_cycle")) {
+    if (!kv.has("fault_enabled")) fault.enabled = true;
+  }
+}
+
+const KeyRegistry& configKeyRegistry() {
+  static const KeyRegistry reg = [] {
+    KeyRegistry r;
+    const std::int64_t b1 = 1ll << 40;  // generous upper bounds for budgets
+    r.intKey("instr_per_core", 1, b1)
+        .intKey("warmup", 0, b1)
+        .intKey("prewarm", 0, b1)
+        .intKey("seed", 0, std::numeric_limits<std::int64_t>::max())
+        .stringKey("policy")
+        .doubleKey("threshold_pct", 0.0, 100.0)
+        .intKey("rob_entries", 1, 1 << 20)
+        .intKey("l2_kb", 1, 1 << 20)
+        .intKey("l3_bank_kb", 1, 1 << 22)
+        .intKey("cores", 1, 1024)
+        .intKey("cluster_size", 1, 1024)
+        .boolKey("force_predictor")
+        .intKey("epoch_instrs", 0, b1)
+        .stringKey("trace_json")
+        .intKey("trace_sample", 1, 1 << 30)
+        .stringKey("log_level")
+        .boolKey("fault_enabled")
+        .intKey("fault_seed", 0, std::numeric_limits<std::int64_t>::max())
+        .doubleKey("fault_budget_writes", 0.0, 1e15)
+        .doubleKey("fault_sigma", 0.0, 5.0)
+        .doubleKey("fault_dead_frac", 0.0, 1.0)
+        .stringKey("fault_inject")
+        .stringKey("fault_at_writes")
+        .stringKey("fault_at_cycle")
+        // Standard bench/example plumbing.
+        .stringKey("report_json")
+        .intKey("mixes", 1, 1 << 10)
+        .boolKey("strict");
+    return r;
+  }();
+  return reg;
+}
+
+std::vector<ConfigError> validateConfigKeys(const KvConfig& kv,
+                                            const std::vector<std::string>& extraKeys) {
+  if (extraKeys.empty()) return configKeyRegistry().validate(kv);
+  KeyRegistry r = configKeyRegistry();
+  for (const std::string& k : extraKeys) r.stringKey(k);
+  return r.validate(kv);
 }
 
 std::string SystemConfig::summary() const {

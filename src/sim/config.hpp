@@ -13,6 +13,7 @@
 #include "mem/cache.hpp"
 #include "noc/mesh.hpp"
 #include "rram/endurance.hpp"
+#include "rram/fault_model.hpp"
 #include "tlb/tlb.hpp"
 
 namespace renuca::sim {
@@ -50,6 +51,8 @@ struct SystemConfig {
 
   core::PolicyKind policy = core::PolicyKind::SNuca;
   core::CptConfig cpt;
+  /// Wear-out fault model (fault_*= keys); off by default.
+  rram::FaultConfig fault;
   /// R-NUCA / Re-NUCA cluster size n (paper: 4); power of two.
   std::uint32_t clusterSize = 4;
   /// Attach a CPT even when the policy does not need one (criticality
@@ -104,12 +107,24 @@ struct SystemConfig {
 
   /// Applies "key=value" overrides (instr_per_core, warmup, policy, seed,
   /// threshold_pct, rob_entries, l2_kb, l3_bank_kb, cluster_size, cores,
-  /// epoch_instrs, trace_json, trace_sample, log_level).
+  /// epoch_instrs, trace_json, trace_sample, log_level, fault_*).
   void applyOverrides(const KvConfig& kv);
 
   /// Human-readable Table-I-style summary printed by bench headers.
   std::string summary() const;
 };
+
+/// Registry of every key applyOverrides understands plus the standard
+/// bench/example keys (report_json, mixes, strict), with range rules.
+/// Drives validateConfigKeys.
+const KeyRegistry& configKeyRegistry();
+
+/// Validates `kv` against configKeyRegistry() plus any `extraKeys` a
+/// binary accepts on top (registered as free-form strings).  Unknown keys,
+/// unparsable values, and out-of-range numbers are all reported; callers
+/// decide whether to warn or abort (strict mode).
+std::vector<ConfigError> validateConfigKeys(const KvConfig& kv,
+                                            const std::vector<std::string>& extraKeys = {});
 
 /// Named presets from the paper's evaluation:
 SystemConfig defaultConfig();   ///< Table I ("Actual Results").

@@ -37,6 +37,13 @@ MemorySystem::MemorySystem(const SystemConfig& config)
     llc_.push_back(std::make_unique<mem::CacheBank>(llcCfg, "l3b" + std::to_string(b),
                                                     cfg_.seed * 139 + b));
   }
+  if (cfg_.fault.enabled) {
+    for (BankId b = 0; b < cfg_.l3.banks; ++b) {
+      faultModels_.push_back(std::make_unique<rram::BankFaultModel>(
+          cfg_.fault, b, llcCfg.numSets(), llcCfg.ways));
+      llc_[b]->setFaultModel(faultModels_[b].get());
+    }
+  }
 
   core::PolicyOptions opts;
   opts.clusterSize = cfg_.clusterSize;
@@ -84,6 +91,14 @@ void MemorySystem::registerMetrics(telemetry::MetricsRegistry& reg) {
     const mem::CacheBank* bank = llc_[b].get();
     reg.gauge("l3.b" + std::to_string(b) + ".writes",
               [bank] { return static_cast<double>(bank->totalWrites()); });
+  }
+  reg.gauge("l3.live_frac", [this] { return llcLiveFrameFrac(); });
+  if (!faultModels_.empty()) {
+    for (BankId b = 0; b < numBanks(); ++b) {
+      const mem::CacheBank* bank = llc_[b].get();
+      reg.gauge("l3.b" + std::to_string(b) + ".dead_frames",
+                [bank] { return static_cast<double>(bank->deadFrames()); });
+    }
   }
   reg.gauge("noc.packets",
             [this] { return static_cast<double>(mesh_.stats().get("packets")); });
@@ -175,14 +190,87 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
                       {"critical", critical ? 1 : 0}});
   }
 
-  if (!llc_[bank]->writebackHit(block)) {
+  if (llc_[bank]->writebackHit(block)) {
+    processFrameDeaths(bank, arrive);
+  } else if (!llc_[bank]->canAllocate(block)) {
+    // The set this block maps to has no live frames left: the write-back
+    // bypasses the dead set straight to DRAM.
+    stats_.inc("dead_set_bypasses");
+    Addr paddr = lineBase(block);
+    std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
+    Cycle memArrive = nocTraverse(bank, memNode(ch), arrive, mesh_.config().dataFlits);
+    dramAccess(paddr, AccessType::Write, memArrive);
+    ++*hot_.dramWritebacks;
+  } else {
     // Non-inclusive LLC: the victim was dropped from the LLC while the L2
     // still held it; the write-back (re-)allocates (writeback-allocate).
     ++*hot_.llcWbAllocates;
     mem::Eviction ev = llc_[bank]->insert(block, /*dirty=*/true);
     policy_->onFill(block, bank);
     evictFromLlc(bank, ev, arrive);
+    processFrameDeaths(bank, arrive);
   }
+}
+
+void MemorySystem::processFrameDeaths(BankId bank, Cycle now) {
+  if (faultModels_.empty()) return;
+  for (const mem::CacheBank::FrameDeath& death : llc_[bank]->harvestFrameDeaths()) {
+    handleFrameDeath(bank, death, now, /*injected=*/false);
+  }
+}
+
+void MemorySystem::handleFrameDeath(BankId bank, const mem::CacheBank::FrameDeath& death,
+                                    Cycle now, bool injected) {
+  stats_.inc("frame_deaths");
+  if (injected) stats_.inc("injected_faults");
+  if (death.hadLine) {
+    // The frame's resident line is lost (stuck-at cell): run the normal
+    // eviction bookkeeping so the policy/MBV state forgets it, and rescue
+    // dirty data to DRAM (detected by verify-after-write, re-homed by the
+    // controller before the frame is fenced off).
+    stats_.inc("fault_lines_lost");
+    if (death.dirty) stats_.inc("fault_dirty_rescues");
+    mem::Eviction ev;
+    ev.valid = true;
+    ev.block = death.block;
+    ev.dirty = death.dirty;
+    evictFromLlc(bank, ev, now);
+  }
+  if (tracer_ != nullptr && !warmupMode_) {
+    tracer_->instant("frame_death", "llc", kTracePidLlc, bank, now,
+                     {{"set", static_cast<std::int64_t>(death.set)},
+                      {"way", static_cast<std::int64_t>(death.way)},
+                      {"writes", static_cast<std::int64_t>(death.writes)},
+                      {"injected", injected ? 1 : 0}});
+  }
+  FaultEvent ev;
+  ev.cycle = now;
+  ev.bank = bank;
+  ev.set = death.set;
+  ev.way = death.way;
+  ev.writes = death.writes;
+  ev.injected = injected;
+  faultEvents_.push_back(ev);
+}
+
+bool MemorySystem::injectFault(BankId bank, std::uint32_t set, std::uint32_t way,
+                               Cycle now) {
+  RENUCA_ASSERT(bank < llc_.size(), "injectFault: bank out of range");
+  RENUCA_ASSERT(!faultModels_.empty(), "injectFault requires fault.enabled");
+  auto death = llc_[bank]->injectFault(set, way);
+  if (!death) return false;
+  handleFrameDeath(bank, *death, now, /*injected=*/true);
+  return true;
+}
+
+double MemorySystem::llcLiveFrameFrac() const {
+  std::uint64_t total = 0;
+  std::uint64_t dead = 0;
+  for (const auto& bank : llc_) {
+    total += bank->config().numFrames();
+    dead += bank->deadFrames();
+  }
+  return total != 0 ? 1.0 - static_cast<double>(dead) / static_cast<double>(total) : 1.0;
 }
 
 void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now) {
@@ -248,17 +336,23 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
                                   mesh_.config().controlFlits);
     Cycle dramDone = dramAccess(paddr, AccessType::Read, memArrive);
     core::MappingPolicy::Fill fill = policy_->placeFill(block, core, false);
-    ++*hot_.llcFills;
-    ++*hot_.llcFillsNonCritical;
-    ++*hot_.llcWritesNonCritical;
-    Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
-                                   mesh_.config().dataFlits);
-    Cycle fillStart = bankReserve(fill.bank, fillArrive);
-    mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false);
-    policy_->onFill(block, fill.bank);
-    fillWasCritical_[block] = false;
-    if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
-    evictFromLlc(fill.bank, llcEv, fillStart);
+    if (llc_[fill.bank]->canAllocate(block)) {
+      ++*hot_.llcFills;
+      ++*hot_.llcFillsNonCritical;
+      ++*hot_.llcWritesNonCritical;
+      Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
+                                     mesh_.config().dataFlits);
+      Cycle fillStart = bankReserve(fill.bank, fillArrive);
+      mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false);
+      policy_->onFill(block, fill.bank);
+      fillWasCritical_[block] = false;
+      if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
+      evictFromLlc(fill.bank, llcEv, fillStart);
+      processFrameDeaths(fill.bank, fillStart);
+    } else {
+      // Dead set in the chosen bank: prefetch straight into the L2 only.
+      stats_.inc("dead_set_bypasses");
+    }
   }
   mem::Eviction l2Ev = l2_[core]->insert(block, /*dirty=*/false);
   evictFromL2(core, l2Ev, now);
@@ -388,12 +482,22 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
       auto dirty = llc_[lookupBank]->invalidate(block);
       policy_->onEvict(block, lookupBank);
       core::MappingPolicy::Fill fill = policy_->placeFill(block, core, true);
-      if (!llc_[fill.bank]->contains(block)) {
+      if (!llc_[fill.bank]->canAllocate(block)) {
+        // Migration target set is fully dead: the line leaves the LLC (it
+        // was already dropped from the source bank); dirty data goes home.
+        stats_.inc("dead_set_bypasses");
+        fillWasCritical_.erase(block);
+        if (dirty.value_or(false)) {
+          dramAccess(lineBase(block), AccessType::Write, bankStart);
+          ++*hot_.dramWritebacks;
+        }
+      } else if (!llc_[fill.bank]->contains(block)) {
         mem::Eviction mev = llc_[fill.bank]->insert(block, dirty.value_or(false));
         policy_->onFill(block, fill.bank);
         fillWasCritical_[block] = true;
         tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
         evictFromLlc(fill.bank, mev, bankStart);
+        processFrameDeaths(fill.bank, bankStart);
         ++*hot_.warmMigrations;
       }
     }
@@ -420,22 +524,30 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
     // cannot stall the ROB head), so their fills always spread (paper §IV).
     bool fillCritical = type == AccessType::Read && critical;
     core::MappingPolicy::Fill fill = policy_->placeFill(block, core, fillCritical);
-    ++*hot_.llcFills;
-    if (!fillCritical) ++*hot_.llcFillsNonCritical;
-    ++*(fillCritical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
+    if (llc_[fill.bank]->canAllocate(block)) {
+      ++*hot_.llcFills;
+      if (!fillCritical) ++*hot_.llcFillsNonCritical;
+      ++*(fillCritical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
 
-    Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
-                                      mesh_.config().dataFlits);
-    Cycle fillStart = bankReserve(fill.bank, fillArrive);
-    mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false);
-    policy_->onFill(block, fill.bank);
-    fillWasCritical_[block] = fillCritical;
-    if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
-    evictFromLlc(fill.bank, llcEv, fillStart);
+      Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
+                                        mesh_.config().dataFlits);
+      Cycle fillStart = bankReserve(fill.bank, fillArrive);
+      mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false);
+      policy_->onFill(block, fill.bank);
+      fillWasCritical_[block] = fillCritical;
+      if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
+      evictFromLlc(fill.bank, llcEv, fillStart);
+      processFrameDeaths(fill.bank, fillStart);
 
-    // Fill-forward: the data packet continues to the core as the ReRAM
-    // write proceeds in the background.
-    dataAtCore = nocTraverse(fill.bank, core, fillArrive, mesh_.config().dataFlits);
+      // Fill-forward: the data packet continues to the core as the ReRAM
+      // write proceeds in the background.
+      dataAtCore = nocTraverse(fill.bank, core, fillArrive, mesh_.config().dataFlits);
+    } else {
+      // The chosen bank's set is fully dead: no LLC fill — DRAM serves the
+      // core directly (degraded-capacity bypass).
+      stats_.inc("dead_set_bypasses");
+      dataAtCore = nocTraverse(memNode(ch), core, dramDone, mesh_.config().dataFlits);
+    }
     *hot_.llcMissLatencySum += dataAtCore - issueAt;
     ++*hot_.llcMissLatencyCount;
     *hot_.llcMissPreBankSum += bankStart - issueAt;
@@ -508,6 +620,9 @@ void MemorySystem::resetMeasurement() {
   for (auto& c : l2_) c->stats().zero();
   std::fill(coreCounters_.begin(), coreCounters_.end(), CoreMemCounters{});
   stats_.zero();
+  // Fault events restart with the measurement window (dead frames persist
+  // inside the banks; only the log is windowed).
+  faultEvents_.clear();
 }
 
 std::string MemorySystem::checkInclusion() const {

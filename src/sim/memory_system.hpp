@@ -49,6 +49,16 @@ struct CoreMemCounters {
   std::uint64_t llcWritebacks = 0;  ///< Dirty L2 evictions sent to the LLC.
 };
 
+/// One LLC frame death (wear-out or injection), for the run report.
+struct FaultEvent {
+  Cycle cycle = 0;  ///< Absolute cycle (System rebases to the measurement window).
+  BankId bank = 0;
+  std::uint32_t set = 0;
+  std::uint32_t way = 0;
+  std::uint64_t writes = 0;   ///< Frame write count at death.
+  bool injected = false;      ///< true = injectFault, false = natural wear-out.
+};
+
 class MemorySystem final : public cpu::MemorySystem {
  public:
   explicit MemorySystem(const SystemConfig& config);
@@ -73,6 +83,20 @@ class MemorySystem final : public cpu::MemorySystem {
 
   /// Per-bank cumulative ReRAM writes (the Naive policy's oracle).
   std::uint64_t bankWrites(BankId b) const { return llc_[b]->totalWrites(); }
+
+  // --- Wear-out faults -----------------------------------------------------
+
+  /// Per-bank fault model; nullptr when the fault model is disabled.
+  const rram::BankFaultModel* faultModel(BankId b) const {
+    return faultModels_.empty() ? nullptr : faultModels_[b].get();
+  }
+  /// Deterministic injection: kills the frame now (eviction-style cleanup
+  /// included).  Returns false if the frame was already dead.
+  bool injectFault(BankId bank, std::uint32_t set, std::uint32_t way, Cycle now);
+  /// Frame deaths recorded since the last resetMeasurement().
+  const std::vector<FaultEvent>& faultEvents() const { return faultEvents_; }
+  /// Fraction of LLC frames still alive, over all banks.
+  double llcLiveFrameFrac() const;
 
   /// Fraction of LLC fills whose triggering access was predicted
   /// non-critical (Fig 8), and of LLC writes landing on non-critical
@@ -120,6 +144,12 @@ class MemorySystem final : public cpu::MemorySystem {
   /// Handles an LLC fill's victim: back-invalidation, MBV reset, policy
   /// notice, DRAM write-back.
   void evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now);
+  /// Drains and handles wear-out deaths queued by the bank's write path:
+  /// policy/MBV cleanup for the lost line, dirty-data rescue to DRAM, the
+  /// fault log, and tracer instants.  Call after any LLC write.
+  void processFrameDeaths(BankId bank, Cycle now);
+  void handleFrameDeath(BankId bank, const mem::CacheBank::FrameDeath& death,
+                        Cycle now, bool injected);
   /// Writes a dirty L1 victim into the L2 (repairing inclusion if needed).
   void writebackL1VictimToL2(CoreId core, BlockAddr block, Cycle now);
   /// Next-line prefetch: brings `vaddr`'s line into the L2 (and the LLC if
@@ -149,6 +179,8 @@ class MemorySystem final : public cpu::MemorySystem {
   std::vector<std::unique_ptr<mem::CacheBank>> l2_;
   noc::MeshNoc mesh_;
   std::vector<std::unique_ptr<mem::CacheBank>> llc_;
+  std::vector<std::unique_ptr<rram::BankFaultModel>> faultModels_;
+  std::vector<FaultEvent> faultEvents_;
   dram::DramController dram_;
   std::unique_ptr<core::MappingPolicy> policy_;
   std::unique_ptr<coherence::DirectoryMesi> directory_;

@@ -29,6 +29,14 @@ void writeConfigEcho(telemetry::JsonWriter& w, const SystemConfig& cfg) {
   w.kv("seed", cfg.seed);
   w.kv("epoch_instrs", cfg.epochInstrs);
   w.kv("trace_json", cfg.traceJsonPath);
+  w.kv("fault_enabled", cfg.fault.enabled);
+  if (cfg.fault.enabled) {
+    w.kv("fault_seed", cfg.fault.seed);
+    w.kv("fault_budget_writes", cfg.fault.budgetWrites);
+    w.kv("fault_sigma", cfg.fault.sigma);
+    w.kv("fault_dead_frac", cfg.fault.deadFrac);
+    w.kv("fault_scheduled", static_cast<std::uint64_t>(cfg.fault.schedule.size()));
+  }
   w.endObject();
 }
 
@@ -59,6 +67,26 @@ void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
   w.kv("non_critical_write_frac", r.nonCriticalWriteFrac);
   w.kv("avg_noc_latency_cycles", r.avgNocLatencyCycles);
   w.kv("dram_row_hit_rate", r.dramRowHitRate);
+
+  // v2 additions: graceful-degradation results (trivial when the fault
+  // model is off — no dead frames, full live capacity).
+  w.kvArray("bank_dead_frames", r.bankDeadFrames);
+  w.kv("live_capacity_frac", r.liveCapacityFrac);
+  w.kvArray("bank_degraded_lifetime_years", r.bankDegradedLifetimeYears);
+  w.kv("degraded_capacity_lifetime_years", r.degradedCapacityLifetimeYears);
+  w.key("fault_events");
+  w.beginArray();
+  for (const FaultEvent& ev : r.faultEvents) {
+    w.beginObject();
+    w.kv("cycle", static_cast<std::uint64_t>(ev.cycle));
+    w.kv("bank", static_cast<std::uint64_t>(ev.bank));
+    w.kv("set", static_cast<std::uint64_t>(ev.set));
+    w.kv("way", static_cast<std::uint64_t>(ev.way));
+    w.kv("writes", ev.writes);
+    w.kv("injected", ev.injected);
+    w.endObject();
+  }
+  w.endArray();
 
   if (!r.epochs.empty()) {
     w.key("epochs");
@@ -96,7 +124,7 @@ bool writeRunReport(const std::string& path, const std::string& benchName,
 
   telemetry::JsonWriter w(os);
   w.beginObject();
-  w.kv("schema", "renuca-run-report-v1");
+  w.kv("schema", "renuca-run-report-v2");
   w.kv("bench", benchName);
   w.kv("generated_unix", telemetry::unixTime());
   w.kv("host", telemetry::hostName());

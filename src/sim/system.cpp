@@ -150,6 +150,36 @@ RunResult System::run() {
   metrics_.clearSeries();
   const Cycle measureStart = now;
 
+  // ---- Scheduled fault injection. ----
+  // Immediate faults land at the start of the window; AtCycle faults are
+  // polled against window-relative time inside the loop.  (AtWrites faults
+  // live in the BankFaultModel's per-frame limits.)
+  std::vector<rram::ScheduledFault> atCycle;
+  if (cfg_.fault.enabled) {
+    const mem::CacheConfig& bankCfg = mem_->llcBank(0).config();
+    for (const rram::ScheduledFault& sf : cfg_.fault.schedule) {
+      if (sf.trigger == rram::ScheduledFault::Trigger::AtWrites) continue;
+      if (sf.bank >= mem_->numBanks() || sf.set >= bankCfg.numSets() ||
+          sf.way >= bankCfg.ways) {
+        logMessage(LogLevel::Warn, "fault",
+                   "scheduled fault outside LLC geometry ignored (bank " +
+                       std::to_string(sf.bank) + " set " + std::to_string(sf.set) +
+                       " way " + std::to_string(sf.way) + ")");
+        continue;
+      }
+      if (sf.trigger == rram::ScheduledFault::Trigger::Immediate) {
+        mem_->injectFault(sf.bank, sf.set, sf.way, now);
+      } else {
+        atCycle.push_back(sf);
+      }
+    }
+    std::sort(atCycle.begin(), atCycle.end(),
+              [](const rram::ScheduledFault& a, const rram::ScheduledFault& b) {
+                return a.value < b.value;
+              });
+  }
+  std::size_t nextFault = 0;
+
   // ---- Measurement window. ----
   // With epochInstrs set, every registered metric is snapshotted each time
   // all cores pass the next epoch boundary, building the run's time series
@@ -163,6 +193,11 @@ RunResult System::run() {
     }
     tickAll(now);
     now = nextCycle(now);
+    while (nextFault < atCycle.size() && now - measureStart >= atCycle[nextFault].value) {
+      const rram::ScheduledFault& sf = atCycle[nextFault];
+      mem_->injectFault(sf.bank, sf.set, sf.way, now);
+      ++nextFault;
+    }
     if (nextEpoch != 0 && nextEpoch <= cfg_.instrPerCore && allReached(nextEpoch)) {
       epochNow_ = now;
       metrics_.snapshot(now - measureStart, nextEpoch);
@@ -232,6 +267,30 @@ RunResult System::run() {
         bank.totalWrites(), bank.config().numFrames(), measuredCycles, cfg_.endurance));
     r.bankLifetimeYearsHotFrame.push_back(
         rram::bankLifetimeYears(bank.maxFrameWrites(), measuredCycles, cfg_.endurance));
+  }
+
+  if (cfg_.fault.enabled) {
+    std::vector<std::uint64_t> allWrites;
+    std::vector<double> allVariations;
+    for (BankId b = 0; b < mem_->numBanks(); ++b) {
+      const mem::CacheBank& bank = mem_->llcBank(b);
+      const rram::BankFaultModel* fm = mem_->faultModel(b);
+      r.bankDeadFrames.push_back(bank.deadFrames());
+      r.bankDegradedLifetimeYears.push_back(rram::degradedCapacityLifetimeYears(
+          bank.frameWrites(), fm->variations(), measuredCycles, cfg_.fault.deadFrac,
+          cfg_.endurance));
+      allWrites.insert(allWrites.end(), bank.frameWrites().begin(),
+                       bank.frameWrites().end());
+      allVariations.insert(allVariations.end(), fm->variations().begin(),
+                           fm->variations().end());
+    }
+    r.degradedCapacityLifetimeYears = rram::degradedCapacityLifetimeYears(
+        allWrites, allVariations, measuredCycles, cfg_.fault.deadFrac, cfg_.endurance);
+    r.liveCapacityFrac = mem_->llcLiveFrameFrac();
+    r.faultEvents = mem_->faultEvents();
+    for (FaultEvent& ev : r.faultEvents) {
+      ev.cycle = ev.cycle > measureStart ? ev.cycle - measureStart : 0;
+    }
   }
 
   r.avgNocLatencyCycles = mem_->mesh().avgPacketLatency();

@@ -53,6 +53,17 @@ struct RunResult {
   std::vector<double> bankLifetimeYears;          ///< Bank-level accounting (paper).
   std::vector<double> bankLifetimeYearsHotFrame;  ///< Hottest-frame bound (ablation).
 
+  // Wear-out faults and graceful degradation (fault model runs; empty /
+  // 1.0 / 0 otherwise).  Fault-event cycles are measurement-relative.
+  std::vector<std::uint32_t> bankDeadFrames;
+  double liveCapacityFrac = 1.0;        ///< Frames still usable at run end.
+  /// Degraded-capacity lifetime: time until fault.deadFrac of the frames
+  /// have exceeded their process-varied full-scale budgets, per bank and
+  /// pooled over the whole LLC.
+  std::vector<double> bankDegradedLifetimeYears;
+  double degradedCapacityLifetimeYears = 0.0;
+  std::vector<FaultEvent> faultEvents;
+
   // Criticality statistics.
   double nonCriticalLoadFrac = 0.0;  ///< Ground truth (Fig 5).
   double cptAccuracy = 0.0;          ///< Prediction-vs-outcome agreement.

@@ -10,6 +10,11 @@ namespace renuca::workload {
 namespace {
 
 constexpr std::size_t kRecordBytes = 18;  // 8 pc + 8 vaddr + 1 kind + 1 depDist
+constexpr std::size_t kHeaderBytes = 24;  // magic + version + record size + count
+constexpr char kMagic[8] = {'R', 'E', 'N', 'U', 'C', 'A', 'T', 'R'};
+constexpr std::uint32_t kTraceVersion = 2;
+constexpr unsigned char kMaxKind = static_cast<unsigned char>(InstrKind::Store);
+constexpr long kCountOffset = 16;  // header offset of the record count
 
 void encode(const TraceRecord& rec, unsigned char* buf) {
   std::memcpy(buf, &rec.pc, 8);
@@ -27,50 +32,202 @@ TraceRecord decode(const unsigned char* buf) {
   return rec;
 }
 
+void encodeHeader(std::uint64_t count, unsigned char* buf) {
+  std::memcpy(buf, kMagic, 8);
+  std::uint32_t version = kTraceVersion;
+  std::uint32_t recordBytes = kRecordBytes;
+  std::memcpy(buf + 8, &version, 4);
+  std::memcpy(buf + 12, &recordBytes, 4);
+  std::memcpy(buf + kCountOffset, &count, 8);
+}
+
 }  // namespace
 
-TraceWriter::TraceWriter(const std::string& path) {
+std::string toString(TraceError err) {
+  switch (err) {
+    case TraceError::None: return "none";
+    case TraceError::OpenFailed: return "open failed";
+    case TraceError::BadHeader: return "unsupported header";
+    case TraceError::TruncatedTail: return "truncated tail";
+    case TraceError::CountMismatch: return "record count mismatch";
+    case TraceError::BadKind: return "corrupt record (bad kind byte)";
+    case TraceError::IoFailed: return "I/O failure";
+  }
+  return "unknown";
+}
+
+TraceWriter::TraceWriter(const std::string& path) : path_(path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  RENUCA_ASSERT(f != nullptr, "cannot open trace for writing: " + path);
+  if (f == nullptr) {
+    error_ = TraceError::OpenFailed;
+    logMessage(LogLevel::Warn, "trace", "cannot open trace for writing: " + path);
+    return;
+  }
+  unsigned char hdr[kHeaderBytes];
+  encodeHeader(0, hdr);  // count patched on close
+  if (std::fwrite(hdr, 1, kHeaderBytes, f) != kHeaderBytes) {
+    error_ = TraceError::IoFailed;
+    logMessage(LogLevel::Warn, "trace", "cannot write trace header: " + path);
+    std::fclose(f);
+    return;
+  }
   file_ = f;
 }
 
-TraceWriter::~TraceWriter() {
-  if (file_) std::fclose(static_cast<std::FILE*>(file_));
-}
+TraceWriter::~TraceWriter() { close(); }
 
 void TraceWriter::append(const TraceRecord& rec) {
+  if (file_ == nullptr || error_ != TraceError::None) return;
   unsigned char buf[kRecordBytes];
   encode(rec, buf);
-  std::size_t n = std::fwrite(buf, 1, kRecordBytes, static_cast<std::FILE*>(file_));
-  RENUCA_ASSERT(n == kRecordBytes, "short write to trace file");
+  if (std::fwrite(buf, 1, kRecordBytes, static_cast<std::FILE*>(file_)) !=
+      kRecordBytes) {
+    error_ = TraceError::IoFailed;
+    logMessage(LogLevel::Warn, "trace",
+               "short write to trace file (disk full?): " + path_);
+    return;
+  }
   ++count_;
 }
 
-void TraceWriter::flush() { std::fflush(static_cast<std::FILE*>(file_)); }
+void TraceWriter::flush() {
+  if (file_ == nullptr) return;
+  if (std::fflush(static_cast<std::FILE*>(file_)) != 0 &&
+      error_ == TraceError::None) {
+    error_ = TraceError::IoFailed;
+    logMessage(LogLevel::Warn, "trace", "flush of trace file failed: " + path_);
+  }
+}
+
+bool TraceWriter::close() {
+  if (file_ == nullptr) return error_ == TraceError::None;
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  file_ = nullptr;
+  bool good = error_ == TraceError::None;
+
+  // Patch the real record count into the header.
+  if (good) {
+    if (std::fseek(f, kCountOffset, SEEK_SET) == 0) {
+      good = std::fwrite(&count_, 1, 8, f) == 8;
+    } else {
+      good = false;
+    }
+  }
+  if (std::fflush(f) != 0) good = false;
+  if (std::fclose(f) != 0) good = false;
+
+  if (!good) {
+    if (error_ == TraceError::None) error_ = TraceError::IoFailed;
+    logMessage(LogLevel::Warn, "trace",
+               "closing trace file failed (" + toString(error_) + "): " + path_);
+  }
+  return good;
+}
+
+void TraceReader::fail(TraceError err, const std::string& detail) {
+  if (error_ == TraceError::None) error_ = err;
+  logMessage(LogLevel::Warn, "trace", detail);
+}
 
 TraceReader::TraceReader(const std::string& path, bool wrapAround) : wrap_(wrapAround) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  RENUCA_ASSERT(f != nullptr, "cannot open trace for reading: " + path);
+  if (f == nullptr) {
+    exhausted_ = true;
+    fail(TraceError::OpenFailed, "cannot open trace for reading: " + path);
+    return;
+  }
   file_ = f;
+
+  std::uint64_t fileSize = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    long size = std::ftell(f);
+    if (size > 0) fileSize = static_cast<std::uint64_t>(size);
+  }
+  std::fseek(f, 0, SEEK_SET);
+
+  // Header probe; headerless legacy files (raw records) are still accepted.
+  std::uint64_t headerCount = 0;
+  bool haveHeader = false;
+  if (fileSize >= kHeaderBytes) {
+    unsigned char hdr[kHeaderBytes];
+    if (std::fread(hdr, 1, kHeaderBytes, f) == kHeaderBytes &&
+        std::memcmp(hdr, kMagic, 8) == 0) {
+      haveHeader = true;
+      std::uint32_t version = 0;
+      std::uint32_t recordBytes = 0;
+      std::memcpy(&version, hdr + 8, 4);
+      std::memcpy(&recordBytes, hdr + 12, 4);
+      std::memcpy(&headerCount, hdr + kCountOffset, 8);
+      if (version != kTraceVersion || recordBytes != kRecordBytes) {
+        exhausted_ = true;
+        fail(TraceError::BadHeader,
+             "unsupported trace format in " + path + " (version " +
+                 std::to_string(version) + ", record size " +
+                 std::to_string(recordBytes) + ")");
+        return;
+      }
+    }
+    if (!haveHeader) std::fseek(f, 0, SEEK_SET);
+  }
+  headerBytes_ = haveHeader ? kHeaderBytes : 0;
+  if (!haveHeader) {
+    logMessage(LogLevel::Warn, "trace",
+               "headerless legacy trace accepted: " + path);
+  }
+
+  const std::uint64_t payload = fileSize - headerBytes_;
+  records_ = payload / kRecordBytes;
+  strayTailBytes_ = payload % kRecordBytes;
+  if (strayTailBytes_ != 0) {
+    fail(TraceError::TruncatedTail,
+         "trace " + path + " has " + std::to_string(strayTailBytes_) +
+             " stray byte(s) past the last complete record (truncated write?); "
+             "ignoring them");
+  }
+  if (haveHeader && headerCount != records_) {
+    fail(TraceError::CountMismatch,
+         "trace " + path + " header promises " + std::to_string(headerCount) +
+             " record(s) but the file holds " + std::to_string(records_));
+  }
+  if (records_ == 0) exhausted_ = true;
 }
 
 TraceReader::~TraceReader() {
-  if (file_) std::fclose(static_cast<std::FILE*>(file_));
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
 }
 
 TraceRecord TraceReader::next() {
-  unsigned char buf[kRecordBytes];
+  if (exhausted_ || file_ == nullptr) {
+    exhausted_ = true;
+    return TraceRecord{};  // NOP filler after exhaustion
+  }
   std::FILE* f = static_cast<std::FILE*>(file_);
-  std::size_t n = std::fread(buf, 1, kRecordBytes, f);
-  if (n != kRecordBytes) {
+  if (posInFile_ == records_) {
+    // All complete records consumed (never reads into a stray tail).
     if (!wrap_) {
       exhausted_ = true;
-      return TraceRecord{};  // NOP filler after exhaustion
+      return TraceRecord{};
     }
-    std::rewind(f);
-    n = std::fread(buf, 1, kRecordBytes, f);
-    RENUCA_ASSERT(n == kRecordBytes, "trace file empty or truncated");
+    if (std::fseek(f, static_cast<long>(headerBytes_), SEEK_SET) != 0) {
+      exhausted_ = true;
+      fail(TraceError::IoFailed, "trace rewind failed");
+      return TraceRecord{};
+    }
+    posInFile_ = 0;
+  }
+  unsigned char buf[kRecordBytes];
+  if (std::fread(buf, 1, kRecordBytes, f) != kRecordBytes) {
+    exhausted_ = true;
+    fail(TraceError::IoFailed, "trace read failed mid-file");
+    return TraceRecord{};
+  }
+  ++posInFile_;
+  if (buf[16] > kMaxKind) {
+    exhausted_ = true;
+    fail(TraceError::BadKind,
+         "corrupt trace record (kind byte " + std::to_string(buf[16]) +
+             " out of range) at record " + std::to_string(posInFile_ - 1));
+    return TraceRecord{};
   }
   ++count_;
   return decode(buf);

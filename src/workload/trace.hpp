@@ -4,6 +4,14 @@
 // generator (no file involved), but traces can also be captured to disk and
 // replayed, which is how one would plug in real program traces (e.g. from a
 // PIN tool) instead of the synthetic SPEC models.
+//
+// File format (v2): a 24-byte header — 8-byte magic "RENUCATR", uint32
+// format version, uint32 record size, uint64 record count (patched on
+// close) — followed by fixed 18-byte little-endian records.  Headerless v1
+// files (raw records from older captures) are still accepted with a
+// warning.  Corruption is recoverable: the reader never aborts — open
+// failures, truncated tails, bad headers and out-of-range kind bytes all
+// surface through ok()/error() and leave the reader exhausted.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +45,22 @@ class InstructionSource {
   virtual bool exhausted() const { return false; }
 };
 
-/// Streaming binary trace writer (fixed 18-byte little-endian records).
+/// What went wrong with a trace file.  All conditions are recoverable —
+/// the reader serves the records it can and then reports exhaustion.
+enum class TraceError : std::uint8_t {
+  None,
+  OpenFailed,     ///< File could not be opened.
+  BadHeader,      ///< Magic matched but version/record size is unsupported.
+  TruncatedTail,  ///< Payload size not a multiple of the record size.
+  CountMismatch,  ///< Header record count disagrees with the file contents.
+  BadKind,        ///< Record with an out-of-range kind byte (corruption).
+  IoFailed,       ///< Read/write/flush/close failure (e.g. disk full).
+};
+std::string toString(TraceError err);
+
+/// Streaming binary trace writer.  Never aborts: a failed open or short
+/// write (disk full) flips the error state; close() reports whether
+/// everything — including the header patch, flush and fclose — succeeded.
 class TraceWriter {
  public:
   explicit TraceWriter(const std::string& path);
@@ -47,15 +70,25 @@ class TraceWriter {
 
   void append(const TraceRecord& rec);
   void flush();
+  /// Patches the header's record count, flushes and closes the file.
+  /// Returns false (and logs) if any write since open failed.  Idempotent;
+  /// the destructor calls it.
+  bool close();
+
+  bool ok() const { return error_ == TraceError::None; }
+  TraceError error() const { return error_; }
   std::uint64_t written() const { return count_; }
 
  private:
-  void* file_;  // std::FILE*
+  void* file_ = nullptr;  // std::FILE*
+  std::string path_;
+  TraceError error_ = TraceError::None;
   std::uint64_t count_ = 0;
 };
 
 /// Streaming binary trace reader; optionally wraps around at EOF so short
-/// traces can drive long simulations.
+/// traces can drive long simulations.  Corrupt or missing files leave the
+/// reader exhausted with error() set instead of aborting.
 class TraceReader : public InstructionSource {
  public:
   explicit TraceReader(const std::string& path, bool wrapAround = true);
@@ -65,12 +98,26 @@ class TraceReader : public InstructionSource {
 
   TraceRecord next() override;
   bool exhausted() const override { return exhausted_; }
+
+  bool ok() const { return error_ == TraceError::None; }
+  TraceError error() const { return error_; }
+  /// Complete records in the file (0 for unreadable files).
+  std::uint64_t fileRecords() const { return records_; }
+  /// Stray bytes past the last complete record (TruncatedTail).
+  std::uint64_t strayTailBytes() const { return strayTailBytes_; }
   std::uint64_t readCount() const { return count_; }
 
  private:
-  void* file_;  // std::FILE*
+  void fail(TraceError err, const std::string& detail);
+
+  void* file_ = nullptr;  // std::FILE*
   bool wrap_;
   bool exhausted_ = false;
+  TraceError error_ = TraceError::None;
+  std::uint64_t headerBytes_ = 0;  ///< 0 for legacy headerless files.
+  std::uint64_t records_ = 0;      ///< Complete records in the file.
+  std::uint64_t posInFile_ = 0;    ///< Records consumed since last rewind.
+  std::uint64_t strayTailBytes_ = 0;
   std::uint64_t count_ = 0;
 };
 

@@ -263,5 +263,43 @@ TEST(KvConfig, InvalidNumbersAreNullopt) {
   EXPECT_EQ(kv.getOr("x", std::int64_t{5}), 5);
 }
 
+TEST(KvConfig, RejectsNonFiniteAndOverflowingNumbers) {
+  KvConfig kv = KvConfig::fromString(
+      "a=inf\nb=-inf\nc=nan\nd=1e999\ne=99999999999999999999\nf=12x\ng=\n");
+  EXPECT_FALSE(kv.getDouble("a").has_value());  // inf spelling
+  EXPECT_FALSE(kv.getDouble("b").has_value());
+  EXPECT_FALSE(kv.getDouble("c").has_value());  // nan spelling
+  EXPECT_FALSE(kv.getDouble("d").has_value());  // overflow to +inf (ERANGE)
+  EXPECT_FALSE(kv.getInt("e").has_value());     // ERANGE saturation
+  EXPECT_FALSE(kv.getInt("f").has_value());     // trailing garbage
+  EXPECT_FALSE(kv.getInt("g").has_value());     // empty value
+  EXPECT_FALSE(kv.getDouble("g").has_value());
+}
+
+TEST(KeyRegistry, FlagsUnknownKeysWithSuggestion) {
+  KeyRegistry reg;
+  reg.intKey("instr_per_core", 1, 1 << 30).boolKey("strict");
+  KvConfig kv = KvConfig::fromString("instr_per_cor=100\n");  // typo
+  std::vector<ConfigError> errs = reg.validate(kv);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_EQ(errs[0].key, "instr_per_cor");
+  // The near-miss is suggested by name.
+  EXPECT_NE(errs[0].message.find("did you mean 'instr_per_core'"), std::string::npos);
+}
+
+TEST(KeyRegistry, EnforcesTypeAndRange) {
+  KeyRegistry reg;
+  reg.intKey("n", 1, 10).doubleKey("sigma", 0.0, 1.0).boolKey("flag");
+
+  EXPECT_TRUE(reg.validate(KvConfig::fromString("n=5\nsigma=0.3\nflag=yes\n")).empty());
+
+  // Out-of-range, unparsable, and non-finite values all surface.
+  EXPECT_EQ(reg.validate(KvConfig::fromString("n=11\n")).size(), 1u);
+  EXPECT_EQ(reg.validate(KvConfig::fromString("n=abc\n")).size(), 1u);
+  EXPECT_EQ(reg.validate(KvConfig::fromString("sigma=-0.1\n")).size(), 1u);
+  EXPECT_EQ(reg.validate(KvConfig::fromString("sigma=nan\n")).size(), 1u);
+  EXPECT_EQ(reg.validate(KvConfig::fromString("flag=maybe\n")).size(), 1u);
+}
+
 }  // namespace
 }  // namespace renuca

@@ -1,0 +1,352 @@
+// Wear-out fault model tests: deterministic per-frame budgets, the
+// degraded-capacity lifetime metric, graceful degradation inside
+// mem::CacheBank, and system-level fault reproducibility (same fault_seed=
+// gives the identical fault schedule and an identical run report modulo
+// timestamps).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "rram/fault_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workload/mixes.hpp"
+
+namespace renuca {
+namespace {
+
+using rram::BankFaultModel;
+using rram::FaultConfig;
+using rram::ScheduledFault;
+
+FaultConfig baseFaultCfg() {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 42;
+  cfg.budgetWrites = 100.0;
+  cfg.sigma = 0.15;
+  return cfg;
+}
+
+TEST(BankFaultModel, DeterministicForSameSeed) {
+  FaultConfig cfg = baseFaultCfg();
+  BankFaultModel a(cfg, /*bank=*/3, /*numSets=*/8, /*ways=*/4);
+  BankFaultModel b(cfg, /*bank=*/3, /*numSets=*/8, /*ways=*/4);
+  ASSERT_EQ(a.numFrames(), 32u);
+  EXPECT_EQ(a.variations(), b.variations());
+  for (std::uint32_t f = 0; f < a.numFrames(); ++f) {
+    EXPECT_EQ(a.writeLimit(f), b.writeLimit(f)) << "frame " << f;
+  }
+}
+
+TEST(BankFaultModel, DifferentSeedsAndBanksDiverge) {
+  FaultConfig cfg = baseFaultCfg();
+  BankFaultModel a(cfg, 0, 8, 4);
+  cfg.seed = 43;
+  BankFaultModel b(cfg, 0, 8, 4);
+  EXPECT_NE(a.variations(), b.variations());
+
+  cfg.seed = 42;
+  BankFaultModel c(cfg, 1, 8, 4);
+  EXPECT_NE(a.variations(), c.variations());
+}
+
+TEST(BankFaultModel, SigmaZeroMeansIdenticalCells) {
+  FaultConfig cfg = baseFaultCfg();
+  cfg.sigma = 0.0;
+  BankFaultModel m(cfg, 0, 4, 2);
+  for (std::uint32_t f = 0; f < m.numFrames(); ++f) {
+    EXPECT_DOUBLE_EQ(m.variation(f), 1.0);
+    EXPECT_EQ(m.writeLimit(f), 100u);
+  }
+}
+
+TEST(BankFaultModel, ZeroBudgetNeverWearsOutInWindow) {
+  FaultConfig cfg = baseFaultCfg();
+  cfg.budgetWrites = 0.0;
+  BankFaultModel m(cfg, 0, 4, 2);
+  for (std::uint32_t f = 0; f < m.numFrames(); ++f) {
+    EXPECT_EQ(m.writeLimit(f), BankFaultModel::kNoLimit);
+    EXPECT_GT(m.variation(f), 0.0);  // variation still drawn for the projection
+  }
+}
+
+TEST(BankFaultModel, AtWritesScheduleTightensLimit) {
+  FaultConfig cfg = baseFaultCfg();
+  cfg.sigma = 0.0;
+  ScheduledFault sf;
+  sf.bank = 2;
+  sf.set = 1;
+  sf.way = 3;
+  sf.trigger = ScheduledFault::Trigger::AtWrites;
+  sf.value = 7;
+  cfg.schedule.push_back(sf);
+
+  BankFaultModel hit(cfg, 2, 4, 4);
+  EXPECT_EQ(hit.writeLimit(1 * 4 + 3), 7u);
+  EXPECT_EQ(hit.writeLimit(0), 100u);  // other frames untouched
+
+  BankFaultModel miss(cfg, 1, 4, 4);  // schedule targets bank 2, not 1
+  EXPECT_EQ(miss.writeLimit(1 * 4 + 3), 100u);
+}
+
+TEST(FaultSpec, ParsesImmediateAndValuedTriggers) {
+  ScheduledFault out;
+  ASSERT_TRUE(rram::parseFaultSpec("3:12:7", ScheduledFault::Trigger::Immediate, out));
+  EXPECT_EQ(out.bank, 3u);
+  EXPECT_EQ(out.set, 12u);
+  EXPECT_EQ(out.way, 7u);
+
+  ASSERT_TRUE(rram::parseFaultSpec("0:5:1:900", ScheduledFault::Trigger::AtCycle, out));
+  EXPECT_EQ(out.trigger, ScheduledFault::Trigger::AtCycle);
+  EXPECT_EQ(out.value, 900u);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  ScheduledFault out;
+  // Missing value for a valued trigger.
+  EXPECT_FALSE(rram::parseFaultSpec("0:1:2", ScheduledFault::Trigger::AtWrites, out));
+  // Too many fields for Immediate.
+  EXPECT_FALSE(rram::parseFaultSpec("0:1:2:3", ScheduledFault::Trigger::Immediate, out));
+  EXPECT_FALSE(rram::parseFaultSpec("", ScheduledFault::Trigger::Immediate, out));
+  EXPECT_FALSE(rram::parseFaultSpec("a:b:c", ScheduledFault::Trigger::Immediate, out));
+  EXPECT_FALSE(rram::parseFaultSpec("1:2:", ScheduledFault::Trigger::Immediate, out));
+  EXPECT_FALSE(rram::parseFaultSpec("1:2:3x", ScheduledFault::Trigger::Immediate, out));
+}
+
+TEST(DegradedLifetime, MatchesHandComputedValue) {
+  rram::EnduranceConfig e;
+  e.writesPerCell = 1e6;
+  e.coreFreqHz = 1e9;
+  e.maxYears = 30.0;
+  const Cycle measured = 1'000'000'000;  // exactly one simulated second
+
+  // Frame 0 writes at 100/s: death at 1e6/100 = 1e4 seconds.  The other
+  // three frames never see writes, so they never die (maxYears).
+  std::vector<std::uint64_t> writes = {100, 0, 0, 0};
+
+  // deadFrac 0.1 -> k = 1: lifetime ends when the hot frame dies.
+  double y = rram::degradedCapacityLifetimeYears(writes, {}, measured, 0.1, e);
+  EXPECT_NEAR(y, 1e4 / rram::kSecondsPerYear, 1e-12);
+
+  // deadFrac 0.5 -> k = 2: the second death never happens.
+  y = rram::degradedCapacityLifetimeYears(writes, {}, measured, 0.5, e);
+  EXPECT_DOUBLE_EQ(y, e.maxYears);
+
+  // Process variation scales the budget of the hot frame.
+  std::vector<double> var = {2.0, 1.0, 1.0, 1.0};
+  y = rram::degradedCapacityLifetimeYears(writes, var, measured, 0.1, e);
+  EXPECT_NEAR(y, 2e4 / rram::kSecondsPerYear, 1e-12);
+}
+
+// --- CacheBank graceful degradation ---------------------------------------
+
+mem::CacheBank faultBank(const BankFaultModel& model, std::uint32_t ways = 2) {
+  mem::CacheConfig cc;
+  cc.sizeBytes = 64 * 16 * ways;  // 16 sets
+  cc.ways = ways;
+  cc.trackFrameWrites = true;
+  mem::CacheBank bank(cc, "faulty");
+  bank.setFaultModel(&model);
+  return bank;
+}
+
+TEST(CacheBankFaults, NaturalWearRequiresArming) {
+  FaultConfig cfg = baseFaultCfg();
+  cfg.sigma = 0.0;
+  cfg.budgetWrites = 3.0;
+  BankFaultModel model(cfg, 0, 16, 2);
+  mem::CacheBank bank = faultBank(model);
+
+  // Warm-up phase: budgets are not armed, so writes never kill frames.
+  ASSERT_FALSE(bank.faultArmed());
+  bank.insert(0x10, /*dirty=*/false);
+  for (int i = 0; i < 10; ++i) bank.access(0x10, AccessType::Write);
+  EXPECT_TRUE(bank.harvestFrameDeaths().empty());
+  EXPECT_EQ(bank.deadFrames(), 0u);
+
+  // resetMeasurement() arms the budgets against the zeroed counters.
+  bank.resetMeasurement();
+  ASSERT_TRUE(bank.faultArmed());
+  EXPECT_TRUE(bank.contains(0x10));  // contents survive the reset
+  for (int i = 0; i < 3; ++i) bank.access(0x10, AccessType::Write);
+  std::vector<mem::CacheBank::FrameDeath> deaths = bank.harvestFrameDeaths();
+  ASSERT_EQ(deaths.size(), 1u);
+  EXPECT_TRUE(deaths[0].hadLine);
+  EXPECT_EQ(deaths[0].block, 0x10u);
+  EXPECT_TRUE(deaths[0].dirty);
+  EXPECT_EQ(deaths[0].writes, 3u);
+  EXPECT_EQ(bank.deadFrames(), 1u);
+  EXPECT_FALSE(bank.contains(0x10));  // the dead frame's line is discarded
+}
+
+TEST(CacheBankFaults, InjectionWorksUnarmedAndIsPermanent) {
+  FaultConfig cfg = baseFaultCfg();
+  cfg.budgetWrites = 0.0;
+  BankFaultModel model(cfg, 0, 16, 2);
+  mem::CacheBank bank = faultBank(model);
+
+  // Block 0x20 maps to set 0 and fills way 0 of the empty bank.
+  bank.insert(0x20, /*dirty=*/true);
+  const std::uint32_t set = 0, way = 0;
+  auto death = bank.injectFault(set, way);
+  ASSERT_TRUE(death.has_value());
+  EXPECT_TRUE(death->hadLine);
+  EXPECT_EQ(death->block, 0x20u);
+  EXPECT_TRUE(death->dirty);
+  EXPECT_TRUE(bank.frameDead(set, way));
+  EXPECT_EQ(bank.deadFrames(), 1u);
+
+  // Re-injecting the same frame is a no-op.
+  EXPECT_FALSE(bank.injectFault(set, way).has_value());
+
+  // Wear-out is permanent: measurement resets keep the frame dead.
+  bank.resetMeasurement();
+  EXPECT_TRUE(bank.frameDead(set, way));
+  EXPECT_EQ(bank.deadFrames(), 1u);
+}
+
+TEST(CacheBankFaults, VictimSelectionSkipsDeadFrames) {
+  FaultConfig cfg = baseFaultCfg();
+  cfg.budgetWrites = 0.0;
+  BankFaultModel model(cfg, 0, 16, 2);
+  mem::CacheBank bank = faultBank(model);
+
+  // Kill way 0 of set 0, then stream blocks mapping to set 0: every fill
+  // must land in (and evict from) the surviving way.
+  ASSERT_TRUE(bank.injectFault(0, 0).has_value());
+  EXPECT_EQ(bank.liveWaysFor(0), 1u);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    BlockAddr block = i * 16;  // 16 sets -> all map to set 0
+    bank.insert(block, false);
+    EXPECT_TRUE(bank.contains(block));
+    EXPECT_TRUE(bank.frameDead(0, 0));
+  }
+  // Only the live way holds a line.
+  EXPECT_EQ(bank.validLines(), 1u);
+}
+
+TEST(CacheBankFaults, FullyDeadSetBlocksAllocation) {
+  FaultConfig cfg = baseFaultCfg();
+  cfg.budgetWrites = 0.0;
+  BankFaultModel model(cfg, 0, 16, 2);
+  mem::CacheBank bank = faultBank(model);
+
+  ASSERT_TRUE(bank.injectFault(5, 0).has_value());
+  ASSERT_TRUE(bank.injectFault(5, 1).has_value());
+  BlockAddr inSet5 = 5;  // set = block % 16
+  EXPECT_EQ(bank.liveWaysFor(inSet5), 0u);
+  EXPECT_FALSE(bank.canAllocate(inSet5));
+  EXPECT_TRUE(bank.canAllocate(inSet5 + 1));  // neighbouring set unaffected
+  EXPECT_DOUBLE_EQ(bank.liveFrameFrac(), 1.0 - 2.0 / 32.0);
+}
+
+// --- System-level determinism ----------------------------------------------
+
+sim::SystemConfig smallFaultyConfig() {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.instrPerCore = 4000;
+  cfg.warmupInstrPerCore = 1500;
+  cfg.prewarmInstrPerCore = 30000;
+  cfg.placementRefreshInstrPerCore = 0;
+  cfg.l3.bankBytes = 32 * 1024;  // tiny banks so in-window wear-out happens
+  cfg.fault.enabled = true;
+  cfg.fault.seed = 7;
+  cfg.fault.budgetWrites = 3.0;
+  cfg.fault.sigma = 0.15;
+  cfg.fault.deadFrac = 0.10;
+  return cfg;
+}
+
+std::string reportWithoutTimestamps(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream kept;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"generated_unix\"") != std::string::npos) continue;
+    if (line.find("\"host\"") != std::string::npos) continue;
+    if (line.find("\"wall_seconds\"") != std::string::npos) continue;
+    kept << line << '\n';
+  }
+  return kept.str();
+}
+
+TEST(FaultDeterminism, SameSeedSameScheduleAndReport) {
+  sim::SystemConfig cfg = smallFaultyConfig();
+  const workload::WorkloadMix& mix = workload::standardMixes()[0];
+
+  sim::RunResult r1 = sim::runWorkload(cfg, mix);
+  sim::RunResult r2 = sim::runWorkload(cfg, mix);
+
+  // The fault schedule itself must reproduce bit-for-bit.
+  ASSERT_FALSE(r1.faultEvents.empty());
+  ASSERT_EQ(r1.faultEvents.size(), r2.faultEvents.size());
+  for (std::size_t i = 0; i < r1.faultEvents.size(); ++i) {
+    EXPECT_EQ(r1.faultEvents[i].cycle, r2.faultEvents[i].cycle) << i;
+    EXPECT_EQ(r1.faultEvents[i].bank, r2.faultEvents[i].bank) << i;
+    EXPECT_EQ(r1.faultEvents[i].set, r2.faultEvents[i].set) << i;
+    EXPECT_EQ(r1.faultEvents[i].way, r2.faultEvents[i].way) << i;
+    EXPECT_EQ(r1.faultEvents[i].writes, r2.faultEvents[i].writes) << i;
+    EXPECT_EQ(r1.faultEvents[i].injected, r2.faultEvents[i].injected) << i;
+  }
+  EXPECT_EQ(r1.bankDeadFrames, r2.bankDeadFrames);
+  EXPECT_DOUBLE_EQ(r1.liveCapacityFrac, r2.liveCapacityFrac);
+  EXPECT_DOUBLE_EQ(r1.degradedCapacityLifetimeYears, r2.degradedCapacityLifetimeYears);
+
+  // And the full run report must be identical modulo timestamps/host.
+  std::string p1 = ::testing::TempDir() + "/renuca_fault_det_1.json";
+  std::string p2 = ::testing::TempDir() + "/renuca_fault_det_2.json";
+  ASSERT_TRUE(sim::writeRunReport(p1, "fault_det", cfg, {{"run", r1}}, 0.0));
+  ASSERT_TRUE(sim::writeRunReport(p2, "fault_det", cfg, {{"run", r2}}, 0.0));
+  EXPECT_EQ(reportWithoutTimestamps(p1), reportWithoutTimestamps(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(FaultDeterminism, DifferentSeedChangesSchedule) {
+  sim::SystemConfig cfg = smallFaultyConfig();
+  const workload::WorkloadMix& mix = workload::standardMixes()[0];
+  sim::RunResult r1 = sim::runWorkload(cfg, mix);
+  cfg.fault.seed = 8;
+  sim::RunResult r2 = sim::runWorkload(cfg, mix);
+
+  ASSERT_FALSE(r1.faultEvents.empty());
+  bool differ = r1.faultEvents.size() != r2.faultEvents.size();
+  for (std::size_t i = 0; !differ && i < r1.faultEvents.size(); ++i) {
+    differ = r1.faultEvents[i].cycle != r2.faultEvents[i].cycle ||
+             r1.faultEvents[i].set != r2.faultEvents[i].set ||
+             r1.faultEvents[i].way != r2.faultEvents[i].way;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultInjection, ScheduledImmediateFaultShowsUpInResult) {
+  sim::SystemConfig cfg = smallFaultyConfig();
+  cfg.fault.budgetWrites = 0.0;  // only the scheduled fault fires
+  ScheduledFault sf;
+  sf.bank = 4;
+  sf.set = 2;
+  sf.way = 1;
+  sf.trigger = ScheduledFault::Trigger::Immediate;
+  cfg.fault.schedule.push_back(sf);
+
+  sim::RunResult r = sim::runWorkload(cfg, workload::standardMixes()[0]);
+  ASSERT_EQ(r.faultEvents.size(), 1u);
+  EXPECT_TRUE(r.faultEvents[0].injected);
+  EXPECT_EQ(r.faultEvents[0].bank, 4u);
+  EXPECT_EQ(r.faultEvents[0].set, 2u);
+  EXPECT_EQ(r.faultEvents[0].way, 1u);
+  EXPECT_EQ(r.faultEvents[0].cycle, 0u);  // measurement-relative
+  ASSERT_EQ(r.bankDeadFrames.size(), 16u);
+  EXPECT_EQ(r.bankDeadFrames[4], 1u);
+  EXPECT_LT(r.liveCapacityFrac, 1.0);
+}
+
+}  // namespace
+}  // namespace renuca

@@ -3,7 +3,11 @@
 // round-trips, and workload-mix construction.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -217,6 +221,154 @@ TEST(Trace, WrapAroundRepeats) {
     TraceRecord r = reader.next();
     EXPECT_EQ(r.pc, 0x1234u);
     EXPECT_FALSE(reader.exhausted());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, HeaderCarriesVersionAndCount) {
+  std::string path = ::testing::TempDir() + "/renuca_trace_header.bin";
+  {
+    TraceWriter writer(path);
+    TraceRecord r;
+    r.kind = InstrKind::Store;
+    for (int i = 0; i < 3; ++i) writer.append(r);
+    EXPECT_TRUE(writer.close());
+  }
+  // 24-byte header: magic, version, record size, record count (patched on
+  // close).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  unsigned char hdr[24];
+  ASSERT_EQ(std::fread(hdr, 1, sizeof hdr, f), sizeof hdr);
+  std::fclose(f);
+  EXPECT_EQ(std::memcmp(hdr, "RENUCATR", 8), 0);
+  std::uint32_t version, recordBytes;
+  std::uint64_t count;
+  std::memcpy(&version, hdr + 8, 4);
+  std::memcpy(&recordBytes, hdr + 12, 4);
+  std::memcpy(&count, hdr + 16, 8);
+  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(recordBytes, 18u);
+  EXPECT_EQ(count, 3u);
+
+  TraceReader reader(path, /*wrapAround=*/false);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.fileRecords(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, MissingFileIsRecoverable) {
+  TraceReader reader(::testing::TempDir() + "/renuca_no_such_trace.bin");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error(), TraceError::OpenFailed);
+  EXPECT_TRUE(reader.exhausted());
+  reader.next();  // must not abort
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Trace, TruncatedTailServesCompleteRecords) {
+  std::string path = ::testing::TempDir() + "/renuca_trace_trunc.bin";
+  TraceRecord r;
+  r.pc = 0x42;
+  r.kind = InstrKind::Load;
+  r.vaddr = 0x1000;
+  {
+    TraceWriter writer(path);
+    writer.append(r);
+    writer.append(r);
+    ASSERT_TRUE(writer.close());
+  }
+  // Chop the file mid-record: 24-byte header + 1 full record + 7 stray
+  // bytes of the second.
+  ASSERT_EQ(::truncate(path.c_str(), 24 + 18 + 7), 0);
+
+  TraceReader reader(path, /*wrapAround=*/false);
+  EXPECT_EQ(reader.error(), TraceError::TruncatedTail);
+  EXPECT_EQ(reader.fileRecords(), 1u);
+  EXPECT_EQ(reader.strayTailBytes(), 7u);
+  EXPECT_EQ(reader.next(), r);  // the intact record still replays
+  reader.next();
+  EXPECT_TRUE(reader.exhausted());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, BadKindByteStopsReplayWithoutAbort) {
+  std::string path = ::testing::TempDir() + "/renuca_trace_badkind.bin";
+  TraceRecord r;
+  r.kind = InstrKind::Alu;
+  {
+    TraceWriter writer(path);
+    writer.append(r);
+    writer.append(r);
+    ASSERT_TRUE(writer.close());
+  }
+  // Corrupt the second record's kind byte (offset 16 inside the record).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 24 + 18 + 16, SEEK_SET), 0);
+  unsigned char bad = 0x7f;
+  ASSERT_EQ(std::fwrite(&bad, 1, 1, f), 1u);
+  std::fclose(f);
+
+  TraceReader reader(path, /*wrapAround=*/false);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.next(), r);
+  reader.next();  // hits the corrupt record
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(reader.error(), TraceError::BadKind);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, HeaderCountMismatchIsFlagged) {
+  std::string path = ::testing::TempDir() + "/renuca_trace_count.bin";
+  TraceRecord r;
+  {
+    TraceWriter writer(path);
+    writer.append(r);
+    writer.append(r);
+    ASSERT_TRUE(writer.close());
+  }
+  // Lie in the header: claim 5 records while the payload holds 2.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 16, SEEK_SET), 0);
+  std::uint64_t wrong = 5;
+  ASSERT_EQ(std::fwrite(&wrong, 1, sizeof wrong, f), sizeof wrong);
+  std::fclose(f);
+
+  TraceReader reader(path, /*wrapAround=*/false);
+  EXPECT_EQ(reader.error(), TraceError::CountMismatch);
+  EXPECT_EQ(reader.fileRecords(), 2u);  // payload wins over the header
+  reader.next();
+  reader.next();
+  reader.next();
+  EXPECT_TRUE(reader.exhausted());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LegacyHeaderlessFileStillReplays) {
+  std::string path = ::testing::TempDir() + "/renuca_trace_legacy.bin";
+  // Hand-write a headerless v1 file: one raw 18-byte record.
+  TraceRecord r;
+  r.pc = 0xabcd;
+  r.vaddr = 0x2000;
+  r.kind = InstrKind::Store;
+  r.depDist = 3;
+  unsigned char buf[18];
+  std::memcpy(buf, &r.pc, 8);
+  std::memcpy(buf + 8, &r.vaddr, 8);
+  buf[16] = static_cast<unsigned char>(r.kind);
+  buf[17] = r.depDist;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(buf, 1, sizeof buf, f), sizeof buf);
+  std::fclose(f);
+
+  TraceReader reader(path, /*wrapAround=*/true);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.fileRecords(), 1u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(reader.next(), r);  // wraps without re-reading a header
   }
   std::remove(path.c_str());
 }

@@ -34,6 +34,11 @@ int main(int argc, char** argv) {
 
   workload::SyntheticGenerator gen(workload::profileByName(app), seed);
   workload::TraceWriter writer(out);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                 workload::toString(writer.error()).c_str());
+    return 1;
+  }
   std::uint64_t loads = 0, stores = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     workload::TraceRecord rec = gen.next();
@@ -41,7 +46,11 @@ int main(int argc, char** argv) {
     stores += rec.kind == InstrKind::Store;
     writer.append(rec);
   }
-  writer.flush();
+  if (!writer.close()) {
+    std::fprintf(stderr, "trace write to %s failed: %s\n", out.c_str(),
+                 workload::toString(writer.error()).c_str());
+    return 1;
+  }
   std::printf("%s: wrote %llu records to %s (%llu loads, %llu stores, %.1f MB)\n",
               app.c_str(), static_cast<unsigned long long>(writer.written()),
               out.c_str(), static_cast<unsigned long long>(loads),

@@ -23,6 +23,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(kv.getOr("limit", std::int64_t{0}));
 
   workload::TraceReader reader(kv.positional()[0], /*wrapAround=*/false);
+  if (reader.error() == workload::TraceError::OpenFailed ||
+      reader.error() == workload::TraceError::BadHeader) {
+    std::fprintf(stderr, "cannot read %s: %s\n", kv.positional()[0].c_str(),
+                 workload::toString(reader.error()).c_str());
+    return 1;
+  }
   std::uint64_t n = 0, loads = 0, stores = 0, deps = 0;
   std::set<std::uint64_t> pcs;
   std::set<std::uint64_t> pages;
@@ -45,6 +51,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("records        : %llu\n", static_cast<unsigned long long>(n));
+  if (!reader.ok()) {
+    std::printf("file damage    : %s (%llu stray tail byte(s))\n",
+                workload::toString(reader.error()).c_str(),
+                static_cast<unsigned long long>(reader.strayTailBytes()));
+  }
   std::printf("loads / stores : %.1f%% / %.1f%%\n", 100.0 * loads / n, 100.0 * stores / n);
   std::printf("dependent ops  : %.1f%%\n", 100.0 * deps / n);
   std::printf("distinct PCs   : %zu\n", pcs.size());
