@@ -15,24 +15,6 @@ struct Variant {
   sim::SystemConfig cfg;
 };
 
-void report(const Variant& v, const std::vector<workload::WorkloadMix>& mixes,
-            TextTable& t, BenchSession& session) {
-  rram::LifetimeAggregator agg(16);
-  rram::LifetimeAggregator hotAgg(16);
-  double ipc = 0;
-  for (const auto& mix : mixes) {
-    sim::RunResult r = sim::runWorkload(v.cfg, mix);
-    agg.addRun(r.bankLifetimeYears);
-    hotAgg.addRun(r.bankLifetimeYearsHotFrame);
-    ipc += r.systemIpc;
-    session.add(v.name + "/" + mix.name, std::move(r));
-  }
-  t.addRow({v.name, TextTable::num(agg.rawMinimum(), 2),
-            TextTable::num(agg.harmonicOverall(), 2),
-            TextTable::num(hotAgg.rawMinimum(), 3),
-            TextTable::num(ipc / mixes.size(), 2)});
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,7 +26,6 @@ int main(int argc, char** argv) {
 
   std::vector<Variant> variants;
   variants.push_back({"Re-NUCA (paper defaults)", base});
-
   {
     Variant v{"first-touch = critical", base};
     v.cfg.cpt.coldPredictsCritical = true;
@@ -60,23 +41,17 @@ int main(int argc, char** argv) {
     v.cfg.clusterSize = 8;
     variants.push_back(v);
   }
-
-  TextTable t({"variant", "raw min (y)", "h-mean (y)", "hot-frame min (y)",
-               "mean system IPC"});
-  for (const Variant& v : variants) report(v, mixes, t, session);
-
-  // Inclusive-LLC variant.
   {
     Variant v{"inclusive LLC", base};
     v.cfg.inclusiveLlc = true;
-    report(v, mixes, t, session);
+    variants.push_back(v);
   }
   // EqualChance intra-set wear leveling stacked on Re-NUCA (§VI claims
   // the techniques compose; the hot-frame column is where it shows).
   {
     Variant v{"+ EqualChance (every 4th fill)", base};
     v.cfg.l3.equalChanceEvery = 4;
-    report(v, mixes, t, session);
+    variants.push_back(v);
   }
   // Next-line L2 prefetching: helps streaming IPC, but every prefetch
   // fill is another ReRAM write — a wear/performance trade the paper's
@@ -84,7 +59,35 @@ int main(int argc, char** argv) {
   {
     Variant v{"+ L2 next-line prefetch", base};
     v.cfg.l2PrefetchDegree = 1;
-    report(v, mixes, t, session);
+    variants.push_back(v);
+  }
+
+  // All (variant x mix) runs are independent: one plan, one parallel pass.
+  sim::SweepPlan plan;
+  for (const Variant& v : variants) {
+    for (const auto& mix : mixes) {
+      plan.add(sim::Job{v.name + "/" + mix.name, v.cfg, mix});
+    }
+  }
+  std::vector<sim::RunResult> results = runJobs(kv, plan, &session);
+
+  TextTable t({"variant", "raw min (y)", "h-mean (y)", "hot-frame min (y)",
+               "mean system IPC"});
+  std::size_t i = 0;
+  for (const Variant& v : variants) {
+    rram::LifetimeAggregator agg(16);
+    rram::LifetimeAggregator hotAgg(16);
+    double ipc = 0;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      const sim::RunResult& r = results[i++];
+      agg.addRun(r.bankLifetimeYears);
+      hotAgg.addRun(r.bankLifetimeYearsHotFrame);
+      ipc += r.systemIpc;
+    }
+    t.addRow({v.name, TextTable::num(agg.rawMinimum(), 2),
+              TextTable::num(agg.harmonicOverall(), 2),
+              TextTable::num(hotAgg.rawMinimum(), 3),
+              TextTable::num(ipc / mixes.size(), 2)});
   }
 
   std::printf("%s", t.toString().c_str());

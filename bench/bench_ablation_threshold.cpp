@@ -15,31 +15,37 @@ int main(int argc, char** argv) {
   BenchSession session(kv, "ablation_threshold", cfg);
   auto mixes = benchMixes(kv);
 
-  // S-NUCA reference for IPC normalization.
+  // One plan: the S-NUCA reference runs plus every (threshold x mix) run.
+  sim::SweepPlan plan;
   sim::SystemConfig snucaCfg = cfg;
   snucaCfg.policy = core::PolicyKind::SNuca;
-  double snucaIpc = 0;
-  std::vector<sim::RunResult> snucaRuns;
   for (const auto& mix : mixes) {
-    snucaRuns.push_back(sim::runWorkload(snucaCfg, mix));
-    snucaIpc += snucaRuns.back().systemIpc;
-    session.add("SNuca/" + mix.name, snucaRuns.back());
+    plan.add(sim::Job{"SNuca/" + mix.name, snucaCfg, mix});
   }
+  for (double x : thresholdSweep()) {
+    sim::SystemConfig c = cfg;
+    c.cpt.thresholdPct = x;
+    for (const auto& mix : mixes) {
+      plan.add(sim::Job{"x" + TextTable::num(x, 0) + "/" + mix.name, c, mix});
+    }
+  }
+  std::vector<sim::RunResult> results = runJobs(kv, plan, &session);
+
+  double snucaIpc = 0;
+  std::size_t i = 0;
+  for (std::size_t m = 0; m < mixes.size(); ++m) snucaIpc += results[i++].systemIpc;
   snucaIpc /= mixes.size();
 
   TextTable t({"threshold", "raw min (y)", "h-mean (y)", "IPC vs S-NUCA",
                "critical fills"});
   for (double x : thresholdSweep()) {
-    sim::SystemConfig c = cfg;
-    c.cpt.thresholdPct = x;
     rram::LifetimeAggregator agg(16);
     double ipc = 0, critFills = 0;
-    for (const auto& mix : mixes) {
-      sim::RunResult r = sim::runWorkload(c, mix);
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      const sim::RunResult& r = results[i++];
       agg.addRun(r.bankLifetimeYears);
       ipc += r.systemIpc;
       critFills += 1.0 - r.nonCriticalFillFrac;
-      session.add("x" + TextTable::num(x, 0) + "/" + mix.name, std::move(r));
     }
     ipc /= mixes.size();
     t.addRow({TextTable::num(x, 0) + "%",

@@ -15,8 +15,7 @@ int main(int argc, char** argv) {
       core::PolicyKind::SNuca, core::PolicyKind::RNuca, core::PolicyKind::Private,
       core::PolicyKind::ReNuca};
   BenchSession session(kv, "fig11_ipc_improvement", cfg);
-  sim::PolicySweep sweep = sim::sweepPolicies(cfg, policies, benchMixes(kv));
-  session.addSweep(sweep);
+  sim::PolicySweep sweep = runPolicySweep(kv, cfg, policies, session);
   printIpcImprovements(sweep);
   std::printf("\npaper averages: R-NUCA +4.7%%, Private +8%%, Re-NUCA +5.2%%.\n");
 

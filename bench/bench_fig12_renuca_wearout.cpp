@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::defaultConfig();
   KvConfig kv = setup(argc, argv, "Fig 12: Re-NUCA wear-leveling", cfg);
   BenchSession session(kv, "fig12_renuca_wearout", cfg);
-  sim::PolicySweep sweep = sim::sweepPolicies(cfg, sim::allPolicies(), benchMixes(kv));
-  session.addSweep(sweep);
+  sim::PolicySweep sweep = runPolicySweep(kv, cfg, sim::allPolicies(), session);
   printLifetimeBars(sweep);
 
   double re = sweep.rawMinLifetime(sweep.indexOf(core::PolicyKind::ReNuca));

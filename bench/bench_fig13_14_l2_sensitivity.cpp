@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::l2Small();
   KvConfig kv = setup(argc, argv, "Figs 13/14: L2 = 128 KB sensitivity", cfg);
   BenchSession session(kv, "fig13_14_l2_sensitivity", cfg);
-  sim::PolicySweep sweep = sim::sweepPolicies(cfg, sim::allPolicies(), benchMixes(kv));
-  session.addSweep(sweep);
+  sim::PolicySweep sweep = runPolicySweep(kv, cfg, sim::allPolicies(), session);
 
   std::printf("--- Fig 13: per-bank harmonic lifetimes ---\n");
   printLifetimeBars(sweep);

@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::l3Small();
   KvConfig kv = setup(argc, argv, "Figs 15/16: L3 bank = 1 MB sensitivity", cfg);
   BenchSession session(kv, "fig15_16_l3_sensitivity", cfg);
-  sim::PolicySweep sweep = sim::sweepPolicies(cfg, sim::allPolicies(), benchMixes(kv));
-  session.addSweep(sweep);
+  sim::PolicySweep sweep = runPolicySweep(kv, cfg, sim::allPolicies(), session);
 
   std::printf("--- Fig 15: per-bank harmonic lifetimes ---\n");
   printLifetimeBars(sweep);

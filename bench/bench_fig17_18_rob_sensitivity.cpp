@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::robLarge();
   KvConfig kv = setup(argc, argv, "Figs 17/18: ROB = 168 entries sensitivity", cfg);
   BenchSession session(kv, "fig17_18_rob_sensitivity", cfg);
-  sim::PolicySweep sweep = sim::sweepPolicies(cfg, sim::allPolicies(), benchMixes(kv));
-  session.addSweep(sweep);
+  sim::PolicySweep sweep = runPolicySweep(kv, cfg, sim::allPolicies(), session);
 
   std::printf("--- Fig 17: per-bank harmonic lifetimes ---\n");
   printLifetimeBars(sweep);

@@ -14,8 +14,7 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::defaultConfig();
   KvConfig kv = setup(argc, argv, "Fig 3: harmonic-mean lifetime, baseline schemes", cfg);
   BenchSession session(kv, "fig3_lifetime_baselines", cfg);
-  sim::PolicySweep sweep = sim::sweepPolicies(cfg, sim::baselinePolicies(), benchMixes(kv));
-  session.addSweep(sweep);
+  sim::PolicySweep sweep = runPolicySweep(kv, cfg, sim::baselinePolicies(), session);
   printLifetimeBars(sweep);
 
   std::printf("\npaper reference (raw minimum, years): Naive 4.95, S-NUCA 3.37, "

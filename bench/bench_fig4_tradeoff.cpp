@@ -15,8 +15,7 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::defaultConfig();
   KvConfig kv = setup(argc, argv, "Fig 4(b): lifetime vs performance trade-off", cfg);
   BenchSession session(kv, "fig4_tradeoff", cfg);
-  sim::PolicySweep sweep = sim::sweepPolicies(cfg, sim::allPolicies(), benchMixes(kv));
-  session.addSweep(sweep);
+  sim::PolicySweep sweep = runPolicySweep(kv, cfg, sim::allPolicies(), session);
 
   TextTable t({"scheme", "mean system IPC", "h-mean lifetime (y)", "raw min (y)"});
   for (std::size_t p = 0; p < sweep.policies.size(); ++p) {

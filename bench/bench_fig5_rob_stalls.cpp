@@ -5,29 +5,30 @@
 #include "workload/app_profile.hpp"
 
 using namespace renuca;
+using namespace renuca::bench;
 
 int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::singleCore();
   cfg.instrPerCore = 40000;
   cfg.warmupInstrPerCore = 10000;
-  KvConfig kv = KvConfig::fromArgs(argc, argv);
-  cfg.applyOverrides(kv);
-  std::printf("== Fig 5: non-critical loads per application ==\n");
-  std::printf("config: %s\n\n", cfg.summary().c_str());
-  bench::BenchSession session(kv, "fig5_rob_stalls", cfg);
+  KvConfig kv = setup(argc, argv, "Fig 5: non-critical loads per application", cfg,
+                      {}, /*benchDefaults=*/false);
+  BenchSession session(kv, "fig5_rob_stalls", cfg);
+
+  std::vector<std::string> apps;
+  for (const workload::AppProfile& p : workload::spec2006Profiles()) {
+    apps.push_back(p.name);
+  }
+  std::vector<sim::RunResult> results = runAppsSingleCore(kv, cfg, apps, session);
 
   TextTable t({"app", "non-critical loads"});
   double sum = 0;
-  int n = 0;
-  for (const workload::AppProfile& p : workload::spec2006Profiles()) {
-    sim::RunResult r = sim::runSingleApp(cfg, p.name);
-    t.addRow({p.name, TextTable::pct(r.nonCriticalLoadFrac, 1)});
-    sum += r.nonCriticalLoadFrac;
-    ++n;
-    session.add(p.name, std::move(r));
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    t.addRow({apps[i], TextTable::pct(results[i].nonCriticalLoadFrac, 1)});
+    sum += results[i].nonCriticalLoadFrac;
   }
   t.addSeparator();
-  t.addRow({"Average", TextTable::pct(sum / n, 1)});
+  t.addRow({"Average", TextTable::pct(sum / apps.size(), 1)});
   std::printf("%s", t.toString().c_str());
   std::printf("\npaper: over 80%% of loads do not stall the ROB head, on average.\n");
   return 0;

@@ -19,36 +19,10 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::singleCore();
   cfg.instrPerCore = 30000;
   cfg.warmupInstrPerCore = 10000;
-  KvConfig kv = KvConfig::fromArgs(argc, argv);
-  cfg.applyOverrides(kv);
-  std::printf("== Fig 7: criticality prediction accuracy vs threshold ==\n");
-  std::printf("config: %s\n\n", cfg.summary().c_str());
+  KvConfig kv = setup(argc, argv, "Fig 7: criticality prediction accuracy vs threshold",
+                      cfg, {}, /*benchDefaults=*/false);
   BenchSession session(kv, "fig7_predictor_accuracy", cfg);
-
-  std::vector<std::string> headers = {"app"};
-  for (double x : thresholdSweep()) headers.push_back(TextTable::num(x, 0) + "%");
-  TextTable t(headers);
-
-  std::vector<double> avg(thresholdSweep().size(), 0.0);
-  for (const std::string& app : criticalityApps()) {
-    std::vector<std::string> row = {app};
-    for (std::size_t i = 0; i < thresholdSweep().size(); ++i) {
-      sim::SystemConfig c = cfg;
-      c.cpt.thresholdPct = thresholdSweep()[i];
-      sim::RunResult r = sim::runSingleApp(c, app);
-      row.push_back(TextTable::pct(r.cptCriticalRecall, 1));
-      avg[i] += r.cptCriticalRecall;
-      session.add(app + "/x" + TextTable::num(thresholdSweep()[i], 0), std::move(r));
-    }
-    t.addRow(row);
-  }
-  t.addSeparator();
-  std::vector<std::string> avgRow = {"Avg"};
-  for (double a : avg) {
-    avgRow.push_back(TextTable::pct(a / criticalityApps().size(), 1));
-  }
-  t.addRow(avgRow);
-  std::printf("%s", t.toString().c_str());
+  runThresholdGrid(kv, cfg, session, &sim::RunResult::cptCriticalRecall);
   std::printf("\npaper: ~83%% average at 3%%, ~14.5%% at 100%% (recall of critical loads).\n");
   return 0;
 }

@@ -5,22 +5,28 @@
 #include "workload/app_profile.hpp"
 
 using namespace renuca;
+using namespace renuca::bench;
 
 int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::singleCore();
   cfg.instrPerCore = 40000;
   cfg.warmupInstrPerCore = 10000;
-  KvConfig kv = KvConfig::fromArgs(argc, argv);
-  cfg.applyOverrides(kv);
-  std::printf("== Table II / Fig 2: application characteristics (single core) ==\n");
-  std::printf("config: %s\n\n", cfg.summary().c_str());
-  bench::BenchSession session(kv, "table2_app_characteristics", cfg);
+  KvConfig kv = setup(argc, argv, "Table II / Fig 2: application characteristics (single core)",
+                      cfg, {}, /*benchDefaults=*/false);
+  BenchSession session(kv, "table2_app_characteristics", cfg);
+
+  std::vector<std::string> apps;
+  for (const workload::AppProfile& p : workload::spec2006Profiles()) {
+    apps.push_back(p.name);
+  }
+  std::vector<sim::RunResult> results = runAppsSingleCore(kv, cfg, apps, session);
 
   TextTable t({"app", "class", "WPKI", "(ref)", "MPKI", "(ref)", "hit", "(ref)",
                "IPC", "(ref)", "WPKI+MPKI"});
   double sumW = 0, sumM = 0;
-  for (const workload::AppProfile& p : workload::spec2006Profiles()) {
-    sim::RunResult r = sim::runSingleApp(cfg, p.name);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const workload::AppProfile& p = workload::profileByName(apps[i]);
+    const sim::RunResult& r = results[i];
     const char* cls = p.intensity() == workload::WriteIntensity::High     ? "high"
                       : p.intensity() == workload::WriteIntensity::Medium ? "medium"
                                                                           : "low";
@@ -32,7 +38,6 @@ int main(int argc, char** argv) {
               TextTable::num(r.wpki[0] + r.mpki[0], 2)});
     sumW += r.wpki[0];
     sumM += r.mpki[0];
-    session.add(p.name, std::move(r));
   }
   std::printf("%s", t.toString().c_str());
   std::printf("totals: WPKI %.1f, MPKI %.1f (paper: 305.9, 203.3)\n", sumW, sumM);

@@ -1,10 +1,13 @@
 // Shared plumbing for the bench binaries: argument handling, standard
-// header, and the sweep-to-table conversions every figure reuses.
+// header, the parallel sweep driver, and the sweep-to-table conversions
+// every figure reuses.
 //
 // Every bench accepts "key=value" overrides (see SystemConfig::applyOverrides),
 // most importantly:
 //   instr_per_core=N  warmup=N  prewarm=N  seed=N  threshold_pct=X
-// plus "mixes=N" to run on the first N of the ten standard workloads.
+// plus "mixes=N" to run on the first N of the ten standard workloads and
+// "jobs=N" to run the bench's independent simulations on N worker threads
+// (0 = one per hardware thread; results are identical for any N).
 #pragma once
 
 #include <chrono>
@@ -18,6 +21,7 @@
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 #include "workload/mixes.hpp"
 
 namespace renuca::bench {
@@ -27,6 +31,16 @@ namespace renuca::bench {
 inline void applyBenchDefaults(sim::SystemConfig& cfg) {
   cfg.instrPerCore = 30000;
   cfg.warmupInstrPerCore = 8000;
+}
+
+/// Sweep-engine options from the standard `jobs=` key (default 1 =
+/// serial, 0 = hardware threads).  Progress narration is on only when the
+/// run is actually parallel, so serial output matches today's exactly.
+inline sim::SweepOptions sweepOptions(const KvConfig& kv) {
+  sim::SweepOptions opts;
+  opts.jobs = static_cast<unsigned>(kv.getOr("jobs", static_cast<std::int64_t>(1)));
+  opts.narrate = opts.jobs != 1;
+  return opts;
 }
 
 /// Validates every key=value against the config registry (plus any
@@ -46,12 +60,14 @@ inline void validateOrDie(const KvConfig& kv,
 }
 
 /// Parses overrides (validated against the key registry; see validateOrDie)
-/// and prints the standard bench header.
+/// and prints the standard bench header.  `benchDefaults=false` keeps the
+/// budgets the bench set itself (the single-core characterization rigs).
 inline KvConfig setup(int argc, char** argv, const char* title,
                       sim::SystemConfig& cfg,
-                      const std::vector<std::string>& extraKeys = {}) {
+                      const std::vector<std::string>& extraKeys = {},
+                      bool benchDefaults = true) {
   KvConfig kv = KvConfig::fromArgs(argc, argv);
-  applyBenchDefaults(cfg);
+  if (benchDefaults) applyBenchDefaults(cfg);
   validateOrDie(kv, extraKeys);
   cfg.applyOverrides(kv);
   std::printf("== %s ==\n", title);
@@ -67,6 +83,7 @@ class BenchSession {
  public:
   BenchSession(const KvConfig& kv, std::string benchName, const sim::SystemConfig& cfg)
       : name_(std::move(benchName)), cfg_(cfg),
+        jobs_(sim::resolveJobs(sweepOptions(kv).jobs)),
         start_(std::chrono::steady_clock::now()) {
     if (auto p = kv.getString("report_json")) path_ = *p;
   }
@@ -98,13 +115,14 @@ class BenchSession {
     if (path_.empty()) return;
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_).count();
-    sim::writeRunReport(path_, name_, cfg_, entries_, wall);
+    sim::writeRunReport(path_, name_, cfg_, entries_, wall, jobs_);
   }
 
  private:
   std::string name_;
   std::string path_;
   sim::SystemConfig cfg_;
+  unsigned jobs_ = 1;
   std::vector<sim::ReportEntry> entries_;
   std::chrono::steady_clock::time_point start_;
   bool done_ = false;
@@ -117,6 +135,37 @@ inline std::vector<workload::WorkloadMix> benchMixes(const KvConfig& kv) {
       kv.getOr("mixes", static_cast<std::int64_t>(all.size())));
   if (n > all.size()) n = all.size();
   return {all.begin(), all.begin() + n};
+}
+
+// --- Shared sweep drivers ---------------------------------------------------
+// Every bench funnels its simulations through one of these: the plan is
+// built up front, executed on `jobs=` worker threads, and the results come
+// back in plan order (so tables and run reports are identical for any
+// worker count).
+
+/// Runs an explicit plan and (optionally) records every result in the
+/// session under its job label.
+inline std::vector<sim::RunResult> runJobs(const KvConfig& kv, const sim::SweepPlan& plan,
+                                           BenchSession* session = nullptr) {
+  std::vector<sim::RunResult> results = sim::runPlan(plan, sweepOptions(kv));
+  if (session) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      session->add(plan.jobs()[i].label, results[i]);
+    }
+  }
+  return results;
+}
+
+/// The standard figure driver: (policies x benchMixes) under `cfg`,
+/// recorded in the session (labels "[prefix/]Policy/mix").
+inline sim::PolicySweep runPolicySweep(const KvConfig& kv, const sim::SystemConfig& cfg,
+                                       const std::vector<core::PolicyKind>& policies,
+                                       BenchSession& session,
+                                       const std::string& prefix = "") {
+  sim::PolicySweep sweep =
+      sim::sweepPolicies(cfg, policies, benchMixes(kv), sweepOptions(kv));
+  session.addSweep(sweep, prefix);
+  return sweep;
 }
 
 /// Per-bank harmonic lifetime table (the bar groups of Figs 3/12/13/15/17).
@@ -184,6 +233,61 @@ inline const std::vector<std::string>& criticalityApps() {
   static const std::vector<std::string> v = {
       "mcf", "GemsFDTD", "lbm", "milc", "astar", "bwaves", "bzip2", "leslie3d"};
   return v;
+}
+
+/// The (app x threshold) single-core grid behind Figs 7/8/9: runs every
+/// criticality app under every threshold of thresholdSweep() and prints a
+/// percentage table of `metric` per cell plus the per-threshold average.
+/// Returns the averages (one per threshold).
+inline std::vector<double> runThresholdGrid(const KvConfig& kv,
+                                            const sim::SystemConfig& singleCoreCfg,
+                                            BenchSession& session,
+                                            double sim::RunResult::* metric) {
+  sim::SweepPlan plan;
+  for (const std::string& app : criticalityApps()) {
+    for (double x : thresholdSweep()) {
+      sim::SystemConfig c = singleCoreCfg;
+      c.cpt.thresholdPct = x;
+      plan.addSingleApp(app + "/x" + TextTable::num(x, 0), c, app);
+    }
+  }
+  std::vector<sim::RunResult> results = runJobs(kv, plan, &session);
+
+  std::vector<std::string> headers = {"app"};
+  for (double x : thresholdSweep()) headers.push_back(TextTable::num(x, 0) + "%");
+  TextTable t(headers);
+  std::vector<double> avg(thresholdSweep().size(), 0.0);
+  std::size_t i = 0;
+  for (const std::string& app : criticalityApps()) {
+    std::vector<std::string> row = {app};
+    for (std::size_t k = 0; k < thresholdSweep().size(); ++k) {
+      double v = results[i++].*metric;
+      row.push_back(TextTable::pct(v, 1));
+      avg[k] += v;
+    }
+    t.addRow(row);
+  }
+  t.addSeparator();
+  std::vector<std::string> avgRow = {"Avg"};
+  for (double& a : avg) {
+    a /= static_cast<double>(criticalityApps().size());
+    avgRow.push_back(TextTable::pct(a, 1));
+  }
+  t.addRow(avgRow);
+  std::printf("%s", t.toString().c_str());
+  return avg;
+}
+
+/// Runs every listed app alone on the single-core rig (Table II / Fig 5),
+/// in parallel, returning results in app order and recording each under
+/// its app name.
+inline std::vector<sim::RunResult> runAppsSingleCore(const KvConfig& kv,
+                                                     const sim::SystemConfig& singleCoreCfg,
+                                                     const std::vector<std::string>& apps,
+                                                     BenchSession& session) {
+  sim::SweepPlan plan;
+  for (const std::string& app : apps) plan.addSingleApp(app, singleCoreCfg, app);
+  return runJobs(kv, plan, &session);
 }
 
 }  // namespace renuca::bench

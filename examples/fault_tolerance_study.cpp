@@ -14,7 +14,7 @@
 // Re-NUCA keeps only critical lines clustered and spreads the rest, so at
 // matched write volume it retains capacity longer.
 //
-//   ./fault_tolerance_study [fault_budget_writes=5] [report_json=ft.json]
+//   ./fault_tolerance_study [fault_budget_writes=5] [report_json=ft.json] [jobs=N]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,6 +22,7 @@
 
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 
 using namespace renuca;
 
@@ -69,12 +70,24 @@ int main(int argc, char** argv) {
               "deadFrames", "liveCap", "degLife(y)", "sysIPC",
               "capacity-loss epochs (cycle:liveFrac)");
 
+  // One job per policy, run on the sweep engine (jobs= worker threads);
+  // results come back in policy order regardless of scheduling.
+  sim::SweepPlan plan;
+  for (core::PolicyKind policy : policies) {
+    sim::SystemConfig c = cfg;
+    c.policy = policy;
+    plan.add(sim::Job{std::string(core::toString(policy)), c, mix});
+  }
+  sim::SweepOptions opts;
+  opts.jobs = static_cast<unsigned>(kv.getOr("jobs", static_cast<std::int64_t>(1)));
+  std::vector<sim::RunResult> results = sim::runPlan(plan, opts);
+
   std::vector<sim::ReportEntry> entries;
   std::vector<double> degLife(policies.size(), 0.0);
   for (std::size_t p = 0; p < policies.size(); ++p) {
     sim::SystemConfig c = cfg;
     c.policy = policies[p];
-    sim::RunResult r = sim::runWorkload(c, mix);
+    sim::RunResult r = std::move(results[p]);
 
     std::uint64_t writes = 0;
     for (std::uint64_t w : r.bankWrites) writes += w;
@@ -117,7 +130,8 @@ int main(int argc, char** argv) {
               ok ? "(wear spreading preserves capacity)" : "(UNEXPECTED)");
 
   if (auto path = kv.getString("report_json")) {
-    if (sim::writeRunReport(*path, "fault_tolerance_study", cfg, entries, 0.0)) {
+    if (sim::writeRunReport(*path, "fault_tolerance_study", cfg, entries, 0.0,
+                            sim::resolveJobs(opts.jobs))) {
       std::printf("report written to %s\n", path->c_str());
     }
   }

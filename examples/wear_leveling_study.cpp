@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 using namespace renuca;
 
@@ -15,7 +16,12 @@ int main(int argc, char** argv) {
   sim::SystemConfig cfg = sim::defaultConfig();
   cfg.instrPerCore = 25000;
   cfg.warmupInstrPerCore = 6000;
-  cfg.applyOverrides(KvConfig::fromArgs(argc, argv));
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  for (const ConfigError& e : sim::validateConfigKeys(kv)) {
+    std::fprintf(stderr, "config: %s\n", e.toString().c_str());
+    if (kv.getOr("strict", false)) return 2;
+  }
+  cfg.applyOverrides(kv);
 
   // Hand-built skewed mix: heavy writers on cores 0, 1, 4, 5 (the top-left
   // 2x2 quad of the mesh), quiet apps everywhere else.
@@ -30,10 +36,21 @@ int main(int argc, char** argv) {
   std::printf("%-8s | per-bank write share (row-major 4x4 mesh, %% of total)\n",
               "policy");
 
+  // One job per policy on the sweep engine; jobs=N parallelizes the five
+  // runs without changing any number printed below.
+  sim::SweepPlan plan;
   for (core::PolicyKind policy : sim::allPolicies()) {
     sim::SystemConfig c = cfg;
     c.policy = policy;
-    sim::RunResult r = sim::runWorkload(c, mix);
+    plan.add(sim::Job{std::string(core::toString(policy)), c, mix});
+  }
+  sim::SweepOptions opts;
+  opts.jobs = static_cast<unsigned>(kv.getOr("jobs", static_cast<std::int64_t>(1)));
+  std::vector<sim::RunResult> results = sim::runPlan(plan, opts);
+
+  for (std::size_t p = 0; p < sim::allPolicies().size(); ++p) {
+    core::PolicyKind policy = sim::allPolicies()[p];
+    const sim::RunResult& r = results[p];
     std::uint64_t total = 0;
     for (std::uint64_t w : r.bankWrites) total += w;
     std::printf("%-8s |", core::toString(policy));

@@ -1,28 +1,77 @@
 #!/bin/bash
-# Runs every bench binary sequentially, teeing to bench_output.txt.
-# Each figure/table bench also writes a machine-readable run report into a
-# timestamped bench_reports/<stamp>/ directory (see DESIGN.md, telemetry).
+# Runs the bench binaries sequentially, teeing to bench_output.txt.
+#
+#   ./run_benches.sh              # full suite, every bench binary
+#   ./run_benches.sh --quick      # reduced-budget subset (old run_benches2)
+#   ./run_benches.sh --jobs 8     # forward jobs=8 to every sweep-engine bench
+#
+# Each figure/table bench writes a machine-readable run report into a
+# timestamped bench_reports/<stamp>/ directory (see DESIGN.md, telemetry);
+# per-bench wall time lands in bench_reports/<stamp>/times.tsv.
 cd /root/repo
+
+quick=0
+jobs=1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --jobs)  shift; jobs="$1" ;;
+    --jobs=*) jobs="${1#--jobs=}" ;;
+    *) echo "usage: $0 [--quick] [--jobs N]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
 stamp=$(date +%Y%m%d-%H%M%S)
 report_dir="bench_reports/$stamp"
 mkdir -p "$report_dir"
 : > bench_output.txt
-for b in build/bench/*; do
-  [ -x "$b" ] || continue
-  [ -f "$b" ] || continue
-  name=$(basename "$b")
+printf 'bench\texit\tseconds\n' > "$report_dir/times.tsv"
+
+# run <name> <cmd...>: tees a banner, times the bench, records wall time.
+run() {
+  local name=$1
+  shift
   echo "===== $name =====" | tee -a bench_output.txt
-  case "$name" in
-    bench_micro_components)
-      # google-benchmark harness: its own flags, its own JSON format.
-      "$b" "--benchmark_out=$report_dir/$name.json" \
-           "--benchmark_out_format=json" >> bench_output.txt 2>&1
-      ;;
-    *)
-      "$b" "report_json=$report_dir/$name.json" >> bench_output.txt 2>&1
-      ;;
-  esac
-  echo "(exit $?)" >> bench_output.txt
-done
+  local t0 t1 rc
+  t0=$(date +%s.%N)
+  "$@" >> bench_output.txt 2>&1
+  rc=$?
+  t1=$(date +%s.%N)
+  echo "(exit $rc)" >> bench_output.txt
+  printf '%s\t%d\t%.2f\n' "$name" "$rc" "$(echo "$t1 $t0" | awk '{print $1 - $2}')" \
+    >> "$report_dir/times.tsv"
+}
+
+if [ "$quick" = 1 ]; then
+  # Reduced-budget subset: the quick sanity pass that used to live in
+  # run_benches2.sh.
+  run bench_fig5_rob_stalls         ./build/bench/bench_fig5_rob_stalls instr_per_core=25000 "jobs=$jobs" "report_json=$report_dir/bench_fig5_rob_stalls.json"
+  run bench_fig7_predictor_accuracy ./build/bench/bench_fig7_predictor_accuracy instr_per_core=20000 "jobs=$jobs" "report_json=$report_dir/bench_fig7_predictor_accuracy.json"
+  run bench_fig8_noncritical_blocks ./build/bench/bench_fig8_noncritical_blocks instr_per_core=20000 "jobs=$jobs" "report_json=$report_dir/bench_fig8_noncritical_blocks.json"
+  run bench_fig9_noncritical_writes ./build/bench/bench_fig9_noncritical_writes instr_per_core=20000 "jobs=$jobs" "report_json=$report_dir/bench_fig9_noncritical_writes.json"
+  run bench_table2_app_characteristics ./build/bench/bench_table2_app_characteristics "jobs=$jobs" "report_json=$report_dir/bench_table2_app_characteristics.json"
+  run bench_fig4_tradeoff           ./build/bench/bench_fig4_tradeoff mixes=6 "jobs=$jobs" "report_json=$report_dir/bench_fig4_tradeoff.json"
+  run bench_table3_raw_min_lifetime ./build/bench/bench_table3_raw_min_lifetime mixes=3 "jobs=$jobs" "report_json=$report_dir/bench_table3_raw_min_lifetime.json"
+  run bench_ablation_design         ./build/bench/bench_ablation_design mixes=3 "jobs=$jobs" "report_json=$report_dir/bench_ablation_design.json"
+  run bench_micro_components        ./build/bench/bench_micro_components --benchmark_min_time=0.05 "--benchmark_out=$report_dir/bench_micro_components.json" --benchmark_out_format=json
+else
+  for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    [ -f "$b" ] || continue
+    name=$(basename "$b")
+    case "$name" in
+      bench_micro_components)
+        # google-benchmark harness: its own flags, its own JSON format.
+        run "$name" "$b" "--benchmark_out=$report_dir/$name.json" --benchmark_out_format=json
+        ;;
+      *)
+        run "$name" "$b" "jobs=$jobs" "report_json=$report_dir/$name.json"
+        ;;
+    esac
+  done
+fi
+
 echo "reports in $report_dir" | tee -a bench_output.txt
+cat "$report_dir/times.tsv" | tee -a bench_output.txt
 echo ALL_BENCHES_DONE | tee -a bench_output.txt

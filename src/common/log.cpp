@@ -1,13 +1,20 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace renuca {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
+// The level is read on every logMessage call from any sweep worker, so it
+// is atomic; relaxed ordering suffices (a level change mid-sweep may miss
+// a few in-flight lines, which is harmless).  The sink lock keeps whole
+// lines atomic when parallel jobs log concurrently.
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_sinkMutex;
 
 const char* levelName(LogLevel l) {
   switch (l) {
@@ -20,8 +27,8 @@ const char* levelName(LogLevel l) {
 }
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level = level; }
-LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 
 const char* toString(LogLevel level) { return levelName(level); }
 
@@ -37,12 +44,14 @@ std::optional<LogLevel> logLevelFromString(const std::string& name) {
 }
 
 void logMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  std::lock_guard<std::mutex> lock(g_sinkMutex);
   std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
 }
 
 void logMessage(LogLevel level, const std::string& component, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  std::lock_guard<std::mutex> lock(g_sinkMutex);
   std::fprintf(stderr, "[%s] %s: %s\n", levelName(level), component.c_str(), message.c_str());
 }
 

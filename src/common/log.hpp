@@ -1,7 +1,9 @@
 // Minimal leveled logging and hard-assertion macro.
 //
-// The simulator is deterministic and single-threaded per run; logging is
-// line-buffered to stderr.  RENUCA_ASSERT stays active in release builds:
+// Each simulation run is deterministic and single-threaded, but the sweep
+// engine runs many Systems concurrently, so the level filter is atomic and
+// the stderr sink takes a lock per line (whole lines never interleave).
+// RENUCA_ASSERT stays active in release builds:
 // a simulator that silently corrupts cache state produces plausible-looking
 // wrong numbers, which is worse than an abort.
 #pragma once

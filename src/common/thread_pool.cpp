@@ -1,0 +1,110 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace renuca {
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads = std::max(1u, threads);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    target = nextWorker_;
+    nextWorker_ = (nextWorker_ + 1) % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  // The task must be in a deque *before* it is counted: a worker that
+  // observes queued_ > 0 is guaranteed to find a task to take.
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    ++queued_;
+  }
+  workCv_.notify_one();
+}
+
+bool ThreadPool::takeTask(std::size_t self, std::function<void()>& out) {
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t i = 1; i < workers_.size(); ++i) {
+    Worker& victim = *workers_[(self + i) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(stateMutex_);
+      workCv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (stop_ && queued_ == 0) return;
+      // Claim one unit of queued work before dropping the state lock; the
+      // matching deque pop happens outside it.
+      --queued_;
+      ++running_;
+    }
+    if (!takeTask(self, task)) {
+      // The claim's task landed in a deque this worker had already
+      // scanned past (another worker took a different task meanwhile).
+      // Return the claim and go around again.
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      ++queued_;
+      --running_;
+      workCv_.notify_one();
+      continue;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      --running_;
+      if (queued_ == 0 && running_ == 0) idleCv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(stateMutex_);
+  idleCv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+}  // namespace renuca

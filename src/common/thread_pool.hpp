@@ -1,0 +1,76 @@
+// Work-stealing thread pool for coarse-grained simulation jobs.
+//
+// The sweep engine (sim/sweep.hpp) runs dozens of independent simulations
+// per bench; each job is seconds of work, so the pool optimizes for
+// simplicity and correctness over sub-microsecond dispatch.  Each worker
+// owns a deque: it pops its own work LIFO (cache-warm) and steals FIFO
+// from the other workers when its deque runs dry, which keeps every core
+// busy even when job lengths vary by an order of magnitude (single-core
+// characterization runs vs 16-core sweeps).
+//
+// The pool is deliberately *not* part of any simulated component: a
+// System is single-threaded and deterministic; only whole Systems run
+// concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace renuca {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  /// Waits for outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw (the simulator reports
+  /// failures through RENUCA_ASSERT / results, not exceptions).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.  The pool is
+  /// reusable after wait(); submit() may be called again.
+  void wait();
+
+  unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 on exotic platforms).
+  static unsigned hardwareThreads();
+
+ private:
+  /// One worker's deque.  The owner pops from the back, thieves take from
+  /// the front; a plain mutex per deque is ample at job granularity.
+  struct Worker {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+  };
+
+  void workerLoop(std::size_t self);
+  /// Pops the owner's newest task, else steals the oldest task of another
+  /// worker (scanning from `self + 1` so thieves spread out).
+  bool takeTask(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex stateMutex_;
+  std::condition_variable workCv_;   ///< Wakes workers on submit/stop.
+  std::condition_variable idleCv_;   ///< Wakes wait() when all work is done.
+  std::size_t queued_ = 0;           ///< Tasks sitting in deques.
+  std::size_t running_ = 0;          ///< Tasks currently executing.
+  std::size_t nextWorker_ = 0;       ///< Round-robin submit target.
+  bool stop_ = false;
+};
+
+}  // namespace renuca

@@ -132,6 +132,10 @@ const KeyRegistry& configKeyRegistry() {
         // Standard bench/example plumbing.
         .stringKey("report_json")
         .intKey("mixes", 1, 1 << 10)
+        // Sweep-engine worker threads: 0 = one per hardware thread,
+        // 1 = serial, N = N workers.  Never affects results, only wall
+        // time (see sim/sweep.hpp's determinism contract).
+        .intKey("jobs", 0, 1024)
         .boolKey("strict");
     return r;
   }();

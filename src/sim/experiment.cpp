@@ -19,11 +19,9 @@ RunResult runWorkload(const SystemConfig& config, const workload::WorkloadMix& m
 }
 
 RunResult runSingleApp(const SystemConfig& singleCoreConfig, const std::string& appName) {
-  RENUCA_ASSERT(singleCoreConfig.numCores == 1, "runSingleApp needs the single-core rig");
-  workload::WorkloadMix mix;
-  mix.name = appName;
-  mix.appNames = {appName};
-  return runWorkload(singleCoreConfig, mix);
+  SweepPlan plan;
+  plan.addSingleApp(appName, singleCoreConfig, appName);
+  return std::move(runPlan(plan)[0]);
 }
 
 std::vector<double> PolicySweep::harmonicLifetimesPerBank(std::size_t policyIdx) const {
@@ -89,24 +87,45 @@ double PolicySweep::meanIpcImprovementVsSnuca(std::size_t policyIdx) const {
   return arithmeticMean(ipcImprovementVsSnuca(policyIdx));
 }
 
-PolicySweep sweepPolicies(const SystemConfig& base,
+SweepPlan policySweepPlan(const SystemConfig& base,
                           const std::vector<core::PolicyKind>& policies,
                           const std::vector<workload::WorkloadMix>& mixes) {
+  SweepPlan plan;
+  for (core::PolicyKind policy : policies) {
+    SystemConfig cfg = base;
+    cfg.policy = policy;
+    for (const workload::WorkloadMix& mix : mixes) {
+      plan.add(Job{std::string(core::toString(policy)) + "/" + mix.name, cfg, mix});
+    }
+  }
+  return plan;
+}
+
+PolicySweep assemblePolicySweep(const std::vector<core::PolicyKind>& policies,
+                                const std::vector<workload::WorkloadMix>& mixes,
+                                std::vector<RunResult> results) {
+  RENUCA_ASSERT(results.size() == policies.size() * mixes.size(),
+                "result count does not match the (policy x mix) grid");
   PolicySweep sweep;
   sweep.policies = policies;
   sweep.mixes = mixes;
   sweep.results.resize(policies.size());
+  std::size_t i = 0;
   for (std::size_t p = 0; p < policies.size(); ++p) {
-    SystemConfig cfg = base;
-    cfg.policy = policies[p];
-    for (const workload::WorkloadMix& mix : mixes) {
-      sweep.results[p].push_back(runWorkload(cfg, mix));
+    sweep.results[p].reserve(mixes.size());
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      sweep.results[p].push_back(std::move(results[i++]));
     }
-    logMessage(LogLevel::Debug, "experiment",
-               std::string("policy ") + core::toString(policies[p]) + " done (" +
-                   std::to_string(mixes.size()) + " mixes)");
   }
   return sweep;
+}
+
+PolicySweep sweepPolicies(const SystemConfig& base,
+                          const std::vector<core::PolicyKind>& policies,
+                          const std::vector<workload::WorkloadMix>& mixes,
+                          const SweepOptions& opts) {
+  return assemblePolicySweep(policies, mixes,
+                             runPlan(policySweepPlan(base, policies, mixes), opts));
 }
 
 const std::vector<core::PolicyKind>& allPolicies() {

@@ -13,6 +13,7 @@
 
 #include "rram/endurance.hpp"
 #include "sim/config.hpp"
+#include "sim/sweep.hpp"
 #include "sim/system.hpp"
 #include "workload/mixes.hpp"
 
@@ -56,11 +57,26 @@ struct PolicySweep {
   std::size_t indexOf(core::PolicyKind kind) const;
 };
 
-/// Runs every (policy, mix) pair under `base` (whose policy field is
-/// overridden per run).  Deterministic given base.seed.
-PolicySweep sweepPolicies(const SystemConfig& base,
+/// Builds the (policy x mix) plan behind sweepPolicies: job p*mixes+m is
+/// policy `policies[p]` on `mixes[m]` under `base` with the policy field
+/// overridden.  Exposed so drivers can compose larger plans.
+SweepPlan policySweepPlan(const SystemConfig& base,
                           const std::vector<core::PolicyKind>& policies,
                           const std::vector<workload::WorkloadMix>& mixes);
+
+/// Reshapes plan-ordered results of policySweepPlan back into a
+/// PolicySweep.
+PolicySweep assemblePolicySweep(const std::vector<core::PolicyKind>& policies,
+                                const std::vector<workload::WorkloadMix>& mixes,
+                                std::vector<RunResult> results);
+
+/// Runs every (policy, mix) pair under `base` (whose policy field is
+/// overridden per run) on the sweep engine.  Deterministic given
+/// base.seed: `opts.jobs` changes wall-clock time, never results.
+PolicySweep sweepPolicies(const SystemConfig& base,
+                          const std::vector<core::PolicyKind>& policies,
+                          const std::vector<workload::WorkloadMix>& mixes,
+                          const SweepOptions& opts = {});
 
 /// The paper's five schemes, in its presentation order.
 const std::vector<core::PolicyKind>& allPolicies();

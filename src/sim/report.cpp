@@ -115,7 +115,7 @@ void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
 
 bool writeRunReport(const std::string& path, const std::string& benchName,
                     const SystemConfig& cfg, const std::vector<ReportEntry>& entries,
-                    double wallSeconds) {
+                    double wallSeconds, unsigned jobs) {
   std::ofstream os(path);
   if (!os) {
     logMessage(LogLevel::Warn, "report", "cannot open '" + path + "' for writing");
@@ -129,6 +129,7 @@ bool writeRunReport(const std::string& path, const std::string& benchName,
   w.kv("generated_unix", telemetry::unixTime());
   w.kv("host", telemetry::hostName());
   w.kv("wall_seconds", wallSeconds);
+  w.kv("jobs", static_cast<std::uint64_t>(jobs));
   w.key("config");
   writeConfigEcho(w, cfg);
   w.key("runs");

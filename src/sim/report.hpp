@@ -28,9 +28,12 @@ struct ReportEntry {
 
 /// Writes the report document to `path`.  Returns false (after logging a
 /// warning) when the file cannot be opened; the simulation's results are
-/// never at risk from a failed report.
+/// never at risk from a failed report.  `jobs` is provenance: the sweep
+/// worker count the run used (it changes wall_seconds, never results —
+/// both live in the provenance fields excluded from the determinism
+/// contract).
 bool writeRunReport(const std::string& path, const std::string& benchName,
                     const SystemConfig& cfg, const std::vector<ReportEntry>& entries,
-                    double wallSeconds);
+                    double wallSeconds, unsigned jobs = 1);
 
 }  // namespace renuca::sim

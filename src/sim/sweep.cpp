@@ -1,0 +1,113 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/experiment.hpp"
+
+namespace renuca::sim {
+
+std::size_t SweepPlan::add(Job job) {
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::size_t SweepPlan::addSingleApp(std::string label,
+                                    const SystemConfig& singleCoreConfig,
+                                    const std::string& appName) {
+  RENUCA_ASSERT(singleCoreConfig.numCores == 1,
+                "addSingleApp needs the single-core rig");
+  workload::WorkloadMix mix;
+  mix.name = appName;
+  mix.appNames = {appName};
+  return add(Job{std::move(label), singleCoreConfig, std::move(mix)});
+}
+
+unsigned resolveJobs(unsigned jobs) {
+  return jobs == 0 ? ThreadPool::hardwareThreads() : jobs;
+}
+
+namespace {
+
+/// Splices the job index into a trace path ("t.json" -> "t.j3.json") so
+/// concurrent jobs never share a trace file.  Applied whenever the plan
+/// has more than one traced job, independent of the worker count, so the
+/// set of files a plan writes does not depend on jobs=.
+std::string perJobTracePath(const std::string& path, std::size_t index) {
+  std::size_t dot = path.rfind('.');
+  std::size_t slash = path.find_last_of("/\\");
+  std::string suffix = ".j" + std::to_string(index);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+void narrateDone(const Job& job, std::size_t finished, std::size_t total) {
+  logMessage(LogLevel::Info, "sweep",
+             std::to_string(finished) + "/" + std::to_string(total) + " " +
+                 job.label);
+}
+
+}  // namespace
+
+std::vector<RunResult> runPlan(const SweepPlan& plan, const SweepOptions& opts) {
+  const std::vector<Job>& jobs = plan.jobs();
+  std::vector<RunResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // Per-job trace files when several jobs would collide on one path.
+  std::vector<const Job*> order;
+  std::vector<Job> patched;
+  std::size_t traced = 0;
+  for (const Job& j : jobs) {
+    if (!j.config.traceJsonPath.empty()) ++traced;
+  }
+  if (traced > 1) {
+    patched.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      patched.push_back(jobs[i]);
+      if (!patched.back().config.traceJsonPath.empty()) {
+        patched.back().config.traceJsonPath =
+            perJobTracePath(patched.back().config.traceJsonPath, i);
+      }
+    }
+    for (const Job& j : patched) order.push_back(&j);
+  } else {
+    for (const Job& j : jobs) order.push_back(&j);
+  }
+
+  unsigned workers = std::min<std::size_t>(resolveJobs(opts.jobs), jobs.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      results[i] = runWorkload(order[i]->config, order[i]->mix);
+      if (opts.narrate) narrateDone(*order[i], i + 1, order.size());
+    }
+    return results;
+  }
+
+  if (opts.narrate) {
+    logMessage(LogLevel::Info, "sweep",
+               "running " + std::to_string(jobs.size()) + " jobs on " +
+                   std::to_string(workers) + " threads");
+  }
+  ThreadPool pool(workers);
+  std::atomic<std::size_t> finished{0};
+  const bool narrate = opts.narrate;
+  const std::size_t total = order.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Job* job = order[i];
+    RunResult* slot = &results[i];
+    pool.submit([job, slot, &finished, narrate, total] {
+      *slot = runWorkload(job->config, job->mix);
+      std::size_t done = finished.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (narrate) narrateDone(*job, done, total);
+    });
+  }
+  pool.wait();
+  return results;
+}
+
+}  // namespace renuca::sim

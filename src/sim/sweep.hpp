@@ -1,0 +1,80 @@
+// Job-graph sweep engine: the parallel experiment layer.
+//
+// Every figure/table in the paper is a cross product — (policy x mix),
+// (app x threshold), (config x policy x mix) — of *independent*
+// simulations.  This module makes that structure explicit: a Job is one
+// fully-specified simulation (a SystemConfig with the policy/threshold/
+// seed baked in, plus a workload and a label), a SweepPlan is the ordered
+// list of jobs behind one figure, and runPlan() executes the plan on a
+// work-stealing thread pool (common/thread_pool.hpp).
+//
+// Determinism contract: results come back indexed by *plan order*, and
+// each System is seeded purely from its own config, so a parallel run
+// produces bit-identical RunResults — and byte-identical run reports,
+// modulo provenance (timestamps, wall seconds, jobs) — to a serial run of
+// the same plan.  Scheduling can reorder execution, never results.
+//
+// What had to be true of the simulator for this to be safe:
+//  * a System owns all of its mutable state (memory system, RNG streams,
+//    MetricsRegistry, TraceWriter) — nothing hangs off globals;
+//  * RNG is per-System Pcg32, seeded from SystemConfig::seed (workload
+//    streams) and FaultConfig::seed (fault schedules, pure in (seed,
+//    bank)) — there are no hidden static generators;
+//  * logging is thread-safe (atomic level, per-line sink lock);
+//  * trace files: a plan with more than one traced job writes one file
+//    per job (the job index is spliced into the path), never a shared one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/system.hpp"
+#include "workload/mixes.hpp"
+
+namespace renuca::sim {
+
+/// One fully-specified simulation: config (policy, seed, budgets all baked
+/// in) + workload + a label for reports and narration.
+struct Job {
+  std::string label;
+  SystemConfig config;
+  workload::WorkloadMix mix;
+};
+
+/// An ordered list of independent jobs.  Order is the determinism anchor:
+/// runPlan() returns results[i] for jobs()[i] no matter how execution is
+/// scheduled.
+class SweepPlan {
+ public:
+  /// Appends a job and returns its plan index.
+  std::size_t add(Job job);
+  /// Convenience: label + config + a single-app mix named after the app
+  /// (the single-core characterization rigs).
+  std::size_t addSingleApp(std::string label, const SystemConfig& singleCoreConfig,
+                           const std::string& appName);
+
+  const std::vector<Job>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+struct SweepOptions {
+  /// Worker threads: 1 = serial (in the calling thread, exactly today's
+  /// behaviour), 0 = one per hardware thread, N = N workers.
+  unsigned jobs = 1;
+  /// Info-level progress narration ("sweep: 12/50 ...") as jobs finish.
+  bool narrate = false;
+};
+
+/// Resolves a `jobs=` setting to a worker count (0 -> hardware threads).
+unsigned resolveJobs(unsigned jobs);
+
+/// Runs every job of the plan and returns results in plan order.
+std::vector<RunResult> runPlan(const SweepPlan& plan, const SweepOptions& opts = {});
+
+}  // namespace renuca::sim

@@ -1,0 +1,360 @@
+// Sweep engine tests: the work-stealing thread pool, SweepPlan/runPlan
+// semantics (plan-order results, per-job trace paths), PolicySweep
+// aggregation math against hand-computed fixtures, and the determinism
+// contract — jobs=4 and jobs=1 produce identical RunResults and
+// byte-identical run reports modulo the provenance fields.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
+
+namespace renuca {
+namespace {
+
+std::string tmpPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // nothing submitted
+  EXPECT_EQ(pool.threadCount(), 2u);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  // wait() must cover work spawned by running tasks (stealing makes this
+  // the common case for recursive fan-out).
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &count] {
+      for (int j = 0; j < 8; ++j) {
+        pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 16 * 8);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // no wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(Sweep, ResolveJobsMapsZeroToHardware) {
+  EXPECT_EQ(sim::resolveJobs(0), ThreadPool::hardwareThreads());
+  EXPECT_EQ(sim::resolveJobs(1), 1u);
+  EXPECT_EQ(sim::resolveJobs(7), 7u);
+}
+
+// --- SweepPlan -------------------------------------------------------------
+
+TEST(Sweep, AddSingleAppBuildsOneAppMix) {
+  sim::SweepPlan plan;
+  sim::SystemConfig cfg = sim::singleCore();
+  std::size_t idx = plan.addSingleApp("mcf-label", cfg, "mcf");
+  EXPECT_EQ(idx, 0u);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.jobs()[0].label, "mcf-label");
+  EXPECT_EQ(plan.jobs()[0].mix.name, "mcf");
+  ASSERT_EQ(plan.jobs()[0].mix.appNames.size(), 1u);
+  EXPECT_EQ(plan.jobs()[0].mix.appNames[0], "mcf");
+}
+
+TEST(Sweep, RunPlanOnEmptyPlanReturnsEmpty) {
+  sim::SweepPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(sim::runPlan(plan).empty());
+}
+
+TEST(Sweep, PolicySweepPlanOrderIsPolicyMajor) {
+  std::vector<core::PolicyKind> policies = {core::PolicyKind::SNuca,
+                                            core::PolicyKind::ReNuca};
+  std::vector<workload::WorkloadMix> mixes = {workload::standardMixes()[0],
+                                              workload::standardMixes()[1]};
+  sim::SweepPlan plan = sim::policySweepPlan(sim::defaultConfig(), policies, mixes);
+  ASSERT_EQ(plan.size(), 4u);
+  // Job p*M+m is policies[p] on mixes[m]; labels are "Policy/mix".
+  EXPECT_EQ(plan.jobs()[0].label, "S-NUCA/" + mixes[0].name);
+  EXPECT_EQ(plan.jobs()[1].label, "S-NUCA/" + mixes[1].name);
+  EXPECT_EQ(plan.jobs()[2].label, "Re-NUCA/" + mixes[0].name);
+  EXPECT_EQ(plan.jobs()[3].label, "Re-NUCA/" + mixes[1].name);
+  EXPECT_EQ(plan.jobs()[2].config.policy, core::PolicyKind::ReNuca);
+  EXPECT_EQ(plan.jobs()[3].mix.name, mixes[1].name);
+}
+
+TEST(Sweep, AssembleReshapesPlanOrderedResults) {
+  std::vector<core::PolicyKind> policies = {core::PolicyKind::SNuca,
+                                            core::PolicyKind::RNuca};
+  std::vector<workload::WorkloadMix> mixes = {workload::standardMixes()[0],
+                                              workload::standardMixes()[1],
+                                              workload::standardMixes()[2]};
+  std::vector<sim::RunResult> flat(6);
+  for (std::size_t i = 0; i < flat.size(); ++i) flat[i].measuredCycles = 100 + i;
+  sim::PolicySweep sweep = sim::assemblePolicySweep(policies, mixes, std::move(flat));
+  ASSERT_EQ(sweep.results.size(), 2u);
+  ASSERT_EQ(sweep.results[0].size(), 3u);
+  EXPECT_EQ(sweep.at(0, 0).measuredCycles, 100u);
+  EXPECT_EQ(sweep.at(0, 2).measuredCycles, 102u);
+  EXPECT_EQ(sweep.at(1, 0).measuredCycles, 103u);
+  EXPECT_EQ(sweep.at(1, 2).measuredCycles, 105u);
+}
+
+// --- PolicySweep aggregation math (hand-computed fixtures) -----------------
+
+/// Two policies x two mixes, two banks, lifetimes and IPCs chosen so
+/// every aggregate works out to a closed-form value.
+sim::PolicySweep fixtureSweep() {
+  sim::PolicySweep s;
+  s.policies = {core::PolicyKind::SNuca, core::PolicyKind::ReNuca};
+  workload::WorkloadMix a, b;
+  a.name = "A";
+  b.name = "B";
+  s.mixes = {a, b};
+  s.results.resize(2, std::vector<sim::RunResult>(2));
+
+  // S-NUCA: lifetimes {10, 10} on both mixes; IPC 2.0 and 4.0.
+  for (int m = 0; m < 2; ++m) s.results[0][m].bankLifetimeYears = {10.0, 10.0};
+  s.results[0][0].systemIpc = 2.0;
+  s.results[0][1].systemIpc = 4.0;
+
+  // Re-NUCA: bank0 {2, 4}, bank1 {8, 8}; IPC 2.5 and 4.4.
+  s.results[1][0].bankLifetimeYears = {2.0, 8.0};
+  s.results[1][1].bankLifetimeYears = {4.0, 8.0};
+  s.results[1][0].systemIpc = 2.5;
+  s.results[1][1].systemIpc = 4.4;
+  return s;
+}
+
+TEST(PolicySweepMath, HarmonicLifetimesPerBank) {
+  sim::PolicySweep s = fixtureSweep();
+  std::vector<double> h = s.harmonicLifetimesPerBank(1);
+  ASSERT_EQ(h.size(), 2u);
+  // bank0: 2 / (1/2 + 1/4) = 8/3; bank1: 2 / (1/8 + 1/8) = 8.
+  EXPECT_NEAR(h[0], 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h[1], 8.0, 1e-12);
+  // The uniform policy's harmonic mean is the common value.
+  std::vector<double> hs = s.harmonicLifetimesPerBank(0);
+  EXPECT_NEAR(hs[0], 10.0, 1e-12);
+  EXPECT_NEAR(hs[1], 10.0, 1e-12);
+}
+
+TEST(PolicySweepMath, RawMinLifetime) {
+  sim::PolicySweep s = fixtureSweep();
+  // Minimum over all (bank, mix) samples of each policy.
+  EXPECT_NEAR(s.rawMinLifetime(0), 10.0, 1e-12);
+  EXPECT_NEAR(s.rawMinLifetime(1), 2.0, 1e-12);
+}
+
+TEST(PolicySweepMath, IpcImprovementVsSnuca) {
+  sim::PolicySweep s = fixtureSweep();
+  // Per mix: (val/ref - 1) * 100 -> 2.5/2.0 = +25%, 4.4/4.0 = +10%.
+  std::vector<double> imp = s.ipcImprovementVsSnuca(1);
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0], 25.0, 1e-9);
+  EXPECT_NEAR(imp[1], 10.0, 1e-9);
+  EXPECT_NEAR(s.meanIpcImprovementVsSnuca(1), 17.5, 1e-9);
+  // S-NUCA against itself is identically zero.
+  for (double v : s.ipcImprovementVsSnuca(0)) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(PolicySweepMath, MeanSystemIpc) {
+  sim::PolicySweep s = fixtureSweep();
+  EXPECT_NEAR(s.meanSystemIpc(0), 3.0, 1e-12);
+  EXPECT_NEAR(s.meanSystemIpc(1), 3.45, 1e-12);
+}
+
+// --- Determinism contract --------------------------------------------------
+
+sim::SystemConfig fastConfig() {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.instrPerCore = 6000;
+  cfg.warmupInstrPerCore = 1500;
+  cfg.prewarmInstrPerCore = 150000;
+  cfg.placementRefreshInstrPerCore = 50000;
+  return cfg;
+}
+
+/// Strips report lines carrying provenance that is allowed to differ
+/// between runs (timestamps, wall time, host, worker count).
+std::string stripProvenance(const std::string& report) {
+  std::istringstream is(report);
+  std::ostringstream os;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"generated_unix\"") != std::string::npos) continue;
+    if (line.find("\"wall_seconds\"") != std::string::npos) continue;
+    if (line.find("\"host\"") != std::string::npos) continue;
+    if (line.find("\"jobs\"") != std::string::npos) continue;
+    os << line << '\n';
+  }
+  return os.str();
+}
+
+TEST(SweepDeterminism, ParallelMatchesSerialRunResults) {
+  std::vector<core::PolicyKind> policies = {core::PolicyKind::SNuca,
+                                            core::PolicyKind::ReNuca};
+  std::vector<workload::WorkloadMix> mixes = {workload::standardMixes()[0],
+                                              workload::standardMixes()[1]};
+  sim::SweepOptions serial;
+  serial.jobs = 1;
+  sim::SweepOptions parallel;
+  parallel.jobs = 4;
+  sim::PolicySweep a = sim::sweepPolicies(fastConfig(), policies, mixes, serial);
+  sim::PolicySweep b = sim::sweepPolicies(fastConfig(), policies, mixes, parallel);
+
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      const sim::RunResult& ra = a.at(p, m);
+      const sim::RunResult& rb = b.at(p, m);
+      EXPECT_EQ(ra.measuredCycles, rb.measuredCycles);
+      EXPECT_EQ(ra.bankWrites, rb.bankWrites);
+      EXPECT_EQ(ra.coreIpc, rb.coreIpc);
+      EXPECT_EQ(ra.mixName, rb.mixName);
+      EXPECT_EQ(ra.policy, rb.policy);
+      EXPECT_DOUBLE_EQ(ra.systemIpc, rb.systemIpc);
+    }
+  }
+
+  // Run reports built from both sweeps are byte-identical once the
+  // provenance lines (the only allowed difference) are dropped.
+  auto entries = [&policies, &mixes](const sim::PolicySweep& s) {
+    std::vector<sim::ReportEntry> out;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      for (std::size_t m = 0; m < mixes.size(); ++m) {
+        out.push_back({std::string(core::toString(policies[p])) + "/" +
+                           mixes[m].name,
+                       s.at(p, m)});
+      }
+    }
+    return out;
+  };
+  std::string pa = tmpPath("sweep_serial.json");
+  std::string pb = tmpPath("sweep_parallel.json");
+  ASSERT_TRUE(sim::writeRunReport(pa, "determinism", fastConfig(), entries(a),
+                                  1.25, 1));
+  ASSERT_TRUE(sim::writeRunReport(pb, "determinism", fastConfig(), entries(b),
+                                  0.75, 4));
+  std::string da = slurp(pa);
+  std::string db = slurp(pb);
+  EXPECT_NE(da, db);  // wall_seconds and jobs differ...
+  EXPECT_EQ(stripProvenance(da), stripProvenance(db));  // ...nothing else.
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(SweepDeterminism, OversubscribedPoolMatchesSerial) {
+  // More workers than jobs must not change anything either.
+  sim::SweepPlan plan;
+  sim::SystemConfig cfg = fastConfig();
+  plan.add(sim::Job{"one", cfg, workload::standardMixes()[0]});
+  plan.add(sim::Job{"two", cfg, workload::standardMixes()[1]});
+  sim::SweepOptions wide;
+  wide.jobs = 16;
+  std::vector<sim::RunResult> a = sim::runPlan(plan);
+  std::vector<sim::RunResult> b = sim::runPlan(plan, wide);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].measuredCycles, b[i].measuredCycles);
+    EXPECT_EQ(a[i].bankWrites, b[i].bankWrites);
+  }
+}
+
+TEST(Sweep, TracedJobsGetDistinctFiles) {
+  // Two jobs sharing one trace path: the plan splices the job index in
+  // ("t.json" -> "t.j0.json"/"t.j1.json") regardless of jobs=, so the
+  // file set does not depend on the worker count.
+  sim::SystemConfig cfg = fastConfig();
+  cfg.traceJsonPath = tmpPath("sweeptrace.json");
+  sim::SweepPlan plan;
+  plan.add(sim::Job{"one", cfg, workload::standardMixes()[0]});
+  plan.add(sim::Job{"two", cfg, workload::standardMixes()[1]});
+  sim::SweepOptions opts;
+  opts.jobs = 2;
+  sim::runPlan(plan, opts);
+  std::string t0 = tmpPath("sweeptrace.j0.json");
+  std::string t1 = tmpPath("sweeptrace.j1.json");
+  EXPECT_FALSE(slurp(t0).empty());
+  EXPECT_FALSE(slurp(t1).empty());
+  std::remove(t0.c_str());
+  std::remove(t1.c_str());
+}
+
+TEST(Sweep, RunSingleAppViaPlanMatchesDirectCall) {
+  sim::SystemConfig cfg = sim::singleCore();
+  cfg.instrPerCore = 6000;
+  cfg.warmupInstrPerCore = 1500;
+  sim::RunResult direct = sim::runSingleApp(cfg, "mcf");
+  sim::SweepPlan plan;
+  plan.addSingleApp("mcf", cfg, "mcf");
+  sim::RunResult viaPlan = std::move(sim::runPlan(plan)[0]);
+  EXPECT_EQ(direct.measuredCycles, viaPlan.measuredCycles);
+  EXPECT_EQ(direct.bankWrites, viaPlan.bankWrites);
+  EXPECT_EQ(direct.coreIpc, viaPlan.coreIpc);
+}
+
+}  // namespace
+}  // namespace renuca
