@@ -40,6 +40,10 @@ inline sim::SweepOptions sweepOptions(const KvConfig& kv) {
   sim::SweepOptions opts;
   opts.jobs = static_cast<unsigned>(kv.getOr("jobs", static_cast<std::int64_t>(1)));
   opts.narrate = opts.jobs != 1;
+  // snapshot_dir= turns on warm-start snapshot sharing: jobs with matching
+  // warm-up-relevant configs share one post-fast-forward snapshot, and the
+  // directory persists across benches so later plans reuse it.
+  if (auto p = kv.getString("snapshot_dir")) opts.warmStartDir = *p;
   return opts;
 }
 

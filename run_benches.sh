@@ -47,9 +47,13 @@ if [ "$quick" = 1 ]; then
   # Reduced-budget subset: the quick sanity pass that used to live in
   # run_benches2.sh.
   run bench_fig5_rob_stalls         ./build/bench/bench_fig5_rob_stalls instr_per_core=25000 "jobs=$jobs" "report_json=$report_dir/bench_fig5_rob_stalls.json"
-  run bench_fig7_predictor_accuracy ./build/bench/bench_fig7_predictor_accuracy instr_per_core=20000 "jobs=$jobs" "report_json=$report_dir/bench_fig7_predictor_accuracy.json"
-  run bench_fig8_noncritical_blocks ./build/bench/bench_fig8_noncritical_blocks instr_per_core=20000 "jobs=$jobs" "report_json=$report_dir/bench_fig8_noncritical_blocks.json"
-  run bench_fig9_noncritical_writes ./build/bench/bench_fig9_noncritical_writes instr_per_core=20000 "jobs=$jobs" "report_json=$report_dir/bench_fig9_noncritical_writes.json"
+  # The criticality benches share warm-state snapshots (snapshot_dir=):
+  # their threshold sweeps differ only in measurement-window knobs, so one
+  # fast-forward per app serves all of them — fig7 writes the snapshots,
+  # fig8/fig9 restore them (see src/sim/fingerprint.hpp).
+  run bench_fig7_predictor_accuracy ./build/bench/bench_fig7_predictor_accuracy instr_per_core=20000 "jobs=$jobs" "snapshot_dir=$report_dir/warm" "report_json=$report_dir/bench_fig7_predictor_accuracy.json"
+  run bench_fig8_noncritical_blocks ./build/bench/bench_fig8_noncritical_blocks instr_per_core=20000 "jobs=$jobs" "snapshot_dir=$report_dir/warm" "report_json=$report_dir/bench_fig8_noncritical_blocks.json"
+  run bench_fig9_noncritical_writes ./build/bench/bench_fig9_noncritical_writes instr_per_core=20000 "jobs=$jobs" "snapshot_dir=$report_dir/warm" "report_json=$report_dir/bench_fig9_noncritical_writes.json"
   run bench_table2_app_characteristics ./build/bench/bench_table2_app_characteristics "jobs=$jobs" "report_json=$report_dir/bench_table2_app_characteristics.json"
   run bench_fig4_tradeoff           ./build/bench/bench_fig4_tradeoff mixes=6 "jobs=$jobs" "report_json=$report_dir/bench_fig4_tradeoff.json"
   run bench_table3_raw_min_lifetime ./build/bench/bench_table3_raw_min_lifetime mixes=3 "jobs=$jobs" "report_json=$report_dir/bench_table3_raw_min_lifetime.json"
@@ -66,7 +70,7 @@ else
         run "$name" "$b" "--benchmark_out=$report_dir/$name.json" --benchmark_out_format=json
         ;;
       *)
-        run "$name" "$b" "jobs=$jobs" "report_json=$report_dir/$name.json"
+        run "$name" "$b" "jobs=$jobs" "snapshot_dir=$report_dir/warm" "report_json=$report_dir/$name.json"
         ;;
     esac
   done

@@ -39,6 +39,18 @@ class Pcg32 {
   /// input.
   std::size_t weightedPick(const std::vector<double>& weights);
 
+  /// Snapshot of the generator's full state; restoring it resumes the
+  /// stream at exactly the same point (warm-state checkpoints).
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+  };
+  State saveState() const { return {state_, inc_}; }
+  void restoreState(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

@@ -1,6 +1,7 @@
 #include "core/cpt.hpp"
 
 #include "common/log.hpp"
+#include "serial/archive.hpp"
 
 namespace renuca::core {
 
@@ -65,6 +66,37 @@ bool CriticalityPredictorTable::train(std::uint64_t pc, bool stalledRobHead) {
   ++c.numLoadsCount;
   if (stalledRobHead) ++c.robBlockCount;
   return verdictOf(c) != before;
+}
+
+void CriticalityPredictorTable::saveState(serial::ArchiveWriter& ar) const {
+  ar.putU64(fifo_.size());
+  for (std::uint64_t pc : fifo_) {
+    auto it = table_.find(pc);
+    RENUCA_ASSERT(it != table_.end(), "CPT fifo/table out of sync");
+    ar.putU64(pc);
+    ar.putU64(it->second.counters.numLoadsCount);
+    ar.putU64(it->second.counters.robBlockCount);
+  }
+}
+
+bool CriticalityPredictorTable::loadState(serial::ArchiveReader& ar) {
+  std::uint64_t count = ar.getU64();
+  if (!ar.ok() || count > cfg_.capacity) {
+    logMessage(LogLevel::Warn, "serial", "cpt: snapshot entry count exceeds capacity");
+    return false;
+  }
+  table_.clear();
+  fifo_.clear();
+  for (std::uint64_t i = 0; i < count && ar.ok(); ++i) {
+    std::uint64_t pc = ar.getU64();
+    Entry e;
+    e.counters.numLoadsCount = ar.getU64();
+    e.counters.robBlockCount = ar.getU64();
+    fifo_.push_back(pc);
+    e.fifoIt = std::prev(fifo_.end());
+    table_.emplace(pc, e);
+  }
+  return ar.ok() && ar.remaining() == 0;
 }
 
 CriticalityPredictorTable::Counters CriticalityPredictorTable::countersFor(

@@ -22,6 +22,7 @@
 
 #include "common/stats.hpp"
 #include "cpu/core.hpp"
+#include "serial/checkpointable.hpp"
 
 namespace renuca::core {
 
@@ -34,7 +35,8 @@ struct CptConfig {
   bool coldPredictsCritical = false;
 };
 
-class CriticalityPredictorTable final : public cpu::CriticalityPredictor {
+class CriticalityPredictorTable final : public cpu::CriticalityPredictor,
+                                        public serial::Checkpointable {
  public:
   explicit CriticalityPredictorTable(const CptConfig& config);
 
@@ -53,6 +55,11 @@ class CriticalityPredictorTable final : public cpu::CriticalityPredictor {
   std::size_t size() const { return table_.size(); }
   const CptConfig& config() const { return cfg_; }
   const StatSet& stats() const { return stats_; }
+
+  // Serializes the tracked PCs in FIFO (insertion) order so that eviction
+  // order survives a save/load round trip; statistics are excluded.
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
 
  private:
   struct Entry {

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "serial/checkpointable.hpp"
 
 namespace renuca::core {
 
@@ -28,7 +29,7 @@ enum class PolicyKind : std::uint8_t { SNuca, RNuca, Private, Naive, ReNuca };
 const char* toString(PolicyKind kind);
 PolicyKind policyFromString(const std::string& name);
 
-class MappingPolicy {
+class MappingPolicy : public serial::Checkpointable {
  public:
   virtual ~MappingPolicy() = default;
 
@@ -58,6 +59,15 @@ class MappingPolicy {
   virtual bool needsMbv() const { return false; }
   /// True if the policy needs a criticality predictor.
   virtual bool needsPredictor() const { return false; }
+
+  // Checkpointing.  Most policies are pure functions of the address and
+  // carry no placement state, so the default round trip is empty; Naive
+  // overrides to persist its line directory.
+  void saveState(serial::ArchiveWriter& ar) const override { (void)ar; }
+  bool loadState(serial::ArchiveReader& ar) override {
+    (void)ar;
+    return true;
+  }
 };
 
 }  // namespace renuca::core

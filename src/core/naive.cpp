@@ -1,6 +1,10 @@
 #include "core/naive.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/log.hpp"
+#include "serial/archive.hpp"
 
 namespace renuca::core {
 
@@ -48,6 +52,33 @@ void NaivePolicy::onFill(BlockAddr block, BankId bank) { directory_[block] = ban
 void NaivePolicy::onEvict(BlockAddr block, BankId bank) {
   auto it = directory_.find(block);
   if (it != directory_.end() && it->second == bank) directory_.erase(it);
+}
+
+void NaivePolicy::saveState(serial::ArchiveWriter& ar) const {
+  std::vector<std::pair<BlockAddr, BankId>> sorted(directory_.begin(),
+                                                   directory_.end());
+  std::sort(sorted.begin(), sorted.end());
+  ar.putU64(sorted.size());
+  for (const auto& [block, bank] : sorted) {
+    ar.putU64(block);
+    ar.putU32(bank);
+  }
+}
+
+bool NaivePolicy::loadState(serial::ArchiveReader& ar) {
+  std::uint64_t count = ar.getU64();
+  directory_.clear();
+  directory_.reserve(count);
+  for (std::uint64_t i = 0; i < count && ar.ok(); ++i) {
+    BlockAddr block = ar.getU64();
+    BankId bank = ar.getU32();
+    if (bank >= numBanks_) {
+      logMessage(LogLevel::Warn, "serial", "naive: directory bank out of range");
+      return false;
+    }
+    directory_.emplace(block, bank);
+  }
+  return ar.ok() && ar.remaining() == 0;
 }
 
 }  // namespace renuca::core

@@ -32,6 +32,11 @@ class NaivePolicy final : public MappingPolicy {
 
   std::size_t directorySize() const { return directory_.size(); }
 
+  // Persists the oracle line directory (sorted by block for canonical
+  // bytes); the bankWrites oracle is wiring, not state.
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
+
  private:
   std::uint32_t numBanks_;
   std::function<std::uint64_t(BankId)> bankWrites_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "serial/archive.hpp"
 
 namespace renuca::dram {
 
@@ -84,6 +85,27 @@ Cycle DramController::access(Addr paddr, AccessType type, Cycle now) {
 
   ++*(type == AccessType::Read ? readCount_ : writeCount_);
   return done;
+}
+
+void DramController::saveState(serial::ArchiveWriter& ar) const {
+  ar.putU32(static_cast<std::uint32_t>(banks_.size()));
+  for (const BankState& b : banks_) {
+    ar.putBool(b.rowOpen);
+    ar.putU64(b.openRow);
+  }
+}
+
+bool DramController::loadState(serial::ArchiveReader& ar) {
+  std::uint32_t count = ar.getU32();
+  if (!ar.ok() || count != banks_.size()) {
+    logMessage(LogLevel::Warn, "serial", "dram: snapshot bank count mismatch");
+    return false;
+  }
+  for (BankState& b : banks_) {
+    b.rowOpen = ar.getBool();
+    b.openRow = ar.getU64();
+  }
+  return ar.ok() && ar.remaining() == 0;
 }
 
 double DramController::rowHitRate() const {

@@ -23,6 +23,7 @@
 #include "common/busy_calendar.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "serial/checkpointable.hpp"
 
 namespace renuca::dram {
 
@@ -68,7 +69,7 @@ struct DramAddr {
 /// streams enjoy row-buffer hits: [offset 6][ch 2][col 5][bank 3][rank 1][row ...].
 DramAddr mapAddress(Addr paddr, const DramConfig& cfg);
 
-class DramController {
+class DramController : public serial::Checkpointable {
  public:
   explicit DramController(const DramConfig& config);
 
@@ -80,6 +81,13 @@ class DramController {
   const DramConfig& config() const { return cfg_; }
   const StatSet& stats() const { return stats_; }
   double rowHitRate() const;
+
+  // Checkpointing: only per-bank open-row registers ride along.  Busy-until
+  // calendars and statistics are transient timing state, excluded by the
+  // serialization contract (they are pristine at the snapshot point — the
+  // untimed warm-up never reserves a bank or a bus).
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
 
  private:
   struct BankState {

@@ -156,7 +156,13 @@ bool CacheBank::access(BlockAddr block, AccessType type) {
   return true;
 }
 
-Eviction CacheBank::insert(BlockAddr block, bool dirty) {
+bool CacheBank::lineCritical(BlockAddr block) const {
+  std::uint32_t set = setOf(block);
+  auto way = findWay(set, block);
+  return way.has_value() && frames_[frameIndex(set, *way)].critical;
+}
+
+Eviction CacheBank::insert(BlockAddr block, bool dirty, bool critical) {
   std::uint32_t set = setOf(block);
   RENUCA_ASSERT(!findWay(set, block).has_value(),
                 "insert of already-resident block in " + name_);
@@ -192,6 +198,7 @@ Eviction CacheBank::insert(BlockAddr block, bool dirty) {
   f.tag = block;
   f.valid = true;
   f.dirty = dirty;
+  f.critical = critical;
   recordFrameWrite(set, way);
   touch(set, way);
   ++*hot_.fills;
@@ -206,6 +213,7 @@ std::optional<bool> CacheBank::invalidate(BlockAddr block) {
   bool dirty = f.dirty;
   f.valid = false;
   f.dirty = false;
+  f.critical = false;
   ++*hot_.invalidations;
   return dirty;
 }
@@ -263,6 +271,7 @@ CacheBank::FrameDeath CacheBank::retireFrame(std::uint32_t set, std::uint32_t wa
   death.writes = cfg_.trackFrameWrites ? frameWrites_[idx] : 0;
   f.valid = false;
   f.dirty = false;
+  f.critical = false;
   frameDead_[idx] = 1;
   ++deadFrames_;
   stats_.inc("frame_deaths");
@@ -320,8 +329,73 @@ void CacheBank::flushAll() {
   for (Frame& f : frames_) {
     f.valid = false;
     f.dirty = false;
+    f.critical = false;
   }
   if (!plruBits_.empty()) std::fill(plruBits_.begin(), plruBits_.end(), 0u);
+}
+
+void CacheBank::saveState(serial::ArchiveWriter& ar) const {
+  // Geometry and wear totals lead the payload so tools/ckpt_inspect can
+  // report per-bank write totals without constructing banks.
+  ar.putU32(numSets_);
+  ar.putU32(cfg_.ways);
+  ar.putU64(totalWrites_);
+  ar.putU32(deadFrames_);
+  ar.putBool(!frameWrites_.empty());
+  for (std::uint64_t w : frameWrites_) ar.putU64(w);
+  for (const Frame& f : frames_) {
+    ar.putU64(f.tag);
+    std::uint8_t flags = (f.valid ? 1u : 0u) | (f.dirty ? 2u : 0u) |
+                         (f.critical ? 4u : 0u);
+    ar.putU8(flags);
+    ar.putU64(f.lastUse);
+  }
+  ar.putU32(static_cast<std::uint32_t>(plruBits_.size()));
+  for (std::uint32_t b : plruBits_) ar.putU32(b);
+  ar.putBool(!frameDead_.empty());
+  if (!frameDead_.empty()) ar.putBytes(frameDead_.data(), frameDead_.size());
+  ar.putU64(useTick_);
+  ar.putU64(fillTick_);
+  Pcg32::State rng = rng_.saveState();
+  ar.putU64(rng.state);
+  ar.putU64(rng.inc);
+}
+
+bool CacheBank::loadState(serial::ArchiveReader& ar) {
+  if (ar.getU32() != numSets_ || ar.getU32() != cfg_.ways) return false;
+  totalWrites_ = ar.getU64();
+  deadFrames_ = ar.getU32();
+  bool hasWrites = ar.getBool();
+  if (hasWrites != !frameWrites_.empty()) return false;
+  for (std::uint64_t& w : frameWrites_) w = ar.getU64();
+  for (Frame& f : frames_) {
+    f.tag = ar.getU64();
+    std::uint8_t flags = ar.getU8();
+    f.valid = (flags & 1u) != 0;
+    f.dirty = (flags & 2u) != 0;
+    f.critical = (flags & 4u) != 0;
+    f.lastUse = ar.getU64();
+  }
+  std::uint32_t plruCount = ar.getU32();
+  if (plruCount != plruBits_.size()) return false;
+  for (std::uint32_t& b : plruBits_) b = ar.getU32();
+  if (ar.getBool()) {
+    // A saved dead-frame map restores even if this bank has none allocated
+    // yet (fault model attached but no deaths at snapshot time is the
+    // common case — the map exists but is all-zero).
+    if (frameDead_.empty()) frameDead_.assign(frames_.size(), 0);
+    for (std::uint8_t& d : frameDead_) d = ar.getU8();
+  } else if (!frameDead_.empty()) {
+    std::fill(frameDead_.begin(), frameDead_.end(), std::uint8_t{0});
+  }
+  useTick_ = ar.getU64();
+  fillTick_ = ar.getU64();
+  Pcg32::State rng;
+  rng.state = ar.getU64();
+  rng.inc = ar.getU64();
+  rng_.restoreState(rng);
+  pendingDeaths_.clear();
+  return ar.ok() && ar.remaining() == 0;
 }
 
 }  // namespace renuca::mem

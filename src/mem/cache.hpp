@@ -29,6 +29,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "rram/fault_model.hpp"
+#include "serial/checkpointable.hpp"
 
 namespace renuca::mem {
 
@@ -68,7 +69,7 @@ struct Eviction {
   bool dirty = false;
 };
 
-class CacheBank {
+class CacheBank : public serial::Checkpointable {
  public:
   CacheBank(const CacheConfig& config, std::string name, std::uint64_t seed = 0);
 
@@ -85,8 +86,15 @@ class CacheBank {
   /// Allocates a frame for `block` (which must not be resident), evicting
   /// the replacement victim if the set is full.  Counts one frame write
   /// (the fill).  `dirty` marks the line dirty on arrival (write-allocate
-  /// store or dirty write-back from an upper level).
-  Eviction insert(BlockAddr block, bool dirty);
+  /// store or dirty write-back from an upper level).  `critical` records
+  /// the criticality verdict of the access that triggered the fill; it is
+  /// line metadata, fixed until the line is evicted (the Fig 9
+  /// write-criticality accounting), and LLC banks are its only consumer.
+  Eviction insert(BlockAddr block, bool dirty, bool critical = false);
+
+  /// The criticality verdict recorded when the block was filled; false if
+  /// the block is not resident.
+  bool lineCritical(BlockAddr block) const;
 
   /// Removes the block if present; returns its dirty state.
   std::optional<bool> invalidate(BlockAddr block);
@@ -137,6 +145,14 @@ class CacheBank {
   /// steady-state window.  Dead frames stay dead (wear-out is permanent),
   /// and in-window write budgets restart with the zeroed counters.
   void resetMeasurement();
+
+  // --- Checkpointing ------------------------------------------------------
+  // Serializes the functional state: frames (tags, dirty/critical bits,
+  // recency), replacement state, per-frame write counters, dead-frame map,
+  // and the replacement RNG stream.  The busy-until calendar (timing) and
+  // statistics are excluded — see serial/checkpointable.hpp.
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
 
   // --- Wear-out faults and graceful degradation ---------------------------
 
@@ -223,6 +239,8 @@ class CacheBank {
     BlockAddr tag = 0;
     bool valid = false;
     bool dirty = false;
+    /// Criticality verdict at fill time (LLC banks; see insert()).
+    bool critical = false;
     std::uint64_t lastUse = 0;  // LRU timestamp
   };
   std::vector<Frame> frames_;            // numSets * ways

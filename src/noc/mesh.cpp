@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.hpp"
+#include "serial/archive.hpp"
 
 namespace renuca::noc {
 
@@ -71,6 +72,19 @@ Cycle MeshNoc::roundTrip(std::uint32_t src, std::uint32_t dst, Cycle departAt) {
 
 std::uint64_t MeshNoc::linkTraffic(std::uint32_t node, Dir dir) const {
   return linkFlits_[linkIndex(node, dir)];
+}
+
+void MeshNoc::saveState(serial::ArchiveWriter& ar) const {
+  ar.putU32(numNodes());
+}
+
+bool MeshNoc::loadState(serial::ArchiveReader& ar) {
+  std::uint32_t nodes = ar.getU32();
+  if (!ar.ok() || nodes != numNodes()) {
+    logMessage(LogLevel::Warn, "serial", "noc: snapshot mesh size mismatch");
+    return false;
+  }
+  return ar.ok() && ar.remaining() == 0;
 }
 
 double MeshNoc::avgPacketLatency() const {

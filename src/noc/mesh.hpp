@@ -16,6 +16,7 @@
 #include "common/busy_calendar.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "serial/checkpointable.hpp"
 
 namespace renuca::noc {
 
@@ -31,7 +32,7 @@ struct NocConfig {
 /// Identifies one directed link: from node `node` toward direction `dir`.
 enum class Dir : std::uint8_t { East = 0, West = 1, North = 2, South = 3 };
 
-class MeshNoc {
+class MeshNoc : public serial::Checkpointable {
  public:
   explicit MeshNoc(const NocConfig& config);
 
@@ -58,6 +59,13 @@ class MeshNoc {
   /// Flits carried by each directed link, indexed [node][dir].
   std::uint64_t linkTraffic(std::uint32_t node, Dir dir) const;
   double avgPacketLatency() const;
+
+  // Checkpointing: the mesh holds only transient timing state (link
+  // busy-until calendars) and statistics, both excluded by the
+  // serialization contract.  The section carries just a geometry marker so
+  // that loading a snapshot into a differently sized mesh is rejected.
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
 
  private:
   std::size_t linkIndex(std::uint32_t node, Dir dir) const {

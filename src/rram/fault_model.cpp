@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "serial/archive.hpp"
 
 namespace renuca::rram {
 
@@ -51,6 +52,25 @@ BankFaultModel::BankFaultModel(const FaultConfig& cfg, BankId bank,
     std::uint32_t idx = sf.set * ways + sf.way;
     limit_[idx] = std::min(limit_[idx], std::max<std::uint64_t>(1, sf.value));
   }
+}
+
+void BankFaultModel::saveState(serial::ArchiveWriter& ar) const {
+  ar.putU32(ways_);
+  ar.putU32(static_cast<std::uint32_t>(variation_.size()));
+  for (double v : variation_) ar.putDouble(v);
+  for (std::uint64_t lim : limit_) ar.putU64(lim);
+}
+
+bool BankFaultModel::loadState(serial::ArchiveReader& ar) {
+  std::uint32_t ways = ar.getU32();
+  std::uint32_t numFrames = ar.getU32();
+  if (!ar.ok() || ways != ways_ || numFrames != variation_.size()) {
+    logMessage(LogLevel::Warn, "serial", "fault model: snapshot geometry mismatch");
+    return false;
+  }
+  for (double& v : variation_) v = ar.getDouble();
+  for (std::uint64_t& lim : limit_) lim = ar.getU64();
+  return ar.ok() && ar.remaining() == 0;
 }
 
 double degradedCapacityLifetimeYears(const std::vector<std::uint64_t>& frameWrites,

@@ -32,6 +32,7 @@
 
 #include "common/types.hpp"
 #include "rram/endurance.hpp"
+#include "serial/checkpointable.hpp"
 
 namespace renuca::rram {
 
@@ -69,7 +70,7 @@ struct FaultConfig {
 /// Per-bank view of the fault model: frame budgets (process variation x
 /// mean budget, tightened by any AtWrites-scheduled faults on this bank).
 /// Frames are indexed set * ways + way, matching mem::CacheBank.
-class BankFaultModel {
+class BankFaultModel : public serial::Checkpointable {
  public:
   static constexpr std::uint64_t kNoLimit = std::numeric_limits<std::uint64_t>::max();
 
@@ -86,6 +87,14 @@ class BankFaultModel {
   /// In-window write limit for `frame`; kNoLimit when the frame never
   /// wears out inside the window.
   std::uint64_t writeLimit(std::uint32_t frame) const { return limit_[frame]; }
+
+  // Serializes the per-frame variation multipliers and write limits so a
+  // restored run reproduces the exact fault schedule of the run that saved
+  // the snapshot (the budgets derive from the fault seed, which is part of
+  // the warm-state fingerprint, but carrying them in the archive guards
+  // against loading a snapshot into a differently configured model).
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
 
  private:
   std::uint32_t ways_;

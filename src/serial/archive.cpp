@@ -1,0 +1,290 @@
+#include "serial/archive.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace renuca::serial {
+
+namespace {
+
+void packU32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void packU64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t unpackU32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) | (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::uint64_t unpackU64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t h) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string toString(ArchiveError err) {
+  switch (err) {
+    case ArchiveError::None: return "none";
+    case ArchiveError::OpenFailed: return "open failed";
+    case ArchiveError::BadMagic: return "bad magic";
+    case ArchiveError::BadVersion: return "unsupported version";
+    case ArchiveError::TruncatedSection: return "truncated section";
+    case ArchiveError::ChecksumMismatch: return "checksum mismatch";
+    case ArchiveError::SectionMissing: return "section missing";
+    case ArchiveError::ShortRead: return "short read";
+    case ArchiveError::IoFailed: return "io failed";
+  }
+  return "unknown";
+}
+
+// --- ArchiveWriter -----------------------------------------------------------
+
+ArchiveWriter::ArchiveWriter(const std::string& path) : path_(path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    error_ = ArchiveError::OpenFailed;
+    logMessage(LogLevel::Warn, "serial", "cannot open '" + path + "' for writing");
+    return;
+  }
+  file_ = f;
+  std::uint8_t header[sizeof(kArchiveMagic) + 4];
+  std::memcpy(header, kArchiveMagic, sizeof(kArchiveMagic));
+  packU32(header + sizeof(kArchiveMagic), kArchiveVersion);
+  if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header)) {
+    error_ = ArchiveError::IoFailed;
+  }
+}
+
+ArchiveWriter::~ArchiveWriter() { close(); }
+
+void ArchiveWriter::beginSection(const std::string& name) {
+  RENUCA_ASSERT(!inSection_, "archive section '" + sectionName_ + "' still open");
+  sectionName_ = name;
+  buf_.clear();
+  inSection_ = true;
+}
+
+void ArchiveWriter::endSection() {
+  RENUCA_ASSERT(inSection_, "endSection without beginSection");
+  inSection_ = false;
+  if (file_ == nullptr || error_ == ArchiveError::IoFailed) return;
+  std::FILE* f = static_cast<std::FILE*>(file_);
+
+  std::uint8_t frame[4 + 8 + 8];
+  packU32(frame, static_cast<std::uint32_t>(sectionName_.size()));
+  bool good = std::fwrite(frame, 1, 4, f) == 4 &&
+              std::fwrite(sectionName_.data(), 1, sectionName_.size(), f) ==
+                  sectionName_.size();
+  packU64(frame, buf_.size());
+  packU64(frame + 8, fnv1a(buf_.data(), buf_.size()));
+  good = good && std::fwrite(frame, 1, 16, f) == 16;
+  if (!buf_.empty()) {
+    good = good && std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
+  }
+  if (!good) error_ = ArchiveError::IoFailed;
+}
+
+void ArchiveWriter::putU8(std::uint8_t v) { buf_.push_back(v); }
+
+void ArchiveWriter::putU32(std::uint32_t v) {
+  std::uint8_t b[4];
+  packU32(b, v);
+  buf_.insert(buf_.end(), b, b + 4);
+}
+
+void ArchiveWriter::putU64(std::uint64_t v) {
+  std::uint8_t b[8];
+  packU64(b, v);
+  buf_.insert(buf_.end(), b, b + 8);
+}
+
+void ArchiveWriter::putDouble(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(bits);
+}
+
+void ArchiveWriter::putString(const std::string& s) {
+  putU32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ArchiveWriter::putBytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+bool ArchiveWriter::close() {
+  if (file_ == nullptr) return error_ == ArchiveError::None;
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  file_ = nullptr;
+  bool good = std::fflush(f) == 0;
+  good = std::fclose(f) == 0 && good;
+  if (!good && error_ == ArchiveError::None) error_ = ArchiveError::IoFailed;
+  if (error_ != ArchiveError::None) {
+    logMessage(LogLevel::Warn, "serial",
+               "archive write to '" + path_ + "' failed: " + toString(error_));
+  }
+  return error_ == ArchiveError::None;
+}
+
+// --- ArchiveReader -----------------------------------------------------------
+
+ArchiveReader::ArchiveReader(const std::string& path) : path_(path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail(ArchiveError::OpenFailed, "cannot open '" + path + "'");
+    return;
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size > 0) {
+    data_.resize(static_cast<std::size_t>(size));
+    if (std::fread(data_.data(), 1, data_.size(), f) != data_.size()) {
+      data_.clear();
+    }
+  }
+  std::fclose(f);
+
+  const std::size_t headerSize = sizeof(kArchiveMagic) + 4;
+  if (data_.size() < headerSize ||
+      std::memcmp(data_.data(), kArchiveMagic, sizeof(kArchiveMagic)) != 0) {
+    fail(ArchiveError::BadMagic, "'" + path + "' is not a state archive");
+    return;
+  }
+  version_ = unpackU32(data_.data() + sizeof(kArchiveMagic));
+  if (version_ != kArchiveVersion) {
+    fail(ArchiveError::BadVersion,
+         "'" + path + "' has format version " + std::to_string(version_) +
+             " (supported: " + std::to_string(kArchiveVersion) + ")");
+    return;
+  }
+
+  // Scan the section table.  A frame running past the file (partial write,
+  // truncation) invalidates the archive as a whole: any section after the
+  // damage would be unlocatable, and a restore from half a snapshot would
+  // be worse than a cold start.
+  std::size_t pos = headerSize;
+  while (pos < data_.size()) {
+    if (data_.size() - pos < 4) {
+      fail(ArchiveError::TruncatedSection, "'" + path + "' ends inside a frame");
+      return;
+    }
+    std::uint32_t nameLen = unpackU32(data_.data() + pos);
+    pos += 4;
+    if (data_.size() - pos < static_cast<std::size_t>(nameLen) + 16) {
+      fail(ArchiveError::TruncatedSection, "'" + path + "' ends inside a frame");
+      return;
+    }
+    SectionInfo info;
+    info.name.assign(reinterpret_cast<const char*>(data_.data() + pos), nameLen);
+    pos += nameLen;
+    info.size = unpackU64(data_.data() + pos);
+    info.checksum = unpackU64(data_.data() + pos + 8);
+    pos += 16;
+    if (data_.size() - pos < info.size) {
+      fail(ArchiveError::TruncatedSection,
+           "'" + path + "' section '" + info.name + "' is truncated");
+      return;
+    }
+    info.offset = pos;
+    pos += info.size;
+    sections_.push_back(std::move(info));
+  }
+}
+
+void ArchiveReader::fail(ArchiveError err, const std::string& detail) {
+  if (error_ == ArchiveError::None) {
+    error_ = err;
+    logMessage(LogLevel::Warn, "serial", detail);
+  }
+  cur_ = end_ = 0;
+}
+
+bool ArchiveReader::hasSection(const std::string& name) const {
+  for (const SectionInfo& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+bool ArchiveReader::openSection(const std::string& name) {
+  if (error_ != ArchiveError::None) return false;
+  for (const SectionInfo& s : sections_) {
+    if (s.name != name) continue;
+    if (fnv1a(data_.data() + s.offset, s.size) != s.checksum) {
+      fail(ArchiveError::ChecksumMismatch,
+           "'" + path_ + "' section '" + name + "' failed its checksum");
+      return false;
+    }
+    cur_ = static_cast<std::size_t>(s.offset);
+    end_ = cur_ + static_cast<std::size_t>(s.size);
+    return true;
+  }
+  fail(ArchiveError::SectionMissing, "'" + path_ + "' has no section '" + name + "'");
+  return false;
+}
+
+bool ArchiveReader::need(std::size_t bytes) {
+  if (end_ - cur_ >= bytes) return true;
+  fail(ArchiveError::ShortRead, "'" + path_ + "' section payload over-read");
+  return false;
+}
+
+std::uint8_t ArchiveReader::getU8() {
+  if (!need(1)) return 0;
+  return data_[cur_++];
+}
+
+std::uint32_t ArchiveReader::getU32() {
+  if (!need(4)) return 0;
+  std::uint32_t v = unpackU32(data_.data() + cur_);
+  cur_ += 4;
+  return v;
+}
+
+std::uint64_t ArchiveReader::getU64() {
+  if (!need(8)) return 0;
+  std::uint64_t v = unpackU64(data_.data() + cur_);
+  cur_ += 8;
+  return v;
+}
+
+double ArchiveReader::getDouble() {
+  std::uint64_t bits = getU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ArchiveReader::getString() {
+  std::uint32_t len = getU32();
+  if (!need(len)) return {};
+  std::string s(reinterpret_cast<const char*>(data_.data() + cur_), len);
+  cur_ += len;
+  return s;
+}
+
+}  // namespace renuca::serial

@@ -1,0 +1,145 @@
+// Versioned binary state archive: the serialization layer behind warm-state
+// snapshots (System::snapshot / restoreFrom).
+//
+// File format (v1): an 12-byte header — 8-byte magic "RENUCACP", uint32
+// format version — followed by tagged sections:
+//
+//   [u32 nameLen][name bytes][u64 payloadLen][u64 checksum][payload]
+//
+// The checksum is FNV-1a 64 over the payload bytes.  The writer buffers one
+// section at a time in memory, so a section's length and checksum are always
+// consistent with its payload, and all integers are packed little-endian
+// explicitly, so archives are byte-identical across platforms.
+//
+// Corruption handling follows the v2 trace format (workload/trace.hpp):
+// nothing here ever aborts.  Open failures, bad magic, unsupported versions,
+// truncated section frames, checksum mismatches and payload over-reads all
+// surface through ok()/error(); the restore path treats any of them as "no
+// usable snapshot" and falls back to a cold warm-up.
+//
+// Determinism contract: components must serialize canonically (sort any
+// unordered container by key) so that save -> load -> save reproduces the
+// archive byte for byte.  test_serial checks this for every component.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace renuca::serial {
+
+inline constexpr char kArchiveMagic[8] = {'R', 'E', 'N', 'U', 'C', 'A', 'C', 'P'};
+inline constexpr std::uint32_t kArchiveVersion = 1;
+
+/// FNV-1a 64-bit hash; also used for the warm-state config fingerprint.
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t h = kFnvOffset);
+
+/// What went wrong with an archive.  All conditions are recoverable — the
+/// caller abandons the snapshot and regenerates the state instead.
+enum class ArchiveError : std::uint8_t {
+  None,
+  OpenFailed,        ///< File could not be opened.
+  BadMagic,          ///< Not an archive (or a damaged header).
+  BadVersion,        ///< Unsupported format version.
+  TruncatedSection,  ///< A section frame runs past the end of the file.
+  ChecksumMismatch,  ///< Section payload does not match its checksum.
+  SectionMissing,    ///< A requested section is not in the file.
+  ShortRead,         ///< A get*() ran past the open section's payload.
+  IoFailed,          ///< Write/flush/close failure (e.g. disk full).
+};
+std::string toString(ArchiveError err);
+
+/// Streaming archive writer.  beginSection()/endSection() bracket each
+/// component's payload; put*() append to the open section.  Never aborts:
+/// a failed open or short write flips the error state and close() reports
+/// whether everything landed on disk.
+class ArchiveWriter {
+ public:
+  explicit ArchiveWriter(const std::string& path);
+  ~ArchiveWriter();
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  void beginSection(const std::string& name);
+  void endSection();
+
+  void putU8(std::uint8_t v);
+  void putU32(std::uint32_t v);
+  void putU64(std::uint64_t v);
+  void putBool(bool v) { putU8(v ? 1 : 0); }
+  /// Bit-exact (the IEEE-754 pattern rides as a u64).
+  void putDouble(double v);
+  void putString(const std::string& s);
+  void putBytes(const void* data, std::size_t size);
+
+  /// Flushes and closes the file; returns false (and logs) if any write
+  /// failed.  Idempotent; the destructor calls it.
+  bool close();
+
+  bool ok() const { return error_ == ArchiveError::None; }
+  ArchiveError error() const { return error_; }
+
+ private:
+  void* file_ = nullptr;  // std::FILE*
+  std::string path_;
+  std::string sectionName_;
+  std::vector<std::uint8_t> buf_;  ///< Payload of the open section.
+  bool inSection_ = false;
+  ArchiveError error_ = ArchiveError::None;
+};
+
+/// Archive reader.  Loads the whole file, validates the header, and scans
+/// the section table up front; openSection() then positions a cursor on one
+/// payload (verifying its checksum) for the get*() calls.  A get*() past
+/// the payload end sets ShortRead and returns zero — loadState
+/// implementations finish and then check ok().
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(const std::string& path);
+
+  struct SectionInfo {
+    std::string name;
+    std::uint64_t offset = 0;  ///< Payload offset within the file.
+    std::uint64_t size = 0;    ///< Payload bytes.
+    std::uint64_t checksum = 0;
+  };
+
+  /// Sections in file order (valid whenever the header and frames parsed).
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+  bool hasSection(const std::string& name) const;
+
+  /// Positions the cursor at the start of `name`'s payload, verifying the
+  /// checksum.  Returns false (and sets error()) if the section is missing
+  /// or corrupt.
+  bool openSection(const std::string& name);
+
+  std::uint8_t getU8();
+  std::uint32_t getU32();
+  std::uint64_t getU64();
+  bool getBool() { return getU8() != 0; }
+  double getDouble();
+  std::string getString();
+
+  /// Bytes left in the open section.
+  std::uint64_t remaining() const { return end_ - cur_; }
+
+  bool ok() const { return error_ == ArchiveError::None; }
+  ArchiveError error() const { return error_; }
+  std::uint32_t version() const { return version_; }
+
+ private:
+  void fail(ArchiveError err, const std::string& detail);
+  bool need(std::size_t bytes);
+
+  std::string path_;
+  std::vector<std::uint8_t> data_;
+  std::vector<SectionInfo> sections_;
+  std::uint32_t version_ = 0;
+  std::size_t cur_ = 0;  ///< Cursor within data_ (open section only).
+  std::size_t end_ = 0;
+  ArchiveError error_ = ArchiveError::None;
+};
+
+}  // namespace renuca::serial

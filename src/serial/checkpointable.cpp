@@ -1,0 +1,22 @@
+#include "serial/checkpointable.hpp"
+
+#include "common/log.hpp"
+
+namespace renuca::serial {
+
+void saveComponent(ArchiveWriter& ar, const std::string& name, const Checkpointable& c) {
+  ar.beginSection(name);
+  c.saveState(ar);
+  ar.endSection();
+}
+
+bool loadComponent(ArchiveReader& ar, const std::string& name, Checkpointable& c) {
+  if (!ar.openSection(name)) return false;
+  if (!c.loadState(ar) || !ar.ok()) {
+    logMessage(LogLevel::Warn, "serial", "section '" + name + "' rejected on restore");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace renuca::serial

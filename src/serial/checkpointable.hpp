@@ -1,0 +1,56 @@
+// The Checkpointable interface: what a component must do to ride in a
+// warm-state snapshot.
+//
+// The dividing line (enforced by this refactor) is *checkpointable
+// functional state* vs *transient timing state*:
+//
+//  * Functional state survives resetMeasurement() and shapes results —
+//    cache tags and dirty bits, per-frame ReRAM write counts, TLB/page-table
+//    entries and MBV bits, predictor counters, the Naive oracle's line
+//    directory, workload RNG streams and generator cursors.  All of it
+//    serializes.
+//  * Timing state — busy-until calendars on banks, mesh links, DRAM banks
+//    and buses — is deliberately *excluded*.  Snapshots are taken at the
+//    end of the untimed functional fast-forward, where every calendar is
+//    still pristine, so a restore into freshly constructed components
+//    reproduces a cold run's continuation bit for bit.
+//  * Statistics are also excluded: they are zeroed at the measurement
+//    boundary, so nothing the run report contains depends on them at the
+//    snapshot point.
+//
+// loadState() must validate geometry (set counts, way counts, entry counts)
+// against the constructed component and return false on any mismatch or
+// payload over-read — a snapshot from a different configuration must never
+// half-apply.
+#pragma once
+
+#include <string>
+
+#include "serial/archive.hpp"
+
+namespace renuca::serial {
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Serializes functional state into the archive's open section.  Must be
+  /// canonical (sort unordered containers) so save -> load -> save is
+  /// byte-identical.
+  virtual void saveState(ArchiveWriter& ar) const = 0;
+
+  /// Restores from the archive's open section.  Returns false if the
+  /// payload is malformed or does not match this component's geometry; the
+  /// component may be partially overwritten afterwards, so a failed restore
+  /// must discard the whole System.
+  virtual bool loadState(ArchiveReader& ar) = 0;
+};
+
+/// Writes one component as the section `name`.
+void saveComponent(ArchiveWriter& ar, const std::string& name, const Checkpointable& c);
+
+/// Restores one component from the section `name`; false if the section is
+/// missing, corrupt, or rejected by the component.
+bool loadComponent(ArchiveReader& ar, const std::string& name, Checkpointable& c);
+
+}  // namespace renuca::serial

@@ -70,6 +70,8 @@ void SystemConfig::applyOverrides(const KvConfig& kv) {
   epochInstrs = static_cast<std::uint64_t>(
       kv.getOr("epoch_instrs", static_cast<std::int64_t>(epochInstrs)));
   if (auto p = kv.getString("trace_json")) traceJsonPath = *p;
+  if (auto p = kv.getString("snapshot_save")) snapshotSavePath = *p;
+  if (auto p = kv.getString("snapshot_load")) snapshotLoadPath = *p;
   if (auto v = kv.getInt("trace_sample")) {
     traceSampleEvery = static_cast<std::uint32_t>(std::max<std::int64_t>(1, *v));
   }
@@ -119,6 +121,9 @@ const KeyRegistry& configKeyRegistry() {
         .boolKey("force_predictor")
         .intKey("epoch_instrs", 0, b1)
         .stringKey("trace_json")
+        .stringKey("snapshot_save")
+        .stringKey("snapshot_load")
+        .stringKey("snapshot_dir")
         .intKey("trace_sample", 1, 1 << 30)
         .stringKey("log_level")
         .boolKey("fault_enabled")

@@ -103,6 +103,16 @@ struct SystemConfig {
   /// runs fast and trace files loadable.
   std::uint32_t traceSampleEvery = 64;
 
+  // --- Warm-state snapshots (snapshot_save= / snapshot_load=) --------------
+  /// Write a warm-state snapshot here right after the untimed fast-forward
+  /// (skipped when the state was itself restored from a snapshot).  Empty
+  /// disables.  See serial/archive.hpp for the format.
+  std::string snapshotSavePath;
+  /// Restore the post-fast-forward state from this snapshot instead of
+  /// re-running the fast-forward.  A missing/corrupt/mismatched snapshot
+  /// logs a warning and falls back to the cold fast-forward.
+  std::string snapshotLoadPath;
+
   SystemConfig();
 
   /// Applies "key=value" overrides (instr_per_core, warmup, policy, seed,

@@ -1,0 +1,67 @@
+#include "sim/fingerprint.hpp"
+
+#include <sstream>
+
+#include "serial/archive.hpp"
+
+namespace renuca::sim {
+
+namespace {
+
+void appendCache(std::ostringstream& os, const char* tag,
+                 const mem::CacheConfig& c) {
+  os << tag << ".size=" << c.sizeBytes << ';' << tag << ".ways=" << c.ways << ';'
+     << tag << ".line=" << c.lineBytes << ';' << tag
+     << ".repl=" << static_cast<int>(c.replacement) << ';' << tag
+     << ".shift=" << c.setIndexShift << ';' << tag << ".eq=" << c.equalChanceEvery
+     << ';' << tag << ".track=" << (c.trackFrameWrites ? 1 : 0) << ';';
+}
+
+}  // namespace
+
+std::string warmStateKey(const SystemConfig& cfg, const workload::WorkloadMix& mix) {
+  std::ostringstream os;
+  os << "cores=" << cfg.numCores << ';' << "seed=" << cfg.seed << ';'
+     << "prewarm=" << cfg.prewarmInstrPerCore << ';'
+     << "policy=" << core::toString(cfg.policy) << ';'
+     << "cluster=" << cfg.clusterSize << ';'
+     << "cold_crit=" << (cfg.cpt.coldPredictsCritical ? 1 : 0) << ';'
+     << "force_pred=" << (cfg.forcePredictor ? 1 : 0) << ';';
+  appendCache(os, "l1", cfg.l1d);
+  appendCache(os, "l2", cfg.l2);
+  os << "l3.banks=" << cfg.l3.banks << ';' << "l3.bytes=" << cfg.l3.bankBytes << ';'
+     << "l3.ways=" << cfg.l3.ways << ';' << "l3.eq=" << cfg.l3.equalChanceEvery << ';'
+     << "tlb.entries=" << cfg.tlbCfg.entries << ';'
+     << "tlb.ways=" << cfg.tlbCfg.ways << ';'
+     << "tlb.back=" << (cfg.tlbCfg.backMbvInPageTable ? 1 : 0) << ';'
+     << "inclusive=" << (cfg.inclusiveLlc ? 1 : 0) << ';'
+     << "sharing=" << (cfg.enableSharing ? 1 : 0) << ';'
+     << "prefetch=" << cfg.l2PrefetchDegree << ';'
+     << "noc=" << cfg.nocCfg.width << 'x' << cfg.nocCfg.height << ';';
+  // The fault model rides along: its per-frame budgets are serialized into
+  // the snapshot, so runs may only share one when the whole fault config
+  // matches (budgets are unarmed during the fast-forward — no frame can
+  // die before the snapshot point — but the budgets themselves differ).
+  os << "fault=" << (cfg.fault.enabled ? 1 : 0) << ';';
+  if (cfg.fault.enabled) {
+    os << "fault.seed=" << cfg.fault.seed << ';'
+       << "fault.budget=" << cfg.fault.budgetWrites << ';'
+       << "fault.sigma=" << cfg.fault.sigma << ';'
+       << "fault.deadfrac=" << cfg.fault.deadFrac << ';';
+    for (const rram::ScheduledFault& sf : cfg.fault.schedule) {
+      os << "fault.s=" << static_cast<int>(sf.trigger) << ',' << sf.bank << ','
+         << sf.set << ',' << sf.way << ',' << sf.value << ';';
+    }
+  }
+  os << "mix=" << mix.name << ';';
+  for (const std::string& app : mix.appNames) os << "app=" << app << ';';
+  return os.str();
+}
+
+std::uint64_t warmStateFingerprint(const SystemConfig& cfg,
+                                   const workload::WorkloadMix& mix) {
+  std::string key = warmStateKey(cfg, mix);
+  return serial::fnv1a(key.data(), key.size());
+}
+
+}  // namespace renuca::sim

@@ -1,0 +1,47 @@
+// Warm-state fingerprint: which runs can share a warm-up snapshot.
+//
+// A snapshot taken after the untimed functional fast-forward captures only
+// *functional* state (tags, MBV bits, page table, RNG streams, endurance
+// counters — see serial/checkpointable.hpp).  Two configurations produce
+// bit-identical functional warm state whenever every knob that the
+// fast-forward path reads is equal; everything else (timing latencies,
+// measurement-window lengths, the CPT threshold, telemetry) can differ
+// freely and the restored run is still byte-identical to a cold one.
+//
+// warmStateKey() renders that equivalence class as a canonical "k=v;"
+// string; warmStateFingerprint() hashes it (FNV-1a 64) for use as a
+// filename / archive tag.  The key deliberately EXCLUDES:
+//
+//  * cpt.thresholdPct and cpt.capacity — the CPT trains only at commit in
+//    timed mode, so it is empty at the snapshot point and predict() on an
+//    empty table returns coldPredictsCritical regardless of the threshold.
+//    This is what lets a threshold sweep (Fig 7: 9 thresholds x 8 apps)
+//    share one snapshot per app.
+//  * instrPerCore / warmupInstrPerCore / placementRefreshInstrPerCore /
+//    maxCycles / epochInstrs / robEntries — measurement-window knobs; the
+//    snapshot predates the first timed cycle.
+//  * All latencies, occupancies, and the DRAM config — during the
+//    fast-forward every timing call is a warm-up-mode no-op, and the
+//    DRAM open-row registers are only touched by timed accesses.
+//
+// If a new config knob ever changes what the fast-forward path *does*
+// (not just how long it takes), it must be added here — test_serial's
+// cold-vs-restored byte-compare is the regression net for that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hpp"
+#include "workload/mixes.hpp"
+
+namespace renuca::sim {
+
+/// Canonical description of the warm-state equivalence class.
+std::string warmStateKey(const SystemConfig& cfg, const workload::WorkloadMix& mix);
+
+/// FNV-1a 64 hash of warmStateKey() — the snapshot's identity tag.
+std::uint64_t warmStateFingerprint(const SystemConfig& cfg,
+                                   const workload::WorkloadMix& mix);
+
+}  // namespace renuca::sim

@@ -179,9 +179,8 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
   bankReserve(bank, arrive);
 
   // Criticality attribution for Fig 9: the block's verdict was fixed at
-  // fill time.
-  auto it = fillWasCritical_.find(block);
-  bool critical = it != fillWasCritical_.end() && it->second;
+  // fill time and lives in the line's frame metadata.
+  bool critical = llc_[bank]->lineCritical(block);
   ++*(critical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
 
   if (traceThisWalk_ && tracer_) {
@@ -304,7 +303,6 @@ void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now)
   // Placement bookkeeping: the policy forgets the line, and its MBV bit
   // resets to the S-NUCA default (paper §IV.C).
   policy_->onEvict(block, bank);
-  fillWasCritical_.erase(block);
   if (policy_->needsMbv()) tlbs_[owner]->resetMappingBitPhys(lineBase(block));
 
   if (dirty) {
@@ -343,9 +341,9 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
       Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
                                      mesh_.config().dataFlits);
       Cycle fillStart = bankReserve(fill.bank, fillArrive);
-      mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false);
+      mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false,
+                                                    /*critical=*/false);
       policy_->onFill(block, fill.bank);
-      fillWasCritical_[block] = false;
       if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
       evictFromLlc(fill.bank, llcEv, fillStart);
       processFrameDeaths(fill.bank, fillStart);
@@ -486,15 +484,14 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
         // Migration target set is fully dead: the line leaves the LLC (it
         // was already dropped from the source bank); dirty data goes home.
         stats_.inc("dead_set_bypasses");
-        fillWasCritical_.erase(block);
         if (dirty.value_or(false)) {
           dramAccess(lineBase(block), AccessType::Write, bankStart);
           ++*hot_.dramWritebacks;
         }
       } else if (!llc_[fill.bank]->contains(block)) {
-        mem::Eviction mev = llc_[fill.bank]->insert(block, dirty.value_or(false));
+        mem::Eviction mev = llc_[fill.bank]->insert(block, dirty.value_or(false),
+                                                    /*critical=*/true);
         policy_->onFill(block, fill.bank);
-        fillWasCritical_[block] = true;
         tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
         evictFromLlc(fill.bank, mev, bankStart);
         processFrameDeaths(fill.bank, bankStart);
@@ -532,9 +529,9 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
       Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
                                         mesh_.config().dataFlits);
       Cycle fillStart = bankReserve(fill.bank, fillArrive);
-      mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false);
+      mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false,
+                                                    fillCritical);
       policy_->onFill(block, fill.bank);
-      fillWasCritical_[block] = fillCritical;
       if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
       evictFromLlc(fill.bank, llcEv, fillStart);
       processFrameDeaths(fill.bank, fillStart);
@@ -623,6 +620,44 @@ void MemorySystem::resetMeasurement() {
   // Fault events restart with the measurement window (dead frames persist
   // inside the banks; only the log is windowed).
   faultEvents_.clear();
+}
+
+void MemorySystem::saveCheckpoint(serial::ArchiveWriter& ar) const {
+  serial::saveComponent(ar, "pagetable", pageTable_);
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    serial::saveComponent(ar, "tlb" + std::to_string(c), *tlbs_[c]);
+    serial::saveComponent(ar, "l1d" + std::to_string(c), *l1_[c]);
+    serial::saveComponent(ar, "l2" + std::to_string(c), *l2_[c]);
+  }
+  for (BankId b = 0; b < numBanks(); ++b) {
+    serial::saveComponent(ar, "l3b" + std::to_string(b), *llc_[b]);
+    if (!faultModels_.empty()) {
+      serial::saveComponent(ar, "fault" + std::to_string(b), *faultModels_[b]);
+    }
+  }
+  serial::saveComponent(ar, "policy", *policy_);
+  serial::saveComponent(ar, "dram", dram_);
+  serial::saveComponent(ar, "noc", mesh_);
+}
+
+bool MemorySystem::loadCheckpoint(serial::ArchiveReader& ar) {
+  if (!serial::loadComponent(ar, "pagetable", pageTable_)) return false;
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    if (!serial::loadComponent(ar, "tlb" + std::to_string(c), *tlbs_[c])) return false;
+    if (!serial::loadComponent(ar, "l1d" + std::to_string(c), *l1_[c])) return false;
+    if (!serial::loadComponent(ar, "l2" + std::to_string(c), *l2_[c])) return false;
+  }
+  for (BankId b = 0; b < numBanks(); ++b) {
+    if (!serial::loadComponent(ar, "l3b" + std::to_string(b), *llc_[b])) return false;
+    if (!faultModels_.empty() &&
+        !serial::loadComponent(ar, "fault" + std::to_string(b), *faultModels_[b])) {
+      return false;
+    }
+  }
+  if (!serial::loadComponent(ar, "policy", *policy_)) return false;
+  if (!serial::loadComponent(ar, "dram", dram_)) return false;
+  if (!serial::loadComponent(ar, "noc", mesh_)) return false;
+  return true;
 }
 
 std::string MemorySystem::checkInclusion() const {

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/mesi.hpp"
@@ -29,6 +28,7 @@
 #include "dram/dram.hpp"
 #include "mem/cache.hpp"
 #include "noc/mesh.hpp"
+#include "serial/archive.hpp"
 #include "sim/config.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -129,6 +129,17 @@ class MemorySystem final : public cpu::MemorySystem {
   /// lifetime figures).
   void registerMetrics(telemetry::MetricsRegistry& reg);
 
+  // --- Checkpointing -------------------------------------------------------
+  // Saves / restores the hierarchy's functional state as one tagged section
+  // per component (pagetable, tlb<c>, l1d<c>, l2<c>, l3b<b>, fault<b>,
+  // policy, dram, noc).  Timing state and statistics are excluded; see
+  // serial/checkpointable.hpp for the contract.  loadCheckpoint returns
+  // false (leaving the hierarchy in an unspecified warm state the caller
+  // must discard) if any section is missing, corrupt, or shaped for a
+  // different configuration.
+  void saveCheckpoint(serial::ArchiveWriter& ar) const;
+  bool loadCheckpoint(serial::ArchiveReader& ar);
+
  private:
   struct WalkResult {
     Cycle completeAt = 0;
@@ -184,10 +195,6 @@ class MemorySystem final : public cpu::MemorySystem {
   dram::DramController dram_;
   std::unique_ptr<core::MappingPolicy> policy_;
   std::unique_ptr<coherence::DirectoryMesi> directory_;
-
-  /// Criticality verdict recorded at fill time for each resident LLC line
-  /// (drives the Fig 9 accounting and tests).
-  std::unordered_map<BlockAddr, bool> fillWasCritical_;
 
   std::vector<CoreMemCounters> coreCounters_;
   StatSet stats_;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <sstream>
+#include <unordered_map>
 
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
+#include "sim/fingerprint.hpp"
 
 namespace renuca::sim {
 
@@ -51,39 +55,104 @@ void narrateDone(const Job& job, std::size_t finished, std::size_t total) {
                  job.label);
 }
 
+std::string warmSnapshotPath(const std::string& dir, std::uint64_t fingerprint) {
+  std::ostringstream os;
+  os << dir << "/warm-" << std::hex << fingerprint << ".ckpt";
+  return os.str();
+}
+
+/// Warm-start wiring: groups jobs by warm-state fingerprint and patches
+/// snapshot paths into their configs.  Returns a follower mask — follower
+/// jobs restore a snapshot some phase-1 job (or an earlier plan) wrote, so
+/// they must not start before phase 1 completes.
+std::vector<char> wireWarmStarts(std::vector<Job>& jobs, const std::string& dir) {
+  std::vector<char> follower(jobs.size(), 0);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    logMessage(LogLevel::Warn, "sweep",
+               "cannot create snapshot dir " + dir + "; warm starts disabled");
+    return follower;
+  }
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SystemConfig& cfg = jobs[i].config;
+    // Jobs that manage snapshots themselves, and coherence runs (whose
+    // directory state is not checkpointable), stay cold.
+    if (!cfg.snapshotSavePath.empty() || !cfg.snapshotLoadPath.empty() ||
+        cfg.enableSharing) {
+      continue;
+    }
+    groups[warmStateFingerprint(cfg, jobs[i].mix)].push_back(i);
+  }
+  for (const auto& [fingerprint, members] : groups) {
+    const std::string path = warmSnapshotPath(dir, fingerprint);
+    const bool exists = std::filesystem::exists(path);
+    // A singleton group only benefits when an earlier plan already left
+    // the snapshot behind; saving one nobody will read wastes disk.
+    if (!exists && members.size() < 2) continue;
+    std::size_t firstFollower = 0;
+    if (!exists) {
+      jobs[members[0]].config.snapshotSavePath = path;
+      firstFollower = 1;
+    }
+    for (std::size_t m = firstFollower; m < members.size(); ++m) {
+      jobs[members[m]].config.snapshotLoadPath = path;
+      follower[members[m]] = 1;
+    }
+  }
+  return follower;
+}
+
 }  // namespace
 
 std::vector<RunResult> runPlan(const SweepPlan& plan, const SweepOptions& opts) {
-  const std::vector<Job>& jobs = plan.jobs();
+  std::vector<Job> jobs(plan.jobs());
   std::vector<RunResult> results(jobs.size());
   if (jobs.empty()) return results;
 
   // Per-job trace files when several jobs would collide on one path.
-  std::vector<const Job*> order;
-  std::vector<Job> patched;
   std::size_t traced = 0;
   for (const Job& j : jobs) {
     if (!j.config.traceJsonPath.empty()) ++traced;
   }
   if (traced > 1) {
-    patched.reserve(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      patched.push_back(jobs[i]);
-      if (!patched.back().config.traceJsonPath.empty()) {
-        patched.back().config.traceJsonPath =
-            perJobTracePath(patched.back().config.traceJsonPath, i);
+      if (!jobs[i].config.traceJsonPath.empty()) {
+        jobs[i].config.traceJsonPath =
+            perJobTracePath(jobs[i].config.traceJsonPath, i);
       }
     }
-    for (const Job& j : patched) order.push_back(&j);
-  } else {
-    for (const Job& j : jobs) order.push_back(&j);
+  }
+
+  // Warm-start snapshot sharing.  Followers restore a snapshot that a
+  // phase-1 job writes (or that an earlier plan left behind), so they run
+  // in a second phase after every leader has finished.  Results stay in
+  // plan order; a follower whose restore fails falls back to the cold
+  // fast-forward inside System::run(), so results never depend on snapshot
+  // availability.
+  std::vector<char> follower(jobs.size(), 0);
+  if (!opts.warmStartDir.empty()) {
+    follower = wireWarmStarts(jobs, opts.warmStartDir);
+  }
+  std::vector<std::size_t> phase1, phase2;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    (follower[i] ? phase2 : phase1).push_back(i);
+  }
+  if (opts.narrate && !phase2.empty()) {
+    logMessage(LogLevel::Info, "sweep",
+               std::to_string(phase2.size()) + "/" + std::to_string(jobs.size()) +
+                   " jobs warm-start from shared snapshots");
   }
 
   unsigned workers = std::min<std::size_t>(resolveJobs(opts.jobs), jobs.size());
   if (workers <= 1) {
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      results[i] = runWorkload(order[i]->config, order[i]->mix);
-      if (opts.narrate) narrateDone(*order[i], i + 1, order.size());
+    std::size_t done = 0;
+    for (const std::vector<std::size_t>* phase : {&phase1, &phase2}) {
+      for (std::size_t i : *phase) {
+        results[i] = runWorkload(jobs[i].config, jobs[i].mix);
+        if (opts.narrate) narrateDone(jobs[i], ++done, jobs.size());
+      }
     }
     return results;
   }
@@ -96,17 +165,19 @@ std::vector<RunResult> runPlan(const SweepPlan& plan, const SweepOptions& opts) 
   ThreadPool pool(workers);
   std::atomic<std::size_t> finished{0};
   const bool narrate = opts.narrate;
-  const std::size_t total = order.size();
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const Job* job = order[i];
-    RunResult* slot = &results[i];
-    pool.submit([job, slot, &finished, narrate, total] {
-      *slot = runWorkload(job->config, job->mix);
-      std::size_t done = finished.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (narrate) narrateDone(*job, done, total);
-    });
+  const std::size_t total = jobs.size();
+  for (const std::vector<std::size_t>* phase : {&phase1, &phase2}) {
+    for (std::size_t i : *phase) {
+      const Job* job = &jobs[i];
+      RunResult* slot = &results[i];
+      pool.submit([job, slot, &finished, narrate, total] {
+        *slot = runWorkload(job->config, job->mix);
+        std::size_t done = finished.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (narrate) narrateDone(*job, done, total);
+      });
+    }
+    pool.wait();  // phase barrier: followers need the leaders' snapshots
   }
-  pool.wait();
   return results;
 }
 

@@ -69,6 +69,15 @@ struct SweepOptions {
   unsigned jobs = 1;
   /// Info-level progress narration ("sweep: 12/50 ...") as jobs finish.
   bool narrate = false;
+  /// Warm-start snapshot reuse (snapshot_dir= in benches).  When set, jobs
+  /// whose warm-up-relevant configuration matches (sim/fingerprint.hpp)
+  /// share one post-fast-forward snapshot stored here: the first such job
+  /// saves it, the rest restore it instead of re-running the fast-forward.
+  /// Snapshots persist across plans, so later benches with matching jobs
+  /// reuse them too.  Jobs with explicit snapshot paths or enableSharing
+  /// are left cold.  Results stay byte-identical to a cold sweep — the
+  /// snapshot replays the exact functional state the fast-forward builds.
+  std::string warmStartDir;
 };
 
 /// Resolves a `jobs=` setting to a worker count (0 -> hardware threads).

@@ -1,8 +1,12 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/log.hpp"
+#include "serial/archive.hpp"
+#include "serial/checkpointable.hpp"
+#include "sim/fingerprint.hpp"
 
 namespace renuca::sim {
 
@@ -106,6 +110,86 @@ void System::fastForward(std::uint64_t instrPerCore) {
   mem_->setWarmupMode(false);
 }
 
+bool System::snapshot(const std::string& path) const {
+  if (cfg_.enableSharing) {
+    logMessage(LogLevel::Warn, "serial",
+               "snapshot refused: coherence directory state (enable_sharing) "
+               "is not checkpointable");
+    return false;
+  }
+  const std::string tmp = path + ".tmp";
+  serial::ArchiveWriter ar(tmp);
+  if (!ar.ok()) {
+    logMessage(LogLevel::Warn, "serial", "cannot open snapshot file " + tmp);
+    return false;
+  }
+  ar.beginSection("meta");
+  ar.putU64(warmStateFingerprint(cfg_, mix_));
+  ar.putString(warmStateKey(cfg_, mix_));
+  ar.putU32(cfg_.numCores);
+  ar.putBool(cpts_[0] != nullptr);
+  ar.endSection();
+  mem_->saveCheckpoint(ar);
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    serial::saveComponent(ar, "gen" + std::to_string(c), *gens_[c]);
+    if (cpts_[c]) serial::saveComponent(ar, "cpt" + std::to_string(c), *cpts_[c]);
+  }
+  if (!ar.close()) {
+    std::remove(tmp.c_str());
+    logMessage(LogLevel::Warn, "serial", "snapshot write to " + tmp + " failed");
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    logMessage(LogLevel::Warn, "serial", "cannot move snapshot into " + path);
+    return false;
+  }
+  logMessage(LogLevel::Info, "serial", "warm-state snapshot written: " + path);
+  return true;
+}
+
+bool System::restoreFrom(const std::string& path) {
+  serial::ArchiveReader ar(path);
+  if (!ar.ok()) {
+    logMessage(LogLevel::Warn, "serial",
+               "snapshot " + path + " unusable: " + serial::toString(ar.error()));
+    return false;
+  }
+  // Verify every section's checksum before mutating anything, so a corrupt
+  // payload can never leave the hierarchy half-restored.
+  for (const serial::ArchiveReader::SectionInfo& s : ar.sections()) {
+    if (!ar.openSection(s.name)) {
+      logMessage(LogLevel::Warn, "serial",
+                 "snapshot " + path + " section '" + s.name + "' corrupt");
+      return false;
+    }
+  }
+  if (!ar.openSection("meta")) {
+    logMessage(LogLevel::Warn, "serial", "snapshot " + path + " has no meta section");
+    return false;
+  }
+  std::uint64_t fp = ar.getU64();
+  ar.getString();  // human-readable key, for ckpt_inspect
+  std::uint32_t cores = ar.getU32();
+  bool hasCpt = ar.getBool();
+  if (!ar.ok() || fp != warmStateFingerprint(cfg_, mix_) ||
+      cores != cfg_.numCores || hasCpt != (cpts_[0] != nullptr)) {
+    logMessage(LogLevel::Warn, "serial",
+               "snapshot " + path + " was taken under a different configuration");
+    return false;
+  }
+  if (!mem_->loadCheckpoint(ar)) return false;
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    if (!serial::loadComponent(ar, "gen" + std::to_string(c), *gens_[c])) return false;
+    if (cpts_[c] &&
+        !serial::loadComponent(ar, "cpt" + std::to_string(c), *cpts_[c])) {
+      return false;
+    }
+  }
+  logMessage(LogLevel::Info, "serial", "warm state restored from " + path);
+  return true;
+}
+
 bool System::allReached(std::uint64_t committed) const {
   for (const auto& core : cores_) {
     if (core->stats().committed < committed) return false;
@@ -129,7 +213,21 @@ RunResult System::run() {
   // Untimed (no contention reservations); interleaved in chunks so cores
   // warm the shared LLC together, as they would live.  The instruction
   // stream simply advances — the analogue of the paper's fast-forward.
-  fastForward(cfg_.prewarmInstrPerCore);
+  // A warm-state snapshot replaces this phase entirely: the restored
+  // functional state is bit-identical to what the fast-forward produces,
+  // so the rest of the run (and its report) is byte-identical too.
+  bool restored = false;
+  if (!cfg_.snapshotLoadPath.empty()) {
+    restored = restoreFrom(cfg_.snapshotLoadPath);
+    if (!restored) {
+      logMessage(LogLevel::Warn, "serial",
+                 "snapshot restore failed; running the cold fast-forward");
+    }
+  }
+  if (!restored) {
+    fastForward(cfg_.prewarmInstrPerCore);
+    if (!cfg_.snapshotSavePath.empty()) snapshot(cfg_.snapshotSavePath);
+  }
 
   // ---- Warm-up: fill caches, train predictors; statistics discarded. ----
   while (!allReached(cfg_.warmupInstrPerCore) && now < cfg_.maxCycles) {

@@ -92,6 +92,24 @@ class System {
   /// Runs warm-up + measurement and returns the collected results.
   RunResult run();
 
+  // --- Warm-state snapshots ------------------------------------------------
+  // A snapshot captures the post-fast-forward *functional* state of every
+  // component (memory hierarchy, generators, predictors) plus a fingerprint
+  // of the warm-up-relevant configuration (sim/fingerprint.hpp).  Restoring
+  // it replaces the fast-forward entirely: a restored run's report is
+  // byte-identical (modulo provenance) to the cold run's.
+
+  /// Writes a snapshot of the current state to `path` (atomically, via a
+  /// .tmp rename).  Refuses — returns false with a warning — when
+  /// enableSharing is set: coherence directory state is not serialized.
+  bool snapshot(const std::string& path) const;
+
+  /// Restores state from `path`.  Returns false (without touching any
+  /// component state) when the file is missing/corrupt/truncated, the
+  /// version is unknown, or the fingerprint does not match this System's
+  /// configuration; the caller then falls back to the cold fast-forward.
+  bool restoreFrom(const std::string& path);
+
   // Introspection for tests.
   MemorySystem& memory() { return *mem_; }
   cpu::OooCore& core(CoreId c) { return *cores_[c]; }

@@ -1,8 +1,41 @@
 #include "tlb/tlb.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
+#include "serial/archive.hpp"
 
 namespace renuca::tlb {
+
+namespace {
+
+// Canonical (sorted-by-key) serialization of a u64->u64 map so that
+// save -> load -> save produces byte-identical archives.
+void putSortedMap(serial::ArchiveWriter& ar,
+                  const std::unordered_map<std::uint64_t, std::uint64_t>& m) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(m.begin(), m.end());
+  std::sort(sorted.begin(), sorted.end());
+  ar.putU64(sorted.size());
+  for (const auto& [k, v] : sorted) {
+    ar.putU64(k);
+    ar.putU64(v);
+  }
+}
+
+bool getMap(serial::ArchiveReader& ar,
+            std::unordered_map<std::uint64_t, std::uint64_t>& m) {
+  std::uint64_t count = ar.getU64();
+  m.clear();
+  m.reserve(count);
+  for (std::uint64_t i = 0; i < count && ar.ok(); ++i) {
+    std::uint64_t k = ar.getU64();
+    std::uint64_t v = ar.getU64();
+    m.emplace(k, v);
+  }
+  return ar.ok();
+}
+
+}  // namespace
 
 std::uint64_t PageTable::translate(Asid asid, std::uint64_t vpn) {
   std::uint64_t k = key(asid, vpn);
@@ -28,6 +61,23 @@ std::uint64_t PageTable::loadMbv(Asid asid, std::uint64_t vpn) const {
 
 void PageTable::storeMbv(Asid asid, std::uint64_t vpn, std::uint64_t mbv) {
   mbv_[key(asid, vpn)] = mbv;
+}
+
+void PageTable::saveState(serial::ArchiveWriter& ar) const {
+  ar.putU64(nextPpn_);
+  putSortedMap(ar, map_);
+  putSortedMap(ar, mbv_);
+}
+
+bool PageTable::loadState(serial::ArchiveReader& ar) {
+  std::uint64_t nextPpn = ar.getU64();
+  if (!getMap(ar, map_)) return false;
+  if (!getMap(ar, mbv_)) return false;
+  nextPpn_ = nextPpn;
+  reverse_.clear();
+  reverse_.reserve(map_.size());
+  for (const auto& [k, ppn] : map_) reverse_.emplace(ppn, k);
+  return ar.ok() && ar.remaining() == 0;
 }
 
 EnhancedTlb::EnhancedTlb(const TlbConfig& config, PageTable* pageTable, Asid asid,
@@ -122,6 +172,36 @@ void EnhancedTlb::setMappingBit(Addr vaddr, bool rnuca) {
     pageTable_->storeMbv(asid_, vpn, backed);
   }
   stats_.inc("mbv_updates");
+}
+
+void EnhancedTlb::saveState(serial::ArchiveWriter& ar) const {
+  ar.putU32(static_cast<std::uint32_t>(entries_.size()));
+  ar.putU64(useTick_);
+  for (const Entry& e : entries_) {
+    ar.putU64(e.vpn);
+    ar.putU64(e.ppn);
+    ar.putU64(e.mbv);
+    ar.putBool(e.valid);
+    ar.putU64(e.lastUse);
+  }
+}
+
+bool EnhancedTlb::loadState(serial::ArchiveReader& ar) {
+  std::uint32_t count = ar.getU32();
+  if (!ar.ok() || count != entries_.size()) {
+    logMessage(LogLevel::Warn, "serial",
+               stats_.name() + ": snapshot entry count mismatch");
+    return false;
+  }
+  useTick_ = ar.getU64();
+  for (Entry& e : entries_) {
+    e.vpn = ar.getU64();
+    e.ppn = ar.getU64();
+    e.mbv = ar.getU64();
+    e.valid = ar.getBool();
+    e.lastUse = ar.getU64();
+  }
+  return ar.ok() && ar.remaining() == 0;
 }
 
 void EnhancedTlb::resetMappingBitPhys(Addr paddr) {

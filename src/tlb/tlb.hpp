@@ -23,6 +23,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "serial/checkpointable.hpp"
 
 namespace renuca::tlb {
 
@@ -36,7 +37,7 @@ struct TlbConfig {
 /// First-touch physical page allocator with a reverse map.  Deterministic:
 /// pages get consecutive PPNs in first-access order, so a seeded run is
 /// exactly reproducible.  Also owns the MBV backing store.
-class PageTable {
+class PageTable : public serial::Checkpointable {
  public:
   /// Translates (asid, vpn) -> ppn, allocating on first touch.
   std::uint64_t translate(Asid asid, std::uint64_t vpn);
@@ -49,6 +50,12 @@ class PageTable {
   void storeMbv(Asid asid, std::uint64_t vpn, std::uint64_t mbv);
 
   std::uint64_t allocatedPages() const { return nextPpn_; }
+
+  // Serializes the allocation map (sorted by key for canonical bytes), the
+  // MBV backing store, and the PPN allocator cursor; the reverse map is
+  // rebuilt on load.
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
 
  private:
   static std::uint64_t key(Asid asid, std::uint64_t vpn) {
@@ -66,7 +73,7 @@ struct Translation {
   std::uint32_t latency = 0;  ///< 0 on hit, missLatency on miss.
 };
 
-class EnhancedTlb {
+class EnhancedTlb : public serial::Checkpointable {
  public:
   EnhancedTlb(const TlbConfig& config, PageTable* pageTable, Asid asid,
               std::string name);
@@ -89,6 +96,11 @@ class EnhancedTlb {
 
   const StatSet& stats() const { return stats_; }
   const TlbConfig& config() const { return cfg_; }
+
+  // Serializes the translation entries (VPN/PPN/MBV/valid/recency) and the
+  // recency tick; statistics are excluded (see serial/checkpointable.hpp).
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
 
  private:
   struct Entry {

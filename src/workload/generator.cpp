@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "serial/archive.hpp"
 
 namespace renuca::workload {
 
@@ -210,6 +211,51 @@ TraceRecord SyntheticGenerator::next() {
   slotIdx_ = (slotIdx_ + 1) % loop_.size();
   ++emitted_;
   return rec;
+}
+
+void SyntheticGenerator::saveState(serial::ArchiveWriter& ar) const {
+  auto rng = rng_.saveState();
+  ar.putU64(rng.state);
+  ar.putU64(rng.inc);
+  ar.putU32(static_cast<std::uint32_t>(loop_.size()));
+  ar.putU32(static_cast<std::uint32_t>(streamCursor_.size()));
+  for (std::uint64_t cursor : streamCursor_) ar.putU64(cursor);
+  ar.putU64(slotIdx_);
+  ar.putU64(emitted_);
+  ar.putU64(lastMissLoadGap_);
+  ar.putDouble(chainAcc_);
+  ar.putU64(lastChainGap_);
+  ar.putBool(pendingRmwStore_);
+  ar.putU64(pendingRmwAddr_);
+  ar.putU64(pendingRmwPc_);
+}
+
+bool SyntheticGenerator::loadState(serial::ArchiveReader& ar) {
+  Pcg32::State rng;
+  rng.state = ar.getU64();
+  rng.inc = ar.getU64();
+  std::uint32_t loopLen = ar.getU32();
+  std::uint32_t numStreams = ar.getU32();
+  if (!ar.ok() || loopLen != loop_.size() || numStreams != streamCursor_.size()) {
+    logMessage(LogLevel::Warn, "serial",
+               "generator: snapshot loop shape mismatch");
+    return false;
+  }
+  rng_.restoreState(rng);
+  for (std::uint64_t& cursor : streamCursor_) cursor = ar.getU64();
+  slotIdx_ = ar.getU64();
+  emitted_ = ar.getU64();
+  lastMissLoadGap_ = ar.getU64();
+  chainAcc_ = ar.getDouble();
+  lastChainGap_ = ar.getU64();
+  pendingRmwStore_ = ar.getBool();
+  pendingRmwAddr_ = ar.getU64();
+  pendingRmwPc_ = ar.getU64();
+  if (slotIdx_ >= loop_.size()) {
+    logMessage(LogLevel::Warn, "serial", "generator: snapshot slot index out of range");
+    return false;
+  }
+  return ar.ok() && ar.remaining() == 0;
 }
 
 SyntheticGenerator::LoopSummary SyntheticGenerator::loopSummary() const {

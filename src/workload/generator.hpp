@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "serial/checkpointable.hpp"
 #include "workload/app_profile.hpp"
 #include "workload/trace.hpp"
 
@@ -32,7 +33,8 @@ namespace renuca::workload {
 /// Region a memory slot accesses; layout documented in generator.cpp.
 enum class Region : std::uint8_t { Hot, Warm, Large, Stream };
 
-class SyntheticGenerator : public InstructionSource {
+class SyntheticGenerator : public InstructionSource,
+                           public serial::Checkpointable {
  public:
   SyntheticGenerator(const AppProfile& profile, std::uint64_t seed);
 
@@ -41,6 +43,13 @@ class SyntheticGenerator : public InstructionSource {
   const AppProfile& profile() const { return profile_; }
   /// Number of instructions emitted so far.
   std::uint64_t emitted() const { return emitted_; }
+
+  // Serializes the stream position (RNG state, cursors, emit counters).
+  // The loop body itself is rebuilt deterministically at construction from
+  // (profile, seed) and is not serialized; loadState validates that the
+  // archive was produced by an identically shaped loop.
+  void saveState(serial::ArchiveWriter& ar) const override;
+  bool loadState(serial::ArchiveReader& ar) override;
 
   /// Static slot summary, exposed for tests (counts per loop iteration).
   struct LoopSummary {
