@@ -4,6 +4,9 @@
 #   ./run_benches.sh              # full suite, every bench binary
 #   ./run_benches.sh --quick      # reduced-budget subset (old run_benches2)
 #   ./run_benches.sh --jobs 8     # forward jobs=8 to every sweep-engine bench
+#   ./run_benches.sh --server     # route the quick fig7/8/9 grid through a
+#                                 # renucad daemon and assert the served
+#                                 # reports match the direct runs
 #
 # Each figure/table bench writes a machine-readable run report into a
 # timestamped bench_reports/<stamp>/ directory (see DESIGN.md, telemetry);
@@ -11,13 +14,15 @@
 cd /root/repo
 
 quick=0
+server=0
 jobs=1
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) quick=1 ;;
+    --server) server=1 ;;
     --jobs)  shift; jobs="$1" ;;
     --jobs=*) jobs="${1#--jobs=}" ;;
-    *) echo "usage: $0 [--quick] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--quick] [--server] [--jobs N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -42,6 +47,75 @@ run() {
   printf '%s\t%d\t%.2f\n' "$name" "$rc" "$(echo "$t1 $t0" | awk '{print $1 - $2}')" \
     >> "$report_dir/times.tsv"
 }
+
+if [ "$server" = 1 ]; then
+  # Simulation-service round trip: run the quick fig7/8/9 criticality grid
+  # directly, then run the *same* 72 (app x threshold) jobs through a
+  # renucad daemon over its Unix socket, and require every served run
+  # report to match the direct one structurally (the determinism contract:
+  # results are identical modulo provenance no matter which path ran them).
+  run bench_fig7_predictor_accuracy ./build/bench/bench_fig7_predictor_accuracy instr_per_core=20000 "jobs=$jobs" "snapshot_dir=$report_dir/warm" "report_json=$report_dir/bench_fig7_predictor_accuracy.json"
+  run bench_fig8_noncritical_blocks ./build/bench/bench_fig8_noncritical_blocks instr_per_core=20000 "jobs=$jobs" "snapshot_dir=$report_dir/warm" "report_json=$report_dir/bench_fig8_noncritical_blocks.json"
+  run bench_fig9_noncritical_writes ./build/bench/bench_fig9_noncritical_writes instr_per_core=20000 "jobs=$jobs" "snapshot_dir=$report_dir/warm" "report_json=$report_dir/bench_fig9_noncritical_writes.json"
+
+  batch="$report_dir/server_batch.txt"
+  for a in mcf GemsFDTD lbm milc astar bwaves bzip2 leslie3d; do
+    for x in 3 5 10 20 25 33 50 75 100; do
+      echo "rig=single_core app=$a threshold_pct=$x warmup=10000 instr_per_core=20000 label=$a/x$x" >> "$batch"
+    done
+  done
+
+  sock="/tmp/renucad-bench-$$.sock"
+  ./build/tools/renucad "socket=$sock" "jobs=$jobs" queue=128 \
+      "snapshot_dir=$report_dir/warm" > "$report_dir/renucad.log" 2>&1 &
+  daemon=$!
+  for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+  [ -S "$sock" ] || { echo "renucad did not come up" >&2; cat "$report_dir/renucad.log" >&2; exit 1; }
+
+  mkdir -p "$report_dir/served"
+  run renuca_client_batch ./build/tools/renuca_client "socket=$sock" \
+      "batch=$batch" --wait "report_dir=$report_dir/served"
+
+  kill -TERM "$daemon"
+  wait "$daemon"
+  daemon_rc=$?
+  if [ "$daemon_rc" != 0 ]; then
+    echo "renucad did not drain cleanly (exit $daemon_rc)" >&2
+    cat "$report_dir/renucad.log" >&2
+    exit 1
+  fi
+  echo "renucad drained cleanly (exit 0)" | tee -a bench_output.txt
+
+  python3 - "$report_dir" <<'EOF' | tee -a bench_output.txt
+import json, sys, pathlib
+rd = pathlib.Path(sys.argv[1])
+figs = ["bench_fig7_predictor_accuracy", "bench_fig8_noncritical_blocks",
+        "bench_fig9_noncritical_writes"]
+mismatches = checked = 0
+for fig in figs:
+    direct = json.loads((rd / f"{fig}.json").read_text())
+    for run in direct["runs"]:
+        label = run["label"]
+        served_path = rd / "served" / (label.replace("/", "_") + ".json")
+        if not served_path.exists():
+            print(f"MISSING served report for {label}")
+            mismatches += 1
+            continue
+        served = json.loads(served_path.read_text())["runs"][0]
+        checked += 1
+        if served != run:
+            print(f"MISMATCH {fig} {label}")
+            mismatches += 1
+print(f"server round trip: {checked} runs checked, {mismatches} mismatches")
+sys.exit(1 if mismatches or not checked else 0)
+EOF
+  rc=${PIPESTATUS[0]}
+  [ "$rc" = 0 ] || { echo "served reports diverged from direct runs" >&2; exit 1; }
+  echo "reports in $report_dir" | tee -a bench_output.txt
+  cat "$report_dir/times.tsv" | tee -a bench_output.txt
+  echo ALL_BENCHES_DONE | tee -a bench_output.txt
+  exit 0
+fi
 
 if [ "$quick" = 1 ]; then
   # Reduced-budget subset: the quick sanity pass that used to live in

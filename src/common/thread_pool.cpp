@@ -1,6 +1,9 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+
+#include "common/log.hpp"
 
 namespace renuca {
 
@@ -93,7 +96,16 @@ void ThreadPool::workerLoop(std::size_t self) {
       workCv_.notify_one();
       continue;
     }
-    task();
+    // A throwing task must not take the worker (or a blocked wait()) down
+    // with it; the bookkeeping below runs either way.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      logMessage(LogLevel::Error, "thread_pool",
+                 std::string("task threw: ") + e.what());
+    } catch (...) {
+      logMessage(LogLevel::Error, "thread_pool", "task threw a non-exception");
+    }
     {
       std::lock_guard<std::mutex> lock(stateMutex_);
       --running_;

@@ -34,8 +34,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.  Tasks must not throw (the simulator reports
-  /// failures through RENUCA_ASSERT / results, not exceptions).
+  /// Enqueues a task.  A task that throws does not kill its worker or
+  /// wedge wait(): the exception is caught at the worker loop, logged,
+  /// and the task counts as finished.  Callers that need the error itself
+  /// catch inside the task (the sweep engine records it in the job's
+  /// result slot).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished running.  The pool is

@@ -71,12 +71,28 @@ ArchiveWriter::ArchiveWriter(const std::string& path) : path_(path) {
   std::uint8_t header[sizeof(kArchiveMagic) + 4];
   std::memcpy(header, kArchiveMagic, sizeof(kArchiveMagic));
   packU32(header + sizeof(kArchiveMagic), kArchiveVersion);
-  if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header)) {
-    error_ = ArchiveError::IoFailed;
-  }
+  if (!writeOut(header, sizeof(header))) error_ = ArchiveError::IoFailed;
+}
+
+ArchiveWriter::ArchiveWriter(std::vector<std::uint8_t>* sink)
+    : sink_(sink), path_("<memory>") {
+  std::uint8_t header[sizeof(kArchiveMagic) + 4];
+  std::memcpy(header, kArchiveMagic, sizeof(kArchiveMagic));
+  packU32(header + sizeof(kArchiveMagic), kArchiveVersion);
+  writeOut(header, sizeof(header));
 }
 
 ArchiveWriter::~ArchiveWriter() { close(); }
+
+bool ArchiveWriter::writeOut(const void* data, std::size_t size) {
+  if (sink_ != nullptr) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    sink_->insert(sink_->end(), p, p + size);
+    return true;
+  }
+  if (file_ == nullptr) return false;
+  return std::fwrite(data, 1, size, static_cast<std::FILE*>(file_)) == size;
+}
 
 void ArchiveWriter::beginSection(const std::string& name) {
   RENUCA_ASSERT(!inSection_, "archive section '" + sectionName_ + "' still open");
@@ -88,19 +104,19 @@ void ArchiveWriter::beginSection(const std::string& name) {
 void ArchiveWriter::endSection() {
   RENUCA_ASSERT(inSection_, "endSection without beginSection");
   inSection_ = false;
-  if (file_ == nullptr || error_ == ArchiveError::IoFailed) return;
-  std::FILE* f = static_cast<std::FILE*>(file_);
+  if ((file_ == nullptr && sink_ == nullptr) || error_ == ArchiveError::IoFailed) {
+    return;
+  }
 
   std::uint8_t frame[4 + 8 + 8];
   packU32(frame, static_cast<std::uint32_t>(sectionName_.size()));
-  bool good = std::fwrite(frame, 1, 4, f) == 4 &&
-              std::fwrite(sectionName_.data(), 1, sectionName_.size(), f) ==
-                  sectionName_.size();
+  bool good = writeOut(frame, 4) &&
+              writeOut(sectionName_.data(), sectionName_.size());
   packU64(frame, buf_.size());
   packU64(frame + 8, fnv1a(buf_.data(), buf_.size()));
-  good = good && std::fwrite(frame, 1, 16, f) == 16;
+  good = good && writeOut(frame, 16);
   if (!buf_.empty()) {
-    good = good && std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
+    good = good && writeOut(buf_.data(), buf_.size());
   }
   if (!good) error_ = ArchiveError::IoFailed;
 }
@@ -136,6 +152,10 @@ void ArchiveWriter::putBytes(const void* data, std::size_t size) {
 }
 
 bool ArchiveWriter::close() {
+  if (sink_ != nullptr) {
+    sink_ = nullptr;
+    return error_ == ArchiveError::None;
+  }
   if (file_ == nullptr) return error_ == ArchiveError::None;
   std::FILE* f = static_cast<std::FILE*>(file_);
   file_ = nullptr;
@@ -167,7 +187,17 @@ ArchiveReader::ArchiveReader(const std::string& path) : path_(path) {
     }
   }
   std::fclose(f);
+  parse();
+}
 
+ArchiveReader::ArchiveReader(const std::uint8_t* data, std::size_t size,
+                             const std::string& label)
+    : path_(label), data_(data, data + size) {
+  parse();
+}
+
+void ArchiveReader::parse() {
+  const std::string& path = path_;
   const std::size_t headerSize = sizeof(kArchiveMagic) + 4;
   if (data_.size() < headerSize ||
       std::memcmp(data_.data(), kArchiveMagic, sizeof(kArchiveMagic)) != 0) {

@@ -1,7 +1,8 @@
 // Versioned binary state archive: the serialization layer behind warm-state
-// snapshots (System::snapshot / restoreFrom).
+// snapshots (System::snapshot / restoreFrom) and the simulation service's
+// wire frames (server/protocol.hpp).
 //
-// File format (v1): an 12-byte header — 8-byte magic "RENUCACP", uint32
+// Format (v1): an 12-byte header — 8-byte magic "RENUCACP", uint32
 // format version — followed by tagged sections:
 //
 //   [u32 nameLen][name bytes][u64 payloadLen][u64 checksum][payload]
@@ -11,11 +12,17 @@
 // consistent with its payload, and all integers are packed little-endian
 // explicitly, so archives are byte-identical across platforms.
 //
+// Both ends work against a file *or* an in-memory byte buffer: snapshots use
+// the file mode, the renucad protocol encodes each message payload as an
+// in-memory archive blob so the wire format inherits the same magic/version/
+// checksum discipline (and the same corruption story) as snapshots.
+//
 // Corruption handling follows the v2 trace format (workload/trace.hpp):
 // nothing here ever aborts.  Open failures, bad magic, unsupported versions,
 // truncated section frames, checksum mismatches and payload over-reads all
 // surface through ok()/error(); the restore path treats any of them as "no
-// usable snapshot" and falls back to a cold warm-up.
+// usable snapshot" (and the protocol treats them as "reply with an error
+// frame") and recovers.
 //
 // Determinism contract: components must serialize canonically (sort any
 // unordered container by key) so that save -> load -> save reproduces the
@@ -58,6 +65,10 @@ std::string toString(ArchiveError err);
 class ArchiveWriter {
  public:
   explicit ArchiveWriter(const std::string& path);
+  /// Memory mode: appends the archive bytes (header included) to `*sink`
+  /// instead of a file.  The sink must outlive the writer; close() is a
+  /// no-op beyond error reporting.
+  explicit ArchiveWriter(std::vector<std::uint8_t>* sink);
   ~ArchiveWriter();
   ArchiveWriter(const ArchiveWriter&) = delete;
   ArchiveWriter& operator=(const ArchiveWriter&) = delete;
@@ -82,7 +93,11 @@ class ArchiveWriter {
   ArchiveError error() const { return error_; }
 
  private:
-  void* file_ = nullptr;  // std::FILE*
+  /// Appends raw bytes to the file or the memory sink.
+  bool writeOut(const void* data, std::size_t size);
+
+  void* file_ = nullptr;                    // std::FILE* (file mode)
+  std::vector<std::uint8_t>* sink_ = nullptr;  // memory mode
   std::string path_;
   std::string sectionName_;
   std::vector<std::uint8_t> buf_;  ///< Payload of the open section.
@@ -98,6 +113,11 @@ class ArchiveWriter {
 class ArchiveReader {
  public:
   explicit ArchiveReader(const std::string& path);
+  /// Memory mode: parses an archive blob already in memory (a protocol
+  /// frame payload).  The bytes are copied; `label` names the source in
+  /// error messages.
+  ArchiveReader(const std::uint8_t* data, std::size_t size,
+                const std::string& label = "<memory>");
 
   struct SectionInfo {
     std::string name;
@@ -130,6 +150,8 @@ class ArchiveReader {
   std::uint32_t version() const { return version_; }
 
  private:
+  /// Validates the header and scans the section table over data_.
+  void parse();
   void fail(ArchiveError err, const std::string& detail);
   bool need(std::size_t bytes);
 

@@ -1,0 +1,162 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace renuca::server {
+
+namespace {
+
+void setError(std::string* error, const std::string& what) {
+  if (error) *error = what;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+void Client::adoptFd(int fd) {
+  close();
+  fd_ = fd;
+}
+
+bool Client::connectUnix(const std::string& path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    setError(error, "socket path too long: " + path);
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    setError(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    setError(error, path + ": " + std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connectTcp(const std::string& hostPort, std::string* error) {
+  close();
+  const std::size_t colon = hostPort.rfind(':');
+  if (colon == std::string::npos) {
+    setError(error, "bad address '" + hostPort + "' (want host:port)");
+    return false;
+  }
+  std::string host = hostPort.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  unsigned long port = 0;
+  for (char c : hostPort.substr(colon + 1)) {
+    if (c < '0' || c > '9' || (port = port * 10 + static_cast<unsigned long>(c - '0')) > 65535) {
+      setError(error, "bad port in '" + hostPort + "'");
+      return false;
+    }
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    setError(error, "bad host '" + host + "'");
+    return false;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    setError(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    setError(error, hostPort + ": " + std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send(const Message& m, std::string* error) {
+  if (fd_ < 0) {
+    setError(error, "not connected");
+    return false;
+  }
+  const std::vector<std::uint8_t> frame = encodeFrame(m);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    setError(error, std::string("send: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool Client::receive(Message& m, std::string* error) {
+  if (fd_ < 0) {
+    setError(error, "not connected");
+    return false;
+  }
+  for (;;) {
+    std::string err;
+    switch (decodeFrame(buf_, kDefaultMaxFrameBytes, m, err)) {
+      case DecodeStatus::Frame:
+        return true;
+      case DecodeStatus::BadPayload:
+      case DecodeStatus::Fatal:
+        setError(error, err);
+        return false;
+      case DecodeStatus::NeedMore:
+        break;
+    }
+    std::uint8_t tmp[65536];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n > 0) {
+      buf_.insert(buf_.end(), tmp, tmp + n);
+      continue;
+    }
+    if (n == 0) {
+      setError(error, "connection closed by server");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    setError(error, std::string("recv: ") + std::strerror(errno));
+    return false;
+  }
+}
+
+}  // namespace renuca::server

@@ -1,0 +1,51 @@
+// Blocking protocol client for renucad — the library behind
+// tools/renuca_client and the in-process test harness.
+//
+// Deliberately simple: one connected stream socket, blocking send/receive,
+// an internal decode buffer.  Multiplexing many in-flight submissions over
+// one connection works by requestId (protocol.hpp); the caller matches
+// replies itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace renuca::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a Unix-domain socket path / a "host:port" TCP address.
+  /// False (with `error` filled when given) on failure.
+  bool connectUnix(const std::string& path, std::string* error = nullptr);
+  bool connectTcp(const std::string& hostPort, std::string* error = nullptr);
+
+  /// Takes ownership of an already-connected socket (tests pass one end of
+  /// a socketpair()).
+  void adoptFd(int fd);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Writes one frame; blocks until it is fully sent.
+  bool send(const Message& m, std::string* error = nullptr);
+
+  /// Blocks until the next complete message arrives.  False on EOF, a
+  /// socket error, or a corrupt frame (`error` says which).
+  bool receive(Message& m, std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace renuca::server

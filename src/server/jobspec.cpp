@@ -1,0 +1,124 @@
+#include "server/jobspec.hpp"
+
+#include <algorithm>
+
+#include "workload/app_profile.hpp"
+#include "workload/mixes.hpp"
+
+namespace renuca::server {
+
+namespace {
+
+/// Keys the daemon manages itself; accepting them from a client would let
+/// one job write server-side files or flip process-global state.
+const char* kServerOwnedKeys[] = {
+    "report_json", "jobs",          "mixes",        "strict",
+    "trace_json",  "snapshot_save", "snapshot_load", "snapshot_dir",
+    "log_level",
+};
+
+bool rigByName(const std::string& name, sim::SystemConfig& cfg) {
+  if (name == "default") {
+    cfg = sim::defaultConfig();
+  } else if (name == "single_core") {
+    cfg = sim::singleCore();
+  } else if (name == "l2_small") {
+    cfg = sim::l2Small();
+  } else if (name == "l3_small") {
+    cfg = sim::l3Small();
+  } else if (name == "rob_large") {
+    cfg = sim::robLarge();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool knownApp(const std::string& name) {
+  for (const workload::AppProfile& p : workload::spec2006Profiles()) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parseJobSpec(const std::string& text, sim::Job& job, std::string& error) {
+  KvConfig kv = KvConfig::fromString(text);
+  if (!kv.positional().empty()) {
+    error = "spec token '" + kv.positional()[0] + "' is not key=value";
+    return false;
+  }
+  for (const char* key : kServerOwnedKeys) {
+    if (kv.has(key)) {
+      error = std::string(key) + ": server-managed key, not accepted in job specs";
+      return false;
+    }
+  }
+  std::vector<ConfigError> errs =
+      sim::validateConfigKeys(kv, {"rig", "app", "mix", "label"});
+  if (!errs.empty()) {
+    error.clear();
+    for (std::size_t i = 0; i < errs.size(); ++i) {
+      if (i) error += "; ";
+      error += errs[i].toString();
+    }
+    return false;
+  }
+
+  const auto app = kv.getString("app");
+  const auto mixName = kv.getString("mix");
+  if (app && mixName) {
+    error = "app= and mix= are mutually exclusive";
+    return false;
+  }
+
+  sim::SystemConfig cfg;
+  const std::string rig = kv.getOr("rig", app ? std::string("single_core")
+                                              : std::string("default"));
+  if (!rigByName(rig, cfg)) {
+    error = "rig: unknown preset '" + rig +
+            "' (default, single_core, l2_small, l3_small, rob_large)";
+    return false;
+  }
+  cfg.applyOverrides(kv);
+
+  workload::WorkloadMix mix;
+  if (app) {
+    if (!knownApp(*app)) {
+      error = "app: unknown application '" + *app + "'";
+      return false;
+    }
+    if (cfg.numCores != 1) {
+      error = "app= needs a 1-core rig (got cores=" +
+              std::to_string(cfg.numCores) + "); use rig=single_core";
+      return false;
+    }
+    mix.name = *app;
+    mix.appNames = {*app};
+  } else {
+    const std::string wanted = mixName.value_or("WL1");
+    const auto& all = workload::standardMixes();
+    auto it = std::find_if(all.begin(), all.end(),
+                           [&](const workload::WorkloadMix& m) { return m.name == wanted; });
+    if (it == all.end()) {
+      error = "mix: unknown workload '" + wanted + "' (WL1..WL" +
+              std::to_string(all.size()) + ")";
+      return false;
+    }
+    if (cfg.numCores != it->appNames.size()) {
+      error = "mix " + wanted + " is a " + std::to_string(it->appNames.size()) +
+              "-core workload but the config has cores=" +
+              std::to_string(cfg.numCores);
+      return false;
+    }
+    mix = *it;
+  }
+
+  job.label = kv.getOr("label", mix.name);
+  job.config = cfg;
+  job.mix = std::move(mix);
+  return true;
+}
+
+}  // namespace renuca::server

@@ -1,0 +1,33 @@
+// Job specs: the text a client submits to renucad, validated server-side
+// against the strict config key registry before a Job is built.
+//
+// A spec is "key=value" lines ('#' comments, blank lines ignored — the
+// KvConfig::fromString grammar).  It accepts every SystemConfig override
+// key (sim/config.hpp's configKeyRegistry) plus:
+//
+//   rig=default|single_core|l2_small|l3_small|rob_large   base preset
+//   app=<name>    run one application alone (requires a 1-core rig;
+//                 implies rig=single_core when rig is absent)
+//   mix=WL1..WL10 run a standard 16-core workload mix (default: WL1)
+//   label=<text>  report label (defaults to the app/mix name)
+//
+// Keys the *server* owns are rejected, not ignored: report_json, jobs,
+// mixes, strict, snapshot_save/load, snapshot_dir (the daemon manages the
+// snapshot directory), trace_json (a server-side file path), and log_level
+// (process-global).  Unknown keys, unparsable values, and out-of-range
+// numbers are rejected with the registry's did-you-mean diagnostics —
+// admission is always strict, a typo never silently becomes a default.
+#pragma once
+
+#include <string>
+
+#include "sim/sweep.hpp"
+
+namespace renuca::server {
+
+/// Parses and validates one job spec.  On success fills `job` (label,
+/// fully-resolved SystemConfig, workload) and returns true; on failure
+/// returns false with a human-readable reason in `error`.
+bool parseJobSpec(const std::string& text, sim::Job& job, std::string& error);
+
+}  // namespace renuca::server

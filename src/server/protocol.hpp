@@ -1,0 +1,93 @@
+// renucad wire protocol: length-prefixed frames whose payloads are
+// in-memory serial::Archive blobs.
+//
+// A frame is
+//
+//   [u32 payloadLen (LE)][payload]
+//
+// and the payload is a complete archive (magic "RENUCACP", version, tagged
+// FNV-1a-checksummed sections — serial/archive.hpp), with two sections:
+//
+//   "head"  u32 opcode, u64 requestId, u64 jobId, u32 jobState
+//   "body"  string text (job spec / report JSON / stats JSON / error text)
+//
+// Reusing the archive format means the wire inherits the snapshot layer's
+// corruption discipline for free: a flipped bit anywhere in a payload fails
+// the section checksum and decodes as BadPayload — the server replies with
+// an Error frame and keeps the session; it never crashes and never trusts
+// half a message.  Only the outer framing itself going implausible (a
+// length of zero or beyond the configured cap) is Fatal, because the byte
+// stream can no longer be resynchronized; the connection is closed.
+//
+// Opcode semantics (client -> server):
+//   Submit    body = job spec ("key=value" lines, server/jobspec.hpp).
+//             Reply: Accepted (jobId assigned) | Busy (queue full or
+//             draining) | Error (spec rejected).  An accepted job then
+//             streams Status frames (Queued/Running/Done|Failed) and one
+//             Report frame carrying the renuca-run-report JSON.
+//   Stats     Reply: StatsReply, body = server health JSON (the telemetry
+//             metrics registry's counters/gauges plus queue-depth and
+//             latency histograms).
+//   Shutdown  Begin a graceful drain (same as SIGTERM).  Reply: Accepted.
+//   Ping      Reply: Pong.  Liveness probe.
+//
+// requestId is chosen by the client and echoed verbatim on every frame the
+// server sends about that request (including job status/report frames), so
+// one connection can multiplex many in-flight submissions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace renuca::server {
+
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class Op : std::uint32_t {
+  // Client -> server.
+  Submit = 1,
+  Stats = 2,
+  Shutdown = 3,
+  Ping = 4,
+  // Server -> client.
+  Accepted = 10,
+  Busy = 11,
+  Error = 12,
+  Status = 13,
+  Report = 14,
+  StatsReply = 15,
+  Pong = 16,
+};
+const char* toString(Op op);
+bool knownOp(std::uint32_t raw);
+
+enum class JobState : std::uint32_t { Queued = 0, Running = 1, Done = 2, Failed = 3 };
+const char* toString(JobState s);
+
+/// One decoded protocol message (either direction).
+struct Message {
+  Op op = Op::Ping;
+  std::uint64_t requestId = 0;  ///< Client-chosen; echoed on replies/events.
+  std::uint64_t jobId = 0;      ///< Server-assigned (0 before admission).
+  JobState state = JobState::Queued;  ///< Meaningful on Status frames.
+  std::string text;             ///< Spec / report / stats JSON / error text.
+};
+
+/// Encodes a message as one complete frame (length prefix included).
+std::vector<std::uint8_t> encodeFrame(const Message& m);
+
+enum class DecodeStatus : std::uint8_t {
+  NeedMore,    ///< The buffer does not yet hold a complete frame.
+  Frame,       ///< One message decoded; its bytes were consumed.
+  BadPayload,  ///< A complete frame was consumed but its payload is corrupt.
+  Fatal,       ///< Framing implausible; the stream cannot be resynced.
+};
+
+/// Attempts to decode one frame from the front of `buf`.  On Frame and
+/// BadPayload the frame's bytes are removed from `buf`; on BadPayload and
+/// Fatal `error` describes the damage.
+DecodeStatus decodeFrame(std::vector<std::uint8_t>& buf, std::size_t maxFrameBytes,
+                         Message& out, std::string& error);
+
+}  // namespace renuca::server

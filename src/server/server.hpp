@@ -1,0 +1,193 @@
+// renucad: the resident simulation service.
+//
+// One daemon holds what every cold CLI invocation pays for again and again
+// — the warm thread pool, the on-disk warm-state snapshot cache, the
+// telemetry sinks — and clients stream jobs at it over a Unix-domain
+// socket (TCP optional).  Three threads of control:
+//
+//  * the event loop (run(), the caller's thread): poll()-driven, owns every
+//    socket.  Accepts connections, decodes frames (server/protocol.hpp),
+//    validates job specs with the strict key registry, admits jobs into a
+//    *bounded* queue (full -> explicit BUSY reply, never unbounded memory),
+//    answers STATS/PING, flushes per-session write buffers with
+//    slow-reader backpressure, and closes idle sessions;
+//  * the executor thread: drains the queue in batches into a SweepPlan and
+//    runs it on the resident pool via the existing runPlan() — so queued
+//    jobs from *different clients* are grouped by warm-state fingerprint
+//    and share post-fast-forward snapshots exactly like a local
+//    snapshot_dir= sweep.  Per-job completion streams Status + Report
+//    frames back through the loop;
+//  * the pool workers inside runPlan (common/thread_pool.hpp).
+//
+// Determinism: a job's result depends only on its spec (each System seeds
+// itself from its config), so a report served over the wire is
+// byte-identical — modulo the provenance fields — to the same job run via
+// a local runPlan.  tests/test_server holds this against 8 concurrent
+// clients.
+//
+// Shutdown: requestStop() is async-signal-safe (renucad calls it from the
+// SIGINT/SIGTERM handlers).  The server stops listening, rejects new
+// submissions with BUSY, finishes every admitted job, flushes every
+// report, and run() returns 0.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "server/protocol.hpp"
+#include "sim/sweep.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace renuca::server {
+
+struct ServerConfig {
+  /// Unix-domain listen path; empty = no Unix listener (tests adopt
+  /// socketpair ends instead).
+  std::string socketPath;
+  /// Optional TCP listener, "host:port" ("" or "*" host = any interface).
+  std::string listenHostPort;
+  /// Resident sweep workers (0 = one per hardware thread).
+  unsigned jobs = 0;
+  /// Admission bound: jobs waiting for the executor.  A full queue makes
+  /// SUBMIT answer BUSY.
+  std::size_t maxQueue = 64;
+  /// Warm-start snapshot directory shared across all clients' jobs
+  /// (sim/sweep.hpp's warmStartDir); empty = cold runs.
+  std::string snapshotDir;
+  /// Sessions with no traffic and no jobs in flight are closed after this
+  /// long (<= 0 = never).
+  int idleTimeoutMs = 0;
+  /// Frames larger than this are a fatal protocol violation.
+  std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  /// Reading pauses for a session whose unsent backlog passes this...
+  std::size_t softWriteBuffer = 1u << 20;
+  /// ...and the session is dropped outright past this (a reader this slow
+  /// would otherwise grow the buffer without bound).
+  std::size_t maxWriteBuffer = 64u << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners.  False (with a log line) when a
+  /// socket cannot be set up.  Optional: a server can also run purely on
+  /// adopted connections.
+  bool listen();
+
+  /// Hands the server one end of an already-connected stream socket (the
+  /// in-process test harness uses socketpair()).  Thread-safe; callable
+  /// before or during run().
+  void adoptConnection(int fd);
+
+  /// Runs the event loop until a stop request drains.  Returns 0 on a
+  /// clean drain.
+  int run();
+
+  /// Begins a graceful drain.  Async-signal-safe (an atomic store and a
+  /// pipe write), so signal handlers may call it directly.
+  void requestStop();
+
+  unsigned workerCount() const { return pool_->threadCount(); }
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;  ///< Bytes [outOff, end) are unsent.
+    std::size_t outOff = 0;
+    std::size_t inflight = 0;  ///< Jobs admitted and not yet reported.
+    bool dead = false;         ///< Close once flagged (after flush attempt).
+    std::chrono::steady_clock::time_point lastActive;
+  };
+
+  /// One admitted job, with everything needed to route its results back.
+  struct QueuedJob {
+    std::uint64_t jobId = 0;
+    std::uint64_t sessionId = 0;
+    std::uint64_t requestId = 0;
+    std::chrono::steady_clock::time_point submitted;
+    sim::Job job;
+  };
+
+  struct Outgoing {
+    std::uint64_t sessionId = 0;
+    Message msg;
+  };
+
+  // Event-loop internals (loop thread only).
+  void drainAdopted();
+  void drainOutgoing();
+  void acceptPending(int listenFd);
+  void addSession(int fd);
+  bool readSession(Session& s);
+  bool flushSession(Session& s);
+  void sendMessage(Session& s, const Message& m);
+  void handleMessage(Session& s, const Message& m);
+  void handleSubmit(Session& s, const Message& m);
+  void closeSession(Session& s);
+  std::string statsJson();
+
+  // Cross-thread plumbing.
+  void executorLoop();
+  void postOutgoing(std::uint64_t sessionId, Message m);
+  void wake();
+
+  ServerConfig cfg_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::vector<int> listenFds_;
+  int wakePipe_[2] = {-1, -1};
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t nextSessionId_ = 1;
+  std::uint64_t nextJobId_ = 1;
+  bool draining_ = false;  ///< Loop-thread view of the stop request.
+
+  std::atomic<bool> stopFlag_{false};
+  std::atomic<bool> executorDone_{false};
+  std::thread executor_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<QueuedJob> pending_;
+  bool drainRequested_ = false;  ///< Guarded by queueMutex_.
+
+  std::mutex outgoingMutex_;
+  std::deque<Outgoing> outgoing_;
+  std::mutex adoptMutex_;
+  std::vector<int> adopted_;
+
+  // Health.  Counters live in the metrics registry and are bumped only by
+  // the loop thread; values the executor/workers touch are atomics read
+  // through gauges, so STATS (answered on the loop thread) never races.
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter accepted_;
+  telemetry::Counter rejected_;
+  telemetry::Counter protocolErrors_;
+  std::atomic<std::uint64_t> inflightA_{0};
+  std::atomic<std::uint64_t> completedA_{0};
+  std::atomic<std::uint64_t> failedA_{0};
+  std::atomic<std::uint64_t> queueDepthA_{0};
+  std::atomic<std::uint64_t> sessionsA_{0};
+
+  std::mutex statsMutex_;      ///< Histograms (executor writes, loop reads).
+  Histogram queueDepthHist_;
+  Histogram latencyHist_;
+};
+
+}  // namespace renuca::server

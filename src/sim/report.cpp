@@ -1,6 +1,7 @@
 #include "sim/report.hpp"
 
 #include <fstream>
+#include <sstream>
 
 #include "common/log.hpp"
 #include "rram/endurance.hpp"
@@ -45,6 +46,9 @@ void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
   const RunResult& r = entry.result;
   w.beginObject();
   w.kv("label", entry.label);
+  // Only failed jobs carry the key, so the overwhelmingly common success
+  // case keeps the pre-error report bytes.
+  if (!r.error.empty()) w.kv("error", r.error);
   w.kv("mix", r.mixName);
   w.kv("policy", core::toString(r.policy));
   w.kv("measured_cycles", static_cast<std::uint64_t>(r.measuredCycles));
@@ -113,15 +117,10 @@ void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
 
 }  // namespace
 
-bool writeRunReport(const std::string& path, const std::string& benchName,
-                    const SystemConfig& cfg, const std::vector<ReportEntry>& entries,
-                    double wallSeconds, unsigned jobs) {
-  std::ofstream os(path);
-  if (!os) {
-    logMessage(LogLevel::Warn, "report", "cannot open '" + path + "' for writing");
-    return false;
-  }
-
+std::string runReportJson(const std::string& benchName, const SystemConfig& cfg,
+                          const std::vector<ReportEntry>& entries,
+                          double wallSeconds, unsigned jobs) {
+  std::ostringstream os;
   telemetry::JsonWriter w(os);
   w.beginObject();
   w.kv("schema", "renuca-run-report-v2");
@@ -138,6 +137,18 @@ bool writeRunReport(const std::string& path, const std::string& benchName,
   w.endArray();
   w.endObject();
   os << '\n';
+  return os.str();
+}
+
+bool writeRunReport(const std::string& path, const std::string& benchName,
+                    const SystemConfig& cfg, const std::vector<ReportEntry>& entries,
+                    double wallSeconds, unsigned jobs) {
+  std::ofstream os(path);
+  if (!os) {
+    logMessage(LogLevel::Warn, "report", "cannot open '" + path + "' for writing");
+    return false;
+  }
+  os << runReportJson(benchName, cfg, entries, wallSeconds, jobs);
 
   bool good = os.good();
   os.close();

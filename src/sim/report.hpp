@@ -36,4 +36,13 @@ bool writeRunReport(const std::string& path, const std::string& benchName,
                     const SystemConfig& cfg, const std::vector<ReportEntry>& entries,
                     double wallSeconds, unsigned jobs = 1);
 
+/// The same document as a string (newline-terminated) — what renucad
+/// streams back to clients, and what writeRunReport puts on disk.  The
+/// provenance fields (generated_unix, host, wall_seconds, jobs) all come
+/// before the "config" key, so "modulo provenance" comparisons can simply
+/// compare everything from `"config"` on.
+std::string runReportJson(const std::string& benchName, const SystemConfig& cfg,
+                          const std::vector<ReportEntry>& entries,
+                          double wallSeconds, unsigned jobs = 1);
+
 }  // namespace renuca::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 
@@ -53,6 +54,22 @@ void narrateDone(const Job& job, std::size_t finished, std::size_t total) {
   logMessage(LogLevel::Info, "sweep",
              std::to_string(finished) + "/" + std::to_string(total) + " " +
                  job.label);
+}
+
+/// Runs one job, converting any exception into RunResult::error so a bad
+/// job spec (unknown app profile, malformed trace) costs one result slot,
+/// never a worker thread or the whole plan.
+RunResult runJobGuarded(const Job& job) {
+  try {
+    return runWorkload(job.config, job.mix);
+  } catch (const std::exception& e) {
+    logMessage(LogLevel::Warn, "sweep", job.label + " failed: " + e.what());
+    RunResult r;
+    r.error = e.what();
+    r.mixName = job.mix.name;
+    r.policy = job.config.policy;
+    return r;
+  }
 }
 
 std::string warmSnapshotPath(const std::string& dir, std::uint64_t fingerprint) {
@@ -146,23 +163,31 @@ std::vector<RunResult> runPlan(const SweepPlan& plan, const SweepOptions& opts) 
   }
 
   unsigned workers = std::min<std::size_t>(resolveJobs(opts.jobs), jobs.size());
-  if (workers <= 1) {
+  if (opts.pool == nullptr && workers <= 1) {
     std::size_t done = 0;
     for (const std::vector<std::size_t>* phase : {&phase1, &phase2}) {
       for (std::size_t i : *phase) {
-        results[i] = runWorkload(jobs[i].config, jobs[i].mix);
+        results[i] = runJobGuarded(jobs[i]);
+        if (opts.onJobDone) opts.onJobDone(i, results[i]);
         if (opts.narrate) narrateDone(jobs[i], ++done, jobs.size());
       }
     }
     return results;
   }
 
+  // An external pool (the daemon's resident one) is used as-is; otherwise
+  // the plan owns a pool for its own duration.
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = opts.pool;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(workers);
+    pool = owned.get();
+  }
   if (opts.narrate) {
     logMessage(LogLevel::Info, "sweep",
                "running " + std::to_string(jobs.size()) + " jobs on " +
-                   std::to_string(workers) + " threads");
+                   std::to_string(pool->threadCount()) + " threads");
   }
-  ThreadPool pool(workers);
   std::atomic<std::size_t> finished{0};
   const bool narrate = opts.narrate;
   const std::size_t total = jobs.size();
@@ -170,13 +195,15 @@ std::vector<RunResult> runPlan(const SweepPlan& plan, const SweepOptions& opts) 
     for (std::size_t i : *phase) {
       const Job* job = &jobs[i];
       RunResult* slot = &results[i];
-      pool.submit([job, slot, &finished, narrate, total] {
-        *slot = runWorkload(job->config, job->mix);
+      const auto* o = &opts;
+      pool->submit([job, slot, i, o, &finished, narrate, total] {
+        *slot = runJobGuarded(*job);
+        if (o->onJobDone) o->onJobDone(i, *slot);
         std::size_t done = finished.fetch_add(1, std::memory_order_relaxed) + 1;
         if (narrate) narrateDone(*job, done, total);
       });
     }
-    pool.wait();  // phase barrier: followers need the leaders' snapshots
+    pool->wait();  // phase barrier: followers need the leaders' snapshots
   }
   return results;
 }

@@ -26,12 +26,17 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/config.hpp"
 #include "sim/system.hpp"
 #include "workload/mixes.hpp"
+
+namespace renuca {
+class ThreadPool;
+}
 
 namespace renuca::sim {
 
@@ -78,6 +83,16 @@ struct SweepOptions {
   /// are left cold.  Results stay byte-identical to a cold sweep — the
   /// snapshot replays the exact functional state the fast-forward builds.
   std::string warmStartDir;
+  /// Run on an externally owned pool instead of constructing one per plan
+  /// (the renucad daemon keeps a resident pool across batches).  The
+  /// caller must be the pool's only submitter while the plan runs — the
+  /// phase barrier is pool->wait().  Overrides `jobs`.
+  ThreadPool* pool = nullptr;
+  /// Called once per job right after its result slot is written (plan
+  /// index, result).  On a parallel run this fires on worker threads,
+  /// concurrently — the callee synchronizes.  Jobs whose simulation threw
+  /// still fire, with result.error set.
+  std::function<void(std::size_t, const RunResult&)> onJobDone;
 };
 
 /// Resolves a `jobs=` setting to a worker count (0 -> hardware threads).

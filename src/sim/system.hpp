@@ -28,6 +28,12 @@ namespace renuca::sim {
 
 /// Everything a bench needs from one simulation run.
 struct RunResult {
+  /// Empty on success.  The sweep engine catches exceptions a job throws
+  /// (e.g. an unknown application profile) and records the message here
+  /// instead of killing the worker; every numeric field is then
+  /// default-valued.
+  std::string error;
+
   std::string mixName;
   core::PolicyKind policy = core::PolicyKind::SNuca;
   Cycle measuredCycles = 0;

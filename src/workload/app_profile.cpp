@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/log.hpp"
 
@@ -162,7 +163,11 @@ const AppProfile& profileByName(const std::string& name) {
   for (const AppProfile& p : spec2006Profiles()) {
     if (p.name == name) return p;
   }
-  RENUCA_ASSERT(false, "unknown application profile: " + name);
+  // An unknown app name is an *input* error, not a simulator invariant:
+  // it must be catchable (the sweep engine turns it into the job's
+  // RunResult::error; renucad rejects it at admission), so throw rather
+  // than RENUCA_ASSERT.
+  throw std::runtime_error("unknown application profile: " + name);
 }
 
 }  // namespace renuca::workload

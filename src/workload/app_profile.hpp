@@ -82,8 +82,9 @@ DerivedParams deriveParams(const TableIIRef& ref);
 /// reference values transcribed verbatim and knobs derived.
 const std::vector<AppProfile>& spec2006Profiles();
 
-/// Look up a profile by name; aborts if unknown (workload mixes are
-/// validated at construction).
+/// Look up a profile by name; throws std::runtime_error if unknown (the
+/// sweep engine catches it into the job's result slot, and renucad rejects
+/// unknown apps at admission).
 const AppProfile& profileByName(const std::string& name);
 
 /// Instruction-mix constants shared by derivation and generation.

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,59 @@ TEST(ThreadPool, DestructorDrainsPendingWork) {
 
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillWorkerOrWedgeWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();  // Must return: every task, thrower or not, counts as done.
+  EXPECT_EQ(count.load(), 100);
+  // Both workers survived; a fresh batch still runs on all of them.
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPool, NonExceptionThrowIsAlsoContained) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.submit([] { throw 42; });
+  pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// A plan whose job throws mid-simulation must surface the error in that
+// job's result slot and leave every other slot intact.
+TEST(Sweep, RunPlanSurfacesPerJobErrorInResultSlot) {
+  for (unsigned jobs : {1u, 3u}) {
+    sim::SweepPlan plan;
+    sim::SystemConfig good = sim::singleCore();
+    good.prewarmInstrPerCore = 20000;
+    good.warmupInstrPerCore = 500;
+    good.instrPerCore = 1000;
+    plan.addSingleApp("ok-before", good, "mcf");
+    plan.addSingleApp("broken", good, "no_such_app");
+    plan.addSingleApp("ok-after", good, "lbm");
+
+    sim::SweepOptions opts;
+    opts.jobs = jobs;
+    const std::vector<sim::RunResult> results = sim::runPlan(plan, opts);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].error.empty()) << results[0].error;
+    EXPECT_FALSE(results[1].error.empty()) << "jobs=" << jobs;
+    EXPECT_NE(results[1].error.find("no_such_app"), std::string::npos)
+        << results[1].error;
+    EXPECT_TRUE(results[2].error.empty()) << results[2].error;
+    EXPECT_GT(results[0].coreIpc.size(), 0u);
+    EXPECT_TRUE(results[1].coreIpc.empty()) << "failed slot must stay default";
+  }
 }
 
 TEST(Sweep, ResolveJobsMapsZeroToHardware) {

@@ -9,16 +9,37 @@
 #include <cstdio>
 #include <string>
 
+#include "cli_util.hpp"
 #include "common/kvconfig.hpp"
 #include "serial/archive.hpp"
 
 using namespace renuca;
 
+namespace {
+
+const char kUsage[] =
+    "usage: ckpt_inspect <snapshot.ckpt> [key=value ...]\n"
+    "\n"
+    "Validates and summarizes a warm-state snapshot archive: framing,\n"
+    "section checksums, fingerprint, per-bank endurance state.\n"
+    "\n"
+    "options:\n"
+    "  sections=0|1   print the section table (default 1)\n"
+    "  key=0|1        print the full fingerprint key string (default 0)\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (tools::wantsHelp(argc, argv)) return tools::usage(kUsage, false);
   KvConfig kv = KvConfig::fromArgs(argc, argv);
-  if (kv.positional().empty()) {
-    std::fprintf(stderr, "usage: ckpt_inspect <snapshot.ckpt> [sections=1] [key=0]\n");
-    return 2;
+  if (kv.positional().size() != 1) {
+    std::fprintf(stderr, "ckpt_inspect: expected exactly one snapshot path\n");
+    return tools::usage(kUsage, true);
+  }
+  std::string badKey;
+  if (!tools::checkKeys(kv, {"sections", "key"}, badKey)) {
+    std::fprintf(stderr, "ckpt_inspect: unknown option '%s='\n", badKey.c_str());
+    return tools::usage(kUsage, true);
   }
   const bool showSections = kv.getOr("sections", std::int64_t{1}) != 0;
   const bool showKey = kv.getOr("key", std::int64_t{0}) != 0;

@@ -1,0 +1,57 @@
+// Shared command-line conventions for the tools/ binaries.
+//
+// Every tool follows the same contract:
+//  * `--help` (or `-h`) anywhere on the line prints the usage text to
+//    stdout and exits 0;
+//  * misuse — missing positionals, an unknown `key=` option, an unknown
+//    flag — prints the same usage text to stderr and exits 2;
+//  * the usage text names every `key=` option the tool accepts, with its
+//    default.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+
+#include "common/kvconfig.hpp"
+
+namespace renuca::tools {
+
+inline bool wantsHelp(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)
+      return true;
+  }
+  return false;
+}
+
+/// Prints the usage text and returns the exit code for the situation:
+/// stdout/0 for an explicit --help, stderr/2 for misuse.
+inline int usage(const char* text, bool misuse) {
+  std::fputs(text, misuse ? stderr : stdout);
+  return misuse ? 2 : 0;
+}
+
+/// True when every key of `kv` is in the allowlist; otherwise fills
+/// `badKey` with the first offender (the tool's misuse path).
+inline bool checkKeys(const KvConfig& kv, std::initializer_list<const char*> allowed,
+                      std::string& badKey) {
+  for (const auto& [key, value] : kv.all()) {
+    (void)value;
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      badKey = key;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace renuca::tools

@@ -1,0 +1,346 @@
+// renuca_client: submit simulation jobs to a renucad daemon (or run them
+// locally with the same spec grammar) and collect run reports.
+//
+//   ./renuca_client socket=/tmp/renucad.sock app=mcf threshold_pct=25 --wait
+//   ./renuca_client socket=/tmp/renucad.sock batch=specs.txt --wait report_dir=out/
+//   ./renuca_client socket=/tmp/renucad.sock --stats
+//
+// A job spec is the key=value grammar of server/jobspec.hpp: rig=, app=,
+// mix=, label=, plus any SystemConfig override key.  --local runs the same
+// specs in-process through the sweep engine and writes the same reports —
+// the determinism contract makes local and served output byte-identical
+// modulo the provenance fields, which is exactly what the CI smoke test
+// compares.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "common/kvconfig.hpp"
+#include "server/client.hpp"
+#include "server/jobspec.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
+
+using namespace renuca;
+
+namespace {
+
+const char kUsage[] =
+    "usage: renuca_client [options] [flags] [spec key=value ...]\n"
+    "\n"
+    "Submits jobs to a renucad daemon and prints/collects the run reports.\n"
+    "Spec keys (rig=, app=, mix=, label=, and any config override such as\n"
+    "threshold_pct= or instr_per_core=) are forwarded to the server; see\n"
+    "src/server/jobspec.hpp for the grammar.\n"
+    "\n"
+    "options:\n"
+    "  socket=PATH        connect to a Unix-domain socket\n"
+    "                     (default /tmp/renucad.sock)\n"
+    "  connect=HOST:PORT  connect over TCP instead\n"
+    "  batch=FILE         submit one job per line of FILE (each line is\n"
+    "                     space-separated spec key=value tokens; '#' comments)\n"
+    "  report_out=FILE    write the single job's report JSON here (default:\n"
+    "                     stdout)\n"
+    "  report_dir=DIR     write one <label>.json per batch job into DIR\n"
+    "\n"
+    "flags:\n"
+    "  --wait             stay connected until every submitted job's report\n"
+    "                     arrives (otherwise: submit, print job ids, exit)\n"
+    "  --stats            print the server's health/metrics JSON and exit\n"
+    "  --ping             liveness probe: exit 0 iff the server answers\n"
+    "  --shutdown         ask the server to drain and exit\n"
+    "  --local            run the spec/batch in-process (no server) and write\n"
+    "                     the same reports\n";
+
+struct Options {
+  std::string socketPath = "/tmp/renucad.sock";
+  std::string tcp;
+  std::string batchFile;
+  std::string reportOut;
+  std::string reportDir;
+  bool wait = false;
+  bool stats = false;
+  bool ping = false;
+  bool shutdown = false;
+  bool local = false;
+};
+
+/// Turns one batch line ("app=mcf threshold_pct=25") into the newline-
+/// separated text the spec parser takes.
+std::string lineToSpec(const std::string& line) {
+  std::istringstream is(line);
+  std::string token, spec;
+  while (is >> token) {
+    if (token[0] == '#') break;
+    spec += token;
+    spec += '\n';
+  }
+  return spec;
+}
+
+std::string sanitizeLabel(std::string label) {
+  for (char& c : label) {
+    if (c == '/' || c == ' ' || c == '\0') c = '_';
+  }
+  return label.empty() ? std::string("job") : label;
+}
+
+bool writeReport(const std::string& path, const std::string& json) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "renuca_client: cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << json;
+  return os.good();
+}
+
+/// Emits one job's report per the output options.  `label` is only used
+/// for report_dir= file naming.
+bool emitReport(const Options& opt, const std::string& label, const std::string& json) {
+  if (!opt.reportDir.empty())
+    return writeReport(opt.reportDir + "/" + sanitizeLabel(label) + ".json", json);
+  if (!opt.reportOut.empty()) return writeReport(opt.reportOut, json);
+  std::fputs(json.c_str(), stdout);
+  return true;
+}
+
+/// Loads the job specs this invocation describes: the batch file's lines,
+/// or the single spec assembled from the command-line keys.
+bool collectSpecs(const Options& opt, const KvConfig& kv,
+                  std::vector<std::string>& specs) {
+  if (!opt.batchFile.empty()) {
+    std::ifstream is(opt.batchFile);
+    if (!is) {
+      std::fprintf(stderr, "renuca_client: cannot read %s\n", opt.batchFile.c_str());
+      return false;
+    }
+    std::string line;
+    while (std::getline(is, line)) {
+      const std::string spec = lineToSpec(line);
+      if (!spec.empty()) specs.push_back(spec);
+    }
+    if (specs.empty()) {
+      std::fprintf(stderr, "renuca_client: %s has no job specs\n",
+                   opt.batchFile.c_str());
+      return false;
+    }
+    return true;
+  }
+  std::string spec;
+  for (const auto& [key, value] : kv.all()) {
+    if (key == "socket" || key == "connect" || key == "batch" ||
+        key == "report_out" || key == "report_dir")
+      continue;
+    spec += key + "=" + value + "\n";
+  }
+  if (spec.empty()) {
+    std::fprintf(stderr, "renuca_client: no job spec given\n");
+    return false;
+  }
+  specs.push_back(spec);
+  return true;
+}
+
+int runLocal(const Options& opt, const std::vector<std::string>& specs) {
+  sim::SweepPlan plan;
+  std::vector<std::string> labels;
+  for (const std::string& spec : specs) {
+    sim::Job job;
+    std::string err;
+    if (!server::parseJobSpec(spec, job, err)) {
+      std::fprintf(stderr, "renuca_client: bad spec: %s\n", err.c_str());
+      return 1;
+    }
+    labels.push_back(job.label);
+    plan.add(std::move(job));
+  }
+  sim::SweepOptions opts;
+  opts.jobs = 0;  // One worker per core, like the daemon's default.
+  const std::vector<sim::RunResult> results = sim::runPlan(plan, opts);
+  bool ok = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string json = sim::runReportJson(
+        "renucad", plan.jobs()[i].config, {{labels[i], results[i]}},
+        /*wallSeconds=*/0.0, /*jobs=*/1);
+    if (!emitReport(opt, labels[i], json)) ok = false;
+    if (!results[i].error.empty()) {
+      std::fprintf(stderr, "renuca_client: %s failed: %s\n", labels[i].c_str(),
+                   results[i].error.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (tools::wantsHelp(argc, argv)) return tools::usage(kUsage, false);
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+
+  Options opt;
+  for (const std::string& flag : kv.positional()) {
+    if (flag == "--wait") {
+      opt.wait = true;
+    } else if (flag == "--stats") {
+      opt.stats = true;
+    } else if (flag == "--ping") {
+      opt.ping = true;
+    } else if (flag == "--shutdown") {
+      opt.shutdown = true;
+    } else if (flag == "--local") {
+      opt.local = true;
+    } else {
+      std::fprintf(stderr, "renuca_client: unknown flag '%s'\n", flag.c_str());
+      return tools::usage(kUsage, true);
+    }
+  }
+  opt.socketPath = kv.getOr("socket", opt.socketPath);
+  opt.tcp = kv.getOr("connect", std::string());
+  opt.batchFile = kv.getOr("batch", std::string());
+  opt.reportOut = kv.getOr("report_out", std::string());
+  opt.reportDir = kv.getOr("report_dir", std::string());
+
+  if (opt.local) {
+    std::vector<std::string> specs;
+    if (!collectSpecs(opt, kv, specs)) return tools::usage(kUsage, true);
+    return runLocal(opt, specs);
+  }
+
+  server::Client client;
+  std::string err;
+  const bool connected = opt.tcp.empty() ? client.connectUnix(opt.socketPath, &err)
+                                         : client.connectTcp(opt.tcp, &err);
+  if (!connected) {
+    std::fprintf(stderr, "renuca_client: connect failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  using server::Message;
+  using server::Op;
+
+  if (opt.ping || opt.stats || opt.shutdown) {
+    Message req;
+    req.op = opt.ping ? Op::Ping : (opt.stats ? Op::Stats : Op::Shutdown);
+    req.requestId = 1;
+    Message reply;
+    if (!client.send(req, &err) || !client.receive(reply, &err)) {
+      std::fprintf(stderr, "renuca_client: %s\n", err.c_str());
+      return 1;
+    }
+    if (opt.ping) {
+      if (reply.op != Op::Pong) {
+        std::fprintf(stderr, "renuca_client: unexpected reply %s\n",
+                     server::toString(reply.op));
+        return 1;
+      }
+      std::printf("pong\n");
+      return 0;
+    }
+    if (opt.stats) {
+      if (reply.op != Op::StatsReply) {
+        std::fprintf(stderr, "renuca_client: unexpected reply %s\n",
+                     server::toString(reply.op));
+        return 1;
+      }
+      std::fputs(reply.text.c_str(), stdout);
+      return 0;
+    }
+    if (reply.op != Op::Accepted) {
+      std::fprintf(stderr, "renuca_client: shutdown refused: %s\n",
+                   reply.text.c_str());
+      return 1;
+    }
+    std::printf("server draining\n");
+    return 0;
+  }
+
+  std::vector<std::string> specs;
+  if (!collectSpecs(opt, kv, specs)) return tools::usage(kUsage, true);
+
+  // Submit everything up front (requestId = 1-based spec index), then
+  // collect replies; the protocol multiplexes by requestId.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Message req;
+    req.op = Op::Submit;
+    req.requestId = i + 1;
+    req.text = specs[i];
+    if (!client.send(req, &err)) {
+      std::fprintf(stderr, "renuca_client: %s\n", err.c_str());
+      return 1;
+    }
+  }
+
+  std::map<std::uint64_t, std::string> labelByRequest;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    sim::Job parsed;
+    std::string ignored;
+    labelByRequest[i + 1] = server::parseJobSpec(specs[i], parsed, ignored)
+                                ? parsed.label
+                                : ("job" + std::to_string(i + 1));
+  }
+
+  std::size_t admitted = 0, answered = 0, reportsPending = 0, failures = 0;
+  bool submitFailed = false;
+  while (answered < specs.size() || (opt.wait && reportsPending > 0)) {
+    Message m;
+    if (!client.receive(m, &err)) {
+      std::fprintf(stderr, "renuca_client: %s\n", err.c_str());
+      return 1;
+    }
+    switch (m.op) {
+      case Op::Accepted:
+        ++answered;
+        ++admitted;
+        if (opt.wait) {
+          ++reportsPending;
+        } else {
+          std::printf("accepted %s as job %llu\n",
+                      labelByRequest[m.requestId].c_str(),
+                      static_cast<unsigned long long>(m.jobId));
+        }
+        break;
+      case Op::Busy:
+        ++answered;
+        submitFailed = true;
+        std::fprintf(stderr, "renuca_client: %s rejected: busy (%s)\n",
+                     labelByRequest[m.requestId].c_str(), m.text.c_str());
+        break;
+      case Op::Error:
+        ++answered;
+        submitFailed = true;
+        std::fprintf(stderr, "renuca_client: %s rejected: %s\n",
+                     labelByRequest[m.requestId].c_str(), m.text.c_str());
+        break;
+      case Op::Status:
+        std::fprintf(stderr, "[%s] job %llu: %s%s%s\n",
+                     labelByRequest[m.requestId].c_str(),
+                     static_cast<unsigned long long>(m.jobId),
+                     server::toString(m.state), m.text.empty() ? "" : ": ",
+                     m.text.c_str());
+        break;
+      case Op::Report:
+        if (reportsPending > 0) --reportsPending;
+        if (m.state == server::JobState::Failed) ++failures;
+        if (!emitReport(opt, labelByRequest[m.requestId], m.text)) ++failures;
+        break;
+      default:
+        std::fprintf(stderr, "renuca_client: unexpected frame %s\n",
+                     server::toString(m.op));
+        break;
+    }
+  }
+  if (!opt.wait && admitted > 0) {
+    std::fprintf(stderr,
+                 "renuca_client: %zu job(s) admitted; reports stay on the "
+                 "server connection (use --wait to collect them)\n",
+                 admitted);
+  }
+  return (submitFailed || failures > 0) ? 1 : 0;
+}

@@ -1,0 +1,96 @@
+// renucad: the resident simulation daemon (src/server/server.hpp).
+//
+// Accepts jobs over a Unix-domain socket (TCP optional), runs them on a
+// warm thread pool with warm-state snapshot reuse shared across every
+// client, and streams per-job status + run-report JSON back.  SIGINT /
+// SIGTERM drain gracefully: admitted jobs finish, their reports are
+// delivered, then the process exits 0.
+//
+//   ./renucad socket=/tmp/renucad.sock [jobs=0] [queue=64] ...
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/kvconfig.hpp"
+#include "common/log.hpp"
+#include "server/server.hpp"
+#include "cli_util.hpp"
+
+using namespace renuca;
+
+namespace {
+
+const char kUsage[] =
+    "usage: renucad [key=value ...]\n"
+    "\n"
+    "Runs the simulation job server until SIGINT/SIGTERM (graceful drain)\n"
+    "or a client SHUTDOWN request.\n"
+    "\n"
+    "options:\n"
+    "  socket=PATH           Unix-domain listen path (default /tmp/renucad.sock)\n"
+    "  listen=HOST:PORT      also listen on TCP ('*' or empty host = any)\n"
+    "  jobs=N                sweep worker threads (default 0 = one per core)\n"
+    "  queue=N               admission bound; full queue answers BUSY (default 64)\n"
+    "  snapshot_dir=PATH     warm-start snapshot cache shared by all clients\n"
+    "  idle_timeout_ms=N     close idle sessions with no jobs in flight\n"
+    "                        (default 0 = never)\n"
+    "  log_level=LEVEL       debug|info|warn|error (default info)\n";
+
+server::Server* g_server = nullptr;
+
+void onSignal(int) {
+  if (g_server) g_server->requestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (tools::wantsHelp(argc, argv)) return tools::usage(kUsage, false);
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  if (!kv.positional().empty()) {
+    std::fprintf(stderr, "renucad: unexpected argument '%s'\n",
+                 kv.positional()[0].c_str());
+    return tools::usage(kUsage, true);
+  }
+  std::string badKey;
+  if (!tools::checkKeys(kv,
+                        {"socket", "listen", "jobs", "queue", "snapshot_dir",
+                         "idle_timeout_ms", "log_level"},
+                        badKey)) {
+    std::fprintf(stderr, "renucad: unknown option '%s='\n", badKey.c_str());
+    return tools::usage(kUsage, true);
+  }
+  if (kv.has("log_level")) {
+    const std::string name = kv.getOr("log_level", std::string());
+    const std::optional<LogLevel> level = logLevelFromString(name);
+    if (!level) {
+      std::fprintf(stderr, "renucad: bad log_level '%s'\n", name.c_str());
+      return tools::usage(kUsage, true);
+    }
+    setLogLevel(*level);
+  }
+
+  server::ServerConfig cfg;
+  cfg.socketPath = kv.getOr("socket", std::string("/tmp/renucad.sock"));
+  cfg.listenHostPort = kv.getOr("listen", std::string());
+  cfg.jobs = static_cast<unsigned>(kv.getOr("jobs", std::int64_t{0}));
+  cfg.maxQueue = static_cast<std::size_t>(kv.getOr("queue", std::int64_t{64}));
+  cfg.snapshotDir = kv.getOr("snapshot_dir", std::string());
+  cfg.idleTimeoutMs = static_cast<int>(kv.getOr("idle_timeout_ms", std::int64_t{0}));
+  if (cfg.maxQueue == 0) {
+    std::fprintf(stderr, "renucad: queue= must be at least 1\n");
+    return tools::usage(kUsage, true);
+  }
+
+  server::Server srv(cfg);
+  if (!srv.listen()) return 1;
+
+  g_server = &srv;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const int rc = srv.run();
+  g_server = nullptr;
+  return rc;
+}

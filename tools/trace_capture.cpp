@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cli_util.hpp"
 #include "common/kvconfig.hpp"
 #include "workload/app_profile.hpp"
 #include "workload/generator.hpp"
@@ -14,23 +15,60 @@
 
 using namespace renuca;
 
+namespace {
+
+const char kUsage[] =
+    "usage: trace_capture <app> <out.trace> [key=value ...]\n"
+    "\n"
+    "Dumps a synthetic application's dynamic instruction stream to the\n"
+    "binary trace format for bit-exact replay.\n"
+    "\n"
+    "options:\n"
+    "  count=N   records to capture (default 1000000)\n"
+    "  seed=N    generator seed (default 1)\n";
+
+void listApps(std::FILE* to) {
+  std::fprintf(to, "apps: ");
+  for (const auto& p : workload::spec2006Profiles()) {
+    std::fprintf(to, "%s ", p.name.c_str());
+  }
+  std::fprintf(to, "\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (tools::wantsHelp(argc, argv)) {
+    const int rc = tools::usage(kUsage, false);
+    listApps(stdout);
+    return rc;
+  }
   KvConfig kv = KvConfig::fromArgs(argc, argv);
-  if (kv.positional().size() < 2) {
-    std::fprintf(stderr,
-                 "usage: trace_capture <app> <out.trace> [count=N] [seed=N]\n"
-                 "apps: ");
-    for (const auto& p : workload::spec2006Profiles()) {
-      std::fprintf(stderr, "%s ", p.name.c_str());
-    }
-    std::fprintf(stderr, "\n");
-    return 2;
+  if (kv.positional().size() != 2) {
+    std::fprintf(stderr, "trace_capture: expected <app> and <out.trace>\n");
+    listApps(stderr);
+    return tools::usage(kUsage, true);
+  }
+  std::string badKey;
+  if (!tools::checkKeys(kv, {"count", "seed"}, badKey)) {
+    std::fprintf(stderr, "trace_capture: unknown option '%s='\n", badKey.c_str());
+    return tools::usage(kUsage, true);
   }
   const std::string app = kv.positional()[0];
   const std::string out = kv.positional()[1];
   const std::uint64_t count =
       static_cast<std::uint64_t>(kv.getOr("count", std::int64_t{1000000}));
   const std::uint64_t seed = static_cast<std::uint64_t>(kv.getOr("seed", std::int64_t{1}));
+
+  bool knownApp = false;
+  for (const auto& p : workload::spec2006Profiles()) {
+    if (p.name == app) knownApp = true;
+  }
+  if (!knownApp) {
+    std::fprintf(stderr, "trace_capture: unknown app '%s'\n", app.c_str());
+    listApps(stderr);
+    return tools::usage(kUsage, true);
+  }
 
   workload::SyntheticGenerator gen(workload::profileByName(app), seed);
   workload::TraceWriter writer(out);

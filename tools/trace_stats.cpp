@@ -8,16 +8,36 @@
 #include <set>
 #include <string>
 
+#include "cli_util.hpp"
 #include "common/kvconfig.hpp"
 #include "workload/trace.hpp"
 
 using namespace renuca;
 
+namespace {
+
+const char kUsage[] =
+    "usage: trace_stats <trace> [key=value ...]\n"
+    "\n"
+    "Summarizes a binary instruction trace: mix, footprint, dependence\n"
+    "density, distinct PCs.\n"
+    "\n"
+    "options:\n"
+    "  limit=N   stop after N records (default 0 = whole file)\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (tools::wantsHelp(argc, argv)) return tools::usage(kUsage, false);
   KvConfig kv = KvConfig::fromArgs(argc, argv);
-  if (kv.positional().empty()) {
-    std::fprintf(stderr, "usage: trace_stats <trace> [limit=N]\n");
-    return 2;
+  if (kv.positional().size() != 1) {
+    std::fprintf(stderr, "trace_stats: expected exactly one trace path\n");
+    return tools::usage(kUsage, true);
+  }
+  std::string badKey;
+  if (!tools::checkKeys(kv, {"limit"}, badKey)) {
+    std::fprintf(stderr, "trace_stats: unknown option '%s='\n", badKey.c_str());
+    return tools::usage(kUsage, true);
   }
   const std::uint64_t limit =
       static_cast<std::uint64_t>(kv.getOr("limit", std::int64_t{0}));

@@ -12,12 +12,22 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "common/kvconfig.hpp"
 #include "telemetry/json.hpp"
 
 using namespace renuca;
 
 namespace {
+
+const char kUsage[] =
+    "usage: trace_view <trace.json> [key=value ...]\n"
+    "\n"
+    "Summarizes a Chrome trace_event JSON file (trace_json= output):\n"
+    "event census per name and span latency distributions.\n"
+    "\n"
+    "options:\n"
+    "  top=N   show at most N span/instant rows per table (default 20)\n";
 
 struct SpanStats {
   std::uint64_t count = 0;
@@ -36,10 +46,16 @@ double pct(std::vector<double>& xs, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (tools::wantsHelp(argc, argv)) return tools::usage(kUsage, false);
   KvConfig kv = KvConfig::fromArgs(argc, argv);
-  if (kv.positional().empty()) {
-    std::fprintf(stderr, "usage: trace_view <trace.json> [top=20]\n");
-    return 2;
+  if (kv.positional().size() != 1) {
+    std::fprintf(stderr, "trace_view: expected exactly one trace.json path\n");
+    return tools::usage(kUsage, true);
+  }
+  std::string badKey;
+  if (!tools::checkKeys(kv, {"top"}, badKey)) {
+    std::fprintf(stderr, "trace_view: unknown option '%s='\n", badKey.c_str());
+    return tools::usage(kUsage, true);
   }
   const std::size_t top =
       static_cast<std::size_t>(kv.getOr("top", std::int64_t{20}));
