@@ -69,6 +69,9 @@ if [ "$server" = 1 ]; then
   ./build/tools/renucad "socket=$sock" "jobs=$jobs" queue=128 \
       "snapshot_dir=$report_dir/warm" > "$report_dir/renucad.log" 2>&1 &
   daemon=$!
+  # Any early exit (daemon never came up, client failed, set -e in a
+  # caller) must not leave an orphaned renucad holding the socket.
+  trap 'kill -TERM "$daemon" 2>/dev/null; wait "$daemon" 2>/dev/null' EXIT
   for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
   [ -S "$sock" ] || { echo "renucad did not come up" >&2; cat "$report_dir/renucad.log" >&2; exit 1; }
 
@@ -79,6 +82,7 @@ if [ "$server" = 1 ]; then
   kill -TERM "$daemon"
   wait "$daemon"
   daemon_rc=$?
+  trap - EXIT  # clean shutdown took over; the trap's job is done
   if [ "$daemon_rc" != 0 ]; then
     echo "renucad did not drain cleanly (exit $daemon_rc)" >&2
     cat "$report_dir/renucad.log" >&2

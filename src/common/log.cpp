@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdint>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 
 namespace renuca {
 
@@ -24,6 +27,23 @@ const char* levelName(LogLevel l) {
     case LogLevel::Error: return "ERROR";
   }
   return "?";
+}
+
+/// Milliseconds since the first log line (monotonic, so lines correlate
+/// with profiler/trace timestamps even when the wall clock steps).
+std::int64_t monotonicMs() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Small stable id for the calling thread (1 = whoever logs first);
+/// std::thread::id itself prints as an opaque long hash.
+std::uint32_t threadTag() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
 }
 }  // namespace
 
@@ -45,14 +65,22 @@ std::optional<LogLevel> logLevelFromString(const std::string& name) {
 
 void logMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  const std::int64_t ms = monotonicMs();
   std::lock_guard<std::mutex> lock(g_sinkMutex);
-  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+  std::fprintf(stderr, "[%8lld.%03lld t%u %s] %s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), threadTag(), levelName(level),
+               message.c_str());
 }
 
 void logMessage(LogLevel level, const std::string& component, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  const std::int64_t ms = monotonicMs();
   std::lock_guard<std::mutex> lock(g_sinkMutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", levelName(level), component.c_str(), message.c_str());
+  std::fprintf(stderr, "[%8lld.%03lld t%u %s] %s: %s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), threadTag(), levelName(level),
+               component.c_str(), message.c_str());
 }
 
 void assertFail(const char* expr, const char* file, int line, const std::string& message) {

@@ -40,6 +40,7 @@ void Histogram::add(double x) {
   }
   ++buckets_[i];
   ++total_;
+  sum_ += x;
 }
 
 double Histogram::percentile(double q) const {

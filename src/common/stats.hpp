@@ -42,7 +42,9 @@ class Histogram {
   void add(double x);
   std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
   std::size_t numBuckets() const { return buckets_.size(); }
+  double bucketWidth() const { return width_; }
   std::uint64_t total() const { return total_; }
+  double sum() const { return sum_; }  ///< Sum of raw samples (pre-clamp).
   /// Value below which `q` (clamped to [0,1]) of samples fall, linearly
   /// interpolated within a bucket.  Pinned edge behavior:
   ///  * empty histogram -> 0;
@@ -56,6 +58,7 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 /// Named 64-bit counters grouped under a component; cheap to increment,

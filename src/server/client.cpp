@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -124,6 +125,21 @@ bool Client::send(const Message& m, std::string* error) {
     return false;
   }
   return true;
+}
+
+std::string Client::submit(const std::string& spec, std::uint64_t requestId,
+                           std::string* error) {
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string id = "c" + std::to_string(static_cast<long>(::getpid())) +
+                         "-" + std::to_string(seq.fetch_add(1) + 1);
+  Message m;
+  m.op = Op::Submit;
+  m.requestId = requestId;
+  m.text = spec;
+  if (!m.text.empty() && m.text.back() != '\n') m.text += '\n';
+  m.text += "job_id=" + id + "\n";
+  if (!send(m, error)) return std::string();
+  return id;
 }
 
 bool Client::receive(Message& m, std::string* error) {

@@ -39,6 +39,13 @@ class Client {
   /// Writes one frame; blocks until it is fully sent.
   bool send(const Message& m, std::string* error = nullptr);
 
+  /// Submits a job spec, stamping it with a client-generated job id
+  /// ("c<pid>-<seq>", appended as a job_id= line) that the server echoes in
+  /// the report's provenance and its lifecycle trace.  Returns the id, or
+  /// "" when the send fails (`error` says why).
+  std::string submit(const std::string& spec, std::uint64_t requestId,
+                     std::string* error = nullptr);
+
   /// Blocks until the next complete message arrives.  False on EOF, a
   /// socket error, or a corrupt frame (`error` says which).
   bool receive(Message& m, std::string* error = nullptr);

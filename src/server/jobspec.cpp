@@ -56,7 +56,7 @@ bool parseJobSpec(const std::string& text, sim::Job& job, std::string& error) {
     }
   }
   std::vector<ConfigError> errs =
-      sim::validateConfigKeys(kv, {"rig", "app", "mix", "label"});
+      sim::validateConfigKeys(kv, {"rig", "app", "mix", "label", "job_id"});
   if (!errs.empty()) {
     error.clear();
     for (std::size_t i = 0; i < errs.size(); ++i) {
@@ -116,6 +116,7 @@ bool parseJobSpec(const std::string& text, sim::Job& job, std::string& error) {
   }
 
   job.label = kv.getOr("label", mix.name);
+  job.clientJobId = kv.getOr("job_id", std::string());
   job.config = cfg;
   job.mix = std::move(mix);
   return true;

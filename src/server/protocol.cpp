@@ -10,6 +10,7 @@ const char* toString(Op op) {
     case Op::Stats: return "STATS";
     case Op::Shutdown: return "SHUTDOWN";
     case Op::Ping: return "PING";
+    case Op::Metrics: return "METRICS";
     case Op::Accepted: return "ACCEPTED";
     case Op::Busy: return "BUSY";
     case Op::Error: return "ERROR";
@@ -17,6 +18,7 @@ const char* toString(Op op) {
     case Op::Report: return "REPORT";
     case Op::StatsReply: return "STATS_REPLY";
     case Op::Pong: return "PONG";
+    case Op::MetricsReply: return "METRICS_REPLY";
   }
   return "UNKNOWN";
 }
@@ -27,6 +29,7 @@ bool knownOp(std::uint32_t raw) {
     case Op::Stats:
     case Op::Shutdown:
     case Op::Ping:
+    case Op::Metrics:
     case Op::Accepted:
     case Op::Busy:
     case Op::Error:
@@ -34,6 +37,7 @@ bool knownOp(std::uint32_t raw) {
     case Op::Report:
     case Op::StatsReply:
     case Op::Pong:
+    case Op::MetricsReply:
       return true;
   }
   return false;

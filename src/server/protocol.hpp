@@ -30,6 +30,9 @@
 //             latency histograms).
 //   Shutdown  Begin a graceful drain (same as SIGTERM).  Reply: Accepted.
 //   Ping      Reply: Pong.  Liveness probe.
+//   Metrics   Reply: MetricsReply, body = the same registry rendered as
+//             Prometheus text exposition (telemetry/prometheus.hpp), for
+//             scrapers.
 //
 // requestId is chosen by the client and echoed verbatim on every frame the
 // server sends about that request (including job status/report frames), so
@@ -50,6 +53,7 @@ enum class Op : std::uint32_t {
   Stats = 2,
   Shutdown = 3,
   Ping = 4,
+  Metrics = 5,
   // Server -> client.
   Accepted = 10,
   Busy = 11,
@@ -58,6 +62,7 @@ enum class Op : std::uint32_t {
   Report = 14,
   StatsReply = 15,
   Pong = 16,
+  MetricsReply = 17,
 };
 const char* toString(Op op);
 bool knownOp(std::uint32_t raw);

@@ -15,6 +15,7 @@
 #include "common/log.hpp"
 #include "server/jobspec.hpp"
 #include "sim/report.hpp"
+#include "telemetry/prometheus.hpp"
 
 namespace renuca::server {
 
@@ -58,7 +59,19 @@ Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)),
       pool_(std::make_unique<ThreadPool>(sim::resolveJobs(cfg_.jobs))),
       queueDepthHist_(1.0, cfg_.maxQueue + 2),
-      latencyHist_(/*bucketWidth=*/25.0, /*numBuckets=*/4096) {
+      latencyHist_(/*bucketWidth=*/25.0, /*numBuckets=*/4096),
+      queueWaitHist_(/*bucketWidth=*/25.0, /*numBuckets=*/4096),
+      execHist_(/*bucketWidth=*/25.0, /*numBuckets=*/4096),
+      startTime_(std::chrono::steady_clock::now()) {
+  if (!cfg_.traceJsonPath.empty()) {
+    jobTracer_ =
+        std::make_unique<telemetry::TraceWriter>(cfg_.traceJsonPath, 1);
+    if (jobTracer_->ok()) {
+      jobTracer_->nameProcess(1, "jobs");
+    } else {
+      jobTracer_.reset();
+    }
+  }
   if (pipe(wakePipe_) != 0) {
     logMessage(LogLevel::Error, "server", "pipe() failed: " + errnoString());
     wakePipe_[0] = wakePipe_[1] = -1;
@@ -412,6 +425,14 @@ void Server::handleMessage(Session& s, const Message& m) {
       sendMessage(s, reply);
       return;
     }
+    case Op::Metrics: {
+      Message reply;
+      reply.op = Op::MetricsReply;
+      reply.requestId = m.requestId;
+      reply.text = metricsText();
+      sendMessage(s, reply);
+      return;
+    }
     default: {
       protocolErrors_.inc();
       Message reply;
@@ -441,9 +462,40 @@ std::string Server::statsJson() {
     histogramJson(os, queueDepthHist_);
     os << ", \"job_latency_ms\": ";
     histogramJson(os, latencyHist_);
+    os << ", \"queue_wait_ms\": ";
+    histogramJson(os, queueWaitHist_);
+    os << ", \"exec_ms\": ";
+    histogramJson(os, execHist_);
   }
   os << "}\n";
   return os.str();
+}
+
+std::string Server::metricsText() {
+  std::lock_guard<std::mutex> lk(statsMutex_);
+  return telemetry::renderPrometheus(metrics_,
+                                     {{"queue_depth", &queueDepthHist_},
+                                      {"job_latency_ms", &latencyHist_},
+                                      {"queue_wait_ms", &queueWaitHist_},
+                                      {"exec_ms", &execHist_}},
+                                     "renucad_");
+}
+
+Cycle Server::traceNowUs() const {
+  return static_cast<Cycle>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - startTime_)
+          .count());
+}
+
+void Server::jobSpan(const char* stage, const QueuedJob& q, Cycle start, Cycle end) {
+  if (!jobTracer_) return;
+  std::lock_guard<std::mutex> lk(jobTracerMutex_);
+  jobTracer_->span(stage, "job", /*pid=*/1,
+                   static_cast<std::uint32_t>(q.jobId), start, end,
+                   {{"job_id", static_cast<std::int64_t>(q.jobId)},
+                    {"request_id", static_cast<std::int64_t>(q.requestId)},
+                    {"session", static_cast<std::int64_t>(q.sessionId)}});
 }
 
 void Server::closeSession(Session& s) {
@@ -467,8 +519,16 @@ void Server::executorLoop() {
     queueDepthA_.store(0, std::memory_order_relaxed);
     inflightA_.fetch_add(batch.size(), std::memory_order_relaxed);
 
+    const auto usOf = [this](std::chrono::steady_clock::time_point tp) {
+      return static_cast<Cycle>(
+          std::chrono::duration_cast<std::chrono::microseconds>(tp - startTime_)
+              .count());
+    };
+
     sim::SweepPlan plan;
-    for (const QueuedJob& q : batch) {
+    for (QueuedJob& q : batch) {
+      q.admitted = std::chrono::steady_clock::now();
+      jobSpan("queued", q, usOf(q.submitted), usOf(q.admitted));
       Message running;
       running.op = Op::Status;
       running.requestId = q.requestId;
@@ -481,15 +541,34 @@ void Server::executorLoop() {
     sim::SweepOptions opts;
     opts.pool = pool_.get();
     opts.warmStartDir = cfg_.snapshotDir;
-    opts.onJobDone = [this, &batch](std::size_t i, const sim::RunResult& r) {
+    opts.onJobStart = [this, &batch, usOf](std::size_t i) {
+      QueuedJob& q = batch[i];
+      q.execStart = std::chrono::steady_clock::now();
+      jobSpan("admitted", q, usOf(q.admitted), usOf(q.execStart));
+      {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        queueWaitHist_.add(
+            std::chrono::duration<double>(q.execStart - q.submitted).count() *
+            1000.0);
+      }
+    };
+    opts.onJobDone = [this, &batch, usOf](std::size_t i, const sim::RunResult& r) {
       const QueuedJob& q = batch[i];
+      const auto done = std::chrono::steady_clock::now();
       const double wallSec =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        q.submitted)
-              .count();
+          std::chrono::duration<double>(done - q.submitted).count();
+      jobSpan("executing", q, usOf(q.execStart), usOf(done));
+      if (jobTracer_) {
+        std::lock_guard<std::mutex> lk(jobTracerMutex_);
+        jobTracer_->instant("completed", "job", /*pid=*/1,
+                            static_cast<std::uint32_t>(q.jobId), usOf(done),
+                            {{"failed", r.error.empty() ? 0 : 1}});
+      }
       {
         std::lock_guard<std::mutex> lk(statsMutex_);
         latencyHist_.add(wallSec * 1000.0);
+        execHist_.add(
+            std::chrono::duration<double>(done - q.execStart).count() * 1000.0);
       }
       const bool ok = r.error.empty();
       (ok ? completedA_ : failedA_).fetch_add(1, std::memory_order_relaxed);
@@ -509,7 +588,7 @@ void Server::executorLoop() {
       report.state = ok ? JobState::Done : JobState::Failed;
       report.text = sim::runReportJson("renucad", q.job.config,
                                        {{q.job.label, r}}, wallSec,
-                                       pool_->threadCount());
+                                       pool_->threadCount(), q.job.clientJobId);
       postOutgoing(q.sessionId, std::move(report));
       inflightA_.fetch_sub(1, std::memory_order_relaxed);
     };
@@ -655,6 +734,10 @@ int Server::run() {
   }
   sessions_.clear();
   sessionsA_.store(0, std::memory_order_relaxed);
+  if (jobTracer_) {
+    std::lock_guard<std::mutex> lk(jobTracerMutex_);
+    jobTracer_->close();
+  }
   if (!cfg_.socketPath.empty()) ::unlink(cfg_.socketPath.c_str());
   logMessage(LogLevel::Info, "server", "drained; exiting");
   return 0;

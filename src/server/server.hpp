@@ -48,6 +48,7 @@
 #include "server/protocol.hpp"
 #include "sim/sweep.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace renuca::server {
 
@@ -68,6 +69,10 @@ struct ServerConfig {
   /// Sessions with no traffic and no jobs in flight are closed after this
   /// long (<= 0 = never).
   int idleTimeoutMs = 0;
+  /// Job-lifecycle trace output (trace_json= on renucad): one span per
+  /// queued/admitted/executing stage per job, tid = job id, timestamps in
+  /// microseconds since server start.  Empty = no tracing.
+  std::string traceJsonPath;
   /// Frames larger than this are a fatal protocol violation.
   std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
   /// Reading pauses for a session whose unsent backlog passes this...
@@ -122,6 +127,12 @@ class Server {
     std::uint64_t sessionId = 0;
     std::uint64_t requestId = 0;
     std::chrono::steady_clock::time_point submitted;
+    /// Executor drained it from the queue into a plan (loop -> executor
+    /// handoff publishes it; only the executor/workers read it).
+    std::chrono::steady_clock::time_point admitted;
+    /// Simulation started (written by onJobStart and read by onJobDone on
+    /// the same worker thread, so no lock is needed).
+    std::chrono::steady_clock::time_point execStart;
     sim::Job job;
   };
 
@@ -142,6 +153,12 @@ class Server {
   void handleSubmit(Session& s, const Message& m);
   void closeSession(Session& s);
   std::string statsJson();
+  std::string metricsText();
+
+  /// Microseconds since server construction (the lifecycle trace's clock).
+  Cycle traceNowUs() const;
+  /// Emits one job-lifecycle span; serialized — callable from any thread.
+  void jobSpan(const char* stage, const QueuedJob& q, Cycle start, Cycle end);
 
   // Cross-thread plumbing.
   void executorLoop();
@@ -187,7 +204,16 @@ class Server {
 
   std::mutex statsMutex_;      ///< Histograms (executor writes, loop reads).
   Histogram queueDepthHist_;
-  Histogram latencyHist_;
+  Histogram latencyHist_;     ///< Submit -> report, per job (ms).
+  Histogram queueWaitHist_;   ///< Submit -> simulation start, per job (ms).
+  Histogram execHist_;        ///< Simulation start -> done, per job (ms).
+
+  /// Job-lifecycle tracer (cfg_.traceJsonPath); TraceWriter is not
+  /// thread-safe and spans come from the executor and pool workers, so
+  /// every emission goes through jobSpan()'s lock.
+  std::unique_ptr<telemetry::TraceWriter> jobTracer_;
+  std::mutex jobTracerMutex_;
+  std::chrono::steady_clock::time_point startTime_;
 };
 
 }  // namespace renuca::server

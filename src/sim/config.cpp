@@ -75,6 +75,7 @@ void SystemConfig::applyOverrides(const KvConfig& kv) {
   if (auto v = kv.getInt("trace_sample")) {
     traceSampleEvery = static_cast<std::uint32_t>(std::max<std::int64_t>(1, *v));
   }
+  profileEnabled = kv.getOr("profile", profileEnabled);
   if (auto p = kv.getString("log_level")) {
     if (auto lvl = logLevelFromString(*p)) {
       setLogLevel(*lvl);
@@ -125,6 +126,7 @@ const KeyRegistry& configKeyRegistry() {
         .stringKey("snapshot_load")
         .stringKey("snapshot_dir")
         .intKey("trace_sample", 1, 1 << 30)
+        .boolKey("profile")
         .stringKey("log_level")
         .boolKey("fault_enabled")
         .intKey("fault_seed", 0, std::numeric_limits<std::int64_t>::max())

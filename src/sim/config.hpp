@@ -102,6 +102,12 @@ struct SystemConfig {
   /// Trace every Nth hierarchy walk (1 = every walk).  Sampling keeps full
   /// runs fast and trace files loadable.
   std::uint32_t traceSampleEvery = 64;
+  /// Self-profiler (profile= key): attribute the run's own wall time to
+  /// simulator components and emit a "profile" section in the run report
+  /// (and spans in the trace, when trace_json= is also set).  Off by
+  /// default: the instrumentation then costs one null-pointer test per
+  /// hook site (telemetry/profiler.hpp).
+  bool profileEnabled = false;
 
   // --- Warm-state snapshots (snapshot_save= / snapshot_load=) --------------
   /// Write a warm-state snapshot here right after the untimed fast-forward

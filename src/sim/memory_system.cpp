@@ -1,6 +1,7 @@
 #include "sim/memory_system.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/bitops.hpp"
 #include "common/log.hpp"
@@ -112,9 +113,23 @@ void MemorySystem::registerMetrics(telemetry::MetricsRegistry& reg) {
   reg.gauge("dram.row_hit_rate", [this] { return dram_.rowHitRate(); });
 }
 
+void MemorySystem::setProfiler(telemetry::Profiler* profiler) {
+  if (!profiler) {
+    secTlb_ = secL1_ = secL2_ = secLlc_ = secNoc_ = secDram_ = {};
+    return;
+  }
+  secTlb_ = profiler->section("tlb");
+  secL1_ = profiler->section("l1");
+  secL2_ = profiler->section("l2");
+  secLlc_ = profiler->section("llc");
+  secNoc_ = profiler->section("noc");
+  secDram_ = profiler->section("dram");
+}
+
 Cycle MemorySystem::nocTraverse(std::uint32_t src, std::uint32_t dst, Cycle at,
                                 std::uint32_t flits) {
   if (warmupMode_) return at;
+  telemetry::ScopedProf sp(secNoc_);
   return mesh_.traverse(src, dst, at, flits);
 }
 
@@ -125,6 +140,7 @@ Cycle MemorySystem::bankReserve(BankId bank, Cycle at) {
 
 Cycle MemorySystem::dramAccess(Addr paddr, AccessType type, Cycle at) {
   if (warmupMode_) return at;
+  telemetry::ScopedProf sp(secDram_);
   return dram_.access(paddr, type, at);
 }
 
@@ -170,6 +186,7 @@ void MemorySystem::evictFromL2(CoreId core, const mem::Eviction& ev, Cycle now) 
 }
 
 void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
+  telemetry::ScopedProf sp(secLlc_);
   ++coreCounters_[owner].llcWritebacks;
   ++*hot_.llcWritebacks;
 
@@ -315,6 +332,7 @@ void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now)
 }
 
 void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
+  telemetry::ScopedProf sp(secLlc_);
   tlb::Translation tr = tlbs_[core]->translate(vaddr);
   BlockAddr block = lineOf(tr.paddr);
   if (l2_[core]->contains(block) || l1_[core]->contains(block)) return;
@@ -386,7 +404,10 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
   traceThisWalk_ = traceWalk;
   const char* walkName = type == AccessType::Read ? "load" : "store";
 
-  tlb::Translation tr = tlbs_[core]->translate(vaddr);
+  const tlb::Translation tr = [&] {
+    telemetry::ScopedProf sp(secTlb_);
+    return tlbs_[core]->translate(vaddr);
+  }();
   Cycle t = issueAt + tr.latency;
   BlockAddr block = lineOf(tr.paddr);
   if (traceWalk && tr.latency > 0) {
@@ -394,8 +415,14 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
   }
 
   // ---- L1D ----------------------------------------------------------------
-  Cycle l1Start = warmupMode_ ? t : l1_[core]->reserve(t);
-  if (l1_[core]->access(block, type)) {
+  Cycle l1Start;
+  bool l1Hit;
+  {
+    telemetry::ScopedProf sp(secL1_);
+    l1Start = warmupMode_ ? t : l1_[core]->reserve(t);
+    l1Hit = l1_[core]->access(block, type);
+  }
+  if (l1Hit) {
     Cycle doneAt = l1Start + cfg_.l1d.latency;
     if (traceWalk) {
       tracer_->span("l1d", "mem", kTracePidCores, core, l1Start, doneAt, {{"hit", 1}});
@@ -410,10 +437,15 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
   }
 
   // ---- L2 (private) ---------------------------------------------------------
-  Cycle l2Start = warmupMode_ ? t2 : l2_[core]->reserve(t2);
-  // Demand fetch into L1 is a read at L2 even for stores (write-allocate:
-  // the dirtiness lands in L1).
-  bool l2Hit = l2_[core]->access(block, AccessType::Read);
+  Cycle l2Start;
+  bool l2Hit;
+  {
+    telemetry::ScopedProf sp(secL2_);
+    l2Start = warmupMode_ ? t2 : l2_[core]->reserve(t2);
+    // Demand fetch into L1 is a read at L2 even for stores (write-allocate:
+    // the dirtiness lands in L1).
+    l2Hit = l2_[core]->access(block, AccessType::Read);
+  }
   Cycle afterL2 = l2Start + cfg_.l2.latency;
   if (traceWalk) {
     tracer_->span("l2", "mem", kTracePidCores, core, l2Start, afterL2,
@@ -431,6 +463,14 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
 
   // ---- LLC (NUCA) -----------------------------------------------------------
   if (directory_) coherenceActions(core, block, type, afterL2);
+
+  // The whole NUCA region — lookup, bank access, fill, DRAM round trip —
+  // profiles as "llc"; the nested nocTraverse/dramAccess scopes claim
+  // their own share out of it (self-time attribution).  An optional keeps
+  // the scope closeable before the prefetch/private-fill tail without
+  // re-nesting 100 lines.
+  std::optional<telemetry::ScopedProf> llcProf;
+  llcProf.emplace(secLlc_);
 
   ++coreCounters_[core].llcDemandAccesses;
   bool bit = policy_->needsMbv() ? tlbs_[core]->mappingBit(vaddr) : false;
@@ -555,6 +595,7 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
     *hot_.llcMissDramSum += dramDone - memArrive;
     *hot_.llcMissPostDramSum += dataAtCore - dramDone;
   }
+  llcProf.reset();
 
   // ---- Next-line prefetch (optional) ----------------------------------------
   // Issued on the demand miss path, after the demand line's fate is known;

@@ -31,6 +31,7 @@
 #include "serial/archive.hpp"
 #include "sim/config.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "tlb/tlb.hpp"
 
@@ -41,6 +42,8 @@ namespace renuca::sim {
 /// process (tid = bank id).
 inline constexpr std::uint32_t kTracePidCores = 1;
 inline constexpr std::uint32_t kTracePidLlc = 2;
+/// Self-profile lane (System::run emits one span per profiler section).
+inline constexpr std::uint32_t kTracePidProfile = 3;
 
 /// Per-core demand/traffic counters for WPKI / MPKI / hit-rate reporting.
 struct CoreMemCounters {
@@ -122,6 +125,11 @@ class MemorySystem final : public cpu::MemorySystem {
   /// Attaches an event tracer (owned by the caller; may be null).  Walk
   /// spans and eviction/MBV instants are emitted for sampled walks only.
   void setTracer(telemetry::TraceWriter* tracer) { tracer_ = tracer; }
+
+  /// Attaches the self-profiler (owned by the caller; may be null):
+  /// resolves the per-component section handles.  With no profiler every
+  /// handle stays detached and the hooks cost one null test each.
+  void setProfiler(telemetry::Profiler* profiler);
 
   /// Registers the hierarchy's epoch-sampled metrics: whole-system LLC and
   /// DRAM traffic, NoC load, and per-bank cumulative ReRAM writes
@@ -235,6 +243,17 @@ class MemorySystem final : public cpu::MemorySystem {
   /// eviction/write-back paths it triggers emit their instants.
   bool traceThisWalk_ = false;
   bool warmupMode_ = false;
+
+  // Self-profiler sections (detached when no profiler is attached).  The
+  // llc section wraps the whole LLC region of a walk, with noc/dram scopes
+  // nested inside it — self-time attribution (telemetry/profiler.hpp)
+  // keeps the three disjoint.
+  telemetry::ProfSection secTlb_;
+  telemetry::ProfSection secL1_;
+  telemetry::ProfSection secL2_;
+  telemetry::ProfSection secLlc_;
+  telemetry::ProfSection secNoc_;
+  telemetry::ProfSection secDram_;
 };
 
 }  // namespace renuca::sim

@@ -112,6 +112,29 @@ void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
     }
     w.endObject();
   }
+
+  // v3 addition: the run's self-profile (profile= key).  Wall times are
+  // nondeterministic, so the section exists only when profiling was on —
+  // default-config reports keep their byte-for-byte comparability.
+  if (r.profile.enabled) {
+    w.key("profile");
+    w.beginObject();
+    w.kv("total_seconds", r.profile.totalSeconds);
+    w.kv("overhead_est_seconds", r.profile.overheadEstSeconds);
+    w.kv("share_sum", r.profile.shareSum());
+    w.key("sections");
+    w.beginArray();
+    for (const telemetry::ProfileReport::Section& sec : r.profile.sections) {
+      w.beginObject();
+      w.kv("name", sec.name);
+      w.kv("seconds", sec.seconds);
+      w.kv("share", sec.share);
+      w.kv("count", sec.count);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
   w.endObject();
 }
 
@@ -119,16 +142,21 @@ void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
 
 std::string runReportJson(const std::string& benchName, const SystemConfig& cfg,
                           const std::vector<ReportEntry>& entries,
-                          double wallSeconds, unsigned jobs) {
+                          double wallSeconds, unsigned jobs,
+                          const std::string& jobId) {
   std::ostringstream os;
   telemetry::JsonWriter w(os);
   w.beginObject();
-  w.kv("schema", "renuca-run-report-v2");
+  w.kv("schema", "renuca-run-report-v3");
   w.kv("bench", benchName);
   w.kv("generated_unix", telemetry::unixTime());
   w.kv("host", telemetry::hostName());
   w.kv("wall_seconds", wallSeconds);
   w.kv("jobs", static_cast<std::uint64_t>(jobs));
+  // Client-assigned job id (service runs only).  Provenance like the
+  // fields above — emitted before "config" and only when present, so
+  // direct-vs-served comparisons from "config" on stay byte-identical.
+  if (!jobId.empty()) w.kv("job_id", jobId);
   w.key("config");
   writeConfigEcho(w, cfg);
   w.key("runs");

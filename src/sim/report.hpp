@@ -1,4 +1,4 @@
-// Machine-readable run reports ("renuca-run-report-v2").
+// Machine-readable run reports ("renuca-run-report-v3").
 //
 // Every bench binary (and runWorkload, via BenchSession) can write one JSON
 // document per invocation: provenance (host, wall-clock, generation time),
@@ -38,11 +38,13 @@ bool writeRunReport(const std::string& path, const std::string& benchName,
 
 /// The same document as a string (newline-terminated) — what renucad
 /// streams back to clients, and what writeRunReport puts on disk.  The
-/// provenance fields (generated_unix, host, wall_seconds, jobs) all come
-/// before the "config" key, so "modulo provenance" comparisons can simply
-/// compare everything from `"config"` on.
+/// provenance fields (generated_unix, host, wall_seconds, jobs, and the
+/// optional client-assigned job_id) all come before the "config" key, so
+/// "modulo provenance" comparisons can simply compare everything from
+/// `"config"` on.
 std::string runReportJson(const std::string& benchName, const SystemConfig& cfg,
                           const std::vector<ReportEntry>& entries,
-                          double wallSeconds, unsigned jobs = 1);
+                          double wallSeconds, unsigned jobs = 1,
+                          const std::string& jobId = std::string());
 
 }  // namespace renuca::sim

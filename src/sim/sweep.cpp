@@ -167,6 +167,7 @@ std::vector<RunResult> runPlan(const SweepPlan& plan, const SweepOptions& opts) 
     std::size_t done = 0;
     for (const std::vector<std::size_t>* phase : {&phase1, &phase2}) {
       for (std::size_t i : *phase) {
+        if (opts.onJobStart) opts.onJobStart(i);
         results[i] = runJobGuarded(jobs[i]);
         if (opts.onJobDone) opts.onJobDone(i, results[i]);
         if (opts.narrate) narrateDone(jobs[i], ++done, jobs.size());
@@ -197,6 +198,7 @@ std::vector<RunResult> runPlan(const SweepPlan& plan, const SweepOptions& opts) 
       RunResult* slot = &results[i];
       const auto* o = &opts;
       pool->submit([job, slot, i, o, &finished, narrate, total] {
+        if (o->onJobStart) o->onJobStart(i);
         *slot = runJobGuarded(*job);
         if (o->onJobDone) o->onJobDone(i, *slot);
         std::size_t done = finished.fetch_add(1, std::memory_order_relaxed) + 1;

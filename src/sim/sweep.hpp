@@ -46,6 +46,10 @@ struct Job {
   std::string label;
   SystemConfig config;
   workload::WorkloadMix mix;
+  /// Client-assigned job id (service runs; empty elsewhere).  Pure
+  /// provenance: echoed in the job's report and lifecycle spans, never
+  /// read by the simulation.
+  std::string clientJobId;
 };
 
 /// An ordered list of independent jobs.  Order is the determinism anchor:
@@ -88,6 +92,10 @@ struct SweepOptions {
   /// caller must be the pool's only submitter while the plan runs — the
   /// phase barrier is pool->wait().  Overrides `jobs`.
   ThreadPool* pool = nullptr;
+  /// Called once per job right before its simulation starts, on the thread
+  /// that will run it (plan index).  Lets the service timestamp the
+  /// queued->executing transition; same concurrency caveats as onJobDone.
+  std::function<void(std::size_t)> onJobStart;
   /// Called once per job right after its result slot is written (plan
   /// index, result).  On a parallel run this fires on worker threads,
   /// concurrently — the callee synchronizes.  Jobs whose simulation threw

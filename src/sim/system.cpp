@@ -40,6 +40,16 @@ System::System(const SystemConfig& config, const workload::WorkloadMix& mix)
 
   registerMetrics();
 
+  if (cfg_.profileEnabled) {
+    profiler_ = std::make_unique<telemetry::Profiler>();
+    secCores_ = profiler_->section("cores");
+    secFf_ = profiler_->section("fastforward");
+    secWorkload_ = profiler_->section("workload_gen");
+    secPredictor_ = profiler_->section("predictor");
+    secTelemetry_ = profiler_->section("telemetry");
+    mem_->setProfiler(profiler_.get());
+  }
+
   if (!cfg_.traceJsonPath.empty()) {
     tracer_ = std::make_unique<telemetry::TraceWriter>(cfg_.traceJsonPath,
                                                        cfg_.traceSampleEvery);
@@ -91,16 +101,39 @@ void System::tickAll(Cycle now) {
 
 void System::fastForward(std::uint64_t instrPerCore) {
   if (instrPerCore == 0) return;
+  telemetry::ScopedProf ff(secFf_);
   mem_->setWarmupMode(true);
   constexpr std::uint64_t kChunk = 4096;  // interleave so cores warm the LLC together
+  // Per-core chunks run as three batched passes — generate, predict,
+  // execute — so the profiler can attribute each phase with one scope per
+  // chunk instead of one per instruction.  Behavior-identical to the
+  // interleaved loop: predict() never mutates the table (training happens
+  // in the timed core), so each load sees the same verdict either way, and
+  // the memory-op order per core is unchanged.
+  std::vector<workload::TraceRecord> recs;
+  std::vector<unsigned char> crit;
+  recs.reserve(kChunk);
   for (std::uint64_t done = 0; done < instrPerCore; done += kChunk) {
     std::uint64_t n = std::min(kChunk, instrPerCore - done);
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
-      for (std::uint64_t i = 0; i < n; ++i) {
-        workload::TraceRecord rec = gens_[c]->next();
+      recs.clear();
+      {
+        telemetry::ScopedProf sp(secWorkload_);
+        for (std::uint64_t i = 0; i < n; ++i) recs.push_back(gens_[c]->next());
+      }
+      crit.assign(recs.size(), 0);
+      if (cpts_[c]) {
+        telemetry::ScopedProf sp(secPredictor_);
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+          if (recs[i].kind == InstrKind::Load) {
+            crit[i] = cpts_[c]->predict(recs[i].pc) ? 1 : 0;
+          }
+        }
+      }
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        const workload::TraceRecord& rec = recs[i];
         if (rec.kind == InstrKind::Load) {
-          bool critical = cpts_[c] ? cpts_[c]->predict(rec.pc) : false;
-          mem_->load(c, rec.vaddr, rec.pc, 0, critical);
+          mem_->load(c, rec.vaddr, rec.pc, 0, crit[i] != 0);
         } else if (rec.kind == InstrKind::Store) {
           mem_->store(c, rec.vaddr, rec.pc, 0);
         }
@@ -207,6 +240,9 @@ Cycle System::nextCycle(Cycle now) const {
 }
 
 RunResult System::run() {
+  // Wall clock for the profile's total; read only when profiling so the
+  // default path stays untouched.
+  const std::uint64_t wallStartNs = profiler_ ? telemetry::Profiler::nowNs() : 0;
   Cycle now = 0;
 
   // ---- Functional fast-forward: bring the hierarchy to steady state. ----
@@ -230,9 +266,15 @@ RunResult System::run() {
   }
 
   // ---- Warm-up: fill caches, train predictors; statistics discarded. ----
-  while (!allReached(cfg_.warmupInstrPerCore) && now < cfg_.maxCycles) {
-    tickAll(now);
-    now = nextCycle(now);
+  {
+    // One coarse "cores" scope around the whole timed loop (two clock
+    // reads, not two per cycle); the memory system's nested sections
+    // subtract their own share from it.
+    telemetry::ScopedProf sp(secCores_);
+    while (!allReached(cfg_.warmupInstrPerCore) && now < cfg_.maxCycles) {
+      tickAll(now);
+      now = nextCycle(now);
+    }
   }
 
   // ---- Placement refresh (policies with a predictor only): now that the
@@ -284,22 +326,27 @@ RunResult System::run() {
   // (per-bank writes, per-core progress, substrate load).
   bool hitCap = false;
   std::uint64_t nextEpoch = cfg_.epochInstrs;
-  while (!allReached(cfg_.instrPerCore)) {
-    if (now - measureStart >= cfg_.maxCycles) {
-      hitCap = true;
-      break;
-    }
-    tickAll(now);
-    now = nextCycle(now);
-    while (nextFault < atCycle.size() && now - measureStart >= atCycle[nextFault].value) {
-      const rram::ScheduledFault& sf = atCycle[nextFault];
-      mem_->injectFault(sf.bank, sf.set, sf.way, now);
-      ++nextFault;
-    }
-    if (nextEpoch != 0 && nextEpoch <= cfg_.instrPerCore && allReached(nextEpoch)) {
-      epochNow_ = now;
-      metrics_.snapshot(now - measureStart, nextEpoch);
-      nextEpoch += cfg_.epochInstrs;
+  {
+    telemetry::ScopedProf sp(secCores_);
+    while (!allReached(cfg_.instrPerCore)) {
+      if (now - measureStart >= cfg_.maxCycles) {
+        hitCap = true;
+        break;
+      }
+      tickAll(now);
+      now = nextCycle(now);
+      while (nextFault < atCycle.size() &&
+             now - measureStart >= atCycle[nextFault].value) {
+        const rram::ScheduledFault& sf = atCycle[nextFault];
+        mem_->injectFault(sf.bank, sf.set, sf.way, now);
+        ++nextFault;
+      }
+      if (nextEpoch != 0 && nextEpoch <= cfg_.instrPerCore && allReached(nextEpoch)) {
+        telemetry::ScopedProf tp(secTelemetry_);
+        epochNow_ = now;
+        metrics_.snapshot(now - measureStart, nextEpoch);
+        nextEpoch += cfg_.epochInstrs;
+      }
     }
   }
   const Cycle measuredCycles = now - measureStart;
@@ -307,6 +354,7 @@ RunResult System::run() {
       (metrics_.series().empty() || metrics_.series().cycles.back() < measuredCycles)) {
     // Terminal snapshot so the series always ends at the window's edge
     // (skipped when the last boundary already landed there).
+    telemetry::ScopedProf tp(secTelemetry_);
     epochNow_ = now;
     metrics_.snapshot(measuredCycles, cfg_.instrPerCore);
   }
@@ -394,6 +442,29 @@ RunResult System::run() {
   r.avgNocLatencyCycles = mem_->mesh().avgPacketLatency();
   r.dramRowHitRate = mem_->dram().rowHitRate();
   r.epochs = metrics_.series();
+
+  if (profiler_) {
+    const double wallSec =
+        static_cast<double>(telemetry::Profiler::nowNs() - wallStartNs) * 1e-9;
+    r.profile = profiler_->report(wallSec);
+    if (tracer_) {
+      // Profile lane: one span per section, laid out end-to-end so the
+      // shares read directly off the viewer.  ts is nominally cycles
+      // elsewhere in the file; this lane's unit is microseconds of the
+      // simulator's own wall time (the args carry the exact numbers).
+      tracer_->nameProcess(kTracePidProfile, "self-profile");
+      Cycle at = 0;
+      for (const telemetry::ProfileReport::Section& sec : r.profile.sections) {
+        const Cycle dur = static_cast<Cycle>(sec.seconds * 1e6);
+        tracer_->span(sec.name.c_str(), "profile", kTracePidProfile, 0, at,
+                      at + dur,
+                      {{"count", static_cast<std::int64_t>(sec.count)},
+                       {"share_permille",
+                        static_cast<std::int64_t>(sec.share * 1000.0)}});
+        at += dur;
+      }
+    }
+  }
 
   if (tracer_) tracer_->close();
   return r;

@@ -20,6 +20,7 @@
 #include "sim/config.hpp"
 #include "sim/memory_system.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/generator.hpp"
 #include "workload/mixes.hpp"
@@ -86,6 +87,12 @@ struct RunResult {
   /// per-core commit/stall counters, and NoC/DRAM occupancy.
   telemetry::EpochSeries epochs;
 
+  /// Self-profile of the run's own wall time (enabled=false unless
+  /// SystemConfig::profileEnabled was set).  Nondeterministic by nature —
+  /// the report layer emits it only when enabled, keeping served-vs-local
+  /// byte comparisons intact.
+  telemetry::ProfileReport profile;
+
   double minBankLifetime() const;
   double avgWpki() const;
   double avgMpki() const;
@@ -123,6 +130,7 @@ class System {
   const SystemConfig& config() const { return cfg_; }
   const telemetry::MetricsRegistry& metrics() const { return metrics_; }
   telemetry::TraceWriter* tracer() { return tracer_.get(); }
+  const telemetry::Profiler* profiler() const { return profiler_.get(); }
 
  private:
   void tickAll(Cycle now);
@@ -144,6 +152,18 @@ class System {
 
   telemetry::MetricsRegistry metrics_;
   std::unique_ptr<telemetry::TraceWriter> tracer_;
+  /// Self-profiler (profile= key); null when off, and every section handle
+  /// below is then detached.  The simulation loops are attributed to
+  /// "cores" as coarse outer scopes; the memory system's nested sections
+  /// (tlb/l1/l2/llc/noc/dram) claim their share out of them.  Timed-mode
+  /// predictor lookups run inside OooCore and are part of "cores"; the
+  /// "predictor" section covers the fast-forward's batched lookups.
+  std::unique_ptr<telemetry::Profiler> profiler_;
+  telemetry::ProfSection secCores_;
+  telemetry::ProfSection secFf_;
+  telemetry::ProfSection secWorkload_;
+  telemetry::ProfSection secPredictor_;
+  telemetry::ProfSection secTelemetry_;
   /// Cycle of the snapshot being taken; gauges that need "now" (MSHR
   /// occupancy) read it.
   Cycle epochNow_ = 0;

@@ -76,6 +76,13 @@ class MetricsRegistry {
   std::size_t numMetrics() const { return metrics_.size(); }
   const std::vector<std::string>& names() const { return series_.names; }
 
+  /// True when metric `i` (registration order, as in names()) is a gauge
+  /// callback rather than a monotone counter — Prometheus exposition needs
+  /// the distinction for its TYPE lines.
+  bool isGauge(std::size_t i) const {
+    return static_cast<bool>(metrics_[i].fn);
+  }
+
   /// Evaluates every metric right now (without recording an epoch).
   std::vector<double> sample() const;
 

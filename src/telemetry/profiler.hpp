@@ -1,0 +1,159 @@
+// Self-profiler: RAII scoped wall-time attribution for the simulator's own
+// components (where does an instr/sec go?).
+//
+// The design mirrors the StatSet/MetricsRegistry handle pattern: a
+// component resolves a ProfSection handle once (at construction / wiring
+// time), then the hot path opens a ScopedProf on it.  A default-constructed
+// handle is *detached*: opening a scope on it costs exactly one null-pointer
+// test — that is the whole price of compiled-in instrumentation when
+// `profile=` is off, and what the <2 %-overhead test in tests/test_telemetry
+// holds.
+//
+// Attribution is *self time*: scopes may nest (the LLC region of a
+// hierarchy walk contains NoC and DRAM scopes), and a parent's accumulated
+// time excludes its children's, so the per-section times are disjoint and
+// their sum can never exceed the run's wall time.  The profiler keeps an
+// explicit scope stack to do this, which also means one Profiler instance
+// is single-threaded by construction — exactly one System owns one
+// Profiler, the same ownership discipline the tracer and metrics registry
+// follow (sim/sweep.hpp's determinism contract).
+//
+// Honesty check: report() carries an overhead estimate — the measured cost
+// of one enter/exit pair times the number of pairs taken — so a profile
+// whose instrumentation cost rivals its sections is visibly untrustworthy.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace renuca::telemetry {
+
+class Profiler;
+
+/// Cheap section handle; trivially copyable, safe to default-construct (a
+/// detached handle makes ScopedProf a no-op).
+class ProfSection {
+ public:
+  ProfSection() = default;
+  bool attached() const { return prof_ != nullptr; }
+
+ private:
+  friend class Profiler;
+  friend class ScopedProf;
+  ProfSection(Profiler* prof, std::size_t slot) : prof_(prof), slot_(slot) {}
+  Profiler* prof_ = nullptr;
+  std::size_t slot_ = 0;
+};
+
+/// One run's profile, ready for the run report ("profile" section of
+/// renuca-run-report-v3) and for trace spans.
+struct ProfileReport {
+  bool enabled = false;
+  double totalSeconds = 0.0;        ///< Wall time of the whole run.
+  double overheadEstSeconds = 0.0;  ///< Estimated instrumentation cost.
+  struct Section {
+    std::string name;
+    double seconds = 0.0;      ///< Self time (children excluded).
+    double share = 0.0;        ///< seconds / totalSeconds.
+    std::uint64_t count = 0;   ///< Scope entries.
+  };
+  std::vector<Section> sections;  ///< Registration order.
+
+  /// Sum of the per-section shares (<= 1 by construction, modulo the
+  /// instrumentation overhead the sections absorb).
+  double shareSum() const;
+};
+
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Registers (or re-finds, by name) a section and returns its handle.
+  /// Handles stay valid for the profiler's lifetime.
+  ProfSection section(const std::string& name);
+
+  std::size_t numSections() const { return slots_.size(); }
+  const std::string& sectionName(std::size_t i) const { return slots_[i].name; }
+  std::uint64_t sectionSelfNs(std::size_t i) const { return slots_[i].selfNs; }
+  std::uint64_t sectionCount(std::size_t i) const { return slots_[i].count; }
+
+  /// Total enter/exit pairs taken so far (the overhead-estimate multiplier).
+  std::uint64_t hookCount() const { return hooks_; }
+
+  /// Builds the report against the run's measured wall time.
+  ProfileReport report(double totalSeconds) const;
+
+  /// Monotonic nanoseconds (steady_clock).
+  static std::uint64_t nowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Measures the cost of one *attached* enter/exit pair (a calibration
+  /// loop over a scratch section), in nanoseconds.
+  static double measureScopeCostNs(std::size_t iters = 1 << 14);
+
+  /// Measures the cost of one *detached* enter/exit pair — the price every
+  /// hook site pays when profiling is off.  The <2 %-overhead test
+  /// multiplies this by a run's hookCount().
+  static double measureDetachedScopeCostNs(std::size_t iters = 1 << 18);
+
+ private:
+  friend class ScopedProf;
+  void enter(std::size_t slot) {
+    stack_.push_back(Active{slot, nowNs(), 0});
+  }
+  void exit() {
+    const Active a = stack_.back();
+    stack_.pop_back();
+    const std::uint64_t delta = nowNs() - a.start;
+    const std::uint64_t self = delta > a.childNs ? delta - a.childNs : 0;
+    Slot& s = slots_[a.slot];
+    s.selfNs += self;
+    ++s.count;
+    ++hooks_;
+    if (!stack_.empty()) stack_.back().childNs += delta;
+  }
+
+  struct Slot {
+    std::string name;
+    std::uint64_t selfNs = 0;
+    std::uint64_t count = 0;
+  };
+  struct Active {
+    std::size_t slot;
+    std::uint64_t start;
+    std::uint64_t childNs;  ///< Wall time already claimed by nested scopes.
+  };
+
+  std::deque<Slot> slots_;  ///< Stable storage; handles index into it.
+  std::vector<Active> stack_;
+  std::uint64_t hooks_ = 0;
+};
+
+/// RAII scope: attributes the enclosed wall time to the handle's section.
+/// On a detached handle both constructor and destructor are a single
+/// null-pointer test.
+class ScopedProf {
+ public:
+  explicit ScopedProf(const ProfSection& s) : prof_(s.prof_) {
+    if (prof_) prof_->enter(s.slot_);
+  }
+  ~ScopedProf() {
+    if (prof_) prof_->exit();
+  }
+  ScopedProf(const ScopedProf&) = delete;
+  ScopedProf& operator=(const ScopedProf&) = delete;
+
+ private:
+  Profiler* prof_;
+};
+
+}  // namespace renuca::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace renuca::telemetry {
+
+namespace {
+
+bool isNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Prometheus values are floats, but rendering integral counters as
+/// integers keeps the document stable and diff-friendly.
+std::string fmtValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.2e18) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) out.push_back(isNameChar(c) ? c : '_');
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string renderPrometheus(const MetricsRegistry& registry,
+                             const std::vector<PrometheusHistogram>& histograms,
+                             const std::string& prefix) {
+  std::ostringstream os;
+  const std::vector<std::string>& names = registry.names();
+  const std::vector<double> row = registry.sample();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string full = prefix + prometheusName(names[i]);
+    os << "# TYPE " << full << (registry.isGauge(i) ? " gauge" : " counter")
+       << '\n';
+    os << full << ' ' << fmtValue(row[i]) << '\n';
+  }
+  for (const PrometheusHistogram& h : histograms) {
+    if (!h.hist) continue;
+    const std::string full = prefix + prometheusName(h.name);
+    os << "# TYPE " << full << " histogram\n";
+    std::uint64_t cum = 0;
+    const std::size_t n = h.hist->numBuckets();
+    for (std::size_t i = 0; i < n; ++i) {
+      cum += h.hist->bucketCount(i);
+      // The final bucket absorbs the clamped tail, so its honest upper
+      // bound is +Inf (which Prometheus requires to exist anyway).
+      if (i + 1 == n) {
+        os << full << "_bucket{le=\"+Inf\"} " << cum << '\n';
+      } else {
+        const double le = h.hist->bucketWidth() * static_cast<double>(i + 1);
+        os << full << "_bucket{le=\"" << fmtValue(le) << "\"} " << cum << '\n';
+      }
+    }
+    if (n == 0) os << full << "_bucket{le=\"+Inf\"} 0\n";
+    os << full << "_sum " << fmtValue(h.hist->sum()) << '\n';
+    os << full << "_count " << h.hist->total() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace renuca::telemetry

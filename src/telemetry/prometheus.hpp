@@ -1,0 +1,40 @@
+// Prometheus text exposition (version 0.0.4) for the metrics registry and
+// latency histograms.  This is what the server's METRICS request renders,
+// making renucad scrape-ready: counters and gauges come straight from the
+// MetricsRegistry the server already feeds, histograms get the cumulative
+// `_bucket{le=...}` / `_sum` / `_count` triple Prometheus expects.
+//
+// Registry metric names use '/' separators ("server/accepted"); exposition
+// names must match [a-zA-Z_:][a-zA-Z0-9_:]* so every other character maps
+// to '_' and a configurable prefix ("renucad_") namespaces the daemon.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace renuca::telemetry {
+
+/// Maps an internal metric name onto the Prometheus grammar: every
+/// character outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a
+/// '_' prepended.  Empty input stays empty.
+std::string prometheusName(const std::string& name);
+
+/// One named histogram to expose alongside the registry.
+struct PrometheusHistogram {
+  std::string name;
+  const Histogram* hist = nullptr;
+};
+
+/// Renders the full exposition document: one `# TYPE` line plus samples per
+/// metric, counters/gauges from the registry (evaluated now, via sample()),
+/// then each histogram as cumulative buckets + `_sum` + `_count`.  Every
+/// name is prefixed (e.g. "renucad_") after sanitization.
+std::string renderPrometheus(const MetricsRegistry& registry,
+                             const std::vector<PrometheusHistogram>& histograms,
+                             const std::string& prefix);
+
+}  // namespace renuca::telemetry

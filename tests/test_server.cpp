@@ -9,7 +9,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,9 +39,10 @@ using server::Op;
 // --- Protocol --------------------------------------------------------------
 
 TEST(Protocol, EveryOpcodeRoundTrips) {
-  const Op ops[] = {Op::Submit, Op::Stats,  Op::Shutdown,   Op::Ping,
-                    Op::Accepted, Op::Busy, Op::Error,      Op::Status,
-                    Op::Report,   Op::StatsReply, Op::Pong};
+  const Op ops[] = {Op::Submit,   Op::Stats, Op::Shutdown,   Op::Ping,
+                    Op::Metrics,  Op::Accepted, Op::Busy,    Op::Error,
+                    Op::Status,   Op::Report, Op::StatsReply, Op::Pong,
+                    Op::MetricsReply};
   for (Op op : ops) {
     Message in;
     in.op = op;
@@ -157,6 +163,18 @@ TEST(JobSpec, MixSpecUsesStandardMix) {
   EXPECT_EQ(job.mix.name, "WL3");
   EXPECT_EQ(job.config.numCores, job.mix.appNames.size());
   EXPECT_EQ(job.label, "WL3");
+}
+
+TEST(JobSpec, ClientJobIdIsPureProvenance) {
+  sim::Job withId, without;
+  std::string err;
+  ASSERT_TRUE(server::parseJobSpec("app=mcf\njob_id=c123-7\n", withId, err)) << err;
+  EXPECT_EQ(withId.clientJobId, "c123-7");
+  ASSERT_TRUE(server::parseJobSpec("app=mcf\n", without, err)) << err;
+  EXPECT_TRUE(without.clientJobId.empty());
+  // Provenance only: the simulation-relevant config is untouched.
+  EXPECT_EQ(withId.config.seed, without.config.seed);
+  EXPECT_EQ(withId.label, without.label);
 }
 
 TEST(JobSpec, RejectsServerOwnedUnknownAndConflictingKeys) {
@@ -523,6 +541,165 @@ TEST(Server, StatsReportHealthJson) {
   ASSERT_TRUE(count && count->isNumber());
   EXPECT_GE(count->number, 1.0);
   EXPECT_TRUE(doc->find("queue_depth_hist"));
+}
+
+TEST(Server, StatsKeySetIsStable) {
+  // Golden key-set: monitoring dashboards key on these names, so adding is
+  // fine but renaming/dropping must be a conscious, test-breaking act.
+  TestServer ts(smallServer(1));
+  Client c = ts.connect();
+  Message req;
+  req.op = Op::Stats;
+  req.requestId = 1;
+  ASSERT_TRUE(c.send(req));
+  Message stats;
+  ASSERT_TRUE(c.receive(stats));
+  ASSERT_EQ(stats.op, Op::StatsReply);
+
+  std::string err;
+  auto doc = telemetry::parseJson(stats.text, &err);
+  ASSERT_TRUE(doc) << err;
+  std::set<std::string> topKeys;
+  for (const auto& [k, v] : doc->object) topKeys.insert(k);
+  const std::set<std::string> expectedTop = {
+      "server", "workers", "queue_depth_hist", "job_latency_ms",
+      "queue_wait_ms", "exec_ms"};
+  EXPECT_EQ(topKeys, expectedTop);
+
+  std::set<std::string> serverKeys;
+  for (const auto& [k, v] : doc->find("server")->object) serverKeys.insert(k);
+  const std::set<std::string> expectedServer = {
+      "server/accepted",  "server/rejected", "server/protocol_errors",
+      "server/inflight",  "server/completed", "server/failed",
+      "server/queue_depth", "server/sessions"};
+  EXPECT_EQ(serverKeys, expectedServer);
+}
+
+TEST(Server, MetricsReplyIsStablePrometheusText) {
+  TestServer ts(smallServer(1));
+  Client c = ts.connect();
+  Message reply = submit(c, quickSpec("mcf", 25));
+  ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+  awaitReport(c, 1);
+
+  Message req;
+  req.op = Op::Metrics;
+  req.requestId = 7;
+  ASSERT_TRUE(c.send(req));
+  Message metrics;
+  ASSERT_TRUE(c.receive(metrics));
+  ASSERT_EQ(metrics.op, Op::MetricsReply);
+  EXPECT_EQ(metrics.requestId, 7u);
+
+  // Parse the exposition text: every family has a TYPE line, every sample
+  // line is "name[{labels}] value" with a finite numeric value.
+  std::map<std::string, std::string> families;  // name -> type
+  std::istringstream is(metrics.text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string name, type;
+      ls >> name >> type;
+      families[name] = type;
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(sp + 1))) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+
+  // Golden family set (the scrape-config contract).
+  const std::map<std::string, std::string> expected = {
+      {"renucad_server_accepted", "counter"},
+      {"renucad_server_rejected", "counter"},
+      {"renucad_server_protocol_errors", "counter"},
+      {"renucad_server_inflight", "gauge"},
+      {"renucad_server_completed", "gauge"},
+      {"renucad_server_failed", "gauge"},
+      {"renucad_server_queue_depth", "gauge"},
+      {"renucad_server_sessions", "gauge"},
+      {"renucad_queue_depth", "histogram"},
+      {"renucad_job_latency_ms", "histogram"},
+      {"renucad_queue_wait_ms", "histogram"},
+      {"renucad_exec_ms", "histogram"}};
+  EXPECT_EQ(families, expected);
+
+  // The completed job is visible to a scraper.
+  EXPECT_NE(metrics.text.find("renucad_server_completed 1\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.text.find("renucad_exec_ms_count 1\n"), std::string::npos);
+}
+
+TEST(Server, SubmittedJobIdEchoesInReportProvenance) {
+  TestServer ts(smallServer(1));
+  Client c = ts.connect();
+  std::string err;
+  const std::string jobId = c.submit(quickSpec("mcf", 25), /*requestId=*/1, &err);
+  ASSERT_FALSE(jobId.empty()) << err;
+  Message report = awaitReport(c, 1);
+  ASSERT_EQ(report.state, JobState::Done);
+
+  auto doc = telemetry::parseJson(report.text, &err);
+  ASSERT_TRUE(doc) << err;
+  const telemetry::JsonValue* echoed = doc->find("job_id");
+  ASSERT_NE(echoed, nullptr);
+  EXPECT_EQ(echoed->str, jobId);
+  // job_id is provenance: it precedes "config", so the determinism
+  // comparison (everything from "config" on) is unaffected by it.
+  EXPECT_LT(report.text.find("\"job_id\""), report.text.find("\"config\""));
+  EXPECT_EQ(stripProvenance(report.text).find("\"job_id\""), std::string::npos)
+      << "job_id leaked past the provenance prefix";
+}
+
+TEST(Server, LifecycleTraceRecordsJobStages) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "server.jobs.trace.json";
+  server::ServerConfig cfg = smallServer(1);
+  cfg.traceJsonPath = path;
+  std::uint64_t jobId = 0;
+  {
+    TestServer ts(cfg);
+    Client c = ts.connect();
+    Message reply = submit(c, quickSpec("mcf", 25));
+    ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+    jobId = reply.jobId;
+    awaitReport(c, 1);
+    EXPECT_EQ(ts.stop(), 0);  // Drain closes (and footers) the trace.
+  }
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string err;
+  auto doc = telemetry::parseJson(buf.str(), &err);
+  ASSERT_TRUE(doc) << err;
+  const telemetry::JsonValue* events = doc->find("traceEvents");
+  ASSERT_TRUE(events && events->isArray());
+
+  std::set<std::string> stages;
+  for (const telemetry::JsonValue& e : events->array) {
+    const telemetry::JsonValue* name = e.find("name");
+    const telemetry::JsonValue* cat = e.find("cat");
+    if (!name || !cat || cat->str != "job") continue;
+    stages.insert(name->str);
+    // The span's thread lane is the server-assigned job id, and its args
+    // carry the client-facing identifiers.
+    EXPECT_EQ(e.find("tid")->number, static_cast<double>(jobId));
+    if (name->str != "completed") {
+      ASSERT_NE(e.find("args"), nullptr);
+      EXPECT_NE(e.find("args")->find("request_id"), nullptr);
+    }
+  }
+  const std::set<std::string> expected = {"queued", "admitted", "executing",
+                                          "completed"};
+  EXPECT_EQ(stages, expected);
+  std::remove(path.c_str());
 }
 
 TEST(Server, SessionDisconnectDuringJobDoesNotCrash) {

@@ -157,6 +157,38 @@ TEST(Sweep, RunPlanSurfacesPerJobErrorInResultSlot) {
   }
 }
 
+TEST(Sweep, OnJobStartFiresOncePerJobBeforeItsDone) {
+  for (unsigned jobs : {1u, 3u}) {
+    sim::SweepPlan plan;
+    sim::SystemConfig cfg = sim::singleCore();
+    cfg.prewarmInstrPerCore = 20000;
+    cfg.warmupInstrPerCore = 500;
+    cfg.instrPerCore = 1000;
+    plan.addSingleApp("a", cfg, "mcf");
+    plan.addSingleApp("b", cfg, "lbm");
+    plan.addSingleApp("c", cfg, "milc");
+
+    std::vector<std::atomic<int>> started(3), done(3);
+    sim::SweepOptions opts;
+    opts.jobs = jobs;
+    opts.onJobStart = [&](std::size_t i) {
+      // start must precede done for the same job (any thread).
+      EXPECT_EQ(done[i].load(), 0) << "jobs=" << jobs;
+      started[i].fetch_add(1);
+    };
+    opts.onJobDone = [&](std::size_t i, const sim::RunResult& r) {
+      EXPECT_EQ(started[i].load(), 1) << "jobs=" << jobs;
+      EXPECT_TRUE(r.error.empty()) << r.error;
+      done[i].fetch_add(1);
+    };
+    sim::runPlan(plan, opts);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(started[static_cast<std::size_t>(i)].load(), 1);
+      EXPECT_EQ(done[static_cast<std::size_t>(i)].load(), 1);
+    }
+  }
+}
+
 TEST(Sweep, ResolveJobsMapsZeroToHardware) {
   EXPECT_EQ(sim::resolveJobs(0), ThreadPool::hardwareThreads());
   EXPECT_EQ(sim::resolveJobs(1), 1u);

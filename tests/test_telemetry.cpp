@@ -9,10 +9,13 @@
 #include <sstream>
 #include <string>
 
+#include "common/stats.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
 
@@ -285,7 +288,7 @@ TEST(Telemetry, RunReportIsValidJson) {
   auto doc = parseJson(slurp(path), &err);
   ASSERT_TRUE(doc.has_value()) << err;
 
-  EXPECT_EQ(doc->find("schema")->str, "renuca-run-report-v2");
+  EXPECT_EQ(doc->find("schema")->str, "renuca-run-report-v3");
   EXPECT_EQ(doc->find("bench")->str, "unit_test");
   EXPECT_GT(doc->find("generated_unix")->number, 0.0);
   EXPECT_FALSE(doc->find("host")->str.empty());
@@ -315,6 +318,217 @@ TEST(Telemetry, ReportToUnwritablePathFailsGracefully) {
   sim::SystemConfig cfg = fastConfig();
   EXPECT_FALSE(
       sim::writeRunReport("/nonexistent-dir-xyz/r.json", "x", cfg, {}, 0.0));
+}
+
+// --- Self-profiler ---------------------------------------------------------
+
+/// Busy-spins long enough for steady_clock to register progress.
+void spinNs(std::uint64_t ns) {
+  const std::uint64_t start = telemetry::Profiler::nowNs();
+  while (telemetry::Profiler::nowNs() - start < ns) {
+  }
+}
+
+TEST(Profiler, SelfTimeExcludesNestedChildren) {
+  telemetry::Profiler prof;
+  telemetry::ProfSection outer = prof.section("outer");
+  telemetry::ProfSection inner = prof.section("inner");
+
+  const std::uint64_t t0 = telemetry::Profiler::nowNs();
+  {
+    telemetry::ScopedProf o(outer);
+    spinNs(200000);
+    {
+      telemetry::ScopedProf i(inner);
+      spinNs(400000);
+    }
+    spinNs(200000);
+  }
+  const std::uint64_t total = telemetry::Profiler::nowNs() - t0;
+
+  ASSERT_EQ(prof.numSections(), 2u);
+  const std::uint64_t outerSelf = prof.sectionSelfNs(0);
+  const std::uint64_t innerSelf = prof.sectionSelfNs(1);
+  EXPECT_GT(outerSelf, 0u);
+  EXPECT_GE(innerSelf, 400000u);
+  // Disjoint attribution: the sections partition the wall time.
+  EXPECT_LE(outerSelf + innerSelf, total);
+  // The parent's self time excludes the child's whole duration.
+  EXPECT_LT(outerSelf, total - innerSelf + 100000);
+  EXPECT_EQ(prof.hookCount(), 2u);
+}
+
+TEST(Profiler, NestedSameSectionStaysDisjoint) {
+  // llc-within-llc (writebackToLlc fires inside the walk's LLC region):
+  // self-time bookkeeping must not double-count the inner scope.
+  telemetry::Profiler prof;
+  telemetry::ProfSection llc = prof.section("llc");
+  const std::uint64_t t0 = telemetry::Profiler::nowNs();
+  {
+    telemetry::ScopedProf a(llc);
+    {
+      telemetry::ScopedProf b(llc);
+      spinNs(300000);
+    }
+  }
+  const std::uint64_t total = telemetry::Profiler::nowNs() - t0;
+  EXPECT_LE(prof.sectionSelfNs(0), total);
+  EXPECT_EQ(prof.sectionCount(0), 2u);
+}
+
+TEST(Profiler, SectionReFindsByName) {
+  telemetry::Profiler prof;
+  prof.section("a");
+  prof.section("b");
+  prof.section("a");
+  EXPECT_EQ(prof.numSections(), 2u);
+}
+
+TEST(Profiler, DetachedScopeIsNoop) {
+  telemetry::ProfSection detached;
+  EXPECT_FALSE(detached.attached());
+  for (int i = 0; i < 1000; ++i) {
+    telemetry::ScopedProf sp(detached);
+  }
+  // Nothing to assert beyond "does not crash / touches no profiler".
+}
+
+TEST(Profiler, ReportSharesAndOverheadEstimate) {
+  telemetry::Profiler prof;
+  telemetry::ProfSection s = prof.section("work");
+  {
+    telemetry::ScopedProf sp(s);
+    spinNs(500000);
+  }
+  telemetry::ProfileReport r = prof.report(/*totalSeconds=*/1.0);
+  ASSERT_TRUE(r.enabled);
+  ASSERT_EQ(r.sections.size(), 1u);
+  EXPECT_EQ(r.sections[0].name, "work");
+  EXPECT_GT(r.sections[0].seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.sections[0].share, r.sections[0].seconds / 1.0);
+  EXPECT_GT(r.overheadEstSeconds, 0.0);
+  EXPECT_LE(r.shareSum(), 1.0);
+}
+
+TEST(Profiler, ProfiledRunReportsDisjointSections) {
+  sim::SystemConfig cfg = fastConfig();
+  cfg.profileEnabled = true;
+  sim::RunResult r = sim::runWorkload(cfg, workload::standardMixes()[0]);
+  ASSERT_TRUE(r.profile.enabled);
+  EXPECT_GT(r.profile.totalSeconds, 0.0);
+  EXPECT_FALSE(r.profile.sections.empty());
+  // Self-time sections are disjoint, so shares can never sum past 1.
+  EXPECT_LE(r.profile.shareSum(), 1.0 + 1e-9);
+  // The memory hierarchy did real, attributed work.
+  double walkSeconds = 0.0;
+  for (const auto& s : r.profile.sections) {
+    if (s.name == "tlb" || s.name == "l1" || s.name == "llc") {
+      EXPECT_GT(s.count, 0u) << s.name;
+      walkSeconds += s.seconds;
+    }
+  }
+  EXPECT_GT(walkSeconds, 0.0);
+}
+
+TEST(Profiler, ProfileOffByDefaultAndUnderTwoPercentOverhead) {
+  // profile=0 run: no profile section in the result...
+  sim::SystemConfig cfg = fastConfig();
+  const std::uint64_t t0 = telemetry::Profiler::nowNs();
+  sim::RunResult off = sim::runWorkload(cfg, workload::standardMixes()[0]);
+  const double offWall =
+      static_cast<double>(telemetry::Profiler::nowNs() - t0) * 1e-9;
+  EXPECT_FALSE(off.profile.enabled);
+  EXPECT_TRUE(off.profile.sections.empty());
+
+  // ...and the compiled-in hooks cost under 2% of its wall time.  A
+  // profiled run counts the hook pairs the same workload takes; each pair
+  // costs one measured detached enter/exit when profiling is off.
+  cfg.profileEnabled = true;
+  sim::RunResult on = sim::runWorkload(cfg, workload::standardMixes()[0]);
+  std::uint64_t hookPairs = 0;
+  for (const auto& s : on.profile.sections) hookPairs += s.count;
+  ASSERT_GT(hookPairs, 0u);
+  const double costNs = telemetry::Profiler::measureDetachedScopeCostNs();
+  const double overheadSec = costNs * static_cast<double>(hookPairs) * 1e-9;
+  EXPECT_LT(overheadSec, 0.02 * offWall)
+      << hookPairs << " hook pairs at " << costNs << " ns against "
+      << offWall << " s wall";
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST(Prometheus, SanitizesMetricNames) {
+  EXPECT_EQ(telemetry::prometheusName("server.queue depth"),
+            "server_queue_depth");
+  EXPECT_EQ(telemetry::prometheusName("l3.b0/writes"), "l3_b0_writes");
+  EXPECT_EQ(telemetry::prometheusName("0abc"), "_0abc");
+  EXPECT_EQ(telemetry::prometheusName("ok_name:x"), "ok_name:x");
+}
+
+TEST(Prometheus, RendersCountersGaugesAndHistograms) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter c = reg.counter("server.accepted");
+  c.inc(4);
+  double g = 2.5;
+  reg.gauge("depth", [&g] { return g; });
+
+  Histogram h(10.0, 3);
+  h.add(5.0);   // bucket 0
+  h.add(15.0);  // bucket 1
+  h.add(999.0); // clamped into the last bucket
+
+  const std::string text =
+      telemetry::renderPrometheus(reg, {{"latency_ms", &h}}, "renucad_");
+  EXPECT_NE(text.find("# TYPE renucad_server_accepted counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("renucad_server_accepted 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE renucad_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("renucad_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE renucad_latency_ms histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative; the clamped tail lives in +Inf.
+  EXPECT_NE(text.find("renucad_latency_ms_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("renucad_latency_ms_bucket{le=\"20\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("renucad_latency_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("renucad_latency_ms_sum 1019\n"), std::string::npos);
+  EXPECT_NE(text.find("renucad_latency_ms_count 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, EmptyHistogramStillWellFormed) {
+  telemetry::MetricsRegistry reg;
+  Histogram h(1.0, 0);
+  const std::string text = telemetry::renderPrometheus(reg, {{"x", &h}}, "p_");
+  EXPECT_NE(text.find("p_x_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("p_x_count 0\n"), std::string::npos);
+}
+
+TEST(Telemetry, ProfiledRunReportCarriesProfileSection) {
+  std::string path = tmpPath("profiled.report.json");
+  sim::SystemConfig cfg = fastConfig();
+  cfg.profileEnabled = true;
+  sim::RunResult r = sim::runWorkload(cfg, workload::standardMixes()[0]);
+  ASSERT_TRUE(sim::writeRunReport(path, "unit_test", cfg, {{"WL1", r}}, 1.0));
+
+  std::string err;
+  auto doc = parseJson(slurp(path), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* profile = doc->find("runs")->array[0].find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_GT(profile->find("total_seconds")->number, 0.0);
+  EXPECT_LE(profile->find("share_sum")->number, 1.0 + 1e-9);
+  const JsonValue* sections = profile->find("sections");
+  ASSERT_TRUE(sections->isArray());
+  EXPECT_FALSE(sections->array.empty());
+  for (const JsonValue& s : sections->array) {
+    EXPECT_TRUE(s.find("name")->isString());
+    EXPECT_TRUE(s.find("seconds")->isNumber());
+    EXPECT_TRUE(s.find("share")->isNumber());
+    EXPECT_TRUE(s.find("count")->isNumber());
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

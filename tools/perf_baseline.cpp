@@ -1,0 +1,279 @@
+// perf_baseline: pinned-workload simulator-throughput harness.
+//
+// "How fast is the simulator itself?" needs a fixed yardstick: this tool
+// runs a *pinned* fig7/8/9-style quick grid (apps x criticality
+// thresholds, single-core rig, fixed budgets — never configurable, that is
+// the point of a baseline) N times, takes the median instructions/second,
+// runs one extra profiled rep (profile=1) for per-component wall-time
+// shares, and writes everything to BENCH_<label>.json.
+//
+//   ./perf_baseline run label=baseline           # writes BENCH_baseline.json
+//   ./perf_baseline run label=current reps=5
+//   ./perf_baseline compare BENCH_baseline.json BENCH_current.json
+//
+// compare exits 1 only when the current median throughput regressed more
+// than max_regress_pct= (default 30%) below the baseline — wide enough to
+// ride out machine noise, tight enough to catch an accidental O(n^2).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "common/kvconfig.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+#include "telemetry/json.hpp"
+
+using namespace renuca;
+
+namespace {
+
+const char kUsage[] =
+    "usage: perf_baseline run [key=value ...]\n"
+    "       perf_baseline compare BASELINE.json CURRENT.json [key=value ...]\n"
+    "\n"
+    "run: executes a pinned quick grid (8 apps x 3 criticality thresholds,\n"
+    "single-core rig, fixed budgets) reps= times, reports the median\n"
+    "simulated instructions/second plus profiled per-component shares, and\n"
+    "writes a BENCH_<label>.json document.\n"
+    "\n"
+    "run options:\n"
+    "  label=NAME           document label (default current)\n"
+    "  out=FILE             output path (default BENCH_<label>.json)\n"
+    "  reps=N               timed repetitions; median wins (default 3)\n"
+    "  jobs=N               sweep workers (default 0 = one per core)\n"
+    "\n"
+    "compare: reads two run documents and exits 1 iff CURRENT's median\n"
+    "instructions/second is more than max_regress_pct= (default 30) percent\n"
+    "below BASELINE's.\n"
+    "\n"
+    "compare options:\n"
+    "  max_regress_pct=X    hard-fail regression threshold (default 30)\n";
+
+// The pinned grid.  Changing any of these invalidates every committed
+// BENCH_*.json, so they are constants, not options.
+const char* kApps[] = {"mcf",    "GemsFDTD", "lbm",   "milc",
+                       "astar",  "bwaves",   "bzip2", "leslie3d"};
+const double kThresholds[] = {5, 25, 75};
+constexpr std::uint64_t kPrewarm = 100000;
+constexpr std::uint64_t kWarmup = 5000;
+constexpr std::uint64_t kInstrPerCore = 20000;
+
+sim::SweepPlan pinnedPlan(bool profiled) {
+  sim::SweepPlan plan;
+  for (const char* app : kApps) {
+    for (double x : kThresholds) {
+      sim::SystemConfig c = sim::singleCore();
+      c.prewarmInstrPerCore = kPrewarm;
+      c.warmupInstrPerCore = kWarmup;
+      c.instrPerCore = kInstrPerCore;
+      c.cpt.thresholdPct = x;
+      c.profileEnabled = profiled;
+      plan.addSingleApp(std::string(app) + "/x" + std::to_string(static_cast<int>(x)),
+                        c, app);
+    }
+  }
+  return plan;
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+int runCommand(const KvConfig& kv) {
+  const std::string label = kv.getOr("label", std::string("current"));
+  const std::string out = kv.getOr("out", "BENCH_" + label + ".json");
+  const int reps = static_cast<int>(kv.getOr("reps", std::int64_t{3}));
+  const unsigned jobs = static_cast<unsigned>(kv.getOr("jobs", std::int64_t{0}));
+  if (reps < 1) {
+    std::fprintf(stderr, "perf_baseline: reps= must be at least 1\n");
+    return 2;
+  }
+
+  sim::SweepOptions opts;
+  opts.jobs = jobs;
+
+  // Timed reps: profile off, so the measured path is the production one.
+  std::vector<double> walls;
+  std::uint64_t instructions = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const sim::SweepPlan plan = pinnedPlan(/*profiled=*/false);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<sim::RunResult> results = sim::runPlan(plan, opts);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::uint64_t instr = 0;
+    for (const sim::RunResult& r : results) {
+      if (!r.error.empty()) {
+        std::fprintf(stderr, "perf_baseline: job failed: %s\n", r.error.c_str());
+        return 1;
+      }
+      // Whole-run work per job: the fast-forward + warm-up instructions
+      // dominate wall time, so they count alongside the measured commits.
+      instr += kPrewarm + kWarmup;
+      for (std::uint64_t c : r.coreCommitted) instr += c;
+    }
+    walls.push_back(wall);
+    instructions = instr;
+    std::printf("rep %d/%d: %.3fs, %.0f instr/s\n", rep + 1, reps, wall,
+                static_cast<double>(instr) / wall);
+  }
+  const double medianWall = median(walls);
+  const double instrPerSec = static_cast<double>(instructions) / medianWall;
+
+  // One profiled rep for the component breakdown (never timed: the
+  // profiler's scope overhead would pollute the throughput number).
+  std::map<std::string, double> componentSeconds;
+  std::map<std::string, std::uint64_t> componentCounts;
+  double profiledTotal = 0.0;
+  {
+    const sim::SweepPlan plan = pinnedPlan(/*profiled=*/true);
+    const std::vector<sim::RunResult> results = sim::runPlan(plan, opts);
+    for (const sim::RunResult& r : results) {
+      profiledTotal += r.profile.totalSeconds;
+      for (const auto& s : r.profile.sections) {
+        componentSeconds[s.name] += s.seconds;
+        componentCounts[s.name] += s.count;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/true);
+  w.beginObject();
+  w.kv("schema", "renuca-perf-baseline-v1");
+  w.kv("label", label);
+  w.kv("reps", static_cast<std::int64_t>(reps));
+  w.kv("jobs", static_cast<std::uint64_t>(sim::resolveJobs(jobs)));
+  w.key("grid");
+  w.beginObject();
+  w.key("apps");
+  w.beginArray();
+  for (const char* app : kApps) w.value(app);
+  w.endArray();
+  w.key("thresholds_pct");
+  w.beginArray();
+  for (double x : kThresholds) w.value(x);
+  w.endArray();
+  w.kv("prewarm", kPrewarm);
+  w.kv("warmup", kWarmup);
+  w.kv("instr_per_core", kInstrPerCore);
+  w.endObject();
+  w.kv("instructions", instructions);
+  w.kvArray("wall_seconds", walls);
+  w.kv("median_wall_seconds", medianWall);
+  w.kv("median_instr_per_sec", instrPerSec);
+  w.key("components");
+  w.beginArray();
+  for (const auto& [name, seconds] : componentSeconds) {
+    w.beginObject();
+    w.kv("name", name);
+    w.kv("seconds", seconds);
+    w.kv("share", profiledTotal > 0.0 ? seconds / profiledTotal : 0.0);
+    w.kv("count", componentCounts[name]);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << "\n";
+
+  std::ofstream f(out);
+  if (!f) {
+    std::fprintf(stderr, "perf_baseline: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  f << os.str();
+  std::printf("%s: median %.0f instr/s over %d reps -> %s\n", label.c_str(),
+              instrPerSec, reps, out.c_str());
+  return 0;
+}
+
+bool readInstrPerSec(const std::string& path, double& value) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "perf_baseline: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << is.rdbuf();
+  std::string err;
+  const auto doc = telemetry::parseJson(ss.str(), &err);
+  if (!doc) {
+    std::fprintf(stderr, "perf_baseline: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  const telemetry::JsonValue* v = doc->find("median_instr_per_sec");
+  if (v == nullptr || !v->isNumber() || v->number <= 0.0) {
+    std::fprintf(stderr, "perf_baseline: %s has no median_instr_per_sec\n",
+                 path.c_str());
+    return false;
+  }
+  value = v->number;
+  return true;
+}
+
+int compareCommand(const KvConfig& kv, const std::string& basePath,
+                   const std::string& curPath) {
+  const double maxRegress = kv.getOr("max_regress_pct", 30.0);
+  double base = 0.0, cur = 0.0;
+  if (!readInstrPerSec(basePath, base) || !readInstrPerSec(curPath, cur)) return 1;
+  const double deltaPct = (base - cur) / base * 100.0;
+  std::printf("baseline %.0f instr/s, current %.0f instr/s: %+.1f%% %s\n", base,
+              cur, -deltaPct, deltaPct > 0 ? "(slower)" : "(not slower)");
+  if (deltaPct > maxRegress) {
+    std::fprintf(stderr,
+                 "perf_baseline: FAIL: regression %.1f%% exceeds the %.0f%% "
+                 "threshold\n",
+                 deltaPct, maxRegress);
+    return 1;
+  }
+  std::printf("within the %.0f%% regression threshold\n", maxRegress);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (tools::wantsHelp(argc, argv)) return tools::usage(kUsage, false);
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  const std::vector<std::string>& pos = kv.positional();
+  if (pos.empty()) {
+    std::fprintf(stderr, "perf_baseline: missing command (run|compare)\n");
+    return tools::usage(kUsage, true);
+  }
+  std::string badKey;
+  if (pos[0] == "run") {
+    if (pos.size() != 1) {
+      std::fprintf(stderr, "perf_baseline: unexpected argument '%s'\n",
+                   pos[1].c_str());
+      return tools::usage(kUsage, true);
+    }
+    if (!tools::checkKeys(kv, {"label", "out", "reps", "jobs"}, badKey)) {
+      std::fprintf(stderr, "perf_baseline: unknown option '%s='\n", badKey.c_str());
+      return tools::usage(kUsage, true);
+    }
+    return runCommand(kv);
+  }
+  if (pos[0] == "compare") {
+    if (pos.size() != 3) {
+      std::fprintf(stderr, "perf_baseline: compare needs BASELINE.json and "
+                           "CURRENT.json\n");
+      return tools::usage(kUsage, true);
+    }
+    if (!tools::checkKeys(kv, {"max_regress_pct"}, badKey)) {
+      std::fprintf(stderr, "perf_baseline: unknown option '%s='\n", badKey.c_str());
+      return tools::usage(kUsage, true);
+    }
+    return compareCommand(kv, pos[1], pos[2]);
+  }
+  std::fprintf(stderr, "perf_baseline: unknown command '%s'\n", pos[0].c_str());
+  return tools::usage(kUsage, true);
+}

@@ -52,6 +52,8 @@ const char kUsage[] =
     "  --wait             stay connected until every submitted job's report\n"
     "                     arrives (otherwise: submit, print job ids, exit)\n"
     "  --stats            print the server's health/metrics JSON and exit\n"
+    "  --metrics          print the server's metrics in Prometheus text\n"
+    "                     exposition format and exit\n"
     "  --ping             liveness probe: exit 0 iff the server answers\n"
     "  --shutdown         ask the server to drain and exit\n"
     "  --local            run the spec/batch in-process (no server) and write\n"
@@ -65,6 +67,7 @@ struct Options {
   std::string reportDir;
   bool wait = false;
   bool stats = false;
+  bool metrics = false;
   bool ping = false;
   bool shutdown = false;
   bool local = false;
@@ -190,6 +193,8 @@ int main(int argc, char** argv) {
       opt.wait = true;
     } else if (flag == "--stats") {
       opt.stats = true;
+    } else if (flag == "--metrics") {
+      opt.metrics = true;
     } else if (flag == "--ping") {
       opt.ping = true;
     } else if (flag == "--shutdown") {
@@ -225,9 +230,12 @@ int main(int argc, char** argv) {
   using server::Message;
   using server::Op;
 
-  if (opt.ping || opt.stats || opt.shutdown) {
+  if (opt.ping || opt.stats || opt.metrics || opt.shutdown) {
     Message req;
-    req.op = opt.ping ? Op::Ping : (opt.stats ? Op::Stats : Op::Shutdown);
+    req.op = opt.ping      ? Op::Ping
+             : opt.stats   ? Op::Stats
+             : opt.metrics ? Op::Metrics
+                           : Op::Shutdown;
     req.requestId = 1;
     Message reply;
     if (!client.send(req, &err) || !client.receive(reply, &err)) {
@@ -243,8 +251,9 @@ int main(int argc, char** argv) {
       std::printf("pong\n");
       return 0;
     }
-    if (opt.stats) {
-      if (reply.op != Op::StatsReply) {
+    if (opt.stats || opt.metrics) {
+      const Op want = opt.stats ? Op::StatsReply : Op::MetricsReply;
+      if (reply.op != want) {
         std::fprintf(stderr, "renuca_client: unexpected reply %s\n",
                      server::toString(reply.op));
         return 1;
@@ -265,13 +274,10 @@ int main(int argc, char** argv) {
   if (!collectSpecs(opt, kv, specs)) return tools::usage(kUsage, true);
 
   // Submit everything up front (requestId = 1-based spec index), then
-  // collect replies; the protocol multiplexes by requestId.
+  // collect replies; the protocol multiplexes by requestId.  submit()
+  // stamps each spec with a client job id the report echoes back.
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    Message req;
-    req.op = Op::Submit;
-    req.requestId = i + 1;
-    req.text = specs[i];
-    if (!client.send(req, &err)) {
+    if (client.submit(specs[i], i + 1, &err).empty()) {
       std::fprintf(stderr, "renuca_client: %s\n", err.c_str());
       return 1;
     }

@@ -34,6 +34,8 @@ const char kUsage[] =
     "  snapshot_dir=PATH     warm-start snapshot cache shared by all clients\n"
     "  idle_timeout_ms=N     close idle sessions with no jobs in flight\n"
     "                        (default 0 = never)\n"
+    "  trace_json=PATH       job-lifecycle Chrome trace (queued/admitted/\n"
+    "                        executing spans per job)\n"
     "  log_level=LEVEL       debug|info|warn|error (default info)\n";
 
 server::Server* g_server = nullptr;
@@ -55,7 +57,7 @@ int main(int argc, char** argv) {
   std::string badKey;
   if (!tools::checkKeys(kv,
                         {"socket", "listen", "jobs", "queue", "snapshot_dir",
-                         "idle_timeout_ms", "log_level"},
+                         "idle_timeout_ms", "trace_json", "log_level"},
                         badKey)) {
     std::fprintf(stderr, "renucad: unknown option '%s='\n", badKey.c_str());
     return tools::usage(kUsage, true);
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
   cfg.maxQueue = static_cast<std::size_t>(kv.getOr("queue", std::int64_t{64}));
   cfg.snapshotDir = kv.getOr("snapshot_dir", std::string());
   cfg.idleTimeoutMs = static_cast<int>(kv.getOr("idle_timeout_ms", std::int64_t{0}));
+  cfg.traceJsonPath = kv.getOr("trace_json", std::string());
   if (cfg.maxQueue == 0) {
     std::fprintf(stderr, "renucad: queue= must be at least 1\n");
     return tools::usage(kUsage, true);

@@ -27,7 +27,11 @@ const char kUsage[] =
     "event census per name and span latency distributions.\n"
     "\n"
     "options:\n"
-    "  top=N   show at most N span/instant rows per table (default 20)\n";
+    "  top=N   show at most N span/instant rows per table (default 20)\n"
+    "\n"
+    "flags:\n"
+    "  --summary   also print per-category span rollups (count, total and\n"
+    "              percentile durations), grouping spans by their cat field\n";
 
 struct SpanStats {
   std::uint64_t count = 0;
@@ -48,7 +52,19 @@ double pct(std::vector<double>& xs, double p) {
 int main(int argc, char** argv) {
   if (tools::wantsHelp(argc, argv)) return tools::usage(kUsage, false);
   KvConfig kv = KvConfig::fromArgs(argc, argv);
-  if (kv.positional().size() != 1) {
+  bool summary = false;
+  std::vector<std::string> paths;
+  for (const std::string& p : kv.positional()) {
+    if (p == "--summary") {
+      summary = true;
+    } else if (!p.empty() && p[0] == '-') {
+      std::fprintf(stderr, "trace_view: unknown flag '%s'\n", p.c_str());
+      return tools::usage(kUsage, true);
+    } else {
+      paths.push_back(p);
+    }
+  }
+  if (paths.size() != 1) {
     std::fprintf(stderr, "trace_view: expected exactly one trace.json path\n");
     return tools::usage(kUsage, true);
   }
@@ -60,9 +76,9 @@ int main(int argc, char** argv) {
   const std::size_t top =
       static_cast<std::size_t>(kv.getOr("top", std::int64_t{20}));
 
-  std::ifstream is(kv.positional()[0]);
+  std::ifstream is(paths[0]);
   if (!is) {
-    std::fprintf(stderr, "trace_view: cannot open %s\n", kv.positional()[0].c_str());
+    std::fprintf(stderr, "trace_view: cannot open %s\n", paths[0].c_str());
     return 2;
   }
   std::ostringstream buf;
@@ -82,6 +98,7 @@ int main(int argc, char** argv) {
 
   std::map<std::string, std::uint64_t> instants;
   std::map<std::string, SpanStats> spans;
+  std::map<std::string, SpanStats> cats;  // --summary: spans rolled up by cat
   std::uint64_t metadata = 0, counters = 0, other = 0;
   double tsMin = 0, tsMax = 0;
   bool tsSeen = false;
@@ -116,12 +133,20 @@ int main(int argc, char** argv) {
       s.durSum += d;
       s.durMax = std::max(s.durMax, d);
       s.durs.push_back(d);
+      if (summary) {
+        const telemetry::JsonValue* cat = e.find("cat");
+        SpanStats& c = cats[cat && cat->isString() ? cat->str : "(none)"];
+        ++c.count;
+        c.durSum += d;
+        c.durMax = std::max(c.durMax, d);
+        c.durs.push_back(d);
+      }
     } else {
       ++other;
     }
   }
 
-  std::printf("%s: %zu events", kv.positional()[0].c_str(), events->array.size());
+  std::printf("%s: %zu events", paths[0].c_str(), events->array.size());
   if (tsSeen) std::printf(", cycles [%.0f, %.0f]", tsMin, tsMax);
   std::printf("\n  metadata %llu, counters %llu, other %llu\n\n",
               static_cast<unsigned long long>(metadata),
@@ -146,6 +171,17 @@ int main(int argc, char** argv) {
     for (const auto& [n, c] : instants) {
       if (shown++ >= top) break;
       std::printf("  %-16s %10llu\n", n.c_str(), static_cast<unsigned long long>(c));
+    }
+  }
+
+  if (summary) {
+    std::printf("\ncategories (span rollup, cycles):\n");
+    std::printf("  %-16s %10s %12s %8s %8s %8s\n", "cat", "count", "total",
+                "p50", "p99", "max");
+    for (auto& [n, s] : cats) {
+      std::printf("  %-16s %10llu %12.0f %8.0f %8.0f %8.0f\n", n.c_str(),
+                  static_cast<unsigned long long>(s.count), s.durSum,
+                  pct(s.durs, 0.5), pct(s.durs, 0.99), s.durMax);
     }
   }
   return 0;
