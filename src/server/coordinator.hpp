@@ -1,0 +1,228 @@
+// renuca-coord: the fleet coordinator for sharded simulation service.
+//
+// One coordinator fronts N renucad workers.  Workers dial in and REGISTER
+// (server.hpp's fleet worker mode); clients connect exactly as they would
+// to a single renucad and SUBMIT job specs.  The coordinator shards the
+// incoming work into per-job *leases* with deadlines, re-dispatches the
+// leases of workers that die, stall, or answer BUSY, and streams each
+// client's reports back in submission order — so a client cannot tell a
+// fleet from one big server, except that killing any single worker no
+// longer loses work.
+//
+// The reliability rules, in one place:
+//
+//  * Lease lifecycle: Pending -> Leased (deadline = now + leaseTimeoutMs,
+//    renewed by the holder's heartbeats) -> Done.  An expired lease or a
+//    dead holder re-queues the job; every dispatch consumes one of
+//    maxAttempts, except a BUSY bounce (saturation is not failure — the
+//    worker gets a short dispatch backoff instead).
+//  * At-most-once commit: the first Done/Failed result for a fleet job id
+//    wins; anything later — typically a zombie worker's late duplicate
+//    after its lease was re-dispatched — is counted and discarded.
+//    Results are deterministic (a job's report depends only on its spec),
+//    so "first wins" never changes the answer.
+//  * Failure classification: a Failed result whose ErrCode is retryable
+//    (Io / Busy / WorkerLost) re-queues until maxAttempts; a fatal one
+//    (Sim — deterministic, would fail identically anywhere) commits
+//    immediately.  Attempts exhausted => a synthetic Failed report.
+//  * Ordered delivery: final Status + Report frames are buffered per
+//    client session and released in submission order, matching what a
+//    single renucad running the same plan would stream.
+//  * Cancellation: a client that disconnects abandons its unfinished
+//    jobs — pending ones are dropped, leased ones finish on the worker
+//    and their results are discarded at commit.
+//  * Drain: Shutdown/SIGTERM stops admission (BUSY), lets leased work
+//    finish, and fails whatever cannot run if no worker is left alive.
+//
+// Like renucad, the loop is single-threaded poll(): every socket, lease
+// table, and buffer belongs to the loop thread; requestStop() is the only
+// cross-thread entry point (async-signal-safe).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "server/protocol.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace renuca::server {
+
+struct CoordinatorConfig {
+  /// Unix-domain listen path; empty = no Unix listener (tests adopt
+  /// socketpair ends instead).
+  std::string socketPath;
+  /// Optional TCP listener, "host:port" ("" or "*" host = any interface).
+  std::string listenHostPort;
+  /// Admission bound across all clients; a full backlog answers BUSY.
+  std::size_t maxQueue = 4096;
+  /// A lease not renewed (by its holder's heartbeats) within this window
+  /// is presumed lost and re-dispatched.
+  int leaseTimeoutMs = 10000;
+  /// A worker silent for this long is dead; its leases re-dispatch.
+  int heartbeatTimeoutMs = 5000;
+  /// Dispatches (including the first) a job may consume before the
+  /// coordinator gives up and fails it.  BUSY bounces do not count.
+  int maxAttempts = 5;
+  /// A worker that answered BUSY is skipped for this long.
+  int busyBackoffMs = 300;
+  /// Client sessions with no traffic and no jobs in flight are closed
+  /// after this long (<= 0 = never).  Never applies to workers.
+  int idleTimeoutMs = 0;
+  /// Frames larger than this are a fatal protocol violation.
+  std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  /// Reading pauses for a session whose unsent backlog passes this...
+  std::size_t softWriteBuffer = 1u << 20;
+  /// ...and the session is dropped outright past this.
+  std::size_t maxWriteBuffer = 64u << 20;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig cfg);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds the configured listeners.  Optional: a coordinator can run
+  /// purely on adopted connections (the in-process fleet tests do).
+  bool listen();
+
+  /// Hands the coordinator one end of an already-connected stream socket.
+  /// Whether the peer is a client or a worker emerges from its first
+  /// frames (a worker REGISTERs).  Thread-safe.
+  void adoptConnection(int fd);
+
+  /// Runs the event loop until a stop request drains.  Returns 0 on a
+  /// clean drain.
+  int run();
+
+  /// Begins a graceful drain.  Async-signal-safe.
+  void requestStop();
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;  ///< Bytes [outOff, end) are unsent.
+    std::size_t outOff = 0;
+    bool dead = false;
+    // Worker half (set by REGISTER).
+    bool worker = false;
+    std::string workerName;
+    std::size_t capacity = 1;           ///< Max concurrent leases.
+    std::set<std::uint64_t> leases;     ///< Fleet job ids held right now.
+    std::chrono::steady_clock::time_point lastSeen;
+    std::chrono::steady_clock::time_point backoffUntil{};
+    // Client half.
+    std::deque<std::uint64_t> order;  ///< Submission order for delivery.
+    std::size_t undelivered = 0;      ///< Jobs admitted, report not yet sent.
+    std::chrono::steady_clock::time_point lastActive;
+  };
+
+  /// One sharded job, from admission to ordered delivery.
+  struct FleetJob {
+    enum class Phase : std::uint8_t { Pending, Leased, Done };
+    std::uint64_t id = 0;
+    std::uint64_t clientSession = 0;
+    std::uint64_t clientRequest = 0;
+    std::string spec;
+    Phase phase = Phase::Pending;
+    int attempts = 0;               ///< Dispatches consumed.
+    std::uint64_t worker = 0;       ///< Lease holder's session id (Leased).
+    bool canceled = false;          ///< Client left; discard the result.
+    bool delivered = false;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point firstLease{};
+    std::chrono::steady_clock::time_point deadline{};
+    Message finalStatus;  ///< Buffered for in-order delivery once Done.
+    Message finalReport;
+  };
+
+  // Event-loop internals (loop thread only).
+  void drainAdopted();
+  void acceptPending(int listenFd);
+  Session& addSession(int fd);
+  bool readSession(Session& s);
+  bool flushSession(Session& s);
+  void sendMessage(Session& s, const Message& m);
+  void handleMessage(Session& s, const Message& m);
+  void handleSubmit(Session& s, const Message& m);
+  void handleRegister(Session& s, const Message& m);
+  void handleHeartbeat(Session& s, const Message& m);
+  void handleWorkerResult(Session& s, const Message& m);
+  void closeSession(Session& s);
+
+  /// Grants pending jobs to healthy workers with free capacity.
+  void dispatch(std::chrono::steady_clock::time_point now);
+  /// Re-queues expired leases; kills workers silent past the heartbeat
+  /// timeout (their sessions are flagged dead and reaped by run()).
+  void expireLeases(std::chrono::steady_clock::time_point now);
+  /// Re-queues one leased job (lease lost / retryable failure).
+  void requeue(FleetJob& job, const char* why);
+  /// Commits the final result for a job (first writer wins) and releases
+  /// any in-order deliveries it unblocks.
+  void commit(FleetJob& job, Message status, Message report);
+  /// Fails a job synthetically (attempts exhausted, no workers on drain).
+  void failJob(FleetJob& job, ErrCode code, const std::string& why);
+  /// Sends every buffered result at the front of the session's order
+  /// queue whose job is Done.
+  void deliverReady(std::uint64_t clientSessionId);
+  /// Drops a departed client's unfinished jobs.
+  void cancelClientJobs(std::uint64_t clientSessionId);
+
+  std::string statsJson();
+  std::string metricsText();
+  std::size_t liveWorkers() const;
+  void noteWorkerStats(const std::string& name);
+  void wake();
+
+  CoordinatorConfig cfg_;
+  std::vector<int> listenFds_;
+  int wakePipe_[2] = {-1, -1};
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t nextSessionId_ = 1;
+  std::uint64_t nextJobId_ = 1;
+  bool draining_ = false;
+
+  std::atomic<bool> stopFlag_{false};
+  std::mutex adoptMutex_;
+  std::vector<int> adopted_;
+
+  std::map<std::uint64_t, FleetJob> jobs_;  ///< Every unfinished job.
+  std::deque<std::uint64_t> pendingQ_;      ///< Awaiting dispatch (FIFO).
+
+  /// Last heartbeat-reported load per worker *name* (stable storage for
+  /// the per-worker gauges; a name's entry survives reconnects).
+  struct WorkerLoad {
+    double queueDepth = 0;
+    double inflight = 0;
+    double queueWaitP50Ms = 0;
+    double live = 0;
+  };
+  std::map<std::string, WorkerLoad> workerLoad_;
+
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter submitted_;
+  telemetry::Counter rejected_;
+  telemetry::Counter protocolErrors_;
+  telemetry::Counter redispatched_;
+  telemetry::Counter duplicatesDiscarded_;
+  telemetry::Counter workersLost_;
+  telemetry::Counter canceled_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+
+  Histogram leaseWaitHist_;   ///< Submit -> first lease, per job (ms).
+  Histogram latencyHist_;     ///< Submit -> commit, per job (ms).
+};
+
+}  // namespace renuca::server

@@ -11,6 +11,8 @@ const char* toString(Op op) {
     case Op::Shutdown: return "SHUTDOWN";
     case Op::Ping: return "PING";
     case Op::Metrics: return "METRICS";
+    case Op::Register: return "REGISTER";
+    case Op::Heartbeat: return "HEARTBEAT";
     case Op::Accepted: return "ACCEPTED";
     case Op::Busy: return "BUSY";
     case Op::Error: return "ERROR";
@@ -19,6 +21,7 @@ const char* toString(Op op) {
     case Op::StatsReply: return "STATS_REPLY";
     case Op::Pong: return "PONG";
     case Op::MetricsReply: return "METRICS_REPLY";
+    case Op::Lease: return "LEASE";
   }
   return "UNKNOWN";
 }
@@ -30,6 +33,8 @@ bool knownOp(std::uint32_t raw) {
     case Op::Shutdown:
     case Op::Ping:
     case Op::Metrics:
+    case Op::Register:
+    case Op::Heartbeat:
     case Op::Accepted:
     case Op::Busy:
     case Op::Error:
@@ -38,7 +43,34 @@ bool knownOp(std::uint32_t raw) {
     case Op::StatsReply:
     case Op::Pong:
     case Op::MetricsReply:
+    case Op::Lease:
       return true;
+  }
+  return false;
+}
+
+const char* toString(ErrCode c) {
+  switch (c) {
+    case ErrCode::None: return "none";
+    case ErrCode::Sim: return "sim";
+    case ErrCode::Io: return "io";
+    case ErrCode::Busy: return "busy";
+    case ErrCode::WorkerLost: return "worker_lost";
+    case ErrCode::Canceled: return "canceled";
+  }
+  return "unknown";
+}
+
+bool retryable(ErrCode c) {
+  switch (c) {
+    case ErrCode::Io:
+    case ErrCode::Busy:
+    case ErrCode::WorkerLost:
+      return true;
+    case ErrCode::None:
+    case ErrCode::Sim:
+    case ErrCode::Canceled:
+      return false;
   }
   return false;
 }
@@ -62,6 +94,7 @@ std::vector<std::uint8_t> encodeFrame(const Message& m) {
     w.putU64(m.requestId);
     w.putU64(m.jobId);
     w.putU32(static_cast<std::uint32_t>(m.state));
+    w.putU32(static_cast<std::uint32_t>(m.errorCode));
     w.endSection();
     w.beginSection("body");
     w.putString(m.text);
@@ -106,6 +139,7 @@ DecodeStatus decodeFrame(std::vector<std::uint8_t>& buf, std::size_t maxFrameByt
   out.requestId = r.getU64();
   out.jobId = r.getU64();
   const std::uint32_t rawState = r.getU32();
+  const std::uint32_t rawErr = r.getU32();
   if (!r.ok()) {
     error = "corrupt frame head: " + serial::toString(r.error());
     return DecodeStatus::BadPayload;
@@ -118,6 +152,9 @@ DecodeStatus decodeFrame(std::vector<std::uint8_t>& buf, std::size_t maxFrameByt
   out.state = rawState <= static_cast<std::uint32_t>(JobState::Failed)
                   ? static_cast<JobState>(rawState)
                   : JobState::Queued;
+  out.errorCode = rawErr <= static_cast<std::uint32_t>(ErrCode::Canceled)
+                      ? static_cast<ErrCode>(rawErr)
+                      : ErrCode::None;
   if (!r.openSection("body")) {
     error = "corrupt frame body: " + serial::toString(r.error());
     return DecodeStatus::BadPayload;

@@ -34,6 +34,25 @@
 //             Prometheus text exposition (telemetry/prometheus.hpp), for
 //             scrapers.
 //
+// Fleet opcodes (renucad worker <-> renuca-coord coordinator):
+//   Register  Worker -> coordinator, once per connection: body is
+//             "key=value" worker info (name=, threads=, capacity=).  The
+//             connection then carries leases toward the worker and
+//             status/report traffic back.
+//   Heartbeat Worker -> coordinator, periodic liveness + load
+//             ("queue_depth=", "inflight=", "queue_wait_p50_ms=").  No
+//             reply; a worker silent past the heartbeat timeout is dead.
+//   Lease     Coordinator -> worker: one job grant.  jobId is the fleet-
+//             global job id and the lease key; the worker echoes it on the
+//             Accepted/Busy/Error admission reply and on every Status /
+//             Report frame, so the coordinator can commit results
+//             at-most-once and discard a zombie's late duplicates.
+//
+// errorCode classifies Failed results so the coordinator can tell
+// retryable failures (I/O, a BUSY worker, a lost worker) from fatal ones
+// (a deterministic simulation error, which would fail identically on any
+// worker) — see retryable().
+//
 // requestId is chosen by the client and echoed verbatim on every frame the
 // server sends about that request (including job status/report frames), so
 // one connection can multiplex many in-flight submissions.
@@ -54,6 +73,9 @@ enum class Op : std::uint32_t {
   Shutdown = 3,
   Ping = 4,
   Metrics = 5,
+  // Worker -> coordinator.
+  Register = 6,
+  Heartbeat = 7,
   // Server -> client.
   Accepted = 10,
   Busy = 11,
@@ -63,6 +85,8 @@ enum class Op : std::uint32_t {
   StatsReply = 15,
   Pong = 16,
   MetricsReply = 17,
+  // Coordinator -> worker.
+  Lease = 18,
 };
 const char* toString(Op op);
 bool knownOp(std::uint32_t raw);
@@ -70,12 +94,28 @@ bool knownOp(std::uint32_t raw);
 enum class JobState : std::uint32_t { Queued = 0, Running = 1, Done = 2, Failed = 3 };
 const char* toString(JobState s);
 
+/// Why a job failed, coarse enough to decide whether another attempt can
+/// succeed.  Travels in the frame head next to JobState and mirrors
+/// RunResult::errorCode ("sim" / "io") for simulation failures.
+enum class ErrCode : std::uint32_t {
+  None = 0,        ///< No error.
+  Sim = 1,         ///< Deterministic simulation failure — fatal, never retry.
+  Io = 2,          ///< I/O or resource failure — may succeed elsewhere.
+  Busy = 3,        ///< Worker admission queue full — retry later.
+  WorkerLost = 4,  ///< Lease holder died or its lease expired.
+  Canceled = 5,    ///< Abandoned (client gone, coordinator draining).
+};
+const char* toString(ErrCode c);
+/// True when a fresh attempt on a (different) worker could succeed.
+bool retryable(ErrCode c);
+
 /// One decoded protocol message (either direction).
 struct Message {
   Op op = Op::Ping;
   std::uint64_t requestId = 0;  ///< Client-chosen; echoed on replies/events.
   std::uint64_t jobId = 0;      ///< Server-assigned (0 before admission).
   JobState state = JobState::Queued;  ///< Meaningful on Status frames.
+  ErrCode errorCode = ErrCode::None;  ///< Failure class on Failed frames.
   std::string text;             ///< Spec / report / stats JSON / error text.
 };
 

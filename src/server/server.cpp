@@ -8,11 +8,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
 
 #include "common/log.hpp"
+#include "server/client.hpp"
 #include "server/jobspec.hpp"
 #include "sim/report.hpp"
 #include "telemetry/prometheus.hpp"
@@ -63,6 +65,9 @@ Server::Server(ServerConfig cfg)
       queueWaitHist_(/*bucketWidth=*/25.0, /*numBuckets=*/4096),
       execHist_(/*bucketWidth=*/25.0, /*numBuckets=*/4096),
       startTime_(std::chrono::steady_clock::now()) {
+  if (cfg_.workerName.empty()) {
+    cfg_.workerName = "w" + std::to_string(static_cast<long>(::getpid()));
+  }
   if (!cfg_.traceJsonPath.empty()) {
     jobTracer_ =
         std::make_unique<telemetry::TraceWriter>(cfg_.traceJsonPath, 1);
@@ -102,6 +107,7 @@ Server::~Server() {
   {
     std::lock_guard<std::mutex> lk(adoptMutex_);
     for (int fd : adopted_) ::close(fd);
+    for (int fd : adoptedCoord_) ::close(fd);
   }
   if (wakePipe_[0] >= 0) ::close(wakePipe_[0]);
   if (wakePipe_[1] >= 0) ::close(wakePipe_[1]);
@@ -183,6 +189,15 @@ void Server::adoptConnection(int fd) {
   wake();
 }
 
+void Server::adoptCoordinator(int fd) {
+  setNonBlocking(fd);
+  {
+    std::lock_guard<std::mutex> lk(adoptMutex_);
+    adoptedCoord_.push_back(fd);
+  }
+  wake();
+}
+
 void Server::requestStop() {
   stopFlag_.store(true, std::memory_order_relaxed);
   // write() is on the async-signal-safe list; the byte's only job is to
@@ -210,11 +225,20 @@ void Server::postOutgoing(std::uint64_t sessionId, Message m) {
 
 void Server::drainAdopted() {
   std::vector<int> fds;
+  std::vector<int> coordFds;
   {
     std::lock_guard<std::mutex> lk(adoptMutex_);
     fds.swap(adopted_);
+    coordFds.swap(adoptedCoord_);
   }
   for (int fd : fds) addSession(fd);
+  for (int fd : coordFds) {
+    Session& s = addSession(fd);
+    s.coordinator = true;
+    coordSessionId_ = s.id;
+    lastHeartbeat_ = std::chrono::steady_clock::now();
+    registerWithCoordinator(s);
+  }
 }
 
 void Server::drainOutgoing() {
@@ -231,13 +255,14 @@ void Server::drainOutgoing() {
   }
 }
 
-void Server::addSession(int fd) {
+Server::Session& Server::addSession(int fd) {
   Session s;
   s.fd = fd;
   s.id = nextSessionId_++;
   s.lastActive = std::chrono::steady_clock::now();
-  sessions_.emplace(s.id, std::move(s));
+  auto [it, inserted] = sessions_.emplace(s.id, std::move(s));
   sessionsA_.store(sessions_.size(), std::memory_order_relaxed);
+  return it->second;
 }
 
 void Server::acceptPending(int listenFd) {
@@ -334,11 +359,17 @@ bool Server::readSession(Session& s) {
   }
 }
 
-void Server::handleSubmit(Session& s, const Message& m) {
+void Server::handleSubmit(Session& s, const Message& m, bool lease) {
+  // A LEASE is a SUBMIT whose job id the coordinator owns: every reply
+  // echoes m.jobId (the fleet-global id) so the coordinator can route the
+  // result, and rejections carry an ErrCode it can act on (BUSY = try
+  // another worker, SIM = the spec itself is bad — don't retry).
   Message reply;
   reply.requestId = m.requestId;
+  if (lease) reply.jobId = m.jobId;
   if (draining_) {
     reply.op = Op::Busy;
+    reply.errorCode = ErrCode::Busy;
     reply.text = "server is draining";
     rejected_.inc();
     sendMessage(s, reply);
@@ -348,6 +379,7 @@ void Server::handleSubmit(Session& s, const Message& m) {
   std::string err;
   if (!parseJobSpec(m.text, job, err)) {
     reply.op = Op::Error;
+    reply.errorCode = ErrCode::Sim;
     reply.text = err;
     rejected_.inc();
     sendMessage(s, reply);
@@ -355,10 +387,12 @@ void Server::handleSubmit(Session& s, const Message& m) {
   }
   std::size_t depth = 0;
   const std::uint64_t jobId = nextJobId_;
+  const std::uint64_t wireJobId = lease ? m.jobId : jobId;
   {
     std::lock_guard<std::mutex> lk(queueMutex_);
     if (pending_.size() >= cfg_.maxQueue) {
       reply.op = Op::Busy;
+      reply.errorCode = ErrCode::Busy;
       reply.text = "job queue full (" + std::to_string(cfg_.maxQueue) + ")";
       rejected_.inc();
       sendMessage(s, reply);
@@ -366,6 +400,7 @@ void Server::handleSubmit(Session& s, const Message& m) {
     }
     QueuedJob q;
     q.jobId = jobId;
+    q.wireJobId = wireJobId;
     q.sessionId = s.id;
     q.requestId = m.requestId;
     q.submitted = std::chrono::steady_clock::now();
@@ -383,12 +418,12 @@ void Server::handleSubmit(Session& s, const Message& m) {
   accepted_.inc();
   s.inflight++;
   reply.op = Op::Accepted;
-  reply.jobId = jobId;
+  reply.jobId = wireJobId;
   sendMessage(s, reply);
   Message status;
   status.op = Op::Status;
   status.requestId = m.requestId;
-  status.jobId = jobId;
+  status.jobId = wireJobId;
   status.state = JobState::Queued;
   sendMessage(s, status);
 }
@@ -396,8 +431,25 @@ void Server::handleSubmit(Session& s, const Message& m) {
 void Server::handleMessage(Session& s, const Message& m) {
   switch (m.op) {
     case Op::Submit:
-      handleSubmit(s, m);
+      handleSubmit(s, m, /*lease=*/false);
       return;
+    case Op::Lease: {
+      if (!s.coordinator) {
+        protocolErrors_.inc();
+        Message reply;
+        reply.op = Op::Error;
+        reply.requestId = m.requestId;
+        reply.jobId = m.jobId;
+        reply.errorCode = ErrCode::Sim;
+        reply.text = "LEASE on a non-coordinator session";
+        sendMessage(s, reply);
+        return;
+      }
+      handleSubmit(s, m, /*lease=*/true);
+      return;
+    }
+    case Op::Pong:
+      return;  // Keepalive reply; nothing to do.
     case Op::Stats: {
       Message reply;
       reply.op = Op::StatsReply;
@@ -499,10 +551,90 @@ void Server::jobSpan(const char* stage, const QueuedJob& q, Cycle start, Cycle e
 }
 
 void Server::closeSession(Session& s) {
+  if (s.coordinator && s.id == coordSessionId_) {
+    coordSessionId_ = 0;  // maintainCoordinatorLink() reconnects.
+    logMessage(LogLevel::Warn, "server", "coordinator link lost");
+  }
   if (s.fd >= 0) {
     ::close(s.fd);
     s.fd = -1;
   }
+}
+
+std::size_t Server::queueDepthNow() {
+  std::lock_guard<std::mutex> lk(queueMutex_);
+  return pending_.size();
+}
+
+void Server::registerWithCoordinator(Session& s) {
+  Message m;
+  m.op = Op::Register;
+  m.text = "name=" + cfg_.workerName + "\nthreads=" +
+           std::to_string(pool_->threadCount()) + "\ncapacity=" +
+           std::to_string(pool_->threadCount()) + "\n";
+  sendMessage(s, m);
+  logMessage(LogLevel::Info, "server",
+             "registering with coordinator as " + cfg_.workerName);
+}
+
+void Server::maintainCoordinatorLink(std::chrono::steady_clock::time_point now) {
+  // Heartbeats apply to any live coordinator link, including adopted
+  // in-process ones; reconnecting needs a dial address.
+  if (draining_) return;
+  if (coordSessionId_ != 0) {
+    auto it = sessions_.find(coordSessionId_);
+    if (it != sessions_.end() && !it->second.dead) {
+      if (now - lastHeartbeat_ >= std::chrono::milliseconds(cfg_.heartbeatMs)) {
+        lastHeartbeat_ = now;
+        double p50 = 0.0;
+        {
+          std::lock_guard<std::mutex> lk(statsMutex_);
+          p50 = queueWaitHist_.percentile(0.50);
+        }
+        Message hb;
+        hb.op = Op::Heartbeat;
+        hb.text = "queue_depth=" + std::to_string(queueDepthNow()) +
+                  "\ninflight=" +
+                  std::to_string(inflightA_.load(std::memory_order_relaxed)) +
+                  "\nqueue_wait_p50_ms=" + std::to_string(p50) + "\n";
+        sendMessage(it->second, hb);
+      }
+      return;
+    }
+    coordSessionId_ = 0;
+  }
+  if (cfg_.coordinatorAddr.empty()) return;
+  if (now < nextCoordAttempt_) return;
+  // One pass over the address list per attempt; backoff between attempts
+  // happens here in the loop (never a blocking sleep), so live sessions
+  // keep being served while the coordinator is down.
+  Client c;
+  std::string err;
+  bool connected = false;
+  for (const std::string& addr : Client::splitAddressList(cfg_.coordinatorAddr)) {
+    if (c.connectAddress(addr, &err, /*timeoutMs=*/1000)) {
+      connected = true;
+      break;
+    }
+  }
+  if (!connected) {
+    coordBackoffMs_ = coordBackoffMs_ == 0
+                          ? 500
+                          : std::min(coordBackoffMs_ * 2, cfg_.reconnectMaxMs);
+    nextCoordAttempt_ = now + std::chrono::milliseconds(coordBackoffMs_);
+    logMessage(LogLevel::Warn, "server",
+               "coordinator unreachable (" + err + "); next attempt in " +
+                   std::to_string(coordBackoffMs_) + " ms");
+    return;
+  }
+  const int fd = c.releaseFd();
+  setNonBlocking(fd);
+  Session& s = addSession(fd);
+  s.coordinator = true;
+  coordSessionId_ = s.id;
+  coordBackoffMs_ = 0;
+  lastHeartbeat_ = now;
+  registerWithCoordinator(s);
 }
 
 void Server::executorLoop() {
@@ -532,7 +664,7 @@ void Server::executorLoop() {
       Message running;
       running.op = Op::Status;
       running.requestId = q.requestId;
-      running.jobId = q.jobId;
+      running.jobId = q.wireJobId;
       running.state = JobState::Running;
       postOutgoing(q.sessionId, std::move(running));
       plan.add(q.job);
@@ -572,20 +704,24 @@ void Server::executorLoop() {
       }
       const bool ok = r.error.empty();
       (ok ? completedA_ : failedA_).fetch_add(1, std::memory_order_relaxed);
+      const ErrCode ec =
+          ok ? ErrCode::None : (r.errorCode == "io" ? ErrCode::Io : ErrCode::Sim);
 
       Message status;
       status.op = Op::Status;
       status.requestId = q.requestId;
-      status.jobId = q.jobId;
+      status.jobId = q.wireJobId;
       status.state = ok ? JobState::Done : JobState::Failed;
+      status.errorCode = ec;
       status.text = ok ? "" : r.error;
       postOutgoing(q.sessionId, std::move(status));
 
       Message report;
       report.op = Op::Report;
       report.requestId = q.requestId;
-      report.jobId = q.jobId;
+      report.jobId = q.wireJobId;
       report.state = ok ? JobState::Done : JobState::Failed;
+      report.errorCode = ec;
       report.text = sim::runReportJson("renucad", q.job.config,
                                        {{q.job.label, r}}, wallSec,
                                        pool_->threadCount(), q.job.clientJobId);
@@ -607,6 +743,7 @@ int Server::run() {
   for (;;) {
     drainAdopted();
     drainOutgoing();
+    maintainCoordinatorLink(std::chrono::steady_clock::now());
 
     if (stopFlag_.load(std::memory_order_relaxed) && !draining_) {
       draining_ = true;
@@ -700,7 +837,7 @@ int Server::run() {
     // Idle reaping and deferred closes.
     const auto now = std::chrono::steady_clock::now();
     for (auto& [id, s] : sessions_) {
-      if (s.dead) continue;
+      if (s.dead || s.coordinator) continue;  // The fleet link never idles out.
       if (cfg_.idleTimeoutMs > 0 && s.inflight == 0 &&
           s.out.size() == s.outOff && now - s.lastActive > idleTimeout) {
         logMessage(LogLevel::Info, "server",

@@ -19,6 +19,16 @@
 //    frames back through the loop;
 //  * the pool workers inside runPlan (common/thread_pool.hpp).
 //
+// Fleet worker mode: with coordinatorAddr set, the server additionally
+// dials a renuca-coord coordinator (reconnecting with exponential backoff
+// whenever the link drops), REGISTERs itself (name, threads, lease
+// capacity), answers LEASE grants exactly like SUBMITs — the lease's
+// fleet-global job id rides every Status/Report frame back so the
+// coordinator can commit results at-most-once — and HEARTBEATs its queue
+// depth and queue-wait p50 every heartbeatMs.  A worker needs no listener
+// of its own in this mode; killing it mid-job simply drops the link and
+// the coordinator re-dispatches its leases.
+//
 // Determinism: a job's result depends only on its spec (each System seeds
 // itself from its config), so a report served over the wire is
 // byte-identical — modulo the provenance fields — to the same job run via
@@ -80,6 +90,17 @@ struct ServerConfig {
   /// ...and the session is dropped outright past this (a reader this slow
   /// would otherwise grow the buffer without bound).
   std::size_t maxWriteBuffer = 64u << 20;
+
+  // Fleet worker mode (all optional).
+  /// Coordinator address list ("unix:/path", a bare socket path, or
+  /// "host:port"; comma-separated for failover).  Empty = standalone.
+  std::string coordinatorAddr;
+  /// Name this worker registers under (default "w<pid>").
+  std::string workerName;
+  /// Heartbeat cadence toward the coordinator.
+  int heartbeatMs = 1000;
+  /// Reconnect backoff cap after the coordinator link drops.
+  int reconnectMaxMs = 10000;
 };
 
 class Server {
@@ -98,6 +119,12 @@ class Server {
   /// in-process test harness uses socketpair()).  Thread-safe; callable
   /// before or during run().
   void adoptConnection(int fd);
+
+  /// Like adoptConnection, but the peer is a coordinator: the server sends
+  /// a REGISTER frame and serves LEASE grants on it (the in-process fleet
+  /// tests wire worker and coordinator with socketpair()).  At most one
+  /// coordinator session is live at a time.
+  void adoptCoordinator(int fd);
 
   /// Runs the event loop until a stop request drains.  Returns 0 on a
   /// clean drain.
@@ -118,12 +145,16 @@ class Server {
     std::size_t outOff = 0;
     std::size_t inflight = 0;  ///< Jobs admitted and not yet reported.
     bool dead = false;         ///< Close once flagged (after flush attempt).
+    bool coordinator = false;  ///< Fleet link: exempt from idle reaping.
     std::chrono::steady_clock::time_point lastActive;
   };
 
   /// One admitted job, with everything needed to route its results back.
   struct QueuedJob {
     std::uint64_t jobId = 0;
+    /// Id carried on the wire: the local jobId for direct submissions, the
+    /// coordinator's fleet-global id for leases.
+    std::uint64_t wireJobId = 0;
     std::uint64_t sessionId = 0;
     std::uint64_t requestId = 0;
     std::chrono::steady_clock::time_point submitted;
@@ -145,15 +176,20 @@ class Server {
   void drainAdopted();
   void drainOutgoing();
   void acceptPending(int listenFd);
-  void addSession(int fd);
+  Session& addSession(int fd);
   bool readSession(Session& s);
   bool flushSession(Session& s);
   void sendMessage(Session& s, const Message& m);
   void handleMessage(Session& s, const Message& m);
-  void handleSubmit(Session& s, const Message& m);
+  void handleSubmit(Session& s, const Message& m, bool lease);
   void closeSession(Session& s);
   std::string statsJson();
   std::string metricsText();
+
+  // Fleet link (loop thread only).
+  void registerWithCoordinator(Session& s);
+  void maintainCoordinatorLink(std::chrono::steady_clock::time_point now);
+  std::size_t queueDepthNow();
 
   /// Microseconds since server construction (the lifecycle trace's clock).
   Cycle traceNowUs() const;
@@ -188,6 +224,13 @@ class Server {
   std::deque<Outgoing> outgoing_;
   std::mutex adoptMutex_;
   std::vector<int> adopted_;
+  std::vector<int> adoptedCoord_;  ///< Guarded by adoptMutex_ too.
+
+  // Fleet link state (loop thread only).
+  std::uint64_t coordSessionId_ = 0;
+  std::chrono::steady_clock::time_point nextCoordAttempt_{};
+  std::chrono::steady_clock::time_point lastHeartbeat_{};
+  int coordBackoffMs_ = 0;
 
   // Health.  Counters live in the metrics registry and are bumped only by
   // the loop thread; values the executor/workers touch are atomics read

@@ -46,9 +46,13 @@ void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
   const RunResult& r = entry.result;
   w.beginObject();
   w.kv("label", entry.label);
-  // Only failed jobs carry the key, so the overwhelmingly common success
-  // case keeps the pre-error report bytes.
-  if (!r.error.empty()) w.kv("error", r.error);
+  // Only failed jobs carry the keys, so the overwhelmingly common success
+  // case keeps the pre-error report bytes.  error_code is the structured
+  // failure class ("sim" / "io") the fleet coordinator retries on.
+  if (!r.error.empty()) {
+    w.kv("error", r.error);
+    w.kv("error_code", r.errorCode.empty() ? std::string("sim") : r.errorCode);
+  }
   w.kv("mix", r.mixName);
   w.kv("policy", core::toString(r.policy));
   w.kv("measured_cycles", static_cast<std::uint64_t>(r.measuredCycles));

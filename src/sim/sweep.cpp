@@ -4,7 +4,9 @@
 #include <atomic>
 #include <filesystem>
 #include <memory>
+#include <new>
 #include <sstream>
+#include <system_error>
 #include <unordered_map>
 
 #include "common/log.hpp"
@@ -58,18 +60,29 @@ void narrateDone(const Job& job, std::size_t finished, std::size_t total) {
 
 /// Runs one job, converting any exception into RunResult::error so a bad
 /// job spec (unknown app profile, malformed trace) costs one result slot,
-/// never a worker thread or the whole plan.
+/// never a worker thread or the whole plan.  The error is classified:
+/// I/O and resource failures ("io") are environment-specific and worth
+/// retrying elsewhere; everything else is a deterministic simulation
+/// failure ("sim") that any retry would reproduce.
 RunResult runJobGuarded(const Job& job) {
+  RunResult r;
   try {
     return runWorkload(job.config, job.mix);
-  } catch (const std::exception& e) {
-    logMessage(LogLevel::Warn, "sweep", job.label + " failed: " + e.what());
-    RunResult r;
+  } catch (const std::system_error& e) {  // Covers filesystem_error, ios failures.
     r.error = e.what();
-    r.mixName = job.mix.name;
-    r.policy = job.config.policy;
-    return r;
+    r.errorCode = "io";
+  } catch (const std::bad_alloc& e) {
+    r.error = e.what();
+    r.errorCode = "io";
+  } catch (const std::exception& e) {
+    r.error = e.what();
+    r.errorCode = "sim";
   }
+  logMessage(LogLevel::Warn, "sweep",
+             job.label + " failed (" + r.errorCode + "): " + r.error);
+  r.mixName = job.mix.name;
+  r.policy = job.config.policy;
+  return r;
 }
 
 std::string warmSnapshotPath(const std::string& dir, std::uint64_t fingerprint) {

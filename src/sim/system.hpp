@@ -34,6 +34,12 @@ struct RunResult {
   /// instead of killing the worker; every numeric field is then
   /// default-valued.
   std::string error;
+  /// Failure class when `error` is set: "sim" for a deterministic
+  /// simulation failure (retrying reproduces it — bad config, unknown
+  /// profile), "io" for an I/O or resource failure (disk full, bad_alloc)
+  /// that may succeed on another host.  The fleet coordinator keys its
+  /// retry decision on this.
+  std::string errorCode;
 
   std::string mixName;
   core::PolicyKind policy = core::PolicyKind::SNuca;

@@ -1,0 +1,619 @@
+// Fleet tests: the coordinator, its leases, and the failure matrix —
+// sharding across real in-process workers with ordered, byte-identical
+// delivery; re-dispatch on worker death (EOF and heartbeat silence);
+// at-most-once commit against zombie duplicates; BUSY bounces that do not
+// burn attempts; fatal-vs-retryable failure classification; attempt
+// exhaustion; client-disconnect cancellation; and fleet telemetry.
+//
+// Everything runs in-process over socketpair() ends: real workers are
+// server::Server instances wired up via adoptCoordinator(), fault
+// injection uses scripted "fake" workers that speak the worker half of
+// the protocol by hand.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/coordinator.hpp"
+#include "server/jobspec.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
+#include "telemetry/json.hpp"
+
+namespace renuca {
+namespace {
+
+using server::Client;
+using server::ErrCode;
+using server::JobState;
+using server::Message;
+using server::Op;
+
+// --- Harness ---------------------------------------------------------------
+
+/// Coordinator on a background thread; peers are adopted socketpair ends.
+struct TestCoordinator {
+  explicit TestCoordinator(server::CoordinatorConfig cfg)
+      : coord(new server::Coordinator(cfg)) {
+    thread = std::thread([this] { rc.store(coord->run()); });
+  }
+  ~TestCoordinator() {
+    if (thread.joinable()) {
+      coord->requestStop();
+      thread.join();
+    }
+  }
+  Client connect() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    coord->adoptConnection(fds[0]);
+    Client c;
+    c.adoptFd(fds[1]);
+    return c;
+  }
+  int stop() {
+    coord->requestStop();
+    thread.join();
+    return rc.load();
+  }
+
+  std::unique_ptr<server::Coordinator> coord;
+  std::thread thread;
+  std::atomic<int> rc{-1};
+};
+
+/// Fault-injection tests stage every failure explicitly, so the passive
+/// timeouts are parked far away unless a test is specifically about them.
+server::CoordinatorConfig coordConfig() {
+  server::CoordinatorConfig cfg;
+  cfg.leaseTimeoutMs = 60000;
+  cfg.heartbeatTimeoutMs = 60000;
+  return cfg;
+}
+
+/// A real renucad worker (server::Server) joined to the coordinator over
+/// a socketpair — the same wiring `renucad coordinator=ADDR` produces.
+struct TestWorker {
+  TestWorker(TestCoordinator& tc, const std::string& name, unsigned jobs = 1) {
+    server::ServerConfig cfg;
+    cfg.jobs = jobs;
+    cfg.workerName = name;
+    cfg.heartbeatMs = 100;
+    srv.reset(new server::Server(cfg));
+    thread = std::thread([this] { rc.store(srv->run()); });
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    srv->adoptCoordinator(fds[0]);
+    tc.coord->adoptConnection(fds[1]);
+  }
+  ~TestWorker() {
+    if (thread.joinable()) {
+      srv->requestStop();
+      thread.join();
+    }
+  }
+
+  std::unique_ptr<server::Server> srv;
+  std::thread thread;
+  std::atomic<int> rc{-1};
+};
+
+/// A scripted worker: registers like renucad, then does exactly what each
+/// test tells it to — take leases and sit on them, answer BUSY, fail with
+/// a chosen error code, vanish mid-lease, or report late as a zombie.
+struct FakeWorker {
+  FakeWorker(TestCoordinator& tc, const std::string& name,
+             std::size_t capacity = 1) {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    tc.coord->adoptConnection(fds[0]);
+    c.adoptFd(fds[1]);
+    Message reg;
+    reg.op = Op::Register;
+    reg.text = "name=" + name + "\nthreads=1\ncapacity=" +
+               std::to_string(capacity) + "\n";
+    EXPECT_TRUE(c.send(reg));
+  }
+
+  Message awaitLease(int timeoutMs = 10000) {
+    c.setIoTimeout(timeoutMs);
+    Message m;
+    std::string err;
+    while (c.receive(m, &err)) {
+      if (m.op == Op::Lease) {
+        c.setIoTimeout(0);
+        return m;
+      }
+    }
+    ADD_FAILURE() << "no lease arrived: " << err;
+    c.setIoTimeout(0);
+    m.op = Op::Error;
+    return m;
+  }
+
+  /// True if a lease shows up within the window (used to assert it does
+  /// NOT, e.g. after a fatal failure or a client cancellation).
+  bool leaseArrives(int timeoutMs) {
+    c.setIoTimeout(timeoutMs);
+    Message m;
+    bool saw = false;
+    while (c.receive(m)) {
+      if (m.op == Op::Lease) {
+        saw = true;
+        break;
+      }
+    }
+    c.setIoTimeout(0);
+    return saw;
+  }
+
+  void heartbeat() {
+    Message hb;
+    hb.op = Op::Heartbeat;
+    hb.text = "queue_depth=0\ninflight=0\nqueue_wait_p50_ms=0\n";
+    EXPECT_TRUE(c.send(hb));
+  }
+
+  void replyBusy(const Message& lease) {
+    Message b;
+    b.op = Op::Busy;
+    b.requestId = lease.requestId;
+    b.jobId = lease.jobId;
+    b.errorCode = ErrCode::Busy;
+    b.text = "queue full";
+    EXPECT_TRUE(c.send(b));
+  }
+
+  void replyDone(const Message& lease, const std::string& report) {
+    Message r;
+    r.op = Op::Report;
+    r.requestId = lease.requestId;
+    r.jobId = lease.jobId;
+    r.state = JobState::Done;
+    r.text = report;
+    EXPECT_TRUE(c.send(r));
+  }
+
+  void replyFailed(const Message& lease, ErrCode code,
+                   const std::string& report) {
+    Message r;
+    r.op = Op::Report;
+    r.requestId = lease.requestId;
+    r.jobId = lease.jobId;
+    r.state = JobState::Failed;
+    r.errorCode = code;
+    r.text = report;
+    EXPECT_TRUE(c.send(r));
+  }
+
+  void disconnect() {
+    const int fd = c.releaseFd();
+    if (fd >= 0) ::close(fd);
+  }
+
+  Client c;
+};
+
+std::string quickSpec(const std::string& app, unsigned threshold) {
+  return "app=" + app + "\nthreshold_pct=" + std::to_string(threshold) +
+         "\nprewarm=50000\nwarmup=1000\ninstr_per_core=3000\nlabel=" + app +
+         "/x" + std::to_string(threshold) + "\n";
+}
+
+std::string stripProvenance(const std::string& report) {
+  const std::size_t at = report.find("\"config\"");
+  EXPECT_NE(at, std::string::npos);
+  return at == std::string::npos ? report : report.substr(at);
+}
+
+Message submit(Client& c, const std::string& spec, std::uint64_t requestId = 1) {
+  Message req;
+  req.op = Op::Submit;
+  req.requestId = requestId;
+  req.text = spec;
+  EXPECT_TRUE(c.send(req));
+  Message reply;
+  std::string err;
+  while (c.receive(reply, &err)) {
+    if (reply.requestId == requestId &&
+        (reply.op == Op::Accepted || reply.op == Op::Busy ||
+         reply.op == Op::Error))
+      return reply;
+  }
+  ADD_FAILURE() << "connection dropped before admission reply: " << err;
+  return reply;
+}
+
+Message awaitReport(Client& c, std::uint64_t requestId) {
+  Message m;
+  std::string err;
+  while (c.receive(m, &err)) {
+    if (m.op == Op::Report && m.requestId == requestId) return m;
+  }
+  ADD_FAILURE() << "connection dropped before report: " << err;
+  return m;
+}
+
+/// One counter/gauge out of the coordinator's STATS reply.
+double coordStat(Client& c, const std::string& name,
+                 std::uint64_t requestId = 9001) {
+  Message req;
+  req.op = Op::Stats;
+  req.requestId = requestId;
+  EXPECT_TRUE(c.send(req));
+  Message reply;
+  std::string err;
+  while (c.receive(reply, &err)) {
+    if (reply.op == Op::StatsReply && reply.requestId == requestId) break;
+  }
+  if (reply.op != Op::StatsReply) {
+    ADD_FAILURE() << "no stats reply: " << err;
+    return -1;
+  }
+  auto doc = telemetry::parseJson(reply.text, &err);
+  if (!doc) {
+    ADD_FAILURE() << err;
+    return -1;
+  }
+  const telemetry::JsonValue* co = doc->find("coordinator");
+  const telemetry::JsonValue* v = co ? co->find(name) : nullptr;
+  return v && v->isNumber() ? v->number : -1;
+}
+
+/// Polls STATS until `name` reaches `want` (counters race the event that
+/// produced them; commits are visible before the client's report frame
+/// only most of the time).
+bool awaitStatAtLeast(Client& c, const std::string& name, double want) {
+  for (int i = 0; i < 100; ++i) {
+    if (coordStat(c, name, 9100 + static_cast<std::uint64_t>(i)) >= want)
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+// --- Sharding and ordered delivery -----------------------------------------
+
+TEST(Fleet, ShardsAcrossWorkersOrderedAndByteIdenticalToLocal) {
+  TestCoordinator tc(coordConfig());
+  TestWorker w1(tc, "w1");
+  TestWorker w2(tc, "w2");
+  Client cl = tc.connect();
+
+  // Job 1 is deliberately the slowest: later jobs finish first on the
+  // other worker, so in-order delivery is actually exercised.
+  const std::vector<std::string> specs = {
+      "app=mcf\nthreshold_pct=25\nprewarm=50000\nwarmup=1000\n"
+      "instr_per_core=20000\nlabel=mcf/slow\n",
+      quickSpec("lbm", 10), quickSpec("milc", 50), quickSpec("omnetpp", 25)};
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Message req;
+    req.op = Op::Submit;
+    req.requestId = i + 1;
+    req.text = specs[i];
+    ASSERT_TRUE(cl.send(req));
+  }
+
+  std::size_t accepted = 0;
+  std::vector<std::string> served(specs.size());
+  std::uint64_t expect = 1;
+  Message m;
+  while (expect <= specs.size()) {
+    ASSERT_TRUE(cl.receive(m));
+    if (m.op == Op::Accepted) {
+      ++accepted;
+      continue;
+    }
+    if (m.op != Op::Report) continue;
+    EXPECT_EQ(m.requestId, expect) << "reports left submission order";
+    EXPECT_EQ(m.state, JobState::Done) << m.text;
+    served[expect - 1] = m.text;
+    ++expect;
+  }
+  EXPECT_EQ(accepted, specs.size());
+
+  // Both workers participated.
+  EXPECT_TRUE(awaitStatAtLeast(cl, "coord/completed", 4.0));
+  EXPECT_EQ(coordStat(cl, "coord/workers_live"), 2.0);
+
+  // Identical to the same plan run locally, modulo provenance.
+  sim::SweepPlan plan;
+  for (const std::string& spec : specs) {
+    sim::Job job;
+    std::string err;
+    ASSERT_TRUE(server::parseJobSpec(spec, job, err)) << err;
+    plan.add(std::move(job));
+  }
+  const std::vector<sim::RunResult> local = sim::runPlan(plan);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string localReport =
+        sim::runReportJson("renucad", plan.jobs()[i].config,
+                           {{plan.jobs()[i].label, local[i]}}, 0.0, 1);
+    EXPECT_EQ(stripProvenance(served[i]), stripProvenance(localReport))
+        << "job " << i + 1 << " diverged from the local run";
+  }
+}
+
+// --- Worker loss -----------------------------------------------------------
+
+TEST(Fleet, WorkerDeathRedispatchesItsLease) {
+  TestCoordinator tc(coordConfig());
+  FakeWorker flaky(tc, "flaky");
+  Client cl = tc.connect();
+
+  Message reply = submit(cl, quickSpec("mcf", 25));
+  ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+  Message lease = flaky.awaitLease();
+  ASSERT_EQ(lease.op, Op::Lease);
+
+  // The holder dies mid-lease; a healthy worker joins and the job lands
+  // there instead of being lost.
+  flaky.disconnect();
+  TestWorker rescuer(tc, "rescuer");
+
+  Message report = awaitReport(cl, 1);
+  EXPECT_EQ(report.state, JobState::Done) << report.text;
+  EXPECT_NE(report.text.find("renuca-run-report"), std::string::npos);
+  EXPECT_TRUE(awaitStatAtLeast(cl, "coord/workers_lost", 1.0));
+  EXPECT_TRUE(awaitStatAtLeast(cl, "coord/redispatched", 1.0));
+}
+
+TEST(Fleet, SilentWorkerIsDeclaredDeadAndItsLeaseMovesOn) {
+  server::CoordinatorConfig cfg = coordConfig();
+  cfg.heartbeatTimeoutMs = 400;  // Death by silence, not by EOF.
+  TestCoordinator tc(cfg);
+  FakeWorker mute(tc, "mute");
+  Client cl = tc.connect();
+
+  Message reply = submit(cl, quickSpec("lbm", 10));
+  ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+  Message lease = mute.awaitLease();
+  ASSERT_EQ(lease.op, Op::Lease);
+
+  // `mute` never heartbeats again; the rescuer heartbeats every 100 ms.
+  TestWorker rescuer(tc, "rescuer");
+  Message report = awaitReport(cl, 1);
+  EXPECT_EQ(report.state, JobState::Done) << report.text;
+  EXPECT_TRUE(awaitStatAtLeast(cl, "coord/workers_lost", 1.0));
+}
+
+TEST(Fleet, AttemptsExhaustedYieldSyntheticWorkerLostFailure) {
+  server::CoordinatorConfig cfg = coordConfig();
+  cfg.leaseTimeoutMs = 200;  // Unrenewed leases expire fast.
+  cfg.busyBackoffMs = 50;
+  cfg.maxAttempts = 2;
+  TestCoordinator tc(cfg);
+  FakeWorker hoarder(tc, "hoarder");
+  Client cl = tc.connect();
+
+  Message reply = submit(cl, quickSpec("mcf", 25));
+  ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+  // The hoarder takes every lease and never answers or heartbeats, so
+  // each lease expires until the attempt budget is gone.
+  ASSERT_EQ(hoarder.awaitLease().op, Op::Lease);
+  ASSERT_EQ(hoarder.awaitLease().op, Op::Lease);
+
+  Message report = awaitReport(cl, 1);
+  EXPECT_EQ(report.state, JobState::Failed);
+  EXPECT_EQ(report.errorCode, ErrCode::WorkerLost);
+  EXPECT_NE(report.text.find("\"error_code\": \"worker_lost\""),
+            std::string::npos)
+      << report.text;
+}
+
+// --- At-most-once commit ---------------------------------------------------
+
+TEST(Fleet, ZombieDuplicateReportIsDiscarded) {
+  server::CoordinatorConfig cfg = coordConfig();
+  cfg.leaseTimeoutMs = 300;
+  cfg.busyBackoffMs = 200;
+  TestCoordinator tc(cfg);
+  FakeWorker zombie(tc, "zombie");
+  Client cl = tc.connect();
+
+  Message reply = submit(cl, quickSpec("milc", 10));
+  ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+  Message zLease = zombie.awaitLease();
+  ASSERT_EQ(zLease.op, Op::Lease);
+
+  // The zombie stalls (alive but not heartbeating — its lease expires and
+  // the stall earns it a dispatch backoff) while a healthy worker joins
+  // and takes the re-dispatch.
+  FakeWorker good(tc, "good");
+  good.heartbeat();
+  Message gLease = good.awaitLease();
+  ASSERT_EQ(gLease.op, Op::Lease);
+  EXPECT_EQ(gLease.jobId, zLease.jobId) << "re-dispatch changed the job";
+  good.replyDone(gLease, "GOOD-REPORT");
+
+  Message report = awaitReport(cl, 1);
+  EXPECT_EQ(report.state, JobState::Done);
+  EXPECT_EQ(report.text, "GOOD-REPORT");
+
+  // The zombie wakes up and reports late: discarded, counted, and the
+  // client never sees a second report.
+  zombie.replyDone(zLease, "ZOMBIE-REPORT");
+  EXPECT_TRUE(awaitStatAtLeast(cl, "coord/duplicates_discarded", 1.0));
+  cl.setIoTimeout(300);
+  Message extra;
+  std::string err;
+  while (cl.receive(extra, &err)) {
+    EXPECT_NE(extra.op, Op::Report) << "duplicate report leaked to the client";
+  }
+  EXPECT_NE(err.find("timeout"), std::string::npos) << err;
+}
+
+// --- Failure classification ------------------------------------------------
+
+TEST(Fleet, BusyBounceRedispatchesWithoutBurningAttempts) {
+  server::CoordinatorConfig cfg = coordConfig();
+  cfg.busyBackoffMs = 50;
+  cfg.maxAttempts = 2;  // Two BUSYs would exhaust this if they counted.
+  TestCoordinator tc(cfg);
+  FakeWorker w(tc, "saturated");
+  Client cl = tc.connect();
+
+  Message reply = submit(cl, quickSpec("mcf", 50));
+  ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+  Message l1 = w.awaitLease();
+  w.replyBusy(l1);
+  Message l2 = w.awaitLease();
+  w.replyBusy(l2);
+  Message l3 = w.awaitLease();
+  w.replyDone(l3, "FINALLY");
+
+  Message report = awaitReport(cl, 1);
+  EXPECT_EQ(report.state, JobState::Done);
+  EXPECT_EQ(report.text, "FINALLY");
+}
+
+TEST(Fleet, RetryableIoFailureIsRedispatched) {
+  TestCoordinator tc(coordConfig());
+  FakeWorker w(tc, "flappy");
+  Client cl = tc.connect();
+
+  Message reply = submit(cl, quickSpec("lbm", 25));
+  ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+  Message l1 = w.awaitLease();
+  w.replyFailed(l1, ErrCode::Io,
+                "{\"error\": \"disk hiccup\", \"error_code\": \"io\"}\n");
+  Message l2 = w.awaitLease();  // I/O is transient: the job comes back.
+  w.replyDone(l2, "RECOVERED");
+
+  Message report = awaitReport(cl, 1);
+  EXPECT_EQ(report.state, JobState::Done);
+  EXPECT_EQ(report.text, "RECOVERED");
+}
+
+TEST(Fleet, FatalSimFailureCommitsWithoutRetry) {
+  TestCoordinator tc(coordConfig());
+  FakeWorker w(tc, "honest");
+  Client cl = tc.connect();
+
+  Message reply = submit(cl, quickSpec("omnetpp", 10));
+  ASSERT_EQ(reply.op, Op::Accepted) << reply.text;
+  Message l1 = w.awaitLease();
+  w.replyFailed(l1, ErrCode::Sim,
+                "{\"error\": \"boom\", \"error_code\": \"sim\"}\n");
+
+  // Deterministic failure: committed as-is, never re-dispatched.
+  Message report = awaitReport(cl, 1);
+  EXPECT_EQ(report.state, JobState::Failed);
+  EXPECT_EQ(report.errorCode, ErrCode::Sim);
+  EXPECT_FALSE(w.leaseArrives(400)) << "fatal failure was retried";
+  EXPECT_EQ(coordStat(cl, "coord/redispatched"), 0.0);
+  EXPECT_TRUE(awaitStatAtLeast(cl, "coord/failed", 1.0));
+}
+
+// --- Cancellation and drain ------------------------------------------------
+
+TEST(Fleet, ClientDisconnectCancelsItsPendingJobs) {
+  TestCoordinator tc(coordConfig());
+  {
+    Client cl = tc.connect();
+    ASSERT_EQ(submit(cl, quickSpec("mcf", 25), 1).op, Op::Accepted);
+    ASSERT_EQ(submit(cl, quickSpec("lbm", 10), 2).op, Op::Accepted);
+    // No worker has registered yet, so both jobs are still Pending when
+    // the client walks away.
+  }
+  Client probe = tc.connect();
+  EXPECT_TRUE(awaitStatAtLeast(probe, "coord/canceled", 2.0));
+  // A worker that joins later gets nothing: the work died with the client.
+  FakeWorker w(tc, "late");
+  EXPECT_FALSE(w.leaseArrives(400));
+  EXPECT_EQ(coordStat(probe, "coord/pending"), 0.0);
+}
+
+TEST(Fleet, DrainWithNoWorkersFailsQueuedJobsInsteadOfHanging) {
+  TestCoordinator tc(coordConfig());
+  Client cl = tc.connect();
+  ASSERT_EQ(submit(cl, quickSpec("mcf", 25), 1).op, Op::Accepted);
+
+  Message req;
+  req.op = Op::Shutdown;
+  req.requestId = 99;
+  ASSERT_TRUE(cl.send(req));
+
+  bool acked = false;
+  Message report;
+  Message m;
+  while (cl.receive(m)) {
+    if (m.op == Op::Accepted && m.requestId == 99) acked = true;
+    if (m.op == Op::Report && m.requestId == 1) report = m;
+    if (acked && report.op == Op::Report) break;
+  }
+  EXPECT_TRUE(acked);
+  ASSERT_EQ(report.op, Op::Report);
+  EXPECT_EQ(report.state, JobState::Failed);
+  EXPECT_EQ(report.errorCode, ErrCode::Canceled);
+  EXPECT_EQ(tc.stop(), 0) << "drain must exit cleanly";
+}
+
+// --- Telemetry -------------------------------------------------------------
+
+TEST(Fleet, StatsAndMetricsExposeFleetState) {
+  TestCoordinator tc(coordConfig());
+  TestWorker w(tc, "scraped");
+  Client cl = tc.connect();
+  ASSERT_EQ(submit(cl, quickSpec("mcf", 25)).op, Op::Accepted);
+  awaitReport(cl, 1);
+  ASSERT_TRUE(awaitStatAtLeast(cl, "coord/completed", 1.0));
+
+  Message req;
+  req.op = Op::Stats;
+  req.requestId = 5;
+  ASSERT_TRUE(cl.send(req));
+  Message stats;
+  ASSERT_TRUE(cl.receive(stats));
+  ASSERT_EQ(stats.op, Op::StatsReply);
+  std::string err;
+  auto doc = telemetry::parseJson(stats.text, &err);
+  ASSERT_TRUE(doc) << err << "\n" << stats.text;
+  for (const char* key :
+       {"coord/submitted", "coord/rejected", "coord/protocol_errors",
+        "coord/redispatched", "coord/duplicates_discarded",
+        "coord/workers_lost", "coord/canceled", "coord/pending",
+        "coord/leased", "coord/completed", "coord/failed",
+        "coord/workers_live", "coord/sessions"}) {
+    const telemetry::JsonValue* v = doc->find("coordinator")->find(key);
+    ASSERT_TRUE(v && v->isNumber()) << key << " missing from stats";
+  }
+  const telemetry::JsonValue* worker = doc->find("workers")->find("scraped");
+  ASSERT_TRUE(worker && worker->isObject()) << stats.text;
+  EXPECT_EQ(worker->find("live")->number, 1.0);
+  const telemetry::JsonValue* leaseWait = doc->find("lease_wait_ms");
+  ASSERT_TRUE(leaseWait && leaseWait->isObject());
+  EXPECT_GE(leaseWait->find("count")->number, 1.0);
+  ASSERT_TRUE(doc->find("job_latency_ms"));
+
+  req.op = Op::Metrics;
+  req.requestId = 6;
+  ASSERT_TRUE(cl.send(req));
+  Message metrics;
+  ASSERT_TRUE(cl.receive(metrics));
+  ASSERT_EQ(metrics.op, Op::MetricsReply);
+  for (const char* needle :
+       {"# TYPE renuca_coord_submitted counter",
+        "# TYPE renuca_coord_redispatched counter",
+        "# TYPE renuca_coord_duplicates_discarded counter",
+        "# TYPE renuca_coord_workers_live gauge",
+        "# TYPE renuca_coord_lease_wait_ms histogram",
+        "# TYPE renuca_coord_job_latency_ms histogram",
+        "renuca_coord_worker_scraped_live"}) {
+    EXPECT_NE(metrics.text.find(needle), std::string::npos)
+        << "missing: " << needle;
+  }
+}
+
+}  // namespace
+}  // namespace renuca

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -40,15 +41,17 @@ using server::Op;
 
 TEST(Protocol, EveryOpcodeRoundTrips) {
   const Op ops[] = {Op::Submit,   Op::Stats, Op::Shutdown,   Op::Ping,
-                    Op::Metrics,  Op::Accepted, Op::Busy,    Op::Error,
+                    Op::Metrics,  Op::Register, Op::Heartbeat,
+                    Op::Accepted, Op::Busy,    Op::Error,
                     Op::Status,   Op::Report, Op::StatsReply, Op::Pong,
-                    Op::MetricsReply};
+                    Op::MetricsReply, Op::Lease};
   for (Op op : ops) {
     Message in;
     in.op = op;
     in.requestId = 0x1122334455667788ull;
     in.jobId = 42;
     in.state = JobState::Running;
+    in.errorCode = server::ErrCode::WorkerLost;
     in.text = "payload for " + std::string(server::toString(op));
     std::vector<std::uint8_t> buf = server::encodeFrame(in);
     Message out;
@@ -60,9 +63,35 @@ TEST(Protocol, EveryOpcodeRoundTrips) {
     EXPECT_EQ(out.requestId, in.requestId);
     EXPECT_EQ(out.jobId, in.jobId);
     EXPECT_EQ(out.state, in.state);
+    EXPECT_EQ(out.errorCode, in.errorCode);
     EXPECT_EQ(out.text, in.text);
     EXPECT_TRUE(buf.empty()) << "frame bytes not consumed";
   }
+}
+
+TEST(Protocol, EveryErrorCodeRoundTrips) {
+  using server::ErrCode;
+  for (ErrCode ec : {ErrCode::None, ErrCode::Sim, ErrCode::Io, ErrCode::Busy,
+                     ErrCode::WorkerLost, ErrCode::Canceled}) {
+    Message in;
+    in.op = Op::Report;
+    in.state = JobState::Failed;
+    in.errorCode = ec;
+    std::vector<std::uint8_t> buf = server::encodeFrame(in);
+    Message out;
+    std::string err;
+    ASSERT_EQ(server::decodeFrame(buf, server::kDefaultMaxFrameBytes, out, err),
+              DecodeStatus::Frame);
+    EXPECT_EQ(out.errorCode, ec);
+  }
+  // Only I/O-ish conditions are worth a retry; a deterministic failure
+  // would fail identically anywhere.
+  EXPECT_FALSE(server::retryable(server::ErrCode::None));
+  EXPECT_FALSE(server::retryable(server::ErrCode::Sim));
+  EXPECT_FALSE(server::retryable(server::ErrCode::Canceled));
+  EXPECT_TRUE(server::retryable(server::ErrCode::Io));
+  EXPECT_TRUE(server::retryable(server::ErrCode::Busy));
+  EXPECT_TRUE(server::retryable(server::ErrCode::WorkerLost));
 }
 
 TEST(Protocol, TruncatedFrameNeedsMore) {
@@ -700,6 +729,150 @@ TEST(Server, LifecycleTraceRecordsJobStages) {
                                           "completed"};
   EXPECT_EQ(stages, expected);
   std::remove(path.c_str());
+}
+
+TEST(Server, ByteDrippedFrameDecodesOnceComplete) {
+  // A slow writer trickling one byte at a time must not confuse the
+  // framing: nothing happens until the frame completes, then it is
+  // answered normally.
+  TestServer ts(smallServer(1));
+  const int fd = ts.connectRaw();
+  Message m;
+  m.op = Op::Ping;
+  m.requestId = 41;
+  m.text = "dripped";
+  const std::vector<std::uint8_t> frame = server::encodeFrame(m);
+  for (std::uint8_t byte : frame) {
+    ASSERT_EQ(::send(fd, &byte, 1, 0), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Client c;
+  c.adoptFd(fd);
+  Message pong;
+  ASSERT_TRUE(c.receive(pong));
+  EXPECT_EQ(pong.op, Op::Pong);
+  EXPECT_EQ(pong.requestId, 41u);
+  EXPECT_EQ(pong.text, "dripped");
+}
+
+TEST(Server, TruncatedFrameAtEofClosesWithoutDisturbingOthers) {
+  TestServer ts(smallServer(1));
+  const int fd = ts.connectRaw();
+  Message m;
+  m.op = Op::Ping;
+  m.text = "never finished";
+  const std::vector<std::uint8_t> frame = server::encodeFrame(m);
+  // Half a frame, then EOF: the server just drops the session.
+  ASSERT_EQ(::send(fd, frame.data(), frame.size() / 2, 0),
+            static_cast<ssize_t>(frame.size() / 2));
+  ::close(fd);
+  // An unrelated session is unaffected.
+  Client c = ts.connect();
+  Message req;
+  req.op = Op::Ping;
+  req.requestId = 1;
+  ASSERT_TRUE(c.send(req));
+  Message pong;
+  ASSERT_TRUE(c.receive(pong));
+  EXPECT_EQ(pong.op, Op::Pong);
+}
+
+TEST(Server, SlowReaderGetsBackpressureNotDataLoss) {
+  // A tiny soft write buffer forces the server to stop reading this
+  // session while its replies sit unsent; once the client finally reads,
+  // every reply arrives intact and in order.
+  server::ServerConfig cfg = smallServer(1);
+  cfg.softWriteBuffer = 1024;
+  TestServer ts(cfg);
+  Client c = ts.connect();
+  const int kPings = 20;
+  const std::string payload(4096, 'p');
+  for (int i = 1; i <= kPings; ++i) {
+    Message req;
+    req.op = Op::Ping;
+    req.requestId = static_cast<std::uint64_t>(i);
+    req.text = payload;
+    ASSERT_TRUE(c.send(req));
+  }
+  // Let the backlog build before draining anything.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  for (int i = 1; i <= kPings; ++i) {
+    Message pong;
+    ASSERT_TRUE(c.receive(pong)) << "lost reply " << i;
+    EXPECT_EQ(pong.op, Op::Pong);
+    EXPECT_EQ(pong.requestId, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(pong.text, payload);
+  }
+  // The session survived the squeeze.
+  Message req;
+  req.op = Op::Ping;
+  req.requestId = 999;
+  ASSERT_TRUE(c.send(req));
+  Message pong;
+  ASSERT_TRUE(c.receive(pong));
+  EXPECT_EQ(pong.requestId, 999u);
+}
+
+TEST(Server, ReaderPastMaxWriteBufferIsDroppedOthersUnaffected) {
+  server::ServerConfig cfg = smallServer(1);
+  cfg.softWriteBuffer = 1024;
+  cfg.maxWriteBuffer = 16 * 1024;
+  TestServer ts(cfg);
+  Client hog = ts.connect();
+  Client bystander = ts.connect();
+
+  // One reply bigger than the whole write budget: the hog is marked dead
+  // the moment the reply is queued.  The close is best-effort-flushed, so
+  // the client may still read already-buffered bytes — but the connection
+  // must then be over (EOF, not a timeout, and no further service).
+  Message req;
+  req.op = Op::Ping;
+  req.requestId = 1;
+  req.text = std::string(64 * 1024, 'x');
+  ASSERT_TRUE(hog.send(req));
+  Message m;
+  std::string err;
+  hog.setIoTimeout(5000);
+  bool closed = false;
+  for (int i = 0; i < 3 && !closed; ++i) closed = !hog.receive(m, &err);
+  EXPECT_TRUE(closed) << "oversized backlog was not dropped";
+  EXPECT_EQ(err.find("timeout"), std::string::npos) << err;
+
+  // The bystander never notices.
+  Message ping;
+  ping.op = Op::Ping;
+  ping.requestId = 2;
+  ASSERT_TRUE(bystander.send(ping));
+  Message pong;
+  ASSERT_TRUE(bystander.receive(pong));
+  EXPECT_EQ(pong.op, Op::Pong);
+  EXPECT_EQ(pong.requestId, 2u);
+}
+
+TEST(Server, StalledSessionPastIdleTimeoutIsReaped) {
+  server::ServerConfig cfg = smallServer(1);
+  cfg.idleTimeoutMs = 200;
+  TestServer ts(cfg);
+  Client stalled = ts.connect();
+  Client active = ts.connect();
+
+  // The active session keeps talking well past the idle window...
+  for (int i = 0; i < 10; ++i) {
+    Message req;
+    req.op = Op::Ping;
+    req.requestId = static_cast<std::uint64_t>(i + 1);
+    ASSERT_TRUE(active.send(req));
+    Message pong;
+    ASSERT_TRUE(active.receive(pong));
+    EXPECT_EQ(pong.op, Op::Pong);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // ...while the stalled one is closed by the server (EOF, not timeout).
+  stalled.setIoTimeout(5000);
+  Message m;
+  std::string err;
+  EXPECT_FALSE(stalled.receive(m, &err));
+  EXPECT_EQ(err.find("timeout"), std::string::npos) << err;
 }
 
 TEST(Server, SessionDisconnectDuringJobDoesNotCrash) {

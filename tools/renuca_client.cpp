@@ -12,6 +12,7 @@
 // modulo the provenance fields, which is exactly what the CI smoke test
 // compares.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -42,11 +43,20 @@ const char kUsage[] =
     "  socket=PATH        connect to a Unix-domain socket\n"
     "                     (default /tmp/renucad.sock)\n"
     "  connect=HOST:PORT  connect over TCP instead\n"
+    "                     (both accept a comma-separated failover list;\n"
+    "                     addresses are tried in order with exponential\n"
+    "                     backoff between rounds)\n"
     "  batch=FILE         submit one job per line of FILE (each line is\n"
     "                     space-separated spec key=value tokens; '#' comments)\n"
     "  report_out=FILE    write the single job's report JSON here (default:\n"
     "                     stdout)\n"
     "  report_dir=DIR     write one <label>.json per batch job into DIR\n"
+    "  timeout_ms=N       deadline for each read/write on the connection\n"
+    "                     (--timeout-ms=N also works; default 0 = wait\n"
+    "                     forever — reports can take as long as the jobs do).\n"
+    "                     Connects are always bounded (5 s per address).\n"
+    "  retries=N          extra connect rounds over the address list before\n"
+    "                     giving up (--retries=N also works; default 3)\n"
     "\n"
     "flags:\n"
     "  --wait             stay connected until every submitted job's report\n"
@@ -65,6 +75,8 @@ struct Options {
   std::string batchFile;
   std::string reportOut;
   std::string reportDir;
+  int timeoutMs = 0;  ///< Read/write deadline; 0 = block (jobs take time).
+  int retries = 3;    ///< Extra connect rounds over the address list.
   bool wait = false;
   bool stats = false;
   bool metrics = false;
@@ -72,6 +84,14 @@ struct Options {
   bool shutdown = false;
   bool local = false;
 };
+
+/// Parses "--name=N" into `value`; false when `flag` is not that option.
+bool flagValue(const std::string& flag, const char* name, int& value) {
+  const std::string prefix = std::string(name) + "=";
+  if (flag.rfind(prefix, 0) != 0) return false;
+  value = std::atoi(flag.c_str() + prefix.size());
+  return true;
+}
 
 /// Turns one batch line ("app=mcf threshold_pct=25") into the newline-
 /// separated text the spec parser takes.
@@ -138,7 +158,8 @@ bool collectSpecs(const Options& opt, const KvConfig& kv,
   std::string spec;
   for (const auto& [key, value] : kv.all()) {
     if (key == "socket" || key == "connect" || key == "batch" ||
-        key == "report_out" || key == "report_dir")
+        key == "report_out" || key == "report_dir" || key == "timeout_ms" ||
+        key == "retries")
       continue;
     spec += key + "=" + value + "\n";
   }
@@ -201,6 +222,9 @@ int main(int argc, char** argv) {
       opt.shutdown = true;
     } else if (flag == "--local") {
       opt.local = true;
+    } else if (flagValue(flag, "--timeout-ms", opt.timeoutMs) ||
+               flagValue(flag, "--retries", opt.retries)) {
+      // Parsed in the condition.
     } else {
       std::fprintf(stderr, "renuca_client: unknown flag '%s'\n", flag.c_str());
       return tools::usage(kUsage, true);
@@ -211,6 +235,10 @@ int main(int argc, char** argv) {
   opt.batchFile = kv.getOr("batch", std::string());
   opt.reportOut = kv.getOr("report_out", std::string());
   opt.reportDir = kv.getOr("report_dir", std::string());
+  opt.timeoutMs =
+      static_cast<int>(kv.getOr("timeout_ms", std::int64_t{opt.timeoutMs}));
+  opt.retries = static_cast<int>(kv.getOr("retries", std::int64_t{opt.retries}));
+  if (opt.retries < 0) opt.retries = 0;
 
   if (opt.local) {
     std::vector<std::string> specs;
@@ -220,12 +248,18 @@ int main(int argc, char** argv) {
 
   server::Client client;
   std::string err;
-  const bool connected = opt.tcp.empty() ? client.connectUnix(opt.socketPath, &err)
-                                         : client.connectTcp(opt.tcp, &err);
-  if (!connected) {
+  // socket=/connect= take comma-separated failover lists; connectAny walks
+  // them with a bounded per-address connect and exponential backoff between
+  // rounds, so a restarting daemon costs a retry, not a hang.
+  const std::vector<std::string> addrs = server::Client::splitAddressList(
+      opt.tcp.empty() ? opt.socketPath : opt.tcp);
+  server::RetryPolicy policy;
+  policy.retries = opt.retries;
+  if (!client.connectAny(addrs, policy, &err)) {
     std::fprintf(stderr, "renuca_client: connect failed: %s\n", err.c_str());
     return 1;
   }
+  client.setIoTimeout(opt.timeoutMs);
 
   using server::Message;
   using server::Op;

@@ -1,0 +1,112 @@
+// renuca-coord: the simulation fleet coordinator
+// (src/server/coordinator.hpp).
+//
+// Fronts N renucad workers (started with coordinator=ADDR): clients
+// submit jobs here exactly as they would to a single renucad; the
+// coordinator shards the work into per-job leases, re-dispatches the
+// leases of workers that die or stall, and streams every client's
+// reports back in submission order.  SIGINT / SIGTERM drain gracefully.
+//
+//   ./renuca-coord socket=/tmp/renuca-coord.sock [queue=4096] ...
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/kvconfig.hpp"
+#include "common/log.hpp"
+#include "server/coordinator.hpp"
+#include "cli_util.hpp"
+
+using namespace renuca;
+
+namespace {
+
+const char kUsage[] =
+    "usage: renuca-coord [key=value ...]\n"
+    "\n"
+    "Runs the fleet coordinator until SIGINT/SIGTERM (graceful drain) or a\n"
+    "client SHUTDOWN request.  Workers are renucad processes started with\n"
+    "coordinator= pointing here.\n"
+    "\n"
+    "options:\n"
+    "  socket=PATH           Unix-domain listen path (default\n"
+    "                        /tmp/renuca-coord.sock); clients and workers\n"
+    "                        share it\n"
+    "  listen=HOST:PORT      also listen on TCP ('*' or empty host = any)\n"
+    "  queue=N               fleet backlog bound; full answers BUSY\n"
+    "                        (default 4096)\n"
+    "  lease_timeout_ms=N    a lease not renewed by its holder's heartbeats\n"
+    "                        within this window re-dispatches (default 10000)\n"
+    "  heartbeat_timeout_ms=N a worker silent this long is dead\n"
+    "                        (default 5000)\n"
+    "  max_attempts=N        dispatches per job before a synthetic failure\n"
+    "                        (default 5)\n"
+    "  idle_timeout_ms=N     close idle client sessions (default 0 = never)\n"
+    "  log_level=LEVEL       debug|info|warn|error (default info)\n";
+
+server::Coordinator* g_coord = nullptr;
+
+void onSignal(int) {
+  if (g_coord) g_coord->requestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (tools::wantsHelp(argc, argv)) return tools::usage(kUsage, false);
+  KvConfig kv = KvConfig::fromArgs(argc, argv);
+  if (!kv.positional().empty()) {
+    std::fprintf(stderr, "renuca-coord: unexpected argument '%s'\n",
+                 kv.positional()[0].c_str());
+    return tools::usage(kUsage, true);
+  }
+  std::string badKey;
+  if (!tools::checkKeys(kv,
+                        {"socket", "listen", "queue", "lease_timeout_ms",
+                         "heartbeat_timeout_ms", "max_attempts",
+                         "idle_timeout_ms", "log_level"},
+                        badKey)) {
+    std::fprintf(stderr, "renuca-coord: unknown option '%s='\n", badKey.c_str());
+    return tools::usage(kUsage, true);
+  }
+  if (kv.has("log_level")) {
+    const std::string name = kv.getOr("log_level", std::string());
+    const std::optional<LogLevel> level = logLevelFromString(name);
+    if (!level) {
+      std::fprintf(stderr, "renuca-coord: bad log_level '%s'\n", name.c_str());
+      return tools::usage(kUsage, true);
+    }
+    setLogLevel(*level);
+  }
+
+  server::CoordinatorConfig cfg;
+  cfg.socketPath = kv.getOr("socket", std::string("/tmp/renuca-coord.sock"));
+  cfg.listenHostPort = kv.getOr("listen", std::string());
+  cfg.maxQueue = static_cast<std::size_t>(kv.getOr("queue", std::int64_t{4096}));
+  cfg.leaseTimeoutMs =
+      static_cast<int>(kv.getOr("lease_timeout_ms", std::int64_t{10000}));
+  cfg.heartbeatTimeoutMs =
+      static_cast<int>(kv.getOr("heartbeat_timeout_ms", std::int64_t{5000}));
+  cfg.maxAttempts = static_cast<int>(kv.getOr("max_attempts", std::int64_t{5}));
+  cfg.idleTimeoutMs =
+      static_cast<int>(kv.getOr("idle_timeout_ms", std::int64_t{0}));
+  if (cfg.maxQueue == 0 || cfg.maxAttempts <= 0 || cfg.leaseTimeoutMs <= 0 ||
+      cfg.heartbeatTimeoutMs <= 0) {
+    std::fprintf(stderr,
+                 "renuca-coord: queue=, max_attempts=, lease_timeout_ms= and "
+                 "heartbeat_timeout_ms= must be at least 1\n");
+    return tools::usage(kUsage, true);
+  }
+
+  server::Coordinator coord(cfg);
+  if (!coord.listen()) return 1;
+
+  g_coord = &coord;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const int rc = coord.run();
+  g_coord = nullptr;
+  return rc;
+}

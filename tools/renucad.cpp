@@ -36,7 +36,17 @@ const char kUsage[] =
     "                        (default 0 = never)\n"
     "  trace_json=PATH       job-lifecycle Chrome trace (queued/admitted/\n"
     "                        executing spans per job)\n"
-    "  log_level=LEVEL       debug|info|warn|error (default info)\n";
+    "  log_level=LEVEL       debug|info|warn|error (default info)\n"
+    "\n"
+    "fleet worker mode:\n"
+    "  coordinator=ADDR      dial a renuca-coord and serve its leases; ADDR is\n"
+    "                        unix:PATH, a socket path, or host:port (comma-\n"
+    "                        separated list fails over).  With no socket= or\n"
+    "                        listen= the worker runs with no listener at all.\n"
+    "  worker_name=NAME      name registered with the coordinator (default\n"
+    "                        w<pid>)\n"
+    "  heartbeat_ms=N        heartbeat cadence toward the coordinator\n"
+    "                        (default 1000)\n";
 
 server::Server* g_server = nullptr;
 
@@ -57,7 +67,8 @@ int main(int argc, char** argv) {
   std::string badKey;
   if (!tools::checkKeys(kv,
                         {"socket", "listen", "jobs", "queue", "snapshot_dir",
-                         "idle_timeout_ms", "trace_json", "log_level"},
+                         "idle_timeout_ms", "trace_json", "log_level",
+                         "coordinator", "worker_name", "heartbeat_ms"},
                         badKey)) {
     std::fprintf(stderr, "renucad: unknown option '%s='\n", badKey.c_str());
     return tools::usage(kUsage, true);
@@ -73,8 +84,18 @@ int main(int argc, char** argv) {
   }
 
   server::ServerConfig cfg;
-  cfg.socketPath = kv.getOr("socket", std::string("/tmp/renucad.sock"));
-  cfg.listenHostPort = kv.getOr("listen", std::string());
+  cfg.coordinatorAddr = kv.getOr("coordinator", std::string());
+  cfg.workerName = kv.getOr("worker_name", std::string());
+  cfg.heartbeatMs =
+      static_cast<int>(kv.getOr("heartbeat_ms", std::int64_t{1000}));
+  // A pure fleet worker (coordinator= and no explicit listener) serves
+  // leases only; anyone else gets the default Unix listener.
+  const bool pureWorker =
+      !cfg.coordinatorAddr.empty() && !kv.has("socket") && !kv.has("listen");
+  if (!pureWorker) {
+    cfg.socketPath = kv.getOr("socket", std::string("/tmp/renucad.sock"));
+    cfg.listenHostPort = kv.getOr("listen", std::string());
+  }
   cfg.jobs = static_cast<unsigned>(kv.getOr("jobs", std::int64_t{0}));
   cfg.maxQueue = static_cast<std::size_t>(kv.getOr("queue", std::int64_t{64}));
   cfg.snapshotDir = kv.getOr("snapshot_dir", std::string());
@@ -84,9 +105,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "renucad: queue= must be at least 1\n");
     return tools::usage(kUsage, true);
   }
+  if (cfg.heartbeatMs <= 0) {
+    std::fprintf(stderr, "renucad: heartbeat_ms= must be at least 1\n");
+    return tools::usage(kUsage, true);
+  }
 
   server::Server srv(cfg);
-  if (!srv.listen()) return 1;
+  if (!pureWorker && !srv.listen()) return 1;
 
   g_server = &srv;
   std::signal(SIGINT, onSignal);
