@@ -8,9 +8,14 @@ void BusyCalendar::prune(Cycle arrive) {
   maxArrival_ = std::max(maxArrival_, arrive);
   if (maxArrival_ < horizon_) return;
   Cycle cutoff = maxArrival_ - horizon_;
-  std::size_t drop = 0;
-  while (drop < intervals_.size() && intervals_[drop].end < cutoff) ++drop;
-  if (drop > 0) intervals_.erase(intervals_.begin(), intervals_.begin() + drop);
+  while (begin_ < intervals_.size() && intervals_[begin_].end < cutoff) ++begin_;
+  // Compact the dead prefix only once it dominates the storage, so the
+  // memmove cost amortizes to O(1) per reservation.
+  if (begin_ >= 64 && begin_ * 2 >= intervals_.size()) {
+    intervals_.erase(intervals_.begin(),
+                     intervals_.begin() + static_cast<std::ptrdiff_t>(begin_));
+    begin_ = 0;
+  }
 }
 
 Cycle BusyCalendar::reserve(Cycle arrive, Cycle duration) {
@@ -19,8 +24,8 @@ Cycle BusyCalendar::reserve(Cycle arrive, Cycle duration) {
 
   // Find the first interval that could interfere (ends after `arrive`).
   auto it = std::lower_bound(
-      intervals_.begin(), intervals_.end(), arrive,
-      [](const Interval& iv, Cycle t) { return iv.end <= t; });
+      intervals_.begin() + static_cast<std::ptrdiff_t>(begin_), intervals_.end(),
+      arrive, [](const Interval& iv, Cycle t) { return iv.end <= t; });
 
   Cycle start = arrive;
   while (it != intervals_.end()) {
@@ -29,35 +34,36 @@ Cycle BusyCalendar::reserve(Cycle arrive, Cycle duration) {
     ++it;
   }
 
-  // Insert [start, start+duration), merging with adjacent intervals.
+  // Insert [start, start+duration) at `it`, merging with neighbours.  The
+  // gap walk already established the position: every interval before `it`
+  // ends at or before `start`, and `it` (if any) starts at or after
+  // `start + duration`, so no separate search is needed.
   Interval booked{start, start + duration};
-  auto pos = std::lower_bound(
-      intervals_.begin(), intervals_.end(), booked,
-      [](const Interval& a, const Interval& b) { return a.start < b.start; });
-  // Merge with predecessor if contiguous.
-  if (pos != intervals_.begin()) {
-    auto prev = pos - 1;
+  if (it != intervals_.begin() + static_cast<std::ptrdiff_t>(begin_)) {
+    auto prev = it - 1;
     if (prev->end == booked.start) {
       prev->end = booked.end;
       // Merge with successor too.
-      if (pos != intervals_.end() && pos->start == prev->end) {
-        prev->end = pos->end;
-        intervals_.erase(pos);
+      if (it != intervals_.end() && it->start == prev->end) {
+        prev->end = it->end;
+        intervals_.erase(it);
       }
       return start;
     }
   }
-  if (pos != intervals_.end() && pos->start == booked.end) {
-    pos->start = booked.start;
+  if (it != intervals_.end() && it->start == booked.end) {
+    it->start = booked.start;
     return start;
   }
-  intervals_.insert(pos, booked);
+  intervals_.insert(it, booked);
   return start;
 }
 
 Cycle BusyCalendar::bookedCycles() const {
   Cycle total = 0;
-  for (const Interval& iv : intervals_) total += iv.end - iv.start;
+  for (std::size_t i = begin_; i < intervals_.size(); ++i) {
+    total += intervals_[i].end - intervals_[i].start;
+  }
   return total;
 }
 

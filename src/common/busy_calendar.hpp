@@ -33,7 +33,7 @@ class BusyCalendar {
 
   /// Total cycles currently booked (tests).
   Cycle bookedCycles() const;
-  std::size_t intervalCount() const { return intervals_.size(); }
+  std::size_t intervalCount() const { return intervals_.size() - begin_; }
 
  private:
   struct Interval {
@@ -42,7 +42,12 @@ class BusyCalendar {
   };
   void prune(Cycle arrive);
 
+  /// Live intervals are intervals_[begin_..end): prune() advances begin_
+  /// instead of erasing from the front (reserve runs for every bank, link,
+  /// and DRAM reservation, and a front erase memmoves the whole calendar).
+  /// The dead prefix is compacted away once it outgrows the live part.
   std::vector<Interval> intervals_;  // sorted by start, non-overlapping
+  std::size_t begin_ = 0;
   Cycle horizon_;
   Cycle maxArrival_ = 0;
 };

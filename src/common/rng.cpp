@@ -2,52 +2,6 @@
 
 namespace renuca {
 
-Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
-    : state_(0), inc_((stream << 1) | 1u) {
-  next();
-  state_ += seed;
-  next();
-}
-
-std::uint32_t Pcg32::next() {
-  std::uint64_t old = state_;
-  state_ = old * 6364136223846793005ull + inc_;
-  std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
-  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
-  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
-}
-
-std::uint32_t Pcg32::nextBelow(std::uint32_t bound) {
-  if (bound <= 1) return 0;
-  // Lemire-style rejection to remove modulo bias.
-  std::uint32_t threshold = (~bound + 1u) % bound;
-  for (;;) {
-    std::uint32_t r = next();
-    if (r >= threshold) return r % bound;
-  }
-}
-
-std::uint64_t Pcg32::range(std::uint64_t lo, std::uint64_t hi) {
-  std::uint64_t span = hi - lo + 1;
-  if (span == 0) {  // full 64-bit range
-    return (static_cast<std::uint64_t>(next()) << 32) | next();
-  }
-  if (span <= 0xffffffffull) return lo + nextBelow(static_cast<std::uint32_t>(span));
-  // Split into high and low halves; fine for the address ranges we use.
-  std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
-  return lo + (r % span);
-}
-
-double Pcg32::nextDouble() {
-  return next() * (1.0 / 4294967296.0);
-}
-
-bool Pcg32::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return nextDouble() < p;
-}
-
 std::size_t Pcg32::weightedPick(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) total += (w > 0 ? w : 0.0);

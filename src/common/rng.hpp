@@ -14,25 +14,91 @@ namespace renuca {
 
 /// PCG-XSH-RR 64/32 (O'Neill 2014).  Small state, excellent statistical
 /// quality, and fully deterministic across platforms.
+///
+/// The draw methods are header-inline: the workload generators and
+/// replacement policies call them tens of millions of times per simulated
+/// second, so the call must inline and the per-draw divisions must be
+/// hoistable (see BoundedDraw for the precomputed-divisor fast path).
 class Pcg32 {
  public:
   explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bull,
-                 std::uint64_t stream = 0xda3e39cb94b95bdbull);
+                 std::uint64_t stream = 0xda3e39cb94b95bdbull) {
+    state_ = 0;
+    inc_ = (stream << 1) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
 
   /// Next raw 32-bit output.
-  std::uint32_t next();
+  std::uint32_t next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// A fixed bound with its rejection threshold (and, for power-of-two
+  /// bounds, the mask) computed once.  nextBelow(BoundedDraw) consumes the
+  /// identical RNG stream as nextBelow(bound) — same rejection decisions,
+  /// same results — while skipping the two per-draw divisions.
+  struct BoundedDraw {
+    std::uint32_t bound = 1;
+    std::uint32_t threshold = 0;  ///< (2^32 - bound) % bound
+    std::uint32_t mask = 0;       ///< bound - 1 when bound is a power of two, else 0
+
+    BoundedDraw() = default;
+    explicit BoundedDraw(std::uint32_t b) : bound(b) {
+      if (bound > 1) {
+        threshold = (~bound + 1u) % bound;
+        if ((bound & (bound - 1)) == 0) mask = bound - 1;
+      }
+    }
+  };
 
   /// Uniform in [0, bound) without modulo bias; bound must be > 0.
-  std::uint32_t nextBelow(std::uint32_t bound);
+  std::uint32_t nextBelow(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    // Lemire-style rejection to remove modulo bias.
+    std::uint32_t threshold = (~bound + 1u) % bound;
+    for (;;) {
+      std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Same stream and results as nextBelow(d.bound), divisions precomputed.
+  std::uint32_t nextBelow(const BoundedDraw& d) {
+    if (d.bound <= 1) return 0;
+    if (d.mask) return next() & d.mask;  // threshold is 0 for power-of-two bounds
+    for (;;) {
+      std::uint32_t r = next();
+      if (r >= d.threshold) return r % d.bound;
+    }
+  }
 
   /// Uniform in [lo, hi] inclusive.
-  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    std::uint64_t span = hi - lo + 1;
+    if (span == 0) {  // full 64-bit range
+      return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+    if (span <= 0xffffffffull) return lo + nextBelow(static_cast<std::uint32_t>(span));
+    // Split into high and low halves; fine for the address ranges we use.
+    std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
+    return lo + (r % span);
+  }
 
   /// Uniform double in [0, 1).
-  double nextDouble();
+  double nextDouble() { return next() * (1.0 / 4294967296.0); }
 
   /// Bernoulli trial with success probability p.
-  bool chance(double p);
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return nextDouble() < p;
+  }
 
   /// Pick an index in [0, weights.size()) with probability proportional to
   /// weights[i]; weights need not be normalized.  Returns 0 on empty/zero

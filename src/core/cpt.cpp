@@ -5,11 +5,27 @@
 
 namespace renuca::core {
 
+namespace {
+
+std::uint32_t slotCountFor(std::uint32_t capacity) {
+  // Power of two >= 2 * capacity keeps the load factor at or below 1/2,
+  // which bounds linear-probe runs and guarantees every probe terminates
+  // at an empty slot.
+  std::uint64_t want = std::uint64_t{capacity} * 2;
+  std::uint64_t n = 8;
+  while (n < want) n <<= 1;
+  return static_cast<std::uint32_t>(n);
+}
+
+}  // namespace
+
 CriticalityPredictorTable::CriticalityPredictorTable(const CptConfig& config)
     : cfg_(config), stats_("cpt") {
   RENUCA_ASSERT(cfg_.capacity > 0, "CPT capacity must be non-zero");
   RENUCA_ASSERT(cfg_.thresholdPct > 0.0 && cfg_.thresholdPct <= 100.0,
                 "criticality threshold must be in (0, 100]");
+  slots_.resize(slotCountFor(cfg_.capacity));
+  mask_ = static_cast<std::uint32_t>(slots_.size()) - 1;
   coldLookups_ = stats_.counter("cold_lookups");
   lookups_ = stats_.counter("lookups");
   predictCritical_ = stats_.counter("predict_critical");
@@ -22,46 +38,120 @@ bool CriticalityPredictorTable::verdictOf(const Counters& c) const {
          cfg_.thresholdPct * static_cast<double>(c.numLoadsCount);
 }
 
+std::uint32_t CriticalityPredictorTable::findSlot(std::uint64_t pc) const {
+  std::uint32_t i = homeOf(pc);
+  while (slots_[i].pc != kEmptyPc) {
+    if (slots_[i].pc == pc) return i;
+    i = (i + 1) & mask_;
+  }
+  return kNil;
+}
+
+std::uint32_t CriticalityPredictorTable::insertSlot(std::uint64_t pc) {
+  RENUCA_ASSERT(pc != kEmptyPc, "CPT cannot track the sentinel PC");
+  RENUCA_ASSERT(count_ < slots_.size(), "CPT slot array full");
+  std::uint32_t i = homeOf(pc);
+  while (slots_[i].pc != kEmptyPc) i = (i + 1) & mask_;
+  Slot& s = slots_[i];
+  s.pc = pc;
+  s.counters = Counters{};
+  s.fifoPrev = fifoTail_;
+  s.fifoNext = kNil;
+  if (fifoTail_ != kNil) {
+    slots_[fifoTail_].fifoNext = i;
+  } else {
+    fifoHead_ = i;
+  }
+  fifoTail_ = i;
+  ++count_;
+  return i;
+}
+
+void CriticalityPredictorTable::eraseSlot(std::uint32_t index) {
+  // Unlink from the FIFO.
+  Slot& victim = slots_[index];
+  if (victim.fifoPrev != kNil) {
+    slots_[victim.fifoPrev].fifoNext = victim.fifoNext;
+  } else {
+    fifoHead_ = victim.fifoNext;
+  }
+  if (victim.fifoNext != kNil) {
+    slots_[victim.fifoNext].fifoPrev = victim.fifoPrev;
+  } else {
+    fifoTail_ = victim.fifoPrev;
+  }
+  // Backward-shift deletion: walk the probe chain after the hole and pull
+  // back any slot the hole would cut off from its home position, so later
+  // finds never stop at a premature empty.
+  std::uint32_t hole = index;
+  std::uint32_t j = (index + 1) & mask_;
+  while (slots_[j].pc != kEmptyPc) {
+    std::uint32_t home = homeOf(slots_[j].pc);
+    if (((j - hole) & mask_) <= ((j - home) & mask_)) {
+      slots_[hole] = slots_[j];
+      // The slot moved; repoint its FIFO neighbours at the new index.
+      Slot& moved = slots_[hole];
+      if (moved.fifoPrev != kNil) {
+        slots_[moved.fifoPrev].fifoNext = hole;
+      } else {
+        fifoHead_ = hole;
+      }
+      if (moved.fifoNext != kNil) {
+        slots_[moved.fifoNext].fifoPrev = hole;
+      } else {
+        fifoTail_ = hole;
+      }
+      hole = j;
+    }
+    j = (j + 1) & mask_;
+  }
+  slots_[hole] = Slot{};
+  --count_;
+}
+
+void CriticalityPredictorTable::resetTable() {
+  for (Slot& s : slots_) s = Slot{};
+  count_ = 0;
+  fifoHead_ = kNil;
+  fifoTail_ = kNil;
+}
+
 bool CriticalityPredictorTable::predict(std::uint64_t pc) {
-  auto it = table_.find(pc);
-  if (it == table_.end()) {
+  std::uint32_t i = findSlot(pc);
+  if (i == kNil) {
     // First touch: the paper assumes a line non-critical until shown
     // otherwise (lifetime is prioritized over performance, §IV).
     ++*coldLookups_;
     return cfg_.coldPredictsCritical;
   }
   ++*lookups_;
-  bool critical = verdictOf(it->second.counters);
+  bool critical = verdictOf(slots_[i].counters);
   ++*(critical ? predictCritical_ : predictNonCritical_);
   return critical;
 }
 
 bool CriticalityPredictorTable::hasEntry(std::uint64_t pc) const {
-  return table_.find(pc) != table_.end();
+  return findSlot(pc) != kNil;
 }
 
 bool CriticalityPredictorTable::train(std::uint64_t pc, bool stalledRobHead) {
-  auto it = table_.find(pc);
-  if (it == table_.end()) {
-    if (table_.size() >= cfg_.capacity) {
+  std::uint32_t i = findSlot(pc);
+  if (i == kNil) {
+    if (count_ >= cfg_.capacity) {
       // FIFO eviction of the oldest PC.
-      std::uint64_t victim = fifo_.front();
-      fifo_.pop_front();
-      table_.erase(victim);
+      eraseSlot(fifoHead_);
       stats_.inc("evictions");
     }
-    fifo_.push_back(pc);
-    Entry e;
-    e.counters.numLoadsCount = 1;
-    e.counters.robBlockCount = stalledRobHead ? 1 : 0;
-    e.fifoIt = std::prev(fifo_.end());
-    table_.emplace(pc, e);
+    i = insertSlot(pc);
+    Counters& c = slots_[i].counters;
+    c.numLoadsCount = 1;
+    c.robBlockCount = stalledRobHead ? 1 : 0;
     stats_.inc("insertions");
     // A brand-new entry "flips" if its verdict differs from the cold
     // default the PC was predicted with until now.
-    return verdictOf(e.counters) != cfg_.coldPredictsCritical;
+    return verdictOf(c) != cfg_.coldPredictsCritical;
   }
-  Counters& c = it->second.counters;
+  Counters& c = slots_[i].counters;
   bool before = verdictOf(c);
   ++c.numLoadsCount;
   if (stalledRobHead) ++c.robBlockCount;
@@ -69,13 +159,11 @@ bool CriticalityPredictorTable::train(std::uint64_t pc, bool stalledRobHead) {
 }
 
 void CriticalityPredictorTable::saveState(serial::ArchiveWriter& ar) const {
-  ar.putU64(fifo_.size());
-  for (std::uint64_t pc : fifo_) {
-    auto it = table_.find(pc);
-    RENUCA_ASSERT(it != table_.end(), "CPT fifo/table out of sync");
-    ar.putU64(pc);
-    ar.putU64(it->second.counters.numLoadsCount);
-    ar.putU64(it->second.counters.robBlockCount);
+  ar.putU64(count_);
+  for (std::uint32_t i = fifoHead_; i != kNil; i = slots_[i].fifoNext) {
+    ar.putU64(slots_[i].pc);
+    ar.putU64(slots_[i].counters.numLoadsCount);
+    ar.putU64(slots_[i].counters.robBlockCount);
   }
 }
 
@@ -85,24 +173,26 @@ bool CriticalityPredictorTable::loadState(serial::ArchiveReader& ar) {
     logMessage(LogLevel::Warn, "serial", "cpt: snapshot entry count exceeds capacity");
     return false;
   }
-  table_.clear();
-  fifo_.clear();
+  resetTable();
   for (std::uint64_t i = 0; i < count && ar.ok(); ++i) {
     std::uint64_t pc = ar.getU64();
-    Entry e;
-    e.counters.numLoadsCount = ar.getU64();
-    e.counters.robBlockCount = ar.getU64();
-    fifo_.push_back(pc);
-    e.fifoIt = std::prev(fifo_.end());
-    table_.emplace(pc, e);
+    std::uint64_t numLoads = ar.getU64();
+    std::uint64_t robBlock = ar.getU64();
+    if (pc == kEmptyPc || findSlot(pc) != kNil) {
+      logMessage(LogLevel::Warn, "serial", "cpt: invalid or duplicate PC in snapshot");
+      return false;
+    }
+    std::uint32_t slot = insertSlot(pc);
+    slots_[slot].counters.numLoadsCount = numLoads;
+    slots_[slot].counters.robBlockCount = robBlock;
   }
   return ar.ok() && ar.remaining() == 0;
 }
 
 CriticalityPredictorTable::Counters CriticalityPredictorTable::countersFor(
     std::uint64_t pc) const {
-  auto it = table_.find(pc);
-  return it == table_.end() ? Counters{} : it->second.counters;
+  std::uint32_t i = findSlot(pc);
+  return i == kNil ? Counters{} : slots_[i].counters;
 }
 
 }  // namespace renuca::core

@@ -17,8 +17,7 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "cpu/core.hpp"
@@ -52,7 +51,7 @@ class CriticalityPredictorTable final : public cpu::CriticalityPredictor,
   };
   Counters countersFor(std::uint64_t pc) const;
 
-  std::size_t size() const { return table_.size(); }
+  std::size_t size() const { return count_; }
   const CptConfig& config() const { return cfg_; }
   const StatSet& stats() const { return stats_; }
 
@@ -62,16 +61,39 @@ class CriticalityPredictorTable final : public cpu::CriticalityPredictor,
   bool loadState(serial::ArchiveReader& ar) override;
 
  private:
-  struct Entry {
+  // Open-addressed storage: predict()/hasEntry()/train() run for every
+  // load the cores issue, so the table is a flat power-of-two slot array
+  // with linear probing (load factor <= 1/2) instead of a node-based map.
+  // Eviction order is an intrusive doubly-linked FIFO threaded through the
+  // slots by index; backward-shift deletion keeps probe chains intact
+  // without tombstones, re-linking the FIFO when a slot relocates.
+  static constexpr std::uint64_t kEmptyPc = ~std::uint64_t{0};
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  struct Slot {
+    std::uint64_t pc = kEmptyPc;
     Counters counters;
-    std::list<std::uint64_t>::iterator fifoIt;
+    std::uint32_t fifoPrev = kNil;
+    std::uint32_t fifoNext = kNil;
   };
 
   bool verdictOf(const Counters& c) const;
+  std::uint32_t homeOf(std::uint64_t pc) const {
+    // Fibonacci mix: workload PCs are dense multiples of 4, which a plain
+    // mask would pile into every fourth slot.
+    return static_cast<std::uint32_t>((pc * 0x9E3779B97F4A7C15ull) >> 33) & mask_;
+  }
+  std::uint32_t findSlot(std::uint64_t pc) const;
+  std::uint32_t insertSlot(std::uint64_t pc);
+  void eraseSlot(std::uint32_t index);
+  void resetTable();
 
   CptConfig cfg_;
-  std::unordered_map<std::uint64_t, Entry> table_;
-  std::list<std::uint64_t> fifo_;  ///< Insertion order for eviction.
+  std::vector<Slot> slots_;
+  std::uint32_t mask_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t fifoHead_ = kNil;  ///< Oldest insertion (next eviction).
+  std::uint32_t fifoTail_ = kNil;  ///< Newest insertion.
   StatSet stats_;
   // Handles into stats_ for the per-lookup counters (hot path).
   std::uint64_t* coldLookups_ = nullptr;

@@ -16,13 +16,15 @@ OooCore::OooCore(const CoreConfig& config, CoreId id, workload::InstructionSourc
   RENUCA_ASSERT(cfg_.robEntries > 0 && cfg_.fetchWidth > 0 && cfg_.commitWidth > 0,
                 "core widths must be non-zero");
   RENUCA_ASSERT(cfg_.robEntries <= kHistory, "ROB larger than the dependence history");
+  robBuf_.resize(cfg_.robEntries);
+  robCap_ = cfg_.robEntries;
 }
 
 OooCore::RobEntry* OooCore::entryFor(std::uint64_t seq) {
   if (seq < headSeq_) return nullptr;  // already committed
-  std::size_t idx = static_cast<std::size_t>(seq - headSeq_);
-  if (idx >= rob_.size()) return nullptr;
-  return &rob_[idx];
+  std::uint64_t idx = seq - headSeq_;
+  if (idx >= robCount_) return nullptr;
+  return &robAt(static_cast<std::uint32_t>(idx));
 }
 
 void OooCore::resolve(std::uint64_t seq, Cycle completeAt) {
@@ -30,34 +32,37 @@ void OooCore::resolve(std::uint64_t seq, Cycle completeAt) {
   // resolved wakes its waiters — ALU waiters resolve immediately (their
   // latency is fixed), memory waiters move to the issue queue.  Iterative
   // so long ALU chains cannot overflow the stack.
-  std::vector<std::pair<std::uint64_t, Cycle>> work;
-  work.emplace_back(seq, completeAt);
-  while (!work.empty()) {
-    auto [s, t] = work.back();
-    work.pop_back();
+  resolveWork_.emplace_back(seq, completeAt);
+  while (!resolveWork_.empty()) {
+    auto [s, t] = resolveWork_.back();
+    resolveWork_.pop_back();
     RobEntry* e = entryFor(s);
     RENUCA_ASSERT(e != nullptr && !e->resolved, "resolve of missing/resolved entry");
     e->resolved = true;
     e->completeAt = t;
     history_[s % kHistory] = t;
-    for (std::uint64_t w : e->waiters) {
+    for (std::uint64_t w = e->firstWaiter; w != kNoSeq;) {
       RobEntry* we = entryFor(w);
       RENUCA_ASSERT(we != nullptr && !we->resolved, "waiter vanished before wakeup");
+      std::uint64_t nextW = we->nextWaiter;
+      we->nextWaiter = kNoSeq;
       Cycle ready = std::max(we->dispatchedAt, t);
       if (we->kind == InstrKind::Alu) {
-        work.emplace_back(w, ready + cfg_.aluLatency);
+        resolveWork_.emplace_back(w, ready + cfg_.aluLatency);
       } else {
         issueQueue_.push(ReadyOp{ready, w});
       }
+      w = nextW;
     }
-    e->waiters.clear();
+    e->firstWaiter = kNoSeq;
+    e->lastWaiter = kNoSeq;
   }
 }
 
 void OooCore::commit(Cycle now) {
   std::uint32_t retired = 0;
-  while (!rob_.empty() && retired < cfg_.commitWidth) {
-    RobEntry& head = rob_.front();
+  while (robCount_ != 0 && retired < cfg_.commitWidth) {
+    RobEntry& head = robBuf_[robHead_];
     if (!head.resolved || head.completeAt > now) break;
 
     if (head.kind == InstrKind::Load) {
@@ -88,15 +93,16 @@ void OooCore::commit(Cycle now) {
 
     ++stats_.committed;
     if (stats_.committed == instrBudget_) stats_.doneCycle = now;
-    rob_.pop_front();
+    if (++robHead_ == robCap_) robHead_ = 0;
+    --robCount_;
     ++headSeq_;
     ++retired;
   }
 
   // Head-stall bookkeeping: if commit is now blocked on an incomplete
   // instruction, remember when the blocking began.
-  if (!rob_.empty()) {
-    RobEntry& head = rob_.front();
+  if (robCount_ != 0) {
+    RobEntry& head = robBuf_[robHead_];
     if (!head.resolved || head.completeAt > now) {
       if (head.headBlockedSince == kNoCycle) head.headBlockedSince = now;
       if (head.kind == InstrKind::Load) ++stats_.robHeadStallCycles;
@@ -162,13 +168,14 @@ void OooCore::issueMemory(Cycle now) {
 
 void OooCore::dispatch(Cycle now) {
   for (std::uint32_t i = 0; i < cfg_.fetchWidth; ++i) {
-    if (rob_.size() >= cfg_.robEntries) return;
+    if (robCount_ >= robCap_) return;
     if (source_->exhausted()) return;
 
     workload::TraceRecord rec = source_->next();
     std::uint64_t seq = nextSeq_++;
-    rob_.push_back(RobEntry{});
-    RobEntry& e = rob_.back();
+    RobEntry& e = robAt(robCount_);
+    ++robCount_;
+    e = RobEntry{};
     e.pc = rec.pc;
     e.vaddr = rec.vaddr;
     e.kind = rec.kind;
@@ -194,7 +201,13 @@ void OooCore::dispatch(Cycle now) {
     }
 
     if (depPending) {
-      entryFor(producer)->waiters.push_back(seq);
+      RobEntry* pe = entryFor(producer);
+      if (pe->firstWaiter == kNoSeq) {
+        pe->firstWaiter = seq;
+      } else {
+        entryFor(pe->lastWaiter)->nextWaiter = seq;
+      }
+      pe->lastWaiter = seq;
       continue;  // resolution happens at producer wakeup
     }
 
@@ -218,15 +231,15 @@ void OooCore::tick(Cycle now) {
 }
 
 Cycle OooCore::nextEventCycle(Cycle now) const {
-  if (!runPastBudget_ && done() && rob_.empty()) return kNoCycle;
+  if (!runPastBudget_ && done() && robCount_ == 0) return kNoCycle;
   // Room to dispatch: the core acts next cycle.
-  if (rob_.size() < cfg_.robEntries && !source_->exhausted() &&
+  if (robCount_ < robCap_ && !source_->exhausted() &&
       (runPastBudget_ || !done())) {
     return now + 1;
   }
   Cycle next = kNoCycle;
-  if (!rob_.empty()) {
-    const RobEntry& head = rob_.front();
+  if (robCount_ != 0) {
+    const RobEntry& head = robBuf_[robHead_];
     if (head.resolved) next = std::min(next, head.completeAt);
   }
   if (!issueQueue_.empty()) next = std::min(next, issueQueue_.top().readyAt);

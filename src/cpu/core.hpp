@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <queue>
 #include <vector>
@@ -134,13 +133,33 @@ class OooCore {
   /// forever (done and ROB empty).
   Cycle nextEventCycle(Cycle now) const;
 
+  /// True when, at the end of a tick at `now`, commit is blocked on an
+  /// incomplete load at the ROB head.  The system's wake-list loop caches
+  /// this: while the core sleeps (every cycle before its next event), the
+  /// head cannot change or complete, so this flag is exactly what the
+  /// per-cycle stall bookkeeping in commit() would have observed — the
+  /// loop multiplies it by the number of skipped loop iterations instead
+  /// of ticking the core just to count them.
+  bool headBlockedLoadAfterTick(Cycle now) const {
+    if (robCount_ == 0) return false;
+    const RobEntry& head = robBuf_[robHead_];
+    return head.kind == InstrKind::Load &&
+           (!head.resolved || head.completeAt > now);
+  }
+
+  /// Credits ROB-head stall cycles for loop iterations this core slept
+  /// through (see headBlockedLoadAfterTick).
+  void addSkippedHeadStallCycles(std::uint64_t n) {
+    stats_.robHeadStallCycles += n;
+  }
+
   const CoreStats& stats() const { return stats_; }
   CoreId id() const { return id_; }
   const CoreConfig& config() const { return cfg_; }
   std::uint64_t instrBudget() const { return instrBudget_; }
 
   /// Instantaneous ROB occupancy (tests).
-  std::size_t robOccupancy() const { return rob_.size(); }
+  std::size_t robOccupancy() const { return robCount_; }
 
   /// Resets statistics (not microarchitectural state); used to discard the
   /// warm-up phase.  The instruction budget counts from this point.
@@ -164,6 +183,8 @@ class OooCore {
   std::uint32_t mshrInFlight(Cycle now) { return mshr_.inFlight(now); }
 
  private:
+  static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
+
   struct RobEntry {
     std::uint64_t pc = 0;
     Addr vaddr = 0;
@@ -174,8 +195,14 @@ class OooCore {
     bool resolved = false;
     bool predictedCritical = false;
     bool predictionValid = false;     ///< CPT had a warm entry at issue.
-    /// Consumers waiting on this instruction's completion time.
-    std::vector<std::uint64_t> waiters;
+    /// Consumers waiting on this instruction's completion time, as an
+    /// intrusive singly-linked list threaded through the ROB (each entry
+    /// waits on at most one producer, so one next link suffices).  Wakeup
+    /// walks first -> next in insertion order, exactly as the former
+    /// per-entry vector did, without a heap allocation per dependence.
+    std::uint64_t firstWaiter = kNoSeq;
+    std::uint64_t lastWaiter = kNoSeq;
+    std::uint64_t nextWaiter = kNoSeq;
   };
 
   RobEntry* entryFor(std::uint64_t seq);
@@ -195,8 +222,21 @@ class OooCore {
   CriticalityPredictor* predictor_;
   std::uint64_t instrBudget_;
 
-  std::deque<RobEntry> rob_;
-  std::uint64_t headSeq_ = 0;  ///< Sequence number of rob_.front().
+  /// The ROB as a fixed ring buffer of cfg_.robEntries slots: entryFor()
+  /// runs several times per instruction, and a flat array with wrap-around
+  /// indexing beats std::deque's block-map arithmetic there.  robHead_ is
+  /// the slot of the oldest in-flight entry; slots are reinitialized on
+  /// dispatch, never deallocated.
+  RobEntry& robAt(std::uint32_t offset) {
+    std::uint32_t pos = robHead_ + offset;
+    if (pos >= robCap_) pos -= robCap_;
+    return robBuf_[pos];
+  }
+  std::vector<RobEntry> robBuf_;
+  std::uint32_t robCap_ = 0;
+  std::uint32_t robHead_ = 0;
+  std::uint32_t robCount_ = 0;
+  std::uint64_t headSeq_ = 0;  ///< Sequence number of the oldest ROB entry.
   std::uint64_t nextSeq_ = 0;
 
   mem::MshrFile mshr_;
@@ -214,6 +254,11 @@ class OooCore {
   /// sequence number, for dependences that reach behind the ROB head.
   static constexpr std::size_t kHistory = 512;
   std::vector<Cycle> history_;
+
+  /// Scratch worklist for resolve(); a member so the buffer's capacity is
+  /// reused across calls (resolve runs once per memory op and drains the
+  /// list before returning).
+  std::vector<std::pair<std::uint64_t, Cycle>> resolveWork_;
 
   CoreStats stats_;
   bool runPastBudget_ = false;

@@ -11,44 +11,60 @@ CacheBank::CacheBank(const CacheConfig& config, std::string name, std::uint64_t 
     : cfg_(config), name_(std::move(name)), numSets_(config.numSets()),
       rng_(seed ^ 0xcac4ebacull, 0xbadc0ffeull), stats_(name_) {
   RENUCA_ASSERT(cfg_.ways > 0 && numSets_ > 0, "cache " + name_ + " has zero geometry");
+  if (isPow2(numSets_)) setMask_ = numSets_ - 1;
   RENUCA_ASSERT(cfg_.sizeBytes % (static_cast<std::uint64_t>(cfg_.lineBytes) * cfg_.ways) == 0,
                 "cache " + name_ + " size not divisible by line*ways");
-  frames_.resize(static_cast<std::size_t>(numSets_) * cfg_.ways);
+  const std::size_t frames = static_cast<std::size_t>(numSets_) * cfg_.ways;
+  tags_.assign(frames, kInvalidTag);
+  flags_.assign(frames, 0);
+  lastUse_.assign(frames, 0);
   if (cfg_.replacement == ReplacementKind::TreePlru) {
     RENUCA_ASSERT(isPow2(cfg_.ways), "tree-PLRU requires power-of-two ways");
     plruBits_.assign(numSets_, 0);
   }
   if (cfg_.trackFrameWrites) {
-    frameWrites_.assign(frames_.size(), 0);
+    frameWrites_.assign(frames, 0);
   }
   RENUCA_ASSERT(cfg_.equalChanceEvery == 0 || cfg_.trackFrameWrites,
                 "EqualChance needs frame write counters");
+}
 
-  hot_.readHits = stats_.counter("read_hits");
-  hot_.readMisses = stats_.counter("read_misses");
-  hot_.writeHits = stats_.counter("write_hits");
-  hot_.writeMisses = stats_.counter("write_misses");
-  hot_.fills = stats_.counter("fills");
-  hot_.evictions = stats_.counter("evictions");
-  hot_.dirtyEvictions = stats_.counter("dirty_evictions");
-  hot_.invalidations = stats_.counter("invalidations");
-  hot_.writebackHits = stats_.counter("writeback_hits");
+void CacheBank::flushHotStats() const {
+  auto move = [this](std::uint64_t& pending, const char* key) {
+    if (pending != 0) {
+      stats_.inc(key, pending);
+      pending = 0;
+    }
+  };
+  move(hot_.readHits, "read_hits");
+  move(hot_.readMisses, "read_misses");
+  move(hot_.writeHits, "write_hits");
+  move(hot_.writeMisses, "write_misses");
+  move(hot_.fills, "fills");
+  move(hot_.evictions, "evictions");
+  move(hot_.dirtyEvictions, "dirty_evictions");
+  move(hot_.invalidations, "invalidations");
+  move(hot_.writebackHits, "writeback_hits");
+  move(hot_.equalChanceRedirects, "equalchance_redirects");
+  move(hot_.frameDeaths, "frame_deaths");
 }
 
 std::optional<std::uint32_t> CacheBank::findWay(std::uint32_t set, BlockAddr block) const {
-  const Frame* base = &frames_[frameIndex(set, 0)];
+  // Invalid frames hold kInvalidTag, so tag equality alone decides: the scan
+  // touches only the dense tag array.
+  const BlockAddr* base = &tags_[frameIndex(set, 0)];
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    if (base[w].valid && base[w].tag == block) return w;
+    if (base[w] == block) return w;
   }
   return std::nullopt;
 }
 
 bool CacheBank::contains(BlockAddr block) const {
-  return findWay(setOf(block), block).has_value();
+  return block == memoBlock_ || findWay(setOf(block), block).has_value();
 }
 
 void CacheBank::touch(std::uint32_t set, std::uint32_t way) {
-  frames_[frameIndex(set, way)].lastUse = ++useTick_;
+  lastUse_[frameIndex(set, way)] = ++useTick_;
   if (cfg_.replacement == ReplacementKind::TreePlru) {
     // Walk root->leaf, pointing each node away from the touched way.
     std::uint32_t bitsv = plruBits_[set];
@@ -73,14 +89,14 @@ void CacheBank::touch(std::uint32_t set, std::uint32_t way) {
 }
 
 std::uint32_t CacheBank::liveLruWay(std::uint32_t set) const {
-  const Frame* base = &frames_[frameIndex(set, 0)];
+  const std::uint64_t* use = &lastUse_[frameIndex(set, 0)];
   const std::uint8_t* dead = &frameDead_[frameIndex(set, 0)];
   std::uint32_t victim = cfg_.ways;
   std::uint64_t best = 0;
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
     if (dead[w]) continue;
-    if (victim == cfg_.ways || base[w].lastUse < best) {
-      best = base[w].lastUse;
+    if (victim == cfg_.ways || use[w] < best) {
+      best = use[w];
       victim = w;
     }
   }
@@ -89,11 +105,11 @@ std::uint32_t CacheBank::liveLruWay(std::uint32_t set) const {
 }
 
 std::uint32_t CacheBank::victimWay(std::uint32_t set) {
-  const Frame* base = &frames_[frameIndex(set, 0)];
-  const std::uint8_t* dead = frameDead_.empty() ? nullptr : &frameDead_[frameIndex(set, 0)];
+  const std::uint32_t base = frameIndex(set, 0);
+  const std::uint8_t* dead = frameDead_.empty() ? nullptr : &frameDead_[base];
   // Invalid frames first, for every policy.
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    if (!base[w].valid && !(dead && dead[w])) return w;
+    if (!(flags_[base + w] & kFlagValid) && !(dead && dead[w])) return w;
   }
   if (dead) {
     // Degraded set: tree-PLRU/random pointers may land on a dead way, so
@@ -105,11 +121,12 @@ std::uint32_t CacheBank::victimWay(std::uint32_t set) {
   }
   switch (cfg_.replacement) {
     case ReplacementKind::Lru: {
+      const std::uint64_t* use = &lastUse_[base];
       std::uint32_t victim = 0;
-      std::uint64_t best = base[0].lastUse;
+      std::uint64_t best = use[0];
       for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
-        if (base[w].lastUse < best) {
-          best = base[w].lastUse;
+        if (use[w] < best) {
+          best = use[w];
           victim = w;
         }
       }
@@ -140,30 +157,39 @@ std::uint32_t CacheBank::victimWay(std::uint32_t set) {
 }
 
 bool CacheBank::access(BlockAddr block, AccessType type) {
-  std::uint32_t set = setOf(block);
-  auto way = findWay(set, block);
-  if (!way) {
-    ++*(type == AccessType::Read ? hot_.readMisses : hot_.writeMisses);
-    return false;
+  if (block != memoBlock_) {
+    std::uint32_t set = setOf(block);
+    auto way = findWay(set, block);
+    if (!way) {
+      ++(type == AccessType::Read ? hot_.readMisses : hot_.writeMisses);
+      return false;
+    }
+    memoBlock_ = block;
+    memoSet_ = set;
+    memoWay_ = *way;
   }
-  ++*(type == AccessType::Read ? hot_.readHits : hot_.writeHits);
-  Frame& f = frames_[frameIndex(set, *way)];
+  // Copy before recordFrameWrite: a wear-out death in there resets the
+  // memo, but this access still completes against the frame it hit.
+  const std::uint32_t set = memoSet_;
+  const std::uint32_t way = memoWay_;
+  ++(type == AccessType::Read ? hot_.readHits : hot_.writeHits);
   if (type == AccessType::Write) {
-    f.dirty = true;
-    recordFrameWrite(set, *way);
+    flags_[frameIndex(set, way)] |= kFlagDirty;
+    recordFrameWrite(set, way);
   }
-  touch(set, *way);
+  touch(set, way);
   return true;
 }
 
 bool CacheBank::lineCritical(BlockAddr block) const {
   std::uint32_t set = setOf(block);
   auto way = findWay(set, block);
-  return way.has_value() && frames_[frameIndex(set, *way)].critical;
+  return way.has_value() && (flags_[frameIndex(set, *way)] & kFlagCritical) != 0;
 }
 
 Eviction CacheBank::insert(BlockAddr block, bool dirty, bool critical) {
   std::uint32_t set = setOf(block);
+  RENUCA_ASSERT(block != kInvalidTag, "insert of sentinel block address in " + name_);
   RENUCA_ASSERT(!findWay(set, block).has_value(),
                 "insert of already-resident block in " + name_);
   std::uint32_t way;
@@ -180,28 +206,32 @@ Eviction CacheBank::insert(BlockAddr block, bool dirty, bool critical) {
       }
     }
     RENUCA_ASSERT(way < cfg_.ways, "insert into fully dead set of " + name_);
-    stats_.inc("equalchance_redirects");
+    ++hot_.equalChanceRedirects;
   } else {
     way = victimWay(set);
   }
   RENUCA_ASSERT(!frameDead(set, way), "victim selection chose a dead frame in " + name_);
-  Frame& f = frames_[frameIndex(set, way)];
+  const std::uint32_t idx = frameIndex(set, way);
 
   Eviction ev;
-  if (f.valid) {
+  if (flags_[idx] & kFlagValid) {
     ev.valid = true;
-    ev.block = f.tag;
-    ev.dirty = f.dirty;
-    ++*hot_.evictions;
-    if (f.dirty) ++*hot_.dirtyEvictions;
+    ev.block = tags_[idx];
+    ev.dirty = (flags_[idx] & kFlagDirty) != 0;
+    ++hot_.evictions;
+    if (ev.dirty) ++hot_.dirtyEvictions;
   }
-  f.tag = block;
-  f.valid = true;
-  f.dirty = dirty;
-  f.critical = critical;
+  tags_[idx] = block;
+  flags_[idx] = static_cast<std::uint8_t>(kFlagValid | (dirty ? kFlagDirty : 0) |
+                                          (critical ? kFlagCritical : 0));
+  // Repoint the memo: the victim's mapping (possibly memoized) is gone and
+  // the filled line is the likeliest next access.
+  memoBlock_ = block;
+  memoSet_ = set;
+  memoWay_ = way;
   recordFrameWrite(set, way);
   touch(set, way);
-  ++*hot_.fills;
+  ++hot_.fills;
   return ev;
 }
 
@@ -209,12 +239,12 @@ std::optional<bool> CacheBank::invalidate(BlockAddr block) {
   std::uint32_t set = setOf(block);
   auto way = findWay(set, block);
   if (!way) return std::nullopt;
-  Frame& f = frames_[frameIndex(set, *way)];
-  bool dirty = f.dirty;
-  f.valid = false;
-  f.dirty = false;
-  f.critical = false;
-  ++*hot_.invalidations;
+  const std::uint32_t idx = frameIndex(set, *way);
+  bool dirty = (flags_[idx] & kFlagDirty) != 0;
+  tags_[idx] = kInvalidTag;
+  flags_[idx] = 0;
+  if (block == memoBlock_) memoBlock_ = kInvalidTag;
+  ++hot_.invalidations;
   return dirty;
 }
 
@@ -222,10 +252,9 @@ bool CacheBank::writebackHit(BlockAddr block) {
   std::uint32_t set = setOf(block);
   auto way = findWay(set, block);
   if (!way) return false;
-  Frame& f = frames_[frameIndex(set, *way)];
-  f.dirty = true;
+  flags_[frameIndex(set, *way)] |= kFlagDirty;
   recordFrameWrite(set, *way);
-  ++*hot_.writebackHits;
+  ++hot_.writebackHits;
   return true;
 }
 
@@ -248,33 +277,32 @@ void CacheBank::recordFrameWrite(std::uint32_t set, std::uint32_t way) {
 
 void CacheBank::setFaultModel(const rram::BankFaultModel* model) {
   RENUCA_ASSERT(cfg_.trackFrameWrites, "fault model needs frame write counters");
-  RENUCA_ASSERT(model == nullptr || (model->numFrames() == frames_.size() &&
+  RENUCA_ASSERT(model == nullptr || (model->numFrames() == tags_.size() &&
                                      model->ways() == cfg_.ways),
                 "fault model geometry mismatch for " + name_);
   fault_ = model;
   if (model != nullptr && frameDead_.empty()) {
-    frameDead_.assign(frames_.size(), 0);
+    frameDead_.assign(tags_.size(), 0);
   }
 }
 
 CacheBank::FrameDeath CacheBank::retireFrame(std::uint32_t set, std::uint32_t way) {
-  if (frameDead_.empty()) frameDead_.assign(frames_.size(), 0);
+  if (frameDead_.empty()) frameDead_.assign(tags_.size(), 0);
   std::uint32_t idx = frameIndex(set, way);
   RENUCA_ASSERT(!frameDead_[idx], "retiring an already-dead frame in " + name_);
-  Frame& f = frames_[idx];
   FrameDeath death;
   death.set = set;
   death.way = way;
-  death.hadLine = f.valid;
-  death.block = f.tag;
-  death.dirty = f.dirty;
+  death.hadLine = (flags_[idx] & kFlagValid) != 0;
+  death.block = tags_[idx];
+  death.dirty = (flags_[idx] & kFlagDirty) != 0;
   death.writes = cfg_.trackFrameWrites ? frameWrites_[idx] : 0;
-  f.valid = false;
-  f.dirty = false;
-  f.critical = false;
+  tags_[idx] = kInvalidTag;
+  flags_[idx] = 0;
   frameDead_[idx] = 1;
+  if (memoBlock_ == death.block) memoBlock_ = kInvalidTag;
   ++deadFrames_;
-  stats_.inc("frame_deaths");
+  ++hot_.frameDeaths;
   return death;
 }
 
@@ -293,7 +321,7 @@ std::vector<CacheBank::FrameDeath> CacheBank::harvestFrameDeaths() {
 }
 
 double CacheBank::liveFrameFrac() const {
-  return 1.0 - static_cast<double>(deadFrames_) / static_cast<double>(frames_.size());
+  return 1.0 - static_cast<double>(deadFrames_) / static_cast<double>(tags_.size());
 }
 
 std::uint32_t CacheBank::liveWaysFor(BlockAddr block) const {
@@ -311,14 +339,15 @@ std::uint64_t CacheBank::maxFrameWrites() const {
 
 std::uint64_t CacheBank::validLines() const {
   std::uint64_t n = 0;
-  for (const Frame& f : frames_) n += f.valid ? 1 : 0;
+  for (std::uint8_t f : flags_) n += f & kFlagValid;
   return n;
 }
 
 void CacheBank::resetMeasurement() {
   std::fill(frameWrites_.begin(), frameWrites_.end(), 0ull);
   totalWrites_ = 0;
-  stats_.zero();  // keep keys: hot_ handles stay valid
+  hot_ = HotCounters{};  // discard the warm-up window's pending deltas too
+  stats_.zero();
   // Natural wear-out arms with the measurement window: budgets compare
   // against the zeroed counters, so every policy faces the same write
   // volume regardless of how many warm-up phases it needed.
@@ -326,11 +355,9 @@ void CacheBank::resetMeasurement() {
 }
 
 void CacheBank::flushAll() {
-  for (Frame& f : frames_) {
-    f.valid = false;
-    f.dirty = false;
-    f.critical = false;
-  }
+  memoBlock_ = kInvalidTag;
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
   if (!plruBits_.empty()) std::fill(plruBits_.begin(), plruBits_.end(), 0u);
 }
 
@@ -343,12 +370,12 @@ void CacheBank::saveState(serial::ArchiveWriter& ar) const {
   ar.putU32(deadFrames_);
   ar.putBool(!frameWrites_.empty());
   for (std::uint64_t w : frameWrites_) ar.putU64(w);
-  for (const Frame& f : frames_) {
-    ar.putU64(f.tag);
-    std::uint8_t flags = (f.valid ? 1u : 0u) | (f.dirty ? 2u : 0u) |
-                         (f.critical ? 4u : 0u);
-    ar.putU8(flags);
-    ar.putU64(f.lastUse);
+  // Interleaved per-frame records, the layout every existing .ckpt uses.
+  // The in-memory flag byte already matches the serialized bit assignment.
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    ar.putU64(tags_[i]);
+    ar.putU8(flags_[i]);
+    ar.putU64(lastUse_[i]);
   }
   ar.putU32(static_cast<std::uint32_t>(plruBits_.size()));
   for (std::uint32_t b : plruBits_) ar.putU32(b);
@@ -363,18 +390,21 @@ void CacheBank::saveState(serial::ArchiveWriter& ar) const {
 
 bool CacheBank::loadState(serial::ArchiveReader& ar) {
   if (ar.getU32() != numSets_ || ar.getU32() != cfg_.ways) return false;
+  memoBlock_ = kInvalidTag;
   totalWrites_ = ar.getU64();
   deadFrames_ = ar.getU32();
   bool hasWrites = ar.getBool();
   if (hasWrites != !frameWrites_.empty()) return false;
   for (std::uint64_t& w : frameWrites_) w = ar.getU64();
-  for (Frame& f : frames_) {
-    f.tag = ar.getU64();
-    std::uint8_t flags = ar.getU8();
-    f.valid = (flags & 1u) != 0;
-    f.dirty = (flags & 2u) != 0;
-    f.critical = (flags & 4u) != 0;
-    f.lastUse = ar.getU64();
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    BlockAddr tag = ar.getU64();
+    std::uint8_t flags = ar.getU8() & (kFlagValid | kFlagDirty | kFlagCritical);
+    // Pre-SoA checkpoints saved whatever stale tag an invalid frame last
+    // held; normalize to the sentinel so the valid-check-free way scan
+    // cannot false-hit on it.  Re-saving then round-trips exactly.
+    tags_[i] = (flags & kFlagValid) ? tag : kInvalidTag;
+    flags_[i] = flags;
+    lastUse_[i] = ar.getU64();
   }
   std::uint32_t plruCount = ar.getU32();
   if (plruCount != plruBits_.size()) return false;
@@ -383,7 +413,7 @@ bool CacheBank::loadState(serial::ArchiveReader& ar) {
     // A saved dead-frame map restores even if this bank has none allocated
     // yet (fault model attached but no deaths at snapshot time is the
     // common case — the map exists but is all-zero).
-    if (frameDead_.empty()) frameDead_.assign(frames_.size(), 0);
+    if (frameDead_.empty()) frameDead_.assign(tags_.size(), 0);
     for (std::uint8_t& d : frameDead_) d = ar.getU8();
   } else if (!frameDead_.empty()) {
     std::fill(frameDead_.begin(), frameDead_.end(), std::uint8_t{0});

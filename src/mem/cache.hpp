@@ -116,8 +116,17 @@ class CacheBank : public serial::Checkpointable {
 
   const CacheConfig& config() const { return cfg_; }
   const std::string& name() const { return name_; }
-  const StatSet& stats() const { return stats_; }
-  StatSet& stats() { return stats_; }
+  // Reading the stats first syncs the batched hot-path counters into the
+  // string-keyed set, so callers always see up-to-date values (and zero()
+  // through the non-const accessor discards a consistent window).
+  const StatSet& stats() const {
+    flushHotStats();
+    return stats_;
+  }
+  StatSet& stats() {
+    flushHotStats();
+    return stats_;
+  }
 
   /// Per-frame write counts (numFrames entries); only meaningful when
   /// trackFrameWrites is set.
@@ -131,8 +140,8 @@ class CacheBank : public serial::Checkpointable {
   /// Invokes `fn(block, dirty)` for every valid line (inclusion checks).
   template <typename Fn>
   void forEachValidLine(Fn&& fn) const {
-    for (const Frame& f : frames_) {
-      if (f.valid) fn(f.tag, f.dirty);
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+      if (flags_[i] & kFlagValid) fn(tags_[i], (flags_[i] & kFlagDirty) != 0);
     }
   }
 
@@ -201,13 +210,24 @@ class CacheBank : public serial::Checkpointable {
 
  private:
   std::uint32_t setOf(BlockAddr block) const {
-    return static_cast<std::uint32_t>((block >> cfg_.setIndexShift) % numSets_);
+    // numSets is a power of two for every real geometry; the mask saves an
+    // integer division on the hottest path in the simulator.
+    const BlockAddr idx = block >> cfg_.setIndexShift;
+    return static_cast<std::uint32_t>(setMask_ != 0 || numSets_ == 1 ? idx & setMask_
+                                                                     : idx % numSets_);
   }
   std::uint32_t frameIndex(std::uint32_t set, std::uint32_t way) const {
     return set * cfg_.ways + way;
   }
   /// Way of `block` within its set, or nullopt.
   std::optional<std::uint32_t> findWay(std::uint32_t set, BlockAddr block) const;
+  /// One-entry residency memo: memoBlock_ != kInvalidTag implies
+  /// tags_[frameIndex(memoSet_, memoWay_)] == memoBlock_, so back-to-back
+  /// accesses to one line (word-granular striding streams) skip the way
+  /// scan.  Purely a location cache — recency, dirty bits, and counters
+  /// are still updated per call, so behavior is identical.  Every tag
+  /// mutation repoints or drops it: insert() repoints to the filled line,
+  /// invalidate()/retireFrame()/flushAll()/loadState() reset it.
   std::uint32_t victimWay(std::uint32_t set);
   /// LRU victim among the set's live ways (degraded-set fallback).
   std::uint32_t liveLruWay(std::uint32_t set) const;
@@ -219,31 +239,45 @@ class CacheBank : public serial::Checkpointable {
   CacheConfig cfg_;
   std::string name_;
   std::uint32_t numSets_;
+  /// numSets_ - 1 when numSets_ is a power of two, else 0 (modulo fallback).
+  std::uint32_t setMask_ = 0;
 
-  /// StatSet handles resolved once at construction so the access path never
-  /// pays a string-keyed map lookup (see StatSet::counter).
-  struct HotStats {
-    std::uint64_t* readHits = nullptr;
-    std::uint64_t* readMisses = nullptr;
-    std::uint64_t* writeHits = nullptr;
-    std::uint64_t* writeMisses = nullptr;
-    std::uint64_t* fills = nullptr;
-    std::uint64_t* evictions = nullptr;
-    std::uint64_t* dirtyEvictions = nullptr;
-    std::uint64_t* invalidations = nullptr;
-    std::uint64_t* writebackHits = nullptr;
+  /// Hot-path counters batched in one contiguous in-object block: the
+  /// access path pays a plain member increment on memory the bank already
+  /// has in cache, instead of chasing a std::map node per event.  The
+  /// string-keyed StatSet is synced lazily — stats() flushes the pending
+  /// deltas — so map writes happen at reporting boundaries, never per
+  /// access.  Mutable because flushing is a const-observable no-op.
+  struct HotCounters {
+    std::uint64_t readHits = 0, readMisses = 0;
+    std::uint64_t writeHits = 0, writeMisses = 0;
+    std::uint64_t fills = 0, evictions = 0, dirtyEvictions = 0;
+    std::uint64_t invalidations = 0, writebackHits = 0;
+    std::uint64_t equalChanceRedirects = 0, frameDeaths = 0;
   };
-  HotStats hot_;
+  /// Moves every pending HotCounters delta into stats_ and zeros them.
+  void flushHotStats() const;
+  mutable HotCounters hot_;
 
-  struct Frame {
-    BlockAddr tag = 0;
-    bool valid = false;
-    bool dirty = false;
-    /// Criticality verdict at fill time (LLC banks; see insert()).
-    bool critical = false;
-    std::uint64_t lastUse = 0;  // LRU timestamp
-  };
-  std::vector<Frame> frames_;            // numSets * ways
+  // Frame metadata in struct-of-arrays layout: the way-scan on every lookup
+  // walks the dense tags_ array (8 bytes per way) instead of striding
+  // through an array-of-structs.  Invalid frames hold kInvalidTag, a value
+  // no real block can take (block addresses are byte addresses >> 6, so the
+  // top bits are always clear), which lets findWay skip the valid check
+  // entirely.  The flag byte uses the same bit layout the Archive format
+  // has always serialized (valid=1, dirty=2, critical=4), so saveState
+  // emits flags_[i] verbatim and old .ckpt files keep restoring.
+  static constexpr BlockAddr kInvalidTag = ~BlockAddr{0};
+  static constexpr std::uint8_t kFlagValid = 1;
+  static constexpr std::uint8_t kFlagDirty = 2;
+  static constexpr std::uint8_t kFlagCritical = 4;
+  std::vector<BlockAddr> tags_;          // numSets * ways
+  std::vector<std::uint8_t> flags_;      // numSets * ways, kFlag* bits
+  std::vector<std::uint64_t> lastUse_;   // numSets * ways, LRU timestamps
+  /// Residency memo (see findWay); mutable so const probes can refresh it.
+  mutable BlockAddr memoBlock_ = kInvalidTag;
+  mutable std::uint32_t memoSet_ = 0;
+  mutable std::uint32_t memoWay_ = 0;
   std::vector<std::uint32_t> plruBits_;  // numSets entries, tree bits packed
   std::vector<std::uint64_t> frameWrites_;
   /// Dead-frame map (sized with the fault model; empty = no faults ever).
@@ -257,7 +291,7 @@ class CacheBank : public serial::Checkpointable {
   std::uint64_t fillTick_ = 0;
   BusyCalendar busy_;
   Pcg32 rng_;
-  StatSet stats_;
+  mutable StatSet stats_;
 };
 
 }  // namespace renuca::mem

@@ -76,6 +76,7 @@ void SystemConfig::applyOverrides(const KvConfig& kv) {
     traceSampleEvery = static_cast<std::uint32_t>(std::max<std::int64_t>(1, *v));
   }
   profileEnabled = kv.getOr("profile", profileEnabled);
+  bruteForceTick = kv.getOr("brute_force_tick", bruteForceTick);
   if (auto p = kv.getString("log_level")) {
     if (auto lvl = logLevelFromString(*p)) {
       setLogLevel(*lvl);
@@ -127,6 +128,7 @@ const KeyRegistry& configKeyRegistry() {
         .stringKey("snapshot_dir")
         .intKey("trace_sample", 1, 1 << 30)
         .boolKey("profile")
+        .boolKey("brute_force_tick")
         .stringKey("log_level")
         .boolKey("fault_enabled")
         .intKey("fault_seed", 0, std::numeric_limits<std::int64_t>::max())

@@ -73,6 +73,13 @@ struct SystemConfig {
   std::uint64_t seed = 1;
   std::uint64_t maxCycles = 400'000'000;
 
+  /// Run the timed loop with the reference tick-every-core-every-cycle
+  /// implementation instead of the event-calendar wake list.  The two are
+  /// result-identical (test_system_equivalence); the reference loop exists
+  /// as the oracle for that proof and as a bisection aid, not for normal
+  /// use.  Overridable as brute_force_tick=1.
+  bool bruteForceTick = false;
+
   /// Next-line prefetch into the L2 on L2 demand misses (degree = how many
   /// sequential lines).  Off by default — the paper's Table I lists no
   /// prefetcher — but implemented because streaming SPEC workloads are

@@ -55,39 +55,42 @@ MemorySystem::MemorySystem(const SystemConfig& config)
     directory_ = std::make_unique<coherence::DirectoryMesi>(cfg_.numCores);
   }
 
-  hot_.llcWritebacks = stats_.counter("llc_writebacks");
-  hot_.llcWritesCritical = stats_.counter("llc_writes_critical");
-  hot_.llcWritesNonCritical = stats_.counter("llc_writes_noncritical");
-  hot_.llcWbAllocates = stats_.counter("llc_wb_allocates");
-  hot_.llcEvictions = stats_.counter("llc_evictions");
-  hot_.llcBackInvalidations = stats_.counter("llc_back_invalidations");
-  hot_.dramWritebacks = stats_.counter("dram_writebacks");
-  hot_.llcFills = stats_.counter("llc_fills");
-  hot_.llcFillsNonCritical = stats_.counter("llc_fills_noncritical");
-  hot_.naiveDirectoryLookups = stats_.counter("naive_directory_lookups");
-  hot_.warmMigrations = stats_.counter("warm_migrations");
-  hot_.l2Prefetches = stats_.counter("l2_prefetches");
-  hot_.l2PrefetchLlcMisses = stats_.counter("l2_prefetch_llc_misses");
-  hot_.l1WbOrphans = stats_.counter("l1_wb_orphans");
-  hot_.coherenceInvalidations = stats_.counter("coherence_invalidations");
-  hot_.llcMissLatencySum = stats_.counter("llc_miss_latency_sum");
-  hot_.llcMissLatencyCount = stats_.counter("llc_miss_latency_count");
-  hot_.llcMissPreBankSum = stats_.counter("llc_miss_pre_bank_sum");
-  hot_.dbgTlbSum = stats_.counter("dbg_tlb_sum");
-  hot_.dbgL1qSum = stats_.counter("dbg_l1q_sum");
-  hot_.dbgL2qSum = stats_.counter("dbg_l2q_sum");
-  hot_.dbgBankqSum = stats_.counter("dbg_bankq_sum");
-  hot_.llcMissDramSum = stats_.counter("llc_miss_dram_sum");
-  hot_.llcMissPostDramSum = stats_.counter("llc_miss_post_dram_sum");
+}
+
+void MemorySystem::flushHotStats() const {
+  *stats_.counter("llc_writebacks") = hot_.llcWritebacks;
+  *stats_.counter("llc_writes_critical") = hot_.llcWritesCritical;
+  *stats_.counter("llc_writes_noncritical") = hot_.llcWritesNonCritical;
+  *stats_.counter("llc_wb_allocates") = hot_.llcWbAllocates;
+  *stats_.counter("llc_evictions") = hot_.llcEvictions;
+  *stats_.counter("llc_back_invalidations") = hot_.llcBackInvalidations;
+  *stats_.counter("dram_writebacks") = hot_.dramWritebacks;
+  *stats_.counter("llc_fills") = hot_.llcFills;
+  *stats_.counter("llc_fills_noncritical") = hot_.llcFillsNonCritical;
+  *stats_.counter("naive_directory_lookups") = hot_.naiveDirectoryLookups;
+  *stats_.counter("warm_migrations") = hot_.warmMigrations;
+  *stats_.counter("l2_prefetches") = hot_.l2Prefetches;
+  *stats_.counter("l2_prefetch_llc_misses") = hot_.l2PrefetchLlcMisses;
+  *stats_.counter("l1_wb_orphans") = hot_.l1WbOrphans;
+  *stats_.counter("coherence_invalidations") = hot_.coherenceInvalidations;
+  *stats_.counter("llc_miss_latency_sum") = hot_.llcMissLatencySum;
+  *stats_.counter("llc_miss_latency_count") = hot_.llcMissLatencyCount;
+  *stats_.counter("llc_miss_pre_bank_sum") = hot_.llcMissPreBankSum;
+  *stats_.counter("dbg_tlb_sum") = hot_.dbgTlbSum;
+  *stats_.counter("dbg_l1q_sum") = hot_.dbgL1qSum;
+  *stats_.counter("dbg_l2q_sum") = hot_.dbgL2qSum;
+  *stats_.counter("dbg_bankq_sum") = hot_.dbgBankqSum;
+  *stats_.counter("llc_miss_dram_sum") = hot_.llcMissDramSum;
+  *stats_.counter("llc_miss_post_dram_sum") = hot_.llcMissPostDramSum;
 }
 
 void MemorySystem::registerMetrics(telemetry::MetricsRegistry& reg) {
-  reg.expose("memsys.llc_fills", hot_.llcFills);
-  reg.expose("memsys.llc_writebacks", hot_.llcWritebacks);
-  reg.expose("memsys.llc_evictions", hot_.llcEvictions);
-  reg.expose("memsys.llc_writes_critical", hot_.llcWritesCritical);
-  reg.expose("memsys.llc_writes_noncritical", hot_.llcWritesNonCritical);
-  reg.expose("memsys.dram_writebacks", hot_.dramWritebacks);
+  reg.expose("memsys.llc_fills", &hot_.llcFills);
+  reg.expose("memsys.llc_writebacks", &hot_.llcWritebacks);
+  reg.expose("memsys.llc_evictions", &hot_.llcEvictions);
+  reg.expose("memsys.llc_writes_critical", &hot_.llcWritesCritical);
+  reg.expose("memsys.llc_writes_noncritical", &hot_.llcWritesNonCritical);
+  reg.expose("memsys.dram_writebacks", &hot_.dramWritebacks);
   for (BankId b = 0; b < numBanks(); ++b) {
     const mem::CacheBank* bank = llc_[b].get();
     reg.gauge("l3.b" + std::to_string(b) + ".writes",
@@ -168,7 +171,7 @@ std::uint32_t MemorySystem::memNode(std::uint32_t channel) const {
 void MemorySystem::writebackL1VictimToL2(CoreId core, BlockAddr block, Cycle now) {
   if (l2_[core]->access(block, AccessType::Write)) return;
   // Inclusion means this should not happen; repair by allocating.
-  ++*hot_.l1WbOrphans;
+  ++hot_.l1WbOrphans;
   mem::Eviction ev = l2_[core]->insert(block, /*dirty=*/true);
   evictFromL2(core, ev, now);
 }
@@ -188,7 +191,7 @@ void MemorySystem::evictFromL2(CoreId core, const mem::Eviction& ev, Cycle now) 
 void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
   telemetry::ScopedProf sp(secLlc_);
   ++coreCounters_[owner].llcWritebacks;
-  ++*hot_.llcWritebacks;
+  ++hot_.llcWritebacks;
 
   bool bit = policy_->needsMbv() ? mbvBitPhys(block) : false;
   BankId bank = policy_->locate(block, owner, bit);
@@ -198,7 +201,7 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
   // Criticality attribution for Fig 9: the block's verdict was fixed at
   // fill time and lives in the line's frame metadata.
   bool critical = llc_[bank]->lineCritical(block);
-  ++*(critical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
+  ++(critical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
 
   if (traceThisWalk_ && tracer_) {
     tracer_->instant("llc_writeback", "llc", kTracePidLlc, bank, arrive,
@@ -216,11 +219,11 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
     Cycle memArrive = nocTraverse(bank, memNode(ch), arrive, mesh_.config().dataFlits);
     dramAccess(paddr, AccessType::Write, memArrive);
-    ++*hot_.dramWritebacks;
+    ++hot_.dramWritebacks;
   } else {
     // Non-inclusive LLC: the victim was dropped from the LLC while the L2
     // still held it; the write-back (re-)allocates (writeback-allocate).
-    ++*hot_.llcWbAllocates;
+    ++hot_.llcWbAllocates;
     mem::Eviction ev = llc_[bank]->insert(block, /*dirty=*/true);
     policy_->onFill(block, bank);
     evictFromLlc(bank, ev, arrive);
@@ -291,7 +294,7 @@ double MemorySystem::llcLiveFrameFrac() const {
 
 void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now) {
   if (!ev.valid) return;
-  ++*hot_.llcEvictions;
+  ++hot_.llcEvictions;
   BlockAddr block = ev.block;
   CoreId owner = ownerOf(block);
 
@@ -303,7 +306,7 @@ void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now)
     auto l2Dirty = l2_[owner]->invalidate(block);
     if (directory_) directory_->evict(owner, block);
     dirty = dirty || l1Dirty.value_or(false) || l2Dirty.value_or(false);
-    if (l1Dirty.has_value() || l2Dirty.has_value()) ++*hot_.llcBackInvalidations;
+    if (l1Dirty.has_value() || l2Dirty.has_value()) ++hot_.llcBackInvalidations;
   }
 
   if (traceThisWalk_ && tracer_) {
@@ -327,7 +330,7 @@ void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now)
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
     Cycle arrive = nocTraverse(bank, memNode(ch), now, mesh_.config().dataFlits);
     dramAccess(paddr, AccessType::Write, arrive);
-    ++*hot_.dramWritebacks;
+    ++hot_.dramWritebacks;
   }
 }
 
@@ -336,7 +339,7 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
   tlb::Translation tr = tlbs_[core]->translate(vaddr);
   BlockAddr block = lineOf(tr.paddr);
   if (l2_[core]->contains(block) || l1_[core]->contains(block)) return;
-  ++*hot_.l2Prefetches;
+  ++hot_.l2Prefetches;
 
   // Fetch from the LLC (or memory) along the normal path, reserving the
   // same resources demand traffic would, but off the core's critical path.
@@ -345,7 +348,7 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
   Cycle arrive = nocTraverse(core, bank, now, mesh_.config().controlFlits);
   Cycle bankStart = bankReserve(bank, arrive);
   if (!llc_[bank]->access(block, AccessType::Read)) {
-    ++*hot_.l2PrefetchLlcMisses;
+    ++hot_.l2PrefetchLlcMisses;
     Addr paddr = lineBase(block);
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
     Cycle memArrive = nocTraverse(bank, memNode(ch), bankStart + cfg_.l3.tagLatency,
@@ -353,9 +356,9 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
     Cycle dramDone = dramAccess(paddr, AccessType::Read, memArrive);
     core::MappingPolicy::Fill fill = policy_->placeFill(block, core, false);
     if (llc_[fill.bank]->canAllocate(block)) {
-      ++*hot_.llcFills;
-      ++*hot_.llcFillsNonCritical;
-      ++*hot_.llcWritesNonCritical;
+      ++hot_.llcFills;
+      ++hot_.llcFillsNonCritical;
+      ++hot_.llcWritesNonCritical;
       Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
                                      mesh_.config().dataFlits);
       Cycle fillStart = bankReserve(fill.bank, fillArrive);
@@ -392,7 +395,7 @@ void MemorySystem::coherenceActions(CoreId core, BlockAddr block, AccessType typ
         writebackToLlc(other, block, now);
       }
     }
-    ++*hot_.coherenceInvalidations;
+    ++hot_.coherenceInvalidations;
   }
 }
 
@@ -487,7 +490,7 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
     Cycle reqFromDir = nocTraverse(dirNode, lookupBank, llcIssueAt,
                                    mesh_.config().controlFlits);
     llcIssueAt = reqFromDir;
-    ++*hot_.naiveDirectoryLookups;
+    ++hot_.naiveDirectoryLookups;
   }
 
   Cycle reqArrive = cfg_.policy == core::PolicyKind::Naive
@@ -526,7 +529,7 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
         stats_.inc("dead_set_bypasses");
         if (dirty.value_or(false)) {
           dramAccess(lineBase(block), AccessType::Write, bankStart);
-          ++*hot_.dramWritebacks;
+          ++hot_.dramWritebacks;
         }
       } else if (!llc_[fill.bank]->contains(block)) {
         mem::Eviction mev = llc_[fill.bank]->insert(block, dirty.value_or(false),
@@ -535,7 +538,7 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
         tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
         evictFromLlc(fill.bank, mev, bankStart);
         processFrameDeaths(fill.bank, bankStart);
-        ++*hot_.warmMigrations;
+        ++hot_.warmMigrations;
       }
     }
   } else {
@@ -562,9 +565,9 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
     bool fillCritical = type == AccessType::Read && critical;
     core::MappingPolicy::Fill fill = policy_->placeFill(block, core, fillCritical);
     if (llc_[fill.bank]->canAllocate(block)) {
-      ++*hot_.llcFills;
-      if (!fillCritical) ++*hot_.llcFillsNonCritical;
-      ++*(fillCritical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
+      ++hot_.llcFills;
+      if (!fillCritical) ++hot_.llcFillsNonCritical;
+      ++(fillCritical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
 
       Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
                                         mesh_.config().dataFlits);
@@ -585,15 +588,15 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
       stats_.inc("dead_set_bypasses");
       dataAtCore = nocTraverse(memNode(ch), core, dramDone, mesh_.config().dataFlits);
     }
-    *hot_.llcMissLatencySum += dataAtCore - issueAt;
-    ++*hot_.llcMissLatencyCount;
-    *hot_.llcMissPreBankSum += bankStart - issueAt;
-    *hot_.dbgTlbSum += t - issueAt;
-    *hot_.dbgL1qSum += l1Start - t;
-    *hot_.dbgL2qSum += l2Start - t2;
-    *hot_.dbgBankqSum += bankStart - reqArrive;
-    *hot_.llcMissDramSum += dramDone - memArrive;
-    *hot_.llcMissPostDramSum += dataAtCore - dramDone;
+    hot_.llcMissLatencySum += dataAtCore - issueAt;
+    ++hot_.llcMissLatencyCount;
+    hot_.llcMissPreBankSum += bankStart - issueAt;
+    hot_.dbgTlbSum += t - issueAt;
+    hot_.dbgL1qSum += l1Start - t;
+    hot_.dbgL2qSum += l2Start - t2;
+    hot_.dbgBankqSum += bankStart - reqArrive;
+    hot_.llcMissDramSum += dramDone - memArrive;
+    hot_.llcMissPostDramSum += dataAtCore - dramDone;
   }
   llcProf.reset();
 
@@ -638,25 +641,26 @@ Cycle MemorySystem::store(CoreId core, Addr vaddr, std::uint64_t, Cycle issueAt)
 }
 
 double MemorySystem::nonCriticalFillFrac() const {
-  std::uint64_t fills = stats_.get("llc_fills");
-  return fills ? static_cast<double>(stats_.get("llc_fills_noncritical")) /
+  std::uint64_t fills = hot_.llcFills;
+  return fills ? static_cast<double>(hot_.llcFillsNonCritical) /
                      static_cast<double>(fills)
                : 0.0;
 }
 
 double MemorySystem::nonCriticalWriteFrac() const {
-  std::uint64_t nc = stats_.get("llc_writes_noncritical");
-  std::uint64_t total = nc + stats_.get("llc_writes_critical");
+  std::uint64_t nc = hot_.llcWritesNonCritical;
+  std::uint64_t total = nc + hot_.llcWritesCritical;
   return total ? static_cast<double>(nc) / static_cast<double>(total) : 0.0;
 }
 
 void MemorySystem::resetMeasurement() {
   for (auto& bank : llc_) bank->resetMeasurement();
-  // zero() keeps the keys, so counter() handles (ours and the banks')
+  // zero() keeps the keys, so counter() handles into the banks' sets
   // survive the warm-up/measurement boundary.
   for (auto& c : l1_) c->stats().zero();
   for (auto& c : l2_) c->stats().zero();
   std::fill(coreCounters_.begin(), coreCounters_.end(), CoreMemCounters{});
+  hot_ = HotCounters{};
   stats_.zero();
   // Fault events restart with the measurement window (dead frames persist
   // inside the banks; only the log is windowed).

@@ -81,7 +81,12 @@ class MemorySystem final : public cpu::MemorySystem {
   const CoreMemCounters& coreCounters(CoreId c) const { return coreCounters_[c]; }
   tlb::EnhancedTlb& tlbOf(CoreId c) { return *tlbs_[c]; }
   tlb::PageTable& pageTable() { return pageTable_; }
-  const StatSet& stats() const { return stats_; }
+  // Reading the stats first syncs the batched hot-path counters into the
+  // string-keyed set (see HotCounters below).
+  const StatSet& stats() const {
+    flushHotStats();
+    return stats_;
+  }
   const coherence::DirectoryMesi* directory() const { return directory_.get(); }
 
   /// Per-bank cumulative ReRAM writes (the Naive policy's oracle).
@@ -205,38 +210,43 @@ class MemorySystem final : public cpu::MemorySystem {
   std::unique_ptr<coherence::DirectoryMesi> directory_;
 
   std::vector<CoreMemCounters> coreCounters_;
-  StatSet stats_;
+  mutable StatSet stats_;
 
-  /// Handles into stats_ resolved once at construction (see
-  /// StatSet::counter) so the walk path never does a string-keyed lookup.
-  /// resetMeasurement() must use StatSet::zero(), which keeps them valid.
-  struct HotStats {
-    std::uint64_t* llcWritebacks = nullptr;
-    std::uint64_t* llcWritesCritical = nullptr;
-    std::uint64_t* llcWritesNonCritical = nullptr;
-    std::uint64_t* llcWbAllocates = nullptr;
-    std::uint64_t* llcEvictions = nullptr;
-    std::uint64_t* llcBackInvalidations = nullptr;
-    std::uint64_t* dramWritebacks = nullptr;
-    std::uint64_t* llcFills = nullptr;
-    std::uint64_t* llcFillsNonCritical = nullptr;
-    std::uint64_t* naiveDirectoryLookups = nullptr;
-    std::uint64_t* warmMigrations = nullptr;
-    std::uint64_t* l2Prefetches = nullptr;
-    std::uint64_t* l2PrefetchLlcMisses = nullptr;
-    std::uint64_t* l1WbOrphans = nullptr;
-    std::uint64_t* coherenceInvalidations = nullptr;
-    std::uint64_t* llcMissLatencySum = nullptr;
-    std::uint64_t* llcMissLatencyCount = nullptr;
-    std::uint64_t* llcMissPreBankSum = nullptr;
-    std::uint64_t* dbgTlbSum = nullptr;
-    std::uint64_t* dbgL1qSum = nullptr;
-    std::uint64_t* dbgL2qSum = nullptr;
-    std::uint64_t* dbgBankqSum = nullptr;
-    std::uint64_t* llcMissDramSum = nullptr;
-    std::uint64_t* llcMissPostDramSum = nullptr;
+  /// Walk-path counters batched as plain members so the hot loop touches
+  /// one contiguous struct instead of scattered std::map nodes.  These are
+  /// the authoritative running totals: stats() *assigns* them into stats_
+  /// on read, which is safe because the cold keys inc'd directly into the
+  /// map (dead_set_bypasses, frame_deaths, injected_faults, ...) are
+  /// disjoint from the hot keys.  registerMetrics() exposes the member
+  /// addresses, so epoch snapshots always see fresh values with no flush.
+  struct HotCounters {
+    std::uint64_t llcWritebacks = 0;
+    std::uint64_t llcWritesCritical = 0;
+    std::uint64_t llcWritesNonCritical = 0;
+    std::uint64_t llcWbAllocates = 0;
+    std::uint64_t llcEvictions = 0;
+    std::uint64_t llcBackInvalidations = 0;
+    std::uint64_t dramWritebacks = 0;
+    std::uint64_t llcFills = 0;
+    std::uint64_t llcFillsNonCritical = 0;
+    std::uint64_t naiveDirectoryLookups = 0;
+    std::uint64_t warmMigrations = 0;
+    std::uint64_t l2Prefetches = 0;
+    std::uint64_t l2PrefetchLlcMisses = 0;
+    std::uint64_t l1WbOrphans = 0;
+    std::uint64_t coherenceInvalidations = 0;
+    std::uint64_t llcMissLatencySum = 0;
+    std::uint64_t llcMissLatencyCount = 0;
+    std::uint64_t llcMissPreBankSum = 0;
+    std::uint64_t dbgTlbSum = 0;
+    std::uint64_t dbgL1qSum = 0;
+    std::uint64_t dbgL2qSum = 0;
+    std::uint64_t dbgBankqSum = 0;
+    std::uint64_t llcMissDramSum = 0;
+    std::uint64_t llcMissPostDramSum = 0;
   };
-  HotStats hot_;
+  void flushHotStats() const;
+  mutable HotCounters hot_;
 
   telemetry::TraceWriter* tracer_ = nullptr;
   /// Whether the walk in progress was sampled for tracing; lets the

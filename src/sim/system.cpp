@@ -38,6 +38,10 @@ System::System(const SystemConfig& config, const workload::WorkloadMix& mix)
     cores_.back()->setRunPastBudget(true);
   }
 
+  wake_.assign(cfg_.numCores, 0);  // 0 = due at the first visited cycle
+  lastTickIter_.assign(cfg_.numCores, 0);
+  headBlockedLoad_.assign(cfg_.numCores, 0);
+
   registerMetrics();
 
   if (cfg_.profileEnabled) {
@@ -99,6 +103,45 @@ void System::tickAll(Cycle now) {
   for (auto& core : cores_) core->tick(now);
 }
 
+Cycle System::stepCores(Cycle now) {
+  if (cfg_.bruteForceTick) {
+    // Reference loop: tick every core at every visited cycle and rescan
+    // for the minimum.  Kept as the oracle for test_system_equivalence.
+    tickAll(now);
+    return nextCycle(now);
+  }
+  ++loopIter_;
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    if (wake_[c] > now) continue;  // asleep: settled lazily
+    cpu::OooCore& core = *cores_[c];
+    // Iterations this core slept through since its last tick: the head was
+    // a blocked load for every one of them (or none), per the cached flag.
+    std::uint64_t skipped = loopIter_ - lastTickIter_[c] - 1;
+    if (skipped != 0 && headBlockedLoad_[c] != 0) {
+      core.addSkippedHeadStallCycles(skipped);
+    }
+    core.tick(now);
+    lastTickIter_[c] = loopIter_;
+    wake_[c] = core.nextEventCycle(now);
+    headBlockedLoad_[c] = core.headBlockedLoadAfterTick(now) ? 1 : 0;
+  }
+  Cycle next = kNoCycle;
+  for (Cycle w : wake_) next = std::min(next, w);
+  if (next == kNoCycle || next <= now) return now + 1;
+  return next;
+}
+
+void System::settleSkippedStats() {
+  if (cfg_.bruteForceTick) return;
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    std::uint64_t skipped = loopIter_ - lastTickIter_[c];
+    if (skipped != 0 && headBlockedLoad_[c] != 0) {
+      cores_[c]->addSkippedHeadStallCycles(skipped);
+    }
+    lastTickIter_[c] = loopIter_;
+  }
+}
+
 void System::fastForward(std::uint64_t instrPerCore) {
   if (instrPerCore == 0) return;
   telemetry::ScopedProf ff(secFf_);
@@ -110,30 +153,25 @@ void System::fastForward(std::uint64_t instrPerCore) {
   // interleaved loop: predict() never mutates the table (training happens
   // in the timed core), so each load sees the same verdict either way, and
   // the memory-op order per core is unchanged.
-  std::vector<workload::TraceRecord> recs;
-  std::vector<unsigned char> crit;
-  recs.reserve(kChunk);
+  std::vector<workload::TraceRecord> recs(kChunk);
+  std::vector<unsigned char> crit(kChunk);
   for (std::uint64_t done = 0; done < instrPerCore; done += kChunk) {
     std::uint64_t n = std::min(kChunk, instrPerCore - done);
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
-      recs.clear();
       {
         telemetry::ScopedProf sp(secWorkload_);
-        for (std::uint64_t i = 0; i < n; ++i) recs.push_back(gens_[c]->next());
+        gens_[c]->nextBatch(recs.data(), n);
       }
-      crit.assign(recs.size(), 0);
       if (cpts_[c]) {
         telemetry::ScopedProf sp(secPredictor_);
-        for (std::size_t i = 0; i < recs.size(); ++i) {
-          if (recs[i].kind == InstrKind::Load) {
-            crit[i] = cpts_[c]->predict(recs[i].pc) ? 1 : 0;
-          }
+        for (std::size_t i = 0; i < n; ++i) {
+          crit[i] = recs[i].kind == InstrKind::Load && cpts_[c]->predict(recs[i].pc);
         }
       }
-      for (std::size_t i = 0; i < recs.size(); ++i) {
+      for (std::size_t i = 0; i < n; ++i) {
         const workload::TraceRecord& rec = recs[i];
         if (rec.kind == InstrKind::Load) {
-          mem_->load(c, rec.vaddr, rec.pc, 0, crit[i] != 0);
+          mem_->load(c, rec.vaddr, rec.pc, 0, cpts_[c] != nullptr && crit[i] != 0);
         } else if (rec.kind == InstrKind::Store) {
           mem_->store(c, rec.vaddr, rec.pc, 0);
         }
@@ -272,8 +310,7 @@ RunResult System::run() {
     // subtract their own share from it.
     telemetry::ScopedProf sp(secCores_);
     while (!allReached(cfg_.warmupInstrPerCore) && now < cfg_.maxCycles) {
-      tickAll(now);
-      now = nextCycle(now);
+      now = stepCores(now);
     }
   }
 
@@ -285,6 +322,7 @@ RunResult System::run() {
     fastForward(cfg_.placementRefreshInstrPerCore);
   }
 
+  settleSkippedStats();  // flush pending warm-up stall credit before zeroing
   for (auto& core : cores_) core->resetStats();
   mem_->resetMeasurement();
   metrics_.clearSeries();
@@ -333,8 +371,7 @@ RunResult System::run() {
         hitCap = true;
         break;
       }
-      tickAll(now);
-      now = nextCycle(now);
+      now = stepCores(now);
       while (nextFault < atCycle.size() &&
              now - measureStart >= atCycle[nextFault].value) {
         const rram::ScheduledFault& sf = atCycle[nextFault];
@@ -343,12 +380,14 @@ RunResult System::run() {
       }
       if (nextEpoch != 0 && nextEpoch <= cfg_.instrPerCore && allReached(nextEpoch)) {
         telemetry::ScopedProf tp(secTelemetry_);
+        settleSkippedStats();  // snapshot reads per-core stall counters
         epochNow_ = now;
         metrics_.snapshot(now - measureStart, nextEpoch);
         nextEpoch += cfg_.epochInstrs;
       }
     }
   }
+  settleSkippedStats();  // result collection reads every core counter
   const Cycle measuredCycles = now - measureStart;
   if (cfg_.epochInstrs != 0 &&
       (metrics_.series().empty() || metrics_.series().cycles.back() < measuredCycles)) {

@@ -146,6 +146,28 @@ class System {
   bool allReached(std::uint64_t committed) const;
   Cycle nextCycle(Cycle now) const;
 
+  // --- Event-calendar timed loop -------------------------------------------
+  // The timed loop visits the cycle sequence now' = min_c nextEventCycle_c
+  // (falling back to now+1).  The reference implementation ticks every core
+  // at every visited cycle and rescans all cores for the minimum; stepCores
+  // instead caches each core's wake cycle (recomputed only when the core is
+  // ticked) and skips cores that are not due.  A sleeping core's tick would
+  // be a no-op — its ROB is full, nothing can commit before its cached wake
+  // cycle, and no queued memory op is ready — except for the per-cycle
+  // ROB-head stall counter, which is reconstructed exactly from the cached
+  // headBlockedLoadAfterTick flag times the number of skipped loop
+  // iterations (see cpu/core.hpp).  The visited cycle sequence, every
+  // microarchitectural event, and every statistic are identical to the
+  // reference loop; test_system_equivalence proves it per seed.
+
+  /// Ticks every due core at `now`, settles their skipped stall cycles,
+  /// refreshes their wake entries, and returns the next cycle to visit.
+  Cycle stepCores(Cycle now);
+  /// Credits pending skipped-iteration stall cycles on every core (called
+  /// before anything reads core stats: epoch snapshots, phase boundaries,
+  /// result collection).
+  void settleSkippedStats();
+
   /// Registers every component's metrics with metrics_ (construction time).
   void registerMetrics();
 
@@ -173,6 +195,15 @@ class System {
   /// Cycle of the snapshot being taken; gauges that need "now" (MSHR
   /// occupancy) read it.
   Cycle epochNow_ = 0;
+
+  // Wake list state (stepCores).  wake_[c] is c's cached nextEventCycle;
+  // lastTickIter_[c] / headBlockedLoad_[c] reconstruct the per-cycle stall
+  // counter over skipped iterations; loopIter_ counts visited cycles across
+  // both timed phases.
+  std::vector<Cycle> wake_;
+  std::vector<std::uint64_t> lastTickIter_;
+  std::vector<unsigned char> headBlockedLoad_;
+  std::uint64_t loopIter_ = 0;
 };
 
 }  // namespace renuca::sim

@@ -87,83 +87,99 @@ EnhancedTlb::EnhancedTlb(const TlbConfig& config, PageTable* pageTable, Asid asi
   RENUCA_ASSERT(pageTable_ != nullptr, "EnhancedTlb needs a page table");
   RENUCA_ASSERT(cfg_.entries % cfg_.ways == 0, "TLB entries must divide by ways");
   RENUCA_ASSERT(numSets_ > 0, "TLB must have at least one set");
-  entries_.resize(cfg_.entries);
-  hitCount_ = stats_.counter("hits");
-  missCount_ = stats_.counter("misses");
+  if ((numSets_ & (numSets_ - 1)) == 0) setMask_ = numSets_ - 1;
+  vpns_.assign(cfg_.entries, kInvalidVpn);
+  ppns_.assign(cfg_.entries, 0);
+  mbvs_.assign(cfg_.entries, 0);
+  lastUse_.assign(cfg_.entries, 0);
 }
 
-EnhancedTlb::Entry* EnhancedTlb::find(std::uint64_t vpn) {
-  std::uint32_t set = setOf(vpn);
+void EnhancedTlb::flushHotStats() const {
+  auto move = [this](std::uint64_t& pending, const char* key) {
+    if (pending != 0) {
+      stats_.inc(key, pending);
+      pending = 0;
+    }
+  };
+  move(hot_.hits, "hits");
+  move(hot_.misses, "misses");
+  move(hot_.evictions, "evictions");
+  move(hot_.mbvUpdates, "mbv_updates");
+  move(hot_.mbvResets, "mbv_resets");
+}
+
+std::uint32_t EnhancedTlb::find(std::uint64_t vpn) const {
+  // Invalid entries hold kInvalidVpn, so the scan is a pure tag compare
+  // over the dense vpns_ array.
+  const std::uint32_t base = setOf(vpn) * cfg_.ways;
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    Entry& e = entries_[set * cfg_.ways + w];
-    if (e.valid && e.vpn == vpn) return &e;
+    if (vpns_[base + w] == vpn) return base + w;
   }
-  return nullptr;
+  return kNoEntry;
 }
 
-const EnhancedTlb::Entry* EnhancedTlb::find(std::uint64_t vpn) const {
-  return const_cast<EnhancedTlb*>(this)->find(vpn);
-}
-
-EnhancedTlb::Entry& EnhancedTlb::refill(std::uint64_t vpn) {
-  std::uint32_t set = setOf(vpn);
+std::uint32_t EnhancedTlb::refill(std::uint64_t vpn) {
+  const std::uint32_t base = setOf(vpn) * cfg_.ways;
   // LRU victim within the set; invalid entries first.
-  Entry* victim = &entries_[set * cfg_.ways];
+  std::uint32_t victim = base;
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    Entry& e = entries_[set * cfg_.ways + w];
-    if (!e.valid) {
-      victim = &e;
+    if (vpns_[base + w] == kInvalidVpn) {
+      victim = base + w;
       break;
     }
-    if (e.lastUse < victim->lastUse) victim = &e;
+    if (lastUse_[base + w] < lastUse_[victim]) victim = base + w;
   }
-  if (victim->valid && cfg_.backMbvInPageTable) {
-    pageTable_->storeMbv(asid_, victim->vpn, victim->mbv);
+  const bool victimValid = vpns_[victim] != kInvalidVpn;
+  if (victimValid && cfg_.backMbvInPageTable) {
+    pageTable_->storeMbv(asid_, vpns_[victim], mbvs_[victim]);
   }
-  if (victim->valid) stats_.inc("evictions");
+  if (victimValid) ++hot_.evictions;
 
-  victim->vpn = vpn;
-  victim->ppn = pageTable_->translate(asid_, vpn);
-  victim->mbv = cfg_.backMbvInPageTable ? pageTable_->loadMbv(asid_, vpn) : 0;
-  victim->valid = true;
-  victim->lastUse = ++useTick_;
-  return *victim;
+  vpns_[victim] = vpn;
+  ppns_[victim] = pageTable_->translate(asid_, vpn);
+  mbvs_[victim] = cfg_.backMbvInPageTable ? pageTable_->loadMbv(asid_, vpn) : 0;
+  lastUse_[victim] = ++useTick_;
+  // Repoint the memo: if the victim entry was memoized the old mapping is
+  // gone, and the refilled page is the likeliest next lookup either way.
+  memoVpn_ = vpn;
+  memoEntry_ = victim;
+  return victim;
 }
 
 Translation EnhancedTlb::translate(Addr vaddr) {
   std::uint64_t vpn = pageOf(vaddr);
   Translation t;
-  if (Entry* e = find(vpn)) {
-    e->lastUse = ++useTick_;
+  if (std::uint32_t e = lookup(vpn); e != kNoEntry) {
+    lastUse_[e] = ++useTick_;
     t.tlbHit = true;
     t.latency = 0;
-    t.paddr = (e->ppn << kPageShift) | (vaddr & (kPageBytes - 1));
-    ++*hitCount_;
+    t.paddr = (ppns_[e] << kPageShift) | (vaddr & (kPageBytes - 1));
+    ++hot_.hits;
     return t;
   }
-  ++*missCount_;
-  Entry& e = refill(vpn);
+  ++hot_.misses;
+  std::uint32_t e = refill(vpn);
   t.tlbHit = false;
   t.latency = cfg_.missLatency;
-  t.paddr = (e.ppn << kPageShift) | (vaddr & (kPageBytes - 1));
+  t.paddr = (ppns_[e] << kPageShift) | (vaddr & (kPageBytes - 1));
   return t;
 }
 
 bool EnhancedTlb::mappingBit(Addr vaddr) const {
-  const Entry* e = find(pageOf(vaddr));
-  RENUCA_ASSERT(e != nullptr, "mappingBit on non-resident TLB page");
-  return (e->mbv >> lineIndexInPage(vaddr)) & 1ull;
+  std::uint32_t e = lookup(pageOf(vaddr));
+  RENUCA_ASSERT(e != kNoEntry, "mappingBit on non-resident TLB page");
+  return (mbvs_[e] >> lineIndexInPage(vaddr)) & 1ull;
 }
 
 void EnhancedTlb::setMappingBit(Addr vaddr, bool rnuca) {
   std::uint64_t vpn = pageOf(vaddr);
   std::uint64_t bit = 1ull << lineIndexInPage(vaddr);
-  Entry* e = find(vpn);
-  if (e) {
+  std::uint32_t e = lookup(vpn);
+  if (e != kNoEntry) {
     if (rnuca) {
-      e->mbv |= bit;
+      mbvs_[e] |= bit;
     } else {
-      e->mbv &= ~bit;
+      mbvs_[e] &= ~bit;
     }
   }
   if (cfg_.backMbvInPageTable) {
@@ -171,36 +187,41 @@ void EnhancedTlb::setMappingBit(Addr vaddr, bool rnuca) {
     backed = rnuca ? (backed | bit) : (backed & ~bit);
     pageTable_->storeMbv(asid_, vpn, backed);
   }
-  stats_.inc("mbv_updates");
+  ++hot_.mbvUpdates;
 }
 
 void EnhancedTlb::saveState(serial::ArchiveWriter& ar) const {
-  ar.putU32(static_cast<std::uint32_t>(entries_.size()));
+  // Interleaved per-entry records, the layout every existing .ckpt uses.
+  ar.putU32(static_cast<std::uint32_t>(vpns_.size()));
   ar.putU64(useTick_);
-  for (const Entry& e : entries_) {
-    ar.putU64(e.vpn);
-    ar.putU64(e.ppn);
-    ar.putU64(e.mbv);
-    ar.putBool(e.valid);
-    ar.putU64(e.lastUse);
+  for (std::size_t i = 0; i < vpns_.size(); ++i) {
+    ar.putU64(vpns_[i]);
+    ar.putU64(ppns_[i]);
+    ar.putU64(mbvs_[i]);
+    ar.putBool(vpns_[i] != kInvalidVpn);
+    ar.putU64(lastUse_[i]);
   }
 }
 
 bool EnhancedTlb::loadState(serial::ArchiveReader& ar) {
   std::uint32_t count = ar.getU32();
-  if (!ar.ok() || count != entries_.size()) {
+  if (!ar.ok() || count != vpns_.size()) {
     logMessage(LogLevel::Warn, "serial",
                stats_.name() + ": snapshot entry count mismatch");
     return false;
   }
   useTick_ = ar.getU64();
-  for (Entry& e : entries_) {
-    e.vpn = ar.getU64();
-    e.ppn = ar.getU64();
-    e.mbv = ar.getU64();
-    e.valid = ar.getBool();
-    e.lastUse = ar.getU64();
+  for (std::size_t i = 0; i < vpns_.size(); ++i) {
+    std::uint64_t vpn = ar.getU64();
+    ppns_[i] = ar.getU64();
+    mbvs_[i] = ar.getU64();
+    // Pre-SoA checkpoints saved whatever stale vpn an invalid entry last
+    // held; normalize to the sentinel so the valid-check-free scan cannot
+    // false-hit on it.
+    vpns_[i] = ar.getBool() ? vpn : kInvalidVpn;
+    lastUse_[i] = ar.getU64();
   }
+  memoVpn_ = kInvalidVpn;
   return ar.ok() && ar.remaining() == 0;
 }
 
@@ -209,11 +230,11 @@ void EnhancedTlb::resetMappingBitPhys(Addr paddr) {
   if (!owner || owner->first != asid_) return;
   std::uint64_t vpn = owner->second;
   std::uint64_t bit = 1ull << lineIndexInPage(paddr);
-  if (Entry* e = find(vpn)) e->mbv &= ~bit;
+  if (std::uint32_t e = lookup(vpn); e != kNoEntry) mbvs_[e] &= ~bit;
   if (cfg_.backMbvInPageTable) {
     pageTable_->storeMbv(asid_, vpn, pageTable_->loadMbv(asid_, vpn) & ~bit);
   }
-  stats_.inc("mbv_resets");
+  ++hot_.mbvResets;
 }
 
 }  // namespace renuca::tlb

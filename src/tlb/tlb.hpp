@@ -94,7 +94,12 @@ class EnhancedTlb : public serial::Checkpointable {
   /// is resident and always updates the backing store.
   void resetMappingBitPhys(Addr paddr);
 
-  const StatSet& stats() const { return stats_; }
+  // Reading the stats first syncs the batched hot-path counters (hits,
+  // misses, evictions, MBV traffic) into the string-keyed set.
+  const StatSet& stats() const {
+    flushHotStats();
+    return stats_;
+  }
   const TlbConfig& config() const { return cfg_; }
 
   // Serializes the translation entries (VPN/PPN/MBV/valid/recency) and the
@@ -103,29 +108,62 @@ class EnhancedTlb : public serial::Checkpointable {
   bool loadState(serial::ArchiveReader& ar) override;
 
  private:
-  struct Entry {
-    std::uint64_t vpn = 0;
-    std::uint64_t ppn = 0;
-    std::uint64_t mbv = 0;
-    bool valid = false;
-    std::uint64_t lastUse = 0;
-  };
+  // Entry metadata in struct-of-arrays layout: translate()'s way scan walks
+  // the dense vpns_ array only.  Invalid entries hold kInvalidVpn (a value
+  // outside the 52-bit VPN space), so the scan needs no valid check; an
+  // entry is valid iff its vpn differs from the sentinel.
+  static constexpr std::uint64_t kInvalidVpn = ~std::uint64_t{0};
+  static constexpr std::uint32_t kNoEntry = ~std::uint32_t{0};
 
-  std::uint32_t setOf(std::uint64_t vpn) const { return static_cast<std::uint32_t>(vpn % numSets_); }
-  Entry* find(std::uint64_t vpn);
-  const Entry* find(std::uint64_t vpn) const;
-  Entry& refill(std::uint64_t vpn);
+  std::uint32_t setOf(std::uint64_t vpn) const {
+    // Power-of-two set counts (every real TLB geometry) index with a mask
+    // instead of a division — translate() runs once per memory access.
+    return static_cast<std::uint32_t>(setMask_ != 0 || numSets_ == 1 ? vpn & setMask_
+                                                                     : vpn % numSets_);
+  }
+  /// Index of `vpn`'s entry, or kNoEntry.
+  std::uint32_t find(std::uint64_t vpn) const;
+  /// find() behind a one-entry memo: consecutive accesses to the same 4 KB
+  /// page (the common case for any striding access stream) skip the way
+  /// scan.  Purely an index cache — hit bookkeeping (recency, counters)
+  /// still happens at every call site, so behavior is identical.  refill()
+  /// repoints the memo and loadState() drops it, the only two places an
+  /// entry's VPN changes.
+  std::uint32_t lookup(std::uint64_t vpn) const {
+    if (vpn == memoVpn_) return memoEntry_;
+    const std::uint32_t e = find(vpn);
+    if (e != kNoEntry) {
+      memoVpn_ = vpn;
+      memoEntry_ = e;
+    }
+    return e;
+  }
+  /// Installs `vpn` over the set's LRU victim; returns the entry index.
+  std::uint32_t refill(std::uint64_t vpn);
 
   TlbConfig cfg_;
   PageTable* pageTable_;
   Asid asid_;
   std::uint32_t numSets_;
-  std::vector<Entry> entries_;
+  /// numSets_ - 1 when numSets_ is a power of two, else 0 (modulo fallback).
+  std::uint32_t setMask_ = 0;
+  std::vector<std::uint64_t> vpns_;     // kInvalidVpn = entry invalid
+  std::vector<std::uint64_t> ppns_;
+  std::vector<std::uint64_t> mbvs_;
+  std::vector<std::uint64_t> lastUse_;
+  /// lookup() memo; mutable so const readers (mappingBit) can refresh it.
+  mutable std::uint64_t memoVpn_ = kInvalidVpn;
+  mutable std::uint32_t memoEntry_ = 0;
   std::uint64_t useTick_ = 0;
-  StatSet stats_;
-  /// Handles for the per-access counters (see StatSet::counter).
-  std::uint64_t* hitCount_ = nullptr;
-  std::uint64_t* missCount_ = nullptr;
+  /// Per-access counters batched as plain members (translate runs once per
+  /// memory access); stats() flushes the pending deltas into stats_.
+  struct HotCounters {
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+    std::uint64_t mbvUpdates = 0, mbvResets = 0;
+  };
+  void flushHotStats() const;
+  mutable HotCounters hot_;
+  mutable StatSet stats_;
 };
 
 }  // namespace renuca::tlb

@@ -32,6 +32,17 @@ SyntheticGenerator::SyntheticGenerator(const AppProfile& profile, std::uint64_t 
   streamCursor_.assign(kNumStreams, 0);
   Pcg32 buildRng(seed ^ 0x5eedb00cull, 0x1badb002ull);
   buildLoop(buildRng);
+  auto regionDraw = [](std::uint64_t bytes) {
+    RegionDraw rd;
+    rd.lines = std::max<std::uint64_t>(1, bytes / kLineBytes);
+    if (rd.lines <= 0xffffffffull) {
+      rd.draw = Pcg32::BoundedDraw(static_cast<std::uint32_t>(rd.lines));
+    }
+    return rd;
+  };
+  hotDraw_ = regionDraw(profile_.hotBytes);
+  warmDraw_ = regionDraw(profile_.warmBytes);
+  largeDraw_ = regionDraw(profile_.largeBytes);
 }
 
 void SyntheticGenerator::buildLoop(Pcg32& rng) {
@@ -112,19 +123,16 @@ void SyntheticGenerator::buildLoop(Pcg32& rng) {
 }
 
 std::uint64_t SyntheticGenerator::slotAddress(const Slot& slot, std::size_t slotIdx) {
+  // Random-addressed regions draw through the precomputed RegionDraws:
+  // the stream of RNG values (and therefore every address) is identical to
+  // rng_.range(0, lines - 1), without recomputing the rejection threshold.
   switch (slot.region) {
-    case Region::Hot: {
-      std::uint64_t lines = std::max<std::uint64_t>(1, profile_.hotBytes / kLineBytes);
-      return kHotBase + (rng_.range(0, lines - 1) << kLineShift);
-    }
-    case Region::Warm: {
-      std::uint64_t lines = std::max<std::uint64_t>(1, profile_.warmBytes / kLineBytes);
-      return kWarmBase + (rng_.range(0, lines - 1) << kLineShift);
-    }
-    case Region::Large: {
-      std::uint64_t lines = std::max<std::uint64_t>(1, profile_.largeBytes / kLineBytes);
-      return kLargeBase + (rng_.range(0, lines - 1) << kLineShift);
-    }
+    case Region::Hot:
+      return kHotBase + (drawLine(hotDraw_) << kLineShift);
+    case Region::Warm:
+      return kWarmBase + (drawLine(warmDraw_) << kLineShift);
+    case Region::Large:
+      return kLargeBase + (drawLine(largeDraw_) << kLineShift);
     case Region::Stream: {
       std::uint64_t& cursor = streamCursor_[slot.streamIdx];
       // The per-stream skew of 13 lines keeps concurrent streams off the
@@ -208,9 +216,13 @@ TraceRecord SyntheticGenerator::next() {
 
   if (!missBoundLoad) lastMissLoadGap_ += 1;
   if (!chainMember) lastChainGap_ += 1;
-  slotIdx_ = (slotIdx_ + 1) % loop_.size();
+  if (++slotIdx_ == loop_.size()) slotIdx_ = 0;
   ++emitted_;
   return rec;
+}
+
+void SyntheticGenerator::nextBatch(TraceRecord* out, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) out[i] = next();
 }
 
 void SyntheticGenerator::saveState(serial::ArchiveWriter& ar) const {

@@ -33,12 +33,17 @@ namespace renuca::workload {
 /// Region a memory slot accesses; layout documented in generator.cpp.
 enum class Region : std::uint8_t { Hot, Warm, Large, Stream };
 
-class SyntheticGenerator : public InstructionSource,
-                           public serial::Checkpointable {
+class SyntheticGenerator final : public InstructionSource,
+                                 public serial::Checkpointable {
  public:
   SyntheticGenerator(const AppProfile& profile, std::uint64_t seed);
 
   TraceRecord next() override;
+
+  /// Fills `out[0..n)` with the next `n` records — identical stream to n
+  /// successive next() calls, but non-virtual and batch-inlined so the
+  /// fast-forward's bulk generation skips the per-instruction call.
+  void nextBatch(TraceRecord* out, std::uint64_t n);
 
   const AppProfile& profile() const { return profile_; }
   /// Number of instructions emitted so far.
@@ -70,9 +75,21 @@ class SyntheticGenerator : public InstructionSource,
   std::uint64_t slotAddress(const Slot& slot, std::size_t slotIdx);
   void buildLoop(Pcg32& rng);
 
+  /// A random-addressed region's line count with the RNG draw divisors
+  /// precomputed (same draw stream as rng_.range(0, lines-1)).
+  struct RegionDraw {
+    std::uint64_t lines = 1;
+    Pcg32::BoundedDraw draw;
+  };
+  std::uint64_t drawLine(const RegionDraw& rd) {
+    return rd.lines <= 0xffffffffull ? rng_.nextBelow(rd.draw)
+                                     : rng_.range(0, rd.lines - 1);
+  }
+
   AppProfile profile_;
   Pcg32 rng_;
   std::vector<Slot> loop_;
+  RegionDraw hotDraw_, warmDraw_, largeDraw_;
   std::vector<std::uint64_t> streamCursor_;  ///< Per-stream byte offsets.
   std::size_t slotIdx_ = 0;
   std::uint64_t emitted_ = 0;

@@ -519,6 +519,48 @@ TEST(Snapshot, RestoredRunIsByteIdenticalToColdRun) {
   EXPECT_EQ(reportFor(cold, rLoad, "run"), reportFor(cold, rCold, "run"));
 }
 
+TEST(Snapshot, PreRefactorCheckpointStillRestores) {
+  // tests/data/prerefactor_singlecore_mcf.ckpt was written by the
+  // pre-SoA-refactor simulator, whose archives interleave per-entry
+  // records and carry whatever stale tag/VPN bytes invalid frames last
+  // held.  The SoA cache/TLB must keep accepting that layout (normalizing
+  // invalid entries to the in-memory sentinels) and reproduce the cold
+  // run's report bytes exactly.
+  const std::string ckpt =
+      std::string(RENUCA_TEST_DATA_DIR) + "/prerefactor_singlecore_mcf.ckpt";
+  workload::WorkloadMix mix = singleAppMix("mcf");
+
+  sim::SystemConfig cold = fastSingleCore();
+  sim::RunResult rCold = sim::System(cold, mix).run();
+
+  // Explicit restore first: byte-identity alone would not distinguish a
+  // successful restore from a silent fall-back to the cold fast-forward.
+  sim::SystemConfig loader = fastSingleCore();
+  {
+    sim::System probe(loader, mix);
+    ASSERT_TRUE(probe.restoreFrom(ckpt));
+  }
+  loader.snapshotLoadPath = ckpt;
+  sim::RunResult rLoad = sim::System(loader, mix).run();
+  EXPECT_EQ(reportFor(cold, rLoad, "run"), reportFor(cold, rCold, "run"));
+
+  // Restore -> save canonicalizes the old bytes (stale invalid-entry tags
+  // become sentinels); a second round trip must then be byte-stable.
+  const std::string p1 = tmpPath("prerefactor-resave1.ckpt");
+  const std::string p2 = tmpPath("prerefactor-resave2.ckpt");
+  {
+    sim::System sys(fastSingleCore(), mix);
+    ASSERT_TRUE(sys.restoreFrom(ckpt));
+    ASSERT_TRUE(sys.snapshot(p1));
+  }
+  {
+    sim::System sys(fastSingleCore(), mix);
+    ASSERT_TRUE(sys.restoreFrom(p1));
+    ASSERT_TRUE(sys.snapshot(p2));
+  }
+  EXPECT_EQ(slurp(p1), slurp(p2));
+}
+
 TEST(Snapshot, SaveLoadSaveProducesIdenticalArchives) {
   const std::string p1 = tmpPath("ss1.ckpt");
   const std::string p2 = tmpPath("ss2.ckpt");

@@ -48,9 +48,10 @@ const char kUsage[] =
     "  reps=N               timed repetitions; median wins (default 3)\n"
     "  jobs=N               sweep workers (default 0 = one per core)\n"
     "\n"
-    "compare: reads two run documents and exits 1 iff CURRENT's median\n"
+    "compare: reads two run documents, prints the speedup factor and the\n"
+    "per-component wall-time share shift, and exits 1 iff CURRENT's median\n"
     "instructions/second is more than max_regress_pct= (default 30) percent\n"
-    "below BASELINE's.\n"
+    "below BASELINE's.  Improvements exit 0 with an IMPROVEMENT summary.\n"
     "\n"
     "compare options:\n"
     "  max_regress_pct=X    hard-fail regression threshold (default 30)\n";
@@ -196,7 +197,13 @@ int runCommand(const KvConfig& kv) {
   return 0;
 }
 
-bool readInstrPerSec(const std::string& path, double& value) {
+struct BenchDoc {
+  double instrPerSec = 0.0;
+  /// Component name -> profiled wall-time share (0..1), from "components".
+  std::map<std::string, double> shares;
+};
+
+bool readBenchDoc(const std::string& path, BenchDoc& out) {
   std::ifstream is(path);
   if (!is) {
     std::fprintf(stderr, "perf_baseline: cannot read %s\n", path.c_str());
@@ -216,18 +223,51 @@ bool readInstrPerSec(const std::string& path, double& value) {
                  path.c_str());
     return false;
   }
-  value = v->number;
+  out.instrPerSec = v->number;
+  if (const telemetry::JsonValue* comps = doc->find("components");
+      comps != nullptr && comps->isArray()) {
+    for (const telemetry::JsonValue& c : comps->array) {
+      const telemetry::JsonValue* name = c.find("name");
+      const telemetry::JsonValue* share = c.find("share");
+      if (name != nullptr && name->isString() && share != nullptr &&
+          share->isNumber()) {
+        out.shares[name->str] = share->number;
+      }
+    }
+  }
   return true;
 }
 
 int compareCommand(const KvConfig& kv, const std::string& basePath,
                    const std::string& curPath) {
   const double maxRegress = kv.getOr("max_regress_pct", 30.0);
-  double base = 0.0, cur = 0.0;
-  if (!readInstrPerSec(basePath, base) || !readInstrPerSec(curPath, cur)) return 1;
-  const double deltaPct = (base - cur) / base * 100.0;
-  std::printf("baseline %.0f instr/s, current %.0f instr/s: %+.1f%% %s\n", base,
-              cur, -deltaPct, deltaPct > 0 ? "(slower)" : "(not slower)");
+  BenchDoc base, cur;
+  if (!readBenchDoc(basePath, base) || !readBenchDoc(curPath, cur)) return 1;
+  const double deltaPct =
+      (base.instrPerSec - cur.instrPerSec) / base.instrPerSec * 100.0;
+  const double speedup = cur.instrPerSec / base.instrPerSec;
+  std::printf("baseline %.0f instr/s, current %.0f instr/s: %+.1f%% %s\n",
+              base.instrPerSec, cur.instrPerSec, -deltaPct,
+              deltaPct > 0 ? "(slower)" : "(not slower)");
+
+  // Per-component share shift: where did the wall time move?  Shares sum
+  // to ~1 inside each document, so the delta is in percentage points of
+  // the respective profiled total, not absolute seconds.
+  if (!base.shares.empty() || !cur.shares.empty()) {
+    std::map<std::string, double> names;
+    for (const auto& [n, s] : base.shares) names[n] = 0.0;
+    for (const auto& [n, s] : cur.shares) names[n] = 0.0;
+    std::printf("%-12s %9s %9s %9s\n", "component", "base", "current", "delta");
+    for (const auto& [n, unused] : names) {
+      const auto bi = base.shares.find(n);
+      const auto ci = cur.shares.find(n);
+      const double bs = bi != base.shares.end() ? bi->second : 0.0;
+      const double cs = ci != cur.shares.end() ? ci->second : 0.0;
+      std::printf("%-12s %8.1f%% %8.1f%% %+8.1fpp\n", n.c_str(), bs * 100.0,
+                  cs * 100.0, (cs - bs) * 100.0);
+    }
+  }
+
   if (deltaPct > maxRegress) {
     std::fprintf(stderr,
                  "perf_baseline: FAIL: regression %.1f%% exceeds the %.0f%% "
@@ -235,7 +275,13 @@ int compareCommand(const KvConfig& kv, const std::string& basePath,
                  deltaPct, maxRegress);
     return 1;
   }
-  std::printf("within the %.0f%% regression threshold\n", maxRegress);
+  if (speedup >= 1.0) {
+    std::printf("IMPROVEMENT: %.2fx speedup over %s\n", speedup,
+                basePath.c_str());
+  } else {
+    std::printf("within the %.0f%% regression threshold (%.2fx)\n", maxRegress,
+                speedup);
+  }
   return 0;
 }
 
