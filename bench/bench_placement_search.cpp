@@ -1,0 +1,103 @@
+// Placement search on a big mesh, plus the mesh-scale figure.
+//
+// Part 1 enumerates candidate placements — the eight MC-edge schemes
+// (corners, top, ring, ...) and `shuffles=` random bank permutations — on
+// one mesh (default 8x8, 64 cores, 4 MCs) and ranks them by
+// IPC x min-bank-lifetime.  Part 2 runs {S-NUCA, R-NUCA, Re-NUCA} on both
+// the paper's 4x4/16-core CMP and the scaled 8x8/64-core one, the
+// "does Re-NUCA's win survive a bigger mesh?" figure.
+//
+// Extra keys: shuffles=N (random bank permutations to try, default 2).
+#include "bench_util.hpp"
+
+#include "sim/placement_search.hpp"
+
+using namespace renuca;
+using namespace renuca::bench;
+
+int main(int argc, char** argv) {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  // Big-mesh defaults; override with mesh=/cores=/mc= like any bench.
+  cfg.nocCfg.width = 8;
+  cfg.nocCfg.height = 8;
+  cfg.l3.banks = 64;
+  cfg.numCores = 64;
+  cfg.placement.numMcs = 4;
+  // 64 cores x 10+ candidates: trim the fast-forward so the default run
+  // stays in bench territory (prewarm= restores the full budget).
+  cfg.prewarmInstrPerCore = 100000;
+  KvConfig kv = setup(argc, argv, "Placement search: MC edges, bank shuffles, mesh scale",
+                      cfg, {"shuffles"});
+  BenchSession session(kv, "placement_search", cfg);
+
+  // --- Part 1: rank placements on the configured mesh -----------------------
+  std::vector<sim::PlacementCandidate> candidates =
+      sim::mcEdgeCandidates(cfg.placement.numMcs);
+  const auto shuffles = static_cast<std::uint32_t>(
+      kv.getOr("shuffles", static_cast<std::int64_t>(2)));
+  for (sim::PlacementCandidate& c :
+       sim::randomBankCandidates(cfg.nocCfg, shuffles, cfg.seed)) {
+    c.placement.numMcs = cfg.placement.numMcs;
+    candidates.push_back(std::move(c));
+  }
+
+  workload::WorkloadMix mix = workload::mixForCores("WL1", cfg.numCores);
+  std::vector<sim::RunResult> results =
+      runJobs(kv, sim::placementSearchPlan(cfg, mix, candidates), &session);
+  std::vector<sim::PlacementScore> ranked = sim::rankPlacements(candidates, results);
+
+  TextTable t({"placement", "IPC", "nocLat", "minLife(y)", "score"});
+  for (const sim::PlacementScore& s : ranked) {
+    t.addRow({s.name, TextTable::num(s.systemIpc, 3),
+              TextTable::num(s.avgNocLatencyCycles, 2),
+              TextTable::num(s.minLifetimeYears, 2), TextTable::num(s.score, 3)});
+  }
+  std::printf("%s", t.toString().c_str());
+  std::printf("(%zu candidates on %ux%u, mix %s; score = IPC x min bank lifetime)\n\n",
+              ranked.size(), cfg.nocCfg.width, cfg.nocCfg.height, mix.name.c_str());
+
+  // --- Part 2: 4x4 vs 8x8 under the three headline policies -----------------
+  struct ScalePoint {
+    const char* name;
+    std::uint32_t width, height, cores;
+  };
+  const ScalePoint points[] = {{"4x4", 4, 4, 16}, {"8x8", 8, 8, 64}};
+  const core::PolicyKind policies[] = {core::PolicyKind::SNuca,
+                                       core::PolicyKind::RNuca,
+                                       core::PolicyKind::ReNuca};
+  sim::SweepPlan scalePlan;
+  for (const ScalePoint& p : points) {
+    for (core::PolicyKind kind : policies) {
+      sim::Job job;
+      job.config = cfg;
+      job.config.nocCfg.width = p.width;
+      job.config.nocCfg.height = p.height;
+      job.config.l3.banks = p.width * p.height;
+      job.config.numCores = p.cores;
+      // Geometry-specific node lists don't transfer between mesh sizes;
+      // keep only the MC scheme.
+      job.config.placement = noc::PlacementConfig{};
+      job.config.placement.numMcs = cfg.placement.numMcs;
+      job.config.placement.mcEdge = cfg.placement.mcEdge;
+      job.config.policy = kind;
+      job.mix = workload::mixForCores("WL1", p.cores);
+      job.label = std::string("scale/") + p.name + "/" + core::toString(kind);
+      scalePlan.add(std::move(job));
+    }
+  }
+  std::vector<sim::RunResult> scale = runJobs(kv, scalePlan, &session);
+
+  TextTable st({"mesh", "policy", "IPC", "nocLat", "minLife(y)"});
+  std::size_t i = 0;
+  for (const ScalePoint& p : points) {
+    for (core::PolicyKind kind : policies) {
+      const sim::RunResult& r = scale[i++];
+      st.addRow({p.name, core::toString(kind), TextTable::num(r.systemIpc, 3),
+                 TextTable::num(r.avgNocLatencyCycles, 2),
+                 TextTable::num(r.minBankLifetime(), 2)});
+    }
+  }
+  std::printf("%s", st.toString().c_str());
+  std::printf("(WL1 recipe at each core count; Re-NUCA vs baselines across mesh scale)\n");
+  return 0;
+}

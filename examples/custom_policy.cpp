@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   cfg.instrPerCore = 20000;
   cfg.warmupInstrPerCore = 5000;
   cfg.applyOverrides(KvConfig::fromArgs(argc, argv));
-  const workload::WorkloadMix& mix = workload::standardMixes()[1];
+  const workload::WorkloadMix mix = workload::mixForCores("WL2", cfg.numCores);
   std::printf("\nbuilt-in schemes on %s for comparison:\n", mix.name.c_str());
   for (core::PolicyKind policy : sim::allPolicies()) {
     sim::SystemConfig c = cfg;

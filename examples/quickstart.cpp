@@ -38,8 +38,9 @@ int main(int argc, char** argv) {
   std::printf("machine: %s\n\n", cfg.summary().c_str());
 
   // 2. Pick a workload: WL1 is one of the paper-style mixes of 16 SPEC-like
-  //    applications with varied write intensity.
-  const workload::WorkloadMix& mix = workload::standardMixes()[0];
+  //    applications with varied write intensity.  When mesh=/cores= scaled
+  //    the machine, the recipe is resampled at the configured core count.
+  const workload::WorkloadMix mix = workload::mixForCores("WL1", cfg.numCores);
   std::printf("workload %s:\n ", mix.name.c_str());
   for (const std::string& app : mix.appNames) std::printf(" %s", app.c_str());
   std::printf("\n\n");

@@ -29,21 +29,21 @@ PolicyKind policyFromString(const std::string& name) {
   RENUCA_ASSERT(false, "unknown policy name: " + name);
 }
 
-std::unique_ptr<MappingPolicy> makePolicy(PolicyKind kind, const noc::MeshNoc& mesh,
+std::unique_ptr<MappingPolicy> makePolicy(PolicyKind kind, const noc::Topology& topo,
                                           const PolicyOptions& options) {
   switch (kind) {
     case PolicyKind::SNuca:
-      return std::make_unique<SNucaPolicy>(mesh.numNodes());
+      return std::make_unique<SNucaPolicy>(topo.numBanks());
     case PolicyKind::RNuca:
-      return std::make_unique<RNucaPolicy>(mesh, options.clusterSize);
+      return std::make_unique<RNucaPolicy>(topo, options.clusterSize);
     case PolicyKind::Private:
-      return std::make_unique<PrivatePolicy>(mesh.numNodes());
+      return std::make_unique<PrivatePolicy>(topo.numBanks());
     case PolicyKind::Naive:
       RENUCA_ASSERT(static_cast<bool>(options.bankWrites),
                     "Naive policy requires the bank-write oracle");
-      return std::make_unique<NaivePolicy>(mesh.numNodes(), options.bankWrites);
+      return std::make_unique<NaivePolicy>(topo.numBanks(), options.bankWrites);
     case PolicyKind::ReNuca:
-      return std::make_unique<ReNucaPolicy>(mesh, options.clusterSize);
+      return std::make_unique<ReNucaPolicy>(topo, options.clusterSize);
   }
   RENUCA_ASSERT(false, "unhandled policy kind");
 }

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "core/mapping_policy.hpp"
-#include "noc/mesh.hpp"
+#include "noc/topology.hpp"
 
 namespace renuca::core {
 
@@ -15,9 +15,9 @@ struct PolicyOptions {
   std::function<std::uint64_t(BankId)> bankWrites;
 };
 
-/// Builds a policy for a mesh of LLC banks.  Aborts if Naive is requested
-/// without a write oracle.
-std::unique_ptr<MappingPolicy> makePolicy(PolicyKind kind, const noc::MeshNoc& mesh,
+/// Builds a policy over a placed topology of LLC banks.  Aborts if Naive
+/// is requested without a write oracle.
+std::unique_ptr<MappingPolicy> makePolicy(PolicyKind kind, const noc::Topology& topo,
                                           const PolicyOptions& options = {});
 
 }  // namespace renuca::core

@@ -2,8 +2,8 @@
 
 namespace renuca::core {
 
-ReNucaPolicy::ReNucaPolicy(const noc::MeshNoc& mesh, std::uint32_t clusterSize)
-    : snuca_(mesh.numNodes()), rnuca_(mesh, clusterSize) {}
+ReNucaPolicy::ReNucaPolicy(const noc::Topology& topo, std::uint32_t clusterSize)
+    : snuca_(topo.numBanks()), rnuca_(topo, clusterSize) {}
 
 BankId ReNucaPolicy::locate(BlockAddr block, CoreId requester, bool rnucaBit) const {
   return rnucaBit ? rnuca_.locate(block, requester, true)

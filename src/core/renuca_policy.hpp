@@ -25,7 +25,7 @@ namespace renuca::core {
 
 class ReNucaPolicy final : public MappingPolicy {
  public:
-  ReNucaPolicy(const noc::MeshNoc& mesh, std::uint32_t clusterSize = 4);
+  ReNucaPolicy(const noc::Topology& topo, std::uint32_t clusterSize = 4);
 
   PolicyKind kind() const override { return PolicyKind::ReNuca; }
   BankId locate(BlockAddr block, CoreId requester, bool rnucaBit) const override;

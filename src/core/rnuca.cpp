@@ -7,42 +7,40 @@
 
 namespace renuca::core {
 
-RNucaPolicy::RNucaPolicy(const noc::MeshNoc& mesh, std::uint32_t clusterSize)
-    : clusterSize_(clusterSize), numBanks_(mesh.numNodes()) {
+RNucaPolicy::RNucaPolicy(const noc::Topology& topo, std::uint32_t clusterSize)
+    : clusterSize_(clusterSize), numBanks_(topo.numBanks()) {
   RENUCA_ASSERT(isPow2(clusterSize) && clusterSize >= 1,
                 "R-NUCA cluster size must be a power of two");
   RENUCA_ASSERT(clusterSize <= numBanks_, "cluster larger than the mesh");
-  buildClusters(mesh);
+  buildClusters(topo);
 }
 
-void RNucaPolicy::buildClusters(const noc::MeshNoc& mesh) {
-  const std::uint32_t w = mesh.config().width;
-  const std::uint32_t h = mesh.config().height;
-  clusters_.resize(numBanks_);
-  rid_.resize(numBanks_);
+void RNucaPolicy::buildClusters(const noc::Topology& topo) {
+  clusters_.resize(topo.numCores());
+  rid_.resize(topo.numCores());
 
-  for (std::uint32_t c = 0; c < numBanks_; ++c) {
-    const std::uint32_t x = mesh.xOf(c), y = mesh.yOf(c);
+  for (std::uint32_t c = 0; c < topo.numCores(); ++c) {
+    const std::uint32_t node = topo.coreNode(c);
+    const std::uint32_t x = topo.xOf(node), y = topo.yOf(node);
     // Rotational interleaving (R-NUCA §4): neighbours get different RIDs
     // so overlapping clusters rotate which member takes which address slot.
-    rid_[c] = (x + 2 * y) % clusterSize_;
+    // The x + 2y form assumes x varies between horizontal neighbours; on a
+    // 1-wide mesh (x == 0 everywhere, so (2y) % n skips odd RIDs for even
+    // n) the column index is the only axis, and y itself is the RID.
+    rid_[c] = topo.width() == 1 ? y % clusterSize_ : (x + 2 * y) % clusterSize_;
 
-    // Cluster members are the clusterSize banks nearest the core: the
-    // core's own bank, then 1-hop neighbours, then (at mesh edges and for
-    // larger clusters) the next ring out.  Ties break by bank id so the
-    // construction is deterministic.
+    // Cluster members are the clusterSize banks nearest the core's node:
+    // the co-located bank, then 1-hop neighbours, then (at mesh edges and
+    // for larger clusters) the next ring out.  Ties break by bank id so
+    // the construction is deterministic.
     std::vector<BankId> cand(numBanks_);
     for (BankId b = 0; b < numBanks_; ++b) cand[b] = b;
     std::stable_sort(cand.begin(), cand.end(), [&](BankId a, BankId b) {
-      return mesh.hopCount(c, a) < mesh.hopCount(c, b);
+      return topo.hopCount(node, topo.bankNode(a)) <
+             topo.hopCount(node, topo.bankNode(b));
     });
-    RENUCA_ASSERT(cand.size() >= clusterSize_, "mesh too small for cluster");
     cand.resize(clusterSize_);
     clusters_[c] = std::move(cand);
-    (void)x;
-    (void)y;
-    (void)w;
-    (void)h;
   }
 }
 

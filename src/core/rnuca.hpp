@@ -1,9 +1,9 @@
 // Reactive NUCA (Hardavellas et al., ISCA'09) as used by the paper.
 //
 // Each core owns a fixed-size cluster of n = 4 banks, all as close to the
-// core as the mesh allows (at most one hop for interior cores; mesh edges
-// fall back to the nearest available neighbours).  Blocks map within the
-// cluster by the paper's rotational function:
+// core's mesh node as the placement allows (at most one hop for interior
+// cores; mesh edges fall back to the nearest available neighbours).
+// Blocks map within the cluster by the paper's rotational function:
 //
 //     DestinationBank = cluster[(Addr + RID + 1) & (n - 1)]
 //
@@ -15,15 +15,15 @@
 #include <vector>
 
 #include "core/mapping_policy.hpp"
-#include "noc/mesh.hpp"
+#include "noc/topology.hpp"
 
 namespace renuca::core {
 
 class RNucaPolicy final : public MappingPolicy {
  public:
-  /// `clusterSize` must be a power of two (paper: 4); the mesh supplies
-  /// the geometry for cluster construction.
-  RNucaPolicy(const noc::MeshNoc& mesh, std::uint32_t clusterSize = 4);
+  /// `clusterSize` must be a power of two (paper: 4); the topology supplies
+  /// the geometry and the core/bank placement for cluster construction.
+  RNucaPolicy(const noc::Topology& topo, std::uint32_t clusterSize = 4);
 
   PolicyKind kind() const override { return PolicyKind::RNuca; }
   BankId locate(BlockAddr block, CoreId requester, bool rnucaBit) const override;
@@ -38,7 +38,7 @@ class RNucaPolicy final : public MappingPolicy {
   BankId mapBank(BlockAddr block, CoreId requester) const;
 
  private:
-  void buildClusters(const noc::MeshNoc& mesh);
+  void buildClusters(const noc::Topology& topo);
 
   std::uint32_t clusterSize_;
   std::uint32_t numBanks_;

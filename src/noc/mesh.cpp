@@ -76,6 +76,8 @@ std::uint64_t MeshNoc::linkTraffic(std::uint32_t node, Dir dir) const {
 
 void MeshNoc::saveState(serial::ArchiveWriter& ar) const {
   ar.putU32(numNodes());
+  ar.putU32(cfg_.width);
+  ar.putU32(cfg_.height);
 }
 
 bool MeshNoc::loadState(serial::ArchiveReader& ar) {
@@ -84,7 +86,18 @@ bool MeshNoc::loadState(serial::ArchiveReader& ar) {
     logMessage(LogLevel::Warn, "serial", "noc: snapshot mesh size mismatch");
     return false;
   }
-  return ar.ok() && ar.remaining() == 0;
+  // Pre-placement snapshots recorded only the node count; accept them as
+  // long as the count matches (they were all 4x4 or 1x1, where the count
+  // pins the shape).  Newer snapshots also carry the geometry, so an 8x4
+  // snapshot cannot restore into a 4x8 run.
+  if (ar.remaining() == 0) return true;
+  std::uint32_t w = ar.getU32();
+  std::uint32_t h = ar.getU32();
+  if (!ar.ok() || w != cfg_.width || h != cfg_.height) {
+    logMessage(LogLevel::Warn, "serial", "noc: snapshot mesh geometry mismatch");
+    return false;
+  }
+  return ar.remaining() == 0;
 }
 
 double MeshNoc::avgPacketLatency() const {

@@ -1,0 +1,366 @@
+#include "noc/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace renuca::noc {
+
+namespace {
+
+struct EdgeName {
+  McEdge edge;
+  const char* name;
+};
+
+// Custom is deliberately absent: it is implied by an explicit mc: list in
+// placement=, never spelled as an mc_edge= value.
+constexpr EdgeName kEdgeNames[] = {
+    {McEdge::Corners, "corners"}, {McEdge::Top, "top"},
+    {McEdge::Bottom, "bottom"},   {McEdge::Left, "left"},
+    {McEdge::Right, "right"},     {McEdge::Ring, "ring"},
+    {McEdge::Diagonal, "diagonal"}, {McEdge::Center, "center"},
+};
+
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                                   diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Parses a non-negative integer occupying the whole of `s`.
+bool parseU32(const std::string& s, std::uint32_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  if (v > 0xffffffffull) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+/// The i-th of n evenly spaced positions along a length-L edge (midpoint
+/// rule, so four MCs on an 8-wide edge land at columns 1,3,5,7).
+std::uint32_t spaced(std::uint32_t i, std::uint32_t n, std::uint32_t len) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(2 * i + 1) * len) / (2ull * n));
+}
+
+/// Perimeter nodes clockwise from (0,0).  Degenerate 1-wide / 1-tall meshes
+/// yield each node exactly once.
+std::vector<std::uint32_t> perimeterNodes(const NocConfig& g) {
+  const std::uint32_t w = g.width, h = g.height;
+  auto at = [&](std::uint32_t x, std::uint32_t y) { return y * w + x; };
+  std::vector<std::uint32_t> p;
+  for (std::uint32_t x = 0; x < w; ++x) p.push_back(at(x, 0));
+  for (std::uint32_t y = 1; y < h; ++y) p.push_back(at(w - 1, y));
+  if (h > 1)
+    for (std::uint32_t x = w - 1; x-- > 0;) p.push_back(at(x, h - 1));
+  if (w > 1)
+    for (std::uint32_t y = h - 1; y-- > 1;) p.push_back(at(0, y));
+  return p;
+}
+
+void appendList(std::ostringstream& os, const std::vector<std::uint32_t>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << v[i];
+  }
+}
+
+}  // namespace
+
+const char* toString(McEdge edge) {
+  for (const auto& e : kEdgeNames)
+    if (e.edge == edge) return e.name;
+  return "custom";
+}
+
+bool mcEdgeFromString(const std::string& name, McEdge& out) {
+  for (const auto& e : kEdgeNames) {
+    if (name == e.name) {
+      out = e.edge;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string closestMcEdgeName(const std::string& name) {
+  std::size_t best = std::string::npos;
+  std::string bestName = kEdgeNames[0].name;
+  for (const auto& e : kEdgeNames) {
+    std::size_t d = editDistance(name, e.name);
+    if (d < best) {
+      best = d;
+      bestName = e.name;
+    }
+  }
+  return bestName;
+}
+
+bool isDefaultPlacement(const PlacementConfig& p) {
+  return p.numMcs == 4 && p.mcEdge == McEdge::Corners && p.mcNodes.empty() &&
+         p.bankNodes.empty() && p.coreNodes.empty();
+}
+
+bool parseMeshSpec(const std::string& spec, std::uint32_t& w, std::uint32_t& h) {
+  std::size_t x = spec.find_first_of("xX");
+  if (x == std::string::npos) return false;
+  std::uint32_t pw = 0, ph = 0;
+  if (!parseU32(spec.substr(0, x), pw)) return false;
+  if (!parseU32(spec.substr(x + 1), ph)) return false;
+  if (pw == 0 || ph == 0) return false;
+  w = pw;
+  h = ph;
+  return true;
+}
+
+std::string parsePlacementSpec(const std::string& spec, PlacementConfig& out) {
+  if (spec.empty()) return "empty placement spec";
+  for (const std::string& group : splitOn(spec, ';')) {
+    if (group.empty()) continue;  // tolerate trailing ';'
+    std::size_t colon = group.find(':');
+    if (colon == std::string::npos)
+      return "group '" + group + "' has no ':' (expected mc:<ids>, banks:<ids>, or cores:<ids>)";
+    std::string name = group.substr(0, colon);
+    std::vector<std::uint32_t> ids;
+    for (const std::string& tok : splitOn(group.substr(colon + 1), ',')) {
+      std::uint32_t id = 0;
+      if (!parseU32(tok, id))
+        return "'" + tok + "' in the " + name + ": list is not a node id";
+      ids.push_back(id);
+    }
+    if (name == "mc") {
+      out.mcEdge = McEdge::Custom;
+      out.mcNodes = ids;
+      out.numMcs = static_cast<std::uint32_t>(ids.size());
+    } else if (name == "banks") {
+      out.bankNodes = ids;
+    } else if (name == "cores") {
+      out.coreNodes = ids;
+    } else {
+      return "unknown placement group '" + name + "' (expected mc, banks, or cores)";
+    }
+  }
+  return {};
+}
+
+std::vector<std::uint32_t> defaultMcNodes(const NocConfig& geom,
+                                          std::uint32_t numMcs, McEdge edge) {
+  const std::uint32_t w = geom.width, h = geom.height, n = w * h;
+  std::vector<std::uint32_t> mcs(numMcs);
+  switch (edge) {
+    case McEdge::Corners: {
+      // The legacy layout: dramAccess historically routed channel ch to
+      // corners[ch % 4]; keep that exact order so default fingerprints and
+      // latencies are unchanged.
+      const std::uint32_t corners[4] = {0, w - 1, w * (h - 1), w * h - 1};
+      for (std::uint32_t i = 0; i < numMcs; ++i) mcs[i] = corners[i % 4];
+      break;
+    }
+    case McEdge::Top:
+      for (std::uint32_t i = 0; i < numMcs; ++i) mcs[i] = spaced(i, numMcs, w);
+      break;
+    case McEdge::Bottom:
+      for (std::uint32_t i = 0; i < numMcs; ++i)
+        mcs[i] = w * (h - 1) + spaced(i, numMcs, w);
+      break;
+    case McEdge::Left:
+      for (std::uint32_t i = 0; i < numMcs; ++i)
+        mcs[i] = w * spaced(i, numMcs, h);
+      break;
+    case McEdge::Right:
+      for (std::uint32_t i = 0; i < numMcs; ++i)
+        mcs[i] = w * spaced(i, numMcs, h) + (w - 1);
+      break;
+    case McEdge::Ring: {
+      std::vector<std::uint32_t> perim = perimeterNodes(geom);
+      const std::uint32_t p = static_cast<std::uint32_t>(perim.size());
+      for (std::uint32_t i = 0; i < numMcs; ++i)
+        mcs[i] = perim[spaced(i, numMcs, p) % p];
+      break;
+    }
+    case McEdge::Diagonal:
+      for (std::uint32_t i = 0; i < numMcs; ++i)
+        mcs[i] = spaced(i, numMcs, h) * w + spaced(i, numMcs, w);
+      break;
+    case McEdge::Center: {
+      // Rank every node by Manhattan distance from the mesh centroid
+      // (doubled to stay integral), ties broken by node id.
+      std::vector<std::uint32_t> order(n);
+      for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
+      auto centrality = [&](std::uint32_t v) {
+        std::int64_t dx = 2 * static_cast<std::int64_t>(v % w) - (w - 1);
+        std::int64_t dy = 2 * static_cast<std::int64_t>(v / w) - (h - 1);
+        return std::llabs(dx) + std::llabs(dy);
+      };
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return centrality(a) < centrality(b);
+                       });
+      for (std::uint32_t i = 0; i < numMcs; ++i) mcs[i] = order[i % n];
+      break;
+    }
+    case McEdge::Custom:
+      RENUCA_ASSERT(false, "Custom MC placement has no default node list");
+      break;
+  }
+  return mcs;
+}
+
+Topology::Topology(const NocConfig& geometry, std::uint32_t numCores,
+                   const PlacementConfig& placement)
+    : geom_(geometry), numCores_(numCores), place_(placement) {
+  std::vector<std::string> problems = check(geometry, numCores, placement);
+  RENUCA_ASSERT(problems.empty(), problems.front());
+
+  const std::uint32_t n = numNodes();
+  if (place_.coreNodes.empty()) {
+    coreNodes_.resize(numCores_);
+    for (std::uint32_t c = 0; c < numCores_; ++c) coreNodes_[c] = c;
+  } else {
+    coreNodes_ = place_.coreNodes;
+  }
+  if (place_.bankNodes.empty()) {
+    bankNodes_.resize(n);
+    for (std::uint32_t b = 0; b < n; ++b) bankNodes_[b] = b;
+  } else {
+    bankNodes_ = place_.bankNodes;
+  }
+  mcNodes_ = place_.mcEdge == McEdge::Custom
+                 ? place_.mcNodes
+                 : defaultMcNodes(geom_, place_.numMcs, place_.mcEdge);
+  isDefault_ = isDefaultPlacement(place_);
+}
+
+std::uint32_t Topology::hopCount(std::uint32_t a, std::uint32_t b) const {
+  std::uint32_t ax = xOf(a), ay = yOf(a), bx = xOf(b), by = yOf(b);
+  std::uint32_t dx = ax > bx ? ax - bx : bx - ax;
+  std::uint32_t dy = ay > by ? ay - by : by - ay;
+  return dx + dy;
+}
+
+std::string Topology::placementKey() const {
+  std::ostringstream os;
+  os << "mc=" << toString(place_.mcEdge) << ':';
+  appendList(os, mcNodes_);
+  os << ";banks=";
+  if (place_.bankNodes.empty()) {
+    os << "id";
+  } else {
+    appendList(os, bankNodes_);
+  }
+  os << ";cores=";
+  if (place_.coreNodes.empty()) {
+    os << "id";
+  } else {
+    appendList(os, coreNodes_);
+  }
+  return os.str();
+}
+
+std::vector<std::string> Topology::check(const NocConfig& geom,
+                                         std::uint32_t numCores,
+                                         const PlacementConfig& placement) {
+  std::vector<std::string> problems;
+  auto fail = [&](const std::string& msg) { problems.push_back(msg); };
+
+  if (geom.width == 0 || geom.height == 0) {
+    fail("mesh must be at least 1x1");
+    return problems;  // everything below divides by the geometry
+  }
+  const std::uint32_t n = geom.width * geom.height;
+  std::ostringstream dim;
+  dim << geom.width << 'x' << geom.height;
+  const std::string mesh = dim.str();
+
+  if (numCores == 0) fail("at least one core is required");
+  if (placement.coreNodes.empty()) {
+    if (numCores > n)
+      fail("cores=" + std::to_string(numCores) + " exceeds the " + mesh +
+           " mesh's " + std::to_string(n) + " nodes");
+  } else {
+    if (placement.coreNodes.size() != numCores)
+      fail("placement cores: list has " +
+           std::to_string(placement.coreNodes.size()) + " entries but cores=" +
+           std::to_string(numCores));
+    std::vector<std::uint32_t> sorted = placement.coreNodes;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t v : placement.coreNodes)
+      if (v >= n) {
+        fail("placement cores: node " + std::to_string(v) +
+             " is outside the " + mesh + " mesh");
+        break;
+      }
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      fail("placement cores: list assigns two cores to the same node");
+  }
+
+  if (!placement.bankNodes.empty()) {
+    // One bank per node is the NUCA invariant, so a custom bank map must be
+    // a permutation of the node ids.
+    if (placement.bankNodes.size() != n) {
+      fail("placement banks: list has " +
+           std::to_string(placement.bankNodes.size()) + " entries; the " +
+           mesh + " mesh needs one bank per node (" + std::to_string(n) + ")");
+    } else {
+      std::vector<std::uint32_t> sorted = placement.bankNodes;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::uint32_t b = 0; b < n; ++b)
+        if (sorted[b] != b) {
+          fail("placement banks: list is not a permutation of nodes 0.." +
+               std::to_string(n - 1));
+          break;
+        }
+    }
+  }
+
+  if (placement.mcEdge == McEdge::Custom) {
+    if (placement.mcNodes.empty())
+      fail("placement mc: list is empty");
+    if (placement.numMcs != placement.mcNodes.size())
+      fail("mc=" + std::to_string(placement.numMcs) + " conflicts with the " +
+           std::to_string(placement.mcNodes.size()) +
+           "-entry placement mc: list");
+    for (std::uint32_t v : placement.mcNodes)
+      if (v >= n) {
+        fail("placement mc: node " + std::to_string(v) + " is outside the " +
+             mesh + " mesh");
+        break;
+      }
+  } else {
+    if (placement.numMcs == 0) fail("at least one memory controller is required");
+    if (!placement.mcNodes.empty())
+      fail("mc_edge=" + std::string(toString(placement.mcEdge)) +
+           " conflicts with an explicit placement mc: list");
+  }
+
+  return problems;
+}
+
+}  // namespace renuca::noc

@@ -1,0 +1,138 @@
+// Topology/placement layer: who sits where on the mesh.
+//
+// MeshNoc models *timing* on a W x H grid of anonymous nodes; this layer
+// owns the *placement*: which node hosts core i, which node hosts LLC bank
+// b, and which nodes carry the memory controllers that DRAM channels hang
+// off.  Every consumer (mapping policies, the memory system's NoC
+// traversals, the fingerprint) asks the Topology instead of assuming the
+// historical identity layout (core i == bank i == node i, MCs on the four
+// corners).  The default-constructed placement reproduces that historical
+// layout exactly, so Table-I configurations keep byte-identical results.
+//
+// MC routing model: DRAM channel ch is attached to the controller at
+// mcNodeOfChannel(ch) = mcNodes[ch % numMcs] — the address-interleaved
+// multi-MC scheme of "Optimal Placement of Cores, Caches and Memory
+// Controllers in NoC" (arXiv 1607.04298).  LLC misses and write-backs
+// traverse the mesh to that node before paying DRAM latency, so MC
+// placement is visible to the latency (but not the functional) model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/mesh.hpp"
+
+namespace renuca::noc {
+
+/// Named memory-controller placement schemes, resolved against the mesh
+/// geometry by defaultMcNodes().  Custom takes explicit node ids
+/// (PlacementConfig::mcNodes, via the placement= key).
+enum class McEdge : std::uint8_t {
+  Corners,   ///< The four mesh corners, round-robin (the legacy layout).
+  Top,       ///< Evenly spaced along row 0.
+  Bottom,    ///< Evenly spaced along row H-1.
+  Left,      ///< Evenly spaced along column 0.
+  Right,     ///< Evenly spaced along column W-1.
+  Ring,      ///< Evenly spaced around the perimeter.
+  Diagonal,  ///< Evenly spaced along the main diagonal.
+  Center,    ///< The nodes nearest the mesh centroid.
+  Custom,    ///< Explicit node list (placement=mc:...).
+};
+
+const char* toString(McEdge edge);
+/// Parses a lowercase scheme name ("corners", "top", ...).  Custom is not
+/// nameable — it is implied by an explicit placement=mc: list.
+bool mcEdgeFromString(const std::string& name, McEdge& out);
+/// Nearest nameable scheme by edit distance, for did-you-mean errors.
+std::string closestMcEdgeName(const std::string& name);
+
+/// Placement knobs layered on top of NocConfig geometry.  Empty vectors
+/// mean "the default": identity core/bank maps, edge-scheme MC nodes.
+struct PlacementConfig {
+  std::uint32_t numMcs = 4;        ///< Memory controllers (power of two).
+  McEdge mcEdge = McEdge::Corners;
+  std::vector<std::uint32_t> mcNodes;    ///< Custom MC nodes (mcEdge == Custom).
+  std::vector<std::uint32_t> bankNodes;  ///< bank -> node; empty = identity.
+  std::vector<std::uint32_t> coreNodes;  ///< core -> node; empty = identity.
+};
+
+/// True when `p` is structurally the legacy default (4 corner MCs, identity
+/// maps).  Cheap struct-level test used by summary()/fingerprint to keep
+/// default-configuration output byte-identical to pre-placement builds.
+bool isDefaultPlacement(const PlacementConfig& p);
+
+/// Parses a "mesh=WxH" value.  Returns false (leaving w/h untouched) on
+/// anything but two positive integers around a single 'x'.
+bool parseMeshSpec(const std::string& spec, std::uint32_t& w, std::uint32_t& h);
+
+/// Parses a placement= spec: ';'-separated groups of "mc:<nodes>",
+/// "banks:<nodes>", "cores:<nodes>", each a comma-separated node-id list
+/// (e.g. "mc:0,7,56,63;banks:63,62,...").  An mc: group switches mcEdge to
+/// Custom and sets numMcs from the list length.  Returns an empty string on
+/// success, else a human-readable error.
+std::string parsePlacementSpec(const std::string& spec, PlacementConfig& out);
+
+/// The node list an edge scheme resolves to on a given geometry.
+std::vector<std::uint32_t> defaultMcNodes(const NocConfig& geom,
+                                          std::uint32_t numMcs, McEdge edge);
+
+class Topology {
+ public:
+  /// Aborts (RENUCA_ASSERT) on an invalid placement; run check() first when
+  /// the inputs are user-supplied.
+  explicit Topology(const NocConfig& geometry, std::uint32_t numCores,
+                    const PlacementConfig& placement = {});
+
+  std::uint32_t width() const { return geom_.width; }
+  std::uint32_t height() const { return geom_.height; }
+  std::uint32_t numNodes() const { return geom_.width * geom_.height; }
+  std::uint32_t numCores() const { return numCores_; }
+  /// One LLC bank per mesh node (the NUCA invariant).
+  std::uint32_t numBanks() const { return numNodes(); }
+  std::uint32_t numMcs() const { return static_cast<std::uint32_t>(mcNodes_.size()); }
+
+  std::uint32_t xOf(std::uint32_t node) const { return node % geom_.width; }
+  std::uint32_t yOf(std::uint32_t node) const { return node / geom_.width; }
+  std::uint32_t nodeAt(std::uint32_t x, std::uint32_t y) const {
+    return y * geom_.width + x;
+  }
+  /// Manhattan hop count (matches MeshNoc::hopCount — XY routing).
+  std::uint32_t hopCount(std::uint32_t a, std::uint32_t b) const;
+
+  std::uint32_t coreNode(CoreId core) const { return coreNodes_[core]; }
+  std::uint32_t bankNode(BankId bank) const { return bankNodes_[bank]; }
+  std::uint32_t mcNode(std::uint32_t mc) const { return mcNodes_[mc]; }
+  /// The MC serving a DRAM channel (address-interleaved: ch % numMcs).
+  std::uint32_t mcNodeOfChannel(std::uint32_t channel) const {
+    return mcNodes_[channel % mcNodes_.size()];
+  }
+  /// Host of centralized structures (the Naive oracle's line directory).
+  std::uint32_t centerNode() const { return numNodes() / 2; }
+
+  const PlacementConfig& placement() const { return place_; }
+  /// True when this placement is behaviourally the legacy default.
+  bool isDefault() const { return isDefault_; }
+  /// Canonical placement description ("mc=corners:0,3,12,15;banks=id;
+  /// cores=id") — stamped into the warm-state fingerprint (non-default
+  /// placements only) so snapshot restore into a different topology is
+  /// refused.
+  std::string placementKey() const;
+
+  /// Validates a placement against a geometry and core count without
+  /// constructing.  Returns every problem found; empty = valid.
+  static std::vector<std::string> check(const NocConfig& geom, std::uint32_t numCores,
+                                        const PlacementConfig& placement);
+
+ private:
+  NocConfig geom_;
+  std::uint32_t numCores_;
+  PlacementConfig place_;
+  std::vector<std::uint32_t> coreNodes_;  // materialized (identity when empty)
+  std::vector<std::uint32_t> bankNodes_;
+  std::vector<std::uint32_t> mcNodes_;
+  bool isDefault_ = false;
+};
+
+}  // namespace renuca::noc

@@ -106,13 +106,11 @@ bool parseJobSpec(const std::string& text, sim::Job& job, std::string& error) {
               std::to_string(all.size()) + ")";
       return false;
     }
-    if (cfg.numCores != it->appNames.size()) {
-      error = "mix " + wanted + " is a " + std::to_string(it->appNames.size()) +
-              "-core workload but the config has cores=" +
-              std::to_string(cfg.numCores);
-      return false;
-    }
-    mix = *it;
+    // Non-16-core configs (mesh=8x8 cores=64 fleet sweeps) get the same
+    // recipe re-sampled at the config's core count ("WL1@64").
+    mix = cfg.numCores == it->appNames.size()
+              ? *it
+              : workload::mixForCores(wanted, cfg.numCores);
   }
 
   job.label = kv.getOr("label", mix.name);

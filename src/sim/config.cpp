@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/bitops.hpp"
 #include "common/log.hpp"
 
 namespace renuca::sim {
@@ -62,7 +63,38 @@ void SystemConfig::applyOverrides(const KvConfig& kv) {
       static_cast<std::uint32_t>(kv.getOr("rob_entries", static_cast<std::int64_t>(coreCfg.robEntries)));
   if (auto v = kv.getInt("l2_kb")) l2.sizeBytes = static_cast<std::uint64_t>(*v) * 1024;
   if (auto v = kv.getInt("l3_bank_kb")) l3.bankBytes = static_cast<std::uint64_t>(*v) * 1024;
+  if (auto m = kv.getString("mesh")) {
+    std::uint32_t w = 0, h = 0;
+    if (noc::parseMeshSpec(*m, w, h)) {
+      nocCfg.width = w;
+      nocCfg.height = h;
+      l3.banks = w * h;  // one LLC bank per mesh node (the NUCA invariant)
+    } else {
+      logMessage(LogLevel::Warn, "config",
+                 "malformed mesh '" + *m + "' ignored (expected WxH, e.g. mesh=8x8)");
+    }
+  }
   if (auto v = kv.getInt("cores")) numCores = static_cast<std::uint32_t>(*v);
+  if (auto v = kv.getInt("mc")) placement.numMcs = static_cast<std::uint32_t>(*v);
+  if (auto e = kv.getString("mc_edge")) {
+    noc::McEdge edge;
+    if (noc::mcEdgeFromString(*e, edge)) {
+      placement.mcEdge = edge;
+    } else {
+      logMessage(LogLevel::Warn, "config",
+                 "unknown mc_edge '" + *e + "' ignored (did you mean '" +
+                     noc::closestMcEdgeName(*e) + "'?)");
+    }
+  }
+  if (auto p = kv.getString("placement")) {
+    noc::PlacementConfig parsed = placement;
+    std::string err = noc::parsePlacementSpec(*p, parsed);
+    if (err.empty()) {
+      placement = parsed;
+    } else {
+      logMessage(LogLevel::Warn, "config", "placement ignored: " + err);
+    }
+  }
   if (auto v = kv.getInt("cluster_size")) clusterSize = static_cast<std::uint32_t>(*v);
   forcePredictor = kv.getOr("force_predictor", forcePredictor);
 
@@ -119,6 +151,10 @@ const KeyRegistry& configKeyRegistry() {
         .intKey("l2_kb", 1, 1 << 20)
         .intKey("l3_bank_kb", 1, 1 << 22)
         .intKey("cores", 1, 1024)
+        .stringKey("mesh")
+        .intKey("mc", 1, 64)
+        .stringKey("mc_edge")
+        .stringKey("placement")
         .intKey("cluster_size", 1, 1024)
         .boolKey("force_predictor")
         .intKey("epoch_instrs", 0, b1)
@@ -151,12 +187,90 @@ const KeyRegistry& configKeyRegistry() {
   return reg;
 }
 
+namespace {
+/// Cross-field topology checks layered on the per-key registry rules.
+/// Only keys actually present in `kv` participate — validation cannot know
+/// which preset a binary starts from (the singleCore rig is a 1x1 mesh),
+/// so geometry-relative checks fire only when mesh= itself is given.
+void crossValidateTopology(const KvConfig& kv, std::vector<ConfigError>& errors) {
+  std::uint32_t w = 0, h = 0;
+  bool haveMesh = false;
+  if (auto m = kv.getString("mesh")) {
+    if (noc::parseMeshSpec(*m, w, h)) {
+      haveMesh = true;
+    } else {
+      errors.push_back({"mesh", "'" + *m + "' is not a WxH mesh (e.g. mesh=8x8)"});
+    }
+  }
+  if (auto v = kv.getInt("mc")) {
+    if (*v >= 1 && !isPow2(static_cast<std::uint64_t>(*v)))
+      errors.push_back({"mc", "value " + std::to_string(*v) +
+                                  " is not a power of two (DRAM channels"
+                                  " interleave as channel % mc)"});
+  }
+
+  noc::PlacementConfig place;
+  if (auto v = kv.getInt("mc"))
+    if (*v >= 1) place.numMcs = static_cast<std::uint32_t>(*v);
+  if (auto e = kv.getString("mc_edge")) {
+    if (!noc::mcEdgeFromString(*e, place.mcEdge))
+      errors.push_back({"mc_edge", "unknown scheme '" + *e + "' (did you mean '" +
+                                       noc::closestMcEdgeName(*e) + "'?)"});
+  }
+  if (auto p = kv.getString("placement")) {
+    const std::uint32_t mcsBefore = place.numMcs;
+    const bool edgeBefore = place.mcEdge != noc::McEdge::Custom;
+    std::string err = noc::parsePlacementSpec(*p, place);
+    if (!err.empty()) {
+      errors.push_back({"placement", err});
+      return;
+    }
+    if (place.mcEdge == noc::McEdge::Custom) {
+      if (kv.has("mc") && place.numMcs != mcsBefore)
+        errors.push_back({"mc", "mc=" + std::to_string(mcsBefore) +
+                                    " conflicts with the " +
+                                    std::to_string(place.numMcs) +
+                                    "-entry placement mc: list"});
+      if (kv.has("mc_edge") && edgeBefore)
+        errors.push_back({"mc_edge", "'" + kv.getOr("mc_edge", std::string()) +
+                                         "' conflicts with the explicit"
+                                         " placement mc: list"});
+    }
+  }
+  if (!haveMesh) return;
+
+  noc::NocConfig geom;
+  geom.width = w;
+  geom.height = h;
+  const std::uint32_t nodes = w * h;
+  // The default core count when cores= is absent alongside an explicit
+  // mesh= is the Table-I 16 (mesh= implies the defaultConfig family).
+  const std::uint32_t cores =
+      static_cast<std::uint32_t>(kv.getOr("cores", std::int64_t{16}));
+  for (const std::string& msg : noc::Topology::check(geom, cores, place))
+    errors.push_back({"mesh", msg});
+  if (auto v = kv.getInt("cluster_size")) {
+    if (*v >= 1 && static_cast<std::uint64_t>(*v) > nodes)
+      errors.push_back({"cluster_size",
+                        "value " + std::to_string(*v) + " exceeds the " +
+                            std::to_string(nodes) + "-bank " + *kv.getString("mesh") +
+                            " mesh"});
+  }
+}
+}  // namespace
+
 std::vector<ConfigError> validateConfigKeys(const KvConfig& kv,
                                             const std::vector<std::string>& extraKeys) {
-  if (extraKeys.empty()) return configKeyRegistry().validate(kv);
-  KeyRegistry r = configKeyRegistry();
-  for (const std::string& k : extraKeys) r.stringKey(k);
-  return r.validate(kv);
+  std::vector<ConfigError> errors;
+  if (extraKeys.empty()) {
+    errors = configKeyRegistry().validate(kv);
+  } else {
+    KeyRegistry r = configKeyRegistry();
+    for (const std::string& k : extraKeys) r.stringKey(k);
+    errors = r.validate(kv);
+  }
+  crossValidateTopology(kv, errors);
+  return errors;
 }
 
 std::string SystemConfig::summary() const {
@@ -166,8 +280,18 @@ std::string SystemConfig::summary() const {
      << " L2=" << l2.sizeBytes / 1024 << "KB/" << l2.ways << "w/" << l2.latency << "cy"
      << " L3=" << l3.banks << "x" << l3.bankBytes / 1024 / 1024 << "MB/" << l3.ways
      << "w/" << l3.latency << "cy"
-     << " mesh=" << nocCfg.width << "x" << nocCfg.height
-     << " dram=" << dramCfg.channels << "ch policy=" << core::toString(policy)
+     << " mesh=" << nocCfg.width << "x" << nocCfg.height;
+  // Keep the default header byte-identical to pre-placement builds.
+  if (!noc::isDefaultPlacement(placement)) {
+    os << " mc=" << placement.numMcs;
+    if (placement.mcEdge != noc::McEdge::Corners)
+      os << " mc_edge=" << noc::toString(placement.mcEdge);
+    if (!placement.bankNodes.empty() || !placement.coreNodes.empty() ||
+        placement.mcEdge == noc::McEdge::Custom)
+      os << " placement="
+         << noc::Topology(nocCfg, numCores, placement).placementKey();
+  }
+  os << " dram=" << dramCfg.channels << "ch policy=" << core::toString(policy)
      << " threshold=" << cpt.thresholdPct << "%"
      << " instr/core=" << instrPerCore << " warmup=" << warmupInstrPerCore;
   return os.str();

@@ -12,6 +12,7 @@
 #include "dram/dram.hpp"
 #include "mem/cache.hpp"
 #include "noc/mesh.hpp"
+#include "noc/topology.hpp"
 #include "rram/endurance.hpp"
 #include "rram/fault_model.hpp"
 #include "tlb/tlb.hpp"
@@ -46,6 +47,10 @@ struct SystemConfig {
   LlcConfig l3;                      // 16 x 2 MB, 16-way, 100 cycles
   tlb::TlbConfig tlbCfg;             // 64-entry, 8-way, + MBV
   noc::NocConfig nocCfg;             // 4x4 mesh
+  /// Who sits where on the mesh (mc=/mc_edge=/placement= keys).  The
+  /// default — four corner MCs, identity core/bank maps — reproduces the
+  /// pre-placement layout exactly.
+  noc::PlacementConfig placement;
   dram::DramConfig dramCfg;          // DDR3, 4ch x 2rk x 8bk, FR-FCFS
   rram::EnduranceConfig endurance;   // 1e11 writes/cell @ 2.4 GHz
 

@@ -38,6 +38,15 @@ std::string warmStateKey(const SystemConfig& cfg, const workload::WorkloadMix& m
      << "sharing=" << (cfg.enableSharing ? 1 : 0) << ';'
      << "prefetch=" << cfg.l2PrefetchDegree << ';'
      << "noc=" << cfg.nocCfg.width << 'x' << cfg.nocCfg.height << ';';
+  // The placement suffix only appears when non-default, so every snapshot
+  // taken before the placement layer existed (all default-placed) keeps its
+  // fingerprint; a custom placement refuses to restore a default-placed
+  // snapshot and vice versa.
+  if (!noc::isDefaultPlacement(cfg.placement)) {
+    os << "placement="
+       << noc::Topology(cfg.nocCfg, cfg.numCores, cfg.placement).placementKey()
+       << ';';
+  }
   // The fault model rides along: its per-frame budgets are serialized into
   // the snapshot, so runs may only share one when the whole fault config
   // matches (budgets are unarmed during the fast-forward — no frame can

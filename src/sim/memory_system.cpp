@@ -10,10 +10,11 @@
 namespace renuca::sim {
 
 MemorySystem::MemorySystem(const SystemConfig& config)
-    : cfg_(config), mesh_(config.nocCfg), dram_(config.dramCfg),
+    : cfg_(config), topo_(config.nocCfg, config.numCores, config.placement),
+      mesh_(config.nocCfg), dram_(config.dramCfg),
       coreCounters_(config.numCores), stats_("memsys") {
-  RENUCA_ASSERT(cfg_.numCores == cfg_.l3.banks,
-                "the paper's NUCA has one bank per core");
+  RENUCA_ASSERT(cfg_.numCores <= cfg_.l3.banks,
+                "more cores than LLC banks (every core needs a mesh node)");
   RENUCA_ASSERT(cfg_.l3.banks == mesh_.numNodes(), "one LLC bank per mesh node");
 
   for (CoreId c = 0; c < cfg_.numCores; ++c) {
@@ -49,7 +50,7 @@ MemorySystem::MemorySystem(const SystemConfig& config)
   core::PolicyOptions opts;
   opts.clusterSize = cfg_.clusterSize;
   opts.bankWrites = [this](BankId b) { return llc_[b]->totalWrites(); };
-  policy_ = core::makePolicy(cfg_.policy, mesh_, opts);
+  policy_ = core::makePolicy(cfg_.policy, topo_, opts);
 
   if (cfg_.enableSharing) {
     directory_ = std::make_unique<coherence::DirectoryMesi>(cfg_.numCores);
@@ -162,10 +163,7 @@ bool MemorySystem::mbvBitPhys(BlockAddr block) const {
 }
 
 std::uint32_t MemorySystem::memNode(std::uint32_t channel) const {
-  const std::uint32_t w = mesh_.config().width;
-  const std::uint32_t h = mesh_.config().height;
-  const std::uint32_t corners[4] = {0, w - 1, w * (h - 1), w * h - 1};
-  return corners[channel % 4];
+  return topo_.mcNodeOfChannel(channel);
 }
 
 void MemorySystem::writebackL1VictimToL2(CoreId core, BlockAddr block, Cycle now) {
@@ -195,7 +193,8 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
 
   bool bit = policy_->needsMbv() ? mbvBitPhys(block) : false;
   BankId bank = policy_->locate(block, owner, bit);
-  Cycle arrive = nocTraverse(owner, bank, now, mesh_.config().dataFlits);
+  Cycle arrive = nocTraverse(topo_.coreNode(owner), topo_.bankNode(bank), now,
+                             mesh_.config().dataFlits);
   bankReserve(bank, arrive);
 
   // Criticality attribution for Fig 9: the block's verdict was fixed at
@@ -217,7 +216,8 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
     stats_.inc("dead_set_bypasses");
     Addr paddr = lineBase(block);
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
-    Cycle memArrive = nocTraverse(bank, memNode(ch), arrive, mesh_.config().dataFlits);
+    Cycle memArrive = nocTraverse(topo_.bankNode(bank), memNode(ch), arrive,
+                                  mesh_.config().dataFlits);
     dramAccess(paddr, AccessType::Write, memArrive);
     ++hot_.dramWritebacks;
   } else {
@@ -328,7 +328,8 @@ void MemorySystem::evictFromLlc(BankId bank, const mem::Eviction& ev, Cycle now)
   if (dirty) {
     Addr paddr = lineBase(block);
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
-    Cycle arrive = nocTraverse(bank, memNode(ch), now, mesh_.config().dataFlits);
+    Cycle arrive = nocTraverse(topo_.bankNode(bank), memNode(ch), now,
+                               mesh_.config().dataFlits);
     dramAccess(paddr, AccessType::Write, arrive);
     ++hot_.dramWritebacks;
   }
@@ -345,13 +346,15 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
   // same resources demand traffic would, but off the core's critical path.
   bool bit = policy_->needsMbv() ? tlbs_[core]->mappingBit(vaddr) : false;
   BankId bank = policy_->locate(block, core, bit);
-  Cycle arrive = nocTraverse(core, bank, now, mesh_.config().controlFlits);
+  Cycle arrive = nocTraverse(topo_.coreNode(core), topo_.bankNode(bank), now,
+                             mesh_.config().controlFlits);
   Cycle bankStart = bankReserve(bank, arrive);
   if (!llc_[bank]->access(block, AccessType::Read)) {
     ++hot_.l2PrefetchLlcMisses;
     Addr paddr = lineBase(block);
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
-    Cycle memArrive = nocTraverse(bank, memNode(ch), bankStart + cfg_.l3.tagLatency,
+    Cycle memArrive = nocTraverse(topo_.bankNode(bank), memNode(ch),
+                                  bankStart + cfg_.l3.tagLatency,
                                   mesh_.config().controlFlits);
     Cycle dramDone = dramAccess(paddr, AccessType::Read, memArrive);
     core::MappingPolicy::Fill fill = policy_->placeFill(block, core, false);
@@ -359,7 +362,7 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
       ++hot_.llcFills;
       ++hot_.llcFillsNonCritical;
       ++hot_.llcWritesNonCritical;
-      Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
+      Cycle fillArrive = nocTraverse(memNode(ch), topo_.bankNode(fill.bank), dramDone,
                                      mesh_.config().dataFlits);
       Cycle fillStart = bankReserve(fill.bank, fillArrive);
       mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false,
@@ -386,7 +389,8 @@ void MemorySystem::coherenceActions(CoreId core, BlockAddr block, AccessType typ
     if (other == core) continue;
     // Invalidate/downgrade the remote private caches; dirty data is
     // flushed into the LLC (which backs all L2s).
-    Cycle arrive = nocTraverse(core, other, now, mesh_.config().controlFlits);
+    Cycle arrive = nocTraverse(topo_.coreNode(core), topo_.coreNode(other), now,
+                               mesh_.config().controlFlits);
     (void)arrive;
     if (type == AccessType::Write) {
       auto d1 = l1_[other]->invalidate(block);
@@ -484,10 +488,11 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
   // directory node and pays the lookup latency.
   Cycle llcIssueAt = afterL2;
   if (cfg_.policy == core::PolicyKind::Naive) {
-    std::uint32_t dirNode = mesh_.numNodes() / 2;
-    Cycle atDir = nocTraverse(core, dirNode, afterL2, mesh_.config().controlFlits);
+    std::uint32_t dirNode = topo_.centerNode();
+    Cycle atDir = nocTraverse(topo_.coreNode(core), dirNode, afterL2,
+                              mesh_.config().controlFlits);
     llcIssueAt = atDir + cfg_.l3.naiveDirectoryLatency;
-    Cycle reqFromDir = nocTraverse(dirNode, lookupBank, llcIssueAt,
+    Cycle reqFromDir = nocTraverse(dirNode, topo_.bankNode(lookupBank), llcIssueAt,
                                    mesh_.config().controlFlits);
     llcIssueAt = reqFromDir;
     ++hot_.naiveDirectoryLookups;
@@ -495,8 +500,8 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
 
   Cycle reqArrive = cfg_.policy == core::PolicyKind::Naive
                         ? llcIssueAt
-                        : nocTraverse(core, lookupBank, afterL2,
-                                      mesh_.config().controlFlits);
+                        : nocTraverse(topo_.coreNode(core), topo_.bankNode(lookupBank),
+                                      afterL2, mesh_.config().controlFlits);
   if (traceWalk && reqArrive > afterL2) {
     tracer_->span("noc_req", "noc", kTracePidCores, core, afterL2, reqArrive,
                   {{"bank", static_cast<std::int64_t>(lookupBank)}});
@@ -507,7 +512,8 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
   if (llc_[lookupBank]->access(block, AccessType::Read)) {
     // LLC hit: full ReRAM array read, data packet back to the core.
     Cycle dataReady = bankStart + cfg_.l3.latency;
-    dataAtCore = nocTraverse(lookupBank, core, dataReady, mesh_.config().dataFlits);
+    dataAtCore = nocTraverse(topo_.bankNode(lookupBank), topo_.coreNode(core),
+                             dataReady, mesh_.config().dataFlits);
     if (traceWalk) {
       tracer_->span("l3", "mem", kTracePidCores, core, bankStart, dataReady,
                     {{"bank", static_cast<std::int64_t>(lookupBank)}, {"hit", 1}});
@@ -552,8 +558,8 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
 
     Addr paddr = lineBase(block);
     std::uint32_t ch = dram::mapAddress(paddr, cfg_.dramCfg).channel;
-    Cycle memArrive = nocTraverse(lookupBank, memNode(ch), missKnown,
-                                     mesh_.config().controlFlits);
+    Cycle memArrive = nocTraverse(topo_.bankNode(lookupBank), memNode(ch), missKnown,
+                                  mesh_.config().controlFlits);
     Cycle dramDone = dramAccess(paddr, AccessType::Read, memArrive);
     if (traceWalk) {
       tracer_->span("dram", "mem", kTracePidCores, core, memArrive, dramDone,
@@ -569,8 +575,8 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
       if (!fillCritical) ++hot_.llcFillsNonCritical;
       ++(fillCritical ? hot_.llcWritesCritical : hot_.llcWritesNonCritical);
 
-      Cycle fillArrive = nocTraverse(memNode(ch), fill.bank, dramDone,
-                                        mesh_.config().dataFlits);
+      Cycle fillArrive = nocTraverse(memNode(ch), topo_.bankNode(fill.bank), dramDone,
+                                     mesh_.config().dataFlits);
       Cycle fillStart = bankReserve(fill.bank, fillArrive);
       mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false,
                                                     fillCritical);
@@ -581,12 +587,14 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
 
       // Fill-forward: the data packet continues to the core as the ReRAM
       // write proceeds in the background.
-      dataAtCore = nocTraverse(fill.bank, core, fillArrive, mesh_.config().dataFlits);
+      dataAtCore = nocTraverse(topo_.bankNode(fill.bank), topo_.coreNode(core),
+                               fillArrive, mesh_.config().dataFlits);
     } else {
       // The chosen bank's set is fully dead: no LLC fill — DRAM serves the
       // core directly (degraded-capacity bypass).
       stats_.inc("dead_set_bypasses");
-      dataAtCore = nocTraverse(memNode(ch), core, dramDone, mesh_.config().dataFlits);
+      dataAtCore = nocTraverse(memNode(ch), topo_.coreNode(core), dramDone,
+                               mesh_.config().dataFlits);
     }
     hot_.llcMissLatencySum += dataAtCore - issueAt;
     ++hot_.llcMissLatencyCount;

@@ -1,6 +1,9 @@
 // The simulated memory hierarchy: per-core enhanced TLBs and private
-// L1D/L2 caches, the 16-bank ReRAM NUCA LLC on the 4x4 mesh, and the DDR3
-// controller — glued together by the active mapping policy.
+// L1D/L2 caches, the ReRAM NUCA LLC (one bank per mesh node; paper
+// default 16 banks on a 4x4 mesh), and the DDR3 controller — glued
+// together by the active mapping policy.  All NoC endpoints (core, bank,
+// memory-controller) are resolved through the noc::Topology placement
+// layer, so arbitrary meshes and placements share this one code path.
 //
 // Timing model: each request's completion cycle is computed as it walks
 // the hierarchy, with contention carried by busy-until reservations on L3
@@ -28,6 +31,7 @@
 #include "dram/dram.hpp"
 #include "mem/cache.hpp"
 #include "noc/mesh.hpp"
+#include "noc/topology.hpp"
 #include "serial/archive.hpp"
 #include "sim/config.hpp"
 #include "telemetry/metrics.hpp"
@@ -75,6 +79,7 @@ class MemorySystem final : public cpu::MemorySystem {
   const SystemConfig& config() const { return cfg_; }
   core::MappingPolicy& policy() { return *policy_; }
   const noc::MeshNoc& mesh() const { return mesh_; }
+  const noc::Topology& topology() const { return topo_; }
   const dram::DramController& dram() const { return dram_; }
   const mem::CacheBank& llcBank(BankId b) const { return *llc_[b]; }
   std::uint32_t numBanks() const { return static_cast<std::uint32_t>(llc_.size()); }
@@ -197,6 +202,7 @@ class MemorySystem final : public cpu::MemorySystem {
   Cycle dramAccess(Addr paddr, AccessType type, Cycle at);
 
   SystemConfig cfg_;
+  noc::Topology topo_;
   tlb::PageTable pageTable_;
   std::vector<std::unique_ptr<tlb::EnhancedTlb>> tlbs_;
   std::vector<std::unique_ptr<mem::CacheBank>> l1_;

@@ -1,0 +1,84 @@
+#include "sim/placement_search.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace renuca::sim {
+
+std::vector<PlacementCandidate> mcEdgeCandidates(std::uint32_t numMcs) {
+  std::vector<PlacementCandidate> out;
+  for (noc::McEdge edge : {noc::McEdge::Corners, noc::McEdge::Top,
+                           noc::McEdge::Bottom, noc::McEdge::Left,
+                           noc::McEdge::Right, noc::McEdge::Ring,
+                           noc::McEdge::Diagonal, noc::McEdge::Center}) {
+    PlacementCandidate c;
+    c.name = noc::toString(edge);
+    c.placement.numMcs = numMcs;
+    c.placement.mcEdge = edge;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<PlacementCandidate> randomBankCandidates(const noc::NocConfig& geom,
+                                                     std::uint32_t count,
+                                                     std::uint64_t seed) {
+  const std::uint32_t n = geom.width * geom.height;
+  std::vector<PlacementCandidate> out;
+  Pcg32 rng(seed, 0x706c616365ull);  // "place"
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PlacementCandidate c;
+    c.name = "shuffle" + std::to_string(i);
+    c.placement.bankNodes.resize(n);
+    for (std::uint32_t b = 0; b < n; ++b) c.placement.bankNodes[b] = b;
+    // Fisher-Yates over one shared stream: candidate i's permutation is a
+    // pure function of (seed, i).
+    for (std::uint32_t k = n; k > 1; --k) {
+      std::uint32_t j = rng.nextBelow(k);
+      std::swap(c.placement.bankNodes[k - 1], c.placement.bankNodes[j]);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+SweepPlan placementSearchPlan(const SystemConfig& base,
+                              const workload::WorkloadMix& mix,
+                              const std::vector<PlacementCandidate>& candidates) {
+  SweepPlan plan;
+  for (const PlacementCandidate& cand : candidates) {
+    Job job;
+    job.label = "place/" + cand.name;
+    job.config = base;
+    job.config.placement = cand.placement;
+    job.mix = mix;
+    plan.add(std::move(job));
+  }
+  return plan;
+}
+
+std::vector<PlacementScore> rankPlacements(
+    const std::vector<PlacementCandidate>& candidates,
+    const std::vector<RunResult>& results) {
+  std::vector<PlacementScore> scores;
+  for (std::size_t i = 0; i < candidates.size() && i < results.size(); ++i) {
+    PlacementScore s;
+    s.name = candidates[i].name;
+    if (results[i].error.empty()) {
+      s.systemIpc = results[i].systemIpc;
+      s.avgNocLatencyCycles = results[i].avgNocLatencyCycles;
+      s.minLifetimeYears = results[i].minBankLifetime();
+      s.score = s.systemIpc * s.minLifetimeYears;
+    }
+    scores.push_back(std::move(s));
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const PlacementScore& a, const PlacementScore& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.name < b.name;
+                   });
+  return scores;
+}
+
+}  // namespace renuca::sim

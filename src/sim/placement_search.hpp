@@ -1,0 +1,63 @@
+// Placement exploration: which bank/MC arrangement should a big mesh use?
+//
+// Following "Optimal Placement of Cores, Caches and Memory Controllers in
+// NoC" (arXiv 1607.04298), MC and cache placement dominates NoC latency at
+// 8x8 scale — and on a ReRAM LLC it also shifts *wear*, because placement
+// changes which banks absorb the write-heavy cores' clusters.  This module
+// enumerates candidate placements as ordinary SweepPlan jobs (so jobs=,
+// snapshot_dir=, renucad, and the sharded fleet all work unchanged) and
+// ranks the results by a combined latency x lifetime score.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noc/topology.hpp"
+#include "sim/config.hpp"
+#include "sim/sweep.hpp"
+
+namespace renuca::sim {
+
+/// One candidate placement, named for reports ("corners", "ring",
+/// "shuffle3", ...).
+struct PlacementCandidate {
+  std::string name;
+  noc::PlacementConfig placement;
+};
+
+/// The eight nameable MC-edge schemes, each with `numMcs` controllers.
+std::vector<PlacementCandidate> mcEdgeCandidates(std::uint32_t numMcs);
+
+/// `count` deterministic pseudo-random bank permutations ("shuffle0"...),
+/// on top of the default MC placement.  Explores whether scattering banks
+/// away from the identity map helps wear at the cost of latency.
+std::vector<PlacementCandidate> randomBankCandidates(const noc::NocConfig& geom,
+                                                     std::uint32_t count,
+                                                     std::uint64_t seed);
+
+/// One job per candidate: `base` with the candidate's placement applied,
+/// labelled "place/<name>".  Results come back in candidate order.
+SweepPlan placementSearchPlan(const SystemConfig& base,
+                              const workload::WorkloadMix& mix,
+                              const std::vector<PlacementCandidate>& candidates);
+
+/// A candidate's figure of merit.  score = systemIpc x minLifetimeYears:
+/// a placement only wins by being fast AND wearing its weakest bank slowly
+/// (either factor at zero zeroes the score).
+struct PlacementScore {
+  std::string name;
+  double systemIpc = 0.0;
+  double avgNocLatencyCycles = 0.0;
+  double minLifetimeYears = 0.0;
+  double score = 0.0;
+};
+
+/// Pairs candidates with their plan-ordered results and sorts by score,
+/// best first (ties by name for determinism).  Failed runs score zero and
+/// sink to the bottom.
+std::vector<PlacementScore> rankPlacements(
+    const std::vector<PlacementCandidate>& candidates,
+    const std::vector<RunResult>& results);
+
+}  // namespace renuca::sim

@@ -51,6 +51,26 @@ WorkloadMix makeMix(const std::string& name, std::uint32_t cores,
   return mix;
 }
 
+WorkloadMix mixForCores(const std::string& name, std::uint32_t cores) {
+  RENUCA_ASSERT(cores >= 1, "a mix needs at least one core");
+  int index = -1;
+  for (int i = 1; i <= 10; ++i) {
+    if (name == "WL" + std::to_string(i)) index = i;
+  }
+  RENUCA_ASSERT(index > 0, "mixForCores wants a standard mix name (WL1..WL10)");
+  if (cores == 16) return standardMixes()[static_cast<std::size_t>(index - 1)];
+
+  // The paper's 5/5/6-of-16 ratio, scaled; low intensity absorbs rounding
+  // so high apps never dominate small machines.
+  std::uint32_t numHigh = cores * 5 / 16;
+  std::uint32_t numMedium = cores * 5 / 16;
+  std::uint32_t numLow = cores - numHigh - numMedium;
+  return makeMix(name + "@" + std::to_string(cores), cores, numHigh, numMedium,
+                 numLow,
+                 /*seed=*/0x57000000ull + static_cast<std::uint64_t>(index) +
+                     (static_cast<std::uint64_t>(cores) << 16));
+}
+
 const std::vector<WorkloadMix>& standardMixes() {
   static const std::vector<WorkloadMix> mixes = [] {
     std::vector<WorkloadMix> v;

@@ -30,4 +30,11 @@ WorkloadMix makeMix(const std::string& name, std::uint32_t cores,
                     std::uint32_t numHigh, std::uint32_t numMedium,
                     std::uint32_t numLow, std::uint64_t seed);
 
+/// A standard mix scaled to `cores` apps: at 16 cores this IS the standard
+/// mix (same object, byte-identical runs); at other core counts the same
+/// recipe re-samples with the standard 5/5/6 intensity ratio and a seed
+/// derived from the mix, named e.g. "WL1@64".  `name` must be "WL1".."WL10".
+/// This is how parameterized-CMP runs (mesh=8x8 cores=64) get workloads.
+WorkloadMix mixForCores(const std::string& name, std::uint32_t cores);
+
 }  // namespace renuca::workload

@@ -13,14 +13,21 @@
 #include "core/renuca_policy.hpp"
 #include "core/rnuca.hpp"
 #include "core/snuca.hpp"
-#include "noc/mesh.hpp"
+#include "noc/topology.hpp"
 
 namespace renuca::core {
 namespace {
 
-noc::MeshNoc& mesh4x4() {
-  static noc::MeshNoc mesh{noc::NocConfig{}};
-  return mesh;
+const noc::Topology& topo4x4() {
+  static noc::Topology topo{noc::NocConfig{}, /*numCores=*/16};
+  return topo;
+}
+
+noc::Topology makeTopo(std::uint32_t w, std::uint32_t h) {
+  noc::NocConfig geom;
+  geom.width = w;
+  geom.height = h;
+  return noc::Topology(geom, /*numCores=*/w * h);
 }
 
 TEST(SNuca, InterleavesUniformly) {
@@ -50,7 +57,7 @@ TEST(SNuca, FillNeverReportsRnuca) {
 }
 
 TEST(RNuca, ClustersHaveRightSizeAndContainSelf) {
-  RNucaPolicy p(mesh4x4(), 4);
+  RNucaPolicy p(topo4x4(), 4);
   for (CoreId c = 0; c < 16; ++c) {
     const auto& cluster = p.clusterOf(c);
     EXPECT_EQ(cluster.size(), 4u);
@@ -62,26 +69,26 @@ TEST(RNuca, ClustersHaveRightSizeAndContainSelf) {
 }
 
 TEST(RNuca, InteriorClustersAreOneHop) {
-  RNucaPolicy p(mesh4x4(), 4);
+  RNucaPolicy p(topo4x4(), 4);
   // Interior cores (not on the mesh edge): 5, 6, 9, 10.
   for (CoreId c : {5u, 6u, 9u, 10u}) {
     for (BankId b : p.clusterOf(c)) {
-      EXPECT_LE(mesh4x4().hopCount(c, b), 1u) << "core " << c << " bank " << b;
+      EXPECT_LE(topo4x4().hopCount(c, b), 1u) << "core " << c << " bank " << b;
     }
   }
 }
 
 TEST(RNuca, EdgeClustersStayClose) {
-  RNucaPolicy p(mesh4x4(), 4);
+  RNucaPolicy p(topo4x4(), 4);
   for (CoreId c = 0; c < 16; ++c) {
     for (BankId b : p.clusterOf(c)) {
-      EXPECT_LE(mesh4x4().hopCount(c, b), 2u);
+      EXPECT_LE(topo4x4().hopCount(c, b), 2u);
     }
   }
 }
 
 TEST(RNuca, MappingUsesPaperFunction) {
-  RNucaPolicy p(mesh4x4(), 4);
+  RNucaPolicy p(topo4x4(), 4);
   for (CoreId c = 0; c < 16; ++c) {
     for (BlockAddr b = 0; b < 64; ++b) {
       BankId expected =
@@ -92,7 +99,7 @@ TEST(RNuca, MappingUsesPaperFunction) {
 }
 
 TEST(RNuca, SpreadsWithinClusterOnly) {
-  RNucaPolicy p(mesh4x4(), 4);
+  RNucaPolicy p(topo4x4(), 4);
   for (CoreId c = 0; c < 16; ++c) {
     std::set<BankId> used;
     for (BlockAddr b = 0; b < 1000; ++b) {
@@ -104,7 +111,7 @@ TEST(RNuca, SpreadsWithinClusterOnly) {
 }
 
 TEST(RNuca, NeighbouringClustersOverlap) {
-  RNucaPolicy p(mesh4x4(), 4);
+  RNucaPolicy p(topo4x4(), 4);
   // Cluster overlap is the wear mechanism the paper describes: adjacent
   // cores share banks.
   std::set<BankId> c5(p.clusterOf(5).begin(), p.clusterOf(5).end());
@@ -116,16 +123,77 @@ TEST(RNuca, NeighbouringClustersOverlap) {
 }
 
 TEST(RNuca, FillReportsRnuca) {
-  RNucaPolicy p(mesh4x4(), 4);
+  RNucaPolicy p(topo4x4(), 4);
   EXPECT_TRUE(p.placeFill(5, 2, false).usedRnuca);
 }
 
 TEST(RNuca, ClusterSizeAblation) {
   for (std::uint32_t size : {2u, 4u, 8u}) {
-    RNucaPolicy p(mesh4x4(), size);
+    RNucaPolicy p(topo4x4(), size);
     for (CoreId c = 0; c < 16; ++c) {
       EXPECT_EQ(p.clusterOf(c).size(), size);
     }
+  }
+}
+
+// Pin the exact 4x4 RIDs the paper's rotational function produces.  Any
+// change to the RID derivation (e.g. the 1-wide-mesh special case growing)
+// would silently perturb every R-NUCA/Re-NUCA result; this golden catches it.
+TEST(RNuca, RotationalIdGolden4x4) {
+  RNucaPolicy p(topo4x4(), 4);
+  for (CoreId c = 0; c < 16; ++c) {
+    std::uint32_t x = c % 4, y = c / 4;
+    EXPECT_EQ(p.rotationalId(c), (x + 2 * y) % 4) << "core " << c;
+  }
+}
+
+TEST(RNuca, RectangularMeshClustersStayClose) {
+  noc::Topology topo = makeTopo(8, 2);
+  RNucaPolicy p(topo, 4);
+  for (CoreId c = 0; c < 16; ++c) {
+    const auto& cluster = p.clusterOf(c);
+    EXPECT_EQ(cluster.size(), 4u);
+    EXPECT_NE(std::find(cluster.begin(), cluster.end(), c), cluster.end());
+    for (BankId b : cluster) {
+      EXPECT_LE(topo.hopCount(topo.coreNode(c), topo.bankNode(b)), 2u)
+          << "core " << c << " bank " << b;
+    }
+  }
+}
+
+// Degenerate 1-wide meshes: x == 0 everywhere, so the paper's (x + 2y)
+// formula would assign only even RIDs for even cluster sizes; the column
+// index takes over so neighbours still rotate through all slots.
+TEST(RNuca, OneWideMeshRotatesAllSlots) {
+  for (auto [w, h] : {std::pair<std::uint32_t, std::uint32_t>{1, 8},
+                      std::pair<std::uint32_t, std::uint32_t>{8, 1}}) {
+    noc::Topology topo = makeTopo(w, h);
+    RNucaPolicy p(topo, 4);
+    std::set<std::uint32_t> rids;
+    for (CoreId c = 0; c < 8; ++c) {
+      rids.insert(p.rotationalId(c));
+      EXPECT_EQ(p.rotationalId(c), c % 4) << w << "x" << h << " core " << c;
+    }
+    EXPECT_EQ(rids.size(), 4u) << w << "x" << h;
+  }
+}
+
+TEST(RNuca, CustomCorePlacementBuildsClustersAroundNode) {
+  // 16 banks on 4x4, but core 0 lives at the far corner node 15: its
+  // cluster must form around node 15, not node 0.  The corner has exactly
+  // three nodes within one hop (15, 14, 11); they must all be members, and
+  // the fourth falls in the next ring.
+  noc::PlacementConfig place;
+  place.coreNodes = {15, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 0};
+  noc::Topology topo(noc::NocConfig{}, 16, place);
+  RNucaPolicy p(topo, 4);
+  const auto& cluster = p.clusterOf(0);
+  for (BankId near : {15u, 14u, 11u}) {
+    EXPECT_NE(std::find(cluster.begin(), cluster.end(), near), cluster.end())
+        << "bank " << near << " missing from the corner cluster";
+  }
+  for (BankId b : cluster) {
+    EXPECT_LE(topo.hopCount(15, topo.bankNode(b)), 2u) << "bank " << b;
   }
 }
 
@@ -185,7 +253,7 @@ TEST(Naive, BalancesWritesInClosedLoop) {
 }
 
 TEST(ReNuca, CriticalGoesToClusterNonCriticalSpreads) {
-  ReNucaPolicy p(mesh4x4(), 4);
+  ReNucaPolicy p(topo4x4(), 4);
   for (CoreId c = 0; c < 16; ++c) {
     std::set<BankId> cluster(p.rnuca().clusterOf(c).begin(),
                              p.rnuca().clusterOf(c).end());
@@ -204,7 +272,7 @@ TEST(ReNuca, CriticalGoesToClusterNonCriticalSpreads) {
 }
 
 TEST(ReNuca, LocateHonoursMbvBit) {
-  ReNucaPolicy p(mesh4x4(), 4);
+  ReNucaPolicy p(topo4x4(), 4);
   for (BlockAddr b = 0; b < 200; ++b) {
     EXPECT_EQ(p.locate(b, 3, false), p.snuca().locate(b, 3, false));
     EXPECT_EQ(p.locate(b, 3, true), p.rnuca().locate(b, 3, false));
@@ -212,7 +280,7 @@ TEST(ReNuca, LocateHonoursMbvBit) {
 }
 
 TEST(ReNuca, NeedsMbvAndPredictor) {
-  ReNucaPolicy p(mesh4x4(), 4);
+  ReNucaPolicy p(topo4x4(), 4);
   EXPECT_TRUE(p.needsMbv());
   EXPECT_TRUE(p.needsPredictor());
   SNucaPolicy s(16);
@@ -227,7 +295,7 @@ TEST_P(PlacementRoundTrip, LocateFindsWhatPlaceFillPlaced) {
   std::vector<std::uint64_t> writes(16, 0);
   PolicyOptions opts;
   opts.bankWrites = [&](BankId b) { return writes[b]; };
-  auto policy = makePolicy(GetParam(), mesh4x4(), opts);
+  auto policy = makePolicy(GetParam(), topo4x4(), opts);
   Pcg32 rng(321);
   for (int i = 0; i < 4000; ++i) {
     BlockAddr block = rng.next();
@@ -262,14 +330,14 @@ TEST(PolicyFactory, BuildsEveryKind) {
   opts.bankWrites = [](BankId) { return 0ull; };
   for (PolicyKind kind : {PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::Private,
                           PolicyKind::Naive, PolicyKind::ReNuca}) {
-    auto p = makePolicy(kind, mesh4x4(), opts);
+    auto p = makePolicy(kind, topo4x4(), opts);
     ASSERT_NE(p, nullptr);
     EXPECT_EQ(p->kind(), kind);
   }
 }
 
 TEST(PolicyFactory, NaiveWithoutOracleDies) {
-  EXPECT_DEATH(makePolicy(PolicyKind::Naive, mesh4x4(), PolicyOptions{}), "oracle");
+  EXPECT_DEATH(makePolicy(PolicyKind::Naive, topo4x4(), PolicyOptions{}), "oracle");
 }
 
 TEST(PolicyFactory, NamesRoundTrip) {

@@ -17,6 +17,8 @@
 #include "core/cpt.hpp"
 #include "core/naive.hpp"
 #include "mem/cache.hpp"
+#include "noc/mesh.hpp"
+#include "noc/topology.hpp"
 #include "rram/fault_model.hpp"
 #include "serial/archive.hpp"
 #include "serial/checkpointable.hpp"
@@ -402,6 +404,44 @@ TEST(Serial, FaultModelRoundTrip) {
   EXPECT_FALSE(loadFromFile(p, c));
 }
 
+TEST(Serial, MeshNocRejectsGeometryMismatch) {
+  // 4x4 and 8x2 have the same node count; the snapshot must still refuse
+  // to cross geometries, because link indices mean different wires.
+  noc::MeshNoc a{noc::NocConfig{}};
+  const std::string p = tmpPath("mesh44.ckpt");
+  saveToFile(p, a);
+
+  noc::NocConfig wide;
+  wide.width = 8;
+  wide.height = 2;
+  noc::MeshNoc b(wide);
+  EXPECT_FALSE(loadFromFile(p, b));
+
+  noc::MeshNoc c{noc::NocConfig{}};
+  EXPECT_TRUE(loadFromFile(p, c));
+}
+
+TEST(Serial, MeshNocAcceptsLegacyNodesOnlySection) {
+  // Pre-topology archives recorded only the node count.  They are accepted
+  // as long as it matches (geometry then rides on the fingerprint).
+  const std::string p = tmpPath("meshlegacy.ckpt");
+  {
+    serial::ArchiveWriter w(p);
+    w.beginSection("c");
+    w.putU32(16);
+    w.endSection();
+    ASSERT_TRUE(w.close());
+  }
+  noc::MeshNoc mesh{noc::NocConfig{}};
+  EXPECT_TRUE(loadFromFile(p, mesh));
+
+  noc::NocConfig small;
+  small.width = 2;
+  small.height = 2;
+  noc::MeshNoc other(small);
+  EXPECT_FALSE(loadFromFile(p, other));
+}
+
 // --- Fingerprint rules -----------------------------------------------------
 
 sim::SystemConfig fastSingleCore() {
@@ -611,6 +651,36 @@ TEST(Snapshot, MismatchedConfigurationIsRejected) {
   other.seed = cfg.seed + 13;
   sim::System sys(other, mix);
   EXPECT_FALSE(sys.restoreFrom(ckpt));
+}
+
+TEST(Snapshot, PlacementMismatchIsRejected) {
+  // Same geometry, different placement: the fingerprint carries the
+  // placement key for non-default placements, so a snapshot taken under
+  // the default corner MCs must not restore into a ring-MC run.
+  const std::string ckpt = tmpPath("placemismatch.ckpt");
+  workload::WorkloadMix mix = singleAppMix("mcf");
+  sim::SystemConfig cfg = fastSingleCore();
+  cfg.snapshotSavePath = ckpt;
+  sim::System(cfg, mix).run();
+
+  sim::SystemConfig ring = fastSingleCore();
+  ring.placement.mcEdge = noc::McEdge::Ring;
+  sim::System sys(ring, mix);
+  EXPECT_FALSE(sys.restoreFrom(ckpt));
+}
+
+TEST(Fingerprint, PlacementChangesFingerprint) {
+  sim::SystemConfig base = fastSingleCore();
+  workload::WorkloadMix mix = singleAppMix("mcf");
+  const std::uint64_t fp = sim::warmStateFingerprint(base, mix);
+
+  sim::SystemConfig ring = base;
+  ring.placement.mcEdge = noc::McEdge::Ring;
+  EXPECT_NE(sim::warmStateFingerprint(ring, mix), fp);
+
+  sim::SystemConfig twoMcs = base;
+  twoMcs.placement.numMcs = 2;
+  EXPECT_NE(sim::warmStateFingerprint(twoMcs, mix), fp);
 }
 
 TEST(Snapshot, SharingRunsRefuseToSnapshot) {

@@ -194,6 +194,22 @@ TEST(JobSpec, MixSpecUsesStandardMix) {
   EXPECT_EQ(job.label, "WL3");
 }
 
+TEST(JobSpec, MeshOverrideResamplesMixAtTheConfigCoreCount) {
+  sim::Job job;
+  std::string err;
+  ASSERT_TRUE(server::parseJobSpec(
+      "mix=WL1\nmesh=8x8\ncores=64\nmc=4\ninstr_per_core=2000\n", job, err))
+      << err;
+  EXPECT_EQ(job.config.numCores, 64u);
+  EXPECT_EQ(job.config.l3.banks, 64u);
+  EXPECT_EQ(job.mix.name, "WL1@64");
+  EXPECT_EQ(job.mix.appNames.size(), 64u);
+  // Cross-field validation still applies through the daemon path.
+  EXPECT_FALSE(server::parseJobSpec("mix=WL1\nmesh=4x4\ncores=32\n", job, err));
+  EXPECT_FALSE(server::parseJobSpec("mix=WL1\nmc_edge=cornerz\n", job, err));
+  EXPECT_NE(err.find("corners"), std::string::npos) << err;
+}
+
 TEST(JobSpec, ClientJobIdIsPureProvenance) {
   sim::Job withId, without;
   std::string err;

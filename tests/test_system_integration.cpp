@@ -174,6 +174,42 @@ TEST(System, KvOverridesApply) {
   EXPECT_FALSE(cfg.summary().empty());
 }
 
+TEST(System, MeshOverridesResizeTheLlc) {
+  SystemConfig cfg = defaultConfig();
+  KvConfig kv = KvConfig::fromString("mesh=8x8\ncores=64\nmc=8\nmc_edge=ring\n");
+  cfg.applyOverrides(kv);
+  EXPECT_EQ(cfg.nocCfg.width, 8u);
+  EXPECT_EQ(cfg.nocCfg.height, 8u);
+  EXPECT_EQ(cfg.l3.banks, 64u);  // one LLC bank per mesh node
+  EXPECT_EQ(cfg.numCores, 64u);
+  EXPECT_EQ(cfg.placement.numMcs, 8u);
+  EXPECT_EQ(cfg.placement.mcEdge, noc::McEdge::Ring);
+  EXPECT_NE(cfg.summary().find("mc_edge=ring"), std::string::npos);
+  // The default header must stay byte-identical to pre-placement builds:
+  // no mc=/mc_edge=/placement= tokens unless the placement is non-default.
+  EXPECT_EQ(defaultConfig().summary().find("mc="), std::string::npos);
+}
+
+TEST(System, TopologyValidationCatchesCrossFieldMistakes) {
+  auto errsFor = [](const char* spec) {
+    return validateConfigKeys(KvConfig::fromString(spec));
+  };
+  EXPECT_TRUE(errsFor("mesh=8x8\ncores=64\nmc=4\n").empty());
+  EXPECT_TRUE(errsFor("mesh=8x4\ncores=32\nmc_edge=bottom\n").empty());
+  EXPECT_FALSE(errsFor("mesh=9zz\n").empty());
+  EXPECT_FALSE(errsFor("mesh=4x4\ncores=32\n").empty());  // cores > nodes
+  EXPECT_FALSE(errsFor("mc=3\n").empty());                // not a power of two
+  EXPECT_FALSE(errsFor("mesh=4x4\ncluster_size=32\n").empty());
+  EXPECT_FALSE(errsFor("mc=2\nplacement=mc:0,1,2,3\n").empty());  // conflict
+  EXPECT_FALSE(errsFor("placement=banana\n").empty());
+  EXPECT_FALSE(errsFor("mesh=4x4\nplacement=banks:0,1\n").empty());
+
+  // Misspelled schemes get a did-you-mean pointing at the nearest name.
+  std::vector<ConfigError> errs = errsFor("mc_edge=cornerz\n");
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].toString().find("corners"), std::string::npos);
+}
+
 TEST(System, MesiSharedModeSmoke) {
   SystemConfig cfg = fastConfig(core::PolicyKind::SNuca);
   cfg.enableSharing = true;

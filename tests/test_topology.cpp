@@ -1,0 +1,226 @@
+// Tests for the topology/placement layer: mesh-spec and placement-spec
+// parsing, the named MC-edge schemes, placement validation, and the
+// placement fingerprint key.
+#include <gtest/gtest.h>
+
+#include "noc/topology.hpp"
+
+namespace renuca::noc {
+namespace {
+
+NocConfig geom(std::uint32_t w, std::uint32_t h) {
+  NocConfig g;
+  g.width = w;
+  g.height = h;
+  return g;
+}
+
+TEST(MeshSpec, ParsesWellFormed) {
+  std::uint32_t w = 0, h = 0;
+  EXPECT_TRUE(parseMeshSpec("8x8", w, h));
+  EXPECT_EQ(w, 8u);
+  EXPECT_EQ(h, 8u);
+  EXPECT_TRUE(parseMeshSpec("16x2", w, h));
+  EXPECT_EQ(w, 16u);
+  EXPECT_EQ(h, 2u);
+  EXPECT_TRUE(parseMeshSpec("1X4", w, h));  // capital X accepted
+  EXPECT_EQ(w, 1u);
+  EXPECT_EQ(h, 4u);
+}
+
+TEST(MeshSpec, RejectsMalformedAndLeavesOutputUntouched) {
+  std::uint32_t w = 7, h = 9;
+  for (const char* bad : {"8", "x8", "8x", "0x4", "4x0", "axb", "8x8x8", ""}) {
+    EXPECT_FALSE(parseMeshSpec(bad, w, h)) << bad;
+  }
+  EXPECT_EQ(w, 7u);
+  EXPECT_EQ(h, 9u);
+}
+
+TEST(McEdgeNames, RoundTripAndDidYouMean) {
+  for (const char* name : {"corners", "top", "bottom", "left", "right",
+                           "ring", "diagonal", "center"}) {
+    McEdge e;
+    ASSERT_TRUE(mcEdgeFromString(name, e)) << name;
+    EXPECT_STREQ(toString(e), name);
+  }
+  McEdge e;
+  EXPECT_FALSE(mcEdgeFromString("custom", e));  // only via placement=mc:
+  EXPECT_FALSE(mcEdgeFromString("Corners", e));
+  EXPECT_EQ(closestMcEdgeName("cornerz"), "corners");
+  EXPECT_EQ(closestMcEdgeName("rin"), "ring");
+}
+
+TEST(McEdgeSchemes, CornersMatchesLegacyLayout) {
+  // The legacy dramAccess routing: channel ch -> corners[ch % 4] in exactly
+  // this order.  This golden guards default-config byte identity.
+  EXPECT_EQ(defaultMcNodes(geom(4, 4), 4, McEdge::Corners),
+            (std::vector<std::uint32_t>{0, 3, 12, 15}));
+  EXPECT_EQ(defaultMcNodes(geom(8, 8), 4, McEdge::Corners),
+            (std::vector<std::uint32_t>{0, 7, 56, 63}));
+  EXPECT_EQ(defaultMcNodes(geom(8, 8), 2, McEdge::Corners),
+            (std::vector<std::uint32_t>{0, 7}));
+  // More MCs than corners: wrap around.
+  EXPECT_EQ(defaultMcNodes(geom(4, 4), 8, McEdge::Corners),
+            (std::vector<std::uint32_t>{0, 3, 12, 15, 0, 3, 12, 15}));
+}
+
+TEST(McEdgeSchemes, EdgesAreEvenlySpaced) {
+  EXPECT_EQ(defaultMcNodes(geom(8, 8), 4, McEdge::Top),
+            (std::vector<std::uint32_t>{1, 3, 5, 7}));
+  EXPECT_EQ(defaultMcNodes(geom(8, 8), 4, McEdge::Bottom),
+            (std::vector<std::uint32_t>{57, 59, 61, 63}));
+  EXPECT_EQ(defaultMcNodes(geom(8, 8), 4, McEdge::Left),
+            (std::vector<std::uint32_t>{8, 24, 40, 56}));
+  EXPECT_EQ(defaultMcNodes(geom(8, 8), 4, McEdge::Right),
+            (std::vector<std::uint32_t>{15, 31, 47, 63}));
+  EXPECT_EQ(defaultMcNodes(geom(4, 4), 4, McEdge::Diagonal),
+            (std::vector<std::uint32_t>{0, 5, 10, 15}));
+}
+
+TEST(McEdgeSchemes, RingWalksThePerimeter) {
+  // 4x4 perimeter clockwise from (0,0): 0 1 2 3 7 11 15 14 13 12 8 4.
+  EXPECT_EQ(defaultMcNodes(geom(4, 4), 4, McEdge::Ring),
+            (std::vector<std::uint32_t>{1, 7, 14, 8}));
+}
+
+TEST(McEdgeSchemes, CenterPicksTheCentroidNeighborhood) {
+  // All four 4x4 center nodes tie on centroid distance; stable order wins.
+  EXPECT_EQ(defaultMcNodes(geom(4, 4), 4, McEdge::Center),
+            (std::vector<std::uint32_t>{5, 6, 9, 10}));
+  // Odd mesh: the exact center node first.
+  EXPECT_EQ(defaultMcNodes(geom(3, 3), 1, McEdge::Center),
+            (std::vector<std::uint32_t>{4}));
+}
+
+TEST(PlacementSpec, ParsesGroups) {
+  PlacementConfig p;
+  EXPECT_EQ(parsePlacementSpec("mc:0,7,56,63;banks:1,0;cores:2,3;", p), "");
+  EXPECT_EQ(p.mcEdge, McEdge::Custom);
+  EXPECT_EQ(p.numMcs, 4u);
+  EXPECT_EQ(p.mcNodes, (std::vector<std::uint32_t>{0, 7, 56, 63}));
+  EXPECT_EQ(p.bankNodes, (std::vector<std::uint32_t>{1, 0}));
+  EXPECT_EQ(p.coreNodes, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(PlacementSpec, ReportsReadableErrors) {
+  PlacementConfig p;
+  EXPECT_NE(parsePlacementSpec("", p), "");
+  EXPECT_NE(parsePlacementSpec("mc0,1", p), "");          // no ':'
+  EXPECT_NE(parsePlacementSpec("mc:0,zebra", p), "");     // bad node id
+  EXPECT_NE(parsePlacementSpec("spindles:1", p), "");     // unknown group
+}
+
+TEST(Placement, DefaultDetection) {
+  PlacementConfig p;
+  EXPECT_TRUE(isDefaultPlacement(p));
+  p.numMcs = 2;
+  EXPECT_FALSE(isDefaultPlacement(p));
+  p = PlacementConfig{};
+  p.mcEdge = McEdge::Ring;
+  EXPECT_FALSE(isDefaultPlacement(p));
+  p = PlacementConfig{};
+  p.bankNodes = {0, 1, 2, 3};  // explicit identity is still non-default
+  EXPECT_FALSE(isDefaultPlacement(p));
+}
+
+TEST(Topology, DefaultIdentityMaps) {
+  Topology t(geom(4, 4), 16);
+  EXPECT_TRUE(t.isDefault());
+  EXPECT_EQ(t.numNodes(), 16u);
+  EXPECT_EQ(t.numBanks(), 16u);
+  EXPECT_EQ(t.numMcs(), 4u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(t.coreNode(i), i);
+    EXPECT_EQ(t.bankNode(i), i);
+  }
+  EXPECT_EQ(t.centerNode(), 8u);
+  EXPECT_EQ(t.placementKey(), "mc=corners:0,3,12,15;banks=id;cores=id");
+}
+
+TEST(Topology, ChannelsInterleaveAcrossMcs) {
+  PlacementConfig p;
+  p.numMcs = 2;
+  Topology t(geom(4, 4), 16, p);
+  EXPECT_FALSE(t.isDefault());
+  EXPECT_EQ(t.mcNodeOfChannel(0), 0u);
+  EXPECT_EQ(t.mcNodeOfChannel(1), 3u);
+  EXPECT_EQ(t.mcNodeOfChannel(2), 0u);   // ch % numMcs wraps
+  EXPECT_EQ(t.mcNodeOfChannel(5), 3u);
+}
+
+TEST(Topology, CustomMapsAreHonored) {
+  PlacementConfig p;
+  p.mcEdge = McEdge::Custom;
+  p.numMcs = 1;
+  p.mcNodes = {2};
+  p.bankNodes = {3, 2, 1, 0};
+  p.coreNodes = {1, 3};
+  Topology t(geom(2, 2), 2, p);
+  EXPECT_EQ(t.coreNode(0), 1u);
+  EXPECT_EQ(t.coreNode(1), 3u);
+  EXPECT_EQ(t.bankNode(0), 3u);
+  EXPECT_EQ(t.bankNode(3), 0u);
+  EXPECT_EQ(t.mcNodeOfChannel(7), 2u);
+  EXPECT_EQ(t.placementKey(), "mc=custom:2;banks=3,2,1,0;cores=1,3");
+}
+
+TEST(Topology, HopCountsOnRectangularMeshes) {
+  Topology wide(geom(8, 4), 32);
+  EXPECT_EQ(wide.hopCount(0, 31), 10u);  // (0,0) -> (7,3)
+  EXPECT_EQ(wide.hopCount(7, 24), 10u);  // (7,0) -> (0,3)
+  EXPECT_EQ(wide.hopCount(9, 19), 3u);   // (1,1) -> (3,2)
+  Topology tall(geom(1, 8), 8);
+  EXPECT_EQ(tall.hopCount(0, 7), 7u);
+  EXPECT_EQ(tall.hopCount(3, 5), 2u);
+}
+
+TEST(Topology, SingleNodeMeshAcceptsDefaultPlacement) {
+  // The single_core rig: a 1x1 mesh with the default 4-corner scheme — all
+  // four "corners" are node 0, and that must validate.
+  Topology t(geom(1, 1), 1);
+  EXPECT_EQ(t.numMcs(), 4u);
+  for (std::uint32_t ch = 0; ch < 4; ++ch) EXPECT_EQ(t.mcNodeOfChannel(ch), 0u);
+  EXPECT_EQ(t.centerNode(), 0u);
+}
+
+TEST(TopologyCheck, CatchesBadGeometryAndPlacement) {
+  EXPECT_FALSE(Topology::check(geom(0, 4), 1, {}).empty());
+  EXPECT_FALSE(Topology::check(geom(4, 4), 0, {}).empty());
+  // More cores than nodes with the identity map.
+  EXPECT_FALSE(Topology::check(geom(4, 4), 17, {}).empty());
+  EXPECT_TRUE(Topology::check(geom(4, 4), 16, {}).empty());
+
+  PlacementConfig p;
+  p.bankNodes = {0, 0, 1, 2};  // not a permutation
+  NocConfig g2 = geom(2, 2);
+  EXPECT_FALSE(Topology::check(g2, 4, p).empty());
+  p.bankNodes = {0, 1, 2};  // wrong length
+  EXPECT_FALSE(Topology::check(g2, 4, p).empty());
+
+  p = PlacementConfig{};
+  p.coreNodes = {0, 0};  // two cores on one node
+  EXPECT_FALSE(Topology::check(g2, 2, p).empty());
+  p.coreNodes = {0, 9};  // off the mesh
+  EXPECT_FALSE(Topology::check(g2, 2, p).empty());
+  p.coreNodes = {0, 1, 2};  // size != numCores
+  EXPECT_FALSE(Topology::check(g2, 2, p).empty());
+
+  p = PlacementConfig{};
+  p.mcEdge = McEdge::Custom;
+  p.numMcs = 2;
+  p.mcNodes = {0, 9};  // off the mesh
+  EXPECT_FALSE(Topology::check(g2, 4, p).empty());
+  p.mcNodes = {0};  // numMcs disagrees with the list
+  EXPECT_FALSE(Topology::check(g2, 4, p).empty());
+
+  p = PlacementConfig{};
+  p.numMcs = 0;
+  EXPECT_FALSE(Topology::check(g2, 4, p).empty());
+  p = PlacementConfig{};
+  p.mcNodes = {0};  // explicit list without mcEdge=Custom
+  EXPECT_FALSE(Topology::check(g2, 4, p).empty());
+}
+
+}  // namespace
+}  // namespace renuca::noc
