@@ -81,7 +81,7 @@ inline KvConfig setup(int argc, char** argv, const char* title,
 
 /// Machine-readable run report for one bench invocation.  Construct after
 /// setup(), feed it every RunResult the bench produces, and the destructor
-/// writes a "renuca-run-report-v3" JSON document to the `report_json=` path
+/// writes a "renuca-run-report-v4" JSON document to the `report_json=` path
 /// (no path, no file — the tables on stdout are unaffected either way).
 class BenchSession {
  public:

@@ -136,6 +136,7 @@ if [ "$quick" = 1 ]; then
   run bench_fig4_tradeoff           ./build/bench/bench_fig4_tradeoff mixes=6 "jobs=$jobs" "report_json=$report_dir/bench_fig4_tradeoff.json"
   run bench_table3_raw_min_lifetime ./build/bench/bench_table3_raw_min_lifetime mixes=3 "jobs=$jobs" "report_json=$report_dir/bench_table3_raw_min_lifetime.json"
   run bench_ablation_design         ./build/bench/bench_ablation_design mixes=3 "jobs=$jobs" "report_json=$report_dir/bench_ablation_design.json"
+  run bench_compression             ./build/bench/bench_compression mixes=3 "jobs=$jobs" "report_json=$report_dir/bench_compression.json"
   run bench_placement_search        ./build/bench/bench_placement_search instr_per_core=4000 warmup=1000 prewarm=30000 "jobs=$jobs" "report_json=$report_dir/bench_placement_search.json"
   run bench_micro_components        ./build/bench/bench_micro_components --benchmark_min_time=0.05 "--benchmark_out=$report_dir/bench_micro_components.json" --benchmark_out_format=json
 else

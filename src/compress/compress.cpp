@@ -1,0 +1,331 @@
+#include "compress/compress.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace renuca::compress {
+namespace {
+
+// Little-endian byte image of the eight words — the canonical stored
+// layout for the raw scheme and the XOR baseline for everything else.
+void wordsToBytes(const std::uint64_t words[kLineWords], std::uint8_t out[kLineBytes]) {
+  for (std::uint32_t w = 0; w < kLineWords; ++w)
+    for (std::uint32_t b = 0; b < 8; ++b)
+      out[w * 8 + b] = static_cast<std::uint8_t>(words[w] >> (8 * b));
+}
+
+// Appends `nbits` of `value` (LSB first) to a bit cursor over out->bytes.
+// CompressedLine zero-initializes its storage, so OR-ing suffices and the
+// trailing bits of the last byte stay zero.
+void putBits(CompressedLine* out, std::uint32_t* cursor, std::uint64_t value,
+             std::uint32_t nbits) {
+  for (std::uint32_t i = 0; i < nbits; ++i) {
+    if ((value >> i) & 1) out->bytes[(*cursor + i) / 8] |= std::uint8_t(1u << ((*cursor + i) % 8));
+  }
+  *cursor += nbits;
+}
+
+// ---- BDI ----------------------------------------------------------------
+//
+// Base-delta-immediate (Pekhimenko et al., PACT'12) over the 64-byte line:
+// one base of `baseBytes` plus 64/baseBytes deltas of `deltaBytes` each.
+// A candidate applies when every value's signed delta from the first value
+// fits `deltaBytes`.  Payload layout: base little-endian, then the deltas
+// little-endian two's-complement — an exact byte image, so the
+// differential-write model XORs real stored bits.
+
+struct BdiCandidate {
+  Scheme scheme;
+  std::uint32_t baseBytes;
+  std::uint32_t deltaBytes;
+};
+
+constexpr BdiCandidate kBdiCandidates[] = {
+    {Scheme::Bdi81, 8, 1}, {Scheme::Bdi41, 4, 1}, {Scheme::Bdi21, 2, 1},
+    {Scheme::Bdi82, 8, 2}, {Scheme::Bdi42, 4, 2}, {Scheme::Bdi84, 8, 4},
+};
+
+bool fitsSigned(std::int64_t v, std::uint32_t bytes) {
+  const std::int64_t lim = std::int64_t(1) << (8 * bytes - 1);
+  return v >= -lim && v < lim;
+}
+
+bool tryBdiCandidate(const std::uint64_t words[kLineWords], const BdiCandidate& c,
+                     CompressedLine& out) {
+  const std::uint32_t values = kLineBytes / c.baseBytes;
+  const std::uint64_t mask =
+      c.baseBytes == 8 ? ~std::uint64_t(0) : (std::uint64_t(1) << (8 * c.baseBytes)) - 1;
+  std::uint64_t vals[32];
+  for (std::uint32_t i = 0; i < values; ++i) {
+    const std::uint64_t word = words[i * c.baseBytes / 8];
+    const std::uint32_t shift = 8 * ((i * c.baseBytes) % 8);
+    vals[i] = (word >> shift) & mask;
+  }
+  const std::uint64_t base = vals[0];
+  for (std::uint32_t i = 0; i < values; ++i) {
+    // Deltas are computed in the base's width (wrap-around two's
+    // complement), then sign-checked against the delta width.
+    std::int64_t delta;
+    if (c.baseBytes == 8) {
+      delta = static_cast<std::int64_t>(vals[i] - base);
+    } else {
+      const std::uint64_t raw = (vals[i] - base) & mask;
+      const std::uint64_t sign = std::uint64_t(1) << (8 * c.baseBytes - 1);
+      delta = static_cast<std::int64_t>((raw ^ sign)) - static_cast<std::int64_t>(sign);
+    }
+    if (!fitsSigned(delta, c.deltaBytes)) return false;
+  }
+  out = CompressedLine{};
+  out.scheme = c.scheme;
+  std::uint32_t cursor = 0;
+  putBits(&out, &cursor, base, 8 * c.baseBytes);
+  const std::uint64_t dmask = c.deltaBytes == 8
+                                  ? ~std::uint64_t(0)
+                                  : (std::uint64_t(1) << (8 * c.deltaBytes)) - 1;
+  for (std::uint32_t i = 0; i < values; ++i)
+    putBits(&out, &cursor, (vals[i] - base) & dmask, 8 * c.deltaBytes);
+  out.sizeBits = static_cast<std::uint16_t>(cursor);
+  return true;
+}
+
+bool compressBdi(const std::uint64_t words[kLineWords], CompressedLine& out) {
+  bool allZero = true, allRep = true;
+  for (std::uint32_t w = 0; w < kLineWords; ++w) {
+    if (words[w] != 0) allZero = false;
+    if (words[w] != words[0]) allRep = false;
+  }
+  if (allZero) {
+    out = CompressedLine{};
+    out.scheme = Scheme::BdiZero;
+    out.sizeBits = 8;  // One marker byte of zeros.
+    return true;
+  }
+  if (allRep) {
+    out = CompressedLine{};
+    out.scheme = Scheme::BdiRep;
+    std::uint32_t cursor = 0;
+    putBits(&out, &cursor, words[0], 64);
+    out.sizeBits = 64;
+    return true;
+  }
+  bool found = false;
+  CompressedLine best;
+  for (const BdiCandidate& c : kBdiCandidates) {
+    CompressedLine cand;
+    if (tryBdiCandidate(words, c, cand) && (!found || cand.sizeBits < best.sizeBits)) {
+      best = cand;
+      found = true;
+    }
+  }
+  if (found) out = best;
+  return found;
+}
+
+// ---- FPC ----------------------------------------------------------------
+//
+// Frequent-pattern compression (Alameldeen & Wood, TR-1500) over the
+// sixteen 32-bit words: a 3-bit prefix per word selects the pattern, the
+// data bits follow.  Simplified from the original: no zero-run merging and
+// no dictionary, patterns checked most-specific first.
+
+enum FpcPattern : std::uint32_t {
+  kFpcZero = 0,       // 0 data bits
+  kFpcSe4 = 1,        // 4-bit sign-extended
+  kFpcSe8 = 2,        // 8-bit sign-extended
+  kFpcSe16 = 3,       // 16-bit sign-extended
+  kFpcHighZero = 4,   // low halfword zero, high halfword data (16 bits)
+  kFpcRepByte = 5,    // one byte repeated four times (8 bits)
+  kFpcUncomp = 7,     // raw 32 bits
+};
+
+bool seFits(std::uint32_t word, std::uint32_t bits) {
+  const std::int32_t v = static_cast<std::int32_t>(word);
+  const std::int32_t lim = std::int32_t(1) << (bits - 1);
+  return v >= -lim && v < lim;
+}
+
+void compressFpc(const std::uint64_t words[kLineWords], CompressedLine& out) {
+  out = CompressedLine{};
+  out.scheme = Scheme::Fpc;
+  std::uint32_t cursor = 0;
+  for (std::uint32_t i = 0; i < 2 * kLineWords; ++i) {
+    const std::uint32_t w =
+        static_cast<std::uint32_t>(words[i / 2] >> (32 * (i % 2)));
+    std::uint32_t pattern, dataBits;
+    std::uint64_t data;
+    const std::uint8_t b0 = static_cast<std::uint8_t>(w);
+    if (w == 0) {
+      pattern = kFpcZero, dataBits = 0, data = 0;
+    } else if (seFits(w, 4)) {
+      pattern = kFpcSe4, dataBits = 4, data = w & 0xF;
+    } else if (seFits(w, 8)) {
+      pattern = kFpcSe8, dataBits = 8, data = w & 0xFF;
+    } else if (seFits(w, 16)) {
+      pattern = kFpcSe16, dataBits = 16, data = w & 0xFFFF;
+    } else if ((w & 0xFFFF) == 0) {
+      pattern = kFpcHighZero, dataBits = 16, data = w >> 16;
+    } else if (w == (0x01010101u * b0)) {
+      pattern = kFpcRepByte, dataBits = 8, data = b0;
+    } else {
+      pattern = kFpcUncomp, dataBits = 32, data = w;
+    }
+    putBits(&out, &cursor, pattern, 3);
+    putBits(&out, &cursor, data, dataBits);
+  }
+  out.sizeBits = static_cast<std::uint16_t>(cursor);
+}
+
+void storeRaw(const std::uint64_t words[kLineWords], CompressedLine& out) {
+  out = CompressedLine{};
+  out.scheme = Scheme::Raw;
+  wordsToBytes(words, out.bytes);
+  out.sizeBits = kLineBits;
+}
+
+std::uint32_t popcountBytes(const std::uint8_t* bytes, std::uint32_t n) {
+  std::uint32_t bits = 0;
+  for (std::uint32_t i = 0; i < n; ++i) bits += std::popcount(unsigned(bytes[i]));
+  return bits;
+}
+
+}  // namespace
+
+bool parseKind(const std::string& text, Kind& out) {
+  if (text == "none") out = Kind::None;
+  else if (text == "bdi") out = Kind::Bdi;
+  else if (text == "fpc") out = Kind::Fpc;
+  else if (text == "bdi+fpc") out = Kind::BdiFpc;
+  else return false;
+  return true;
+}
+
+const char* toString(Kind kind) {
+  switch (kind) {
+    case Kind::None: return "none";
+    case Kind::Bdi: return "bdi";
+    case Kind::Fpc: return "fpc";
+    case Kind::BdiFpc: return "bdi+fpc";
+  }
+  return "?";
+}
+
+const char* toString(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::Raw: return "raw";
+    case Scheme::BdiZero: return "bdi-zero";
+    case Scheme::BdiRep: return "bdi-rep";
+    case Scheme::Bdi81: return "bdi-8-1";
+    case Scheme::Bdi82: return "bdi-8-2";
+    case Scheme::Bdi84: return "bdi-8-4";
+    case Scheme::Bdi41: return "bdi-4-1";
+    case Scheme::Bdi42: return "bdi-4-2";
+    case Scheme::Bdi21: return "bdi-2-1";
+    case Scheme::Fpc: return "fpc";
+  }
+  return "?";
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void synthesizeLine(const LineContent& content, std::uint64_t words[kLineWords]) {
+  const std::uint64_t s = content.seed;
+  switch (content.cls) {
+    case LineClass::Zero:
+      for (std::uint32_t w = 0; w < kLineWords; ++w) words[w] = 0;
+      return;
+    case LineClass::Rep: {
+      const std::uint64_t v = mix64(s);
+      for (std::uint32_t w = 0; w < kLineWords; ++w) words[w] = v;
+      return;
+    }
+    case LineClass::Narrow: {
+      // A pointer-array shape: large shared base, per-word deltas under
+      // 2^7 so base8-d1 applies.
+      const std::uint64_t base = mix64(s) | (std::uint64_t(1) << 40);
+      for (std::uint32_t w = 0; w < kLineWords; ++w)
+        words[w] = base + (mix64(s + 1 + w) & 0x7F);
+      return;
+    }
+    case LineClass::Pattern: {
+      // An int-array shape: small sign-extended 32-bit values (FPC's
+      // bread and butter), a few of them zero.
+      for (std::uint32_t w = 0; w < kLineWords; ++w) {
+        std::uint64_t word = 0;
+        for (std::uint32_t h = 0; h < 2; ++h) {
+          const std::uint64_t r = mix64(s + 17 * w + h);
+          std::uint32_t v;
+          if ((r & 7) == 0) v = 0;
+          else if (r & 1) v = static_cast<std::uint32_t>(std::int32_t(r & 0x7F) - 0x40);
+          else v = static_cast<std::uint32_t>(std::int32_t(r & 0x7FFF) - 0x4000);
+          word |= std::uint64_t(v) << (32 * h);
+        }
+        words[w] = word;
+      }
+      return;
+    }
+    case LineClass::Random:
+    case LineClass::kCount:
+      for (std::uint32_t w = 0; w < kLineWords; ++w) words[w] = mix64(s + w);
+      return;
+  }
+}
+
+void compressLine(Kind kind, const std::uint64_t words[kLineWords],
+                  CompressedLine& out) {
+  if (kind == Kind::None) {
+    storeRaw(words, out);
+    return;
+  }
+  CompressedLine bdi, fpc;
+  bool haveBdi = false, haveFpc = false;
+  if (kind == Kind::Bdi || kind == Kind::BdiFpc) haveBdi = compressBdi(words, bdi);
+  if (kind == Kind::Fpc || kind == Kind::BdiFpc) {
+    compressFpc(words, fpc);
+    haveFpc = fpc.sizeBits < kLineBits;
+  }
+  if (haveBdi && (!haveFpc || bdi.sizeBits <= fpc.sizeBits)) out = bdi;
+  else if (haveFpc) out = fpc;
+  else storeRaw(words, out);
+}
+
+void compressContent(Kind kind, const LineContent& content, CompressedLine& out) {
+  std::uint64_t words[kLineWords];
+  synthesizeLine(content, words);
+  compressLine(kind, words, out);
+}
+
+std::uint32_t bitsFlipped(const CompressedLine& prev, const CompressedLine& next) {
+  const std::uint32_t prevBytes = prev.sizeBytes();
+  const std::uint32_t nextBytes = next.sizeBytes();
+  const std::uint32_t overlap = prevBytes < nextBytes ? prevBytes : nextBytes;
+  std::uint32_t bits = 0;
+  for (std::uint32_t i = 0; i < overlap; ++i)
+    bits += std::popcount(unsigned(prev.bytes[i] ^ next.bytes[i]));
+  // The longer payload's tail XORs against zero-modeled cells.
+  if (nextBytes > overlap) bits += popcountBytes(next.bytes + overlap, nextBytes - overlap);
+  if (prevBytes > overlap) bits += popcountBytes(prev.bytes + overlap, prevBytes - overlap);
+  return bits;
+}
+
+std::uint32_t bitsFlipped(const CompressedLine& next) {
+  return popcountBytes(next.bytes, next.sizeBytes());
+}
+
+LineClass drawClass(const Compressibility& profile, double u01) {
+  double acc = profile.zeroFrac;
+  if (u01 < acc) return LineClass::Zero;
+  acc += profile.repFrac;
+  if (u01 < acc) return LineClass::Rep;
+  acc += profile.narrowFrac;
+  if (u01 < acc) return LineClass::Narrow;
+  acc += profile.patternFrac;
+  if (u01 < acc) return LineClass::Pattern;
+  return LineClass::Random;
+}
+
+}  // namespace renuca::compress

@@ -1,0 +1,146 @@
+// Cache-line compression engine: BDI + FPC encoders and the bit-accurate
+// write model they feed.
+//
+// The paper wear-levels by choosing *where* to write; compression attacks
+// *how many bits* each write flips ("Forecasting lifetime and performance
+// of a novel NVM last-level cache with compression", arXiv 2204.03512).
+// The two compose: a compressed fill stores a short payload, and a ReRAM
+// write only flips the cells whose value actually changes, so per-frame
+// wear becomes popcount(old XOR new) over the stored payload instead of a
+// worst-case 512 bits per line write.
+//
+// What lives here is deliberately self-contained and allocation-free on
+// the hot path:
+//  * synthesizeLine(): deterministic 64-byte line contents from a compact
+//    (class, seed) pair.  The simulator never carries real data; the
+//    workload layer assigns each block a *content class* drawn from its
+//    app's compressibility profile, and this function expands the pair
+//    into the same 8x64-bit words everywhere it is needed.
+//  * Bdi / Fpc encoders behind one compress() entry point: real encoders
+//    running over those words, producing an exact payload (bytes + bit
+//    size) into caller-provided stack storage.  Incompressible lines fall
+//    back to the raw 512-bit payload.
+//  * bitsFlipped(): the differential-write model — XOR-popcount over the
+//    overlap of old and new payloads, plus the population of any new tail
+//    bits (cells past the old payload are modeled as holding zero).
+//
+// Everything is a pure function of its inputs, so jobs=N sweeps stay
+// deterministic and snapshots only need the (class, seed, size) triple per
+// frame, never the expanded bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace renuca::compress {
+
+/// Compression scheme selected by the `compress=` config key.
+enum class Kind : std::uint8_t { None, Bdi, Fpc, BdiFpc };
+
+/// Parses "none|bdi|fpc|bdi+fpc"; returns false on anything else.
+bool parseKind(const std::string& text, Kind& out);
+const char* toString(Kind kind);
+
+/// Content class of one cache line.  The class picks the *shape* of the
+/// synthesized words (how compressible they are); the seed picks the
+/// actual values within that shape.
+enum class LineClass : std::uint8_t {
+  Zero,     ///< All-zero line (best case for both encoders).
+  Rep,      ///< One 64-bit value repeated (BDI delta-0).
+  Narrow,   ///< Large shared base + small per-word deltas (BDI base8-d1/d2).
+  Pattern,  ///< Small sign-extended 32-bit words (FPC prefix classes).
+  Random,   ///< splitmix64 noise — incompressible, raw fallback.
+  kCount,
+};
+inline constexpr std::uint32_t kNumLineClasses =
+    static_cast<std::uint32_t>(LineClass::kCount);
+
+/// Compact description of a line's contents: expands deterministically to
+/// 64 bytes via synthesizeLine().  This is what flows through the memory
+/// hierarchy and into snapshots.
+struct LineContent {
+  LineClass cls = LineClass::Zero;
+  std::uint64_t seed = 0;
+
+  bool operator==(const LineContent&) const = default;
+};
+
+inline constexpr std::uint32_t kLineBytes = 64;
+inline constexpr std::uint32_t kLineWords = 8;  ///< 64-bit words per line.
+inline constexpr std::uint32_t kLineBits = 512;
+
+/// Expands (class, seed) into the line's eight 64-bit words.  Pure.
+void synthesizeLine(const LineContent& content, std::uint64_t words[kLineWords]);
+
+/// Which encoding won a compress() call (reported in histograms/tests).
+enum class Scheme : std::uint8_t {
+  Raw,      ///< Incompressible: stored uncompressed (512 bits).
+  BdiZero,  ///< All-zero line.
+  BdiRep,   ///< Repeated 64-bit value.
+  Bdi81,    ///< 8-byte base + 1-byte deltas.
+  Bdi82,    ///< 8-byte base + 2-byte deltas.
+  Bdi84,    ///< 8-byte base + 4-byte deltas.
+  Bdi41,    ///< 4-byte base + 1-byte deltas.
+  Bdi42,    ///< 4-byte base + 2-byte deltas.
+  Bdi21,    ///< 2-byte base + 1-byte deltas.
+  Fpc,      ///< FPC prefix coding over 32-bit words.
+};
+const char* toString(Scheme scheme);
+
+/// One compressed payload in caller-owned storage.  `bytes[0..sizeBytes())`
+/// is the exact stored image the differential-write model XORs; trailing
+/// bits of the last byte are zero.
+struct CompressedLine {
+  std::uint8_t bytes[kLineBytes] = {};
+  std::uint16_t sizeBits = 0;
+  Scheme scheme = Scheme::Raw;
+
+  std::uint32_t sizeBytes() const {
+    return (static_cast<std::uint32_t>(sizeBits) + 7) / 8;
+  }
+};
+
+/// Compresses `words` under `kind` (BdiFpc tries both, keeps the smaller;
+/// None stores raw).  Never exceeds the raw 512-bit fallback.
+void compressLine(Kind kind, const std::uint64_t words[kLineWords],
+                  CompressedLine& out);
+
+/// Convenience: synthesize + compress in one step.
+void compressContent(Kind kind, const LineContent& content, CompressedLine& out);
+
+/// Bits a ReRAM write flips when `next` replaces `prev` in a frame:
+/// XOR-popcount over the overlapping bytes plus the set bits of whichever
+/// payload extends past the other (cells beyond a payload are modeled as
+/// zero, so growth pays for the bits it sets and shrinkage for the bits it
+/// clears).  Writing an identical payload flips zero bits.
+std::uint32_t bitsFlipped(const CompressedLine& prev, const CompressedLine& next);
+
+/// Bits flipped when `next` is written into a never-written (all-zero)
+/// frame: just the payload's population count.
+std::uint32_t bitsFlipped(const CompressedLine& next);
+
+/// Per-application compressibility profile: the probability that a block's
+/// contents fall in each line class (the remainder is Random).  Calibrated
+/// per app in workload/app_profile.cpp.
+struct Compressibility {
+  double zeroFrac = 0.10;
+  double repFrac = 0.10;
+  double narrowFrac = 0.25;
+  double patternFrac = 0.25;
+
+  bool valid() const {
+    return zeroFrac >= 0 && repFrac >= 0 && narrowFrac >= 0 && patternFrac >= 0 &&
+           zeroFrac + repFrac + narrowFrac + patternFrac <= 1.0;
+  }
+};
+
+/// Deterministically assigns a line class: `u01` in [0,1) walks the
+/// profile's cumulative distribution.  Pure, so every rank of a jobs=N
+/// sweep draws the same class for the same block.
+LineClass drawClass(const Compressibility& profile, double u01);
+
+/// SplitMix64 — the content hash used to derive seeds and class draws from
+/// (block, version, salt).  Pure; also exposed for tests.
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace renuca::compress

@@ -27,6 +27,13 @@ CacheBank::CacheBank(const CacheConfig& config, std::string name, std::uint64_t 
   }
   RENUCA_ASSERT(cfg_.equalChanceEvery == 0 || cfg_.trackFrameWrites,
                 "EqualChance needs frame write counters");
+  if (cfg_.compress != compress::Kind::None) {
+    RENUCA_ASSERT(cfg_.trackFrameWrites, "compression needs frame write counters");
+    contentSeed_.assign(frames, 0);
+    contentCls_.assign(frames, 0);
+    storedBits_.assign(frames, 0);
+    frameBits_.assign(frames, 0);
+  }
 }
 
 void CacheBank::flushHotStats() const {
@@ -175,7 +182,9 @@ bool CacheBank::access(BlockAddr block, AccessType type) {
   ++(type == AccessType::Read ? hot_.readHits : hot_.writeHits);
   if (type == AccessType::Write) {
     flags_[frameIndex(set, way)] |= kFlagDirty;
-    recordFrameWrite(set, way);
+    // Demand writes never reach compressed (LLC) banks — the hierarchy
+    // write-allocates into L1 — so the full-line charge is the only case.
+    recordFrameWrite(set, way, compress::kLineBits);
   }
   touch(set, way);
   return true;
@@ -187,7 +196,8 @@ bool CacheBank::lineCritical(BlockAddr block) const {
   return way.has_value() && (flags_[frameIndex(set, *way)] & kFlagCritical) != 0;
 }
 
-Eviction CacheBank::insert(BlockAddr block, bool dirty, bool critical) {
+Eviction CacheBank::insert(BlockAddr block, bool dirty, bool critical,
+                           const compress::LineContent* content) {
   std::uint32_t set = setOf(block);
   RENUCA_ASSERT(block != kInvalidTag, "insert of sentinel block address in " + name_);
   RENUCA_ASSERT(!findWay(set, block).has_value(),
@@ -229,7 +239,10 @@ Eviction CacheBank::insert(BlockAddr block, bool dirty, bool critical) {
   memoBlock_ = block;
   memoSet_ = set;
   memoWay_ = way;
-  recordFrameWrite(set, way);
+  const std::uint32_t bits = cfg_.compress != compress::Kind::None
+                                 ? storeContent(idx, content)
+                                 : compress::kLineBits;
+  recordFrameWrite(set, way, bits);
   touch(set, way);
   ++hot_.fills;
   return ev;
@@ -248,12 +261,16 @@ std::optional<bool> CacheBank::invalidate(BlockAddr block) {
   return dirty;
 }
 
-bool CacheBank::writebackHit(BlockAddr block) {
+bool CacheBank::writebackHit(BlockAddr block, const compress::LineContent* content) {
   std::uint32_t set = setOf(block);
   auto way = findWay(set, block);
   if (!way) return false;
-  flags_[frameIndex(set, *way)] |= kFlagDirty;
-  recordFrameWrite(set, *way);
+  const std::uint32_t idx = frameIndex(set, *way);
+  flags_[idx] |= kFlagDirty;
+  const std::uint32_t bits = cfg_.compress != compress::Kind::None
+                                 ? storeContent(idx, content)
+                                 : compress::kLineBits;
+  recordFrameWrite(set, *way, bits);
   ++hot_.writebackHits;
   return true;
 }
@@ -262,17 +279,66 @@ Cycle CacheBank::reserve(Cycle now) {
   return busy_.reserve(now, cfg_.occupancy);
 }
 
-void CacheBank::recordFrameWrite(std::uint32_t set, std::uint32_t way) {
+void CacheBank::recordFrameWrite(std::uint32_t set, std::uint32_t way,
+                                 std::uint32_t bits) {
   ++totalWrites_;
   if (!cfg_.trackFrameWrites) return;
   std::uint32_t idx = frameIndex(set, way);
   std::uint64_t writes = ++frameWrites_[idx];
+  if (cfg_.compress != compress::Kind::None) frameBits_[idx] += bits;
   // Natural wear-out: the write that exhausts the frame's budget leaves it
   // stuck-at.  The death is queued (not handled inline) so the caller can
   // finish its fill bookkeeping before doing eviction-style cleanup.
-  if (faultArmed_ && !frameDead_[idx] && writes >= fault_->writeLimit(idx)) {
-    pendingDeaths_.push_back(retireFrame(set, way));
+  // Compressed banks consume budget at bit granularity: the frame dies
+  // when its *effective* writes (bits flipped / 512) reach the limit, so a
+  // half-size payload spends half a write — the fractional frame budget.
+  if (faultArmed_ && !frameDead_[idx]) {
+    const std::uint64_t limit = fault_->writeLimit(idx);
+    bool exhausted;
+    if (cfg_.compress != compress::Kind::None) {
+      exhausted = limit < rram::BankFaultModel::kNoLimit / compress::kLineBits &&
+                  frameBits_[idx] >= limit * compress::kLineBits;
+    } else {
+      exhausted = writes >= limit;
+    }
+    if (exhausted) pendingDeaths_.push_back(retireFrame(set, way));
   }
+}
+
+std::uint32_t CacheBank::storeContent(std::uint32_t idx,
+                                      const compress::LineContent* content) {
+  telemetry::ScopedProf prof(cmpProf_);
+  // Callers that carry no content (direct bank tests, non-LLC paths) are
+  // charged an incompressible line whose values derive from the frame's
+  // tag — deterministic and worst-case.
+  compress::LineContent next;
+  if (content != nullptr) {
+    next = *content;
+  } else {
+    next.cls = compress::LineClass::Random;
+    next.seed = compress::mix64(tags_[idx]);
+  }
+  compress::CompressedLine enc;
+  compress::compressContent(cfg_.compress, next, enc);
+  std::uint32_t flipped;
+  if (storedBits_[idx] == 0) {
+    flipped = compress::bitsFlipped(enc);  // virgin cells hold zero
+  } else {
+    compress::LineContent prevContent{static_cast<compress::LineClass>(contentCls_[idx]),
+                                      contentSeed_[idx]};
+    compress::CompressedLine prev;
+    compress::compressContent(cfg_.compress, prevContent, prev);
+    flipped = compress::bitsFlipped(prev, enc);
+    if (flipped == 0) ++cmp_.zeroDeltaWrites;
+  }
+  contentSeed_[idx] = next.seed;
+  contentCls_[idx] = static_cast<std::uint8_t>(next.cls);
+  storedBits_[idx] = enc.sizeBits;
+  ++cmp_.writes;
+  cmp_.bitsFlipped += flipped;
+  if (enc.scheme == compress::Scheme::Raw) ++cmp_.rawFallbacks;
+  ++cmp_.sizeHist[std::min(7u, (static_cast<std::uint32_t>(enc.sizeBits) - 1) / 64)];
+  return flipped;
 }
 
 void CacheBank::setFaultModel(const rram::BankFaultModel* model) {
@@ -337,6 +403,22 @@ std::uint64_t CacheBank::maxFrameWrites() const {
   return *std::max_element(frameWrites_.begin(), frameWrites_.end());
 }
 
+std::uint64_t CacheBank::maxFrameBits() const {
+  if (frameBits_.empty()) return 0;
+  return *std::max_element(frameBits_.begin(), frameBits_.end());
+}
+
+std::optional<compress::LineContent> CacheBank::lineContent(BlockAddr block) const {
+  if (cfg_.compress == compress::Kind::None) return std::nullopt;
+  const std::uint32_t set = setOf(block);
+  auto way = findWay(set, block);
+  if (!way) return std::nullopt;
+  const std::uint32_t idx = frameIndex(set, *way);
+  if (storedBits_[idx] == 0) return std::nullopt;
+  return compress::LineContent{static_cast<compress::LineClass>(contentCls_[idx]),
+                               contentSeed_[idx]};
+}
+
 std::uint64_t CacheBank::validLines() const {
   std::uint64_t n = 0;
   for (std::uint8_t f : flags_) n += f & kFlagValid;
@@ -345,6 +427,10 @@ std::uint64_t CacheBank::validLines() const {
 
 void CacheBank::resetMeasurement() {
   std::fill(frameWrites_.begin(), frameWrites_.end(), 0ull);
+  // Bit-wear counters are window-scoped like frameWrites_; the content
+  // descriptors persist (cells keep their data across the reset).
+  std::fill(frameBits_.begin(), frameBits_.end(), 0ull);
+  cmp_ = CompressionStats{};
   totalWrites_ = 0;
   hot_ = HotCounters{};  // discard the warm-up window's pending deltas too
   stats_.zero();
@@ -425,6 +511,41 @@ bool CacheBank::loadState(serial::ArchiveReader& ar) {
   rng.inc = ar.getU64();
   rng_.restoreState(rng);
   pendingDeaths_.clear();
+  return ar.ok() && ar.remaining() == 0;
+}
+
+void CacheBank::saveCompressState(serial::ArchiveWriter& ar) const {
+  ar.putU32(static_cast<std::uint32_t>(storedBits_.size()));
+  for (std::size_t i = 0; i < storedBits_.size(); ++i) {
+    ar.putU8(contentCls_[i]);
+    ar.putU64(contentSeed_[i]);
+    ar.putU32(storedBits_[i]);
+    ar.putU64(frameBits_[i]);
+  }
+  ar.putU64(cmp_.writes);
+  ar.putU64(cmp_.bitsFlipped);
+  ar.putU64(cmp_.rawFallbacks);
+  ar.putU64(cmp_.zeroDeltaWrites);
+  for (std::uint64_t h : cmp_.sizeHist) ar.putU64(h);
+}
+
+bool CacheBank::loadCompressState(serial::ArchiveReader& ar) {
+  if (ar.getU32() != storedBits_.size()) return false;
+  for (std::size_t i = 0; i < storedBits_.size(); ++i) {
+    const std::uint8_t cls = ar.getU8();
+    if (cls >= compress::kNumLineClasses) return false;
+    contentCls_[i] = cls;
+    contentSeed_[i] = ar.getU64();
+    const std::uint32_t bits = ar.getU32();
+    if (bits > compress::kLineBits) return false;
+    storedBits_[i] = static_cast<std::uint16_t>(bits);
+    frameBits_[i] = ar.getU64();
+  }
+  cmp_.writes = ar.getU64();
+  cmp_.bitsFlipped = ar.getU64();
+  cmp_.rawFallbacks = ar.getU64();
+  cmp_.zeroDeltaWrites = ar.getU64();
+  for (std::uint64_t& h : cmp_.sizeHist) h = ar.getU64();
   return ar.ok() && ar.remaining() == 0;
 }
 

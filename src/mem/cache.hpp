@@ -28,8 +28,10 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "compress/compress.hpp"
 #include "rram/fault_model.hpp"
 #include "serial/checkpointable.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace renuca::mem {
 
@@ -55,6 +57,14 @@ struct CacheConfig {
   /// replacement policy's choice, spreading writes across ways.  0 = off.
   /// Requires trackFrameWrites.
   std::uint32_t equalChanceEvery = 0;
+  /// Line compression (compress/compress.hpp).  When enabled the bank
+  /// stores each frame's (class, seed, size) content descriptor and
+  /// charges writes at bit granularity: a fill or write-back flips
+  /// popcount(oldPayload XOR newPayload) cells instead of a worst-case
+  /// full line, and wear-out budgets compare against *effective* writes
+  /// (bits flipped / 512) — a half-size payload consumes half a write of
+  /// frame budget.  Requires trackFrameWrites when != None.
+  compress::Kind compress = compress::Kind::None;
 
   std::uint32_t numSets() const {
     return static_cast<std::uint32_t>(sizeBytes / lineBytes / ways);
@@ -90,7 +100,11 @@ class CacheBank : public serial::Checkpointable {
   /// the criticality verdict of the access that triggered the fill; it is
   /// line metadata, fixed until the line is evicted (the Fig 9
   /// write-criticality accounting), and LLC banks are its only consumer.
-  Eviction insert(BlockAddr block, bool dirty, bool critical = false);
+  /// `content` is the line's content descriptor for compressed banks
+  /// (ignored when compression is off; a compressed bank without content
+  /// charges a worst-case incompressible write).
+  Eviction insert(BlockAddr block, bool dirty, bool critical = false,
+                  const compress::LineContent* content = nullptr);
 
   /// The criticality verdict recorded when the block was filled; false if
   /// the block is not resident.
@@ -101,8 +115,10 @@ class CacheBank : public serial::Checkpointable {
 
   /// Marks a resident block dirty without a timing event (used when an
   /// upper-level write-back lands on a resident LLC line).  Counts a frame
-  /// write.  Returns false if the block is not resident.
-  bool writebackHit(BlockAddr block);
+  /// write.  Returns false if the block is not resident.  `content` as in
+  /// insert(): the written-back line's new contents for compressed banks.
+  bool writebackHit(BlockAddr block,
+                    const compress::LineContent* content = nullptr);
 
   // --- Timing helper ------------------------------------------------------
 
@@ -133,6 +149,35 @@ class CacheBank : public serial::Checkpointable {
   const std::vector<std::uint64_t>& frameWrites() const { return frameWrites_; }
   std::uint64_t totalWrites() const { return totalWrites_; }
   std::uint64_t maxFrameWrites() const;
+
+  // --- Compression / bit-accurate wear (cfg.compress != None only) --------
+
+  /// Aggregate compression counters for the measurement window.
+  struct CompressionStats {
+    std::uint64_t writes = 0;          ///< Compressed frame writes.
+    std::uint64_t bitsFlipped = 0;     ///< Sum of per-write flipped bits.
+    std::uint64_t rawFallbacks = 0;    ///< Writes stored uncompressed.
+    std::uint64_t zeroDeltaWrites = 0; ///< Rewrites of identical payloads.
+    /// Stored-size histogram: bucket i counts payloads of
+    /// (i*64, (i+1)*64] bits — bucket 7 is the raw 512-bit fallback.
+    std::uint64_t sizeHist[8] = {};
+  };
+  const CompressionStats& compressionStats() const { return cmp_; }
+  /// Per-frame bits flipped this window (empty when compression is off).
+  const std::vector<std::uint64_t>& frameBits() const { return frameBits_; }
+  std::uint64_t maxFrameBits() const;
+  /// The content descriptor currently stored in `block`'s frame, if the
+  /// block is resident in a compressed bank (warm migrations carry it).
+  std::optional<compress::LineContent> lineContent(BlockAddr block) const;
+  /// Profiler section for the encode work (detached handle = free).
+  void setCompressProf(telemetry::ProfSection section) { cmpProf_ = section; }
+
+  // Compression state travels in its own archive section (written by the
+  // memory system as "cmp<b>"), NOT inside saveState's payload: the legacy
+  // "l3b<b>" layout is pinned by committed pre-compression checkpoints and
+  // its loader requires exact payload consumption.
+  void saveCompressState(serial::ArchiveWriter& ar) const;
+  bool loadCompressState(serial::ArchiveReader& ar);
 
   /// Number of valid lines (for tests / utilization reporting).
   std::uint64_t validLines() const;
@@ -232,7 +277,13 @@ class CacheBank : public serial::Checkpointable {
   /// LRU victim among the set's live ways (degraded-set fallback).
   std::uint32_t liveLruWay(std::uint32_t set) const;
   void touch(std::uint32_t set, std::uint32_t way);
-  void recordFrameWrite(std::uint32_t set, std::uint32_t way);
+  /// `bits` is the flipped-cell count of this write under compression;
+  /// compress=None callers pass compress::kLineBits (full-line model).
+  void recordFrameWrite(std::uint32_t set, std::uint32_t way, std::uint32_t bits);
+  /// Compresses `content` (worst case when null), charges the differential
+  /// write against the frame's stored payload, stores the new descriptor,
+  /// and returns the flipped-bit count.  Compression-enabled banks only.
+  std::uint32_t storeContent(std::uint32_t idx, const compress::LineContent* content);
   /// Marks the frame dead, discards its line, and returns the death record.
   FrameDeath retireFrame(std::uint32_t set, std::uint32_t way);
 
@@ -280,6 +331,18 @@ class CacheBank : public serial::Checkpointable {
   mutable std::uint32_t memoWay_ = 0;
   std::vector<std::uint32_t> plruBits_;  // numSets entries, tree bits packed
   std::vector<std::uint64_t> frameWrites_;
+  // Compression state (allocated only when cfg_.compress != None).  The
+  // per-frame content descriptor is the frame's *cell* contents: it
+  // persists across evictions and frame deaths (cells keep their last
+  // value), so the next fill XORs against what the cells really hold.
+  // frameBits_ is the measurement window's wear; descriptors are not
+  // zeroed by resetMeasurement().
+  std::vector<std::uint64_t> contentSeed_;   // numFrames
+  std::vector<std::uint8_t> contentCls_;     // numFrames, LineClass
+  std::vector<std::uint16_t> storedBits_;    // numFrames, 0 = never written
+  std::vector<std::uint64_t> frameBits_;     // numFrames, bits flipped
+  CompressionStats cmp_;
+  telemetry::ProfSection cmpProf_;
   /// Dead-frame map (sized with the fault model; empty = no faults ever).
   std::vector<std::uint8_t> frameDead_;
   std::vector<FrameDeath> pendingDeaths_;

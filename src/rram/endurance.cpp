@@ -30,6 +30,20 @@ double bankLifetimeYearsIdeal(std::uint64_t totalBankWrites, std::uint64_t numFr
   return lifetimeFromRate(perFrame, measuredCycles, cfg);
 }
 
+double bankLifetimeYearsBits(std::uint64_t maxFrameBits, Cycle measuredCycles,
+                             const EnduranceConfig& cfg) {
+  return lifetimeFromRate(static_cast<double>(maxFrameBits) / kLineBitsPerFrame,
+                          measuredCycles, cfg);
+}
+
+double bankLifetimeYearsBitsIdeal(std::uint64_t totalBankBits, std::uint64_t numFrames,
+                                  Cycle measuredCycles, const EnduranceConfig& cfg) {
+  RENUCA_ASSERT(numFrames > 0, "bank must have frames");
+  double perFrame = static_cast<double>(totalBankBits) /
+                    (kLineBitsPerFrame * static_cast<double>(numFrames));
+  return lifetimeFromRate(perFrame, measuredCycles, cfg);
+}
+
 std::vector<double> lifetimeSeriesYears(const std::vector<double>& cumulativeWrites,
                                         const std::vector<Cycle>& cycles,
                                         std::uint64_t numFrames,

@@ -35,6 +35,8 @@ struct EnduranceConfig {
 };
 
 inline constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+/// Cells per frame for the bit-accurate accounting: a 64-byte line.
+inline constexpr double kLineBitsPerFrame = 512.0;
 
 /// Lifetime bound from the hottest frame of a bank.
 double bankLifetimeYears(std::uint64_t maxFrameWrites, Cycle measuredCycles,
@@ -44,6 +46,20 @@ double bankLifetimeYears(std::uint64_t maxFrameWrites, Cycle measuredCycles,
 /// equal share); used by the endurance-accounting ablation.
 double bankLifetimeYearsIdeal(std::uint64_t totalBankWrites, std::uint64_t numFrames,
                               Cycle measuredCycles, const EnduranceConfig& cfg);
+
+// Bit-accurate variants for compressed banks (DESIGN.md §18): wear is the
+// number of cells actually flipped, so "effective writes" = bits / 512 —
+// a compressed write that flips 128 cells spends a quarter of a full-line
+// write.  The uncompressed figures keep the classic full-line accounting,
+// which is exactly the writes-based functions above.
+
+/// Hottest-frame lifetime from the frame's flipped-bit count.
+double bankLifetimeYearsBits(std::uint64_t maxFrameBits, Cycle measuredCycles,
+                             const EnduranceConfig& cfg);
+
+/// Ideal wear-leveled lifetime from the bank's total flipped bits.
+double bankLifetimeYearsBitsIdeal(std::uint64_t totalBankBits, std::uint64_t numFrames,
+                                  Cycle measuredCycles, const EnduranceConfig& cfg);
 
 /// Per-epoch lifetime projection from a cumulative-writes time series
 /// (telemetry): element i is the bank-level (ideal wear-leveled) lifetime

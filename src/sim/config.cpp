@@ -135,6 +135,20 @@ void SystemConfig::applyOverrides(const KvConfig& kv) {
       kv.has("fault_at_writes") || kv.has("fault_at_cycle")) {
     if (!kv.has("fault_enabled")) fault.enabled = true;
   }
+
+  // Compression keys.
+  if (auto c = kv.getString("compress")) {
+    compress::Kind kind;
+    if (compress::parseKind(*c, kind)) {
+      compress = kind;
+    } else {
+      logMessage(LogLevel::Warn, "config",
+                 "unknown compress '" + *c +
+                     "' ignored (expected none|bdi|fpc|bdi+fpc)");
+    }
+  }
+  compressLatency = static_cast<std::uint32_t>(
+      kv.getOr("compress_latency", static_cast<std::int64_t>(compressLatency)));
 }
 
 const KeyRegistry& configKeyRegistry() {
@@ -174,6 +188,8 @@ const KeyRegistry& configKeyRegistry() {
         .stringKey("fault_inject")
         .stringKey("fault_at_writes")
         .stringKey("fault_at_cycle")
+        .stringKey("compress")
+        .intKey("compress_latency", 0, 1000)
         // Standard bench/example plumbing.
         .stringKey("report_json")
         .intKey("mixes", 1, 1 << 10)
@@ -270,6 +286,12 @@ std::vector<ConfigError> validateConfigKeys(const KvConfig& kv,
     errors = r.validate(kv);
   }
   crossValidateTopology(kv, errors);
+  if (auto c = kv.getString("compress")) {
+    compress::Kind kind;
+    if (!compress::parseKind(*c, kind))
+      errors.push_back({"compress", "unknown scheme '" + *c +
+                                        "' (expected none|bdi|fpc|bdi+fpc)"});
+  }
   return errors;
 }
 
@@ -290,6 +312,11 @@ std::string SystemConfig::summary() const {
         placement.mcEdge == noc::McEdge::Custom)
       os << " placement="
          << noc::Topology(nocCfg, numCores, placement).placementKey();
+  }
+  // Ditto for compression: the suffix appears only when the axis is on.
+  if (compress != compress::Kind::None) {
+    os << " compress=" << compress::toString(compress)
+       << " compress_latency=" << compressLatency;
   }
   os << " dram=" << dramCfg.channels << "ch policy=" << core::toString(policy)
      << " threshold=" << cpt.thresholdPct << "%"

@@ -58,6 +58,15 @@ struct SystemConfig {
   core::CptConfig cpt;
   /// Wear-out fault model (fault_*= keys); off by default.
   rram::FaultConfig fault;
+  /// LLC line compression (compress= key): the orthogonal policy axis of
+  /// DESIGN.md §18.  None keeps the classic full-line write accounting
+  /// byte-identical to pre-compression builds; Bdi/Fpc/BdiFpc store
+  /// compressed payloads and charge wear per bit actually flipped.
+  compress::Kind compress = compress::Kind::None;
+  /// Decompression latency added to every LLC read hit when compression is
+  /// on (compress_latency= key) — the IPC cost side of the lifetime × IPC
+  /// trade-off.  Ignored when compress == None.
+  std::uint32_t compressLatency = 2;
   /// R-NUCA / Re-NUCA cluster size n (paper: 4); power of two.
   std::uint32_t clusterSize = 4;
   /// Attach a CPT even when the policy does not need one (criticality

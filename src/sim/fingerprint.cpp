@@ -47,6 +47,14 @@ std::string warmStateKey(const SystemConfig& cfg, const workload::WorkloadMix& m
        << noc::Topology(cfg.nocCfg, cfg.numCores, cfg.placement).placementKey()
        << ';';
   }
+  // Compression, like placement, only stamps when non-default: every
+  // pre-compression snapshot keeps its fingerprint, and a compressed run
+  // refuses to restore an uncompressed snapshot (whose frames carry no
+  // content descriptors) and vice versa.  The decompression latency is a
+  // measurement-window knob and deliberately excluded.
+  if (cfg.compress != compress::Kind::None) {
+    os << "compress=" << compress::toString(cfg.compress) << ';';
+  }
   // The fault model rides along: its per-frame budgets are serialized into
   // the snapshot, so runs may only share one when the whole fault config
   // matches (budgets are unarmed during the fast-forward — no frame can

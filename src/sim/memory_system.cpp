@@ -32,6 +32,7 @@ MemorySystem::MemorySystem(const SystemConfig& config)
   llcCfg.latency = cfg_.l3.latency;
   llcCfg.occupancy = cfg_.l3.occupancy;
   llcCfg.trackFrameWrites = true;
+  llcCfg.compress = cfg_.compress;
   // Skip the bank-select bits when indexing sets (see CacheConfig docs).
   llcCfg.setIndexShift = cfg_.l3.banks > 1 ? log2Floor(cfg_.l3.banks) : 0;
   llcCfg.equalChanceEvery = cfg_.l3.equalChanceEvery;
@@ -98,6 +99,14 @@ void MemorySystem::registerMetrics(telemetry::MetricsRegistry& reg) {
               [bank] { return static_cast<double>(bank->totalWrites()); });
   }
   reg.gauge("l3.live_frac", [this] { return llcLiveFrameFrac(); });
+  if (compressionEnabled()) {
+    for (BankId b = 0; b < numBanks(); ++b) {
+      const mem::CacheBank* bank = llc_[b].get();
+      reg.gauge("l3.b" + std::to_string(b) + ".bits_flipped", [bank] {
+        return static_cast<double>(bank->compressionStats().bitsFlipped);
+      });
+    }
+  }
   if (!faultModels_.empty()) {
     for (BankId b = 0; b < numBanks(); ++b) {
       const mem::CacheBank* bank = llc_[b].get();
@@ -120,6 +129,7 @@ void MemorySystem::registerMetrics(telemetry::MetricsRegistry& reg) {
 void MemorySystem::setProfiler(telemetry::Profiler* profiler) {
   if (!profiler) {
     secTlb_ = secL1_ = secL2_ = secLlc_ = secNoc_ = secDram_ = {};
+    for (auto& bank : llc_) bank->setCompressProf({});
     return;
   }
   secTlb_ = profiler->section("tlb");
@@ -128,6 +138,13 @@ void MemorySystem::setProfiler(telemetry::Profiler* profiler) {
   secLlc_ = profiler->section("llc");
   secNoc_ = profiler->section("noc");
   secDram_ = profiler->section("dram");
+  // The compression section only exists when the engine can run — an
+  // always-zero "compress" row would otherwise dirty every uncompressed
+  // profile (and the compress=none byte-identity contract).
+  if (compressionEnabled()) {
+    telemetry::ProfSection sec = profiler->section("compress");
+    for (auto& bank : llc_) bank->setCompressProf(sec);
+  }
 }
 
 Cycle MemorySystem::nocTraverse(std::uint32_t src, std::uint32_t dst, Cycle at,
@@ -146,6 +163,27 @@ Cycle MemorySystem::dramAccess(Addr paddr, AccessType type, Cycle at) {
   if (warmupMode_) return at;
   telemetry::ScopedProf sp(secDram_);
   return dram_.access(paddr, type, at);
+}
+
+compress::LineContent MemorySystem::currentContent(CoreId owner, BlockAddr block) const {
+  static const compress::Compressibility kDefaultProfile{};
+  const compress::Compressibility& prof =
+      owner < compressibility_.size() ? compressibility_[owner] : kDefaultProfile;
+  const std::uint64_t salt = cfg_.seed * 1000003ull;
+  compress::LineContent c;
+  // Class draw: one uniform per block, stable across versions.
+  const std::uint64_t h = compress::mix64(block ^ salt);
+  c.cls = compress::drawClass(prof, static_cast<double>(h >> 11) * 0x1.0p-53);
+  auto it = contentVersion_.find(block);
+  const std::uint64_t version = it != contentVersion_.end() ? it->second : 0;
+  c.seed = compress::mix64(block ^ salt ^ (0x9e3779b97f4a7c15ull * (version + 1)));
+  return c;
+}
+
+std::uint64_t MemorySystem::totalBitsFlipped() const {
+  std::uint64_t total = 0;
+  for (const auto& bank : llc_) total += bank->compressionStats().bitsFlipped;
+  return total;
 }
 
 CoreId MemorySystem::ownerOf(BlockAddr block) const {
@@ -191,6 +229,16 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
   ++coreCounters_[owner].llcWritebacks;
   ++hot_.llcWritebacks;
 
+  // Dirty data arriving at the LLC is a new version of the line: advance
+  // the content version so the compressed payload actually changes, then
+  // fix the descriptor the bank will store.
+  compress::LineContent content{};
+  const bool cmp = compressionEnabled();
+  if (cmp) {
+    ++contentVersion_[block];
+    content = currentContent(owner, block);
+  }
+
   bool bit = policy_->needsMbv() ? mbvBitPhys(block) : false;
   BankId bank = policy_->locate(block, owner, bit);
   Cycle arrive = nocTraverse(topo_.coreNode(owner), topo_.bankNode(bank), now,
@@ -208,7 +256,7 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
                       {"critical", critical ? 1 : 0}});
   }
 
-  if (llc_[bank]->writebackHit(block)) {
+  if (llc_[bank]->writebackHit(block, cmp ? &content : nullptr)) {
     processFrameDeaths(bank, arrive);
   } else if (!llc_[bank]->canAllocate(block)) {
     // The set this block maps to has no live frames left: the write-back
@@ -224,7 +272,8 @@ void MemorySystem::writebackToLlc(CoreId owner, BlockAddr block, Cycle now) {
     // Non-inclusive LLC: the victim was dropped from the LLC while the L2
     // still held it; the write-back (re-)allocates (writeback-allocate).
     ++hot_.llcWbAllocates;
-    mem::Eviction ev = llc_[bank]->insert(block, /*dirty=*/true);
+    mem::Eviction ev = llc_[bank]->insert(block, /*dirty=*/true, /*critical=*/false,
+                                          cmp ? &content : nullptr);
     policy_->onFill(block, bank);
     evictFromLlc(bank, ev, arrive);
     processFrameDeaths(bank, arrive);
@@ -365,8 +414,12 @@ void MemorySystem::prefetchIntoL2(CoreId core, Addr vaddr, Cycle now) {
       Cycle fillArrive = nocTraverse(memNode(ch), topo_.bankNode(fill.bank), dramDone,
                                      mesh_.config().dataFlits);
       Cycle fillStart = bankReserve(fill.bank, fillArrive);
+      compress::LineContent content{};
+      const bool cmp = compressionEnabled();
+      if (cmp) content = currentContent(core, block);
       mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false,
-                                                    /*critical=*/false);
+                                                    /*critical=*/false,
+                                                    cmp ? &content : nullptr);
       policy_->onFill(block, fill.bank);
       if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
       evictFromLlc(fill.bank, llcEv, fillStart);
@@ -510,8 +563,11 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
 
   Cycle dataAtCore;
   if (llc_[lookupBank]->access(block, AccessType::Read)) {
-    // LLC hit: full ReRAM array read, data packet back to the core.
+    // LLC hit: full ReRAM array read, data packet back to the core.  With
+    // compression on, the decompressor sits on the read path (the IPC cost
+    // that the lifetime gain is traded against).
     Cycle dataReady = bankStart + cfg_.l3.latency;
+    if (cfg_.compress != compress::Kind::None) dataReady += cfg_.compressLatency;
     dataAtCore = nocTraverse(topo_.bankNode(lookupBank), topo_.coreNode(core),
                              dataReady, mesh_.config().dataFlits);
     if (traceWalk) {
@@ -526,6 +582,13 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
     // line is eventually evicted and refetched by its then-critical load).
     bool fillCritical = type == AccessType::Read && critical;
     if (warmupMode_ && policy_->needsMbv() && fillCritical && !bit) {
+      // Migration moves the line's *current* data: capture the source
+      // frame's content descriptor before the invalidate drops the line.
+      std::optional<compress::LineContent> migContent =
+          compressionEnabled() ? llc_[lookupBank]->lineContent(block) : std::nullopt;
+      if (compressionEnabled() && !migContent) {
+        migContent = currentContent(core, block);
+      }
       auto dirty = llc_[lookupBank]->invalidate(block);
       policy_->onEvict(block, lookupBank);
       core::MappingPolicy::Fill fill = policy_->placeFill(block, core, true);
@@ -539,7 +602,8 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
         }
       } else if (!llc_[fill.bank]->contains(block)) {
         mem::Eviction mev = llc_[fill.bank]->insert(block, dirty.value_or(false),
-                                                    /*critical=*/true);
+                                                    /*critical=*/true,
+                                                    migContent ? &*migContent : nullptr);
         policy_->onFill(block, fill.bank);
         tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
         evictFromLlc(fill.bank, mev, bankStart);
@@ -578,8 +642,12 @@ MemorySystem::WalkResult MemorySystem::walk(CoreId core, Addr vaddr, Cycle issue
       Cycle fillArrive = nocTraverse(memNode(ch), topo_.bankNode(fill.bank), dramDone,
                                      mesh_.config().dataFlits);
       Cycle fillStart = bankReserve(fill.bank, fillArrive);
+      compress::LineContent fillContent{};
+      const bool cmp = compressionEnabled();
+      if (cmp) fillContent = currentContent(core, block);
       mem::Eviction llcEv = llc_[fill.bank]->insert(block, /*dirty=*/false,
-                                                    fillCritical);
+                                                    fillCritical,
+                                                    cmp ? &fillContent : nullptr);
       policy_->onFill(block, fill.bank);
       if (policy_->needsMbv()) tlbs_[core]->setMappingBit(vaddr, fill.usedRnuca);
       evictFromLlc(fill.bank, llcEv, fillStart);
@@ -691,6 +759,28 @@ void MemorySystem::saveCheckpoint(serial::ArchiveWriter& ar) const {
   serial::saveComponent(ar, "policy", *policy_);
   serial::saveComponent(ar, "dram", dram_);
   serial::saveComponent(ar, "noc", mesh_);
+  // Compression state travels in its own sections so the legacy l3b/...
+  // payload layout (pinned by committed fixture checkpoints) is untouched.
+  // Only written when compression is on: the warm-state fingerprint already
+  // refuses cross-config restores, and uncompressed archives stay
+  // byte-identical to pre-compression ones.
+  if (compressionEnabled()) {
+    for (BankId b = 0; b < numBanks(); ++b) {
+      ar.beginSection("cmp" + std::to_string(b));
+      llc_[b]->saveCompressState(ar);
+      ar.endSection();
+    }
+    ar.beginSection("cmpmeta");
+    std::vector<std::pair<BlockAddr, std::uint32_t>> versions(contentVersion_.begin(),
+                                                              contentVersion_.end());
+    std::sort(versions.begin(), versions.end());
+    ar.putU64(versions.size());
+    for (const auto& [block, version] : versions) {
+      ar.putU64(block);
+      ar.putU32(version);
+    }
+    ar.endSection();
+  }
 }
 
 bool MemorySystem::loadCheckpoint(serial::ArchiveReader& ar) {
@@ -710,6 +800,20 @@ bool MemorySystem::loadCheckpoint(serial::ArchiveReader& ar) {
   if (!serial::loadComponent(ar, "policy", *policy_)) return false;
   if (!serial::loadComponent(ar, "dram", dram_)) return false;
   if (!serial::loadComponent(ar, "noc", mesh_)) return false;
+  if (compressionEnabled()) {
+    for (BankId b = 0; b < numBanks(); ++b) {
+      if (!ar.openSection("cmp" + std::to_string(b))) return false;
+      if (!llc_[b]->loadCompressState(ar)) return false;
+    }
+    if (!ar.openSection("cmpmeta")) return false;
+    contentVersion_.clear();
+    const std::uint64_t count = ar.getU64();
+    for (std::uint64_t i = 0; i < count && ar.ok(); ++i) {
+      const BlockAddr block = ar.getU64();
+      contentVersion_[block] = ar.getU32();
+    }
+    if (!ar.ok() || ar.remaining() != 0) return false;
+  }
   return true;
 }
 

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "coherence/mesi.hpp"
+#include "compress/compress.hpp"
 #include "core/mapping_policy.hpp"
 #include "cpu/core.hpp"
 #include "dram/dram.hpp"
@@ -117,6 +119,20 @@ class MemorySystem final : public cpu::MemorySystem {
   double nonCriticalFillFrac() const;
   double nonCriticalWriteFrac() const;
 
+  // --- Compression (cfg.compress != None) ----------------------------------
+
+  /// Per-core content compressibility profiles (System wires the workload
+  /// mix's per-app profiles in; the default profile applies to any core
+  /// not covered).  Only consulted when compression is on.
+  void setCompressibility(std::vector<compress::Compressibility> perCore) {
+    compressibility_ = std::move(perCore);
+  }
+  bool compressionEnabled() const {
+    return cfg_.compress != compress::Kind::None;
+  }
+  /// Totals over all banks (0 when compression is off).
+  std::uint64_t totalBitsFlipped() const;
+
   /// Ends the warm-up window: zeros every statistic and ReRAM write
   /// counter while keeping cache/TLB/predictor contents.
   void resetMeasurement();
@@ -201,6 +217,13 @@ class MemorySystem final : public cpu::MemorySystem {
   Cycle bankReserve(BankId bank, Cycle at);
   Cycle dramAccess(Addr paddr, AccessType type, Cycle at);
 
+  /// Synthetic content descriptor for `block` at its current write version
+  /// (compression on only).  The line's class is a pure function of the
+  /// block address and the owner's compressibility profile — a given line
+  /// holds the same *kind* of data for its whole life — while the payload
+  /// seed advances with the write version so rewrites actually flip cells.
+  compress::LineContent currentContent(CoreId owner, BlockAddr block) const;
+
   SystemConfig cfg_;
   noc::Topology topo_;
   tlb::PageTable pageTable_;
@@ -270,6 +293,17 @@ class MemorySystem final : public cpu::MemorySystem {
   telemetry::ProfSection secLlc_;
   telemetry::ProfSection secNoc_;
   telemetry::ProfSection secDram_;
+
+  // --- Content model (compress != None only; all empty otherwise) ----------
+  /// Per-core compressibility profile from the workload mix; cores past the
+  /// end use the default profile.
+  std::vector<compress::Compressibility> compressibility_;
+  /// Per-block write version: bumped on every dirty L2→LLC write-back, so
+  /// a line's compressed payload changes when its data does.  Like the
+  /// frames' cell contents, versions persist across resetMeasurement()
+  /// (they are content identity, not a statistic) and ride in snapshots
+  /// (the "cmpmeta" section, canonically sorted).
+  std::unordered_map<BlockAddr, std::uint32_t> contentVersion_;
 };
 
 }  // namespace renuca::sim

@@ -38,6 +38,13 @@ void writeConfigEcho(telemetry::JsonWriter& w, const SystemConfig& cfg) {
     w.kv("fault_dead_frac", cfg.fault.deadFrac);
     w.kv("fault_scheduled", static_cast<std::uint64_t>(cfg.fault.schedule.size()));
   }
+  // Like the fault keys: only emitted when the feature is on, so
+  // compress=none reports stay byte-identical (from "config" on) to
+  // pre-compression ones.
+  if (cfg.compress != compress::Kind::None) {
+    w.kv("compress", compress::toString(cfg.compress));
+    w.kv("compress_latency", cfg.compressLatency);
+  }
   w.endObject();
 }
 
@@ -96,6 +103,26 @@ void writeRun(telemetry::JsonWriter& w, const ReportEntry& entry,
   }
   w.endArray();
 
+  // v4 addition: compression and bit-accurate wear, present only when the
+  // engine ran.  Lifetimes here count effective writes = bits / 512; the
+  // writes-based vectors above are the uncompressed charge for comparison.
+  if (r.compressKind != compress::Kind::None) {
+    w.key("compression");
+    w.beginObject();
+    w.kv("kind", compress::toString(r.compressKind));
+    w.kv("writes", r.cmpWrites);
+    w.kv("raw_fallbacks", r.cmpRawFallbacks);
+    w.kv("zero_delta_writes", r.cmpZeroDeltaWrites);
+    w.kvArray("size_hist_64bit_buckets",
+              std::vector<std::uint64_t>(r.cmpSizeHist, r.cmpSizeHist + 8));
+    w.kvArray("bank_bits_flipped", r.bankBitsFlipped);
+    w.kvArray("bank_max_frame_bits", r.bankMaxFrameBits);
+    w.kvArray("bank_lifetime_years_bits", r.bankLifetimeYearsBits);
+    w.kvArray("bank_lifetime_years_bits_hot_frame", r.bankLifetimeYearsBitsHotFrame);
+    w.kv("min_bank_lifetime_years_bits", r.minBankLifetimeBits());
+    w.endObject();
+  }
+
   if (!r.epochs.empty()) {
     w.key("epochs");
     telemetry::writeEpochSeries(w, r.epochs);
@@ -151,7 +178,7 @@ std::string runReportJson(const std::string& benchName, const SystemConfig& cfg,
   std::ostringstream os;
   telemetry::JsonWriter w(os);
   w.beginObject();
-  w.kv("schema", "renuca-run-report-v3");
+  w.kv("schema", "renuca-run-report-v4");
   w.kv("bench", benchName);
   w.kv("generated_unix", telemetry::unixTime());
   w.kv("host", telemetry::hostName());

@@ -1,4 +1,4 @@
-// Machine-readable run reports ("renuca-run-report-v3").
+// Machine-readable run reports ("renuca-run-report-v4").
 //
 // Every bench binary (and runWorkload, via BenchSession) can write one JSON
 // document per invocation: provenance (host, wall-clock, generation time),

@@ -15,6 +15,11 @@ double RunResult::minBankLifetime() const {
   return *std::min_element(bankLifetimeYears.begin(), bankLifetimeYears.end());
 }
 
+double RunResult::minBankLifetimeBits() const {
+  if (bankLifetimeYearsBits.empty()) return 0.0;
+  return *std::min_element(bankLifetimeYearsBits.begin(), bankLifetimeYearsBits.end());
+}
+
 double RunResult::avgWpki() const { return arithmeticMean(wpki); }
 double RunResult::avgMpki() const { return arithmeticMean(mpki); }
 
@@ -36,6 +41,17 @@ System::System(const SystemConfig& config, const workload::WorkloadMix& mix)
         cfg_.coreCfg, c, gens_.back().get(), mem_.get(), cpts_.back().get(),
         cfg_.instrPerCore));
     cores_.back()->setRunPastBudget(true);
+  }
+
+  if (cfg_.compress != compress::Kind::None) {
+    // Each core's synthetic line contents follow its app's compressibility
+    // profile (workload/app_profile.cpp archetypes).
+    std::vector<compress::Compressibility> perCore;
+    perCore.reserve(cfg_.numCores);
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+      perCore.push_back(workload::profileByName(mix.appNames[c]).compressibility);
+    }
+    mem_->setCompressibility(std::move(perCore));
   }
 
   wake_.assign(cfg_.numCores, 0);  // 0 = due at the first visited cycle
@@ -452,6 +468,24 @@ RunResult System::run() {
         bank.totalWrites(), bank.config().numFrames(), measuredCycles, cfg_.endurance));
     r.bankLifetimeYearsHotFrame.push_back(
         rram::bankLifetimeYears(bank.maxFrameWrites(), measuredCycles, cfg_.endurance));
+  }
+
+  r.compressKind = cfg_.compress;
+  if (cfg_.compress != compress::Kind::None) {
+    for (BankId b = 0; b < mem_->numBanks(); ++b) {
+      const mem::CacheBank& bank = mem_->llcBank(b);
+      const mem::CacheBank::CompressionStats& cs = bank.compressionStats();
+      r.bankBitsFlipped.push_back(cs.bitsFlipped);
+      r.bankMaxFrameBits.push_back(bank.maxFrameBits());
+      r.bankLifetimeYearsBits.push_back(rram::bankLifetimeYearsBitsIdeal(
+          cs.bitsFlipped, bank.config().numFrames(), measuredCycles, cfg_.endurance));
+      r.bankLifetimeYearsBitsHotFrame.push_back(rram::bankLifetimeYearsBits(
+          bank.maxFrameBits(), measuredCycles, cfg_.endurance));
+      r.cmpWrites += cs.writes;
+      r.cmpRawFallbacks += cs.rawFallbacks;
+      r.cmpZeroDeltaWrites += cs.zeroDeltaWrites;
+      for (int i = 0; i < 8; ++i) r.cmpSizeHist[i] += cs.sizeHist[i];
+    }
   }
 
   if (cfg_.fault.enabled) {

@@ -66,6 +66,21 @@ struct RunResult {
   std::vector<double> bankLifetimeYears;          ///< Bank-level accounting (paper).
   std::vector<double> bankLifetimeYearsHotFrame;  ///< Hottest-frame bound (ablation).
 
+  // Compression and bit-accurate wear (compress != none runs only; empty /
+  // zero otherwise).  Lifetimes here count effective writes = bits / 512
+  // (DESIGN.md §18); the writes-based vectors above are what an
+  // uncompressed LLC would charge and stay filled either way.
+  compress::Kind compressKind = compress::Kind::None;
+  std::vector<std::uint64_t> bankBitsFlipped;
+  std::vector<std::uint64_t> bankMaxFrameBits;
+  std::vector<double> bankLifetimeYearsBits;          ///< Bank-level, bit-accurate.
+  std::vector<double> bankLifetimeYearsBitsHotFrame;  ///< Hottest-frame bound.
+  std::uint64_t cmpWrites = 0;          ///< Compressed LLC frame writes.
+  std::uint64_t cmpRawFallbacks = 0;    ///< Stored uncompressed (512 bits).
+  std::uint64_t cmpZeroDeltaWrites = 0; ///< Rewrites flipping zero cells.
+  /// Stored-size histogram, bucket i = (i*64, (i+1)*64] bits.
+  std::uint64_t cmpSizeHist[8] = {};
+
   // Wear-out faults and graceful degradation (fault model runs; empty /
   // 1.0 / 0 otherwise).  Fault-event cycles are measurement-relative.
   std::vector<std::uint32_t> bankDeadFrames;
@@ -100,6 +115,8 @@ struct RunResult {
   telemetry::ProfileReport profile;
 
   double minBankLifetime() const;
+  /// Minimum bit-accurate bank lifetime (0 when compression was off).
+  double minBankLifetimeBits() const;
   double avgWpki() const;
   double avgMpki() const;
 };

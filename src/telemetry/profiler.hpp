@@ -49,7 +49,7 @@ class ProfSection {
 };
 
 /// One run's profile, ready for the run report ("profile" section of
-/// renuca-run-report-v3) and for trace spans.
+/// renuca-run-report-v4) and for trace spans.
 struct ProfileReport {
   bool enabled = false;
   double totalSeconds = 0.0;        ///< Wall time of the whole run.

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "compress/compress.hpp"
+
 namespace renuca::workload {
 
 /// Write-intensity class used to compose multi-programmed mixes
@@ -67,6 +69,14 @@ struct AppProfile {
   std::uint64_t largeBytes = 512 * 1024;
 
   std::uint32_t loopLen = 1000;  ///< Loop body length in instructions (PC variety).
+
+  // Content compressibility: the distribution of line classes this app's
+  // blocks draw from when `compress=` is enabled (compress/compress.hpp).
+  // Calibrated per app in app_profile.cpp against the BDI/FPC literature's
+  // per-benchmark compression ratios — integer/pointer codes (mcf, astar,
+  // xalancbmk) compress well, floating-point field solvers (lbm, milc,
+  // GemsFDTD) are mostly incompressible.  Ignored when compression is off.
+  compress::Compressibility compressibility;
 
   WriteIntensity intensity() const;
   /// WPKI + MPKI, the paper's write-intensity score.

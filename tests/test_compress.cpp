@@ -1,0 +1,333 @@
+// Compression subsystem tests: encoder goldens per content class, the
+// differential-write (bits-flipped) model and its edge cases, deterministic
+// content synthesis and class draws, bank-level bit accounting (zero-delta
+// rewrites, raw fallbacks, fractional wear against frame budgets), and
+// jobs=N determinism of compressed sweeps.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "compress/compress.hpp"
+#include "mem/cache.hpp"
+#include "rram/fault_model.hpp"
+#include "sim/experiment.hpp"
+
+namespace renuca {
+namespace {
+
+using compress::CompressedLine;
+using compress::Kind;
+using compress::LineClass;
+using compress::LineContent;
+using compress::Scheme;
+
+std::uint64_t payloadPopcount(const CompressedLine& line) {
+  std::uint64_t bits = 0;
+  for (std::uint32_t i = 0; i < line.sizeBytes(); ++i) {
+    bits += static_cast<std::uint64_t>(std::popcount(line.bytes[i]));
+  }
+  return bits;
+}
+
+// --- Encoders ---------------------------------------------------------------
+
+TEST(Compress, ZeroLineCompressesToEightBits) {
+  CompressedLine out;
+  compress::compressContent(Kind::BdiFpc, {LineClass::Zero, 42}, out);
+  EXPECT_EQ(out.scheme, Scheme::BdiZero);
+  EXPECT_EQ(out.sizeBits, 8u);
+}
+
+TEST(Compress, RepeatedValueLineCompressesToOneWord) {
+  CompressedLine out;
+  compress::compressContent(Kind::Bdi, {LineClass::Rep, 42}, out);
+  EXPECT_EQ(out.scheme, Scheme::BdiRep);
+  EXPECT_EQ(out.sizeBits, 64u);
+}
+
+TEST(Compress, NarrowLineCompressesWithBdi) {
+  CompressedLine out;
+  compress::compressContent(Kind::Bdi, {LineClass::Narrow, 42}, out);
+  EXPECT_NE(out.scheme, Scheme::Raw);
+  // Base + one-byte deltas: 8 + 8x1 bytes = 128 bits (or better).
+  EXPECT_LE(out.sizeBits, 128u);
+}
+
+TEST(Compress, PatternLineCompressesWithFpc) {
+  CompressedLine out;
+  compress::compressContent(Kind::Fpc, {LineClass::Pattern, 42}, out);
+  EXPECT_EQ(out.scheme, Scheme::Fpc);
+  EXPECT_LT(out.sizeBits, compress::kLineBits);
+}
+
+TEST(Compress, RandomLineFallsBackToRaw) {
+  CompressedLine out;
+  compress::compressContent(Kind::BdiFpc, {LineClass::Random, 42}, out);
+  EXPECT_EQ(out.scheme, Scheme::Raw);
+  EXPECT_EQ(out.sizeBits, compress::kLineBits);
+}
+
+TEST(Compress, CombinedKindNeverLosesToEitherEncoder) {
+  for (std::uint32_t c = 0; c < compress::kNumLineClasses; ++c) {
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      LineContent content{static_cast<LineClass>(c), seed};
+      CompressedLine bdi, fpc, both;
+      compress::compressContent(Kind::Bdi, content, bdi);
+      compress::compressContent(Kind::Fpc, content, fpc);
+      compress::compressContent(Kind::BdiFpc, content, both);
+      EXPECT_LE(both.sizeBits, bdi.sizeBits);
+      EXPECT_LE(both.sizeBits, fpc.sizeBits);
+      EXPECT_LE(both.sizeBits, compress::kLineBits);
+      EXPECT_GT(both.sizeBits, 0u);
+    }
+  }
+}
+
+TEST(Compress, SynthesisAndEncodingAreDeterministic) {
+  std::uint64_t a[compress::kLineWords], b[compress::kLineWords];
+  compress::synthesizeLine({LineClass::Pattern, 99}, a);
+  compress::synthesizeLine({LineClass::Pattern, 99}, b);
+  for (std::uint32_t i = 0; i < compress::kLineWords; ++i) EXPECT_EQ(a[i], b[i]);
+  compress::synthesizeLine({LineClass::Pattern, 100}, b);
+  bool differs = false;
+  for (std::uint32_t i = 0; i < compress::kLineWords; ++i) differs |= a[i] != b[i];
+  EXPECT_TRUE(differs);
+
+  CompressedLine x, y;
+  compress::compressContent(Kind::BdiFpc, {LineClass::Narrow, 7}, x);
+  compress::compressContent(Kind::BdiFpc, {LineClass::Narrow, 7}, y);
+  EXPECT_EQ(x.sizeBits, y.sizeBits);
+  EXPECT_EQ(x.scheme, y.scheme);
+  EXPECT_EQ(0, std::memcmp(x.bytes, y.bytes, sizeof(x.bytes)));
+}
+
+// --- Differential-write model ------------------------------------------------
+
+TEST(Compress, IdenticalPayloadFlipsZeroBits) {
+  CompressedLine a;
+  compress::compressContent(Kind::BdiFpc, {LineClass::Narrow, 5}, a);
+  EXPECT_EQ(compress::bitsFlipped(a, a), 0u);
+}
+
+TEST(Compress, VirginWriteFlipsPayloadPopulation) {
+  CompressedLine a;
+  compress::compressContent(Kind::BdiFpc, {LineClass::Rep, 5}, a);
+  EXPECT_EQ(compress::bitsFlipped(a), payloadPopcount(a));
+}
+
+TEST(Compress, FlipCountIsSymmetric) {
+  CompressedLine a, b;
+  compress::compressContent(Kind::BdiFpc, {LineClass::Narrow, 5}, a);
+  compress::compressContent(Kind::BdiFpc, {LineClass::Random, 6}, b);
+  EXPECT_EQ(compress::bitsFlipped(a, b), compress::bitsFlipped(b, a));
+}
+
+TEST(Compress, SizeChangePaysForTailBits) {
+  // Growing writes the new tail's set bits; shrinking clears the old tail.
+  CompressedLine small, big;
+  small.bytes[0] = 0xFF;
+  small.sizeBits = 8;
+  big.bytes[0] = 0xFF;
+  big.bytes[1] = 0xFF;
+  big.sizeBits = 16;
+  EXPECT_EQ(compress::bitsFlipped(small, big), 8u);
+  EXPECT_EQ(compress::bitsFlipped(big, small), 8u);
+}
+
+// --- Profiles and parsing ----------------------------------------------------
+
+TEST(Compress, DrawClassWalksCumulativeDistribution) {
+  compress::Compressibility p;  // 0.10 / 0.10 / 0.25 / 0.25, rest Random
+  EXPECT_EQ(compress::drawClass(p, 0.05), LineClass::Zero);
+  EXPECT_EQ(compress::drawClass(p, 0.15), LineClass::Rep);
+  EXPECT_EQ(compress::drawClass(p, 0.30), LineClass::Narrow);
+  EXPECT_EQ(compress::drawClass(p, 0.60), LineClass::Pattern);
+  EXPECT_EQ(compress::drawClass(p, 0.95), LineClass::Random);
+}
+
+TEST(Compress, ParseKindRoundTrips) {
+  for (Kind k : {Kind::None, Kind::Bdi, Kind::Fpc, Kind::BdiFpc}) {
+    Kind parsed;
+    ASSERT_TRUE(compress::parseKind(compress::toString(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  Kind parsed;
+  EXPECT_FALSE(compress::parseKind("zstd", parsed));
+  EXPECT_FALSE(compress::parseKind("", parsed));
+}
+
+// --- Bank-level bit accounting ----------------------------------------------
+
+mem::CacheConfig compressedBank(Kind kind = Kind::BdiFpc) {
+  mem::CacheConfig cfg;
+  cfg.sizeBytes = 4 * 1024;  // 64 frames
+  cfg.ways = 2;
+  cfg.trackFrameWrites = true;
+  cfg.compress = kind;
+  return cfg;
+}
+
+TEST(CacheBankCompress, ZeroDeltaRewriteFlipsNothing) {
+  mem::CacheBank bank(compressedBank(), "t");
+  LineContent content{LineClass::Narrow, 11};
+  bank.insert(100, /*dirty=*/false, /*critical=*/false, &content);
+  const std::uint64_t afterFill = bank.compressionStats().bitsFlipped;
+  EXPECT_GT(afterFill, 0u);
+  ASSERT_TRUE(bank.writebackHit(100, &content));  // same payload again
+  EXPECT_EQ(bank.compressionStats().bitsFlipped, afterFill);
+  EXPECT_EQ(bank.compressionStats().zeroDeltaWrites, 1u);
+}
+
+TEST(CacheBankCompress, IncompressibleLineCountsRawFallback) {
+  mem::CacheBank bank(compressedBank(), "t");
+  LineContent content{LineClass::Random, 11};
+  bank.insert(100, false, false, &content);
+  EXPECT_EQ(bank.compressionStats().rawFallbacks, 1u);
+  // Raw = 512 stored bits: top histogram bucket.
+  EXPECT_EQ(bank.compressionStats().sizeHist[7], 1u);
+}
+
+TEST(CacheBankCompress, ContentSurvivesEvictionAsCellState) {
+  // Cells keep their last value: refilling the frame with the same payload
+  // after an eviction flips zero bits.
+  mem::CacheBank bank(compressedBank(), "t");
+  const std::uint32_t sets = bank.config().numSets();
+  LineContent content{LineClass::Rep, 3};
+  bank.insert(100, false, false, &content);
+  // Fill both ways, then two more inserts evict the originals (LRU).
+  LineContent other{LineClass::Rep, 4};
+  bank.insert(100 + sets, false, false, &other);
+  bank.insert(100 + 2 * sets, false, false, &other);
+  EXPECT_FALSE(bank.contains(100));
+  const std::uint64_t before = bank.compressionStats().bitsFlipped;
+  // 100 + 2*sets landed in 100's frame with `other`; writing `other` back
+  // into that frame is a zero-delta rewrite.
+  ASSERT_TRUE(bank.writebackHit(100 + 2 * sets, &other));
+  EXPECT_EQ(bank.compressionStats().bitsFlipped, before);
+}
+
+TEST(CacheBankCompress, ResetMeasurementKeepsCellsZerosWear) {
+  mem::CacheBank bank(compressedBank(), "t");
+  LineContent content{LineClass::Narrow, 11};
+  bank.insert(100, false, false, &content);
+  EXPECT_GT(bank.maxFrameBits(), 0u);
+  bank.resetMeasurement();
+  EXPECT_EQ(bank.maxFrameBits(), 0u);
+  EXPECT_EQ(bank.compressionStats().writes, 0u);
+  // The descriptor survived: rewriting the same payload is still free.
+  ASSERT_TRUE(bank.writebackHit(100, &content));
+  EXPECT_EQ(bank.compressionStats().bitsFlipped, 0u);
+  EXPECT_EQ(bank.compressionStats().zeroDeltaWrites, 1u);
+}
+
+TEST(CacheBankCompress, CompressedFramesOutliveWriteBudget) {
+  // Frame budgets count effective writes (bits/512): with ~quarter-size
+  // payloads a compressed frame absorbs several times its nominal write
+  // budget, while an uncompressed frame dies exactly at the budget.
+  rram::FaultConfig fc;
+  fc.enabled = true;
+  fc.sigma = 0.0;  // identical cells: every frame's limit == budget
+  fc.budgetWrites = 6.0;
+
+  mem::CacheConfig plainCfg = compressedBank(Kind::None);
+  mem::CacheBank plain(plainCfg, "plain");
+  rram::BankFaultModel plainFm(fc, 0, plainCfg.numSets(), plainCfg.ways);
+  plain.setFaultModel(&plainFm);
+  plain.armFaultBudgets();
+
+  mem::CacheConfig cmpCfg = compressedBank(Kind::BdiFpc);
+  mem::CacheBank cmp(cmpCfg, "cmp");
+  rram::BankFaultModel cmpFm(fc, 0, cmpCfg.numSets(), cmpCfg.ways);
+  cmp.setFaultModel(&cmpFm);
+  cmp.armFaultBudgets();
+
+  auto writesUntilDeath = [](mem::CacheBank& bank, std::uint64_t cap) {
+    LineContent first{LineClass::Narrow, 0};
+    bank.insert(100, false, false, &first);
+    std::uint64_t writes = 1;
+    while (writes < cap) {
+      LineContent content{LineClass::Narrow, writes};
+      if (!bank.writebackHit(100, &content)) break;  // frame died
+      ++writes;
+      if (!bank.harvestFrameDeaths().empty()) break;
+    }
+    return writes;
+  };
+
+  const std::uint64_t plainWrites = writesUntilDeath(plain, 1000);
+  const std::uint64_t cmpWrites = writesUntilDeath(cmp, 1000);
+  EXPECT_EQ(plainWrites, 6u);  // classic accounting: dead at the budget
+  // Narrow lines store ~128 of 512 bits and flip fewer still; at least 3x
+  // the budget must land before the bit budget (6 * 512 cells) runs out.
+  EXPECT_GE(cmpWrites, 3 * plainWrites);
+}
+
+// --- System-level ------------------------------------------------------------
+
+sim::SystemConfig fastCompressedConfig(Kind kind) {
+  sim::SystemConfig cfg = sim::defaultConfig();
+  cfg.policy = core::PolicyKind::ReNuca;
+  cfg.compress = kind;
+  cfg.instrPerCore = 4000;
+  cfg.warmupInstrPerCore = 1000;
+  cfg.prewarmInstrPerCore = 60000;
+  cfg.placementRefreshInstrPerCore = 20000;
+  return cfg;
+}
+
+TEST(SystemCompress, CompressionOffLeavesResultFieldsEmpty) {
+  sim::RunResult r = sim::runWorkload(fastCompressedConfig(Kind::None),
+                                      workload::standardMixes()[0]);
+  EXPECT_EQ(r.compressKind, Kind::None);
+  EXPECT_TRUE(r.bankBitsFlipped.empty());
+  EXPECT_TRUE(r.bankLifetimeYearsBits.empty());
+  EXPECT_EQ(r.cmpWrites, 0u);
+  EXPECT_EQ(r.minBankLifetimeBits(), 0.0);
+}
+
+TEST(SystemCompress, CompressionOnProducesBitAccurateWear) {
+  sim::RunResult r = sim::runWorkload(fastCompressedConfig(Kind::BdiFpc),
+                                      workload::standardMixes()[0]);
+  EXPECT_EQ(r.compressKind, Kind::BdiFpc);
+  ASSERT_EQ(r.bankBitsFlipped.size(), 16u);
+  ASSERT_EQ(r.bankLifetimeYearsBits.size(), 16u);
+  EXPECT_GT(r.cmpWrites, 0u);
+  std::uint64_t hist = 0;
+  for (std::uint64_t h : r.cmpSizeHist) hist += h;
+  EXPECT_EQ(hist, r.cmpWrites);
+  for (std::size_t b = 0; b < r.bankBitsFlipped.size(); ++b) {
+    // A compressed write can never flip more than the full line, so the
+    // bit-accurate lifetime dominates the classic full-line accounting.
+    EXPECT_LE(r.bankBitsFlipped[b], r.bankWrites[b] * compress::kLineBits);
+    EXPECT_GE(r.bankLifetimeYearsBits[b], r.bankLifetimeYears[b]);
+  }
+  EXPECT_GE(r.minBankLifetimeBits(), r.minBankLifetime());
+}
+
+TEST(SystemCompress, CompressedSweepDeterministicAcrossJobCounts) {
+  sim::SystemConfig cfg = fastCompressedConfig(Kind::BdiFpc);
+  const std::vector<core::PolicyKind> policies = {core::PolicyKind::SNuca,
+                                                  core::PolicyKind::ReNuca};
+  const std::vector<workload::WorkloadMix> mixes = {workload::standardMixes()[0]};
+  sim::SweepOptions serial;
+  serial.jobs = 1;
+  sim::SweepOptions parallel;
+  parallel.jobs = 4;
+  sim::PolicySweep a = sim::sweepPolicies(cfg, policies, mixes, serial);
+  sim::PolicySweep b = sim::sweepPolicies(cfg, policies, mixes, parallel);
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const sim::RunResult& ra = a.at(p, 0);
+    const sim::RunResult& rb = b.at(p, 0);
+    EXPECT_EQ(ra.measuredCycles, rb.measuredCycles);
+    EXPECT_EQ(ra.coreIpc, rb.coreIpc);
+    EXPECT_EQ(ra.bankWrites, rb.bankWrites);
+    EXPECT_EQ(ra.bankBitsFlipped, rb.bankBitsFlipped);
+    EXPECT_EQ(ra.cmpWrites, rb.cmpWrites);
+    EXPECT_EQ(ra.cmpZeroDeltaWrites, rb.cmpZeroDeltaWrites);
+  }
+}
+
+}  // namespace
+}  // namespace renuca

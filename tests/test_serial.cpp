@@ -683,6 +683,84 @@ TEST(Fingerprint, PlacementChangesFingerprint) {
   EXPECT_NE(sim::warmStateFingerprint(twoMcs, mix), fp);
 }
 
+TEST(Fingerprint, CompressionChangesFingerprint) {
+  // compress=none must keep the seed fingerprint (snapshots stay shareable
+  // with uncompressed runs); any engine changes it, and different engines
+  // differ from each other (their frame descriptors are not exchangeable).
+  sim::SystemConfig base = fastSingleCore();
+  workload::WorkloadMix mix = singleAppMix("mcf");
+  const std::uint64_t fp = sim::warmStateFingerprint(base, mix);
+
+  sim::SystemConfig off = base;
+  off.compress = compress::Kind::None;
+  EXPECT_EQ(sim::warmStateFingerprint(off, mix), fp);
+
+  sim::SystemConfig bdi = base;
+  bdi.compress = compress::Kind::Bdi;
+  sim::SystemConfig both = base;
+  both.compress = compress::Kind::BdiFpc;
+  EXPECT_NE(sim::warmStateFingerprint(bdi, mix), fp);
+  EXPECT_NE(sim::warmStateFingerprint(both, mix), fp);
+  EXPECT_NE(sim::warmStateFingerprint(bdi, mix), sim::warmStateFingerprint(both, mix));
+}
+
+TEST(Snapshot, CompressedSaveLoadSaveIsByteStable) {
+  const std::string p1 = tmpPath("cmp-ss1.ckpt");
+  const std::string p2 = tmpPath("cmp-ss2.ckpt");
+  workload::WorkloadMix mix = singleAppMix("mcf");
+  sim::SystemConfig cfg = fastSingleCore();
+  cfg.compress = compress::Kind::BdiFpc;
+  cfg.snapshotSavePath = p1;
+  sim::System(cfg, mix).run();
+
+  // The archive must actually carry the compression state sections.
+  {
+    serial::ArchiveReader ar(p1);
+    ASSERT_TRUE(ar.ok());
+    EXPECT_TRUE(ar.hasSection("cmp0"));
+    EXPECT_TRUE(ar.hasSection("cmpmeta"));
+  }
+
+  sim::SystemConfig cfg2 = fastSingleCore();
+  cfg2.compress = compress::Kind::BdiFpc;
+  sim::System sys(cfg2, mix);
+  ASSERT_TRUE(sys.restoreFrom(p1));
+  ASSERT_TRUE(sys.snapshot(p2));
+  EXPECT_EQ(slurp(p1), slurp(p2));
+}
+
+TEST(Snapshot, CompressedRestoreReproducesRun) {
+  const std::string ckpt = tmpPath("cmp-restore.ckpt");
+  workload::WorkloadMix mix = singleAppMix("mcf");
+  sim::SystemConfig cfg = fastSingleCore();
+  cfg.compress = compress::Kind::BdiFpc;
+  cfg.snapshotSavePath = ckpt;
+  sim::RunResult rCold = sim::System(cfg, mix).run();
+
+  sim::SystemConfig loader = fastSingleCore();
+  loader.compress = compress::Kind::BdiFpc;
+  loader.snapshotLoadPath = ckpt;
+  sim::RunResult rWarm = sim::System(loader, mix).run();
+  sim::SystemConfig base = fastSingleCore();
+  base.compress = compress::Kind::BdiFpc;
+  EXPECT_EQ(reportFor(base, rWarm, "run"), reportFor(base, rCold, "run"));
+}
+
+TEST(Snapshot, PreCompressionCheckpointRefusedUnderCompression) {
+  // The committed pre-compression fixture restores fine into an
+  // uncompressed run (Snapshot.PreRefactorCheckpointStillRestores) but
+  // must be refused by a compressed config: it carries no frame content
+  // descriptors, and silently restoring would fake virgin cells.  The
+  // fingerprint's compress suffix is what rejects it.
+  const std::string ckpt =
+      std::string(RENUCA_TEST_DATA_DIR) + "/prerefactor_singlecore_mcf.ckpt";
+  workload::WorkloadMix mix = singleAppMix("mcf");
+  sim::SystemConfig cfg = fastSingleCore();
+  cfg.compress = compress::Kind::BdiFpc;
+  sim::System sys(cfg, mix);
+  EXPECT_FALSE(sys.restoreFrom(ckpt));
+}
+
 TEST(Snapshot, SharingRunsRefuseToSnapshot) {
   workload::WorkloadMix mix = singleAppMix("mcf");
   sim::SystemConfig cfg = fastSingleCore();

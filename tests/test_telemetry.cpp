@@ -288,7 +288,7 @@ TEST(Telemetry, RunReportIsValidJson) {
   auto doc = parseJson(slurp(path), &err);
   ASSERT_TRUE(doc.has_value()) << err;
 
-  EXPECT_EQ(doc->find("schema")->str, "renuca-run-report-v3");
+  EXPECT_EQ(doc->find("schema")->str, "renuca-run-report-v4");
   EXPECT_EQ(doc->find("bench")->str, "unit_test");
   EXPECT_GT(doc->find("generated_unix")->number, 0.0);
   EXPECT_FALSE(doc->find("host")->str.empty());

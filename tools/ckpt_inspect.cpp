@@ -1,9 +1,12 @@
 // ckpt_inspect: terminal summarizer for warm-state snapshot archives
 // (snapshot_save= / snapshot_dir=).  For a quick look without a debugger:
 // validates the framing and every section checksum, prints the section
-// table, the configuration fingerprint the snapshot was taken under, and
-// the per-bank LLC write totals / dead-frame counts (the endurance state
-// the snapshot carries).
+// table, the configuration fingerprint the snapshot was taken under, the
+// per-bank LLC write totals / dead-frame counts (the endurance state the
+// snapshot carries), and — for snapshots taken with compression on — the
+// per-bank compression/bit-wear state ("cmp<b>"/"cmpmeta" sections).
+// Pre-compression checkpoints simply lack those sections and print the
+// classic summary unchanged.
 //
 //   ./ckpt_inspect <snapshot.ckpt> [sections=1] [key=0]
 #include <cstdio>
@@ -105,6 +108,61 @@ int main(int argc, char** argv) {
     }
     std::printf("l3b%-3u %8u %6u %14llu %10u\n", b, numSets, ways,
                 static_cast<unsigned long long>(totalWrites), deadFrames);
+  }
+
+  // Compression / bit-wear state.  Only snapshots taken with compress= on
+  // carry these sections; older (or uncompressed) archives skip this block.
+  header = false;
+  for (std::uint32_t b = 0;; ++b) {
+    const std::string name = "cmp" + std::to_string(b);
+    if (!ar.hasSection(name)) break;
+    if (!ar.openSection(name)) break;
+    const std::uint32_t frames = ar.getU32();
+    std::uint64_t storedTotal = 0, written = 0, bitsTotal = 0, maxFrameBits = 0;
+    for (std::uint32_t i = 0; i < frames && ar.ok(); ++i) {
+      ar.getU8();   // line class
+      ar.getU64();  // payload seed
+      const std::uint32_t stored = ar.getU32();
+      const std::uint64_t wear = ar.getU64();
+      if (stored != 0) {
+        ++written;
+        storedTotal += stored;
+      }
+      bitsTotal += wear;
+      if (wear > maxFrameBits) maxFrameBits = wear;
+    }
+    const std::uint64_t writes = ar.getU64();
+    const std::uint64_t flipped = ar.getU64();
+    const std::uint64_t rawFallbacks = ar.getU64();
+    const std::uint64_t zeroDelta = ar.getU64();
+    for (int i = 0; i < 8; ++i) ar.getU64();  // stored-size histogram
+    if (!ar.ok()) {
+      std::fprintf(stderr, "ckpt_inspect: section '%s' truncated\n", name.c_str());
+      corrupt = true;
+      break;
+    }
+    if (!header) {
+      std::printf("\n%-6s %8s %10s %14s %14s %8s %8s\n", "bank", "written",
+                  "avg_bits", "bits_flipped", "max_frame_bits", "raw", "zerodelta");
+      header = true;
+    }
+    std::printf("cmp%-3u %8llu %10.1f %14llu %14llu %8llu %8llu\n", b,
+                static_cast<unsigned long long>(written),
+                written ? static_cast<double>(storedTotal) / static_cast<double>(written)
+                        : 0.0,
+                static_cast<unsigned long long>(bitsTotal),
+                static_cast<unsigned long long>(maxFrameBits),
+                static_cast<unsigned long long>(rawFallbacks),
+                static_cast<unsigned long long>(zeroDelta));
+    (void)writes;
+    (void)flipped;
+  }
+  if (ar.hasSection("cmpmeta") && ar.openSection("cmpmeta")) {
+    const std::uint64_t blocks = ar.getU64();
+    if (ar.ok()) {
+      std::printf("\ncontent versions tracked: %llu block(s)\n",
+                  static_cast<unsigned long long>(blocks));
+    }
   }
 
   return corrupt ? 1 : 0;
